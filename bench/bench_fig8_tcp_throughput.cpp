@@ -1,0 +1,520 @@
+// Figure 8: bulk TCP throughput in the NSX deployment (§5.1) across
+// three scenarios, sweeping datapath x virtual-device x offload:
+//   (a) VM-to-VM across hosts, Geneve over a 10G link
+//   (b) VM-to-VM within one host
+//   (c) container-to-container within one host
+//
+// Methodology: real TCP segments (1448B MSS, or TSO super-segments)
+// are pushed through the real datapath composition; every stage charges
+// its context. Single-stream TCP is self-clocked, so throughput is
+// modelled as `payload_bits * W / serial_path_time` with an overlap
+// factor W=2 when stages run on distinct cores (sender, switch,
+// receiver) and W=1 when the whole path shares CPUs (the in-kernel
+// container paths, where veth TX executes the receiver inline).
+//
+// Paper anchors (Gbps):
+//  (a) kernel+tap 2.2 | afxdp+tap irq 1.9 | afxdp+tap poll ~3.0
+//      | afxdp+vhost 4.4 | afxdp+vhost+csum 6.5
+//  (b) kernel+tap 12 | vhost 3.8 | vhost+csum 8.4 | vhost+csum+tso 29
+//  (c) kernel 5.9 | kernel+offloads 49 | xdp-redirect 5.7
+//      | afxdp path-A 4.1 / 5.0 / 8.0
+#include <cstdio>
+#include <memory>
+
+#include "gen/testbed.h"
+#include "gen/traffic.h"
+#include "kern/nic.h"
+#include "kern/ovs_kmod.h"
+#include "kern/stack.h"
+#include "kern/tap.h"
+#include "net/builder.h"
+#include "net/headers.h"
+#include "ovs/dpif_netdev.h"
+#include "ovs/netdev_afxdp.h"
+#include "ovs/netdev_linux.h"
+#include "ovs/netdev_vhost.h"
+#include "ebpf/programs.h"
+
+using namespace ovsx;
+
+namespace {
+
+constexpr std::size_t kMss = 1448;
+constexpr std::size_t kTsoSegs = 44; // ~64kB super-segments
+constexpr int kSegments = 400;
+
+// QEMU's slow-path tap crossing costs ~0.55 ns/B (copy_to_user, per-chunk
+// skb handling, qdisc). Calibrated to Fig. 8(b)'s kernel+tap bar.
+constexpr double kQemuSlowPathPerByte = 0.55;
+// The tap/QEMU slow path caps GSO bursts well below 64kB.
+constexpr std::size_t kTapGsoCap = 16384;
+
+struct Offloads {
+    bool csum = false;
+    bool tso = false;
+};
+
+struct PathResult {
+    double total_busy_ns = 0; // across every context
+    std::uint64_t payload_bytes = 0;
+};
+
+double gbps(const PathResult& r, double overlap, double line_payload_gbps = 1e9)
+{
+    if (r.total_busy_ns <= 0) return 0;
+    const double raw =
+        static_cast<double>(r.payload_bytes) * 8.0 * overlap / r.total_busy_ns;
+    return raw < line_payload_gbps ? raw : line_payload_gbps;
+}
+
+net::Packet make_segment(const net::MacAddr& src_mac, const net::MacAddr& dst_mac,
+                         std::uint32_t src_ip, std::uint32_t dst_ip, std::size_t payload,
+                         const Offloads& off)
+{
+    net::TcpSpec spec;
+    spec.src_mac = src_mac;
+    spec.dst_mac = dst_mac;
+    spec.src_ip = src_ip;
+    spec.dst_ip = dst_ip;
+    spec.src_port = 40000;
+    spec.dst_port = 5001;
+    spec.flags = net::kTcpAck;
+    spec.payload_len = payload;
+    spec.fill_tcp_csum = !off.csum; // offloaded checksums stay logical
+    net::Packet pkt = net::build_tcp(spec);
+    if (off.csum) pkt.meta().csum_tx_offload = true;
+    if (off.tso && payload > kMss) pkt.meta().tso_segsz = kMss;
+    return pkt;
+}
+
+// Without VIRTIO_NET_F_CSUM a guest forfeits the whole offload chain
+// (no GSO, extra data passes); calibrated to the Fig. 8(b) no-offload
+// vs csum gap.
+constexpr double kVmNoOffloadExtraPerByte = 0.9;
+
+// Sender/receiver TCP endpoint cost for one arriving/departing unit.
+void charge_endpoint(sim::ExecContext& ctx, const sim::CostModel& costs, std::size_t payload,
+                     bool csum_in_sw, bool vm_guest = false)
+{
+    sim::Nanos c = costs.tcp_stack_per_segment + costs.copy(static_cast<std::int64_t>(payload));
+    if (csum_in_sw) {
+        c += costs.csum(static_cast<std::int64_t>(payload));
+        if (vm_guest) {
+            c += static_cast<sim::Nanos>(static_cast<double>(payload) *
+                                         kVmNoOffloadExtraPerByte);
+        }
+    }
+    ctx.charge(c);
+}
+
+double sum_ctx(std::initializer_list<const sim::ExecContext*> ctxs)
+{
+    double total = 0;
+    for (const auto* c : ctxs) total += static_cast<double>(c->total_busy());
+    return total;
+}
+
+// ---------------------------------------------------------------------------
+// (a) VM-to-VM across hosts with Geneve over 10G
+// ---------------------------------------------------------------------------
+
+enum class HostCfg { KernelTap, AfxdpTapIrq, AfxdpTapPoll, AfxdpVhost };
+
+double run_cross_host(HostCfg hcfg, Offloads off)
+{
+    const auto& costs = sim::CostModel::baseline();
+    kern::Kernel host_a("hostA");
+    kern::Kernel host_b("hostB");
+    kern::NicConfig ncfg;
+    ncfg.gbps = 10.0;
+    auto& nic_a = host_a.add_device<kern::PhysicalDevice>("eth0", net::MacAddr::from_id(1), ncfg);
+    auto& nic_b = host_b.add_device<kern::PhysicalDevice>("eth0", net::MacAddr::from_id(2), ncfg);
+    nic_a.connect_wire([&](net::Packet&& p) { nic_b.rx_from_wire(std::move(p)); });
+    nic_b.connect_wire([&](net::Packet&& p) { nic_a.rx_from_wire(std::move(p)); });
+
+    const auto vtep_a = net::ipv4(172, 16, 0, 1);
+    const auto vtep_b = net::ipv4(172, 16, 0, 2);
+    const auto vm_a_ip = net::ipv4(10, 1, 0, 10);
+    const auto vm_b_ip = net::ipv4(10, 1, 0, 11);
+    const auto vm_a_mac = net::MacAddr::from_id(0xa);
+    const auto vm_b_mac = net::MacAddr::from_id(0xb);
+
+    sim::ExecContext vcpu_a("vcpuA", sim::CpuClass::Guest);
+    sim::ExecContext vcpu_b("vcpuB", sim::CpuClass::Guest);
+    sim::ExecContext qemu_a("qemuA", sim::CpuClass::User);
+    sim::ExecContext qemu_b("qemuB", sim::CpuClass::User);
+    sim::ExecContext main_a("mainA", sim::CpuClass::User);
+    sim::ExecContext main_b("mainB", sim::CpuClass::User);
+
+    const bool tap_path = hcfg != HostCfg::AfxdpVhost;
+    PathResult result;
+    auto receiver_sink = [&](net::Packet&& pkt, sim::ExecContext&) {
+        const std::size_t payload = pkt.size() > 54 ? pkt.size() - 54 : 0;
+        charge_endpoint(vcpu_b, costs, payload, !off.csum, /*vm_guest=*/true);
+        if (tap_path) vcpu_b.charge(costs.context_switch); // guest rx interrupt
+        result.payload_bytes += payload;
+    };
+
+    host_a.stack().add_address(nic_a.ifindex(), vtep_a, 24);
+    host_a.stack().add_neighbor(vtep_b, nic_b.mac(), nic_a.ifindex());
+    host_b.stack().add_address(nic_b.ifindex(), vtep_b, 24);
+    host_b.stack().add_neighbor(vtep_a, nic_a.mac(), nic_b.ifindex());
+
+    net::TunnelKey tkey_ab;
+    tkey_ab.tun_id = 5001;
+    tkey_ab.ip_dst = vtep_b;
+
+    std::unique_ptr<ovs::DpifNetdev> dpif_a, dpif_b;
+    std::unique_ptr<kern::VhostUserChannel> chan_a, chan_b;
+    kern::TapDevice* tap_a = nullptr;
+    kern::TapDevice* tap_b = nullptr;
+    int pmd_a = -1, pmd_b = -1;
+    const bool polling = hcfg == HostCfg::AfxdpTapPoll || hcfg == HostCfg::AfxdpVhost;
+
+    if (hcfg == HostCfg::KernelTap) {
+        // Traditional split design with kernel tunnel vports.
+        tap_a = &host_a.add_device<kern::TapDevice>("tap0", vm_a_mac);
+        tap_b = &host_b.add_device<kern::TapDevice>("tap0", vm_b_mac);
+        auto& dp_a = host_a.ovs_datapath();
+        const auto pa_tap = dp_a.add_port(*tap_a);
+        const auto pa_tun = dp_a.add_tunnel_port("geneve0", net::TunnelType::Geneve, vtep_a);
+        net::FlowMask mask;
+        mask.bits.in_port = 0xffffffff;
+        net::FlowKey k;
+        k.in_port = pa_tap;
+        dp_a.flow_put(k, mask,
+                      {kern::OdpAction::set_tunnel(tkey_ab), kern::OdpAction::output(pa_tun)});
+        auto& dp_b = host_b.ovs_datapath();
+        const auto pb_tap = dp_b.add_port(*tap_b);
+        const auto pb_tun = dp_b.add_tunnel_port("geneve0", net::TunnelType::Geneve, vtep_b);
+        net::FlowKey kb;
+        kb.in_port = pb_tun;
+        dp_b.flow_put(kb, mask, {kern::OdpAction::output(pb_tap)});
+        (void)pb_tun;
+        tap_b->set_fd_rx(receiver_sink);
+    } else {
+        ovs::AfxdpOptions opts = ovs::AfxdpOptions::all();
+        opts.csum_offload = off.csum;
+        if (hcfg == HostCfg::AfxdpTapIrq) {
+            opts = ovs::AfxdpOptions::none();
+            nic_a.set_interrupt_mode(true);
+            nic_b.set_interrupt_mode(true);
+        }
+        dpif_a = std::make_unique<ovs::DpifNetdev>(host_a);
+        dpif_b = std::make_unique<ovs::DpifNetdev>(host_b);
+        const auto pa_nic = dpif_a->add_port(std::make_unique<ovs::NetdevAfxdp>(nic_a, opts));
+        const auto pb_nic = dpif_b->add_port(std::make_unique<ovs::NetdevAfxdp>(nic_b, opts));
+        (void)pa_nic;
+        (void)pb_nic;
+        const auto pa_tun = dpif_a->add_tunnel_port("geneve0", net::TunnelType::Geneve, vtep_a);
+        const auto pb_tun = dpif_b->add_tunnel_port("geneve0", net::TunnelType::Geneve, vtep_b);
+        (void)pa_tun;
+
+        std::uint32_t pa_vm, pb_vm;
+        if (hcfg == HostCfg::AfxdpVhost) {
+            kern::VirtioFeatures features;
+            features.guest_polling = true;
+            features.csum_offload = off.csum;
+            features.tso = off.tso;
+            chan_a = std::make_unique<kern::VhostUserChannel>(costs, features);
+            chan_b = std::make_unique<kern::VhostUserChannel>(costs, features);
+            chan_b->set_guest_rx(receiver_sink);
+            pa_vm = dpif_a->add_port(std::make_unique<ovs::NetdevVhost>("vhost0", *chan_a));
+            pb_vm = dpif_b->add_port(std::make_unique<ovs::NetdevVhost>("vhost0", *chan_b));
+        } else {
+            tap_a = &host_a.add_device<kern::TapDevice>("tap0", vm_a_mac);
+            tap_b = &host_b.add_device<kern::TapDevice>("tap0", vm_b_mac);
+            tap_b->set_fd_rx(receiver_sink);
+            pa_vm = dpif_a->add_port(std::make_unique<ovs::NetdevLinux>(*tap_a));
+            pb_vm = dpif_b->add_port(std::make_unique<ovs::NetdevLinux>(*tap_b));
+        }
+        net::FlowMask mask;
+        mask.bits.in_port = 0xffffffff;
+        mask.bits.recirc_id = 0xffffffff;
+        net::FlowKey ka;
+        ka.in_port = pa_vm;
+        dpif_a->flow_put(ka, mask,
+                         {kern::OdpAction::set_tunnel(tkey_ab), kern::OdpAction::output(pa_tun)});
+        net::FlowKey kb;
+        kb.in_port = pb_tun;
+        dpif_b->flow_put(kb, mask, {kern::OdpAction::output(pb_vm)});
+
+        if (polling) {
+            pmd_a = dpif_a->add_pmd("pmdA");
+            dpif_a->pmd_assign(pmd_a, pa_nic, 0);
+            dpif_a->pmd_assign(pmd_a, pa_vm, 0);
+            pmd_b = dpif_b->add_pmd("pmdB");
+            dpif_b->pmd_assign(pmd_b, pb_nic, 0);
+            dpif_b->pmd_assign(pmd_b, pb_vm, 0);
+        }
+    }
+
+    auto drain = [&] {
+        if (dpif_a) {
+            if (polling) {
+                while (dpif_a->pmd_poll_once(pmd_a) + dpif_b->pmd_poll_once(pmd_b) > 0) {
+                }
+            } else {
+                while (dpif_a->main_thread_poll_once(main_a) +
+                           dpif_b->main_thread_poll_once(main_b) >
+                       0) {
+                }
+            }
+        }
+    };
+
+    // Tunneling defeats TSO here: the sender emits MSS-sized segments.
+    for (int i = 0; i < kSegments; ++i) {
+        net::Packet seg = make_segment(vm_a_mac, vm_b_mac, vm_a_ip, vm_b_ip, kMss, off);
+        charge_endpoint(vcpu_a, costs, kMss, !off.csum, /*vm_guest=*/true);
+        if (tap_a) {
+            // The guest's QEMU wakes up and writes into the tap.
+            qemu_a.charge(costs.context_switch);
+            qemu_a.charge(static_cast<sim::Nanos>(static_cast<double>(seg.size()) *
+                                                  kQemuSlowPathPerByte));
+            tap_a->fd_write(std::move(seg), qemu_a);
+        } else {
+            chan_a->guest_tx(std::move(seg), vcpu_a);
+        }
+        if ((i & 7) == 7) drain();
+    }
+    drain();
+    if (tap_b) {
+        // Receiver-side QEMU read costs (tap egress landed via fd_rx).
+        qemu_b.charge(static_cast<sim::Nanos>(static_cast<double>(result.payload_bytes) *
+                                              kQemuSlowPathPerByte));
+    }
+
+    result.total_busy_ns =
+        sum_ctx({&vcpu_a, &vcpu_b, &qemu_a, &qemu_b, &main_a, &main_b, &nic_a.softirq_ctx(0),
+                 &nic_b.softirq_ctx(0)});
+    if (dpif_a && polling) {
+        result.total_busy_ns +=
+            sum_ctx({&dpif_a->pmd_ctx(pmd_a), &dpif_b->pmd_ctx(pmd_b)});
+    }
+    // 10G line cap on payload throughput (Geneve adds ~50B of outer headers).
+    const double line_cap = 10.0 * kMss / (kMss + 54 + 50 + 20);
+    return gbps(result, /*overlap=*/2.0, line_cap);
+}
+
+// ---------------------------------------------------------------------------
+// (b) VM-to-VM within one host
+// ---------------------------------------------------------------------------
+
+double run_intra_host_vhost(Offloads off)
+{
+    const auto& costs = sim::CostModel::baseline();
+    kern::Kernel host("host");
+    ovs::DpifNetdev dpif(host);
+
+    kern::VirtioFeatures features;
+    features.guest_polling = true;
+    features.csum_offload = off.csum;
+    features.tso = off.tso;
+    kern::VhostUserChannel chan_a(costs, features);
+    kern::VhostUserChannel chan_b(costs, features);
+
+    sim::ExecContext vcpu_a("vcpuA", sim::CpuClass::Guest);
+    sim::ExecContext vcpu_b("vcpuB", sim::CpuClass::Guest);
+    PathResult result;
+    chan_b.set_guest_rx([&](net::Packet&& pkt, sim::ExecContext&) {
+        const std::size_t payload = pkt.size() > 54 ? pkt.size() - 54 : 0;
+        // Within a host with csum offload, no checksum is ever computed.
+        charge_endpoint(vcpu_b, costs, payload, !off.csum, /*vm_guest=*/true);
+        result.payload_bytes += payload;
+    });
+
+    const auto pa = dpif.add_port(std::make_unique<ovs::NetdevVhost>("vhost-a", chan_a));
+    const auto pb = dpif.add_port(std::make_unique<ovs::NetdevVhost>("vhost-b", chan_b));
+    net::FlowMask mask;
+    mask.bits.in_port = 0xffffffff;
+    mask.bits.recirc_id = 0xffffffff;
+    net::FlowKey k;
+    k.in_port = pa;
+    dpif.flow_put(k, mask, {kern::OdpAction::output(pb)});
+    const int pmd = dpif.add_pmd("pmd0");
+    dpif.pmd_assign(pmd, pa, 0);
+
+    const std::size_t unit = off.tso ? kMss * kTsoSegs : kMss;
+    for (int i = 0; i < kSegments; ++i) {
+        net::Packet seg = make_segment(net::MacAddr::from_id(0xa), net::MacAddr::from_id(0xb),
+                                       net::ipv4(10, 1, 0, 10), net::ipv4(10, 1, 0, 11), unit,
+                                       off);
+        charge_endpoint(vcpu_a, costs, unit, !off.csum, /*vm_guest=*/true);
+        chan_a.guest_tx(std::move(seg), vcpu_a);
+        while (dpif.pmd_poll_once(pmd) > 0) {
+        }
+    }
+
+    result.total_busy_ns = sum_ctx({&vcpu_a, &vcpu_b, &dpif.pmd_ctx(pmd)});
+    return gbps(result, /*overlap=*/2.0);
+}
+
+double run_intra_host_kernel_tap()
+{
+    const auto& costs = sim::CostModel::baseline();
+    kern::Kernel host("host");
+    auto& tap_a = host.add_device<kern::TapDevice>("tapA", net::MacAddr::from_id(0xa));
+    auto& tap_b = host.add_device<kern::TapDevice>("tapB", net::MacAddr::from_id(0xb));
+
+    sim::ExecContext vcpu_a("vcpuA", sim::CpuClass::Guest);
+    sim::ExecContext vcpu_b("vcpuB", sim::CpuClass::Guest);
+    sim::ExecContext qemu_a("qemuA", sim::CpuClass::User);
+    sim::ExecContext qemu_b("qemuB", sim::CpuClass::User);
+    PathResult result;
+    tap_b.set_fd_rx([&](net::Packet&& pkt, sim::ExecContext&) {
+        const std::size_t payload = pkt.size() > 54 ? pkt.size() - 54 : 0;
+        charge_endpoint(vcpu_b, costs, payload, /*csum_in_sw=*/false);
+        result.payload_bytes += payload;
+    });
+
+    auto& dp = host.ovs_datapath();
+    const auto pa = dp.add_port(tap_a);
+    const auto pb = dp.add_port(tap_b);
+    net::FlowMask mask;
+    mask.bits.in_port = 0xffffffff;
+    net::FlowKey k;
+    k.in_port = pa;
+    dp.flow_put(k, mask, {kern::OdpAction::output(pb)});
+
+    // Kernel tap path keeps vnet-header offloads (csum + TSO) but the
+    // QEMU slow path caps GSO bursts at ~16kB.
+    const Offloads off{.csum = true, .tso = true};
+    for (int i = 0; i < kSegments; ++i) {
+        net::Packet seg = make_segment(net::MacAddr::from_id(0xa), net::MacAddr::from_id(0xb),
+                                       net::ipv4(10, 1, 0, 10), net::ipv4(10, 1, 0, 11),
+                                       kTapGsoCap, off);
+        charge_endpoint(vcpu_a, costs, kTapGsoCap, false);
+        qemu_a.charge(static_cast<sim::Nanos>(static_cast<double>(seg.size()) *
+                                              kQemuSlowPathPerByte));
+        tap_a.fd_write(std::move(seg), qemu_a);
+    }
+    qemu_b.charge(static_cast<sim::Nanos>(static_cast<double>(result.payload_bytes) *
+                                          kQemuSlowPathPerByte));
+
+    result.total_busy_ns = sum_ctx({&vcpu_a, &vcpu_b, &qemu_a, &qemu_b});
+    return gbps(result, /*overlap=*/2.0);
+}
+
+// ---------------------------------------------------------------------------
+// (c) container-to-container within one host
+// ---------------------------------------------------------------------------
+
+enum class ContainerCfg { Kernel, XdpRedirect, AfxdpUserspace };
+
+double run_containers(ContainerCfg ccfg, Offloads off)
+{
+    const auto& costs = sim::CostModel::baseline();
+    kern::Kernel host("host");
+    gen::Container ca = gen::make_container(host, "ca", net::ipv4(172, 17, 0, 2));
+    gen::Container cb = gen::make_container(host, "cb", net::ipv4(172, 17, 0, 3));
+
+    // Container endpoints share the host kernel: the veth TX path runs
+    // the receive side inline, so everything lands on one context chain.
+    sim::ExecContext cpu("shared-cpu", sim::CpuClass::Softirq);
+    PathResult result;
+    cb.inner->set_rx_handler([&](kern::Device&, net::Packet&& pkt, sim::ExecContext&) {
+        const std::size_t payload = pkt.size() > 54 ? pkt.size() - 54 : 0;
+        charge_endpoint(cpu, costs, payload, !off.csum);
+        result.payload_bytes += payload;
+    });
+
+    std::unique_ptr<ovs::DpifNetdev> dpif;
+    int pmd = -1;
+    if (ccfg == ContainerCfg::Kernel) {
+        auto& dp = host.ovs_datapath();
+        const auto pa = dp.add_port(*ca.host_end);
+        const auto pb = dp.add_port(*cb.host_end);
+        net::FlowMask mask;
+        mask.bits.in_port = 0xffffffff;
+        net::FlowKey k;
+        k.in_port = pa;
+        dp.flow_put(k, mask, {kern::OdpAction::output(pb)});
+        (void)pb;
+    } else if (ccfg == ContainerCfg::XdpRedirect) {
+        auto devmap = std::make_shared<ebpf::Map>(ebpf::MapType::DevMap, "d", 4, 4, 4);
+        const std::uint32_t slot = 0;
+        devmap->update_kv(slot, static_cast<std::uint32_t>(cb.host_end->ifindex()));
+        ca.host_end->attach_xdp(ebpf::xdp_redirect_to_dev(devmap, 0));
+    } else {
+        dpif = std::make_unique<ovs::DpifNetdev>(host);
+        const auto pa = dpif->add_port(std::make_unique<ovs::NetdevLinux>(*ca.host_end));
+        const auto pb = dpif->add_port(std::make_unique<ovs::NetdevLinux>(*cb.host_end));
+        net::FlowMask mask;
+        mask.bits.in_port = 0xffffffff;
+        mask.bits.recirc_id = 0xffffffff;
+        net::FlowKey k;
+        k.in_port = pa;
+        dpif->flow_put(k, mask, {kern::OdpAction::output(pb)});
+        pmd = dpif->add_pmd("pmd0");
+        dpif->pmd_assign(pmd, pa, 0);
+    }
+
+    // XDP redirect cannot carry csum/TSO metadata (§3.4); neither can
+    // the packet-socket path unless materialised in software.
+    const bool tso_works = ccfg == ContainerCfg::Kernel ||
+                           (ccfg == ContainerCfg::AfxdpUserspace && off.tso);
+    const std::size_t unit = (off.tso && tso_works) ? kMss * kTsoSegs : kMss;
+
+    for (int i = 0; i < kSegments; ++i) {
+        net::Packet seg = make_segment(ca.inner->mac(), cb.inner->mac(), ca.ip, cb.ip, unit,
+                                       off);
+        charge_endpoint(cpu, costs, unit, !off.csum);
+        ca.inner->transmit(std::move(seg), cpu);
+        if (dpif) {
+            while (dpif->pmd_poll_once(pmd) > 0) {
+            }
+        }
+    }
+
+    result.total_busy_ns = sum_ctx({&cpu});
+    double overlap = 1.0; // shared-CPU serial execution
+    if (ccfg == ContainerCfg::AfxdpUserspace) {
+        result.total_busy_ns += static_cast<double>(dpif->pmd_ctx(pmd).total_busy());
+        overlap = 2.0; // PMD runs on its own core
+    }
+    return gbps(result, overlap);
+}
+
+void row(const char* name, double measured, double paper)
+{
+    std::printf("  %-34s %8.1f %10.1f\n", name, measured, paper);
+}
+
+} // namespace
+
+int main()
+{
+    std::printf("Figure 8: bulk TCP throughput (Gbps) in the NSX-style deployment\n");
+
+    std::printf("\n(a) VM-to-VM cross-host (Geneve, 10G)  %8s %10s\n", "Gbps", "paper");
+    row("kernel + tap", run_cross_host(HostCfg::KernelTap, {true, true}), 2.2);
+    row("afxdp + tap (interrupt)", run_cross_host(HostCfg::AfxdpTapIrq, {false, false}), 1.9);
+    row("afxdp + tap (polling, O1-O4)", run_cross_host(HostCfg::AfxdpTapPoll, {false, false}),
+        3.0);
+    row("afxdp + vhostuser (no offload)", run_cross_host(HostCfg::AfxdpVhost, {false, false}),
+        4.4);
+    row("afxdp + vhostuser (csum)", run_cross_host(HostCfg::AfxdpVhost, {true, false}), 6.5);
+
+    std::printf("\n(b) VM-to-VM within host               %8s %10s\n", "Gbps", "paper");
+    row("kernel + tap (csum+tso)", run_intra_host_kernel_tap(), 12.0);
+    row("afxdp + vhostuser (no offload)", run_intra_host_vhost({false, false}), 3.8);
+    row("afxdp + vhostuser (csum)", run_intra_host_vhost({true, false}), 8.4);
+    row("afxdp + vhostuser (csum+tso)", run_intra_host_vhost({true, true}), 29.0);
+
+    std::printf("\n(c) container-to-container within host %8s %10s\n", "Gbps", "paper");
+    row("kernel veth (no offload)", run_containers(ContainerCfg::Kernel, {false, false}), 5.9);
+    row("kernel veth (csum+tso)", run_containers(ContainerCfg::Kernel, {true, true}), 49.0);
+    row("afxdp XDP redirect (path C)", run_containers(ContainerCfg::XdpRedirect, {false, false}),
+        5.7);
+    row("afxdp userspace (no offload)",
+        run_containers(ContainerCfg::AfxdpUserspace, {false, false}), 4.1);
+    row("afxdp userspace (csum)", run_containers(ContainerCfg::AfxdpUserspace, {true, false}),
+        5.0);
+    row("afxdp userspace (csum+tso)",
+        run_containers(ContainerCfg::AfxdpUserspace, {true, true}), 8.0);
+
+    std::printf("\nOutcome #1: AF_XDP beats in-kernel OVS for VMs; in-kernel wins for\n"
+                "container TCP until AF_XDP gains TSO.\n");
+    return 0;
+}

@@ -1,0 +1,75 @@
+// Figure 9: maximum lossless forwarding rates and CPU consumption for
+// the three loopback scenarios of §5.2 — physical-to-physical (P2P),
+// physical-virtual-physical (PVP) and physical-container-physical
+// (PCP) — with 1 and 1,000 flows of 64B packets on a 25G testbed.
+#include <cstdio>
+
+#include "gen/harness.h"
+
+using namespace ovsx;
+using namespace ovsx::gen;
+
+namespace {
+
+void print_row(const char* config, int flows, const RateReport& rep)
+{
+    std::printf("  %-22s %5d %10.2f %10.2f   (bottleneck: %s)\n", config, flows, rep.mpps(),
+                rep.cpu.total(), rep.bottleneck.c_str());
+}
+
+} // namespace
+
+int main()
+{
+    constexpr std::uint64_t kPackets = 30000;
+
+    std::printf("Figure 9: lossless forwarding rate and CPU use (64B, 25G testbed)\n");
+
+    std::printf("\n(a) P2P  %-19s %5s %10s %10s\n", "config", "flows", "Mpps", "CPU(HT)");
+    for (const auto dp : {Datapath::Kernel, Datapath::Afxdp, Datapath::Dpdk}) {
+        for (const std::uint32_t flows : {1u, 1000u}) {
+            P2pConfig cfg;
+            cfg.datapath = dp;
+            cfg.n_flows = flows;
+            cfg.packets = kPackets;
+            print_row(to_string(dp), static_cast<int>(flows), run_p2p(cfg));
+        }
+    }
+
+    std::printf("\n(b) PVP  %-19s %5s %10s %10s\n", "config", "flows", "Mpps", "CPU(HT)");
+    struct PvpRow {
+        Datapath dp;
+        VDev vdev;
+    };
+    for (const auto& row : {PvpRow{Datapath::Kernel, VDev::Tap},
+                            PvpRow{Datapath::Afxdp, VDev::Tap},
+                            PvpRow{Datapath::Afxdp, VDev::Vhost},
+                            PvpRow{Datapath::Dpdk, VDev::Vhost}}) {
+        for (const std::uint32_t flows : {1u, 1000u}) {
+            PvpConfig cfg;
+            cfg.datapath = row.dp;
+            cfg.vdev = row.vdev;
+            cfg.n_flows = flows;
+            cfg.packets = kPackets;
+            char name[64];
+            std::snprintf(name, sizeof name, "%s+%s", to_string(row.dp), to_string(row.vdev));
+            print_row(name, static_cast<int>(flows), run_pvp(cfg));
+        }
+    }
+
+    std::printf("\n(c) PCP  %-19s %5s %10s %10s\n", "config", "flows", "Mpps", "CPU(HT)");
+    for (const auto path : {ContainerPath::KernelVeth, ContainerPath::AfxdpXdp,
+                            ContainerPath::DpdkAfPacket}) {
+        for (const std::uint32_t flows : {1u, 1000u}) {
+            PcpConfig cfg;
+            cfg.path = path;
+            cfg.n_flows = flows;
+            cfg.packets = kPackets;
+            print_row(to_string(path), static_cast<int>(flows), run_pcp(cfg));
+        }
+    }
+
+    std::printf("\nOutcome #2: AF_XDP wins for containers; DPDK wins elsewhere, with the\n"
+                "kernel fast-but-inefficient under RSS (see bench_table4_cpu_breakdown).\n");
+    return 0;
+}

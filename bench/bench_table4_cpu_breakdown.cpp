@@ -1,0 +1,77 @@
+// Table 4: detailed CPU use with 1,000 flows, in units of one CPU
+// hyperthread, split across the system / softirq / guest / user classes
+// — for the P2P, PVP and PCP scenarios of Fig. 9.
+#include <cstdio>
+
+#include "gen/harness.h"
+
+using namespace ovsx;
+using namespace ovsx::gen;
+
+namespace {
+
+void print_row(const char* path, const char* config, const sim::CpuUsage& cpu, bool has_guest)
+{
+    std::printf("%-5s %-16s %8.1f %8.1f ", path, config, cpu.system, cpu.softirq);
+    if (has_guest) {
+        std::printf("%8.1f ", cpu.guest);
+    } else {
+        std::printf("%8s ", "-");
+    }
+    std::printf("%8.1f %8.1f\n", cpu.user, cpu.total());
+}
+
+} // namespace
+
+int main()
+{
+    constexpr std::uint64_t kPackets = 30000;
+    std::printf("Table 4: CPU use with 1000 flows, in units of a CPU hyperthread\n\n");
+    std::printf("%-5s %-16s %8s %8s %8s %8s %8s\n", "path", "configuration", "system",
+                "softirq", "guest", "user", "total");
+
+    // ---- P2P -------------------------------------------------------------
+    for (const auto dp : {Datapath::Kernel, Datapath::Dpdk, Datapath::Afxdp}) {
+        P2pConfig cfg;
+        cfg.datapath = dp;
+        cfg.n_flows = 1000;
+        cfg.packets = kPackets;
+        print_row("P2P", to_string(dp), run_p2p(cfg).cpu, false);
+    }
+
+    // ---- PVP ---------------------------------------------------------------
+    struct PvpRow {
+        Datapath dp;
+        VDev vdev;
+        const char* name;
+    };
+    for (const auto& row : {PvpRow{Datapath::Kernel, VDev::Tap, "kernel"},
+                            PvpRow{Datapath::Dpdk, VDev::Vhost, "DPDK+vhost"},
+                            PvpRow{Datapath::Afxdp, VDev::Vhost, "AF_XDP+vhost"}}) {
+        PvpConfig cfg;
+        cfg.datapath = row.dp;
+        cfg.vdev = row.vdev;
+        cfg.n_flows = 1000;
+        cfg.packets = kPackets;
+        print_row("PVP", row.name, run_pvp(cfg).cpu, true);
+    }
+
+    // ---- PCP ------------------------------------------------------------------
+    struct PcpRow {
+        ContainerPath path;
+        const char* name;
+    };
+    for (const auto& row : {PcpRow{ContainerPath::KernelVeth, "kernel"},
+                            PcpRow{ContainerPath::DpdkAfPacket, "DPDK"},
+                            PcpRow{ContainerPath::AfxdpXdp, "AF_XDP"}}) {
+        PcpConfig cfg;
+        cfg.path = row.path;
+        cfg.n_flows = 1000;
+        cfg.packets = kPackets;
+        print_row("PCP", row.name, run_pcp(cfg).cpu, false);
+    }
+
+    std::printf("\nPaper's reading: kernel work lands in softirq, DPDK in userspace,\n"
+                "AF_XDP in between (XDP program in softirq + OVS in userspace).\n");
+    return 0;
+}

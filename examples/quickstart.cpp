@@ -1,0 +1,79 @@
+// Quickstart: bridge two NICs with the AF_XDP userspace datapath and an
+// OpenFlow rule, then push a packet through it.
+//
+//   wire -> eth0 -> XDP redirect -> XSK ring -> PMD -> OVS pipeline -> eth1
+//
+// This is the smallest end-to-end use of the library's public API:
+// build a host kernel, attach netdev-afxdp ports to a dpif-netdev
+// datapath, program it through ofproto (via VSwitch), and poll a PMD.
+#include <cstdio>
+#include <memory>
+
+#include "kern/kernel.h"
+#include "kern/nic.h"
+#include "net/builder.h"
+#include "ovs/dpif_netdev.h"
+#include "ovs/netdev_afxdp.h"
+#include "ovs/vswitch.h"
+
+using namespace ovsx;
+
+int main()
+{
+    // 1. A simulated host with two 25G NICs wired to the outside world.
+    kern::Kernel host("quickstart-host");
+    auto& eth0 = host.add_device<kern::PhysicalDevice>("eth0", net::MacAddr::from_id(1));
+    auto& eth1 = host.add_device<kern::PhysicalDevice>("eth1", net::MacAddr::from_id(2));
+
+    int forwarded = 0;
+    eth1.connect_wire([&](net::Packet&& pkt) {
+        ++forwarded;
+        std::printf("eth1 transmitted: %s\n", net::parse_flow(pkt).to_string().c_str());
+    });
+
+    // 2. The userspace datapath with AF_XDP ports. Creating a
+    //    NetdevAfxdp builds the umem + XSK sockets and loads the XDP
+    //    redirect program onto the NIC.
+    auto dpif = std::make_unique<ovs::DpifNetdev>(host);
+    auto* dp = dpif.get();
+    const auto p0 = dpif->add_port(std::make_unique<ovs::NetdevAfxdp>(eth0));
+    const auto p1 = dpif->add_port(std::make_unique<ovs::NetdevAfxdp>(eth1));
+    const int pmd = dpif->add_pmd("pmd0");
+    dpif->pmd_assign(pmd, p0, 0);
+
+    // 3. ovs-vswitchd in miniature: an ofproto pipeline wired to the
+    //    datapath. One OpenFlow rule: everything from port p0 -> p1.
+    ovs::VSwitch vswitch(std::move(dpif));
+    ovs::Match match;
+    match.key.in_port = p0;
+    match.mask.bits.in_port = 0xffffffff;
+    vswitch.ofproto().add_rule({.table = 0,
+                                .priority = 10,
+                                .match = match,
+                                .actions = {ovs::OfAction::output(p1)}});
+
+    // 4. Packets arrive from the wire...
+    net::UdpSpec spec;
+    spec.src_mac = net::MacAddr::from_id(100);
+    spec.dst_mac = net::MacAddr::from_id(200);
+    spec.src_ip = net::ipv4(10, 0, 0, 1);
+    spec.dst_ip = net::ipv4(10, 0, 0, 2);
+    spec.src_port = 1234;
+    spec.dst_port = 80;
+    for (int i = 0; i < 3; ++i) eth0.rx_from_wire(net::build_udp(spec));
+
+    // 5. ...and the PMD thread polls them through the pipeline. The
+    //    first packet upcalls into ofproto and installs a megaflow; the
+    //    rest take the EMC/megaflow fast path.
+    dp->pmd_poll_once(pmd);
+
+    std::printf("\nforwarded:        %d packets\n", forwarded);
+    std::printf("upcalls handled:  %llu (first packet only)\n",
+                static_cast<unsigned long long>(vswitch.upcalls_handled()));
+    std::printf("megaflows:        %zu\n", dp->flow_count());
+    std::printf("softirq work:     %lld ns (XDP program + XSK rings)\n",
+                static_cast<long long>(eth0.softirq_ctx(0).total_busy()));
+    std::printf("PMD work:         %lld ns (userspace datapath)\n",
+                static_cast<long long>(dp->pmd_ctx(pmd).total_busy()));
+    return forwarded == 3 ? 0 : 1;
+}

@@ -1,0 +1,113 @@
+// Table 1 as running code: the compatibility argument at the heart of
+// the paper. Standard Linux networking tools (modelled by the rtnetlink
+// facade) keep working when OVS drives a NIC through AF_XDP — because
+// the kernel still owns the device — and stop working the moment DPDK
+// unbinds it.
+#include <cstdio>
+#include <memory>
+
+#include "dpdk/mempool.h"
+#include "kern/kernel.h"
+#include "kern/nic.h"
+#include "kern/rtnetlink.h"
+#include "kern/stack.h"
+#include "net/builder.h"
+#include "ovs/dpif_netdev.h"
+#include "ovs/netdev_afxdp.h"
+#include "ovs/netdev_dpdk.h"
+
+using namespace ovsx;
+using namespace ovsx::kern;
+
+namespace {
+
+void show_tools(Kernel& host, const char* situation)
+{
+    std::printf("---- %s ----\n", situation);
+
+    std::printf("$ ip link\n");
+    const auto links = rtnl::link_show(host);
+    if (links.empty()) std::printf("  (no devices)\n");
+    for (const auto& l : links) {
+        std::printf("  %d: %s <%s> mtu %d %s\n", l.ifindex, l.name.c_str(),
+                    l.up ? "UP" : "DOWN", l.mtu, l.mac.to_string().c_str());
+    }
+
+    std::printf("$ ip address\n");
+    for (const auto& a : rtnl::addr_show(host)) {
+        std::printf("  %s/%d dev %s\n", net::ipv4_to_string(a.addr).c_str(), a.prefix_len,
+                    a.dev.c_str());
+    }
+
+    std::printf("$ ip route\n");
+    for (const auto& r : rtnl::route_show(host)) {
+        std::printf("  %s/%d via %s dev %s\n", net::ipv4_to_string(r.prefix).c_str(),
+                    r.prefix_len, net::ipv4_to_string(r.gateway).c_str(), r.dev.c_str());
+    }
+
+    std::printf("$ ip neigh\n");
+    for (const auto& n : rtnl::neigh_show(host)) {
+        std::printf("  %s lladdr %s dev %s\n", net::ipv4_to_string(n.addr).c_str(),
+                    n.mac.to_string().c_str(), n.dev.c_str());
+    }
+
+    std::printf("$ nstat\n");
+    const auto s = rtnl::nstat(host);
+    std::printf("  rx=%llu tx=%llu rx_dropped=%llu\n",
+                static_cast<unsigned long long>(s.rx_packets),
+                static_cast<unsigned long long>(s.tx_packets),
+                static_cast<unsigned long long>(s.rx_dropped));
+
+    std::printf("$ tcpdump -i eth0\n");
+    std::string err;
+    int captured = 0;
+    if (rtnl::tcpdump_attach(host, "eth0",
+                             [&](const Device&, const net::Packet&, bool) { ++captured; },
+                             &err)) {
+        std::printf("  listening on eth0... OK\n");
+    } else {
+        std::printf("  tcpdump: %s\n", err.c_str());
+    }
+
+    std::printf("$ ping 10.0.0.2\n");
+    std::printf("  %s\n\n", rtnl::can_reach(host, 0, net::ipv4(10, 0, 0, 2))
+                                ? "reachable (route + neighbor resolve)"
+                                : "connect: Network is unreachable");
+}
+
+} // namespace
+
+int main()
+{
+    Kernel host("compat-host");
+    auto& eth0 = host.add_device<PhysicalDevice>("eth0", net::MacAddr::from_id(1));
+    host.stack().add_address(eth0.ifindex(), net::ipv4(10, 0, 0, 1), 24);
+    host.stack().add_neighbor(net::ipv4(10, 0, 0, 2), net::MacAddr::from_id(9),
+                              eth0.ifindex());
+    net::UdpSpec probe;
+    probe.src_ip = net::ipv4(10, 0, 0, 2);
+    probe.dst_ip = net::ipv4(10, 0, 0, 1);
+    eth0.rx_from_wire(net::build_udp(probe));
+
+    show_tools(host, "bare kernel device");
+
+    {
+        // OVS takes eth0 through AF_XDP: everything still works, because
+        // the kernel driver still owns the NIC.
+        ovs::DpifNetdev dpif(host);
+        dpif.add_port(std::make_unique<ovs::NetdevAfxdp>(eth0));
+        show_tools(host, "device attached to OVS via AF_XDP");
+    }
+
+    {
+        // DPDK takes over: the kernel loses the device, and with it
+        // every tool in Table 1.
+        dpdk::Mempool pool(1024, 2176);
+        ovs::DpifNetdev dpif(host);
+        dpif.add_port(std::make_unique<ovs::NetdevDpdk>(eth0, pool));
+        show_tools(host, "device bound to DPDK (vfio-pci)");
+    }
+
+    std::printf("Takeaway #3: DPDK is fast but incompatible with the tools users expect.\n");
+    return 0;
+}

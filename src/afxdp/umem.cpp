@@ -1,0 +1,29 @@
+#include "afxdp/umem.h"
+
+#include <stdexcept>
+
+namespace ovsx::afxdp {
+
+Umem::Umem(std::uint32_t chunk_count, std::uint32_t chunk_size, std::uint32_t ring_capacity)
+    : chunk_count_(chunk_count), chunk_size_(chunk_size),
+      buffer_(static_cast<std::size_t>(chunk_count) * chunk_size), fill_(ring_capacity),
+      comp_(ring_capacity)
+{
+    if (chunk_count == 0 || chunk_size < 64) {
+        throw std::invalid_argument("Umem: bad geometry");
+    }
+}
+
+std::span<std::uint8_t> Umem::frame(FrameAddr addr)
+{
+    if (!valid(addr)) throw std::out_of_range("Umem: bad frame address");
+    return {buffer_.data() + addr, chunk_size_};
+}
+
+std::span<const std::uint8_t> Umem::frame(FrameAddr addr) const
+{
+    if (!valid(addr)) throw std::out_of_range("Umem: bad frame address");
+    return {buffer_.data() + addr, chunk_size_};
+}
+
+} // namespace ovsx::afxdp

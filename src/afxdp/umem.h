@@ -1,0 +1,50 @@
+// Umem: the shared packet-buffer region registered with an AF_XDP
+// socket, carved into fixed-size chunks, plus its fill and completion
+// rings (§3.1 and Figure 4 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "afxdp/ring.h"
+
+namespace ovsx::afxdp {
+
+// A frame address within the umem: byte offset of the chunk start.
+using FrameAddr = std::uint64_t;
+
+class Umem {
+public:
+    static constexpr std::uint32_t kDefaultChunkSize = 2048;
+
+    Umem(std::uint32_t chunk_count, std::uint32_t chunk_size = kDefaultChunkSize,
+         std::uint32_t ring_capacity = 2048);
+
+    std::uint32_t chunk_count() const { return chunk_count_; }
+    std::uint32_t chunk_size() const { return chunk_size_; }
+
+    // Raw access to a chunk's memory.
+    std::span<std::uint8_t> frame(FrameAddr addr);
+    std::span<const std::uint8_t> frame(FrameAddr addr) const;
+
+    // True if addr names a valid chunk boundary.
+    bool valid(FrameAddr addr) const
+    {
+        return addr % chunk_size_ == 0 && addr / chunk_size_ < chunk_count_;
+    }
+
+    // Fill ring: userspace -> kernel (empty frames for RX).
+    SpscRing<FrameAddr>& fill() { return fill_; }
+    // Completion ring: kernel -> userspace (frames whose TX finished).
+    SpscRing<FrameAddr>& comp() { return comp_; }
+
+private:
+    std::uint32_t chunk_count_;
+    std::uint32_t chunk_size_;
+    std::vector<std::uint8_t> buffer_;
+    SpscRing<FrameAddr> fill_;
+    SpscRing<FrameAddr> comp_;
+};
+
+} // namespace ovsx::afxdp

@@ -1,0 +1,57 @@
+#include "afxdp/xsk.h"
+
+#include <cstring>
+
+namespace ovsx::afxdp {
+
+bool XskSocket::kernel_deliver(const net::Packet& pkt, const sim::CostModel& costs,
+                               sim::ExecContext& softirq)
+{
+    const auto fill = umem_.fill().consume();
+    softirq.charge(costs.xsk_ring_op);
+    softirq.count("xsk.fill_consume");
+    if (!fill) {
+        ++rx_dropped_no_frame;
+        return false;
+    }
+    auto dst = umem_.frame(*fill);
+    const std::size_t len = pkt.size() < dst.size() ? pkt.size() : dst.size();
+    std::memcpy(dst.data(), pkt.data(), len);
+    if (mode_ == BindMode::Copy) {
+        // Generic/SKB mode: the kernel copies the frame on the CPU.
+        softirq.charge(costs.copy(static_cast<std::int64_t>(len)));
+    }
+    // Zero-copy: the NIC DMA'd straight into umem; no CPU byte cost.
+
+    XdpDesc desc{*fill, static_cast<std::uint32_t>(len), 0};
+    softirq.charge(costs.xsk_ring_op);
+    softirq.count("xsk.rx_produce");
+    if (!rx_.produce(desc)) {
+        ++rx_dropped_ring_full;
+        // Frame is lost to the fill ring until userspace replenishes;
+        // give it back immediately to keep the model conservative.
+        umem_.fill().produce(*fill);
+        return false;
+    }
+    ++rx_delivered;
+    return true;
+}
+
+std::optional<net::Packet> XskSocket::kernel_collect_tx(const sim::CostModel& costs,
+                                                        sim::ExecContext& softirq)
+{
+    const auto desc = tx_.consume();
+    softirq.charge(costs.xsk_ring_op);
+    if (!desc) return std::nullopt;
+    auto src = umem_.frame(desc->addr);
+    net::Packet pkt = net::Packet::from_bytes(src.subspan(0, desc->len));
+    if (mode_ == BindMode::Copy) {
+        softirq.charge(costs.copy(desc->len));
+    }
+    softirq.charge(costs.xsk_ring_op);
+    umem_.comp().produce(desc->addr);
+    ++tx_completed;
+    return pkt;
+}
+
+} // namespace ovsx::afxdp

@@ -1,0 +1,46 @@
+// rte_ethdev-style port: the DPDK PMD takes exclusive ownership of a
+// physical NIC, polling its queues entirely in userspace. The moment
+// this binds, the kernel — and every tool in Table 1 — loses the device.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "dpdk/mempool.h"
+#include "kern/nic.h"
+#include "net/packet.h"
+#include "sim/context.h"
+
+namespace ovsx::dpdk {
+
+class EthDev {
+public:
+    // Binds the PMD to `nic` (vfio-pci style takeover).
+    EthDev(kern::PhysicalDevice& nic, Mempool& pool);
+    ~EthDev();
+
+    EthDev(const EthDev&) = delete;
+    EthDev& operator=(const EthDev&) = delete;
+
+    std::uint32_t n_queues() const { return static_cast<std::uint32_t>(queues_.size()); }
+
+    // Polls up to `max` packets from a queue. Always costs at least one
+    // poll-loop iteration (the busy-poll price DPDK pays for latency).
+    std::uint32_t rx_burst(std::uint32_t queue, std::vector<net::Packet>& out, std::uint32_t max,
+                           sim::ExecContext& pmd);
+
+    void tx_burst(std::uint32_t queue, std::vector<net::Packet>&& pkts, sim::ExecContext& pmd);
+
+    std::uint64_t rx_dropped() const { return rx_dropped_; }
+
+    kern::PhysicalDevice& nic() { return nic_; }
+
+private:
+    kern::PhysicalDevice& nic_;
+    Mempool& pool_;
+    std::vector<std::deque<net::Packet>> queues_;
+    std::uint64_t rx_dropped_ = 0;
+    static constexpr std::size_t kQueueDepth = 4096;
+};
+
+} // namespace ovsx::dpdk

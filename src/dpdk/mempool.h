@@ -1,0 +1,56 @@
+// DPDK-style mbuf mempool: a fixed-size, preallocated pool of packet
+// buffers carved out of "hugepage" memory. Part of what makes OVS-DPDK
+// heavyweight to deploy (§2.2.1: strict system requirements, dedicated
+// memory) and fast to run.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+namespace ovsx::dpdk {
+
+struct Mbuf {
+    std::uint32_t index = 0; // position in the pool
+    std::uint32_t len = 0;
+    std::uint8_t* data = nullptr;
+};
+
+class Mempool {
+public:
+    Mempool(std::uint32_t count, std::uint32_t buf_size)
+        : count_(count), buf_size_(buf_size),
+          memory_(static_cast<std::size_t>(count) * buf_size)
+    {
+        if (count == 0 || buf_size < 128) throw std::invalid_argument("Mempool: bad geometry");
+        free_.reserve(count);
+        for (std::uint32_t i = 0; i < count; ++i) free_.push_back(count - 1 - i);
+    }
+
+    std::uint32_t capacity() const { return count_; }
+    std::uint32_t available() const { return static_cast<std::uint32_t>(free_.size()); }
+    std::uint32_t buf_size() const { return buf_size_; }
+
+    std::optional<Mbuf> alloc()
+    {
+        if (free_.empty()) return std::nullopt;
+        const std::uint32_t idx = free_.back();
+        free_.pop_back();
+        return Mbuf{idx, 0, memory_.data() + static_cast<std::size_t>(idx) * buf_size_};
+    }
+
+    void free(const Mbuf& mbuf)
+    {
+        if (mbuf.index >= count_) throw std::out_of_range("Mempool: bad mbuf");
+        free_.push_back(mbuf.index);
+    }
+
+private:
+    std::uint32_t count_;
+    std::uint32_t buf_size_;
+    std::vector<std::uint8_t> memory_;
+    std::vector<std::uint32_t> free_;
+};
+
+} // namespace ovsx::dpdk

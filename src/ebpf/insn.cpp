@@ -1,0 +1,118 @@
+#include "ebpf/insn.h"
+
+namespace ovsx::ebpf {
+
+const char* op_name(Op op)
+{
+    switch (op) {
+    case Op::AddReg: return "add";
+    case Op::AddImm: return "addi";
+    case Op::SubReg: return "sub";
+    case Op::SubImm: return "subi";
+    case Op::MulReg: return "mul";
+    case Op::MulImm: return "muli";
+    case Op::DivReg: return "div";
+    case Op::DivImm: return "divi";
+    case Op::ModReg: return "mod";
+    case Op::ModImm: return "modi";
+    case Op::AndReg: return "and";
+    case Op::AndImm: return "andi";
+    case Op::OrReg: return "or";
+    case Op::OrImm: return "ori";
+    case Op::XorReg: return "xor";
+    case Op::XorImm: return "xori";
+    case Op::LshReg: return "lsh";
+    case Op::LshImm: return "lshi";
+    case Op::RshReg: return "rsh";
+    case Op::RshImm: return "rshi";
+    case Op::ArshImm: return "arshi";
+    case Op::Neg: return "neg";
+    case Op::MovReg: return "mov";
+    case Op::MovImm: return "movi";
+    case Op::Mov32Reg: return "mov32";
+    case Op::Mov32Imm: return "mov32i";
+    case Op::Add32Reg: return "add32";
+    case Op::Add32Imm: return "add32i";
+    case Op::And32Imm: return "and32i";
+    case Op::Be16: return "be16";
+    case Op::Be32: return "be32";
+    case Op::Be64: return "be64";
+    case Op::LdxB: return "ldxb";
+    case Op::LdxH: return "ldxh";
+    case Op::LdxW: return "ldxw";
+    case Op::LdxDW: return "ldxdw";
+    case Op::StxB: return "stxb";
+    case Op::StxH: return "stxh";
+    case Op::StxW: return "stxw";
+    case Op::StxDW: return "stxdw";
+    case Op::StB: return "stb";
+    case Op::StH: return "sth";
+    case Op::StW: return "stw";
+    case Op::StDW: return "stdw";
+    case Op::LoadMapFd: return "ldmapfd";
+    case Op::Ja: return "ja";
+    case Op::JeqReg: return "jeq";
+    case Op::JeqImm: return "jeqi";
+    case Op::JneReg: return "jne";
+    case Op::JneImm: return "jnei";
+    case Op::JgtReg: return "jgt";
+    case Op::JgtImm: return "jgti";
+    case Op::JgeReg: return "jge";
+    case Op::JgeImm: return "jgei";
+    case Op::JltReg: return "jlt";
+    case Op::JltImm: return "jlti";
+    case Op::JleReg: return "jle";
+    case Op::JleImm: return "jlei";
+    case Op::JsgtImm: return "jsgti";
+    case Op::JsetImm: return "jseti";
+    case Op::Call: return "call";
+    case Op::Exit: return "exit";
+    }
+    return "?";
+}
+
+bool is_load(Op op)
+{
+    return op == Op::LdxB || op == Op::LdxH || op == Op::LdxW || op == Op::LdxDW;
+}
+
+bool is_store(Op op)
+{
+    switch (op) {
+    case Op::StxB: case Op::StxH: case Op::StxW: case Op::StxDW:
+    case Op::StB: case Op::StH: case Op::StW: case Op::StDW:
+        return true;
+    default:
+        return false;
+    }
+}
+
+int access_size(Op op)
+{
+    switch (op) {
+    case Op::LdxB: case Op::StxB: case Op::StB: return 1;
+    case Op::LdxH: case Op::StxH: case Op::StH: return 2;
+    case Op::LdxW: case Op::StxW: case Op::StW: return 4;
+    case Op::LdxDW: case Op::StxDW: case Op::StDW: return 8;
+    default: return 0;
+    }
+}
+
+bool is_jump(Op op)
+{
+    switch (op) {
+    case Op::Ja:
+    case Op::JeqReg: case Op::JeqImm:
+    case Op::JneReg: case Op::JneImm:
+    case Op::JgtReg: case Op::JgtImm:
+    case Op::JgeReg: case Op::JgeImm:
+    case Op::JltReg: case Op::JltImm:
+    case Op::JleReg: case Op::JleImm:
+    case Op::JsgtImm: case Op::JsetImm:
+        return true;
+    default:
+        return false;
+    }
+}
+
+} // namespace ovsx::ebpf

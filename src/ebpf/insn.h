@@ -1,0 +1,92 @@
+// eBPF instruction set (a faithful subset).
+//
+// The encoding is simplified relative to the kernel's (no dual-slot
+// LD_IMM64; `imm` is 64-bit wide) but the semantics — 11 registers,
+// 512-byte stack, ALU64/ALU32, sized loads/stores, forward branches,
+// helper calls — mirror the real ISA closely enough that every program
+// in this repository could be mechanically translated to kernel eBPF.
+#pragma once
+
+#include <cstdint>
+
+namespace ovsx::ebpf {
+
+// Register file: r0 = return value, r1..r5 = arguments (clobbered by
+// calls), r6..r9 = callee-saved, r10 = read-only frame pointer.
+inline constexpr int R0 = 0, R1 = 1, R2 = 2, R3 = 3, R4 = 4, R5 = 5;
+inline constexpr int R6 = 6, R7 = 7, R8 = 8, R9 = 9, R10 = 10;
+inline constexpr int kNumRegs = 11;
+inline constexpr int kStackSize = 512;
+
+enum class Op : std::uint8_t {
+    // ALU, 64-bit: dst = dst <op> (reg ? src : imm)
+    AddReg, AddImm,
+    SubReg, SubImm,
+    MulReg, MulImm,
+    DivReg, DivImm, // division by zero yields 0, as in the kernel
+    ModReg, ModImm,
+    AndReg, AndImm,
+    OrReg, OrImm,
+    XorReg, XorImm,
+    LshReg, LshImm,
+    RshReg, RshImm,
+    ArshImm,
+    Neg,
+    MovReg, MovImm,
+    // ALU, 32-bit (upper 32 bits zeroed)
+    Mov32Reg, Mov32Imm,
+    Add32Reg, Add32Imm,
+    And32Imm,
+    // Endianness: dst = htobe{16,32,64}(dst)
+    Be16, Be32, Be64,
+    // Memory: Ldx* dst = *(size*)(src + off); Stx* *(size*)(dst + off) = src;
+    // St* *(size*)(dst + off) = imm
+    LdxB, LdxH, LdxW, LdxDW,
+    StxB, StxH, StxW, StxDW,
+    StB, StH, StW, StDW,
+    // Map handle load: dst = map[imm] from the program's fd table
+    LoadMapFd,
+    // Branches (forward-only, enforced by the verifier): pc += off when taken
+    Ja,
+    JeqReg, JeqImm,
+    JneReg, JneImm,
+    JgtReg, JgtImm,   // unsigned >
+    JgeReg, JgeImm,   // unsigned >=
+    JltReg, JltImm,   // unsigned <
+    JleReg, JleImm,   // unsigned <=
+    JsgtImm,          // signed >
+    JsetImm,          // dst & imm
+    Call, // helper call, imm = HelperId
+    Exit,
+};
+
+enum class HelperId : std::int64_t {
+    MapLookup = 1,
+    MapUpdate = 2,
+    MapDelete = 3,
+    KtimeGetNs = 5,
+    GetPrandomU32 = 7,
+    CsumDiff = 28,
+    XdpAdjustHead = 44,
+    RedirectMap = 51,
+};
+
+struct Insn {
+    Op op{};
+    std::uint8_t dst = 0;
+    std::uint8_t src = 0;
+    std::int16_t off = 0;
+    std::int64_t imm = 0;
+};
+
+const char* op_name(Op op);
+
+// True for instructions that read memory through `src` / write through `dst`.
+bool is_load(Op op);
+bool is_store(Op op);
+// Access width in bytes for load/store ops, 0 otherwise.
+int access_size(Op op);
+// True for conditional or unconditional jumps.
+bool is_jump(Op op);
+
+} // namespace ovsx::ebpf

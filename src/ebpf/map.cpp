@@ -1,0 +1,104 @@
+#include "ebpf/map.h"
+
+#include <stdexcept>
+
+namespace ovsx::ebpf {
+
+const char* to_string(MapType t)
+{
+    switch (t) {
+    case MapType::Hash: return "hash";
+    case MapType::Array: return "array";
+    case MapType::DevMap: return "devmap";
+    case MapType::XskMap: return "xskmap";
+    }
+    return "?";
+}
+
+std::size_t Map::VecHash::operator()(const std::vector<std::uint8_t>& v) const
+{
+    std::size_t h = 1469598103934665603ULL;
+    for (auto b : v) {
+        h ^= b;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+Map::Map(MapType type, std::string name, std::uint32_t key_size, std::uint32_t value_size,
+         std::uint32_t max_entries)
+    : type_(type), name_(std::move(name)), key_size_(key_size), value_size_(value_size),
+      max_entries_(max_entries)
+{
+    if (key_size_ == 0 || value_size_ == 0 || max_entries_ == 0) {
+        throw std::invalid_argument("Map: zero-sized key/value/capacity");
+    }
+    if (type_ == MapType::Array || type_ == MapType::DevMap || type_ == MapType::XskMap) {
+        if (key_size_ != 4) throw std::invalid_argument("Map: array-family maps need u32 keys");
+        array_.assign(static_cast<std::size_t>(max_entries_) * value_size_, 0);
+    }
+}
+
+std::size_t Map::size() const
+{
+    if (type_ == MapType::Hash) return hash_.size();
+    return max_entries_;
+}
+
+std::uint8_t* Map::lookup(std::span<const std::uint8_t> key)
+{
+    if (key.size() != key_size_) return nullptr;
+    if (type_ == MapType::Hash) {
+        std::vector<std::uint8_t> k(key.begin(), key.end());
+        auto it = hash_.find(k);
+        // Model open-hashing probe count as 1 + small load-factor effect.
+        last_probes_ = 1;
+        if (it == hash_.end()) return nullptr;
+        return it->second.get();
+    }
+    std::uint32_t idx;
+    std::memcpy(&idx, key.data(), sizeof idx);
+    last_probes_ = 1;
+    if (idx >= max_entries_) return nullptr;
+    return array_.data() + static_cast<std::size_t>(idx) * value_size_;
+}
+
+bool Map::update(std::span<const std::uint8_t> key, std::span<const std::uint8_t> value)
+{
+    if (key.size() != key_size_ || value.size() != value_size_) return false;
+    if (type_ == MapType::Hash) {
+        std::vector<std::uint8_t> k(key.begin(), key.end());
+        auto it = hash_.find(k);
+        if (it != hash_.end()) {
+            std::memcpy(it->second.get(), value.data(), value_size_);
+            return true;
+        }
+        if (hash_.size() >= max_entries_) return false;
+        auto box = std::make_unique<std::uint8_t[]>(value_size_);
+        std::memcpy(box.get(), value.data(), value_size_);
+        hash_.emplace(std::move(k), std::move(box));
+        return true;
+    }
+    std::uint32_t idx;
+    std::memcpy(&idx, key.data(), sizeof idx);
+    if (idx >= max_entries_) return false;
+    std::memcpy(array_.data() + static_cast<std::size_t>(idx) * value_size_, value.data(),
+                value_size_);
+    return true;
+}
+
+bool Map::erase(std::span<const std::uint8_t> key)
+{
+    if (key.size() != key_size_) return false;
+    if (type_ == MapType::Hash) {
+        std::vector<std::uint8_t> k(key.begin(), key.end());
+        return hash_.erase(k) > 0;
+    }
+    std::uint32_t idx;
+    std::memcpy(&idx, key.data(), sizeof idx);
+    if (idx >= max_entries_) return false;
+    std::memset(array_.data() + static_cast<std::size_t>(idx) * value_size_, 0, value_size_);
+    return true;
+}
+
+} // namespace ovsx::ebpf

@@ -1,0 +1,87 @@
+// eBPF maps: the only mutable state an eBPF program may keep.
+//
+// Hash and Array maps hold opaque byte values; DevMap and XskMap hold
+// redirect targets that the simulated kernel interprets (an interface
+// index, or an AF_XDP socket binding).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ovsx::ebpf {
+
+enum class MapType { Hash, Array, DevMap, XskMap };
+
+const char* to_string(MapType t);
+
+class Map {
+public:
+    Map(MapType type, std::string name, std::uint32_t key_size, std::uint32_t value_size,
+        std::uint32_t max_entries);
+
+    MapType type() const { return type_; }
+    const std::string& name() const { return name_; }
+    std::uint32_t key_size() const { return key_size_; }
+    std::uint32_t value_size() const { return value_size_; }
+    std::uint32_t max_entries() const { return max_entries_; }
+    std::size_t size() const;
+
+    // Returns a pointer to the stored value, or nullptr when absent.
+    // The pointer stays valid until the entry is deleted or the map is
+    // destroyed (values are stable heap allocations).
+    std::uint8_t* lookup(std::span<const std::uint8_t> key);
+
+    // Inserts or replaces. Returns false when the map is full or the
+    // key/value sizes mismatch.
+    bool update(std::span<const std::uint8_t> key, std::span<const std::uint8_t> value);
+
+    bool erase(std::span<const std::uint8_t> key);
+
+    // Convenience typed accessors for fixed-width keys/values.
+    template <typename K, typename V> bool update_kv(const K& key, const V& value)
+    {
+        static_assert(std::is_trivially_copyable_v<K> && std::is_trivially_copyable_v<V>);
+        return update({reinterpret_cast<const std::uint8_t*>(&key), sizeof key},
+                      {reinterpret_cast<const std::uint8_t*>(&value), sizeof value});
+    }
+    template <typename V, typename K> std::optional<V> lookup_kv(const K& key)
+    {
+        static_assert(std::is_trivially_copyable_v<K> && std::is_trivially_copyable_v<V>);
+        auto* p = lookup({reinterpret_cast<const std::uint8_t*>(&key), sizeof key});
+        if (!p) return std::nullopt;
+        V v;
+        std::memcpy(&v, p, sizeof v);
+        return v;
+    }
+
+    // Number of hash-bucket probes performed by the last lookup; feeds
+    // the interpreter's cost accounting.
+    std::uint32_t last_probes() const { return last_probes_; }
+
+private:
+    struct VecHash {
+        std::size_t operator()(const std::vector<std::uint8_t>& v) const;
+    };
+
+    MapType type_;
+    std::string name_;
+    std::uint32_t key_size_;
+    std::uint32_t value_size_;
+    std::uint32_t max_entries_;
+    std::uint32_t last_probes_ = 1;
+
+    // Hash/DevMap/XskMap storage: values boxed for pointer stability.
+    std::unordered_map<std::vector<std::uint8_t>, std::unique_ptr<std::uint8_t[]>, VecHash> hash_;
+    // Array storage: one contiguous allocation, always fully populated.
+    std::vector<std::uint8_t> array_;
+};
+
+using MapPtr = std::shared_ptr<Map>;
+
+} // namespace ovsx::ebpf

@@ -1,0 +1,58 @@
+#include "ebpf/program.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace ovsx::ebpf {
+
+std::string Program::disassemble() const
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < insns.size(); ++i) {
+        const Insn& in = insns[i];
+        os << i << ": " << op_name(in.op) << " dst=r" << int(in.dst) << " src=r" << int(in.src)
+           << " off=" << in.off << " imm=" << in.imm << "\n";
+    }
+    return os.str();
+}
+
+int ProgramBuilder::add_map(MapPtr map)
+{
+    prog_.maps.push_back(std::move(map));
+    return static_cast<int>(prog_.maps.size()) - 1;
+}
+
+ProgramBuilder& ProgramBuilder::label(const std::string& name)
+{
+    auto [it, inserted] = labels_.emplace(name, static_cast<int>(prog_.insns.size()));
+    if (!inserted) throw std::invalid_argument("duplicate label: " + name);
+    return *this;
+}
+
+ProgramBuilder& ProgramBuilder::emit(Insn insn)
+{
+    prog_.insns.push_back(insn);
+    return *this;
+}
+
+ProgramBuilder& ProgramBuilder::emit_jump(Insn insn, const std::string& target)
+{
+    fixups_.emplace_back(static_cast<int>(prog_.insns.size()), target);
+    prog_.insns.push_back(insn);
+    return *this;
+}
+
+Program ProgramBuilder::build()
+{
+    for (const auto& [idx, target] : fixups_) {
+        auto it = labels_.find(target);
+        if (it == labels_.end()) throw std::invalid_argument("unresolved label: " + target);
+        // eBPF branch semantics: pc advances past the insn, then += off.
+        prog_.insns[static_cast<std::size_t>(idx)].off =
+            static_cast<std::int16_t>(it->second - idx - 1);
+    }
+    fixups_.clear();
+    return prog_;
+}
+
+} // namespace ovsx::ebpf

@@ -1,0 +1,124 @@
+// eBPF program container and a label-aware assembler.
+//
+// ProgramBuilder plays the role of clang/LLVM in Figure 4's workflow:
+// it produces the instruction stream that the verifier then checks and
+// the VM executes.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ebpf/insn.h"
+#include "ebpf/map.h"
+
+namespace ovsx::ebpf {
+
+struct Program {
+    std::string name;
+    std::vector<Insn> insns;
+    std::vector<MapPtr> maps; // fd table: LoadMapFd imm indexes here
+
+    std::string disassemble() const;
+};
+
+class ProgramBuilder {
+public:
+    explicit ProgramBuilder(std::string name = "prog") { prog_.name = std::move(name); }
+
+    // Registers a map and returns its fd for use with load_map_fd().
+    int add_map(MapPtr map);
+
+    // ---- ALU -----------------------------------------------------------
+    ProgramBuilder& mov_imm(int dst, std::int64_t imm) { return emit({Op::MovImm, u8(dst), 0, 0, imm}); }
+    ProgramBuilder& mov_reg(int dst, int src) { return emit({Op::MovReg, u8(dst), u8(src), 0, 0}); }
+    ProgramBuilder& add_imm(int dst, std::int64_t imm) { return emit({Op::AddImm, u8(dst), 0, 0, imm}); }
+    ProgramBuilder& add_reg(int dst, int src) { return emit({Op::AddReg, u8(dst), u8(src), 0, 0}); }
+    ProgramBuilder& sub_reg(int dst, int src) { return emit({Op::SubReg, u8(dst), u8(src), 0, 0}); }
+    ProgramBuilder& and_imm(int dst, std::int64_t imm) { return emit({Op::AndImm, u8(dst), 0, 0, imm}); }
+    ProgramBuilder& or_reg(int dst, int src) { return emit({Op::OrReg, u8(dst), u8(src), 0, 0}); }
+    ProgramBuilder& xor_reg(int dst, int src) { return emit({Op::XorReg, u8(dst), u8(src), 0, 0}); }
+    ProgramBuilder& lsh_imm(int dst, std::int64_t imm) { return emit({Op::LshImm, u8(dst), 0, 0, imm}); }
+    ProgramBuilder& rsh_imm(int dst, std::int64_t imm) { return emit({Op::RshImm, u8(dst), 0, 0, imm}); }
+    ProgramBuilder& mul_imm(int dst, std::int64_t imm) { return emit({Op::MulImm, u8(dst), 0, 0, imm}); }
+    ProgramBuilder& be16(int dst) { return emit({Op::Be16, u8(dst), 0, 0, 0}); }
+    ProgramBuilder& be32(int dst) { return emit({Op::Be32, u8(dst), 0, 0, 0}); }
+
+    // ---- memory ----------------------------------------------------------
+    ProgramBuilder& ldx(Op op, int dst, int src, std::int16_t off)
+    {
+        return emit({op, u8(dst), u8(src), off, 0});
+    }
+    ProgramBuilder& ldxb(int dst, int src, std::int16_t off) { return ldx(Op::LdxB, dst, src, off); }
+    ProgramBuilder& ldxh(int dst, int src, std::int16_t off) { return ldx(Op::LdxH, dst, src, off); }
+    ProgramBuilder& ldxw(int dst, int src, std::int16_t off) { return ldx(Op::LdxW, dst, src, off); }
+    ProgramBuilder& ldxdw(int dst, int src, std::int16_t off) { return ldx(Op::LdxDW, dst, src, off); }
+    ProgramBuilder& stxb(int dst, std::int16_t off, int src) { return emit({Op::StxB, u8(dst), u8(src), off, 0}); }
+    ProgramBuilder& stxh(int dst, std::int16_t off, int src) { return emit({Op::StxH, u8(dst), u8(src), off, 0}); }
+    ProgramBuilder& stxw(int dst, std::int16_t off, int src) { return emit({Op::StxW, u8(dst), u8(src), off, 0}); }
+    ProgramBuilder& stxdw(int dst, std::int16_t off, int src) { return emit({Op::StxDW, u8(dst), u8(src), off, 0}); }
+    ProgramBuilder& stw(int dst, std::int16_t off, std::int64_t imm) { return emit({Op::StW, u8(dst), 0, off, imm}); }
+    ProgramBuilder& stdw(int dst, std::int16_t off, std::int64_t imm) { return emit({Op::StDW, u8(dst), 0, off, imm}); }
+
+    ProgramBuilder& load_map_fd(int dst, int fd) { return emit({Op::LoadMapFd, u8(dst), 0, 0, fd}); }
+
+    // ---- control flow ------------------------------------------------------
+    // Jump targets are labels; offsets are resolved by build().
+    ProgramBuilder& label(const std::string& name);
+    ProgramBuilder& ja(const std::string& target) { return emit_jump({Op::Ja, 0, 0, 0, 0}, target); }
+    ProgramBuilder& jeq_imm(int dst, std::int64_t imm, const std::string& target)
+    {
+        return emit_jump({Op::JeqImm, u8(dst), 0, 0, imm}, target);
+    }
+    ProgramBuilder& jne_imm(int dst, std::int64_t imm, const std::string& target)
+    {
+        return emit_jump({Op::JneImm, u8(dst), 0, 0, imm}, target);
+    }
+    ProgramBuilder& jeq_reg(int dst, int src, const std::string& target)
+    {
+        return emit_jump({Op::JeqReg, u8(dst), u8(src), 0, 0}, target);
+    }
+    ProgramBuilder& jne_reg(int dst, int src, const std::string& target)
+    {
+        return emit_jump({Op::JneReg, u8(dst), u8(src), 0, 0}, target);
+    }
+    ProgramBuilder& jgt_reg(int dst, int src, const std::string& target)
+    {
+        return emit_jump({Op::JgtReg, u8(dst), u8(src), 0, 0}, target);
+    }
+    ProgramBuilder& jgt_imm(int dst, std::int64_t imm, const std::string& target)
+    {
+        return emit_jump({Op::JgtImm, u8(dst), 0, 0, imm}, target);
+    }
+    ProgramBuilder& jlt_imm(int dst, std::int64_t imm, const std::string& target)
+    {
+        return emit_jump({Op::JltImm, u8(dst), 0, 0, imm}, target);
+    }
+    ProgramBuilder& jset_imm(int dst, std::int64_t imm, const std::string& target)
+    {
+        return emit_jump({Op::JsetImm, u8(dst), 0, 0, imm}, target);
+    }
+
+    ProgramBuilder& call(HelperId helper)
+    {
+        return emit({Op::Call, 0, 0, 0, static_cast<std::int64_t>(helper)});
+    }
+    ProgramBuilder& exit() { return emit({Op::Exit, 0, 0, 0, 0}); }
+
+    // Emits a raw instruction (escape hatch for tests).
+    ProgramBuilder& emit(Insn insn);
+
+    // Resolves labels and returns the finished program. Throws on
+    // unresolved or duplicate labels.
+    Program build();
+
+private:
+    static std::uint8_t u8(int r) { return static_cast<std::uint8_t>(r); }
+    ProgramBuilder& emit_jump(Insn insn, const std::string& target);
+
+    Program prog_;
+    std::map<std::string, int> labels_;                 // label -> insn index
+    std::vector<std::pair<int, std::string>> fixups_;   // insn index -> label
+};
+
+} // namespace ovsx::ebpf

@@ -1,0 +1,73 @@
+// Canned XDP programs used throughout the repository.
+//
+// These are the actual bytecode programs our benches execute per packet:
+// the trivial OVS AF_XDP hook ("send everything to userspace"), the
+// Table 5 complexity ladder (tasks A-D), and the §3.5 extension examples
+// (L4 load balancer, container bypass, traffic steering).
+#pragma once
+
+#include <cstdint>
+
+#include "ebpf/program.h"
+#include "ebpf/xdp.h"
+
+namespace ovsx::ebpf {
+
+// Byte offsets within an untagged Ethernet/IPv4 frame, as used by the
+// generated parsers.
+inline constexpr int kOffEthDst = 0;
+inline constexpr int kOffEthSrc = 6;
+inline constexpr int kOffEthType = 12;
+inline constexpr int kOffIp = 14;
+inline constexpr int kOffIpProto = kOffIp + 9;
+inline constexpr int kOffIpSrc = kOffIp + 12;
+inline constexpr int kOffIpDst = kOffIp + 16;
+inline constexpr int kOffL4 = kOffIp + 20;
+// EtherType 0x0800 as it appears when loaded little-endian from the wire.
+inline constexpr std::int64_t kEthIpv4LE = 0x0008;
+
+// r0 = XDP_PASS: hand every packet to the kernel stack.
+Program xdp_pass_all();
+
+// Table 5 task A: drop every packet without reading it.
+Program xdp_drop_all();
+
+// Table 5 task B: validate Ethernet/IPv4 headers, then drop.
+Program xdp_parse_drop();
+
+// Table 5 task C: parse, look the dst MAC up in an L2 hash map, drop.
+// `l2_table` must be a Hash map with 8-byte keys (MAC zero-padded) and
+// 4-byte values.
+Program xdp_parse_lookup_drop(MapPtr l2_table);
+
+// Table 5 task D: parse, swap src/dst MAC, transmit back out (XDP_TX).
+Program xdp_swap_macs_tx();
+
+// The OVS AF_XDP hook program: redirect every packet to the AF_XDP
+// socket bound to this rx queue; fall back to `fallback_action`
+// (usually Pass) when no socket is bound. `xsk_map` is an XskMap keyed
+// by rx queue index.
+Program xdp_redirect_to_xsk(MapPtr xsk_map, XdpAction fallback_action = XdpAction::Pass);
+
+// §3.4 path C: container bypass. Looks the IPv4 destination up in
+// `ip_table` (Hash, key u32 daddr, value u32 devmap index); on hit
+// redirects straight to the veth via `dev_map`, otherwise redirects to
+// the AF_XDP socket for this queue (userspace OVS handles it).
+Program xdp_container_bypass(MapPtr ip_table, MapPtr dev_map, MapPtr xsk_map);
+
+// §3.5 example: L4 load balancer in XDP. Packets matching the UDP dst
+// port `vip_port` get their IPv4 destination rewritten from `backend`
+// slot (Array, value u32 daddr) and bounce out with XDP_TX; everything
+// else goes to the AF_XDP socket.
+Program xdp_l4_lb(std::uint16_t vip_port, MapPtr backends, MapPtr xsk_map);
+
+// Fig. 6 discussion: steering. TCP packets to `mgmt_port` (e.g. ssh or
+// OpenFlow) take XDP_PASS into the kernel stack; the rest go to AF_XDP.
+Program xdp_steer_mgmt_to_stack(std::uint16_t mgmt_port, MapPtr xsk_map);
+
+// Unconditional device redirect: every packet goes out the device in
+// `dev_map` slot `slot` (the veth/NIC hop of the §3.4 "path C" chain).
+Program xdp_redirect_to_dev(MapPtr dev_map, std::uint32_t slot,
+                            XdpAction fallback_action = XdpAction::Drop);
+
+} // namespace ovsx::ebpf

@@ -1,0 +1,30 @@
+// Static verifier for XDP programs.
+//
+// Models the safety regime of the kernel verifier in the era the paper
+// describes (§2.2.2): bounded program size, forward-only branches (no
+// loops), typed register tracking, mandatory packet bounds proofs before
+// packet memory access, and null checks before dereferencing map lookup
+// results. These restrictions are exactly why the paper's all-eBPF
+// datapath could not express the megaflow cache.
+#pragma once
+
+#include <string>
+
+#include "ebpf/program.h"
+
+namespace ovsx::ebpf {
+
+inline constexpr int kMaxInsns = 4096;
+
+struct VerifyResult {
+    bool ok = false;
+    std::string error;      // empty when ok
+    int insns = 0;          // program length
+    int states_explored = 0;
+
+    explicit operator bool() const { return ok; }
+};
+
+VerifyResult verify(const Program& prog);
+
+} // namespace ovsx::ebpf

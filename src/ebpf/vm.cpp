@@ -1,0 +1,351 @@
+#include "ebpf/vm.h"
+
+#include <cstring>
+#include <vector>
+
+namespace ovsx::ebpf {
+
+const char* to_string(XdpAction a)
+{
+    switch (a) {
+    case XdpAction::Aborted: return "XDP_ABORTED";
+    case XdpAction::Drop: return "XDP_DROP";
+    case XdpAction::Pass: return "XDP_PASS";
+    case XdpAction::Tx: return "XDP_TX";
+    case XdpAction::Redirect: return "XDP_REDIRECT";
+    }
+    return "?";
+}
+
+namespace {
+
+struct Region {
+    std::uint64_t begin;
+    std::uint64_t end;
+    bool writable;
+};
+
+struct Fault {
+    std::string msg;
+};
+
+class Machine {
+public:
+    Machine(const Program& prog, net::Packet& pkt, std::uint32_t ifindex, std::uint32_t queue,
+            const sim::CostModel& costs)
+        : prog_(prog), pkt_(pkt), costs_(costs)
+    {
+        md_.ingress_ifindex = ifindex;
+        md_.rx_queue_index = queue;
+        sync_packet_regions();
+        regions_.push_back({addr_of(&md_), addr_of(&md_) + sizeof md_, false});
+        regions_.push_back({addr_of(stack_), addr_of(stack_) + sizeof stack_, true});
+        regs_[R1] = addr_of(&md_);
+        regs_[R10] = addr_of(stack_) + kStackSize; // fp points one past the stack top
+    }
+
+    RunResult run();
+
+private:
+    static std::uint64_t addr_of(const void* p)
+    {
+        return reinterpret_cast<std::uint64_t>(p);
+    }
+
+    void sync_packet_regions()
+    {
+        md_.data = addr_of(pkt_.data());
+        md_.data_end = md_.data + pkt_.size();
+        pkt_region_ = {md_.data, md_.data_end, true};
+    }
+
+    void check(std::uint64_t addr, int size, bool write)
+    {
+        if (addr >= pkt_region_.begin && addr + static_cast<std::uint64_t>(size) <= pkt_region_.end) {
+            touched_packet_ = true;
+            return;
+        }
+        for (const auto& r : regions_) {
+            if (addr >= r.begin && addr + static_cast<std::uint64_t>(size) <= r.end) {
+                if (write && !r.writable) throw Fault{"write to read-only region"};
+                return;
+            }
+        }
+        throw Fault{"out-of-bounds memory access"};
+    }
+
+    std::uint64_t load(std::uint64_t addr, int size)
+    {
+        check(addr, size, false);
+        std::uint64_t v = 0;
+        std::memcpy(&v, reinterpret_cast<const void*>(addr), static_cast<std::size_t>(size));
+        return v;
+    }
+
+    void store(std::uint64_t addr, int size, std::uint64_t v)
+    {
+        check(addr, size, true);
+        std::memcpy(reinterpret_cast<void*>(addr), &v, static_cast<std::size_t>(size));
+    }
+
+    Map* map_from_handle(std::uint64_t handle)
+    {
+        for (const auto& m : prog_.maps) {
+            if (addr_of(m.get()) == handle) return m.get();
+        }
+        throw Fault{"bad map handle"};
+    }
+
+    std::span<const std::uint8_t> key_span(std::uint64_t addr, std::uint32_t len)
+    {
+        check(addr, static_cast<int>(len), false);
+        return {reinterpret_cast<const std::uint8_t*>(addr), len};
+    }
+
+    void do_call(HelperId helper, RunResult& res)
+    {
+        ++res.helper_calls;
+        res.cost += costs_.ebpf_helper_call;
+        switch (helper) {
+        case HelperId::MapLookup: {
+            Map* m = map_from_handle(regs_[R1]);
+            ++res.map_lookups;
+            res.cost += costs_.ebpf_map_lookup;
+            auto* v = m->lookup(key_span(regs_[R2], m->key_size()));
+            if (v) {
+                regs_[R0] = addr_of(v);
+                regions_.push_back({addr_of(v), addr_of(v) + m->value_size(), true});
+            } else {
+                regs_[R0] = 0;
+            }
+            break;
+        }
+        case HelperId::MapUpdate: {
+            Map* m = map_from_handle(regs_[R1]);
+            res.cost += costs_.ebpf_map_lookup;
+            const bool ok = m->update(key_span(regs_[R2], m->key_size()),
+                                      key_span(regs_[R3], m->value_size()));
+            regs_[R0] = ok ? 0 : static_cast<std::uint64_t>(-1);
+            break;
+        }
+        case HelperId::MapDelete: {
+            Map* m = map_from_handle(regs_[R1]);
+            res.cost += costs_.ebpf_map_lookup;
+            regs_[R0] = m->erase(key_span(regs_[R2], m->key_size())) ? 0
+                                                                     : static_cast<std::uint64_t>(-1);
+            break;
+        }
+        case HelperId::XdpAdjustHead: {
+            const auto delta = static_cast<std::int64_t>(regs_[R2]);
+            try {
+                if (delta < 0) {
+                    pkt_.push_front(static_cast<std::size_t>(-delta));
+                } else if (delta > 0) {
+                    if (static_cast<std::size_t>(delta) >= pkt_.size()) throw Fault{"adjust_head"};
+                    pkt_.pull_front(static_cast<std::size_t>(delta));
+                }
+                sync_packet_regions();
+                regs_[R0] = 0;
+            } catch (...) {
+                regs_[R0] = static_cast<std::uint64_t>(-1);
+            }
+            break;
+        }
+        case HelperId::RedirectMap: {
+            // Kernel semantics: returns XDP_REDIRECT when the slot holds a
+            // target, otherwise the `flags` argument (commonly XDP_ABORTED
+            // or XDP_PASS as a fallback action).
+            Map* m = map_from_handle(regs_[R1]);
+            const auto key = static_cast<std::uint32_t>(regs_[R2]);
+            std::uint32_t target = 0;
+            if (auto v = m->lookup_kv<std::uint32_t>(key)) target = *v;
+            if (target != 0) {
+                redirect_map_ = m;
+                redirect_key_ = key;
+                regs_[R0] = static_cast<std::uint64_t>(XdpAction::Redirect);
+            } else {
+                regs_[R0] = regs_[R3];
+            }
+            break;
+        }
+        case HelperId::KtimeGetNs:
+            regs_[R0] = 0;
+            break;
+        case HelperId::GetPrandomU32:
+            prandom_ = prandom_ * 6364136223846793005ULL + 1442695040888963407ULL;
+            regs_[R0] = static_cast<std::uint32_t>(prandom_ >> 33);
+            break;
+        case HelperId::CsumDiff: {
+            // Simplified: 1's-complement sum over the `to` buffer.
+            std::uint64_t addr = regs_[R3];
+            const auto len = static_cast<std::uint32_t>(regs_[R4]);
+            check(addr, static_cast<int>(len), false);
+            std::uint32_t sum = static_cast<std::uint32_t>(regs_[R5]);
+            const auto* p = reinterpret_cast<const std::uint8_t*>(addr);
+            for (std::uint32_t i = 0; i + 1 < len; i += 2) {
+                sum += (static_cast<std::uint32_t>(p[i]) << 8) | p[i + 1];
+            }
+            res.cost += costs_.csum(len);
+            regs_[R0] = sum;
+            break;
+        }
+        default:
+            throw Fault{"unknown helper"};
+        }
+    }
+
+    const Program& prog_;
+    net::Packet& pkt_;
+    const sim::CostModel& costs_;
+    XdpMd md_;
+    alignas(8) std::uint8_t stack_[kStackSize] = {};
+    std::uint64_t regs_[kNumRegs] = {};
+    Region pkt_region_{};
+    std::vector<Region> regions_;
+    Map* redirect_map_ = nullptr;
+    std::uint32_t redirect_key_ = 0;
+    bool touched_packet_ = false;
+    std::uint64_t prandom_ = 0x853c49e6748fea9bULL;
+};
+
+RunResult Machine::run()
+{
+    RunResult res;
+    const auto n = static_cast<std::int64_t>(prog_.insns.size());
+    std::int64_t pc = 0;
+    // Hard runtime bound: verified programs are loop-free so cannot
+    // exceed their own length, but unverified test programs might.
+    std::uint64_t budget = 1u << 20;
+
+    try {
+        while (true) {
+            if (pc < 0 || pc >= n) throw Fault{"pc out of bounds"};
+            if (res.insns >= budget) throw Fault{"instruction budget exceeded"};
+            const Insn& in = prog_.insns[static_cast<std::size_t>(pc)];
+            ++res.insns;
+            std::uint64_t& dst = regs_[in.dst];
+            const std::uint64_t src = regs_[in.src];
+            const auto imm = static_cast<std::uint64_t>(in.imm);
+
+            switch (in.op) {
+            case Op::AddReg: dst += src; break;
+            case Op::AddImm: dst += imm; break;
+            case Op::SubReg: dst -= src; break;
+            case Op::SubImm: dst -= imm; break;
+            case Op::MulReg: dst *= src; break;
+            case Op::MulImm: dst *= imm; break;
+            case Op::DivReg: dst = src ? dst / src : 0; break;
+            case Op::DivImm: dst = imm ? dst / imm : 0; break;
+            case Op::ModReg: dst = src ? dst % src : dst; break;
+            case Op::ModImm: dst = imm ? dst % imm : dst; break;
+            case Op::AndReg: dst &= src; break;
+            case Op::AndImm: dst &= imm; break;
+            case Op::OrReg: dst |= src; break;
+            case Op::OrImm: dst |= imm; break;
+            case Op::XorReg: dst ^= src; break;
+            case Op::XorImm: dst ^= imm; break;
+            case Op::LshReg: dst <<= (src & 63); break;
+            case Op::LshImm: dst <<= (imm & 63); break;
+            case Op::RshReg: dst >>= (src & 63); break;
+            case Op::RshImm: dst >>= (imm & 63); break;
+            case Op::ArshImm:
+                dst = static_cast<std::uint64_t>(static_cast<std::int64_t>(dst) >> (imm & 63));
+                break;
+            case Op::Neg: dst = static_cast<std::uint64_t>(-static_cast<std::int64_t>(dst)); break;
+            case Op::MovReg: dst = src; break;
+            case Op::MovImm: dst = imm; break;
+            case Op::Mov32Reg: dst = static_cast<std::uint32_t>(src); break;
+            case Op::Mov32Imm: dst = static_cast<std::uint32_t>(imm); break;
+            case Op::Add32Reg: dst = static_cast<std::uint32_t>(dst + src); break;
+            case Op::Add32Imm: dst = static_cast<std::uint32_t>(dst + imm); break;
+            case Op::And32Imm: dst = static_cast<std::uint32_t>(dst & imm); break;
+            case Op::Be16: {
+                const auto v = static_cast<std::uint16_t>(dst);
+                dst = static_cast<std::uint16_t>((v << 8) | (v >> 8));
+                break;
+            }
+            case Op::Be32: {
+                auto v = static_cast<std::uint32_t>(dst);
+                v = ((v & 0xffU) << 24) | ((v & 0xff00U) << 8) | ((v >> 8) & 0xff00U) | (v >> 24);
+                dst = v;
+                break;
+            }
+            case Op::Be64: {
+                std::uint64_t v = dst;
+                v = ((v & 0x00000000000000ffULL) << 56) | ((v & 0x000000000000ff00ULL) << 40) |
+                    ((v & 0x0000000000ff0000ULL) << 24) | ((v & 0x00000000ff000000ULL) << 8) |
+                    ((v & 0x000000ff00000000ULL) >> 8) | ((v & 0x0000ff0000000000ULL) >> 24) |
+                    ((v & 0x00ff000000000000ULL) >> 40) | (v >> 56);
+                dst = v;
+                break;
+            }
+            case Op::LdxB: dst = load(src + in.off, 1); break;
+            case Op::LdxH: dst = load(src + in.off, 2); break;
+            case Op::LdxW: dst = load(src + in.off, 4); break;
+            case Op::LdxDW: dst = load(src + in.off, 8); break;
+            case Op::StxB: store(dst + in.off, 1, src); break;
+            case Op::StxH: store(dst + in.off, 2, src); break;
+            case Op::StxW: store(dst + in.off, 4, src); break;
+            case Op::StxDW: store(dst + in.off, 8, src); break;
+            case Op::StB: store(dst + in.off, 1, imm); break;
+            case Op::StH: store(dst + in.off, 2, imm); break;
+            case Op::StW: store(dst + in.off, 4, imm); break;
+            case Op::StDW: store(dst + in.off, 8, imm); break;
+            case Op::LoadMapFd: {
+                const auto fd = static_cast<std::size_t>(in.imm);
+                if (fd >= prog_.maps.size()) throw Fault{"bad map fd"};
+                dst = addr_of(prog_.maps[fd].get());
+                break;
+            }
+            case Op::Ja: pc += in.off; break;
+            case Op::JeqReg: if (dst == src) pc += in.off; break;
+            case Op::JeqImm: if (dst == imm) pc += in.off; break;
+            case Op::JneReg: if (dst != src) pc += in.off; break;
+            case Op::JneImm: if (dst != imm) pc += in.off; break;
+            case Op::JgtReg: if (dst > src) pc += in.off; break;
+            case Op::JgtImm: if (dst > imm) pc += in.off; break;
+            case Op::JgeReg: if (dst >= src) pc += in.off; break;
+            case Op::JgeImm: if (dst >= imm) pc += in.off; break;
+            case Op::JltReg: if (dst < src) pc += in.off; break;
+            case Op::JltImm: if (dst < imm) pc += in.off; break;
+            case Op::JleReg: if (dst <= src) pc += in.off; break;
+            case Op::JleImm: if (dst <= imm) pc += in.off; break;
+            case Op::JsgtImm:
+                if (static_cast<std::int64_t>(dst) > in.imm) pc += in.off;
+                break;
+            case Op::JsetImm: if (dst & imm) pc += in.off; break;
+            case Op::Call:
+                do_call(static_cast<HelperId>(in.imm), res);
+                break;
+            case Op::Exit: {
+                res.ret = regs_[R0];
+                const auto code = static_cast<std::uint32_t>(regs_[R0]);
+                res.action = code <= 4 ? static_cast<XdpAction>(code) : XdpAction::Aborted;
+                res.redirect_map = redirect_map_;
+                res.redirect_key = redirect_key_;
+                res.touched_packet = touched_packet_;
+                res.cost += static_cast<sim::Nanos>(static_cast<double>(res.insns) *
+                                                    costs_.ebpf_insn);
+                return res;
+            }
+            }
+            ++pc;
+        }
+    } catch (const Fault& f) {
+        res.action = XdpAction::Aborted;
+        res.fault = f.msg;
+        res.cost += static_cast<sim::Nanos>(static_cast<double>(res.insns) * costs_.ebpf_insn);
+        return res;
+    }
+}
+
+} // namespace
+
+RunResult Vm::run_xdp(const Program& prog, net::Packet& pkt, std::uint32_t ifindex,
+                      std::uint32_t rx_queue)
+{
+    Machine m(prog, pkt, ifindex, rx_queue, costs_);
+    return m.run();
+}
+
+} // namespace ovsx::ebpf

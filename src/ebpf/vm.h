@@ -1,0 +1,47 @@
+// eBPF virtual machine (interpreter).
+//
+// Executes verified programs against a packet, with defence-in-depth
+// runtime bounds checks and per-instruction cost accounting that feeds
+// the virtual-time model (the "sandboxed bytecode runs slower than C"
+// effect from Fig. 2 / Takeaway #4).
+#pragma once
+
+#include <cstdint>
+
+#include "ebpf/program.h"
+#include "ebpf/xdp.h"
+#include "net/packet.h"
+#include "sim/costs.h"
+
+namespace ovsx::ebpf {
+
+struct RunResult {
+    XdpAction action = XdpAction::Aborted;
+    std::uint64_t ret = 0;            // raw r0
+    std::uint64_t insns = 0;          // instructions retired
+    std::uint64_t helper_calls = 0;
+    std::uint64_t map_lookups = 0;
+    bool touched_packet = false;      // program read/wrote packet bytes (cold-cache cost)
+    sim::Nanos cost = 0;              // virtual cost of this execution
+    // Valid when action == Redirect:
+    Map* redirect_map = nullptr;
+    std::uint32_t redirect_key = 0;
+    std::string fault; // non-empty when action == Aborted
+};
+
+class Vm {
+public:
+    explicit Vm(const sim::CostModel& costs = sim::CostModel::baseline()) : costs_(costs) {}
+
+    // Runs `prog` as an XDP program over `pkt`. The program may rewrite
+    // packet bytes and adjust the head (encap/decap). Programs should
+    // have passed verify(); the VM still re-checks memory at runtime and
+    // returns Aborted on any violation.
+    RunResult run_xdp(const Program& prog, net::Packet& pkt, std::uint32_t ifindex = 0,
+                      std::uint32_t rx_queue = 0);
+
+private:
+    const sim::CostModel& costs_;
+};
+
+} // namespace ovsx::ebpf

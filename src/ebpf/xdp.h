@@ -1,0 +1,35 @@
+// XDP program ABI: context layout, return codes, redirect targets.
+#pragma once
+
+#include <cstdint>
+
+namespace ovsx::ebpf {
+
+// XDP return codes, identical to the kernel's.
+enum class XdpAction : std::uint32_t {
+    Aborted = 0,  // program fault -> packet dropped, warn
+    Drop = 1,
+    Pass = 2,     // continue into the kernel network stack
+    Tx = 3,       // bounce back out of the same interface
+    Redirect = 4, // follow the devmap/xskmap redirect recorded by the helper
+};
+
+const char* to_string(XdpAction a);
+
+// Context struct the program sees through r1. Unlike the kernel's
+// 32-bit xdp_md fields, data/data_end are 64-bit (our ABI); the field
+// offsets below are what LdxDW/LdxW use.
+//
+//   off 0:  data        (u64, LdxDW)
+//   off 8:  data_end    (u64, LdxDW)
+//   off 16: ingress_ifindex (u64)
+//   off 24: rx_queue_index  (u64)
+struct XdpMd {
+    std::uint64_t data = 0;
+    std::uint64_t data_end = 0;
+    std::uint64_t ingress_ifindex = 0;
+    std::uint64_t rx_queue_index = 0;
+};
+static_assert(sizeof(XdpMd) == 32);
+
+} // namespace ovsx::ebpf

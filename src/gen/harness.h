@@ -1,0 +1,89 @@
+// Scenario harness: builds and drives the paper's evaluation scenarios
+// end-to-end on the simulated substrate — P2P, PVP and PCP forwarding
+// (Fig. 2, Fig. 9, Fig. 12, Tables 2/4) and the TCP_RR latency paths
+// (Figs. 10/11). All scenarios push real packets through the real
+// datapath code; the reports come from gen::RateMeasure.
+#pragma once
+
+#include <functional>
+
+#include "gen/latency.h"
+#include "gen/measure.h"
+#include "ovs/netdev_afxdp.h"
+
+namespace ovsx::gen {
+
+enum class Datapath { Kernel, Afxdp, Dpdk, Ebpf };
+enum class VDev { Tap, Vhost };
+enum class ContainerPath {
+    KernelVeth,     // in-kernel OVS across veth
+    AfxdpXdp,       // XDP redirect chain, "path C" of Fig. 5
+    AfxdpUserspace, // AF_XDP up to OVS userspace, then the veth, "path A"
+    DpdkAfPacket,   // DPDK with an AF_PACKET container port
+};
+
+const char* to_string(Datapath d);
+const char* to_string(VDev v);
+const char* to_string(ContainerPath p);
+
+// ---- P2P: physical-to-physical --------------------------------------------
+
+struct P2pConfig {
+    Datapath datapath = Datapath::Afxdp;
+    ovs::AfxdpOptions afxdp = ovs::AfxdpOptions::all();
+    std::uint32_t n_flows = 1;
+    std::size_t frame_size = 64;
+    std::uint32_t n_queues = 1; // PMD-per-queue for userspace datapaths
+    double line_gbps = 25.0;
+    std::uint64_t packets = 20000;
+    // Hyperthreads the kernel datapath's RSS can effectively use when
+    // flows spread (Table 4 shows ~10 busy at peak).
+    double kernel_rss_hyperthreads = 10.0;
+};
+
+RateReport run_p2p(const P2pConfig& cfg);
+
+// ---- PVP: physical-virtual-physical ------------------------------------------
+
+struct PvpConfig {
+    Datapath datapath = Datapath::Afxdp;
+    VDev vdev = VDev::Vhost;
+    std::uint32_t n_flows = 1;
+    std::size_t frame_size = 64;
+    double line_gbps = 25.0;
+    std::uint64_t packets = 20000;
+    ovs::AfxdpOptions afxdp = ovs::AfxdpOptions::all();
+    sim::Nanos guest_fwd_ns = 420; // guest l2fwd cost per packet
+    double kernel_rss_hyperthreads = 10.0;
+};
+
+RateReport run_pvp(const PvpConfig& cfg);
+
+// ---- PCP: physical-container-physical -------------------------------------------
+
+struct PcpConfig {
+    ContainerPath path = ContainerPath::AfxdpXdp;
+    std::uint32_t n_flows = 1;
+    std::size_t frame_size = 64;
+    double line_gbps = 25.0;
+    std::uint64_t packets = 20000;
+    sim::Nanos container_fwd_ns = 300; // container l2fwd cost per packet
+    ovs::AfxdpOptions afxdp = ovs::AfxdpOptions::all();
+};
+
+RateReport run_pcp(const PcpConfig& cfg);
+
+// ---- TCP_RR latency paths (Figs. 10/11) ---------------------------------------------
+
+struct RrSetup {
+    std::function<sim::Nanos()> exchange; // one deterministic RTT
+    JitterModel jitter;
+};
+
+// Fig. 10: client in a VM on host A, server native on host B.
+RrSetup make_interhost_vm_rr(Datapath dp);
+
+// Fig. 11: client and server in two containers on one host.
+RrSetup make_container_rr(Datapath dp);
+
+} // namespace ovsx::gen

@@ -1,0 +1,33 @@
+#include "gen/latency.h"
+
+#include <cmath>
+
+namespace ovsx::gen {
+
+RrResult run_tcp_rr(const std::function<sim::Nanos()>& exchange, int transactions,
+                    const JitterModel& jitter, std::uint64_t seed)
+{
+    RrResult res;
+    sim::Rng rng(seed);
+    double total_rtt_s = 0;
+    for (int i = 0; i < transactions; ++i) {
+        sim::Nanos rtt = exchange();
+        for (int w = 0; w < jitter.wakeups_per_rtt; ++w) {
+            rtt += jitter.wakeup_base;
+            // Exponential tail: -scale * ln(U).
+            const double u = rng.uniform();
+            if (u > 0) {
+                rtt += static_cast<sim::Nanos>(-static_cast<double>(jitter.tail_scale) *
+                                               std::log(1.0 - u));
+            }
+        }
+        res.rtt.add(rtt);
+        total_rtt_s += static_cast<double>(rtt) / 1e9;
+    }
+    if (total_rtt_s > 0) {
+        res.transactions_per_sec = static_cast<double>(transactions) / total_rtt_s;
+    }
+    return res;
+}
+
+} // namespace ovsx::gen

@@ -1,0 +1,47 @@
+// netperf TCP_RR-style latency harness (Figs. 10 and 11).
+//
+// The deterministic part of an exchange's RTT comes from the virtual
+// costs accumulated in Packet::meta().latency_ns along the real path.
+// The latency *distribution* comes from scheduling/interrupt jitter at
+// each blocking wakeup point: polling endpoints (DPDK PMD, busy-polled
+// vhost) have almost none, interrupt-driven endpoints re-sample an
+// exponential tail per wakeup — which is exactly why the kernel's
+// P99/P50 spread is wider than DPDK's in Fig. 10.
+#pragma once
+
+#include <functional>
+
+#include "sim/histogram.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace ovsx::gen {
+
+struct JitterModel {
+    int wakeups_per_rtt = 0;      // number of blocking wakeup points
+    sim::Nanos wakeup_base = 0;   // fixed cost already included per wakeup
+    sim::Nanos tail_scale = 0;    // exponential tail scale per wakeup
+
+    static JitterModel polling()
+    {
+        // Busy-polling never sleeps: tiny residual jitter.
+        return {1, 0, 600};
+    }
+    static JitterModel interrupt_driven(int wakeups)
+    {
+        return {wakeups, 1500, 3000};
+    }
+};
+
+struct RrResult {
+    sim::Histogram rtt;            // nanoseconds
+    double transactions_per_sec = 0;
+};
+
+// Runs `transactions` request/response exchanges. `exchange` performs
+// one full RTT through the real path and returns its deterministic
+// virtual RTT in nanoseconds.
+RrResult run_tcp_rr(const std::function<sim::Nanos()>& exchange, int transactions,
+                    const JitterModel& jitter, std::uint64_t seed = 7);
+
+} // namespace ovsx::gen

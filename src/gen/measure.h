@@ -1,0 +1,94 @@
+// Measurement harness: turns per-context busy time collected while
+// processing a packet batch into the paper's metrics — maximum lossless
+// forwarding rate (bottleneck stage capacity), and per-class CPU usage
+// at that rate (Table 4's methodology).
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sim/context.h"
+#include "sim/costs.h"
+
+namespace ovsx::gen {
+
+// How a stage consumes CPU:
+//  - Polling stages (PMD threads, DPDK) burn their whole core regardless
+//    of load: CPU = parallelism.
+//  - Demand stages (softirq, guest, syscall time) scale with rate:
+//    CPU = rate x per-packet-cost.
+enum class StageKind { Polling, Demand };
+
+struct Stage {
+    std::string name;
+    const sim::ExecContext* ctx = nullptr;
+    StageKind kind = StageKind::Demand;
+    // Number of identical parallel instances (e.g. RSS spreads softirq
+    // work over this many CPUs; per-queue PMDs are separate stages).
+    double parallelism = 1.0;
+};
+
+struct RateReport {
+    double pps = 0;            // maximum lossless packet rate
+    double mpps() const { return pps / 1e6; }
+    std::string bottleneck;    // stage that limits the rate
+    sim::CpuUsage cpu;         // CPU at the achieved rate, in hyperthreads
+    // Per-stage per-packet costs, for tables and debugging.
+    std::vector<std::pair<std::string, double>> stage_ns;
+};
+
+class RateMeasure {
+public:
+    void add_stage(Stage stage) { stages_.push_back(std::move(stage)); }
+
+    // Computes the report after `packets` packets were pushed through
+    // every stage. `line_rate_pps` caps the result (wire speed).
+    RateReport report(std::uint64_t packets,
+                      double line_rate_pps = std::numeric_limits<double>::infinity()) const
+    {
+        RateReport rep;
+        rep.pps = line_rate_pps;
+        rep.bottleneck = "line-rate";
+        for (const auto& s : stages_) {
+            const double per_pkt =
+                static_cast<double>(s.ctx->total_busy()) / static_cast<double>(packets);
+            rep.stage_ns.emplace_back(s.name, per_pkt);
+            if (per_pkt <= 0) continue;
+            const double capacity = s.parallelism * 1e9 / per_pkt;
+            if (capacity < rep.pps) {
+                rep.pps = capacity;
+                rep.bottleneck = s.name;
+            }
+        }
+        // CPU at the achieved rate: useful work scales with the rate and
+        // is split across classes in the stage's observed proportions;
+        // polling stages additionally burn their leftover core time
+        // spinning in userspace.
+        for (const auto& s : stages_) {
+            const double total = static_cast<double>(s.ctx->total_busy());
+            const double per_pkt = total / static_cast<double>(packets);
+            const double work_cores = rep.pps * per_pkt / 1e9;
+            if (total > 0) {
+                rep.cpu.user +=
+                    work_cores * static_cast<double>(s.ctx->busy(sim::CpuClass::User)) / total;
+                rep.cpu.system +=
+                    work_cores * static_cast<double>(s.ctx->busy(sim::CpuClass::System)) / total;
+                rep.cpu.softirq +=
+                    work_cores * static_cast<double>(s.ctx->busy(sim::CpuClass::Softirq)) /
+                    total;
+                rep.cpu.guest +=
+                    work_cores * static_cast<double>(s.ctx->busy(sim::CpuClass::Guest)) / total;
+            }
+            if (s.kind == StageKind::Polling && work_cores < s.parallelism) {
+                rep.cpu.user += s.parallelism - work_cores; // idle spin
+            }
+        }
+        return rep;
+    }
+
+private:
+    std::vector<Stage> stages_;
+};
+
+} // namespace ovsx::gen

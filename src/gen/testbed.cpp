@@ -1,0 +1,85 @@
+#include "gen/testbed.h"
+
+#include "net/builder.h"
+#include "net/headers.h"
+
+namespace ovsx::gen {
+
+VhostVm::VhostVm(const sim::CostModel& costs, const std::string& name, net::MacAddr mac,
+                 std::uint32_t ip, int prefix_len, kern::VirtioFeatures features)
+    : kernel_(name, costs), vcpu_(name + "-vcpu", sim::CpuClass::Guest),
+      channel_(costs, features), ip_(ip)
+{
+    vnic_ = &kernel_.add_device<kern::VirtioNetDevice>("eth0", mac, channel_, vcpu_);
+    kernel_.stack().add_address(vnic_->ifindex(), ip, prefix_len);
+}
+
+TapVm::TapVm(kern::Kernel& host, const std::string& name, net::MacAddr mac, std::uint32_t ip,
+             int prefix_len)
+    : kernel_(name, host.costs()), vcpu_(name + "-vcpu", sim::CpuClass::Guest), ip_(ip)
+{
+    tap_ = &host.add_device<kern::TapDevice>(name + "-tap", mac);
+    vnic_ = &kernel_.add_device<CallbackDevice>("eth0", mac);
+    kernel_.stack().add_address(vnic_->ifindex(), ip, prefix_len);
+
+    // Guest TX: QEMU writes the frame into the host tap fd. The write
+    // happens on the vCPU thread (QEMU's).
+    vnic_->set_tx([this](net::Packet&& pkt, sim::ExecContext& ctx) {
+        tap_->fd_write(std::move(pkt), ctx);
+    });
+    // Host tap egress: QEMU reads and injects into the guest NIC.
+    tap_->set_fd_rx([this](net::Packet&& pkt, sim::ExecContext&) {
+        // Guest-side receive processing runs on the vCPU.
+        vnic_->receive(std::move(pkt), vcpu_);
+    });
+}
+
+Container make_container(kern::Kernel& host, const std::string& name, std::uint32_t ip,
+                         int prefix_len)
+{
+    Container c;
+    c.ns_id = host.create_namespace(name);
+    auto [host_end, inner] =
+        kern::VethDevice::create_pair(host, name + "-veth-h", name + "-veth-c", 0, c.ns_id);
+    c.host_end = host_end;
+    c.inner = inner;
+    c.ip = ip;
+    host.stack(c.ns_id).add_address(inner->ifindex(), ip, prefix_len);
+    return c;
+}
+
+void bind_udp_echo(kern::IpStack& stack, std::uint16_t port, sim::ExecContext& ctx,
+                   sim::Nanos endpoint_cost)
+{
+    kern::IpStack* stack_ptr = &stack;
+    sim::ExecContext* ep_ctx = &ctx;
+    stack.bind(17, port,
+               [stack_ptr, ep_ctx, endpoint_cost](net::Packet&& req, const net::FlowKey& key,
+                                                  sim::ExecContext&) {
+                   // Application wakeup + recv + send.
+                   ep_ctx->charge(endpoint_cost);
+                   net::UdpSpec spec;
+                   spec.src_ip = key.nw_dst;
+                   spec.dst_ip = key.nw_src;
+                   spec.src_port = key.tp_dst;
+                   spec.dst_port = key.tp_src;
+                   const std::size_t hdr = 14 + 20 + 8;
+                   spec.payload_len = req.size() > hdr ? req.size() - hdr : 1;
+                   net::Packet reply = net::build_udp(spec);
+                   // RTT accumulates across both directions.
+                   reply.meta().latency_ns = req.meta().latency_ns + endpoint_cost;
+                   stack_ptr->send_ip(std::move(reply), *ep_ctx);
+               });
+}
+
+void bind_udp_sink(kern::IpStack& stack, std::uint16_t port, Sink& sink)
+{
+    Sink* s = &sink;
+    stack.bind(17, port, [s](net::Packet&& pkt, const net::FlowKey&, sim::ExecContext&) {
+        ++s->packets;
+        s->bytes += pkt.size();
+        s->last_latency = pkt.meta().latency_ns;
+    });
+}
+
+} // namespace ovsx::gen

@@ -1,0 +1,114 @@
+// Testbed building blocks shared by the benches, examples and
+// integration tests: vhost-backed VMs, tap-backed VMs, containers in
+// namespaces, and simple echo endpoints.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "kern/kernel.h"
+#include "kern/stack.h"
+#include "kern/tap.h"
+#include "kern/veth.h"
+#include "kern/virtio.h"
+
+namespace ovsx::gen {
+
+// A guest-side NIC whose transmit path is an arbitrary callback — used
+// to back a guest device with a host tap fd.
+class CallbackDevice : public kern::Device {
+public:
+    using TxFn = std::function<void(net::Packet&&, sim::ExecContext&)>;
+
+    CallbackDevice(kern::Kernel& kernel, std::string name, net::MacAddr mac)
+        : Device(kernel, std::move(name), kern::DeviceKind::VirtioNet, mac)
+    {
+    }
+
+    void set_tx(TxFn fn) { tx_ = std::move(fn); }
+
+    void transmit(net::Packet&& pkt, sim::ExecContext& ctx) override
+    {
+        note_tx(pkt);
+        if (tx_) tx_(std::move(pkt), ctx);
+    }
+
+    void receive(net::Packet&& pkt, sim::ExecContext& ctx) { deliver_rx(std::move(pkt), ctx); }
+
+private:
+    TxFn tx_;
+};
+
+// A VM connected over vhost-user (the fast path of §3.3).
+class VhostVm {
+public:
+    VhostVm(const sim::CostModel& costs, const std::string& name, net::MacAddr mac,
+            std::uint32_t ip, int prefix_len = 24, kern::VirtioFeatures features = {});
+
+    kern::Kernel& kernel() { return kernel_; }
+    sim::ExecContext& vcpu() { return vcpu_; }
+    kern::VhostUserChannel& channel() { return channel_; }
+    kern::VirtioNetDevice& vnic() { return *vnic_; }
+    std::uint32_t ip() const { return ip_; }
+
+    // Enables guest-side TX offloads (negotiated virtio features).
+    void enable_offloads(bool csum, std::uint16_t tso_segsz)
+    {
+        vnic_->set_offloads(csum, tso_segsz);
+    }
+
+private:
+    kern::Kernel kernel_;
+    sim::ExecContext vcpu_;
+    kern::VhostUserChannel channel_;
+    kern::VirtioNetDevice* vnic_;
+    std::uint32_t ip_;
+};
+
+// A VM connected through a host tap device (the traditional path).
+class TapVm {
+public:
+    TapVm(kern::Kernel& host, const std::string& name, net::MacAddr mac, std::uint32_t ip,
+          int prefix_len = 24);
+
+    kern::Kernel& kernel() { return kernel_; }
+    sim::ExecContext& vcpu() { return vcpu_; }
+    kern::TapDevice& tap() { return *tap_; }
+    CallbackDevice& vnic() { return *vnic_; }
+    std::uint32_t ip() const { return ip_; }
+
+private:
+    kern::Kernel kernel_;
+    sim::ExecContext vcpu_;
+    kern::TapDevice* tap_;
+    CallbackDevice* vnic_;
+    std::uint32_t ip_;
+};
+
+// A container: a namespace with a veth pair into the root namespace.
+struct Container {
+    int ns_id = 0;
+    kern::VethDevice* host_end = nullptr;
+    kern::VethDevice* inner = nullptr;
+    std::uint32_t ip = 0;
+};
+
+Container make_container(kern::Kernel& host, const std::string& name, std::uint32_t ip,
+                         int prefix_len = 24);
+
+// Binds a UDP echo server on (stack, port): each request is answered
+// with a same-size reply carrying the request's accumulated latency, so
+// RTTs measure end to end. `endpoint_cost` models the application +
+// socket wakeup cost per direction, charged to `ctx`.
+void bind_udp_echo(kern::IpStack& stack, std::uint16_t port, sim::ExecContext& ctx,
+                   sim::Nanos endpoint_cost);
+
+// Binds a UDP sink that records delivered packets' latencies.
+struct Sink {
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+    sim::Nanos last_latency = 0;
+};
+void bind_udp_sink(kern::IpStack& stack, std::uint16_t port, Sink& sink);
+
+} // namespace ovsx::gen

@@ -1,0 +1,83 @@
+// Traffic generation: the TRex-equivalent used by the benches — 64B /
+// 1518B UDP streams, single-flow and 1000-flow (random IPs) variants,
+// exactly the workloads of §5.2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/builder.h"
+#include "net/packet.h"
+#include "sim/rng.h"
+
+namespace ovsx::gen {
+
+struct TrafficSpec {
+    std::uint32_t n_flows = 1;       // 1 or 1000 in the paper
+    std::size_t frame_size = 64;     // on-wire frame size incl. FCS
+    net::MacAddr src_mac = net::MacAddr::from_id(0x100);
+    net::MacAddr dst_mac = net::MacAddr::from_id(0x200);
+    std::uint32_t base_src_ip = net::ipv4(48, 0, 0, 1);
+    std::uint32_t base_dst_ip = net::ipv4(16, 0, 0, 1);
+    std::uint16_t dst_port = 12; // TRex default-ish
+    std::uint64_t seed = 42;
+};
+
+class TrafficGen {
+public:
+    explicit TrafficGen(TrafficSpec spec) : spec_(spec), rng_(spec.seed)
+    {
+        // Pre-compute the flow tuples: with n_flows > 1 the generator
+        // draws source/destination IPs from n_flows possibilities, the
+        // paper's worst case for the caching layers.
+        flows_.reserve(spec_.n_flows);
+        for (std::uint32_t i = 0; i < spec_.n_flows; ++i) {
+            Flow f;
+            f.src_ip = spec_.base_src_ip + (spec_.n_flows == 1 ? 0 : rng_.u32() % spec_.n_flows);
+            f.dst_ip = spec_.base_dst_ip + (spec_.n_flows == 1 ? 0 : rng_.u32() % spec_.n_flows);
+            f.src_port = static_cast<std::uint16_t>(1024 + i % 50000);
+            flows_.push_back(f);
+        }
+    }
+
+    // Builds the next packet of the stream (round-robin over flows).
+    net::Packet next()
+    {
+        const Flow& f = flows_[cursor_++ % flows_.size()];
+        net::UdpSpec spec;
+        spec.src_mac = spec_.src_mac;
+        spec.dst_mac = spec_.dst_mac;
+        spec.src_ip = f.src_ip;
+        spec.dst_ip = f.dst_ip;
+        spec.src_port = f.src_port;
+        spec.dst_port = spec_.dst_port;
+        // frame = 14 eth + 20 ip + 8 udp + payload + 4 FCS (not stored)
+        const std::size_t overhead = 14 + 20 + 8 + 4;
+        spec.payload_len = spec_.frame_size > overhead ? spec_.frame_size - overhead : 18;
+        return net::build_udp(spec);
+    }
+
+    std::vector<net::Packet> burst(std::size_t n)
+    {
+        std::vector<net::Packet> out;
+        out.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) out.push_back(next());
+        return out;
+    }
+
+    std::uint32_t n_flows() const { return spec_.n_flows; }
+
+private:
+    struct Flow {
+        std::uint32_t src_ip;
+        std::uint32_t dst_ip;
+        std::uint16_t src_port;
+    };
+
+    TrafficSpec spec_;
+    sim::Rng rng_;
+    std::vector<Flow> flows_;
+    std::size_t cursor_ = 0;
+};
+
+} // namespace ovsx::gen

@@ -1,0 +1,107 @@
+#include "kern/conntrack.h"
+
+namespace ovsx::kern {
+
+CtResult Conntrack::process(net::Packet& pkt, const net::FlowKey& key, std::uint16_t zone,
+                            bool commit, sim::ExecContext& ctx, sim::Nanos now)
+{
+    // Hash + lookup cost, comparable to a flow-table probe.
+    ctx.charge(costs_.kdp_flow_probe);
+    ctx.count("ct.lookup");
+
+    CtResult res;
+    res.state = net::kCtStateTracked;
+
+    auto finish_invalid = [&] {
+        res.state |= net::kCtStateInvalid;
+        pkt.meta().ct_state = res.state;
+        pkt.meta().ct_zone = zone;
+        return res;
+    };
+
+    // Only TCP/UDP/ICMP are tracked; later fragments are untrackable.
+    if (key.nw_proto != 6 && key.nw_proto != 17 && key.nw_proto != 1) return finish_invalid();
+    if (key.nw_frag & net::kFragLater) return finish_invalid();
+
+    const CtTuple tuple = CtTuple::from_key(key, zone);
+    auto idx = index_.find(tuple);
+    if (idx != index_.end()) {
+        CtEntry& e = conns_[idx->second];
+        const bool is_reply = !(tuple == e.orig);
+        if (is_reply) {
+            e.seen_reply = true;
+            res.state |= net::kCtStateReply;
+        }
+        res.state |= e.confirmed ? net::kCtStateEstablished : net::kCtStateNew;
+        if (commit && !e.confirmed) e.confirmed = true;
+        e.packets++;
+        e.last_seen = now;
+        res.entry = &e;
+    } else {
+        // New connection.
+        auto& count = zone_counts_[zone];
+        const auto lim = zone_limits_.find(zone);
+        if (lim != zone_limits_.end() && lim->second != 0 && count >= lim->second) {
+            return finish_invalid(); // zone limit exceeded
+        }
+        res.state |= net::kCtStateNew;
+        const std::uint64_t id = next_id_++;
+        CtEntry entry;
+        entry.orig = tuple;
+        entry.confirmed = commit;
+        entry.packets = 1;
+        entry.last_seen = now;
+        auto [it, ok] = conns_.emplace(id, entry);
+        (void)ok;
+        index_.emplace(tuple, id);
+        index_.emplace(tuple.reversed(), id);
+        res.entry = &it->second;
+        ++count;
+        ctx.charge(costs_.kdp_flow_probe); // insert cost
+    }
+
+    pkt.meta().ct_state = res.state;
+    pkt.meta().ct_zone = zone;
+    if (res.entry) pkt.meta().ct_mark = res.entry->mark;
+    return res;
+}
+
+void Conntrack::set_zone_limit(std::uint16_t zone, std::size_t limit)
+{
+    zone_limits_[zone] = limit;
+}
+
+std::size_t Conntrack::zone_count(std::uint16_t zone) const
+{
+    auto it = zone_counts_.find(zone);
+    return it == zone_counts_.end() ? 0 : it->second;
+}
+
+std::size_t Conntrack::expire_idle(sim::Nanos cutoff)
+{
+    std::size_t removed = 0;
+    for (auto it = conns_.begin(); it != conns_.end();) {
+        if (it->second.last_seen < cutoff) {
+            const CtTuple& orig = it->second.orig;
+            index_.erase(orig);
+            index_.erase(orig.reversed());
+            auto& count = zone_counts_[orig.zone];
+            if (count > 0) --count;
+            it = conns_.erase(it);
+            ++removed;
+        } else {
+            ++it;
+        }
+    }
+    return removed;
+}
+
+const CtEntry* Conntrack::find(const CtTuple& tuple) const
+{
+    auto idx = index_.find(tuple);
+    if (idx == index_.end()) return nullptr;
+    auto it = conns_.find(idx->second);
+    return it == conns_.end() ? nullptr : &it->second;
+}
+
+} // namespace ovsx::kern

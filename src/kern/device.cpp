@@ -1,0 +1,41 @@
+#include "kern/device.h"
+
+#include "kern/kernel.h"
+#include "kern/stack.h"
+
+namespace ovsx::kern {
+
+const char* to_string(DeviceKind k)
+{
+    switch (k) {
+    case DeviceKind::Physical: return "physical";
+    case DeviceKind::Veth: return "veth";
+    case DeviceKind::Tap: return "tap";
+    case DeviceKind::VirtioNet: return "virtio-net";
+    }
+    return "?";
+}
+
+Device::Device(Kernel& kernel, std::string name, DeviceKind kind, net::MacAddr mac)
+    : kernel_(kernel), name_(std::move(name)), kind_(kind), mac_(mac)
+{
+}
+
+void Device::deliver_rx(net::Packet&& pkt, sim::ExecContext& ctx)
+{
+    if (!up_) {
+        ++stats_.rx_dropped;
+        return;
+    }
+    ++stats_.rx_packets;
+    stats_.rx_bytes += pkt.size();
+    capture(pkt, true);
+    pkt.meta().in_port = static_cast<std::uint32_t>(ifindex_);
+    if (rx_handler_) {
+        rx_handler_(*this, std::move(pkt), ctx);
+        return;
+    }
+    kernel_.stack(ns_id_).rx(*this, std::move(pkt), ctx);
+}
+
+} // namespace ovsx::kern

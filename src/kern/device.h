@@ -1,0 +1,109 @@
+// Network device base class for the simulated kernel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/addr.h"
+#include "net/packet.h"
+#include "sim/context.h"
+
+namespace ovsx::kern {
+
+class Kernel;
+
+enum class DeviceKind { Physical, Veth, Tap, VirtioNet };
+
+const char* to_string(DeviceKind k);
+
+struct DeviceStats {
+    std::uint64_t rx_packets = 0;
+    std::uint64_t rx_bytes = 0;
+    std::uint64_t rx_dropped = 0;
+    std::uint64_t tx_packets = 0;
+    std::uint64_t tx_bytes = 0;
+    std::uint64_t tx_dropped = 0;
+};
+
+class Device {
+public:
+    // A device's ingress traffic normally flows into the namespace's IP
+    // stack; attaching the device to the kernel OVS datapath (or an
+    // AF_PACKET listener) replaces this handler.
+    using RxHandler = std::function<void(Device&, net::Packet&&, sim::ExecContext&)>;
+    // Capture hook for tcpdump-style observation; sees both directions.
+    using CaptureHook = std::function<void(const Device&, const net::Packet&, bool rx)>;
+
+    Device(Kernel& kernel, std::string name, DeviceKind kind, net::MacAddr mac);
+    virtual ~Device() = default;
+
+    Device(const Device&) = delete;
+    Device& operator=(const Device&) = delete;
+
+    Kernel& kernel() { return kernel_; }
+    int ifindex() const { return ifindex_; }
+    const std::string& name() const { return name_; }
+    DeviceKind kind() const { return kind_; }
+    const net::MacAddr& mac() const { return mac_; }
+    void set_mac(const net::MacAddr& mac) { mac_ = mac; }
+    int mtu() const { return mtu_; }
+    void set_mtu(int mtu) { mtu_ = mtu; }
+    bool is_up() const { return up_; }
+    void set_up(bool up) { up_ = up; }
+    int ns_id() const { return ns_id_; }
+    void set_ns(int ns) { ns_id_ = ns; }
+
+    // False once a kernel-bypass stack (DPDK) has unbound the device
+    // from the kernel — the Table 1 "tools stop working" condition.
+    bool kernel_managed() const { return kernel_managed_; }
+    void set_kernel_managed(bool v) { kernel_managed_ = v; }
+
+    DeviceStats& stats() { return stats_; }
+    const DeviceStats& stats() const { return stats_; }
+
+    void set_rx_handler(RxHandler handler) { rx_handler_ = std::move(handler); }
+    void clear_rx_handler() { rx_handler_ = nullptr; }
+    bool has_rx_handler() const { return static_cast<bool>(rx_handler_); }
+
+    void set_capture(CaptureHook hook) { capture_ = std::move(hook); }
+
+    // Egress: the kernel stack (or a datapath) sends a packet out of
+    // this device.
+    virtual void transmit(net::Packet&& pkt, sim::ExecContext& ctx) = 0;
+
+protected:
+    // Ingress helper: routes a received packet to the rx handler (OVS /
+    // packet socket) or the namespace IP stack, updating stats.
+    void deliver_rx(net::Packet&& pkt, sim::ExecContext& ctx);
+
+    void capture(const net::Packet& pkt, bool rx) const
+    {
+        if (capture_) capture_(*this, pkt, rx);
+    }
+
+    void note_tx(const net::Packet& pkt)
+    {
+        ++stats_.tx_packets;
+        stats_.tx_bytes += pkt.size();
+        capture(pkt, false);
+    }
+
+private:
+    friend class Kernel;
+
+    Kernel& kernel_;
+    std::string name_;
+    DeviceKind kind_;
+    net::MacAddr mac_;
+    int ifindex_ = -1; // assigned by Kernel::register_device
+    int mtu_ = 1500;
+    int ns_id_ = 0;
+    bool up_ = true;
+    bool kernel_managed_ = true;
+    DeviceStats stats_;
+    RxHandler rx_handler_;
+    CaptureHook capture_;
+};
+
+} // namespace ovsx::kern

@@ -1,0 +1,42 @@
+#include "kern/odp.h"
+
+#include <sstream>
+
+namespace ovsx::kern {
+
+std::string OdpAction::to_string() const
+{
+    std::ostringstream os;
+    switch (type) {
+    case Type::Output: os << "output(" << port << ")"; break;
+    case Type::PushVlan: os << "push_vlan(" << (vlan_tci & 0xfff) << ")"; break;
+    case Type::PopVlan: os << "pop_vlan"; break;
+    case Type::SetField: os << "set_field"; break;
+    case Type::SetTunnel:
+        os << "set_tunnel(id=" << tunnel.tun_id << ",dst=" << net::ipv4_to_string(tunnel.ip_dst)
+           << ")";
+        break;
+    case Type::Ct:
+        os << "ct(zone=" << ct.zone << (ct.commit ? ",commit" : "") << (ct.nat ? ",nat" : "")
+           << ")";
+        break;
+    case Type::Recirc: os << "recirc(" << recirc_id << ")"; break;
+    case Type::Meter: os << "meter(" << meter_id << ")"; break;
+    case Type::Userspace: os << "userspace"; break;
+    case Type::Drop: os << "drop"; break;
+    }
+    return os.str();
+}
+
+std::string actions_to_string(const OdpActions& actions)
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < actions.size(); ++i) {
+        if (i) os << ",";
+        os << actions[i].to_string();
+    }
+    if (actions.empty()) os << "drop";
+    return os.str();
+}
+
+} // namespace ovsx::kern

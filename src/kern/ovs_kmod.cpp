@@ -1,0 +1,322 @@
+#include "kern/ovs_kmod.h"
+
+#include <algorithm>
+
+#include "kern/kernel.h"
+#include "kern/stack.h"
+#include "net/headers.h"
+#include "net/rewrite.h"
+
+namespace ovsx::kern {
+
+OvsKernelDatapath::OvsKernelDatapath(Kernel& kernel) : kernel_(kernel) {}
+
+std::uint32_t OvsKernelDatapath::add_port(Device& dev)
+{
+    const std::uint32_t port_no = next_port_no_++;
+    Vport vport;
+    vport.port_no = port_no;
+    vport.name = dev.name();
+    vport.dev = &dev;
+    ports_[port_no] = vport;
+    dev.set_rx_handler([this, port_no](Device&, net::Packet&& pkt, sim::ExecContext& ctx) {
+        receive(port_no, std::move(pkt), ctx);
+    });
+    return port_no;
+}
+
+std::uint32_t OvsKernelDatapath::add_tunnel_port(const std::string& name, net::TunnelType type,
+                                                 std::uint32_t local_ip)
+{
+    const std::uint32_t port_no = next_port_no_++;
+    Vport vport;
+    vport.port_no = port_no;
+    vport.name = name;
+    vport.tunnel = type;
+    vport.tunnel_local_ip = local_ip;
+    ports_[port_no] = vport;
+
+    // Terminate tunnel traffic arriving at the local stack.
+    IpStack& stack = kernel_.stack(0);
+    if (type == net::TunnelType::Geneve || type == net::TunnelType::Vxlan) {
+        const std::uint16_t port =
+            type == net::TunnelType::Geneve ? net::kGenevePort : net::kVxlanPort;
+        stack.bind(static_cast<std::uint8_t>(net::IpProto::Udp), port,
+                   [this](net::Packet&& pkt, const net::FlowKey& key, sim::ExecContext& ctx) {
+                       tunnel_rx(std::move(pkt), key, ctx);
+                   });
+    } else {
+        stack.bind(static_cast<std::uint8_t>(net::IpProto::Gre), 0,
+                   [this](net::Packet&& pkt, const net::FlowKey& key, sim::ExecContext& ctx) {
+                       tunnel_rx(std::move(pkt), key, ctx);
+                   });
+    }
+    return port_no;
+}
+
+void OvsKernelDatapath::del_port(std::uint32_t port_no)
+{
+    auto it = ports_.find(port_no);
+    if (it == ports_.end()) return;
+    if (it->second.dev) it->second.dev->clear_rx_handler();
+    ports_.erase(it);
+}
+
+const Vport* OvsKernelDatapath::port(std::uint32_t port_no) const
+{
+    auto it = ports_.find(port_no);
+    return it == ports_.end() ? nullptr : &it->second;
+}
+
+const Vport* OvsKernelDatapath::port_by_name(const std::string& name) const
+{
+    for (const auto& [no, vport] : ports_) {
+        if (vport.name == name) return &vport;
+    }
+    return nullptr;
+}
+
+std::vector<const Vport*> OvsKernelDatapath::ports() const
+{
+    std::vector<const Vport*> out;
+    for (const auto& [no, vport] : ports_) out.push_back(&vport);
+    return out;
+}
+
+void OvsKernelDatapath::flow_put(const net::FlowKey& key, const net::FlowMask& mask,
+                                 OdpActions actions)
+{
+    const net::FlowKey masked = mask.apply(key);
+    for (auto& sub : subtables_) {
+        if (sub.mask == mask) {
+            auto& bucket = sub.flows[masked.hash()];
+            for (auto& [k, a] : bucket) {
+                if (k == masked) {
+                    a = std::move(actions);
+                    return;
+                }
+            }
+            bucket.emplace_back(masked, std::move(actions));
+            ++sub.size;
+            return;
+        }
+    }
+    Subtable sub;
+    sub.mask = mask;
+    sub.flows[masked.hash()].emplace_back(masked, std::move(actions));
+    sub.size = 1;
+    subtables_.push_back(std::move(sub));
+    // Keep the most specific masks first so probe order favours them.
+    std::sort(subtables_.begin(), subtables_.end(), [](const Subtable& a, const Subtable& b) {
+        return a.mask.exact_bytes() > b.mask.exact_bytes();
+    });
+}
+
+bool OvsKernelDatapath::flow_del(const net::FlowKey& key, const net::FlowMask& mask)
+{
+    const net::FlowKey masked = mask.apply(key);
+    for (auto& sub : subtables_) {
+        if (!(sub.mask == mask)) continue;
+        auto it = sub.flows.find(masked.hash());
+        if (it == sub.flows.end()) return false;
+        auto& bucket = it->second;
+        for (auto bit = bucket.begin(); bit != bucket.end(); ++bit) {
+            if (bit->first == masked) {
+                bucket.erase(bit);
+                --sub.size;
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+void OvsKernelDatapath::flow_flush() { subtables_.clear(); }
+
+std::size_t OvsKernelDatapath::flow_count() const
+{
+    std::size_t n = 0;
+    for (const auto& sub : subtables_) n += sub.size;
+    return n;
+}
+
+OvsKernelDatapath::LookupResult OvsKernelDatapath::lookup(const net::FlowKey& key,
+                                                          sim::ExecContext& ctx)
+{
+    LookupResult res;
+    for (auto& sub : subtables_) {
+        ++res.probes;
+        ctx.charge(kernel_.costs().kdp_flow_probe);
+        const net::FlowKey masked = sub.mask.apply(key);
+        auto it = sub.flows.find(masked.hash());
+        if (it == sub.flows.end()) continue;
+        for (const auto& [k, actions] : it->second) {
+            if (k == masked) {
+                res.actions = &actions;
+                return res;
+            }
+        }
+    }
+    return res;
+}
+
+void OvsKernelDatapath::receive(std::uint32_t port_no, net::Packet&& pkt, sim::ExecContext& ctx)
+{
+    const auto& costs = kernel_.costs();
+    ctx.charge(costs.kdp_base);
+    pkt.meta().latency_ns += costs.kdp_base;
+    pkt.meta().in_port = port_no;
+
+    const net::FlowKey key = net::parse_flow(pkt);
+    const LookupResult res = lookup(key, ctx);
+    pkt.meta().latency_ns += static_cast<sim::Nanos>(res.probes) * costs.kdp_flow_probe;
+    if (res.actions) {
+        ++hits_;
+        // Copy: executing may install flows and reenter.
+        const OdpActions actions = *res.actions;
+        execute(std::move(pkt), actions, ctx);
+        return;
+    }
+    ++misses_;
+    if (!upcall_) {
+        ++lost_;
+        return;
+    }
+    ctx.charge(costs.upcall / 10); // kernel-side upcall enqueue share
+    upcall_(port_no, std::move(pkt), key, ctx);
+}
+
+void OvsKernelDatapath::tunnel_rx(net::Packet&& pkt, const net::FlowKey& key,
+                                  sim::ExecContext& ctx)
+{
+    auto res = net::decapsulate_auto(pkt);
+    if (!res) return;
+    // Find the vport for this tunnel type.
+    for (const auto& [no, vport] : ports_) {
+        if (vport.tunnel && *vport.tunnel == res->type) {
+            pkt.meta().tunnel = res->key;
+            pkt.meta().csum_verified = true; // validated with the outer frame
+            (void)key;
+            receive(no, std::move(pkt), ctx);
+            return;
+        }
+    }
+}
+
+void OvsKernelDatapath::do_output(net::Packet&& pkt, std::uint32_t port_no,
+                                  sim::ExecContext& ctx)
+{
+    const Vport* vport = port(port_no);
+    if (!vport) return;
+    if (vport->dev) {
+        vport->dev->transmit(std::move(pkt), ctx);
+        return;
+    }
+    if (vport->tunnel) {
+        // Encapsulate using staged tunnel metadata, then route the outer
+        // packet through the local stack.
+        net::TunnelKey tkey = pkt.meta().tunnel;
+        if (tkey.ip_src == 0) tkey.ip_src = vport->tunnel_local_ip;
+        if (tkey.ip_dst == 0) return; // no destination staged
+        IpStack& stack = kernel_.stack(0);
+        const auto route = stack.route_lookup(tkey.ip_dst);
+        if (!route) return;
+        Device* out = kernel_.device(route->ifindex);
+        const std::uint32_t next_hop = route->gateway ? route->gateway : tkey.ip_dst;
+        const auto nh_mac = stack.neighbor_lookup(next_hop);
+        if (!out || !nh_mac) return;
+
+        net::EncapParams params;
+        params.outer_src_mac = out->mac();
+        params.outer_dst_mac = *nh_mac;
+        params.udp_src_port = static_cast<std::uint16_t>(0xc000 | (pkt.meta().rxhash & 0x3fff));
+        const auto& costs = kernel_.costs();
+        net::encapsulate(pkt, *vport->tunnel, tkey, params);
+        ctx.charge(costs.copy(static_cast<std::int64_t>(net::encap_overhead(*vport->tunnel))));
+        pkt.meta().tunnel = net::TunnelKey{};
+        out->transmit(std::move(pkt), ctx);
+        return;
+    }
+}
+
+void OvsKernelDatapath::execute(net::Packet&& pkt, const OdpActions& actions,
+                                sim::ExecContext& ctx)
+{
+    if (recursion_ > 8) return; // mirror the kernel's recursion limit
+    ++recursion_;
+    const auto& costs = kernel_.costs();
+
+    for (std::size_t i = 0; i < actions.size(); ++i) {
+        const OdpAction& act = actions[i];
+        switch (act.type) {
+        case OdpAction::Type::Output: {
+            const bool last = (i + 1 == actions.size());
+            if (last) {
+                do_output(std::move(pkt), act.port, ctx);
+                --recursion_;
+                return;
+            }
+            net::Packet clone = pkt; // multicast/mirror copy
+            ctx.charge(costs.copy(static_cast<std::int64_t>(pkt.size())));
+            do_output(std::move(clone), act.port, ctx);
+            break;
+        }
+        case OdpAction::Type::PushVlan:
+            net::push_vlan(pkt, act.vlan_tci);
+            break;
+        case OdpAction::Type::PopVlan:
+            net::pop_vlan(pkt);
+            break;
+        case OdpAction::Type::SetField:
+            net::apply_rewrite(pkt, act.set_value, act.set_mask);
+            ctx.charge(costs.kdp_base / 4);
+            break;
+        case OdpAction::Type::SetTunnel:
+            pkt.meta().tunnel = act.tunnel;
+            break;
+        case OdpAction::Type::Ct: {
+            const net::FlowKey key = net::parse_flow(pkt);
+            kernel_.conntrack().process(pkt, key, act.ct.zone, act.ct.commit, ctx);
+            break;
+        }
+        case OdpAction::Type::Recirc: {
+            pkt.meta().recirc_id = act.recirc_id;
+            const net::FlowKey key = net::parse_flow(pkt);
+            ctx.charge(costs.kdp_base / 2); // recirculation re-entry
+            pkt.meta().latency_ns += costs.kdp_base / 2;
+            const LookupResult res = lookup(key, ctx);
+            if (res.actions) {
+                ++hits_;
+                const OdpActions next = *res.actions;
+                execute(std::move(pkt), next, ctx);
+            } else {
+                ++misses_;
+                if (upcall_) {
+                    upcall_(pkt.meta().in_port, std::move(pkt), key, ctx);
+                } else {
+                    ++lost_;
+                }
+            }
+            --recursion_;
+            return;
+        }
+        case OdpAction::Type::Meter:
+            // The kernel datapath's meter: charged but never dropping in
+            // this model (benches do not exercise kernel meters).
+            break;
+        case OdpAction::Type::Userspace:
+            if (upcall_) {
+                const net::FlowKey key = net::parse_flow(pkt);
+                upcall_(pkt.meta().in_port, std::move(pkt), key, ctx);
+            }
+            --recursion_;
+            return;
+        case OdpAction::Type::Drop:
+            --recursion_;
+            return;
+        }
+    }
+    --recursion_;
+}
+
+} // namespace ovsx::kern

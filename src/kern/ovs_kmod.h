@@ -1,0 +1,110 @@
+// The in-kernel OVS datapath module (openvswitch.ko of the original
+// split design): a masked flow table (tuple-space search) populated from
+// userspace, vports over kernel devices and tunnel endpoints, upcalls on
+// misses, and an action executor using kernel facilities (conntrack,
+// tunnels, devices).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "kern/device.h"
+#include "kern/odp.h"
+#include "net/flow.h"
+#include "net/tunnel.h"
+
+namespace ovsx::kern {
+
+class Kernel;
+
+struct KernelFlowStats {
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+};
+
+// One datapath port.
+struct Vport {
+    std::uint32_t port_no = 0;
+    std::string name;
+    Device* dev = nullptr;                    // device-backed port
+    std::optional<net::TunnelType> tunnel;    // tunnel vport
+    std::uint32_t tunnel_local_ip = 0;        // local endpoint for tunnel vports
+};
+
+class OvsKernelDatapath {
+public:
+    // Upcall: flow-table miss. The handler (ovs-vswitchd) is expected to
+    // install a flow and/or re-inject the packet with execute().
+    using UpcallHandler =
+        std::function<void(std::uint32_t port_no, net::Packet&&, const net::FlowKey&,
+                           sim::ExecContext&)>;
+
+    explicit OvsKernelDatapath(Kernel& kernel);
+
+    // ---- ports ---------------------------------------------------------
+    std::uint32_t add_port(Device& dev);
+    std::uint32_t add_tunnel_port(const std::string& name, net::TunnelType type,
+                                  std::uint32_t local_ip);
+    void del_port(std::uint32_t port_no);
+    const Vport* port(std::uint32_t port_no) const;
+    const Vport* port_by_name(const std::string& name) const;
+    std::vector<const Vport*> ports() const;
+
+    // ---- flow table ----------------------------------------------------------
+    void flow_put(const net::FlowKey& key, const net::FlowMask& mask, OdpActions actions);
+    bool flow_del(const net::FlowKey& key, const net::FlowMask& mask);
+    void flow_flush();
+    std::size_t flow_count() const;
+
+    void set_upcall_handler(UpcallHandler handler) { upcall_ = std::move(handler); }
+
+    // ---- datapath ---------------------------------------------------------------
+    // Ingress entry (wired as the rx handler of every device port).
+    void receive(std::uint32_t port_no, net::Packet&& pkt, sim::ExecContext& ctx);
+
+    // Executes actions on a packet (also the userspace re-injection path,
+    // OVS_PACKET_CMD_EXECUTE).
+    void execute(net::Packet&& pkt, const OdpActions& actions, sim::ExecContext& ctx);
+
+    // ---- statistics -----------------------------------------------------------------
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t lost() const { return lost_; } // misses with no upcall handler
+
+    // Masks currently in the table (diagnostic; the paper's megaflow
+    // discussions are about keeping this small).
+    std::size_t mask_count() const { return subtables_.size(); }
+
+private:
+    struct Subtable {
+        net::FlowMask mask;
+        std::unordered_map<std::uint64_t, std::vector<std::pair<net::FlowKey, OdpActions>>>
+            flows; // hash(masked key) -> entries
+        std::size_t size = 0;
+    };
+
+    struct LookupResult {
+        const OdpActions* actions = nullptr;
+        int probes = 0;
+    };
+
+    LookupResult lookup(const net::FlowKey& key, sim::ExecContext& ctx);
+    void do_output(net::Packet&& pkt, std::uint32_t port_no, sim::ExecContext& ctx);
+    void tunnel_rx(net::Packet&& pkt, const net::FlowKey& key, sim::ExecContext& ctx);
+
+    Kernel& kernel_;
+    std::map<std::uint32_t, Vport> ports_;
+    std::uint32_t next_port_no_ = 1;
+    std::vector<Subtable> subtables_; // ordered most-specific first
+    UpcallHandler upcall_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t lost_ = 0;
+    int recursion_ = 0;
+};
+
+} // namespace ovsx::kern

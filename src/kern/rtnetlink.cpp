@@ -1,0 +1,111 @@
+#include "kern/rtnetlink.h"
+
+#include "kern/kernel.h"
+
+namespace ovsx::kern::rtnl {
+
+namespace {
+
+LinkInfo to_link_info(Device& dev)
+{
+    LinkInfo info;
+    info.ifindex = dev.ifindex();
+    info.name = dev.name();
+    info.kind = to_string(dev.kind());
+    info.mac = dev.mac();
+    info.mtu = dev.mtu();
+    info.up = dev.is_up();
+    info.ns_id = dev.ns_id();
+    info.stats = dev.stats();
+    return info;
+}
+
+} // namespace
+
+std::vector<LinkInfo> link_show(Kernel& kernel)
+{
+    std::vector<LinkInfo> out;
+    for (Device* dev : kernel.devices()) {
+        if (!dev->kernel_managed()) continue; // unbound from the kernel
+        out.push_back(to_link_info(*dev));
+    }
+    return out;
+}
+
+std::optional<LinkInfo> link_show(Kernel& kernel, const std::string& name)
+{
+    Device* dev = kernel.device(name);
+    if (!dev || !dev->kernel_managed()) return std::nullopt; // ENODEV
+    return to_link_info(*dev);
+}
+
+std::vector<AddrInfo> addr_show(Kernel& kernel, int ns)
+{
+    std::vector<AddrInfo> out;
+    for (const auto& a : kernel.stack(ns).addresses()) {
+        Device* dev = kernel.device(a.ifindex);
+        if (!dev || !dev->kernel_managed()) continue;
+        out.push_back({dev->name(), a.addr, a.prefix_len});
+    }
+    return out;
+}
+
+std::vector<RouteInfo> route_show(Kernel& kernel, int ns)
+{
+    std::vector<RouteInfo> out;
+    for (const auto& r : kernel.stack(ns).routes()) {
+        Device* dev = kernel.device(r.ifindex);
+        if (!dev || !dev->kernel_managed()) continue;
+        out.push_back({r.prefix, r.prefix_len, r.gateway, dev->name()});
+    }
+    return out;
+}
+
+std::vector<NeighInfo> neigh_show(Kernel& kernel, int ns)
+{
+    std::vector<NeighInfo> out;
+    for (const auto& n : kernel.stack(ns).neighbors()) {
+        Device* dev = kernel.device(n.ifindex);
+        if (!dev || !dev->kernel_managed()) continue;
+        out.push_back({n.addr, n.mac, dev->name()});
+    }
+    return out;
+}
+
+NetStats nstat(Kernel& kernel)
+{
+    NetStats s;
+    for (Device* dev : kernel.devices()) {
+        if (!dev->kernel_managed()) continue;
+        s.rx_packets += dev->stats().rx_packets;
+        s.tx_packets += dev->stats().tx_packets;
+        s.rx_dropped += dev->stats().rx_dropped;
+        s.tx_dropped += dev->stats().tx_dropped;
+    }
+    return s;
+}
+
+bool tcpdump_attach(Kernel& kernel, const std::string& dev_name, Device::CaptureHook hook,
+                    std::string* error)
+{
+    Device* dev = kernel.device(dev_name);
+    if (!dev || !dev->kernel_managed()) {
+        if (error) *error = dev_name + ": No such device (is it bound to DPDK?)";
+        return false;
+    }
+    dev->set_capture(std::move(hook));
+    return true;
+}
+
+bool can_reach(Kernel& kernel, int ns, std::uint32_t dst)
+{
+    IpStack& stack = kernel.stack(ns);
+    const auto route = stack.route_lookup(dst);
+    if (!route) return false;
+    Device* dev = kernel.device(route->ifindex);
+    if (!dev || !dev->kernel_managed() || !dev->is_up()) return false;
+    const std::uint32_t next_hop = route->gateway ? route->gateway : dst;
+    return stack.neighbor_lookup(next_hop).has_value() || stack.is_local_address(dst);
+}
+
+} // namespace ovsx::kern::rtnl

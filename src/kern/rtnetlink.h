@@ -1,0 +1,88 @@
+// rtnetlink facade: the programmatic equivalent of the `ip`, `nstat`
+// and `tcpdump` commands in the paper's Table 1.
+//
+// The central compatibility claim of the paper is that these keep
+// working when OVS drives the NIC via AF_XDP (the kernel still owns the
+// device) and stop working once DPDK unbinds it. Our model mirrors
+// that: queries against a device that is no longer kernel-managed fail
+// with ENODEV, and devices owned by a DPDK PMD do not appear in listings.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kern/device.h"
+#include "kern/stack.h"
+
+namespace ovsx::kern {
+
+class Kernel;
+
+namespace rtnl {
+
+struct LinkInfo {
+    int ifindex = -1;
+    std::string name;
+    std::string kind;
+    net::MacAddr mac;
+    int mtu = 0;
+    bool up = false;
+    int ns_id = 0;
+    DeviceStats stats;
+};
+
+// `ip link`: lists kernel-managed devices. DPDK-owned NICs disappear,
+// exactly as they do when vfio-pci unbinds the kernel driver.
+std::vector<LinkInfo> link_show(Kernel& kernel);
+
+// `ip link show <dev>`: nullopt (ENODEV) when absent or DPDK-owned.
+std::optional<LinkInfo> link_show(Kernel& kernel, const std::string& name);
+
+// `ip address`: address listing with owning device names.
+struct AddrInfo {
+    std::string dev;
+    std::uint32_t addr = 0;
+    int prefix_len = 0;
+};
+std::vector<AddrInfo> addr_show(Kernel& kernel, int ns = 0);
+
+// `ip route`.
+struct RouteInfo {
+    std::uint32_t prefix = 0;
+    int prefix_len = 0;
+    std::uint32_t gateway = 0;
+    std::string dev;
+};
+std::vector<RouteInfo> route_show(Kernel& kernel, int ns = 0);
+
+// `ip neigh`.
+struct NeighInfo {
+    std::uint32_t addr = 0;
+    net::MacAddr mac;
+    std::string dev;
+};
+std::vector<NeighInfo> neigh_show(Kernel& kernel, int ns = 0);
+
+// `nstat`-style counters summed across kernel-managed devices.
+struct NetStats {
+    std::uint64_t rx_packets = 0;
+    std::uint64_t tx_packets = 0;
+    std::uint64_t rx_dropped = 0;
+    std::uint64_t tx_dropped = 0;
+};
+NetStats nstat(Kernel& kernel);
+
+// `tcpdump -i <dev>`: attaches a capture hook. Returns false (ENODEV)
+// for DPDK-owned or unknown devices.
+bool tcpdump_attach(Kernel& kernel, const std::string& dev, Device::CaptureHook hook,
+                    std::string* error = nullptr);
+
+// `ping`-style reachability probe: can the stack in `ns` route to
+// `dst` and resolve the next hop? (Data-plane reachability is exercised
+// by higher-level tests; this mirrors what the tool needs from the
+// kernel tables.)
+bool can_reach(Kernel& kernel, int ns, std::uint32_t dst);
+
+} // namespace rtnl
+} // namespace ovsx::kern

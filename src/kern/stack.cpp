@@ -1,0 +1,225 @@
+#include "kern/stack.h"
+
+#include "kern/kernel.h"
+#include "net/builder.h"
+#include "net/headers.h"
+
+namespace ovsx::kern {
+
+IpStack::IpStack(Kernel& kernel, int ns_id) : kernel_(kernel), ns_id_(ns_id) {}
+
+void IpStack::add_address(int ifindex, std::uint32_t addr, int prefix_len)
+{
+    addrs_.push_back({ifindex, addr, prefix_len});
+    // Connected route for the subnet.
+    const std::uint32_t mask =
+        prefix_len == 0 ? 0 : ~std::uint32_t{0} << (32 - prefix_len);
+    routes_.push_back({addr & mask, prefix_len, 0, ifindex, 0});
+    notify("address");
+    notify("route");
+}
+
+void IpStack::add_route(std::uint32_t prefix, int prefix_len, std::uint32_t gateway, int ifindex,
+                        int metric)
+{
+    routes_.push_back({prefix, prefix_len, gateway, ifindex, metric});
+    notify("route");
+}
+
+void IpStack::add_neighbor(std::uint32_t addr, const net::MacAddr& mac, int ifindex,
+                           bool permanent)
+{
+    for (auto& n : neighbors_) {
+        if (n.addr == addr) {
+            n.mac = mac;
+            n.ifindex = ifindex;
+            n.permanent = n.permanent || permanent;
+            notify("neighbor");
+            return;
+        }
+    }
+    neighbors_.push_back({addr, mac, ifindex, permanent});
+    notify("neighbor");
+}
+
+bool IpStack::is_local_address(std::uint32_t addr) const
+{
+    for (const auto& a : addrs_) {
+        if (a.addr == addr) return true;
+    }
+    return false;
+}
+
+std::optional<RouteEntry> IpStack::route_lookup(std::uint32_t dst) const
+{
+    const RouteEntry* best = nullptr;
+    for (const auto& r : routes_) {
+        const std::uint32_t mask =
+            r.prefix_len == 0 ? 0 : ~std::uint32_t{0} << (32 - r.prefix_len);
+        if ((dst & mask) != r.prefix) continue;
+        if (!best || r.prefix_len > best->prefix_len ||
+            (r.prefix_len == best->prefix_len && r.metric < best->metric)) {
+            best = &r;
+        }
+    }
+    if (!best) return std::nullopt;
+    return *best;
+}
+
+std::optional<net::MacAddr> IpStack::neighbor_lookup(std::uint32_t addr) const
+{
+    for (const auto& n : neighbors_) {
+        if (n.addr == addr) return n.mac;
+    }
+    return std::nullopt;
+}
+
+std::optional<std::uint32_t> IpStack::address_on(int ifindex) const
+{
+    for (const auto& a : addrs_) {
+        if (a.ifindex == ifindex) return a.addr;
+    }
+    return std::nullopt;
+}
+
+void IpStack::bind(std::uint8_t proto, std::uint16_t port, SocketHandler handler)
+{
+    sockets_[{proto, port}] = std::move(handler);
+}
+
+void IpStack::unbind(std::uint8_t proto, std::uint16_t port)
+{
+    sockets_.erase({proto, port});
+}
+
+void IpStack::notify(const char* table)
+{
+    for (const auto& l : listeners_) l(table);
+}
+
+void IpStack::handle_arp(Device& dev, net::Packet&& pkt, sim::ExecContext& ctx)
+{
+    const auto* arp = pkt.try_header_at<net::ArpHeader>(sizeof(net::EthernetHeader));
+    if (!arp) return;
+    // Learn the sender.
+    if (arp->spa() != 0) add_neighbor(arp->spa(), arp->sha, dev.ifindex());
+    if (arp->oper() == 1 && is_local_address(arp->tpa())) {
+        // Reply for our own address.
+        net::Packet reply = net::build_arp(false, dev.mac(), arp->tpa(), arp->sha, arp->spa());
+        dev.transmit(std::move(reply), ctx);
+    }
+}
+
+void IpStack::rx(Device& dev, net::Packet&& pkt, sim::ExecContext& ctx)
+{
+    const net::FlowKey key = net::parse_flow(pkt);
+
+    if (key.dl_type == static_cast<std::uint16_t>(net::EtherType::Arp)) {
+        handle_arp(dev, std::move(pkt), ctx);
+        ++rx_delivered_;
+        return;
+    }
+    if (key.dl_type != static_cast<std::uint16_t>(net::EtherType::Ipv4)) {
+        ++rx_dropped_;
+        return;
+    }
+
+    // Checksum validation on the slow path when hardware didn't.
+    if (!pkt.meta().csum_verified &&
+        (key.nw_proto == 6 || key.nw_proto == 17)) {
+        ctx.charge(kernel_.costs().csum(static_cast<std::int64_t>(pkt.size())));
+        pkt.meta().csum_verified = true;
+    }
+
+    if (is_local_address(key.nw_dst) || key.nw_dst == 0xffffffff) {
+        // Local delivery: exact port first, then the wildcard port.
+        auto it = sockets_.find({key.nw_proto, key.tp_dst});
+        if (it == sockets_.end()) it = sockets_.find({key.nw_proto, 0});
+        if (it != sockets_.end()) {
+            ++rx_delivered_;
+            it->second(std::move(pkt), key, ctx);
+            return;
+        }
+        ++rx_dropped_; // no listener (kernel would send ICMP unreachable)
+        return;
+    }
+
+    if (forwarding_) {
+        forward(std::move(pkt), key.nw_dst, ctx);
+        return;
+    }
+    ++rx_dropped_;
+}
+
+void IpStack::forward(net::Packet&& pkt, std::uint32_t dst, sim::ExecContext& ctx)
+{
+    const auto route = route_lookup(dst);
+    if (!route) {
+        ++rx_dropped_;
+        return;
+    }
+    auto* ip = pkt.try_header_at<net::Ipv4Header>(sizeof(net::EthernetHeader));
+    if (!ip || ip->ttl <= 1) {
+        ++rx_dropped_;
+        return;
+    }
+    ip->ttl--;
+    net::refresh_ipv4_csum(pkt, sizeof(net::EthernetHeader));
+
+    const std::uint32_t next_hop = route->gateway ? route->gateway : dst;
+    const auto mac = neighbor_lookup(next_hop);
+    Device* out = kernel_.device(route->ifindex);
+    if (!mac || !out) {
+        ++rx_dropped_;
+        return;
+    }
+    auto* eth = pkt.header_at<net::EthernetHeader>(0);
+    eth->src = out->mac();
+    eth->dst = *mac;
+    ++rx_forwarded_;
+    out->transmit(std::move(pkt), ctx);
+}
+
+bool IpStack::send_ip(net::Packet&& pkt, sim::ExecContext& ctx)
+{
+    const auto* ip = pkt.try_header_at<net::Ipv4Header>(sizeof(net::EthernetHeader));
+    if (!ip) return false;
+    const std::uint32_t dst = ip->dst();
+    const auto route = route_lookup(dst);
+    if (!route) return false;
+    Device* out = kernel_.device(route->ifindex);
+    if (!out) return false;
+    const std::uint32_t next_hop = route->gateway ? route->gateway : dst;
+    const auto mac = neighbor_lookup(next_hop);
+    if (!mac) {
+        // Trigger ARP resolution; the packet itself is dropped (first-
+        // packet ARP behaviour), callers in benches pre-populate ARP.
+        const auto src = address_on(route->ifindex).value_or(0);
+        net::Packet req = net::build_arp(true, out->mac(), src, net::MacAddr(), next_hop);
+        out->transmit(std::move(req), ctx);
+        return false;
+    }
+    auto* eth = pkt.header_at<net::EthernetHeader>(0);
+    eth->src = out->mac();
+    eth->dst = *mac;
+    out->transmit(std::move(pkt), ctx);
+    return true;
+}
+
+bool IpStack::send_udp(std::uint32_t dst_ip, std::uint16_t sport, std::uint16_t dport,
+                       std::size_t payload_len, sim::ExecContext& ctx)
+{
+    const auto route = route_lookup(dst_ip);
+    if (!route) return false;
+    const auto src = address_on(route->ifindex);
+    if (!src) return false;
+    net::UdpSpec spec;
+    spec.src_ip = *src;
+    spec.dst_ip = dst_ip;
+    spec.src_port = sport;
+    spec.dst_port = dport;
+    spec.payload_len = payload_len;
+    return send_ip(net::build_udp(spec), ctx);
+}
+
+} // namespace ovsx::kern

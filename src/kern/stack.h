@@ -1,0 +1,115 @@
+// Per-namespace IP stack: addresses, routing (LPM), neighbors/ARP,
+// socket demultiplexing, and IP forwarding.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "kern/device.h"
+#include "net/flow.h"
+#include "net/packet.h"
+#include "sim/context.h"
+
+namespace ovsx::kern {
+
+class Kernel;
+
+struct AddressEntry {
+    int ifindex = -1;
+    std::uint32_t addr = 0; // host byte order
+    int prefix_len = 32;
+};
+
+struct RouteEntry {
+    std::uint32_t prefix = 0;
+    int prefix_len = 0;
+    std::uint32_t gateway = 0; // 0 = directly connected
+    int ifindex = -1;
+    int metric = 0;
+};
+
+struct NeighborEntry {
+    std::uint32_t addr = 0;
+    net::MacAddr mac;
+    int ifindex = -1;
+    bool permanent = false;
+};
+
+class IpStack {
+public:
+    // Socket receive callback: full frame, parsed key, and the softirq
+    // context delivering it.
+    using SocketHandler =
+        std::function<void(net::Packet&&, const net::FlowKey&, sim::ExecContext&)>;
+    // Notified on any table change, the hook rtnetlink subscribers
+    // (OVS's userspace replica cache, §4) rely on.
+    using ChangeListener = std::function<void(const char* table)>;
+
+    IpStack(Kernel& kernel, int ns_id);
+
+    int ns_id() const { return ns_id_; }
+
+    // ---- configuration --------------------------------------------------
+    void add_address(int ifindex, std::uint32_t addr, int prefix_len);
+    void add_route(std::uint32_t prefix, int prefix_len, std::uint32_t gateway, int ifindex,
+                   int metric = 0);
+    void add_neighbor(std::uint32_t addr, const net::MacAddr& mac, int ifindex,
+                      bool permanent = false);
+    void set_forwarding(bool on) { forwarding_ = on; }
+
+    const std::vector<AddressEntry>& addresses() const { return addrs_; }
+    const std::vector<RouteEntry>& routes() const { return routes_; }
+    const std::vector<NeighborEntry>& neighbors() const { return neighbors_; }
+
+    bool is_local_address(std::uint32_t addr) const;
+    std::optional<RouteEntry> route_lookup(std::uint32_t dst) const;
+    std::optional<net::MacAddr> neighbor_lookup(std::uint32_t addr) const;
+    // Source address selection for an egress interface.
+    std::optional<std::uint32_t> address_on(int ifindex) const;
+
+    void add_change_listener(ChangeListener fn) { listeners_.push_back(std::move(fn)); }
+
+    // ---- sockets -----------------------------------------------------------
+    // Binds (proto, local port). Port 0 binds all ports of that proto
+    // (used by tunnel vports and diagnostic taps).
+    void bind(std::uint8_t proto, std::uint16_t port, SocketHandler handler);
+    void unbind(std::uint8_t proto, std::uint16_t port);
+
+    // ---- datapath ---------------------------------------------------------------
+    // Ingress from a device in this namespace (after skb allocation).
+    void rx(Device& dev, net::Packet&& pkt, sim::ExecContext& ctx);
+
+    // Transmits an IP packet originated locally: fills in Ethernet based
+    // on route/neighbor lookup. Returns false when unroutable.
+    bool send_ip(net::Packet&& pkt, sim::ExecContext& ctx);
+
+    // Convenience: build + send a UDP datagram.
+    bool send_udp(std::uint32_t dst_ip, std::uint16_t sport, std::uint16_t dport,
+                  std::size_t payload_len, sim::ExecContext& ctx);
+
+    std::uint64_t rx_delivered() const { return rx_delivered_; }
+    std::uint64_t rx_forwarded() const { return rx_forwarded_; }
+    std::uint64_t rx_dropped() const { return rx_dropped_; }
+
+private:
+    void notify(const char* table);
+    void handle_arp(Device& dev, net::Packet&& pkt, sim::ExecContext& ctx);
+    void forward(net::Packet&& pkt, std::uint32_t dst, sim::ExecContext& ctx);
+
+    Kernel& kernel_;
+    int ns_id_;
+    bool forwarding_ = false;
+    std::vector<AddressEntry> addrs_;
+    std::vector<RouteEntry> routes_;
+    std::vector<NeighborEntry> neighbors_;
+    std::map<std::pair<std::uint8_t, std::uint16_t>, SocketHandler> sockets_;
+    std::vector<ChangeListener> listeners_;
+    std::uint64_t rx_delivered_ = 0;
+    std::uint64_t rx_forwarded_ = 0;
+    std::uint64_t rx_dropped_ = 0;
+};
+
+} // namespace ovsx::kern

@@ -1,0 +1,53 @@
+// Tap devices: a kernel network interface whose "other end" is a file
+// descriptor held by a userspace program (QEMU for VM networking, or
+// OVS itself for the management path of §4).
+//
+// Terminology used here:
+//  - fd side   : the userspace holder of /dev/net/tun (e.g. QEMU).
+//  - kernel side: the tap network interface inside the host.
+//  - packet socket: an AF_PACKET-style listener bound to the interface
+//    (how OVS's userspace datapath attaches tap/system ports).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "kern/device.h"
+
+namespace ovsx::kern {
+
+class TapDevice : public Device {
+public:
+    // Callback invoked when the kernel transmits out of the tap — i.e.
+    // the fd holder (QEMU) reads a frame.
+    using FdRx = std::function<void(net::Packet&&, sim::ExecContext&)>;
+
+    TapDevice(Kernel& kernel, std::string name, net::MacAddr mac);
+
+    void set_fd_rx(FdRx fn) { fd_rx_ = std::move(fn); }
+
+    // The fd holder writes a frame (guest transmitted): it enters the
+    // host kernel as ingress on the tap interface. Charges the writer's
+    // context for the write syscall.
+    void fd_write(net::Packet&& pkt, sim::ExecContext& writer_ctx);
+
+    // A userspace datapath (OVS) sends a packet *out of* the tap via an
+    // AF_PACKET socket — the sendto() path the paper measured at ~2 µs
+    // (§3.3). The frame pops out at the fd holder.
+    void packet_socket_send(net::Packet&& pkt, sim::ExecContext& user_ctx);
+
+    // Kernel egress (stack or kernel-OVS output action): frame is read
+    // by the fd holder; if nobody holds the fd, it is queued.
+    void transmit(net::Packet&& pkt, sim::ExecContext& ctx) override;
+
+    // Drain queued frames when no fd callback is registered.
+    std::optional<net::Packet> fd_read();
+    std::size_t fd_queue_depth() const { return fd_queue_.size(); }
+
+private:
+    FdRx fd_rx_;
+    std::deque<net::Packet> fd_queue_;
+};
+
+} // namespace ovsx::kern

@@ -1,0 +1,86 @@
+// Vhost-user / virtio-net: the shared-memory ring channel between a
+// userspace switch (the vhost backend) and a VM's virtio-net driver.
+// This is "path B" of Figure 5 — packets move between OVS and the guest
+// without ever entering the host kernel.
+#pragma once
+
+#include <functional>
+
+#include "afxdp/ring.h"
+#include "kern/device.h"
+#include "sim/costs.h"
+
+namespace ovsx::kern {
+
+struct VirtioFeatures {
+    bool csum_offload = true;  // VIRTIO_NET_F_CSUM: checksums stay logical
+    bool tso = true;           // VIRTIO_NET_F_HOST_TSO4: 64kB super-segments
+    bool guest_polling = false; // guest busy-polls its rings (no kick/irq)
+};
+
+class VhostUserChannel {
+public:
+    using GuestRx = std::function<void(net::Packet&&, sim::ExecContext&)>;
+
+    explicit VhostUserChannel(const sim::CostModel& costs, VirtioFeatures features = {},
+                              std::uint32_t ring_size = 1024)
+        : costs_(costs), features_(features), to_guest_(ring_size), to_backend_(ring_size)
+    {
+    }
+
+    const VirtioFeatures& features() const { return features_; }
+
+    // ---- backend (switch) side -------------------------------------------
+    // Sends a packet into the guest. The backend performs the data copy
+    // into guest buffers. Returns false when the ring is full (drop).
+    bool backend_tx(net::Packet&& pkt, sim::ExecContext& user_ctx);
+
+    // Polls one packet transmitted by the guest.
+    std::optional<net::Packet> backend_rx(sim::ExecContext& user_ctx);
+
+    // The backend's PMD polls rings, so guest->backend kicks are never
+    // needed; backend->guest delivery pays an interrupt-style kick unless
+    // the guest polls.
+    void set_guest_rx(GuestRx fn) { guest_rx_ = std::move(fn); }
+
+    // ---- guest side -------------------------------------------------------
+    bool guest_tx(net::Packet&& pkt, sim::ExecContext& guest_ctx);
+    std::optional<net::Packet> guest_rx_poll(sim::ExecContext& guest_ctx);
+
+    std::uint64_t drops() const { return drops_; }
+
+private:
+    const sim::CostModel& costs_;
+    VirtioFeatures features_;
+    GuestRx guest_rx_;
+    afxdp::SpscRing<net::Packet> to_guest_;
+    afxdp::SpscRing<net::Packet> to_backend_;
+    std::uint64_t drops_ = 0;
+};
+
+// The virtio-net adapter as seen inside the guest kernel.
+class VirtioNetDevice : public Device {
+public:
+    VirtioNetDevice(Kernel& guest_kernel, std::string name, net::MacAddr mac,
+                    VhostUserChannel& channel, sim::ExecContext& guest_ctx);
+
+    // Guest egress -> vhost channel.
+    void transmit(net::Packet&& pkt, sim::ExecContext& ctx) override;
+
+    // Whether guest TX requests offloads (negotiated virtio features).
+    void set_offloads(bool csum, std::uint16_t tso_segsz)
+    {
+        tx_csum_offload_ = csum;
+        tx_tso_segsz_ = tso_segsz;
+    }
+
+    VhostUserChannel& channel() { return channel_; }
+
+private:
+    VhostUserChannel& channel_;
+    sim::ExecContext* guest_ctx_ = nullptr;
+    bool tx_csum_offload_ = false;
+    std::uint16_t tx_tso_segsz_ = 0;
+};
+
+} // namespace ovsx::kern

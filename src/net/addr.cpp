@@ -1,0 +1,42 @@
+#include "net/addr.h"
+
+#include <cstdio>
+
+namespace ovsx::net {
+
+std::string MacAddr::to_string() const
+{
+    char buf[18];
+    std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", bytes[0], bytes[1], bytes[2],
+                  bytes[3], bytes[4], bytes[5]);
+    return buf;
+}
+
+std::string Ipv6Addr::to_string() const
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%02x%02x:%02x%02x:%02x%02x:%02x%02x:%02x%02x:%02x%02x:%02x%02x:%02x%02x",
+                  bytes[0], bytes[1], bytes[2], bytes[3], bytes[4], bytes[5], bytes[6], bytes[7],
+                  bytes[8], bytes[9], bytes[10], bytes[11], bytes[12], bytes[13], bytes[14],
+                  bytes[15]);
+    return buf;
+}
+
+std::string ipv4_to_string(std::uint32_t addr)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (addr >> 24) & 0xff, (addr >> 16) & 0xff,
+                  (addr >> 8) & 0xff, addr & 0xff);
+    return buf;
+}
+
+std::uint32_t ipv4_from_string(const std::string& s)
+{
+    unsigned a = 0, b = 0, c = 0, d = 0;
+    if (std::sscanf(s.c_str(), "%u.%u.%u.%u", &a, &b, &c, &d) != 4) return 0;
+    if (a > 255 || b > 255 || c > 255 || d > 255) return 0;
+    return ipv4(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
+                static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(d));
+}
+
+} // namespace ovsx::net

@@ -1,0 +1,70 @@
+// Link-layer and network-layer address types.
+//
+// IPv4 addresses are carried as host-byte-order std::uint32_t throughout
+// the library and converted to network byte order only when written into
+// wire headers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace ovsx::net {
+
+struct MacAddr {
+    std::array<std::uint8_t, 6> bytes{};
+
+    constexpr MacAddr() = default;
+    constexpr MacAddr(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d,
+                      std::uint8_t e, std::uint8_t f)
+        : bytes{a, b, c, d, e, f}
+    {
+    }
+
+    // Constructs a locally administered unicast address from a 32-bit id,
+    // handy for generating stable per-port MACs in tests and workloads.
+    static MacAddr from_id(std::uint32_t id)
+    {
+        return MacAddr(0x02, 0x00, static_cast<std::uint8_t>(id >> 24),
+                       static_cast<std::uint8_t>(id >> 16), static_cast<std::uint8_t>(id >> 8),
+                       static_cast<std::uint8_t>(id));
+    }
+
+    static constexpr MacAddr broadcast() { return MacAddr(0xff, 0xff, 0xff, 0xff, 0xff, 0xff); }
+
+    bool is_broadcast() const { return *this == broadcast(); }
+    bool is_multicast() const { return (bytes[0] & 0x01) != 0; }
+    bool is_zero() const { return *this == MacAddr(); }
+
+    friend bool operator==(const MacAddr&, const MacAddr&) = default;
+    friend auto operator<=>(const MacAddr&, const MacAddr&) = default;
+
+    std::string to_string() const;
+};
+
+struct Ipv6Addr {
+    std::array<std::uint8_t, 16> bytes{};
+
+    friend bool operator==(const Ipv6Addr&, const Ipv6Addr&) = default;
+    friend auto operator<=>(const Ipv6Addr&, const Ipv6Addr&) = default;
+
+    bool is_zero() const { return *this == Ipv6Addr(); }
+    std::string to_string() const;
+};
+
+// Formats a host-byte-order IPv4 address as dotted quad.
+std::string ipv4_to_string(std::uint32_t addr);
+
+// Parses "a.b.c.d" into a host-byte-order address; returns 0 on failure
+// ("0.0.0.0" parses to 0 as well, by design callers treat 0 as unset).
+std::uint32_t ipv4_from_string(const std::string& s);
+
+// Builds an IPv4 address from octets, host byte order.
+constexpr std::uint32_t ipv4(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+{
+    return (static_cast<std::uint32_t>(a) << 24) | (static_cast<std::uint32_t>(b) << 16) |
+           (static_cast<std::uint32_t>(c) << 8) | d;
+}
+
+} // namespace ovsx::net

@@ -1,0 +1,61 @@
+// Convenience constructors for well-formed test/workload packets.
+#pragma once
+
+#include <cstdint>
+
+#include "net/addr.h"
+#include "net/packet.h"
+
+namespace ovsx::net {
+
+struct UdpSpec {
+    MacAddr src_mac;
+    MacAddr dst_mac;
+    std::uint32_t src_ip = 0;
+    std::uint32_t dst_ip = 0;
+    std::uint16_t src_port = 0;
+    std::uint16_t dst_port = 0;
+    std::size_t payload_len = 18; // default yields a 64-byte frame
+    std::uint8_t ttl = 64;
+    std::uint8_t tos = 0;
+    std::uint16_t vlan_tci = 0; // 0 = untagged
+    bool fill_udp_csum = true;
+};
+
+struct TcpSpec {
+    MacAddr src_mac;
+    MacAddr dst_mac;
+    std::uint32_t src_ip = 0;
+    std::uint32_t dst_ip = 0;
+    std::uint16_t src_port = 0;
+    std::uint16_t dst_port = 0;
+    std::uint32_t seq = 0;
+    std::uint32_t ack = 0;
+    std::uint8_t flags = 0;
+    std::size_t payload_len = 0;
+    std::uint8_t ttl = 64;
+    bool fill_tcp_csum = true;
+};
+
+// Builds a complete Ethernet/IPv4/UDP frame with valid checksums.
+Packet build_udp(const UdpSpec& spec);
+
+// Builds a complete Ethernet/IPv4/TCP frame with valid checksums.
+Packet build_tcp(const TcpSpec& spec);
+
+// Builds an ARP request/reply.
+Packet build_arp(bool request, const MacAddr& src_mac, std::uint32_t src_ip,
+                 const MacAddr& dst_mac, std::uint32_t dst_ip);
+
+// Recomputes the IPv4 header checksum of a frame in place (after header
+// rewrites). `l3_off` is the offset of the IPv4 header.
+void refresh_ipv4_csum(Packet& pkt, std::size_t l3_off);
+
+// Recomputes the L4 (TCP/UDP) checksum of an IPv4 frame in place.
+void refresh_l4_csum(Packet& pkt, std::size_t l3_off);
+
+// Verifies the L4 checksum of an IPv4 TCP/UDP frame. Returns true when
+// valid (or when the protocol carries no checksum).
+bool verify_l4_csum(const Packet& pkt, std::size_t l3_off);
+
+} // namespace ovsx::net

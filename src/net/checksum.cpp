@@ -1,0 +1,46 @@
+#include "net/checksum.h"
+
+#include "net/headers.h"
+
+namespace ovsx::net {
+
+static_assert(sizeof(void*) >= 4, "32-bit minimum assumed");
+
+std::uint32_t checksum_partial(std::span<const std::uint8_t> bytes, std::uint32_t seed)
+{
+    std::uint32_t sum = seed;
+    std::size_t i = 0;
+    for (; i + 1 < bytes.size(); i += 2) {
+        sum += (static_cast<std::uint32_t>(bytes[i]) << 8) | bytes[i + 1];
+    }
+    if (i < bytes.size()) {
+        sum += static_cast<std::uint32_t>(bytes[i]) << 8;
+    }
+    return sum;
+}
+
+std::uint16_t checksum_finish(std::uint32_t partial)
+{
+    while (partial >> 16) partial = (partial & 0xffff) + (partial >> 16);
+    return static_cast<std::uint16_t>(~partial & 0xffff);
+}
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> bytes)
+{
+    return checksum_finish(checksum_partial(bytes));
+}
+
+std::uint16_t l4_checksum_ipv4(std::uint32_t src, std::uint32_t dst, std::uint8_t proto,
+                               std::span<const std::uint8_t> l4)
+{
+    std::uint32_t sum = 0;
+    sum += (src >> 16) & 0xffff;
+    sum += src & 0xffff;
+    sum += (dst >> 16) & 0xffff;
+    sum += dst & 0xffff;
+    sum += proto;
+    sum += static_cast<std::uint32_t>(l4.size());
+    return checksum_finish(checksum_partial(l4, sum));
+}
+
+} // namespace ovsx::net

@@ -1,0 +1,25 @@
+// RFC 1071 Internet checksum and the TCP/UDP pseudo-header variants.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace ovsx::net {
+
+// One's-complement sum over `bytes`, folded to 16 bits but NOT inverted.
+std::uint32_t checksum_partial(std::span<const std::uint8_t> bytes, std::uint32_t seed = 0);
+
+// Final fold + invert of a partial sum.
+std::uint16_t checksum_finish(std::uint32_t partial);
+
+// Full Internet checksum of a byte range (e.g. an IPv4 header with its
+// checksum field zeroed).
+std::uint16_t internet_checksum(std::span<const std::uint8_t> bytes);
+
+// TCP/UDP checksum over an IPv4 pseudo header plus the L4 segment.
+// Addresses are host byte order; `l4` covers the L4 header + payload
+// with the checksum field zeroed.
+std::uint16_t l4_checksum_ipv4(std::uint32_t src, std::uint32_t dst, std::uint8_t proto,
+                               std::span<const std::uint8_t> l4);
+
+} // namespace ovsx::net

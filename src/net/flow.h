@@ -1,0 +1,123 @@
+// Flow keys, masks, and the packet -> key parser.
+//
+// FlowKey mirrors the fields OVS extracts into `struct flow`: tunnel
+// metadata, datapath port, recirculation id, connection-tracking state,
+// L2, L3 (IPv4 + IPv6), and L4 fields. All multi-byte fields are host
+// byte order. The struct's bytes are fully defined (explicit padding,
+// zeroed construction) so hashing and equality can operate on raw memory
+// — exactly what makes exact-match caches and tuple-space search fast.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+
+#include "net/addr.h"
+#include "net/packet.h"
+#include "net/tunnel_key.h"
+
+namespace ovsx::net {
+
+// FlowKey::ct_state bits (subset of OVS's CS_*).
+constexpr std::uint8_t kCtStateNew = 0x01;
+constexpr std::uint8_t kCtStateEstablished = 0x02;
+constexpr std::uint8_t kCtStateRelated = 0x04;
+constexpr std::uint8_t kCtStateReply = 0x08;
+constexpr std::uint8_t kCtStateInvalid = 0x10;
+constexpr std::uint8_t kCtStateTracked = 0x20;
+
+// FlowKey::nw_frag bits.
+constexpr std::uint8_t kFragAny = 0x01;   // packet is a fragment
+constexpr std::uint8_t kFragLater = 0x02; // not the first fragment
+
+struct FlowKey {
+    // -- metadata ---------------------------------------------------------
+    std::uint64_t tun_id = 0;
+    std::uint32_t tun_src = 0;
+    std::uint32_t tun_dst = 0;
+    std::uint32_t in_port = 0;
+    std::uint32_t recirc_id = 0;
+    std::uint32_t ct_mark = 0;
+    std::uint16_t ct_zone = 0;
+    std::uint8_t ct_state = 0;
+    std::uint8_t pad0 = 0;
+
+    // -- L2 ----------------------------------------------------------------
+    MacAddr dl_src;
+    MacAddr dl_dst;
+    std::uint16_t dl_type = 0;  // EtherType of the innermost Ethernet payload
+    std::uint16_t vlan_tci = 0; // 0 = untagged; else TCI | 0x1000 "present" bit
+
+    // -- L3 ----------------------------------------------------------------
+    std::uint32_t nw_src = 0; // IPv4 source (or ARP SPA)
+    std::uint32_t nw_dst = 0; // IPv4 destination (or ARP TPA)
+    std::uint8_t nw_proto = 0;
+    std::uint8_t nw_tos = 0;
+    std::uint8_t nw_ttl = 0;
+    std::uint8_t nw_frag = 0;
+    Ipv6Addr ipv6_src;
+    Ipv6Addr ipv6_dst;
+
+    // -- L4 ----------------------------------------------------------------
+    std::uint16_t tp_src = 0;
+    std::uint16_t tp_dst = 0;
+    std::uint8_t tcp_flags = 0;
+    std::uint8_t icmp_type = 0;
+    std::uint8_t icmp_code = 0;
+    std::uint8_t pad1 = 0;
+    std::uint32_t pad2 = 0; // keeps sizeof a multiple of alignof with no tail padding
+
+    FlowKey() = default;
+
+    bool operator==(const FlowKey& o) const { return std::memcmp(this, &o, sizeof *this) == 0; }
+
+    // 64-bit hash of the full key (raw-memory FNV-1a over the zero-padded
+    // struct; valid because construction zeroes every byte).
+    std::uint64_t hash(std::uint64_t basis = 0) const;
+
+    std::string to_string() const;
+};
+
+// No implicit padding anywhere: raw-memory hash/equality are well-defined.
+static_assert(std::has_unique_object_representations_v<FlowKey>);
+
+// Wildcard mask over FlowKey: a bit set to 1 means "match this bit".
+// Stored as a FlowKey whose field values are the masks themselves.
+struct FlowMask {
+    FlowKey bits; // field values are per-bit masks
+
+    // Returns key & mask.
+    FlowKey apply(const FlowKey& key) const;
+
+    // True if `key` masked equals `masked_key` (which must already be
+    // masked by this mask).
+    bool matches(const FlowKey& key, const FlowKey& masked_key) const;
+
+    // Number of fully exact bytes in the mask — a crude specificity
+    // measure used to order subtable probes.
+    int exact_bytes() const;
+
+    std::uint64_t hash() const { return bits.hash(0x9d3a); }
+    bool operator==(const FlowMask& o) const { return bits == o.bits; }
+
+    static FlowMask exact(); // all bits significant
+    static FlowMask none();  // match-all (no bits significant)
+};
+
+// Parses `pkt` into a FlowKey, consuming metadata (in_port, tunnel, ct,
+// recirc) from pkt.meta(). Returns the key; never throws on malformed
+// packets — unparseable layers are simply left zero, as in OVS.
+FlowKey parse_flow(const Packet& pkt);
+
+// Returns the byte offsets of the L3 and L4 headers of `pkt` (or -1 when
+// absent). Used by actions that rewrite headers.
+struct HeaderOffsets {
+    int l3 = -1;
+    int l4 = -1;
+    std::uint16_t dl_type = 0;
+    std::uint8_t nw_proto = 0;
+};
+HeaderOffsets locate_headers(const Packet& pkt);
+
+} // namespace ovsx::net

@@ -1,0 +1,32 @@
+// 5-tuple RSS hash, equivalent to what NIC hardware computes for RSS
+// and what OVS's AF_XDP driver must compute in software when the NIC
+// does not pass a hash hint through XDP (see Fig. 12 discussion).
+#pragma once
+
+#include <cstdint>
+
+#include "net/flow.h"
+
+namespace ovsx::net {
+
+// Jenkins-style finalization of the 5-tuple. Stable across runs.
+inline std::uint32_t rxhash_5tuple(std::uint32_t src, std::uint32_t dst, std::uint8_t proto,
+                                   std::uint16_t sport, std::uint16_t dport)
+{
+    std::uint64_t h = (static_cast<std::uint64_t>(src) << 32) | dst;
+    h ^= (static_cast<std::uint64_t>(proto) << 32) |
+         (static_cast<std::uint64_t>(sport) << 16) | dport;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    h *= 0xc4ceb9fe1a85ec53ULL;
+    h ^= h >> 33;
+    return static_cast<std::uint32_t>(h);
+}
+
+inline std::uint32_t rxhash_from_key(const FlowKey& key)
+{
+    return rxhash_5tuple(key.nw_src, key.nw_dst, key.nw_proto, key.tp_src, key.tp_dst);
+}
+
+} // namespace ovsx::net

@@ -1,0 +1,275 @@
+// Wire-format protocol headers.
+//
+// Headers are packed structs overlaid on packet buffers. Multi-byte
+// fields are stored in network byte order and suffixed `_be`; use the
+// load/store helpers (or the accessor methods) rather than touching the
+// raw fields.
+#pragma once
+
+#include <cstdint>
+
+#include "net/addr.h"
+
+namespace ovsx::net {
+
+// ---- byte-order helpers -----------------------------------------------
+
+constexpr std::uint16_t byteswap16(std::uint16_t v)
+{
+    return static_cast<std::uint16_t>((v << 8) | (v >> 8));
+}
+
+constexpr std::uint32_t byteswap32(std::uint32_t v)
+{
+    return ((v & 0x000000ffU) << 24) | ((v & 0x0000ff00U) << 8) | ((v & 0x00ff0000U) >> 8) |
+           ((v & 0xff000000U) >> 24);
+}
+
+constexpr std::uint64_t byteswap64(std::uint64_t v)
+{
+    return (static_cast<std::uint64_t>(byteswap32(static_cast<std::uint32_t>(v))) << 32) |
+           byteswap32(static_cast<std::uint32_t>(v >> 32));
+}
+
+// This codebase only targets little-endian hosts (asserted in headers.cpp).
+constexpr std::uint16_t host_to_be16(std::uint16_t v) { return byteswap16(v); }
+constexpr std::uint16_t be16_to_host(std::uint16_t v) { return byteswap16(v); }
+constexpr std::uint32_t host_to_be32(std::uint32_t v) { return byteswap32(v); }
+constexpr std::uint32_t be32_to_host(std::uint32_t v) { return byteswap32(v); }
+constexpr std::uint64_t host_to_be64(std::uint64_t v) { return byteswap64(v); }
+constexpr std::uint64_t be64_to_host(std::uint64_t v) { return byteswap64(v); }
+
+// ---- EtherTypes / protocol numbers --------------------------------------
+
+enum class EtherType : std::uint16_t {
+    Ipv4 = 0x0800,
+    Arp = 0x0806,
+    Vlan = 0x8100,
+    Ipv6 = 0x86dd,
+    Erspan = 0x88be, // ERSPAN type II rides in GRE with this protocol type
+};
+
+enum class IpProto : std::uint8_t {
+    Icmp = 1,
+    Tcp = 6,
+    Udp = 17,
+    Gre = 47,
+    Icmpv6 = 58,
+};
+
+constexpr std::uint16_t kGenevePort = 6081;
+constexpr std::uint16_t kVxlanPort = 4789;
+
+// TCP flag bits as they appear in FlowKey::tcp_flags.
+constexpr std::uint8_t kTcpFin = 0x01;
+constexpr std::uint8_t kTcpSyn = 0x02;
+constexpr std::uint8_t kTcpRst = 0x04;
+constexpr std::uint8_t kTcpPsh = 0x08;
+constexpr std::uint8_t kTcpAck = 0x10;
+
+#pragma pack(push, 1)
+
+struct EthernetHeader {
+    MacAddr dst;
+    MacAddr src;
+    std::uint16_t ether_type_be;
+
+    std::uint16_t ether_type() const { return be16_to_host(ether_type_be); }
+    void set_ether_type(std::uint16_t v) { ether_type_be = host_to_be16(v); }
+    void set_ether_type(EtherType v) { set_ether_type(static_cast<std::uint16_t>(v)); }
+};
+static_assert(sizeof(EthernetHeader) == 14);
+
+struct VlanHeader {
+    std::uint16_t tci_be;        // PCP(3) | DEI(1) | VID(12)
+    std::uint16_t ether_type_be; // encapsulated EtherType
+
+    std::uint16_t tci() const { return be16_to_host(tci_be); }
+    void set_tci(std::uint16_t v) { tci_be = host_to_be16(v); }
+    std::uint16_t vid() const { return tci() & 0x0fff; }
+    std::uint16_t ether_type() const { return be16_to_host(ether_type_be); }
+    void set_ether_type(std::uint16_t v) { ether_type_be = host_to_be16(v); }
+};
+static_assert(sizeof(VlanHeader) == 4);
+
+struct ArpHeader {
+    std::uint16_t htype_be;
+    std::uint16_t ptype_be;
+    std::uint8_t hlen;
+    std::uint8_t plen;
+    std::uint16_t oper_be; // 1 = request, 2 = reply
+    MacAddr sha;
+    std::uint32_t spa_be;
+    MacAddr tha;
+    std::uint32_t tpa_be;
+
+    std::uint16_t oper() const { return be16_to_host(oper_be); }
+    std::uint32_t spa() const { return be32_to_host(spa_be); }
+    std::uint32_t tpa() const { return be32_to_host(tpa_be); }
+};
+static_assert(sizeof(ArpHeader) == 28);
+
+struct Ipv4Header {
+    std::uint8_t ver_ihl; // version(4) | IHL(4)
+    std::uint8_t tos;
+    std::uint16_t total_len_be;
+    std::uint16_t id_be;
+    std::uint16_t frag_off_be; // flags(3) | fragment offset(13)
+    std::uint8_t ttl;
+    std::uint8_t proto;
+    std::uint16_t csum_be;
+    std::uint32_t src_be;
+    std::uint32_t dst_be;
+
+    int version() const { return ver_ihl >> 4; }
+    int ihl_bytes() const { return (ver_ihl & 0x0f) * 4; }
+    std::uint16_t total_len() const { return be16_to_host(total_len_be); }
+    void set_total_len(std::uint16_t v) { total_len_be = host_to_be16(v); }
+    std::uint32_t src() const { return be32_to_host(src_be); }
+    std::uint32_t dst() const { return be32_to_host(dst_be); }
+    void set_src(std::uint32_t v) { src_be = host_to_be32(v); }
+    void set_dst(std::uint32_t v) { dst_be = host_to_be32(v); }
+    bool more_fragments() const { return (be16_to_host(frag_off_be) & 0x2000) != 0; }
+    std::uint16_t frag_offset() const { return be16_to_host(frag_off_be) & 0x1fff; }
+    bool is_fragment() const { return more_fragments() || frag_offset() != 0; }
+};
+static_assert(sizeof(Ipv4Header) == 20);
+
+struct Ipv6Header {
+    std::uint32_t ver_tc_flow_be; // version(4) | traffic class(8) | flow label(20)
+    std::uint16_t payload_len_be;
+    std::uint8_t next_header;
+    std::uint8_t hop_limit;
+    Ipv6Addr src;
+    Ipv6Addr dst;
+
+    int version() const { return static_cast<int>(be32_to_host(ver_tc_flow_be) >> 28); }
+    std::uint8_t traffic_class() const
+    {
+        return static_cast<std::uint8_t>(be32_to_host(ver_tc_flow_be) >> 20);
+    }
+    std::uint16_t payload_len() const { return be16_to_host(payload_len_be); }
+    void set_payload_len(std::uint16_t v) { payload_len_be = host_to_be16(v); }
+};
+static_assert(sizeof(Ipv6Header) == 40);
+
+struct UdpHeader {
+    std::uint16_t src_be;
+    std::uint16_t dst_be;
+    std::uint16_t len_be;
+    std::uint16_t csum_be;
+
+    std::uint16_t src() const { return be16_to_host(src_be); }
+    std::uint16_t dst() const { return be16_to_host(dst_be); }
+    std::uint16_t len() const { return be16_to_host(len_be); }
+    void set_src(std::uint16_t v) { src_be = host_to_be16(v); }
+    void set_dst(std::uint16_t v) { dst_be = host_to_be16(v); }
+    void set_len(std::uint16_t v) { len_be = host_to_be16(v); }
+};
+static_assert(sizeof(UdpHeader) == 8);
+
+struct TcpHeader {
+    std::uint16_t src_be;
+    std::uint16_t dst_be;
+    std::uint32_t seq_be;
+    std::uint32_t ack_be;
+    std::uint8_t data_off; // data offset(4) | reserved(4)
+    std::uint8_t flags;
+    std::uint16_t window_be;
+    std::uint16_t csum_be;
+    std::uint16_t urgent_be;
+
+    std::uint16_t src() const { return be16_to_host(src_be); }
+    std::uint16_t dst() const { return be16_to_host(dst_be); }
+    void set_src(std::uint16_t v) { src_be = host_to_be16(v); }
+    void set_dst(std::uint16_t v) { dst_be = host_to_be16(v); }
+    int header_len() const { return (data_off >> 4) * 4; }
+    std::uint32_t seq() const { return be32_to_host(seq_be); }
+    std::uint32_t ack() const { return be32_to_host(ack_be); }
+};
+static_assert(sizeof(TcpHeader) == 20);
+
+struct IcmpHeader {
+    std::uint8_t type;
+    std::uint8_t code;
+    std::uint16_t csum_be;
+    std::uint32_t rest_be;
+};
+static_assert(sizeof(IcmpHeader) == 8);
+
+// Geneve (RFC 8926), fixed part. Variable-length options follow.
+struct GeneveHeader {
+    std::uint8_t ver_optlen;  // version(2) | opt len in 4-byte words(6)
+    std::uint8_t flags;       // O(1) | C(1) | reserved(6)
+    std::uint16_t protocol_be; // inner protocol, Ethernet = 0x6558
+    std::uint8_t vni[3];
+    std::uint8_t reserved;
+
+    int opt_len_bytes() const { return (ver_optlen & 0x3f) * 4; }
+    std::uint32_t vni_value() const
+    {
+        return (static_cast<std::uint32_t>(vni[0]) << 16) |
+               (static_cast<std::uint32_t>(vni[1]) << 8) | vni[2];
+    }
+    void set_vni(std::uint32_t v)
+    {
+        vni[0] = static_cast<std::uint8_t>(v >> 16);
+        vni[1] = static_cast<std::uint8_t>(v >> 8);
+        vni[2] = static_cast<std::uint8_t>(v);
+    }
+};
+static_assert(sizeof(GeneveHeader) == 8);
+
+constexpr std::uint16_t kGeneveProtoEthernet = 0x6558; // Trans-Ether bridging
+
+// VXLAN (RFC 7348).
+struct VxlanHeader {
+    std::uint8_t flags; // bit 3 (0x08) = VNI valid
+    std::uint8_t reserved1[3];
+    std::uint8_t vni[3];
+    std::uint8_t reserved2;
+
+    std::uint32_t vni_value() const
+    {
+        return (static_cast<std::uint32_t>(vni[0]) << 16) |
+               (static_cast<std::uint32_t>(vni[1]) << 8) | vni[2];
+    }
+    void set_vni(std::uint32_t v)
+    {
+        vni[0] = static_cast<std::uint8_t>(v >> 16);
+        vni[1] = static_cast<std::uint8_t>(v >> 8);
+        vni[2] = static_cast<std::uint8_t>(v);
+    }
+};
+static_assert(sizeof(VxlanHeader) == 8);
+
+// GRE (RFC 2784/2890), base header. Optional checksum/key/sequence
+// fields follow according to the flag bits.
+struct GreHeader {
+    std::uint16_t flags_ver_be; // C(1)|R(1)|K(1)|S(1)|reserved|version(3)
+    std::uint16_t protocol_be;
+
+    bool has_checksum() const { return (be16_to_host(flags_ver_be) & 0x8000) != 0; }
+    bool has_key() const { return (be16_to_host(flags_ver_be) & 0x2000) != 0; }
+    bool has_sequence() const { return (be16_to_host(flags_ver_be) & 0x1000) != 0; }
+    std::uint16_t protocol() const { return be16_to_host(protocol_be); }
+};
+static_assert(sizeof(GreHeader) == 4);
+
+// ERSPAN type II header (rides inside GRE with a sequence number).
+struct ErspanHeader {
+    std::uint16_t ver_vlan_be; // version(4) | vlan(12)
+    std::uint16_t flags_span_be; // cos(3)|en(2)|t(1)|session id(10)
+    std::uint32_t index_be;
+
+    std::uint16_t session_id() const { return be16_to_host(flags_span_be) & 0x03ff; }
+    void set_session_id(std::uint16_t id)
+    {
+        flags_span_be = host_to_be16((be16_to_host(flags_span_be) & ~0x03ff) | (id & 0x03ff));
+    }
+};
+static_assert(sizeof(ErspanHeader) == 8);
+
+#pragma pack(pop)
+
+} // namespace ovsx::net

@@ -1,0 +1,148 @@
+// Packet buffer with headroom for encapsulation, plus the sideband
+// metadata that travels with a packet through the datapaths.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "net/tunnel_key.h"
+
+namespace ovsx::net {
+
+// Offload/state metadata attached to a packet, the moral equivalent of
+// OVS's dp_packet metadata plus the offload bits an skb would carry.
+struct PacketMeta {
+    std::uint32_t in_port = 0;   // datapath port the packet arrived on
+    std::uint32_t rxhash = 0;    // RSS hash (0 = not computed)
+    bool rxhash_valid = false;
+    std::uint32_t recirc_id = 0; // recirculation context
+
+    TunnelKey tunnel;            // decapsulated tunnel metadata
+
+    // Connection-tracking results (set by a ct() action).
+    std::uint8_t ct_state = 0;
+    std::uint16_t ct_zone = 0;
+    std::uint32_t ct_mark = 0;
+
+    // Checksum offload state: if true, L4 checksum is logically valid /
+    // will be filled by hardware, and software must not spend cycles on it.
+    bool csum_verified = false; // rx direction
+    bool csum_tx_offload = false; // tx direction
+
+    // TCP segmentation offload: when > 0 the packet is an oversized TSO
+    // "super-segment" that hardware (or the peer vhost) will split into
+    // MSS-sized segments.
+    std::uint16_t tso_segsz = 0;
+
+    // Cumulative virtual latency experienced by this packet (ns). Stages
+    // that charge an execution context also add here, so end-to-end
+    // latency distributions (Figs. 10/11) fall out of the same model.
+    std::int64_t latency_ns = 0;
+};
+
+class Packet {
+public:
+    static constexpr std::size_t kDefaultHeadroom = 128;
+
+    Packet() : Packet(0) {}
+
+    explicit Packet(std::size_t len, std::size_t headroom = kDefaultHeadroom)
+        : buf_(headroom + len), off_(headroom), len_(len)
+    {
+    }
+
+    static Packet from_bytes(std::span<const std::uint8_t> bytes,
+                             std::size_t headroom = kDefaultHeadroom)
+    {
+        Packet p(bytes.size(), headroom);
+        std::memcpy(p.data(), bytes.data(), bytes.size());
+        return p;
+    }
+
+    std::uint8_t* data() { return buf_.data() + off_; }
+    const std::uint8_t* data() const { return buf_.data() + off_; }
+    std::size_t size() const { return len_; }
+    std::size_t headroom() const { return off_; }
+
+    std::span<const std::uint8_t> bytes() const { return {data(), len_}; }
+    std::span<std::uint8_t> bytes() { return {data(), len_}; }
+
+    // Prepends `n` bytes (uninitialised) using headroom; returns pointer
+    // to the new front. Throws if headroom is exhausted.
+    std::uint8_t* push_front(std::size_t n)
+    {
+        if (n > off_) throw std::runtime_error("Packet: headroom exhausted");
+        off_ -= n;
+        len_ += n;
+        return data();
+    }
+
+    // Removes `n` bytes from the front (e.g. when stripping an outer
+    // header). Throws if the packet is shorter than `n`.
+    void pull_front(std::size_t n)
+    {
+        if (n > len_) throw std::runtime_error("Packet: pull beyond end");
+        off_ += n;
+        len_ -= n;
+    }
+
+    // Appends `n` zero bytes at the tail.
+    void append_zeros(std::size_t n)
+    {
+        buf_.resize(off_ + len_ + n);
+        std::memset(buf_.data() + off_ + len_, 0, n);
+        len_ += n;
+    }
+
+    void append(std::span<const std::uint8_t> bytes)
+    {
+        buf_.resize(off_ + len_ + bytes.size());
+        std::memcpy(buf_.data() + off_ + len_, bytes.data(), bytes.size());
+        len_ += bytes.size();
+    }
+
+    void truncate(std::size_t new_len)
+    {
+        if (new_len > len_) throw std::runtime_error("Packet: truncate grows packet");
+        len_ = new_len;
+    }
+
+    // Returns a typed view of the header at byte `offset`. The caller is
+    // responsible for having validated the offset against size(); a
+    // checked variant is provided for parser use.
+    template <typename T> T* header_at(std::size_t offset)
+    {
+        return reinterpret_cast<T*>(data() + offset);
+    }
+    template <typename T> const T* header_at(std::size_t offset) const
+    {
+        return reinterpret_cast<const T*>(data() + offset);
+    }
+
+    // Checked view: returns nullptr when the header would run past the
+    // end of the packet.
+    template <typename T> const T* try_header_at(std::size_t offset) const
+    {
+        if (offset + sizeof(T) > len_) return nullptr;
+        return header_at<T>(offset);
+    }
+    template <typename T> T* try_header_at(std::size_t offset)
+    {
+        if (offset + sizeof(T) > len_) return nullptr;
+        return header_at<T>(offset);
+    }
+
+    PacketMeta& meta() { return meta_; }
+    const PacketMeta& meta() const { return meta_; }
+
+private:
+    std::vector<std::uint8_t> buf_;
+    std::size_t off_;
+    std::size_t len_;
+    PacketMeta meta_;
+};
+
+} // namespace ovsx::net

@@ -1,0 +1,154 @@
+#include "net/rewrite.h"
+
+#include <cstring>
+
+#include "net/builder.h"
+#include "net/headers.h"
+
+namespace ovsx::net {
+
+namespace {
+
+bool mask_any(std::uint32_t m) { return m != 0; }
+
+} // namespace
+
+int apply_rewrite(Packet& pkt, const FlowKey& value, const FlowMask& mask)
+{
+    int fields = 0;
+    auto* eth = pkt.try_header_at<EthernetHeader>(0);
+    if (!eth) return 0;
+
+    const auto& mb = mask.bits;
+    if (!mb.dl_src.is_zero()) {
+        for (int i = 0; i < 6; ++i) {
+            eth->src.bytes[size_t(i)] =
+                static_cast<std::uint8_t>((eth->src.bytes[size_t(i)] & ~mb.dl_src.bytes[size_t(i)]) |
+                                          (value.dl_src.bytes[size_t(i)] & mb.dl_src.bytes[size_t(i)]));
+        }
+        ++fields;
+    }
+    if (!mb.dl_dst.is_zero()) {
+        for (int i = 0; i < 6; ++i) {
+            eth->dst.bytes[size_t(i)] =
+                static_cast<std::uint8_t>((eth->dst.bytes[size_t(i)] & ~mb.dl_dst.bytes[size_t(i)]) |
+                                          (value.dl_dst.bytes[size_t(i)] & mb.dl_dst.bytes[size_t(i)]));
+        }
+        ++fields;
+    }
+
+    const HeaderOffsets off = locate_headers(pkt);
+    bool l3_dirty = false;
+    bool l4_dirty = false;
+
+    if (off.l3 >= 0 && off.dl_type == static_cast<std::uint16_t>(EtherType::Ipv4)) {
+        auto* ip = pkt.try_header_at<Ipv4Header>(static_cast<std::size_t>(off.l3));
+        if (ip) {
+            if (mask_any(mb.nw_src)) {
+                ip->set_src((ip->src() & ~mb.nw_src) | (value.nw_src & mb.nw_src));
+                ++fields;
+                l3_dirty = l4_dirty = true;
+            }
+            if (mask_any(mb.nw_dst)) {
+                ip->set_dst((ip->dst() & ~mb.nw_dst) | (value.nw_dst & mb.nw_dst));
+                ++fields;
+                l3_dirty = l4_dirty = true;
+            }
+            if (mb.nw_tos) {
+                ip->tos = static_cast<std::uint8_t>((ip->tos & ~mb.nw_tos) |
+                                                    (value.nw_tos & mb.nw_tos));
+                ++fields;
+                l3_dirty = true;
+            }
+            if (mb.nw_ttl) {
+                ip->ttl = static_cast<std::uint8_t>((ip->ttl & ~mb.nw_ttl) |
+                                                    (value.nw_ttl & mb.nw_ttl));
+                ++fields;
+                l3_dirty = true;
+            }
+        }
+    }
+
+    if (off.l4 >= 0 &&
+        (off.nw_proto == static_cast<std::uint8_t>(IpProto::Tcp) ||
+         off.nw_proto == static_cast<std::uint8_t>(IpProto::Udp))) {
+        const auto l4 = static_cast<std::size_t>(off.l4);
+        if (off.nw_proto == static_cast<std::uint8_t>(IpProto::Udp)) {
+            auto* udp = pkt.try_header_at<UdpHeader>(l4);
+            if (udp) {
+                if (mb.tp_src) {
+                    udp->set_src(static_cast<std::uint16_t>((udp->src() & ~mb.tp_src) |
+                                                            (value.tp_src & mb.tp_src)));
+                    ++fields;
+                    l4_dirty = true;
+                }
+                if (mb.tp_dst) {
+                    udp->set_dst(static_cast<std::uint16_t>((udp->dst() & ~mb.tp_dst) |
+                                                            (value.tp_dst & mb.tp_dst)));
+                    ++fields;
+                    l4_dirty = true;
+                }
+            }
+        } else {
+            auto* tcp = pkt.try_header_at<TcpHeader>(l4);
+            if (tcp) {
+                if (mb.tp_src) {
+                    tcp->set_src(static_cast<std::uint16_t>((tcp->src() & ~mb.tp_src) |
+                                                            (value.tp_src & mb.tp_src)));
+                    ++fields;
+                    l4_dirty = true;
+                }
+                if (mb.tp_dst) {
+                    tcp->set_dst(static_cast<std::uint16_t>((tcp->dst() & ~mb.tp_dst) |
+                                                            (value.tp_dst & mb.tp_dst)));
+                    ++fields;
+                    l4_dirty = true;
+                }
+            }
+        }
+    }
+
+    if (off.l3 >= 0 && off.dl_type == static_cast<std::uint16_t>(EtherType::Ipv4)) {
+        if (l3_dirty) refresh_ipv4_csum(pkt, static_cast<std::size_t>(off.l3));
+        if (l4_dirty && !pkt.meta().csum_tx_offload) {
+            refresh_l4_csum(pkt, static_cast<std::size_t>(off.l3));
+        }
+    }
+    return fields;
+}
+
+void push_vlan(Packet& pkt, std::uint16_t tci)
+{
+    auto* eth_old = pkt.try_header_at<EthernetHeader>(0);
+    if (!eth_old) return;
+    const std::uint16_t inner_type = eth_old->ether_type();
+    const MacAddr src = eth_old->src;
+    const MacAddr dst = eth_old->dst;
+    pkt.push_front(sizeof(VlanHeader));
+    auto* eth = pkt.header_at<EthernetHeader>(0);
+    eth->src = src;
+    eth->dst = dst;
+    eth->set_ether_type(EtherType::Vlan);
+    auto* vlan = pkt.header_at<VlanHeader>(sizeof(EthernetHeader));
+    vlan->set_tci(static_cast<std::uint16_t>(tci & 0xefff));
+    vlan->set_ether_type(inner_type);
+}
+
+bool pop_vlan(Packet& pkt)
+{
+    auto* eth = pkt.try_header_at<EthernetHeader>(0);
+    if (!eth || eth->ether_type() != static_cast<std::uint16_t>(EtherType::Vlan)) return false;
+    const auto* vlan = pkt.try_header_at<VlanHeader>(sizeof(EthernetHeader));
+    if (!vlan) return false;
+    const std::uint16_t inner_type = vlan->ether_type();
+    const MacAddr src = eth->src;
+    const MacAddr dst = eth->dst;
+    pkt.pull_front(sizeof(VlanHeader));
+    auto* eth2 = pkt.header_at<EthernetHeader>(0);
+    eth2->src = src;
+    eth2->dst = dst;
+    eth2->set_ether_type(inner_type);
+    return true;
+}
+
+} // namespace ovsx::net

@@ -1,0 +1,24 @@
+// Masked header rewrites ("set-field" actions).
+//
+// A rewrite is expressed as a (value, mask) pair over FlowKey: every
+// masked field is written back into the packet's wire headers, followed
+// by checksum repair. Both the kernel datapath module and the userspace
+// datapath execute their set-field actions through this helper.
+#pragma once
+
+#include "net/flow.h"
+#include "net/packet.h"
+
+namespace ovsx::net {
+
+// Applies the masked fields of `value` to `pkt`'s headers. Returns the
+// number of distinct header fields rewritten. Unparseable layers are
+// skipped silently (matching datapath behaviour for malformed packets).
+// L3/L4 checksums are repaired when affected.
+int apply_rewrite(Packet& pkt, const FlowKey& value, const FlowMask& mask);
+
+// VLAN manipulation used by push_vlan/pop_vlan actions.
+void push_vlan(Packet& pkt, std::uint16_t tci);
+bool pop_vlan(Packet& pkt); // false when the packet has no VLAN tag
+
+} // namespace ovsx::net

@@ -1,0 +1,241 @@
+#include "net/tunnel.h"
+
+#include <cstring>
+
+#include "net/checksum.h"
+#include "net/headers.h"
+
+namespace ovsx::net {
+
+const char* to_string(TunnelType t)
+{
+    switch (t) {
+    case TunnelType::Geneve: return "geneve";
+    case TunnelType::Vxlan: return "vxlan";
+    case TunnelType::Gre: return "gre";
+    case TunnelType::Erspan: return "erspan";
+    }
+    return "?";
+}
+
+namespace {
+
+constexpr std::size_t kEthIp = sizeof(EthernetHeader) + sizeof(Ipv4Header);
+
+std::size_t proto_header_len(TunnelType type)
+{
+    switch (type) {
+    case TunnelType::Geneve: return sizeof(UdpHeader) + sizeof(GeneveHeader);
+    case TunnelType::Vxlan: return sizeof(UdpHeader) + sizeof(VxlanHeader);
+    case TunnelType::Gre: return sizeof(GreHeader) + 4; // + key field
+    case TunnelType::Erspan:
+        return sizeof(GreHeader) + 4 /* seq */ + sizeof(ErspanHeader);
+    }
+    return 0;
+}
+
+void write_outer_eth_ip(Packet& pkt, const TunnelKey& key, const EncapParams& params,
+                        IpProto proto, std::size_t total_ip_len)
+{
+    auto* eth = pkt.header_at<EthernetHeader>(0);
+    eth->src = params.outer_src_mac;
+    eth->dst = params.outer_dst_mac;
+    eth->set_ether_type(EtherType::Ipv4);
+
+    auto* ip = pkt.header_at<Ipv4Header>(sizeof(EthernetHeader));
+    std::memset(ip, 0, sizeof *ip);
+    ip->ver_ihl = 0x45;
+    ip->tos = key.tos;
+    ip->set_total_len(static_cast<std::uint16_t>(total_ip_len));
+    ip->ttl = key.ttl ? key.ttl : 64;
+    ip->proto = static_cast<std::uint8_t>(proto);
+    ip->set_src(key.ip_src);
+    ip->set_dst(key.ip_dst);
+    ip->csum_be = 0;
+    ip->csum_be = host_to_be16(
+        internet_checksum({pkt.data() + sizeof(EthernetHeader), sizeof(Ipv4Header)}));
+}
+
+} // namespace
+
+std::size_t encap_overhead(TunnelType type) { return kEthIp + proto_header_len(type); }
+
+std::size_t encapsulate(Packet& pkt, TunnelType type, const TunnelKey& key,
+                        const EncapParams& params)
+{
+    const std::size_t inner_len = pkt.size();
+    const std::size_t hdr = encap_overhead(type);
+    pkt.push_front(hdr);
+
+    switch (type) {
+    case TunnelType::Geneve: {
+        const std::size_t ip_len = sizeof(Ipv4Header) + proto_header_len(type) + inner_len;
+        write_outer_eth_ip(pkt, key, params, IpProto::Udp, ip_len);
+        auto* udp = pkt.header_at<UdpHeader>(kEthIp);
+        udp->set_src(params.udp_src_port ? params.udp_src_port : 49152);
+        udp->set_dst(kGenevePort);
+        udp->set_len(static_cast<std::uint16_t>(proto_header_len(type) + inner_len));
+        udp->csum_be = 0;
+        auto* gnv = pkt.header_at<GeneveHeader>(kEthIp + sizeof(UdpHeader));
+        std::memset(gnv, 0, sizeof *gnv);
+        gnv->ver_optlen = 0;
+        gnv->flags = (key.flags & kTunnelOam) ? 0x80 : 0x00;
+        gnv->protocol_be = host_to_be16(kGeneveProtoEthernet);
+        gnv->set_vni(static_cast<std::uint32_t>(key.tun_id));
+        if (params.udp_csum) {
+            const std::size_t l4_len = udp->len();
+            udp->csum_be = host_to_be16(l4_checksum_ipv4(
+                key.ip_src, key.ip_dst, static_cast<std::uint8_t>(IpProto::Udp),
+                {pkt.data() + kEthIp, l4_len}));
+        }
+        break;
+    }
+    case TunnelType::Vxlan: {
+        const std::size_t ip_len = sizeof(Ipv4Header) + proto_header_len(type) + inner_len;
+        write_outer_eth_ip(pkt, key, params, IpProto::Udp, ip_len);
+        auto* udp = pkt.header_at<UdpHeader>(kEthIp);
+        udp->set_src(params.udp_src_port ? params.udp_src_port : 49152);
+        udp->set_dst(kVxlanPort);
+        udp->set_len(static_cast<std::uint16_t>(proto_header_len(type) + inner_len));
+        udp->csum_be = 0;
+        auto* vx = pkt.header_at<VxlanHeader>(kEthIp + sizeof(UdpHeader));
+        std::memset(vx, 0, sizeof *vx);
+        vx->flags = 0x08;
+        vx->set_vni(static_cast<std::uint32_t>(key.tun_id));
+        break;
+    }
+    case TunnelType::Gre: {
+        const std::size_t ip_len = sizeof(Ipv4Header) + proto_header_len(type) + inner_len;
+        write_outer_eth_ip(pkt, key, params, IpProto::Gre, ip_len);
+        auto* gre = pkt.header_at<GreHeader>(kEthIp);
+        gre->flags_ver_be = host_to_be16(0x2000); // key present
+        gre->protocol_be = host_to_be16(kGeneveProtoEthernet);
+        auto* keyp = pkt.header_at<std::uint32_t>(kEthIp + sizeof(GreHeader));
+        *keyp = host_to_be32(static_cast<std::uint32_t>(key.tun_id));
+        break;
+    }
+    case TunnelType::Erspan: {
+        const std::size_t ip_len = sizeof(Ipv4Header) + proto_header_len(type) + inner_len;
+        write_outer_eth_ip(pkt, key, params, IpProto::Gre, ip_len);
+        auto* gre = pkt.header_at<GreHeader>(kEthIp);
+        gre->flags_ver_be = host_to_be16(0x1000); // sequence present
+        gre->protocol_be = host_to_be16(static_cast<std::uint16_t>(EtherType::Erspan));
+        auto* seq = pkt.header_at<std::uint32_t>(kEthIp + sizeof(GreHeader));
+        *seq = host_to_be32(0);
+        auto* ers = pkt.header_at<ErspanHeader>(kEthIp + sizeof(GreHeader) + 4);
+        std::memset(ers, 0, sizeof *ers);
+        ers->ver_vlan_be = host_to_be16(1 << 12); // version II
+        ers->set_session_id(static_cast<std::uint16_t>(key.tun_id));
+        break;
+    }
+    }
+    return hdr;
+}
+
+namespace {
+
+std::optional<DecapResult> decap_udp_tunnel(Packet& pkt, TunnelType type,
+                                            const Ipv4Header& outer_ip, std::size_t l4_off)
+{
+    const auto* udp = pkt.try_header_at<UdpHeader>(l4_off);
+    if (!udp) return std::nullopt;
+    DecapResult res;
+    res.type = type;
+    res.key.ip_src = outer_ip.src();
+    res.key.ip_dst = outer_ip.dst();
+    res.key.tos = outer_ip.tos;
+    res.key.ttl = outer_ip.ttl;
+    const std::size_t inner_off = l4_off + sizeof(UdpHeader) +
+                                  (type == TunnelType::Geneve ? sizeof(GeneveHeader)
+                                                              : sizeof(VxlanHeader));
+    if (type == TunnelType::Geneve) {
+        const auto* gnv = pkt.try_header_at<GeneveHeader>(l4_off + sizeof(UdpHeader));
+        if (!gnv) return std::nullopt;
+        if (be16_to_host(gnv->protocol_be) != kGeneveProtoEthernet) return std::nullopt;
+        res.key.tun_id = gnv->vni_value();
+        if (gnv->flags & 0x80) res.key.flags |= kTunnelOam;
+        const std::size_t full = inner_off + static_cast<std::size_t>(gnv->opt_len_bytes());
+        if (full > pkt.size()) return std::nullopt;
+        pkt.pull_front(full);
+    } else {
+        const auto* vx = pkt.try_header_at<VxlanHeader>(l4_off + sizeof(UdpHeader));
+        if (!vx || !(vx->flags & 0x08)) return std::nullopt;
+        res.key.tun_id = vx->vni_value();
+        if (inner_off > pkt.size()) return std::nullopt;
+        pkt.pull_front(inner_off);
+    }
+    res.key.flags |= kTunnelKeyBit;
+    return res;
+}
+
+std::optional<DecapResult> decap_gre(Packet& pkt, const Ipv4Header& outer_ip,
+                                     std::size_t l4_off)
+{
+    const auto* gre = pkt.try_header_at<GreHeader>(l4_off);
+    if (!gre) return std::nullopt;
+    std::size_t off = l4_off + sizeof(GreHeader);
+    DecapResult res;
+    res.key.ip_src = outer_ip.src();
+    res.key.ip_dst = outer_ip.dst();
+    res.key.tos = outer_ip.tos;
+    res.key.ttl = outer_ip.ttl;
+    if (gre->has_checksum()) off += 4;
+    if (gre->has_key()) {
+        const auto* keyp = pkt.try_header_at<std::uint32_t>(off);
+        if (!keyp) return std::nullopt;
+        res.key.tun_id = be32_to_host(*keyp);
+        res.key.flags |= kTunnelKeyBit;
+        off += 4;
+    }
+    if (gre->has_sequence()) off += 4;
+
+    if (gre->protocol() == static_cast<std::uint16_t>(EtherType::Erspan)) {
+        const auto* ers = pkt.try_header_at<ErspanHeader>(off);
+        if (!ers) return std::nullopt;
+        res.key.tun_id = ers->session_id();
+        res.key.flags |= kTunnelKeyBit;
+        off += sizeof(ErspanHeader);
+        res.type = TunnelType::Erspan;
+    } else if (gre->protocol() == kGeneveProtoEthernet) {
+        res.type = TunnelType::Gre;
+    } else {
+        return std::nullopt;
+    }
+    if (off > pkt.size()) return std::nullopt;
+    pkt.pull_front(off);
+    return res;
+}
+
+} // namespace
+
+std::optional<DecapResult> decapsulate_auto(Packet& pkt)
+{
+    const auto* eth = pkt.try_header_at<EthernetHeader>(0);
+    if (!eth || eth->ether_type() != static_cast<std::uint16_t>(EtherType::Ipv4)) {
+        return std::nullopt;
+    }
+    const auto* ip = pkt.try_header_at<Ipv4Header>(sizeof(EthernetHeader));
+    if (!ip || ip->version() != 4 || ip->is_fragment()) return std::nullopt;
+    const std::size_t l4_off = sizeof(EthernetHeader) + static_cast<std::size_t>(ip->ihl_bytes());
+
+    if (ip->proto == static_cast<std::uint8_t>(IpProto::Udp)) {
+        const auto* udp = pkt.try_header_at<UdpHeader>(l4_off);
+        if (!udp) return std::nullopt;
+        if (udp->dst() == kGenevePort) return decap_udp_tunnel(pkt, TunnelType::Geneve, *ip, l4_off);
+        if (udp->dst() == kVxlanPort) return decap_udp_tunnel(pkt, TunnelType::Vxlan, *ip, l4_off);
+        return std::nullopt;
+    }
+    if (ip->proto == static_cast<std::uint8_t>(IpProto::Gre)) {
+        return decap_gre(pkt, *ip, l4_off);
+    }
+    return std::nullopt;
+}
+
+std::optional<DecapResult> decapsulate(Packet& pkt, TunnelType type)
+{
+    auto res = decapsulate_auto(pkt);
+    if (!res || res->type != type) return std::nullopt;
+    return res;
+}
+
+} // namespace ovsx::net

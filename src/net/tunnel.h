@@ -1,0 +1,55 @@
+// Tunnel encapsulation/decapsulation: Geneve, VXLAN, GRE and ERSPAN.
+//
+// These are the userspace reimplementations the paper's §4 describes:
+// once the datapath leaves the kernel, OVS must build outer headers
+// itself instead of handing packets to the kernel's tunnel devices.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/addr.h"
+#include "net/packet.h"
+#include "net/tunnel_key.h"
+
+namespace ovsx::net {
+
+enum class TunnelType { Geneve, Vxlan, Gre, Erspan };
+
+const char* to_string(TunnelType t);
+
+// Outer-header parameters resolved from routing/ARP state by the caller.
+struct EncapParams {
+    MacAddr outer_src_mac;
+    MacAddr outer_dst_mac;
+    std::uint16_t udp_src_port = 0; // entropy source port (UDP tunnels)
+    bool udp_csum = false;          // compute outer UDP checksum
+};
+
+// Encapsulates `pkt` in place using headroom. The tunnel endpoint
+// addresses and VNI come from `key`. Returns the number of outer bytes
+// prepended.
+std::size_t encapsulate(Packet& pkt, TunnelType type, const TunnelKey& key,
+                        const EncapParams& params);
+
+// Result of decapsulation: the extracted tunnel metadata. The outer
+// headers are removed from `pkt` in place.
+struct DecapResult {
+    TunnelKey key;
+    TunnelType type = TunnelType::Geneve;
+};
+
+// Attempts to decapsulate a tunneled frame in place. Returns nullopt
+// when the packet is not a well-formed tunnel packet of `type`.
+std::optional<DecapResult> decapsulate(Packet& pkt, TunnelType type);
+
+// Sniffs the outer headers and decapsulates whatever known tunnel type
+// is present (UDP port 6081 -> Geneve, 4789 -> VXLAN, IP proto 47 ->
+// GRE/ERSPAN). Returns nullopt for non-tunnel packets.
+std::optional<DecapResult> decapsulate_auto(Packet& pkt);
+
+// Bytes of outer header a given tunnel type adds (Ethernet+IPv4 basis),
+// used for overhead/MTU math in benches.
+std::size_t encap_overhead(TunnelType type);
+
+} // namespace ovsx::net

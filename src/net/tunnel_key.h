@@ -1,0 +1,27 @@
+// Tunnel metadata carried alongside a packet after decapsulation (or
+// staged before encapsulation), mirroring OVS's flow tunnel key.
+#pragma once
+
+#include <cstdint>
+
+namespace ovsx::net {
+
+struct TunnelKey {
+    std::uint64_t tun_id = 0;  // VNI / GRE key
+    std::uint32_t ip_src = 0;  // outer IPv4 source, host byte order
+    std::uint32_t ip_dst = 0;  // outer IPv4 destination, host byte order
+    std::uint16_t flags = 0;
+    std::uint8_t tos = 0;
+    std::uint8_t ttl = 64;
+
+    friend bool operator==(const TunnelKey&, const TunnelKey&) = default;
+
+    bool present() const { return ip_dst != 0 || tun_id != 0; }
+};
+
+// TunnelKey::flags bits.
+constexpr std::uint16_t kTunnelCsum = 0x0001;    // outer UDP checksum requested
+constexpr std::uint16_t kTunnelOam = 0x0002;     // Geneve OAM bit
+constexpr std::uint16_t kTunnelKeyBit = 0x0004;  // key/VNI present
+
+} // namespace ovsx::net

@@ -1,0 +1,182 @@
+#include "ovs/ct.h"
+
+#include "net/flow.h"
+#include "net/rewrite.h"
+
+namespace ovsx::ovs {
+
+std::uint8_t UserspaceConntrack::process(net::Packet& pkt, const net::FlowKey& key,
+                                         const kern::CtSpec& spec, sim::ExecContext& ctx,
+                                         sim::Nanos now)
+{
+    ctx.charge(costs_.emc_hit); // hash + lookup, comparable to an EMC probe
+    ctx.count("userspace_ct.lookup");
+
+    std::uint8_t state = net::kCtStateTracked;
+    auto finish = [&](std::uint8_t s) {
+        pkt.meta().ct_state = s;
+        pkt.meta().ct_zone = spec.zone;
+        return s;
+    };
+
+    if (key.nw_proto != 6 && key.nw_proto != 17 && key.nw_proto != 1) {
+        return finish(state | net::kCtStateInvalid);
+    }
+    if (key.nw_frag & net::kFragLater) {
+        return finish(state | net::kCtStateInvalid);
+    }
+
+    const CtTuple tuple = CtTuple::from_key(key, spec.zone);
+    auto idx = index_.find(tuple);
+    if (idx != index_.end()) {
+        UserCtEntry& e = conns_[idx->second];
+        const bool is_reply = (tuple == e.reply) && !(e.reply == e.orig);
+        if (is_reply) {
+            e.seen_reply = true;
+            state |= net::kCtStateReply;
+        }
+        state |= e.confirmed ? net::kCtStateEstablished : net::kCtStateNew;
+        if (spec.commit && !e.confirmed) e.confirmed = true;
+        if (key.nw_proto == 6) e.tcp_flags_seen |= key.tcp_flags;
+        e.packets++;
+        e.last_seen = now;
+        pkt.meta().ct_mark = e.mark;
+        if (e.nat) apply_nat(pkt, e, is_reply, ctx);
+        return finish(state);
+    }
+
+    // New connection.
+    auto& count = zone_counts_[spec.zone];
+    const auto lim = zone_limits_.find(spec.zone);
+    if (lim != zone_limits_.end() && lim->second != 0 && count >= lim->second) {
+        return finish(state | net::kCtStateInvalid);
+    }
+
+    state |= net::kCtStateNew;
+    UserCtEntry entry;
+    entry.orig = tuple;
+    entry.confirmed = spec.commit;
+    entry.packets = 1;
+    entry.last_seen = now;
+    if (key.nw_proto == 6) entry.tcp_flags_seen = key.tcp_flags;
+
+    // Compute the reply tuple, applying NAT if requested.
+    CtTuple reply = tuple.reversed();
+    if (spec.nat && spec.commit) {
+        NatBinding nat;
+        nat.snat = spec.snat;
+        nat.ip = spec.nat_ip;
+        nat.port = spec.nat_port;
+        entry.nat = nat;
+        if (spec.snat) {
+            // Replies will come addressed to the NAT source.
+            reply.dst = nat.ip ? nat.ip : reply.dst;
+            if (nat.port) reply.dport = nat.port;
+        } else {
+            // DNAT: replies originate from the translated destination.
+            reply.src = nat.ip ? nat.ip : reply.src;
+            if (nat.port) reply.sport = nat.port;
+        }
+    }
+    entry.reply = reply;
+
+    const std::uint64_t id = next_id_++;
+    auto [it, ok] = conns_.emplace(id, entry);
+    (void)ok;
+    index_.emplace(tuple, id);
+    if (!(reply == tuple)) index_.emplace(reply, id);
+    ++count;
+    ctx.charge(costs_.emc_hit); // insertion
+
+    pkt.meta().ct_mark = 0;
+    if (it->second.nat) apply_nat(pkt, it->second, /*is_reply=*/false, ctx);
+    return finish(state);
+}
+
+void UserspaceConntrack::apply_nat(net::Packet& pkt, const UserCtEntry& entry, bool is_reply,
+                                   sim::ExecContext& ctx)
+{
+    const NatBinding& nat = *entry.nat;
+    net::FlowKey value;
+    net::FlowMask mask;
+    if (!is_reply) {
+        if (nat.snat) {
+            value.nw_src = nat.ip;
+            mask.bits.nw_src = nat.ip ? 0xffffffff : 0;
+            value.tp_src = nat.port;
+            mask.bits.tp_src = nat.port ? 0xffff : 0;
+        } else {
+            value.nw_dst = nat.ip;
+            mask.bits.nw_dst = nat.ip ? 0xffffffff : 0;
+            value.tp_dst = nat.port;
+            mask.bits.tp_dst = nat.port ? 0xffff : 0;
+        }
+    } else {
+        // Undo the translation for reply traffic: restore the original
+        // tuple the initiator expects.
+        if (nat.snat) {
+            value.nw_dst = entry.orig.src;
+            mask.bits.nw_dst = 0xffffffff;
+            value.tp_dst = entry.orig.sport;
+            mask.bits.tp_dst = 0xffff;
+        } else {
+            value.nw_src = entry.orig.dst;
+            mask.bits.nw_src = 0xffffffff;
+            value.tp_src = entry.orig.dport;
+            mask.bits.tp_src = 0xffff;
+        }
+    }
+    const int fields = net::apply_rewrite(pkt, value, mask);
+    if (fields > 0) {
+        ctx.charge(costs_.csum(64)); // header checksum repair share
+    }
+}
+
+std::size_t UserspaceConntrack::zone_count(std::uint16_t zone) const
+{
+    auto it = zone_counts_.find(zone);
+    return it == zone_counts_.end() ? 0 : it->second;
+}
+
+std::size_t UserspaceConntrack::expire_idle(sim::Nanos cutoff)
+{
+    std::size_t removed = 0;
+    for (auto it = conns_.begin(); it != conns_.end();) {
+        if (it->second.last_seen < cutoff) {
+            index_.erase(it->second.orig);
+            index_.erase(it->second.reply);
+            auto& count = zone_counts_[it->second.orig.zone];
+            if (count > 0) --count;
+            it = conns_.erase(it);
+            ++removed;
+        } else {
+            ++it;
+        }
+    }
+    return removed;
+}
+
+void UserspaceConntrack::flush()
+{
+    index_.clear();
+    conns_.clear();
+    zone_counts_.clear();
+}
+
+const UserCtEntry* UserspaceConntrack::find(const CtTuple& tuple) const
+{
+    auto idx = index_.find(tuple);
+    if (idx == index_.end()) return nullptr;
+    auto it = conns_.find(idx->second);
+    return it == conns_.end() ? nullptr : &it->second;
+}
+
+bool UserspaceConntrack::set_mark(const CtTuple& tuple, std::uint32_t mark)
+{
+    auto idx = index_.find(tuple);
+    if (idx == index_.end()) return false;
+    conns_[idx->second].mark = mark;
+    return true;
+}
+
+} // namespace ovsx::ovs

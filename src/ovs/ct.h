@@ -1,0 +1,80 @@
+// Userspace connection tracking with NAT.
+//
+// The paper's §4/§6: once the datapath moved to userspace, OVS had to
+// reimplement the kernel's conntrack/NAT. This implementation is richer
+// than the kernel model in kern/conntrack.h: it adds source/destination
+// NAT with reverse mappings, per-zone limits, TCP-state awareness, and
+// idle expiry — the feature set dpif-netdev needs for the NSX firewall.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "kern/conntrack.h" // CtTuple
+#include "kern/odp.h"       // CtSpec
+#include "net/packet.h"
+#include "sim/context.h"
+#include "sim/costs.h"
+
+namespace ovsx::ovs {
+
+using kern::CtTuple;
+
+struct NatBinding {
+    bool snat = false;
+    std::uint32_t ip = 0;
+    std::uint16_t port = 0;
+};
+
+struct UserCtEntry {
+    CtTuple orig;
+    CtTuple reply; // reversed orig with NAT applied
+    bool confirmed = false;
+    bool seen_reply = false;
+    std::uint8_t tcp_flags_seen = 0;
+    std::uint32_t mark = 0;
+    std::optional<NatBinding> nat;
+    std::uint64_t packets = 0;
+    sim::Nanos last_seen = 0;
+};
+
+class UserspaceConntrack {
+public:
+    explicit UserspaceConntrack(const sim::CostModel& costs = sim::CostModel::baseline())
+        : costs_(costs)
+    {
+    }
+
+    // Runs a packet through conntrack per `spec`. When spec.nat is set
+    // and the connection is committed, applies (and remembers) the NAT
+    // rewrite — reply-direction packets are de-NATed automatically.
+    // Updates pkt.meta() and rewrites headers for NAT. Returns the state
+    // bits written to the packet.
+    std::uint8_t process(net::Packet& pkt, const net::FlowKey& key, const kern::CtSpec& spec,
+                         sim::ExecContext& ctx, sim::Nanos now = 0);
+
+    void set_zone_limit(std::uint16_t zone, std::size_t limit) { zone_limits_[zone] = limit; }
+    std::size_t zone_count(std::uint16_t zone) const;
+    std::size_t size() const { return conns_.size(); }
+    std::size_t expire_idle(sim::Nanos cutoff);
+    void flush();
+
+    const UserCtEntry* find(const CtTuple& tuple) const;
+
+    // Sets the mark on the connection matching `tuple` (ct_mark action).
+    bool set_mark(const CtTuple& tuple, std::uint32_t mark);
+
+private:
+    void apply_nat(net::Packet& pkt, const UserCtEntry& entry, bool is_reply,
+                   sim::ExecContext& ctx);
+
+    const sim::CostModel& costs_;
+    std::unordered_map<CtTuple, std::uint64_t, CtTuple::Hash> index_;
+    std::unordered_map<std::uint64_t, UserCtEntry> conns_;
+    std::uint64_t next_id_ = 1;
+    std::unordered_map<std::uint16_t, std::size_t> zone_counts_;
+    std::unordered_map<std::uint16_t, std::size_t> zone_limits_;
+};
+
+} // namespace ovsx::ovs

@@ -1,0 +1,38 @@
+// Dpif: the datapath interface ofproto programs against. Three
+// providers exist, mirroring the paper's comparison matrix:
+//   - DpifNetdev  (ovs/dpif_netdev.h)  userspace datapath (AF_XDP/DPDK)
+//   - DpifKernel  (ovs/dpif_kernel.h)  the traditional kernel module
+//   - DpifEbpf    (ovs/dpif_ebpf.h)    the rejected all-eBPF datapath
+#pragma once
+
+#include <functional>
+
+#include "kern/odp.h"
+#include "net/flow.h"
+#include "net/packet.h"
+#include "sim/context.h"
+
+namespace ovsx::ovs {
+
+class Dpif {
+public:
+    // Flow-table miss: ofproto must translate and (usually) install a
+    // datapath flow, then re-inject the packet via execute().
+    using UpcallHandler = std::function<void(std::uint32_t in_port, net::Packet&&,
+                                             const net::FlowKey&, sim::ExecContext&)>;
+
+    virtual ~Dpif() = default;
+
+    virtual const char* type() const = 0;
+    virtual void set_upcall_handler(UpcallHandler handler) = 0;
+
+    virtual void flow_put(const net::FlowKey& key, const net::FlowMask& mask,
+                          kern::OdpActions actions) = 0;
+    virtual void flow_flush() = 0;
+    virtual std::size_t flow_count() const = 0;
+
+    virtual void execute(net::Packet&& pkt, const kern::OdpActions& actions,
+                         sim::ExecContext& ctx) = 0;
+};
+
+} // namespace ovsx::ovs

@@ -1,0 +1,222 @@
+#include "ovs/dpif_ebpf.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "ebpf/programs.h"
+#include "ebpf/verifier.h"
+#include "kern/kernel.h"
+#include "net/headers.h"
+#include "net/rewrite.h"
+
+namespace ovsx::ovs {
+
+using namespace ebpf;
+
+namespace {
+
+// Builds the TC-hook datapath program: parse -> exact key -> map lookup.
+// Returns 3 on hit (flow id deposited in result_map[0]) and 2 on miss.
+Program build_tc_program(MapPtr flow_map, MapPtr result_map)
+{
+    ProgramBuilder b("ovs_ebpf_datapath");
+    const int flow_fd = b.add_map(std::move(flow_map));
+    const int result_fd = b.add_map(std::move(result_map));
+
+    b.mov_reg(R6, R1)
+        .ldxdw(R2, R6, 0)
+        .ldxdw(R3, R6, 8)
+        .mov_reg(R4, R2)
+        .add_imm(R4, kOffL4 + 8)
+        .jgt_reg(R4, R3, "miss");
+    b.ldxh(R5, R2, kOffEthType).jne_imm(R5, kEthIpv4LE, "miss");
+    b.ldxb(R5, R2, kOffIp).rsh_imm(R5, 4).jne_imm(R5, 4, "miss");
+
+    // Zero the 20-byte key slot [-24, -4).
+    b.stdw(R10, -24, 0).stdw(R10, -16, 0).stw(R10, -8, 0);
+    // in_port from ctx->ingress_ifindex.
+    b.ldxdw(R5, R6, 16).stxw(R10, -24, R5);
+    b.ldxw(R5, R2, kOffIpSrc).stxw(R10, -20, R5);
+    b.ldxw(R5, R2, kOffIpDst).stxw(R10, -16, R5);
+    b.ldxw(R5, R2, kOffL4).stxw(R10, -12, R5); // sport|dport as on the wire
+    b.ldxb(R5, R2, kOffIpProto).stxb(R10, -8, R5);
+
+    b.load_map_fd(R1, flow_fd).mov_reg(R2, R10).add_imm(R2, -24).call(HelperId::MapLookup);
+    b.jeq_imm(R0, 0, "miss");
+    b.ldxw(R7, R0, 0); // flow id
+
+    // Deposit the hit into result_map[0].
+    b.stw(R10, -32, 0);
+    b.load_map_fd(R1, result_fd).mov_reg(R2, R10).add_imm(R2, -32).call(HelperId::MapLookup);
+    b.jeq_imm(R0, 0, "miss");
+    b.stxw(R0, 0, R7);
+    b.mov_imm(R0, 3).exit(); // hit
+
+    b.label("miss").mov_imm(R0, 2).exit();
+    return b.build();
+}
+
+} // namespace
+
+DpifEbpf::DpifEbpf(kern::Kernel& kernel) : kernel_(kernel)
+{
+    flow_map_ = std::make_shared<Map>(MapType::Hash, "ovs_flow_table", sizeof(EbpfKey), 4,
+                                      1 << 18);
+    result_map_ = std::make_shared<Map>(MapType::Array, "ovs_result", 4, 4, 1);
+    prog_ = build_tc_program(flow_map_, result_map_);
+    if (auto res = verify(prog_); !res.ok) {
+        throw std::runtime_error("dpif-ebpf: datapath program rejected: " + res.error);
+    }
+}
+
+std::uint32_t DpifEbpf::add_port(kern::Device& dev)
+{
+    const std::uint32_t port_no = next_port_no_++;
+    ports_[port_no] = &dev;
+    dev.set_rx_handler([this, port_no](kern::Device&, net::Packet&& pkt, sim::ExecContext& ctx) {
+        receive(port_no, std::move(pkt), ctx);
+    });
+    return port_no;
+}
+
+net::FlowMask DpifEbpf::required_mask()
+{
+    net::FlowMask m;
+    m.bits.in_port = 0xffffffff;
+    m.bits.nw_src = 0xffffffff;
+    m.bits.nw_dst = 0xffffffff;
+    m.bits.nw_proto = 0xff;
+    m.bits.tp_src = 0xffff;
+    m.bits.tp_dst = 0xffff;
+    return m;
+}
+
+void DpifEbpf::flow_put(const net::FlowKey& key, const net::FlowMask& mask,
+                        kern::OdpActions actions)
+{
+    if (!(mask == required_mask())) {
+        // The structural limitation: no wildcarding, hence no megaflows.
+        throw std::invalid_argument(
+            "dpif-ebpf: only exact-match 5-tuple flows are expressible in the eBPF map");
+    }
+    EbpfKey ek;
+    ek.in_port = key.in_port;
+    ek.src = net::host_to_be32(key.nw_src);
+    ek.dst = net::host_to_be32(key.nw_dst);
+    ek.sport = net::host_to_be16(key.tp_src);
+    ek.dport = net::host_to_be16(key.tp_dst);
+    ek.proto = key.nw_proto;
+
+    const std::uint32_t flow_id = next_flow_id_++;
+    flows_[flow_id] = std::move(actions);
+    flow_map_->update({reinterpret_cast<const std::uint8_t*>(&ek), sizeof ek},
+                      {reinterpret_cast<const std::uint8_t*>(&flow_id), sizeof flow_id});
+}
+
+void DpifEbpf::flow_flush()
+{
+    flows_.clear();
+    flow_map_ = std::make_shared<Map>(MapType::Hash, "ovs_flow_table", sizeof(EbpfKey), 4,
+                                      1 << 18);
+    prog_ = build_tc_program(flow_map_, result_map_);
+}
+
+void DpifEbpf::receive(std::uint32_t port_no, net::Packet&& pkt, sim::ExecContext& ctx)
+{
+    pkt.meta().in_port = port_no;
+    auto res = kernel_.vm().run_xdp(prog_, pkt, port_no, 0);
+    ctx.charge(res.cost + kernel_.costs().xdp_setup);
+    pkt.meta().latency_ns += res.cost + kernel_.costs().xdp_setup;
+    if (res.touched_packet) ctx.charge(kernel_.costs().cache_miss);
+    // The production eBPF datapath prototype (Tu et al., "Building an
+    // extensible Open vSwitch datapath") executes ~680 instructions per
+    // packet for full parse + lookup + action dispatch; our condensed
+    // program above runs fewer, so charge the difference to model the
+    // real program's sandbox cost (Fig. 2's 10-20% penalty).
+    constexpr std::uint64_t kDatapathEquivInsns = 410;
+    if (res.insns < kDatapathEquivInsns) {
+        const auto extra = static_cast<sim::Nanos>(
+            static_cast<double>(kDatapathEquivInsns - res.insns) * kernel_.costs().ebpf_insn);
+        ctx.charge(extra);
+        pkt.meta().latency_ns += extra;
+    }
+
+    if (res.ret == 3) {
+        const std::uint32_t slot = 0;
+        const auto flow_id = result_map_->lookup_kv<std::uint32_t>(slot).value_or(0);
+        auto it = flows_.find(flow_id);
+        if (it != flows_.end()) {
+            ++hits_;
+            // Action execution also runs as sandboxed bytecode in this
+            // design: charge the equivalent instruction cost per action.
+            const auto insn_cost = static_cast<sim::Nanos>(
+                60.0 * kernel_.costs().ebpf_insn * static_cast<double>(it->second.size()));
+            ctx.charge(insn_cost);
+            pkt.meta().latency_ns += insn_cost;
+            execute(std::move(pkt), it->second, ctx);
+            return;
+        }
+    }
+    ++misses_;
+    if (upcall_) {
+        const net::FlowKey key = net::parse_flow(pkt);
+        upcall_(port_no, std::move(pkt), key, ctx);
+    }
+}
+
+void DpifEbpf::do_output(net::Packet&& pkt, std::uint32_t port_no, sim::ExecContext& ctx)
+{
+    auto it = ports_.find(port_no);
+    if (it == ports_.end()) return;
+    it->second->transmit(std::move(pkt), ctx);
+}
+
+void DpifEbpf::execute(net::Packet&& pkt, const kern::OdpActions& actions,
+                       sim::ExecContext& ctx)
+{
+    using Type = kern::OdpAction::Type;
+    for (std::size_t i = 0; i < actions.size(); ++i) {
+        const kern::OdpAction& act = actions[i];
+        switch (act.type) {
+        case Type::Output:
+            if (i + 1 == actions.size()) {
+                do_output(std::move(pkt), act.port, ctx);
+                return;
+            } else {
+                net::Packet clone = pkt;
+                ctx.charge(kernel_.costs().copy(static_cast<std::int64_t>(pkt.size())));
+                do_output(std::move(clone), act.port, ctx);
+            }
+            break;
+        case Type::PushVlan:
+            net::push_vlan(pkt, act.vlan_tci);
+            break;
+        case Type::PopVlan:
+            net::pop_vlan(pkt);
+            break;
+        case Type::SetField:
+            net::apply_rewrite(pkt, act.set_value, act.set_mask);
+            break;
+        case Type::Ct: {
+            // eBPF conntrack via maps — functional but charged at eBPF cost.
+            const net::FlowKey key = net::parse_flow(pkt);
+            kernel_.conntrack().process(pkt, key, act.ct.zone, act.ct.commit, ctx);
+            ctx.charge(static_cast<sim::Nanos>(120.0 * kernel_.costs().ebpf_insn));
+            break;
+        }
+        case Type::Recirc:
+        case Type::SetTunnel:
+        case Type::Meter:
+        case Type::Userspace:
+            // Not expressible in this datapath — the flow key lives in an
+            // eBPF map without recirc/ct dimensions, and the paper notes
+            // the eBPF datapath "lacks some OVS datapath features".
+            // Treated as drop.
+            return;
+        case Type::Drop:
+            return;
+        }
+    }
+}
+
+} // namespace ovsx::ovs

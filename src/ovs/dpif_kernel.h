@@ -1,0 +1,47 @@
+// dpif-kernel: the traditional split design — the datapath lives in the
+// kernel module (kern/ovs_kmod.h); ovs-vswitchd only sees upcalls and
+// installs flows over the (simulated) openvswitch netlink channel.
+#pragma once
+
+#include "kern/ovs_kmod.h"
+#include "ovs/dpif.h"
+
+namespace ovsx::ovs {
+
+class DpifKernel : public Dpif {
+public:
+    explicit DpifKernel(kern::OvsKernelDatapath& dp) : dp_(dp) {}
+
+    const char* type() const override { return "system"; }
+
+    void set_upcall_handler(UpcallHandler handler) override
+    {
+        dp_.set_upcall_handler(
+            [handler = std::move(handler)](std::uint32_t port_no, net::Packet&& pkt,
+                                           const net::FlowKey& key, sim::ExecContext& ctx) {
+                handler(port_no, std::move(pkt), key, ctx);
+            });
+    }
+
+    void flow_put(const net::FlowKey& key, const net::FlowMask& mask,
+                  kern::OdpActions actions) override
+    {
+        dp_.flow_put(key, mask, std::move(actions));
+    }
+
+    void flow_flush() override { dp_.flow_flush(); }
+    std::size_t flow_count() const override { return dp_.flow_count(); }
+
+    void execute(net::Packet&& pkt, const kern::OdpActions& actions,
+                 sim::ExecContext& ctx) override
+    {
+        dp_.execute(std::move(pkt), actions, ctx);
+    }
+
+    kern::OvsKernelDatapath& datapath() { return dp_; }
+
+private:
+    kern::OvsKernelDatapath& dp_;
+};
+
+} // namespace ovsx::ovs

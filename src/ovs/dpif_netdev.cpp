@@ -1,0 +1,351 @@
+#include "ovs/dpif_netdev.h"
+
+#include "kern/kernel.h"
+#include "net/hash.h"
+#include "net/headers.h"
+#include "net/rewrite.h"
+
+namespace ovsx::ovs {
+
+DpifNetdev::DpifNetdev(kern::Kernel& host, const sim::CostModel& costs)
+    : host_(host), costs_(costs), ct_(costs), netlink_(host)
+{
+}
+
+std::uint32_t DpifNetdev::add_port(std::unique_ptr<Netdev> netdev)
+{
+    const std::uint32_t port_no = next_port_no_++;
+    Port port;
+    port.port_no = port_no;
+    port.name = netdev->name();
+    // Map the backing kernel device (if any) for underlay resolution.
+    if (kern::Device* dev = host_.device(netdev->name())) {
+        ifindex_to_port_[dev->ifindex()] = port_no;
+    }
+    port.netdev = std::move(netdev);
+    ports_.emplace(port_no, std::move(port));
+    return port_no;
+}
+
+std::uint32_t DpifNetdev::add_tunnel_port(const std::string& name, net::TunnelType type,
+                                          std::uint32_t local_ip)
+{
+    const std::uint32_t port_no = next_port_no_++;
+    Port port;
+    port.port_no = port_no;
+    port.name = name;
+    port.tunnel = type;
+    port.tunnel_local_ip = local_ip;
+    ports_.emplace(port_no, std::move(port));
+    return port_no;
+}
+
+Netdev* DpifNetdev::port_netdev(std::uint32_t port_no)
+{
+    auto it = ports_.find(port_no);
+    return it == ports_.end() ? nullptr : it->second.netdev.get();
+}
+
+std::optional<std::uint32_t> DpifNetdev::port_by_name(const std::string& name) const
+{
+    for (const auto& [no, port] : ports_) {
+        if (port.name == name) return no;
+    }
+    return std::nullopt;
+}
+
+void DpifNetdev::flow_put(const net::FlowKey& key, const net::FlowMask& mask,
+                          kern::OdpActions actions)
+{
+    megaflow_.insert(key, mask, std::move(actions));
+}
+
+void DpifNetdev::flow_flush()
+{
+    megaflow_.clear();
+    emc_.clear();
+}
+
+int DpifNetdev::add_pmd(const std::string& name)
+{
+    Pmd pmd;
+    pmd.name = name;
+    pmd.ctx = sim::ExecContext(name, sim::CpuClass::User);
+    pmds_.push_back(std::move(pmd));
+    return static_cast<int>(pmds_.size()) - 1;
+}
+
+void DpifNetdev::pmd_assign(int pmd, std::uint32_t port_no, std::uint32_t queue)
+{
+    pmds_[static_cast<std::size_t>(pmd)].rxqs.emplace_back(port_no, queue);
+}
+
+std::uint32_t DpifNetdev::pmd_poll_once(int pmd_index)
+{
+    Pmd& pmd = pmds_[static_cast<std::size_t>(pmd_index)];
+    std::uint32_t processed = 0;
+    for (const auto& [port_no, queue] : pmd.rxqs) {
+        auto it = ports_.find(port_no);
+        if (it == ports_.end() || !it->second.netdev) continue;
+        std::vector<net::Packet> batch;
+        const std::uint32_t n =
+            it->second.netdev->rx_burst(queue, batch, Netdev::kBatchSize, pmd.ctx);
+        if (n == 0) continue;
+        process_batch(port_no, std::move(batch), pmd.ctx);
+        processed += n;
+    }
+    return processed;
+}
+
+std::uint32_t DpifNetdev::main_thread_poll_once(sim::ExecContext& ctx)
+{
+    std::uint32_t processed = 0;
+    for (auto& [port_no, port] : ports_) {
+        if (!port.netdev) continue;
+        for (std::uint32_t q = 0; q < port.netdev->n_rxq(); ++q) {
+            std::vector<net::Packet> batch;
+            const std::uint32_t n = port.netdev->rx_burst(q, batch, Netdev::kBatchSize, ctx);
+            if (n == 0) continue;
+            process_batch(port_no, std::move(batch), ctx);
+            processed += n;
+        }
+    }
+    return processed;
+}
+
+bool DpifNetdev::try_tunnel_decap(net::Packet& pkt, sim::ExecContext& ctx)
+{
+    // Userspace tunnel termination: if the frame targets one of our
+    // tunnel endpoints, strip the outer headers and re-badge the packet
+    // as arriving on the tunnel vport.
+    const auto* ip = pkt.try_header_at<net::Ipv4Header>(sizeof(net::EthernetHeader));
+    if (!ip || ip->version() != 4) return false;
+    for (auto& [no, port] : ports_) {
+        if (!port.tunnel || port.tunnel_local_ip != ip->dst()) continue;
+        auto res = net::decapsulate(pkt, *port.tunnel);
+        if (!res) continue;
+        ctx.charge(costs_.parse_extract); // outer header parse
+        pkt.meta().tunnel = res->key;
+        pkt.meta().in_port = no;
+        return true;
+    }
+    return false;
+}
+
+void DpifNetdev::process_batch(std::uint32_t in_port, std::vector<net::Packet>&& batch,
+                               sim::ExecContext& ctx)
+{
+    const bool outer = !batching_outputs_;
+    if (outer) batching_outputs_ = true;
+    for (auto& pkt : batch) {
+        pkt.meta().in_port = in_port;
+        try_tunnel_decap(pkt, ctx);
+        pipeline(std::move(pkt), ctx, 0);
+    }
+    if (outer) {
+        batching_outputs_ = false;
+        flush_output_batches(ctx);
+    }
+}
+
+void DpifNetdev::pipeline(net::Packet&& pkt, sim::ExecContext& ctx, int depth)
+{
+    if (depth > 8) {
+        ++dropped_;
+        return;
+    }
+
+    // Miniflow extraction.
+    ctx.charge(costs_.parse_extract);
+    pkt.meta().latency_ns += costs_.parse_extract;
+    const net::FlowKey key = net::parse_flow(pkt);
+    const std::uint64_t hash = key.hash();
+
+    // First level: EMC. Large lookup working sets spill out of the CPU
+    // caches: one extra cold line per packet once the EMC holds many
+    // flows (the 1-flow vs 1000-flow gap of Fig. 9).
+    ctx.charge(costs_.emc_hit);
+    pkt.meta().latency_ns += costs_.emc_hit;
+    if (emc_.occupancy() > 128 || megaflow_.flow_count() > 128) {
+        ctx.charge(costs_.cache_miss);
+        pkt.meta().latency_ns += costs_.cache_miss;
+    }
+    if (CachedFlow* flow = emc_.lookup(key, hash)) {
+        ++flow->hits;
+        flow->bytes += pkt.size();
+        const kern::OdpActions actions = flow->actions;
+        run_actions(std::move(pkt), actions, ctx, depth);
+        return;
+    }
+
+    // Second level: megaflow (tuple space search).
+    auto res = megaflow_.lookup(key);
+    ctx.charge(static_cast<sim::Nanos>(res.probes) * costs_.megaflow_probe);
+    pkt.meta().latency_ns += static_cast<sim::Nanos>(res.probes) * costs_.megaflow_probe;
+    if (res.flow) {
+        ++res.flow->hits;
+        res.flow->bytes += pkt.size();
+        if (++emc_insert_counter_ % emc_insert_inv_prob_ == 0) {
+            emc_.insert(key, hash, res.flow);
+            ctx.charge(costs_.emc_hit);
+        }
+        const kern::OdpActions actions = res.flow->actions;
+        run_actions(std::move(pkt), actions, ctx, depth);
+        return;
+    }
+
+    // Slow path.
+    ++upcall_count_;
+    if (!upcall_) {
+        ++dropped_;
+        return;
+    }
+    ctx.charge(costs_.upcall);
+    pkt.meta().latency_ns += costs_.upcall;
+    upcall_(pkt.meta().in_port, std::move(pkt), key, ctx);
+}
+
+void DpifNetdev::output(net::Packet&& pkt, std::uint32_t port_no, sim::ExecContext& ctx)
+{
+    auto it = ports_.find(port_no);
+    if (it == ports_.end()) {
+        ++dropped_;
+        return;
+    }
+    Port& port = it->second;
+    if (port.tunnel) {
+        output_tunnel(std::move(pkt), port, ctx);
+        return;
+    }
+    if (!port.netdev) {
+        ++dropped_;
+        return;
+    }
+    if (batching_outputs_) {
+        out_batches_[port_no].push_back(std::move(pkt));
+        return;
+    }
+    port.netdev->tx_one(0, std::move(pkt), ctx);
+}
+
+void DpifNetdev::flush_output_batches(sim::ExecContext& ctx)
+{
+    // One tx_burst per destination port: this is where syscall / kick
+    // amortisation across a batch comes from.
+    auto batches = std::move(out_batches_);
+    out_batches_.clear();
+    for (auto& [port_no, pkts] : batches) {
+        auto it = ports_.find(port_no);
+        if (it == ports_.end() || !it->second.netdev) continue;
+        it->second.netdev->tx_burst(0, std::move(pkts), ctx);
+    }
+}
+
+void DpifNetdev::output_tunnel(net::Packet&& pkt, const Port& vport, sim::ExecContext& ctx)
+{
+    net::TunnelKey tkey = pkt.meta().tunnel;
+    if (tkey.ip_src == 0) tkey.ip_src = vport.tunnel_local_ip;
+    if (tkey.ip_dst == 0) {
+        ++dropped_;
+        return;
+    }
+    // Resolve the underlay next hop from the cached kernel tables — no
+    // syscalls on this path (§4).
+    const auto hop = netlink_.resolve(tkey.ip_dst);
+    if (!hop) {
+        ++dropped_;
+        return;
+    }
+    auto out_port = ifindex_to_port_.find(hop->ifindex);
+    if (out_port == ifindex_to_port_.end()) {
+        ++dropped_;
+        return;
+    }
+
+    net::EncapParams params;
+    params.outer_src_mac = hop->src_mac;
+    params.outer_dst_mac = hop->dst_mac;
+    const net::FlowKey inner_key = net::parse_flow(pkt);
+    params.udp_src_port =
+        static_cast<std::uint16_t>(0xc000 | (net::rxhash_from_key(inner_key) & 0x3fff));
+    net::encapsulate(pkt, *vport.tunnel, tkey, params);
+    const auto c = costs_.copy(static_cast<std::int64_t>(net::encap_overhead(*vport.tunnel)));
+    ctx.charge(c);
+    pkt.meta().latency_ns += c;
+    pkt.meta().tunnel = net::TunnelKey{};
+    output(std::move(pkt), out_port->second, ctx);
+}
+
+void DpifNetdev::execute(net::Packet&& pkt, const kern::OdpActions& actions,
+                         sim::ExecContext& ctx)
+{
+    run_actions(std::move(pkt), actions, ctx, 0);
+    if (!batching_outputs_) flush_output_batches(ctx);
+}
+
+void DpifNetdev::run_actions(net::Packet&& pkt, const kern::OdpActions& actions,
+                             sim::ExecContext& ctx, int depth)
+{
+    using Type = kern::OdpAction::Type;
+    for (std::size_t i = 0; i < actions.size(); ++i) {
+        const kern::OdpAction& act = actions[i];
+        switch (act.type) {
+        case Type::Output: {
+            if (i + 1 == actions.size()) {
+                output(std::move(pkt), act.port, ctx);
+                return;
+            }
+            net::Packet clone = pkt;
+            ctx.charge(costs_.copy(static_cast<std::int64_t>(pkt.size())));
+            output(std::move(clone), act.port, ctx);
+            break;
+        }
+        case Type::PushVlan:
+            net::push_vlan(pkt, act.vlan_tci);
+            ctx.charge(costs_.copy(4));
+            break;
+        case Type::PopVlan:
+            net::pop_vlan(pkt);
+            ctx.charge(costs_.copy(4));
+            break;
+        case Type::SetField: {
+            const int fields = net::apply_rewrite(pkt, act.set_value, act.set_mask);
+            ctx.charge(static_cast<sim::Nanos>(fields) * 8);
+            break;
+        }
+        case Type::SetTunnel:
+            pkt.meta().tunnel = act.tunnel;
+            break;
+        case Type::Ct: {
+            const net::FlowKey key = net::parse_flow(pkt);
+            ct_.process(pkt, key, act.ct, ctx, now_);
+            break;
+        }
+        case Type::Recirc:
+            pkt.meta().recirc_id = act.recirc_id;
+            pipeline(std::move(pkt), ctx, depth + 1);
+            return;
+        case Type::Meter:
+            if (!meters_.admit(act.meter_id, pkt.size(), now_)) {
+                ++dropped_;
+                return;
+            }
+            break;
+        case Type::Userspace:
+            punted_.push_back(std::move(pkt));
+            return;
+        case Type::Drop:
+            return;
+        }
+    }
+    // Action list ended without a terminal action: implicit drop.
+}
+
+void DpifNetdev::revalidate()
+{
+    megaflow_.expire_idle();
+    emc_.sweep();
+    megaflow_.rerank();
+}
+
+} // namespace ovsx::ovs

@@ -1,0 +1,137 @@
+// dpif-netdev: the userspace datapath. Ports are Netdevs; the per-packet
+// pipeline is EMC -> megaflow -> upcall; actions execute in userspace
+// with userspace conntrack, meters and tunnel encap (resolved from the
+// netlink replica cache). PMD threads poll assigned (port, queue) pairs.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/tunnel.h"
+#include "ovs/ct.h"
+#include "ovs/dpif.h"
+#include "ovs/emc.h"
+#include "ovs/megaflow.h"
+#include "ovs/meter.h"
+#include "ovs/netdev.h"
+#include "ovs/netlink_cache.h"
+
+namespace ovsx::ovs {
+
+class DpifNetdev : public Dpif {
+public:
+    DpifNetdev(kern::Kernel& host, const sim::CostModel& costs = sim::CostModel::baseline());
+
+    const char* type() const override { return "netdev"; }
+
+    // ---- ports ----------------------------------------------------------
+    std::uint32_t add_port(std::unique_ptr<Netdev> netdev);
+    // Userspace tunnel vport: encap on output, auto-decap on underlay RX.
+    std::uint32_t add_tunnel_port(const std::string& name, net::TunnelType type,
+                                  std::uint32_t local_ip);
+    Netdev* port_netdev(std::uint32_t port_no);
+    std::optional<std::uint32_t> port_by_name(const std::string& name) const;
+
+    // ---- flows (Dpif) ---------------------------------------------------------
+    void set_upcall_handler(UpcallHandler handler) override { upcall_ = std::move(handler); }
+    void flow_put(const net::FlowKey& key, const net::FlowMask& mask,
+                  kern::OdpActions actions) override;
+    void flow_flush() override;
+    std::size_t flow_count() const override { return megaflow_.flow_count(); }
+    void execute(net::Packet&& pkt, const kern::OdpActions& actions,
+                 sim::ExecContext& ctx) override;
+
+    // ---- PMD threads (O1) --------------------------------------------------------
+    // Adds a PMD thread; returns its index. Queues are then pinned with
+    // pmd_assign().
+    int add_pmd(const std::string& name);
+    void pmd_assign(int pmd, std::uint32_t port_no, std::uint32_t queue);
+    // One poll iteration over a PMD's queues; returns packets processed.
+    std::uint32_t pmd_poll_once(int pmd);
+    sim::ExecContext& pmd_ctx(int pmd) { return pmds_[static_cast<std::size_t>(pmd)].ctx; }
+    int pmd_count() const { return static_cast<int>(pmds_.size()); }
+
+    // Non-PMD processing entry: poll every port once on the main thread
+    // (the pre-O1 configuration).
+    std::uint32_t main_thread_poll_once(sim::ExecContext& ctx);
+
+    // Datapath entry: run a received batch through the pipeline.
+    void process_batch(std::uint32_t in_port, std::vector<net::Packet>&& batch,
+                       sim::ExecContext& ctx);
+
+    // ---- subsystems ---------------------------------------------------------------
+    Emc& emc() { return emc_; }
+    MegaflowCache& megaflow() { return megaflow_; }
+    UserspaceConntrack& ct() { return ct_; }
+    MeterTable& meters() { return meters_; }
+    NetlinkCache& netlink_cache() { return netlink_; }
+
+    // Virtual time for meters / ct timestamps.
+    void set_now(sim::Nanos now) { now_ = now; }
+    sim::Nanos now() const { return now_; }
+
+    // Packets punted by an explicit Userspace action.
+    std::vector<net::Packet>& punted() { return punted_; }
+
+    // Revalidation sweep: drops dead EMC entries and re-ranks subtables.
+    void revalidate();
+
+    // EMC insertion sampling: insert one in `inv_prob` megaflow hits
+    // (OVS's emc-insert-inv-prob, default 100; counter-based here so
+    // runs are deterministic). 1 = always insert.
+    void set_emc_insert_inv_prob(std::uint32_t inv_prob)
+    {
+        emc_insert_inv_prob_ = inv_prob ? inv_prob : 1;
+    }
+
+    std::uint64_t upcalls() const { return upcall_count_; }
+    std::uint64_t dropped() const { return dropped_; }
+
+private:
+    struct Port {
+        std::uint32_t port_no = 0;
+        std::string name;
+        std::unique_ptr<Netdev> netdev;                 // null for tunnel vports
+        std::optional<net::TunnelType> tunnel;
+        std::uint32_t tunnel_local_ip = 0;
+    };
+
+    struct Pmd {
+        std::string name;
+        sim::ExecContext ctx;
+        std::vector<std::pair<std::uint32_t, std::uint32_t>> rxqs;
+    };
+
+    void pipeline(net::Packet&& pkt, sim::ExecContext& ctx, int depth);
+    void output(net::Packet&& pkt, std::uint32_t port_no, sim::ExecContext& ctx);
+    void output_tunnel(net::Packet&& pkt, const Port& vport, sim::ExecContext& ctx);
+    bool try_tunnel_decap(net::Packet& pkt, sim::ExecContext& ctx);
+    void run_actions(net::Packet&& pkt, const kern::OdpActions& actions, sim::ExecContext& ctx,
+                     int depth);
+    void flush_output_batches(sim::ExecContext& ctx);
+
+    kern::Kernel& host_;
+    const sim::CostModel& costs_;
+    std::map<std::uint32_t, Port> ports_;
+    std::map<int, std::uint32_t> ifindex_to_port_; // underlay resolution
+    std::uint32_t next_port_no_ = 1;
+    Emc emc_;
+    MegaflowCache megaflow_;
+    UserspaceConntrack ct_;
+    MeterTable meters_;
+    NetlinkCache netlink_;
+    UpcallHandler upcall_;
+    std::vector<Pmd> pmds_;
+    std::map<std::uint32_t, std::vector<net::Packet>> out_batches_;
+    bool batching_outputs_ = false;
+    std::vector<net::Packet> punted_;
+    sim::Nanos now_ = 0;
+    std::uint64_t upcall_count_ = 0;
+    std::uint64_t dropped_ = 0;
+    std::uint32_t emc_insert_inv_prob_ = 100;
+    std::uint64_t emc_insert_counter_ = 0;
+};
+
+} // namespace ovsx::ovs

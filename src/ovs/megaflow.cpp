@@ -1,0 +1,125 @@
+#include "ovs/megaflow.h"
+
+#include <algorithm>
+
+namespace ovsx::ovs {
+
+MegaflowCache::LookupResult MegaflowCache::lookup(const net::FlowKey& key)
+{
+    LookupResult res;
+    for (auto& sub : subtables_) {
+        ++res.probes;
+        const net::FlowKey masked = sub.mask.apply(key);
+        auto it = sub.flows.find(masked.hash());
+        if (it == sub.flows.end()) continue;
+        for (auto& flow : it->second) {
+            if (!flow->dead && flow->masked_key == masked) {
+                ++hits_;
+                ++sub.hit_count;
+                res.flow = flow;
+                return res;
+            }
+        }
+    }
+    ++misses_;
+    return res;
+}
+
+CachedFlowPtr MegaflowCache::insert(const net::FlowKey& key, const net::FlowMask& mask,
+                                    kern::OdpActions actions)
+{
+    const net::FlowKey masked = mask.apply(key);
+    auto flow = std::make_shared<CachedFlow>();
+    flow->masked_key = masked;
+    flow->mask = mask;
+    flow->actions = std::move(actions);
+    // Fresh flows get one sweep of grace before idle expiry applies.
+    flow->hits_at_last_sweep = ~std::uint64_t{0};
+
+    for (auto& sub : subtables_) {
+        if (sub.mask == mask) {
+            auto& bucket = sub.flows[masked.hash()];
+            for (auto& existing : bucket) {
+                if (existing->masked_key == masked) {
+                    existing = flow;
+                    return flow;
+                }
+            }
+            bucket.push_back(flow);
+            ++sub.size;
+            return flow;
+        }
+    }
+    Subtable sub;
+    sub.mask = mask;
+    sub.flows[masked.hash()].push_back(flow);
+    sub.size = 1;
+    subtables_.push_back(std::move(sub));
+    return flow;
+}
+
+bool MegaflowCache::remove(const net::FlowKey& key, const net::FlowMask& mask)
+{
+    const net::FlowKey masked = mask.apply(key);
+    for (auto& sub : subtables_) {
+        if (!(sub.mask == mask)) continue;
+        auto it = sub.flows.find(masked.hash());
+        if (it == sub.flows.end()) return false;
+        auto& bucket = it->second;
+        for (auto bit = bucket.begin(); bit != bucket.end(); ++bit) {
+            if ((*bit)->masked_key == masked) {
+                (*bit)->dead = true;
+                bucket.erase(bit);
+                --sub.size;
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+void MegaflowCache::clear()
+{
+    for_each([](CachedFlowPtr& flow) { flow->dead = true; });
+    subtables_.clear();
+}
+
+std::size_t MegaflowCache::flow_count() const
+{
+    std::size_t n = 0;
+    for (const auto& sub : subtables_) n += sub.size;
+    return n;
+}
+
+std::size_t MegaflowCache::expire_idle()
+{
+    std::size_t removed = 0;
+    for (auto& sub : subtables_) {
+        for (auto& [h, bucket] : sub.flows) {
+            std::erase_if(bucket, [&](const CachedFlowPtr& flow) {
+                if (flow->hits == flow->hits_at_last_sweep) {
+                    flow->dead = true;
+                    --sub.size;
+                    ++removed;
+                    return true;
+                }
+                flow->hits_at_last_sweep = flow->hits; // grace consumed
+                return false;
+            });
+        }
+    }
+    return removed;
+}
+
+void MegaflowCache::rerank()
+{
+    std::stable_sort(subtables_.begin(), subtables_.end(),
+                     [](const Subtable& a, const Subtable& b) {
+                         return a.hit_count > b.hit_count;
+                     });
+    for (auto& sub : subtables_) sub.hit_count = 0;
+    // Drop empty subtables so dead masks stop costing probes.
+    std::erase_if(subtables_, [](const Subtable& sub) { return sub.size == 0; });
+}
+
+} // namespace ovsx::ovs

@@ -1,0 +1,67 @@
+// Megaflow cache: the second-level cache of the userspace datapath — a
+// tuple-space-search classifier over wildcard masks, populated by
+// ofproto translations on upcall. The structure the eBPF datapath could
+// not express (§2.2.2, footnote 1).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ovs/emc.h"
+
+namespace ovsx::ovs {
+
+class MegaflowCache {
+public:
+    struct LookupResult {
+        CachedFlowPtr flow; // null on miss
+        int probes = 0;     // subtables probed (drives lookup cost)
+    };
+
+    LookupResult lookup(const net::FlowKey& key);
+
+    // Installs a flow; replaces an existing identical masked entry.
+    CachedFlowPtr insert(const net::FlowKey& key, const net::FlowMask& mask,
+                         kern::OdpActions actions);
+
+    bool remove(const net::FlowKey& key, const net::FlowMask& mask);
+    void clear();
+
+    std::size_t flow_count() const;
+    std::size_t mask_count() const { return subtables_.size(); }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+    // Moves frequently-hit subtables toward the front of the probe
+    // order (OVS's subtable ranking optimisation). Call periodically.
+    void rerank();
+
+    // Removes flows whose hit counter has not moved since the last
+    // sweep (the revalidator's idle-flow expiry). Returns flows removed.
+    std::size_t expire_idle();
+
+    // Visits all flows (revalidator use).
+    template <typename Fn> void for_each(Fn&& fn)
+    {
+        for (auto& sub : subtables_) {
+            for (auto& [h, bucket] : sub.flows) {
+                for (auto& flow : bucket) fn(flow);
+            }
+        }
+    }
+
+private:
+    struct Subtable {
+        net::FlowMask mask;
+        std::unordered_map<std::uint64_t, std::vector<CachedFlowPtr>> flows;
+        std::uint64_t hit_count = 0;
+        std::size_t size = 0;
+    };
+
+    std::vector<Subtable> subtables_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace ovsx::ovs

@@ -1,0 +1,42 @@
+// netdev-dpdk: physical ports driven by the DPDK PMD (kernel fully
+// bypassed). The performance baseline of the paper's evaluation — fast,
+// but invisible to every tool in Table 1.
+#pragma once
+
+#include "dpdk/ethdev.h"
+#include "ovs/netdev.h"
+
+namespace ovsx::ovs {
+
+class NetdevDpdk : public Netdev {
+public:
+    NetdevDpdk(kern::PhysicalDevice& nic, dpdk::Mempool& pool)
+        : Netdev(nic.name()), dev_(nic, pool)
+    {
+    }
+
+    const char* type() const override { return "dpdk"; }
+    std::uint32_t n_rxq() const override { return dev_.n_queues(); }
+
+    std::uint32_t rx_burst(std::uint32_t queue, std::vector<net::Packet>& out, std::uint32_t max,
+                           sim::ExecContext& ctx) override
+    {
+        const std::uint32_t n = dev_.rx_burst(queue, out, max, ctx);
+        for (std::uint32_t i = 0; i < n; ++i) note_rx(out[out.size() - n + i]);
+        return n;
+    }
+
+    void tx_burst(std::uint32_t queue, std::vector<net::Packet>&& pkts,
+                  sim::ExecContext& ctx) override
+    {
+        for (const auto& pkt : pkts) note_tx(pkt); // csum/TSO stay in HW descriptors
+        dev_.tx_burst(queue, std::move(pkts), ctx);
+    }
+
+    dpdk::EthDev& ethdev() { return dev_; }
+
+private:
+    dpdk::EthDev dev_;
+};
+
+} // namespace ovsx::ovs

@@ -1,0 +1,36 @@
+// netdev-linux: access to kernel-managed devices (tap, veth) through
+// AF_PACKET sockets — the slow but universal virtual-device path whose
+// ~2 µs sendto cost §3.3 measures ("path A" in Figure 5).
+#pragma once
+
+#include <deque>
+
+#include "kern/device.h"
+#include "ovs/netdev.h"
+
+namespace ovsx::ovs {
+
+class NetdevLinux : public Netdev {
+public:
+    // Binds a packet socket to `dev`, stealing its ingress traffic (as
+    // OVS "system" ports do).
+    explicit NetdevLinux(kern::Device& dev);
+    ~NetdevLinux() override;
+
+    const char* type() const override { return "system"; }
+
+    std::uint32_t rx_burst(std::uint32_t queue, std::vector<net::Packet>& out, std::uint32_t max,
+                           sim::ExecContext& ctx) override;
+    void tx_burst(std::uint32_t queue, std::vector<net::Packet>&& pkts,
+                  sim::ExecContext& ctx) override;
+
+    kern::Device& dev() { return dev_; }
+    std::size_t rx_queue_depth() const { return rx_queue_.size(); }
+
+private:
+    kern::Device& dev_;
+    std::deque<net::Packet> rx_queue_;
+    static constexpr std::size_t kQueueDepth = 4096;
+};
+
+} // namespace ovsx::ovs

@@ -1,0 +1,65 @@
+#include "ovs/netlink_cache.h"
+
+namespace ovsx::ovs {
+
+NetlinkCache::NetlinkCache(kern::Kernel& kernel) : kernel_(kernel)
+{
+    kernel_.stack(0).add_change_listener([this](const char*) {
+        // Control-plane events are rare (slow path), so a full refresh
+        // is acceptable — the paper notes these tables are "only updated
+        // by slow control plane operations".
+        refresh();
+    });
+    refresh();
+}
+
+void NetlinkCache::refresh()
+{
+    const kern::IpStack& stack = kernel_.stack(0);
+    routes_ = stack.routes();
+    neighbors_ = stack.neighbors();
+    addrs_ = stack.addresses();
+    ++refreshes_;
+    stale_ = false;
+}
+
+std::optional<NetlinkCache::NextHop> NetlinkCache::resolve(std::uint32_t dst_ip) const
+{
+    // Longest-prefix match over the cached routes.
+    const kern::RouteEntry* best = nullptr;
+    for (const auto& r : routes_) {
+        const std::uint32_t mask =
+            r.prefix_len == 0 ? 0 : ~std::uint32_t{0} << (32 - r.prefix_len);
+        if ((dst_ip & mask) != r.prefix) continue;
+        if (!best || r.prefix_len > best->prefix_len) best = &r;
+    }
+    if (!best) return std::nullopt;
+
+    NextHop hop;
+    hop.ifindex = best->ifindex;
+    const std::uint32_t next_hop_ip = best->gateway ? best->gateway : dst_ip;
+    bool neigh_found = false;
+    for (const auto& n : neighbors_) {
+        if (n.addr == next_hop_ip) {
+            hop.dst_mac = n.mac;
+            neigh_found = true;
+            break;
+        }
+    }
+    if (!neigh_found) {
+        stale_ = true; // signal that an ARP resolution is needed
+        return std::nullopt;
+    }
+    for (const auto& a : addrs_) {
+        if (a.ifindex == best->ifindex) {
+            hop.src_ip = a.addr;
+            break;
+        }
+    }
+    if (kern::Device* dev = kernel_.device(best->ifindex)) {
+        hop.src_mac = dev->mac();
+    }
+    return hop;
+}
+
+} // namespace ovsx::ovs

@@ -1,0 +1,49 @@
+// Userspace replica of the kernel's routing and neighbor tables, kept
+// in sync over (rt)netlink notifications — §4: "OVS caches a userspace
+// replica of each kernel table using Netlink", so that userspace tunnel
+// encapsulation can resolve routes/ARP without syscalls per packet.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "kern/kernel.h"
+#include "kern/stack.h"
+
+namespace ovsx::ovs {
+
+class NetlinkCache {
+public:
+    // Subscribes to change notifications from the host kernel's root
+    // namespace and snapshots the current tables.
+    explicit NetlinkCache(kern::Kernel& kernel);
+
+    struct NextHop {
+        int ifindex = -1;
+        std::uint32_t src_ip = 0;
+        net::MacAddr src_mac;
+        net::MacAddr dst_mac;
+    };
+
+    // Resolves the egress interface, source addressing and next-hop MAC
+    // for `dst_ip` entirely from the cached tables (no kernel calls on
+    // the fast path).
+    std::optional<NextHop> resolve(std::uint32_t dst_ip) const;
+
+    // Number of times the cache was refreshed from the kernel.
+    std::uint64_t refreshes() const { return refreshes_; }
+
+    bool stale() const { return stale_; }
+
+private:
+    void refresh();
+
+    kern::Kernel& kernel_;
+    std::vector<kern::RouteEntry> routes_;
+    std::vector<kern::NeighborEntry> neighbors_;
+    std::vector<kern::AddressEntry> addrs_;
+    std::uint64_t refreshes_ = 0;
+    mutable bool stale_ = false;
+};
+
+} // namespace ovsx::ovs

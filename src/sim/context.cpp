@@ -1,0 +1,26 @@
+#include "sim/context.h"
+
+namespace ovsx::sim {
+
+const char* to_string(CpuClass c)
+{
+    switch (c) {
+    case CpuClass::User: return "user";
+    case CpuClass::System: return "system";
+    case CpuClass::Softirq: return "softirq";
+    case CpuClass::Guest: return "guest";
+    }
+    return "?";
+}
+
+void CpuUsage::add(const ExecContext& ctx, Nanos elapsed)
+{
+    if (elapsed <= 0) return;
+    const double denom = static_cast<double>(elapsed);
+    user += static_cast<double>(ctx.busy(CpuClass::User)) / denom;
+    system += static_cast<double>(ctx.busy(CpuClass::System)) / denom;
+    softirq += static_cast<double>(ctx.busy(CpuClass::Softirq)) / denom;
+    guest += static_cast<double>(ctx.busy(CpuClass::Guest)) / denom;
+}
+
+} // namespace ovsx::sim

@@ -1,0 +1,99 @@
+// Execution contexts and CPU accounting.
+//
+// A context models one logical execution vehicle (a PMD thread, the
+// kernel softirq handler for a NIC queue, a guest vCPU, the OVS main
+// thread, ...). Substrate code charges virtual nanoseconds to the
+// context it logically runs in; experiments then read busy time per
+// CPU class to produce tables like the paper's Table 4
+// (system/softirq/guest/user columns).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sim/time.h"
+
+namespace ovsx::sim {
+
+// CPU classes used by the paper's Table 4.
+enum class CpuClass {
+    User,    // host userspace (includes OVS userspace datapath)
+    System,  // host kernel time attributable to system calls
+    Softirq, // host kernel packet-processing (NAPI, XDP, kernel datapath)
+    Guest,   // time running inside a VM
+};
+
+const char* to_string(CpuClass c);
+
+// One logical execution context with its own virtual clock.
+//
+// The "clock" is the cumulative busy time; idle time is not modelled
+// inside the context (experiments derive utilisation by dividing busy
+// time by the experiment's elapsed virtual time).
+class ExecContext {
+public:
+    ExecContext() = default;
+    ExecContext(std::string name, CpuClass default_class)
+        : name_(std::move(name)), default_class_(default_class)
+    {
+    }
+
+    const std::string& name() const { return name_; }
+    CpuClass default_class() const { return default_class_; }
+
+    // Charges `ns` of busy time in the context's default CPU class.
+    void charge(Nanos ns) { charge(default_class_, ns); }
+
+    // Charges `ns` of busy time in an explicit CPU class. A userspace
+    // thread entering the kernel via a syscall charges CpuClass::System,
+    // for example, without switching contexts.
+    void charge(CpuClass c, Nanos ns)
+    {
+        busy_[static_cast<int>(c)] += ns;
+        total_ += ns;
+    }
+
+    Nanos busy(CpuClass c) const { return busy_[static_cast<int>(c)]; }
+    Nanos total_busy() const { return total_; }
+
+    // Named instrumentation counters (ring operations performed, masks
+    // probed, eBPF instructions retired, ...). Purely diagnostic.
+    void count(const std::string& key, std::uint64_t n = 1) { counters_[key] += n; }
+    std::uint64_t counter(const std::string& key) const
+    {
+        auto it = counters_.find(key);
+        return it == counters_.end() ? 0 : it->second;
+    }
+    const std::map<std::string, std::uint64_t>& counters() const { return counters_; }
+
+    void reset()
+    {
+        for (auto& b : busy_) b = 0;
+        total_ = 0;
+        counters_.clear();
+    }
+
+private:
+    std::string name_;
+    CpuClass default_class_ = CpuClass::User;
+    Nanos busy_[4] = {0, 0, 0, 0};
+    Nanos total_ = 0;
+    std::map<std::string, std::uint64_t> counters_;
+};
+
+// Aggregated busy time across a set of contexts, in units of one CPU
+// (hyperthread) — the unit used by the paper's Table 4.
+struct CpuUsage {
+    double user = 0;
+    double system = 0;
+    double softirq = 0;
+    double guest = 0;
+
+    double total() const { return user + system + softirq + guest; }
+
+    // Accumulates `ctx`'s busy time over an elapsed window.
+    void add(const ExecContext& ctx, Nanos elapsed);
+};
+
+} // namespace ovsx::sim

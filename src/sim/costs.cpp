@@ -1,0 +1,19 @@
+#include "sim/costs.h"
+
+namespace ovsx::sim {
+
+const CostModel& CostModel::baseline()
+{
+    static const CostModel model{};
+    return model;
+}
+
+double line_rate_pps(double gbps, int frame_bytes)
+{
+    // 7B preamble + 1B SFD + 12B inter-frame gap = 20B per frame on the
+    // wire, in addition to the frame itself (which includes the FCS).
+    const double wire_bytes = static_cast<double>(frame_bytes) + 20.0;
+    return gbps * 1e9 / 8.0 / wire_bytes;
+}
+
+} // namespace ovsx::sim

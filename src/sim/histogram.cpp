@@ -1,0 +1,52 @@
+#include "sim/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace ovsx::sim {
+
+void Histogram::sort() const
+{
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+}
+
+Nanos Histogram::percentile(double p) const
+{
+    assert(!samples_.empty());
+    sort();
+    if (p <= 0) return samples_.front();
+    if (p >= 100) return samples_.back();
+    // Nearest-rank: ceil(p/100 * N), 1-based.
+    const auto n = static_cast<double>(samples_.size());
+    auto rank = static_cast<std::size_t>(p / 100.0 * n + 0.999999);
+    if (rank == 0) rank = 1;
+    if (rank > samples_.size()) rank = samples_.size();
+    return samples_[rank - 1];
+}
+
+Nanos Histogram::min() const
+{
+    assert(!samples_.empty());
+    sort();
+    return samples_.front();
+}
+
+Nanos Histogram::max() const
+{
+    assert(!samples_.empty());
+    sort();
+    return samples_.back();
+}
+
+double Histogram::mean() const
+{
+    if (samples_.empty()) return 0;
+    const auto sum = std::accumulate(samples_.begin(), samples_.end(), Nanos{0});
+    return static_cast<double>(sum) / static_cast<double>(samples_.size());
+}
+
+} // namespace ovsx::sim

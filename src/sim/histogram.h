@@ -1,0 +1,33 @@
+// Latency sample accumulator with percentile queries, used by the
+// TCP_RR harness to reproduce the paper's P50/P90/P99 figures.
+#pragma once
+
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ovsx::sim {
+
+class Histogram {
+public:
+    void add(Nanos sample) { samples_.push_back(sample); sorted_ = false; }
+    std::size_t count() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+
+    // Percentile by nearest-rank, p in [0, 100]. Requires !empty().
+    Nanos percentile(double p) const;
+
+    Nanos min() const;
+    Nanos max() const;
+    double mean() const;
+
+    void clear() { samples_.clear(); sorted_ = false; }
+
+private:
+    void sort() const;
+
+    mutable std::vector<Nanos> samples_;
+    mutable bool sorted_ = false;
+};
+
+} // namespace ovsx::sim

@@ -1,0 +1,37 @@
+// Deterministic pseudo-random source for workload generation.
+//
+// Experiments must be reproducible run-to-run, so all randomness in the
+// repository flows through this splitmix64-based generator with explicit
+// seeds — never std::random_device.
+#pragma once
+
+#include <cstdint>
+
+namespace ovsx::sim {
+
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+    std::uint64_t next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    // Uniform in [0, bound). bound must be > 0.
+    std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+    std::uint32_t u32() { return static_cast<std::uint32_t>(next()); }
+    std::uint16_t u16() { return static_cast<std::uint16_t>(next()); }
+
+    // Uniform double in [0, 1).
+    double uniform() { return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0); }
+
+private:
+    std::uint64_t state_;
+};
+
+} // namespace ovsx::sim

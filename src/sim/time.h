@@ -1,0 +1,29 @@
+// Virtual-time primitives for the ovsx simulation substrate.
+//
+// All benchmark results in this repository are derived from *virtual*
+// nanoseconds charged by substrate code as packets traverse real data
+// structures.  See DESIGN.md §"Virtual-time methodology".
+#pragma once
+
+#include <cstdint>
+
+namespace ovsx::sim {
+
+// Virtual nanoseconds. Signed so that subtraction is safe.
+using Nanos = std::int64_t;
+
+constexpr Nanos kMicro = 1'000;
+constexpr Nanos kMilli = 1'000'000;
+constexpr Nanos kSecond = 1'000'000'000;
+
+// Converts a per-packet cost into a packet rate (packets per virtual
+// second). A non-positive cost means "free" and yields 0 to force the
+// caller to handle the degenerate case explicitly.
+constexpr double rate_from_cost(Nanos per_packet)
+{
+    return per_packet > 0 ? static_cast<double>(kSecond) / static_cast<double>(per_packet) : 0.0;
+}
+
+constexpr double mpps(double pps) { return pps / 1e6; }
+
+} // namespace ovsx::sim

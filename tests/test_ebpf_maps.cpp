@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "ebpf/map.h"
+
+namespace ovsx::ebpf {
+namespace {
+
+TEST(Map, HashBasics)
+{
+    Map m(MapType::Hash, "h", 4, 8, 4);
+    const std::uint32_t k1 = 1, k2 = 2;
+    EXPECT_TRUE(m.update_kv(k1, std::uint64_t{100}));
+    EXPECT_TRUE(m.update_kv(k2, std::uint64_t{200}));
+    EXPECT_EQ(m.lookup_kv<std::uint64_t>(k1).value(), 100u);
+    EXPECT_EQ(m.lookup_kv<std::uint64_t>(k2).value(), 200u);
+    EXPECT_EQ(m.size(), 2u);
+    EXPECT_FALSE(m.lookup_kv<std::uint64_t>(std::uint32_t{3}).has_value());
+}
+
+TEST(Map, HashUpdateReplaces)
+{
+    Map m(MapType::Hash, "h", 4, 8, 4);
+    const std::uint32_t k = 7;
+    m.update_kv(k, std::uint64_t{1});
+    m.update_kv(k, std::uint64_t{2});
+    EXPECT_EQ(m.size(), 1u);
+    EXPECT_EQ(m.lookup_kv<std::uint64_t>(k).value(), 2u);
+}
+
+TEST(Map, HashCapacityEnforced)
+{
+    Map m(MapType::Hash, "h", 4, 4, 2);
+    const std::uint32_t a = 1, b = 2, c = 3;
+    EXPECT_TRUE(m.update_kv(a, std::uint32_t{1}));
+    EXPECT_TRUE(m.update_kv(b, std::uint32_t{2}));
+    EXPECT_FALSE(m.update_kv(c, std::uint32_t{3})); // full
+    // Replacing an existing key still works at capacity.
+    EXPECT_TRUE(m.update_kv(a, std::uint32_t{9}));
+}
+
+TEST(Map, HashErase)
+{
+    Map m(MapType::Hash, "h", 4, 4, 4);
+    const std::uint32_t k = 5;
+    m.update_kv(k, std::uint32_t{1});
+    EXPECT_TRUE(m.erase({reinterpret_cast<const std::uint8_t*>(&k), 4}));
+    EXPECT_FALSE(m.erase({reinterpret_cast<const std::uint8_t*>(&k), 4}));
+    EXPECT_FALSE(m.lookup_kv<std::uint32_t>(k).has_value());
+}
+
+TEST(Map, ValuePointerStableAcrossInserts)
+{
+    // Hash values are boxed: pointers stay valid while other keys churn
+    // (eBPF programs hold value pointers across helper calls).
+    Map m(MapType::Hash, "h", 4, 4, 1024);
+    const std::uint32_t k = 42;
+    m.update_kv(k, std::uint32_t{7});
+    auto* p = m.lookup({reinterpret_cast<const std::uint8_t*>(&k), 4});
+    ASSERT_NE(p, nullptr);
+    for (std::uint32_t i = 100; i < 600; ++i) m.update_kv(i, i);
+    auto* p2 = m.lookup({reinterpret_cast<const std::uint8_t*>(&k), 4});
+    EXPECT_EQ(p, p2);
+}
+
+TEST(Map, ArraySemantics)
+{
+    Map m(MapType::Array, "a", 4, 4, 8);
+    // Arrays are pre-populated with zeroes; every slot "exists".
+    const std::uint32_t k0 = 0, k7 = 7, k8 = 8;
+    EXPECT_NE(m.lookup({reinterpret_cast<const std::uint8_t*>(&k0), 4}), nullptr);
+    EXPECT_EQ(m.lookup_kv<std::uint32_t>(k0).value(), 0u);
+    EXPECT_TRUE(m.update_kv(k7, std::uint32_t{70}));
+    EXPECT_EQ(m.lookup_kv<std::uint32_t>(k7).value(), 70u);
+    // Out of range is a miss, not a crash.
+    EXPECT_EQ(m.lookup({reinterpret_cast<const std::uint8_t*>(&k8), 4}), nullptr);
+    EXPECT_FALSE(m.update_kv(k8, std::uint32_t{1}));
+}
+
+TEST(Map, ArrayEraseZeroes)
+{
+    Map m(MapType::DevMap, "d", 4, 4, 4);
+    const std::uint32_t k = 2;
+    m.update_kv(k, std::uint32_t{42});
+    EXPECT_TRUE(m.erase({reinterpret_cast<const std::uint8_t*>(&k), 4}));
+    EXPECT_EQ(m.lookup_kv<std::uint32_t>(k).value(), 0u); // zeroed, still present
+}
+
+TEST(Map, KeySizeMismatchRejected)
+{
+    Map m(MapType::Hash, "h", 8, 4, 4);
+    const std::uint32_t small = 1;
+    EXPECT_EQ(m.lookup({reinterpret_cast<const std::uint8_t*>(&small), 4}), nullptr);
+    EXPECT_FALSE(m.update({reinterpret_cast<const std::uint8_t*>(&small), 4},
+                          {reinterpret_cast<const std::uint8_t*>(&small), 4}));
+}
+
+TEST(Map, ArrayFamilyRequiresU32Keys)
+{
+    EXPECT_THROW(Map(MapType::Array, "a", 8, 4, 4), std::invalid_argument);
+    EXPECT_THROW(Map(MapType::XskMap, "x", 2, 4, 4), std::invalid_argument);
+    EXPECT_NO_THROW(Map(MapType::Hash, "h", 20, 4, 4));
+}
+
+TEST(Map, ZeroGeometryRejected)
+{
+    EXPECT_THROW(Map(MapType::Hash, "h", 0, 4, 4), std::invalid_argument);
+    EXPECT_THROW(Map(MapType::Hash, "h", 4, 0, 4), std::invalid_argument);
+    EXPECT_THROW(Map(MapType::Hash, "h", 4, 4, 0), std::invalid_argument);
+}
+
+// Property sweep: hash map behaves like a std::map reference model
+// across a few hundred mixed operations, for several key widths.
+class MapModelProperty : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(MapModelProperty, MatchesReferenceModel)
+{
+    const std::uint32_t key_size = GetParam();
+    Map m(MapType::Hash, "h", key_size, 8, 256);
+    std::map<std::vector<std::uint8_t>, std::uint64_t> model;
+    std::uint64_t seed = 0x1234;
+    auto next = [&] {
+        seed = seed * 6364136223846793005ULL + 1;
+        return seed >> 33;
+    };
+    for (int op = 0; op < 500; ++op) {
+        std::vector<std::uint8_t> key(key_size);
+        for (auto& b : key) b = static_cast<std::uint8_t>(next() % 7); // collisions likely
+        const std::uint64_t val = next();
+        switch (next() % 3) {
+        case 0: { // update
+            const bool ok =
+                m.update(key, {reinterpret_cast<const std::uint8_t*>(&val), 8});
+            if (ok) model[key] = val;
+            break;
+        }
+        case 1: { // erase
+            const bool ours = m.erase(key);
+            const bool theirs = model.erase(key) > 0;
+            ASSERT_EQ(ours, theirs);
+            break;
+        }
+        default: { // lookup
+            auto* p = m.lookup(key);
+            auto it = model.find(key);
+            ASSERT_EQ(p != nullptr, it != model.end());
+            if (p) {
+                std::uint64_t got;
+                std::memcpy(&got, p, 8);
+                ASSERT_EQ(got, it->second);
+            }
+        }
+        }
+        ASSERT_EQ(m.size(), model.size());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(KeyWidths, MapModelProperty, ::testing::Values(1u, 4u, 8u, 20u),
+                         [](const auto& info) {
+                             return "key" + std::to_string(info.param);
+                         });
+
+} // namespace
+} // namespace ovsx::ebpf

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include "ebpf/programs.h"
+#include "ebpf/verifier.h"
+#include "ebpf/vm.h"
+#include "net/builder.h"
+#include "net/headers.h"
+
+namespace ovsx::ebpf {
+namespace {
+
+net::Packet udp_to(std::uint32_t dst_ip, std::uint16_t dst_port, std::uint16_t src_port = 1000)
+{
+    net::UdpSpec spec;
+    spec.src_mac = net::MacAddr::from_id(1);
+    spec.dst_mac = net::MacAddr::from_id(2);
+    spec.src_ip = net::ipv4(10, 0, 0, 1);
+    spec.dst_ip = dst_ip;
+    spec.src_port = src_port;
+    spec.dst_port = dst_port;
+    return net::build_udp(spec);
+}
+
+net::Packet tcp_to(std::uint16_t dst_port)
+{
+    net::TcpSpec spec;
+    spec.src_mac = net::MacAddr::from_id(1);
+    spec.dst_mac = net::MacAddr::from_id(2);
+    spec.src_ip = net::ipv4(10, 0, 0, 1);
+    spec.dst_ip = net::ipv4(10, 0, 0, 2);
+    spec.src_port = 999;
+    spec.dst_port = dst_port;
+    return net::build_tcp(spec);
+}
+
+TEST(XdpPrograms, PassAndDrop)
+{
+    Vm vm;
+    auto pass = xdp_pass_all();
+    auto drop = xdp_drop_all();
+    net::Packet p = udp_to(net::ipv4(10, 0, 0, 2), 80);
+    EXPECT_EQ(vm.run_xdp(pass, p).action, XdpAction::Pass);
+    EXPECT_EQ(vm.run_xdp(drop, p).action, XdpAction::Drop);
+}
+
+TEST(XdpPrograms, ComplexityLadderTable5)
+{
+    // Table 5's premise: instruction count (and so cost) increases
+    // monotonically from task A to task D.
+    Vm vm;
+    auto l2 = std::make_shared<Map>(MapType::Hash, "l2", 8, 4, 128);
+    // Populate the entry task C will hit (dst MAC of the test packet).
+    std::uint8_t key[8] = {};
+    const auto mac = net::MacAddr::from_id(2);
+    std::copy(mac.bytes.begin(), mac.bytes.end(), key);
+    const std::uint32_t port_no = 3;
+    ASSERT_TRUE(l2->update(key, {reinterpret_cast<const std::uint8_t*>(&port_no), 4}));
+
+    auto a = xdp_drop_all();
+    auto b = xdp_parse_drop();
+    auto c = xdp_parse_lookup_drop(l2);
+    auto d = xdp_swap_macs_tx();
+
+    net::Packet pa = udp_to(net::ipv4(10, 0, 0, 2), 80);
+    net::Packet pb = udp_to(net::ipv4(10, 0, 0, 2), 80);
+    net::Packet pc = udp_to(net::ipv4(10, 0, 0, 2), 80);
+    net::Packet pd = udp_to(net::ipv4(10, 0, 0, 2), 80);
+
+    const auto ra = vm.run_xdp(a, pa);
+    const auto rb = vm.run_xdp(b, pb);
+    const auto rc = vm.run_xdp(c, pc);
+    const auto rd = vm.run_xdp(d, pd);
+
+    EXPECT_EQ(ra.action, XdpAction::Drop);
+    EXPECT_EQ(rb.action, XdpAction::Drop);
+    EXPECT_EQ(rc.action, XdpAction::Drop);
+    EXPECT_EQ(rd.action, XdpAction::Tx);
+
+    EXPECT_LT(ra.insns, rb.insns);
+    EXPECT_LT(rb.insns, rc.insns);
+    EXPECT_LT(ra.cost, rb.cost);
+    EXPECT_LT(rb.cost, rc.cost);
+    // Task D's cost advantage over C comes from skipping the map lookup;
+    // its end-to-end rate is still lowest because XDP_TX pays the TX path
+    // (charged by the driver model, not the VM).
+    EXPECT_GT(rd.insns, rb.insns);
+    EXPECT_EQ(rc.map_lookups, 1u);
+}
+
+TEST(XdpPrograms, SwapMacsActuallySwaps)
+{
+    Vm vm;
+    auto prog = xdp_swap_macs_tx();
+    net::Packet p = udp_to(net::ipv4(10, 0, 0, 2), 80);
+    const auto src_before = p.header_at<net::EthernetHeader>(0)->src;
+    const auto dst_before = p.header_at<net::EthernetHeader>(0)->dst;
+    ASSERT_EQ(vm.run_xdp(prog, p).action, XdpAction::Tx);
+    EXPECT_EQ(p.header_at<net::EthernetHeader>(0)->src, dst_before);
+    EXPECT_EQ(p.header_at<net::EthernetHeader>(0)->dst, src_before);
+}
+
+TEST(XdpPrograms, ParseDropDropsNonIpv4Too)
+{
+    Vm vm;
+    auto prog = xdp_parse_drop();
+    net::Packet arp = net::build_arp(true, net::MacAddr::from_id(1), net::ipv4(10, 0, 0, 1),
+                                     net::MacAddr(), net::ipv4(10, 0, 0, 2));
+    EXPECT_EQ(vm.run_xdp(prog, arp).action, XdpAction::Drop);
+}
+
+TEST(XdpPrograms, RedirectToXskFollowsQueueBinding)
+{
+    auto xsk = std::make_shared<Map>(MapType::XskMap, "xsks", 4, 4, 16);
+    const std::uint32_t q2 = 2;
+    ASSERT_TRUE(xsk->update_kv(q2, std::uint32_t{1}));
+    auto prog = xdp_redirect_to_xsk(xsk);
+
+    Vm vm;
+    net::Packet p = udp_to(net::ipv4(10, 0, 0, 2), 80);
+    EXPECT_EQ(vm.run_xdp(prog, p, 1, /*queue=*/2).action, XdpAction::Redirect);
+    EXPECT_EQ(vm.run_xdp(prog, p, 1, /*queue=*/3).action, XdpAction::Pass); // no socket
+}
+
+TEST(XdpPrograms, ContainerBypassRedirectsKnownIps)
+{
+    auto ip_table = std::make_shared<Map>(MapType::Hash, "ip", 4, 4, 64);
+    auto dev = std::make_shared<Map>(MapType::DevMap, "dev", 4, 4, 16);
+    auto xsk = std::make_shared<Map>(MapType::XskMap, "xsk", 4, 4, 16);
+
+    // Container IP 10.0.0.2 lives behind devmap slot 3 -> ifindex 42.
+    const std::uint32_t container_ip_wire = net::host_to_be32(net::ipv4(10, 0, 0, 2));
+    ASSERT_TRUE(ip_table->update_kv(container_ip_wire, std::uint32_t{3}));
+    const std::uint32_t slot3 = 3;
+    ASSERT_TRUE(dev->update_kv(slot3, std::uint32_t{42}));
+    const std::uint32_t q0 = 0;
+    ASSERT_TRUE(xsk->update_kv(q0, std::uint32_t{1}));
+
+    auto prog = xdp_container_bypass(ip_table, dev, xsk);
+    ASSERT_TRUE(verify(prog).ok);
+
+    Vm vm;
+    net::Packet hit = udp_to(net::ipv4(10, 0, 0, 2), 80);
+    auto res = vm.run_xdp(prog, hit, 1, 0);
+    EXPECT_EQ(res.action, XdpAction::Redirect);
+    EXPECT_EQ(res.redirect_map->type(), MapType::DevMap);
+    EXPECT_EQ(res.redirect_key, 3u);
+
+    net::Packet miss = udp_to(net::ipv4(10, 0, 0, 99), 80);
+    auto res2 = vm.run_xdp(prog, miss, 1, 0);
+    EXPECT_EQ(res2.action, XdpAction::Redirect);
+    EXPECT_EQ(res2.redirect_map->type(), MapType::XskMap);
+}
+
+TEST(XdpPrograms, L4LbRewritesAndBounces)
+{
+    auto backends = std::make_shared<Map>(MapType::Array, "be", 4, 4, 8);
+    auto xsk = std::make_shared<Map>(MapType::XskMap, "xsk", 4, 4, 16);
+    const std::uint32_t q0 = 0;
+    ASSERT_TRUE(xsk->update_kv(q0, std::uint32_t{1}));
+    // Backends in slots 1..4 (wire byte order).
+    for (std::uint32_t i = 1; i <= 4; ++i) {
+        const std::uint32_t ip_wire = net::host_to_be32(net::ipv4(10, 0, 1, static_cast<std::uint8_t>(i)));
+        ASSERT_TRUE(backends->update_kv(i, ip_wire));
+    }
+
+    auto prog = xdp_l4_lb(8080, backends, xsk);
+    ASSERT_TRUE(verify(prog).ok);
+
+    Vm vm;
+    net::Packet vip_pkt = udp_to(net::ipv4(10, 0, 0, 100), 8080, /*src_port=*/1001);
+    auto res = vm.run_xdp(prog, vip_pkt, 1, 0);
+    EXPECT_EQ(res.action, XdpAction::Tx);
+    const auto* ip = vip_pkt.header_at<net::Ipv4Header>(14);
+    // dst rewritten into the 10.0.1.x backend range
+    EXPECT_EQ(ip->dst() & 0xffffff00, net::ipv4(10, 0, 1, 0));
+
+    net::Packet other = udp_to(net::ipv4(10, 0, 0, 100), 443);
+    auto res2 = vm.run_xdp(prog, other, 1, 0);
+    EXPECT_EQ(res2.action, XdpAction::Redirect); // to OVS via XSK
+}
+
+TEST(XdpPrograms, SteeringSendsMgmtToStack)
+{
+    auto xsk = std::make_shared<Map>(MapType::XskMap, "xsk", 4, 4, 16);
+    const std::uint32_t q0 = 0;
+    ASSERT_TRUE(xsk->update_kv(q0, std::uint32_t{1}));
+    auto prog = xdp_steer_mgmt_to_stack(22, xsk);
+    ASSERT_TRUE(verify(prog).ok);
+
+    Vm vm;
+    net::Packet ssh = tcp_to(22);
+    EXPECT_EQ(vm.run_xdp(prog, ssh, 1, 0).action, XdpAction::Pass);
+    net::Packet data = tcp_to(8000);
+    EXPECT_EQ(vm.run_xdp(prog, data, 1, 0).action, XdpAction::Redirect);
+    net::Packet udp = udp_to(net::ipv4(10, 0, 0, 2), 22);
+    EXPECT_EQ(vm.run_xdp(prog, udp, 1, 0).action, XdpAction::Redirect); // UDP is not mgmt
+}
+
+TEST(XdpPrograms, AllProgramsSurviveRuntPackets)
+{
+    // Defensive: every canned program must handle a 10-byte runt without
+    // aborting (bounds checks route it to the fallback path).
+    auto l2 = std::make_shared<Map>(MapType::Hash, "l2", 8, 4, 16);
+    auto xsk = std::make_shared<Map>(MapType::XskMap, "x", 4, 4, 4);
+    auto dev = std::make_shared<Map>(MapType::DevMap, "d", 4, 4, 4);
+    auto ip = std::make_shared<Map>(MapType::Hash, "ip", 4, 4, 16);
+    auto be = std::make_shared<Map>(MapType::Array, "b", 4, 4, 8);
+
+    Vm vm;
+    for (const auto& prog :
+         {xdp_parse_drop(), xdp_parse_lookup_drop(l2), xdp_swap_macs_tx(),
+          xdp_container_bypass(ip, dev, xsk), xdp_l4_lb(80, be, xsk),
+          xdp_steer_mgmt_to_stack(22, xsk)}) {
+        net::Packet runt(10);
+        const auto res = vm.run_xdp(prog, runt, 1, 0);
+        EXPECT_NE(res.action, XdpAction::Aborted) << prog.name << ": " << res.fault;
+    }
+}
+
+} // namespace
+} // namespace ovsx::ebpf

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/latency.h"
+#include "gen/measure.h"
+#include "gen/testbed.h"
+#include "gen/traffic.h"
+#include "kern/nic.h"
+
+namespace ovsx::gen {
+namespace {
+
+using net::ipv4;
+
+TEST(Traffic, SingleFlowIsStable)
+{
+    TrafficGen gen({.n_flows = 1, .frame_size = 64});
+    const auto k1 = net::parse_flow(gen.next());
+    const auto k2 = net::parse_flow(gen.next());
+    EXPECT_EQ(k1, k2);
+    // 64B frame = 60 bytes in memory (FCS on the wire only).
+    EXPECT_EQ(gen.next().size(), 60u);
+}
+
+TEST(Traffic, ThousandFlowsSpread)
+{
+    TrafficGen gen({.n_flows = 1000, .frame_size = 64});
+    std::set<std::pair<std::uint32_t, std::uint32_t>> tuples;
+    for (int i = 0; i < 1000; ++i) {
+        const auto k = net::parse_flow(gen.next());
+        tuples.insert({k.nw_src, k.nw_dst});
+    }
+    EXPECT_GT(tuples.size(), 500u); // high flow diversity
+}
+
+TEST(Traffic, FrameSizesHonored)
+{
+    TrafficGen gen({.n_flows = 1, .frame_size = 1518});
+    EXPECT_EQ(gen.next().size(), 1514u); // minus 4B FCS
+}
+
+TEST(Traffic, DeterministicAcrossRuns)
+{
+    TrafficGen a({.n_flows = 1000, .seed = 9});
+    TrafficGen b({.n_flows = 1000, .seed = 9});
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(net::parse_flow(a.next()), net::parse_flow(b.next()));
+    }
+}
+
+TEST(Measure, BottleneckDeterminesRate)
+{
+    sim::ExecContext fast("fast", sim::CpuClass::User);
+    sim::ExecContext slow("slow", sim::CpuClass::Softirq);
+    fast.charge(100 * 1000);  // 100ns x 1000 packets
+    slow.charge(500 * 1000);  // 500ns x 1000 packets
+
+    RateMeasure m;
+    m.add_stage({"fast", &fast, StageKind::Polling, 1});
+    m.add_stage({"slow", &slow, StageKind::Demand, 1});
+    const auto rep = m.report(1000);
+    EXPECT_EQ(rep.bottleneck, "slow");
+    EXPECT_NEAR(rep.mpps(), 2.0, 0.01); // 1e9/500
+}
+
+TEST(Measure, ParallelismScalesCapacity)
+{
+    sim::ExecContext softirq("softirq", sim::CpuClass::Softirq);
+    softirq.charge(500 * 1000);
+    RateMeasure m;
+    m.add_stage({"softirq", &softirq, StageKind::Demand, 8}); // RSS over 8 CPUs
+    const auto rep = m.report(1000);
+    EXPECT_NEAR(rep.mpps(), 16.0, 0.01);
+    // CPU at rate: 16 Mpps x 500ns = 8 cores of softirq.
+    EXPECT_NEAR(rep.cpu.softirq, 8.0, 0.01);
+}
+
+TEST(Measure, LineRateCapsAndPollingBurnsCores)
+{
+    sim::ExecContext pmd("pmd", sim::CpuClass::User);
+    pmd.charge(100 * 1000);
+    RateMeasure m;
+    m.add_stage({"pmd", &pmd, StageKind::Polling, 1});
+    const auto rep = m.report(1000, /*line_rate=*/5e6);
+    EXPECT_EQ(rep.bottleneck, "line-rate");
+    EXPECT_NEAR(rep.mpps(), 5.0, 0.01);
+    // 5 Mpps x 100ns = 0.5 cores of work + 0.5 cores of spin = 1.0.
+    EXPECT_NEAR(rep.cpu.total(), 1.0, 0.01);
+}
+
+TEST(Measure, MixedClassAttribution)
+{
+    sim::ExecContext pmd("pmd", sim::CpuClass::User);
+    pmd.charge(sim::CpuClass::User, 80 * 1000);
+    pmd.charge(sim::CpuClass::System, 20 * 1000);
+    RateMeasure m;
+    m.add_stage({"pmd", &pmd, StageKind::Polling, 1});
+    const auto rep = m.report(1000); // rate = 10 Mpps (100ns each)
+    EXPECT_NEAR(rep.cpu.system, 0.2, 0.01);
+    EXPECT_NEAR(rep.cpu.user, 0.8, 0.01);
+}
+
+TEST(Latency, JitterWidensTail)
+{
+    auto exchange = [] { return sim::Nanos{30000}; };
+    const auto polling = run_tcp_rr(exchange, 3000, JitterModel::polling());
+    const auto irq = run_tcp_rr(exchange, 3000, JitterModel::interrupt_driven(4));
+
+    EXPECT_LT(polling.rtt.percentile(99), irq.rtt.percentile(99));
+    // Polling P99/P50 spread is tight; interrupt-driven has a tail.
+    const double spread_poll = static_cast<double>(polling.rtt.percentile(99)) /
+                               static_cast<double>(polling.rtt.percentile(50));
+    const double spread_irq = static_cast<double>(irq.rtt.percentile(99)) /
+                              static_cast<double>(irq.rtt.percentile(50));
+    EXPECT_LT(spread_poll, spread_irq);
+    EXPECT_GT(polling.transactions_per_sec, irq.transactions_per_sec);
+}
+
+TEST(Latency, Deterministic)
+{
+    auto exchange = [] { return sim::Nanos{10000}; };
+    const auto a = run_tcp_rr(exchange, 500, JitterModel::interrupt_driven(2), 11);
+    const auto b = run_tcp_rr(exchange, 500, JitterModel::interrupt_driven(2), 11);
+    EXPECT_EQ(a.rtt.percentile(99), b.rtt.percentile(99));
+}
+
+TEST(Testbed, VhostVmRoundTrip)
+{
+    kern::Kernel host("host");
+    VhostVm vm(host.costs(), "vm0", net::MacAddr::from_id(5), ipv4(10, 0, 0, 5));
+    sim::ExecContext ovs_ctx("ovs", sim::CpuClass::User);
+
+    Sink sink;
+    bind_udp_sink(vm.kernel().stack(), 9000, sink);
+
+    net::UdpSpec spec;
+    spec.dst_mac = vm.vnic().mac();
+    spec.src_ip = ipv4(10, 0, 0, 1);
+    spec.dst_ip = vm.ip();
+    spec.dst_port = 9000;
+    vm.channel().backend_tx(net::build_udp(spec), ovs_ctx);
+    EXPECT_EQ(sink.packets, 1u);
+}
+
+TEST(Testbed, TapVmRoundTrip)
+{
+    kern::Kernel host("host");
+    TapVm vm(host, "vm0", net::MacAddr::from_id(5), ipv4(10, 0, 0, 5));
+    Sink sink;
+    bind_udp_sink(vm.kernel().stack(), 9000, sink);
+
+    // "QEMU reads from tap": host egress out the tap reaches the guest.
+    net::UdpSpec spec;
+    spec.dst_mac = vm.vnic().mac();
+    spec.src_ip = ipv4(10, 0, 0, 1);
+    spec.dst_ip = vm.ip();
+    spec.dst_port = 9000;
+    sim::ExecContext kctx("kernel", sim::CpuClass::Softirq);
+    vm.tap().transmit(net::build_udp(spec), kctx);
+    EXPECT_EQ(sink.packets, 1u);
+
+    // Guest replies out its vNIC -> tap fd_write -> host kernel ingress.
+    int host_rx = 0;
+    vm.tap().set_rx_handler([&](kern::Device&, net::Packet&&, sim::ExecContext&) { ++host_rx; });
+    vm.kernel().stack().add_neighbor(ipv4(10, 0, 0, 1), net::MacAddr::from_id(9), 1);
+    vm.kernel().stack().send_udp(ipv4(10, 0, 0, 1), 9000, 9001, 32, vm.vcpu());
+    EXPECT_EQ(host_rx, 1);
+}
+
+TEST(Testbed, ContainerNamespaces)
+{
+    kern::Kernel host("host");
+    Container c0 = make_container(host, "c0", ipv4(172, 17, 0, 2));
+    Container c1 = make_container(host, "c1", ipv4(172, 17, 0, 3));
+    EXPECT_NE(c0.ns_id, c1.ns_id);
+    EXPECT_TRUE(host.stack(c0.ns_id).is_local_address(c0.ip));
+    EXPECT_FALSE(host.stack(c0.ns_id).is_local_address(c1.ip));
+    EXPECT_NE(c0.host_end->peer(), nullptr);
+}
+
+TEST(Testbed, UdpEchoAccumulatesLatency)
+{
+    kern::Kernel host("host");
+    Container c = make_container(host, "c0", ipv4(172, 17, 0, 2));
+    sim::ExecContext app("app", sim::CpuClass::User);
+    bind_udp_echo(host.stack(c.ns_id), 7, app, /*endpoint_cost=*/500);
+    host.stack(c.ns_id).add_neighbor(ipv4(172, 17, 0, 1), net::MacAddr::from_id(1),
+                                     c.inner->ifindex());
+
+    // Catch the echo on the host end.
+    sim::Nanos echoed_latency = -1;
+    c.host_end->set_rx_handler([&](kern::Device&, net::Packet&& pkt, sim::ExecContext&) {
+        echoed_latency = pkt.meta().latency_ns;
+    });
+
+    net::UdpSpec spec;
+    spec.dst_mac = c.inner->mac();
+    spec.src_ip = ipv4(172, 17, 0, 1);
+    spec.dst_ip = c.ip;
+    spec.src_port = 555;
+    spec.dst_port = 7;
+    net::Packet req = net::build_udp(spec);
+    req.meta().latency_ns = 1000; // pre-existing path latency
+    sim::ExecContext kctx("k", sim::CpuClass::Softirq);
+    c.host_end->transmit(std::move(req), kctx);
+
+    EXPECT_GE(echoed_latency, 1500); // request latency + endpoint cost
+}
+
+} // namespace
+} // namespace ovsx::gen

@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include "kern/kernel.h"
+#include "kern/nic.h"
+#include "kern/stack.h"
+#include "kern/veth.h"
+#include "net/builder.h"
+#include "net/checksum.h"
+#include "net/headers.h"
+
+namespace ovsx::kern {
+namespace {
+
+using net::ipv4;
+
+class StackTest : public ::testing::Test {
+protected:
+    Kernel kernel{"host"};
+    sim::ExecContext ctx{"softirq", sim::CpuClass::Softirq};
+};
+
+TEST_F(StackTest, AddressAddsConnectedRoute)
+{
+    auto& nic = kernel.add_device<PhysicalDevice>("eth0", net::MacAddr::from_id(1));
+    kernel.stack().add_address(nic.ifindex(), ipv4(10, 0, 0, 1), 24);
+    const auto route = kernel.stack().route_lookup(ipv4(10, 0, 0, 200));
+    ASSERT_TRUE(route.has_value());
+    EXPECT_EQ(route->ifindex, nic.ifindex());
+    EXPECT_EQ(route->gateway, 0u);
+    EXPECT_FALSE(kernel.stack().route_lookup(ipv4(10, 0, 1, 1)).has_value());
+}
+
+TEST_F(StackTest, LongestPrefixMatchWins)
+{
+    auto& nic0 = kernel.add_device<PhysicalDevice>("eth0", net::MacAddr::from_id(1));
+    auto& nic1 = kernel.add_device<PhysicalDevice>("eth1", net::MacAddr::from_id(2));
+    kernel.stack().add_route(ipv4(10, 0, 0, 0), 8, ipv4(10, 255, 255, 254), nic0.ifindex());
+    kernel.stack().add_route(ipv4(10, 1, 0, 0), 16, ipv4(10, 1, 255, 254), nic1.ifindex());
+    auto r = kernel.stack().route_lookup(ipv4(10, 1, 2, 3));
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->ifindex, nic1.ifindex());
+    r = kernel.stack().route_lookup(ipv4(10, 2, 2, 3));
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->ifindex, nic0.ifindex());
+}
+
+TEST_F(StackTest, DefaultRoute)
+{
+    auto& nic = kernel.add_device<PhysicalDevice>("eth0", net::MacAddr::from_id(1));
+    kernel.stack().add_route(0, 0, ipv4(10, 0, 0, 254), nic.ifindex());
+    EXPECT_TRUE(kernel.stack().route_lookup(ipv4(8, 8, 8, 8)).has_value());
+}
+
+TEST_F(StackTest, ArpRequestGetsReply)
+{
+    auto& nic = kernel.add_device<PhysicalDevice>("eth0", net::MacAddr::from_id(1));
+    kernel.stack().add_address(nic.ifindex(), ipv4(10, 0, 0, 1), 24);
+
+    net::Packet reply_out;
+    bool got_reply = false;
+    nic.connect_wire([&](net::Packet&& p) {
+        reply_out = std::move(p);
+        got_reply = true;
+    });
+
+    net::Packet req = net::build_arp(true, net::MacAddr::from_id(99), ipv4(10, 0, 0, 99),
+                                     net::MacAddr(), ipv4(10, 0, 0, 1));
+    nic.rx_from_wire(std::move(req));
+
+    ASSERT_TRUE(got_reply);
+    const auto* arp = reply_out.header_at<net::ArpHeader>(14);
+    EXPECT_EQ(arp->oper(), 2);
+    EXPECT_EQ(arp->spa(), ipv4(10, 0, 0, 1));
+    EXPECT_EQ(arp->sha, nic.mac());
+    // And the requester was learned.
+    const auto learned = kernel.stack().neighbor_lookup(ipv4(10, 0, 0, 99));
+    ASSERT_TRUE(learned.has_value());
+    EXPECT_EQ(*learned, net::MacAddr::from_id(99));
+}
+
+TEST_F(StackTest, LocalDeliveryToBoundSocket)
+{
+    auto& nic = kernel.add_device<PhysicalDevice>("eth0", net::MacAddr::from_id(1));
+    kernel.stack().add_address(nic.ifindex(), ipv4(10, 0, 0, 1), 24);
+
+    int delivered = 0;
+    kernel.stack().bind(17, 7777,
+                        [&](net::Packet&&, const net::FlowKey& key, sim::ExecContext&) {
+                            ++delivered;
+                            EXPECT_EQ(key.tp_dst, 7777);
+                        });
+
+    net::UdpSpec spec;
+    spec.src_mac = net::MacAddr::from_id(9);
+    spec.dst_mac = nic.mac();
+    spec.src_ip = ipv4(10, 0, 0, 9);
+    spec.dst_ip = ipv4(10, 0, 0, 1);
+    spec.dst_port = 7777;
+    nic.rx_from_wire(net::build_udp(spec));
+    EXPECT_EQ(delivered, 1);
+    EXPECT_EQ(kernel.stack().rx_delivered(), 1u);
+
+    // Unbound port counts as a drop.
+    spec.dst_port = 8888;
+    nic.rx_from_wire(net::build_udp(spec));
+    EXPECT_EQ(delivered, 1);
+    EXPECT_EQ(kernel.stack().rx_dropped(), 1u);
+}
+
+TEST_F(StackTest, ForwardingDecrementsTtlAndRewritesMacs)
+{
+    auto& nic0 = kernel.add_device<PhysicalDevice>("eth0", net::MacAddr::from_id(1));
+    auto& nic1 = kernel.add_device<PhysicalDevice>("eth1", net::MacAddr::from_id(2));
+    kernel.stack().add_address(nic0.ifindex(), ipv4(10, 0, 0, 1), 24);
+    kernel.stack().add_address(nic1.ifindex(), ipv4(10, 0, 1, 1), 24);
+    kernel.stack().add_neighbor(ipv4(10, 0, 1, 50), net::MacAddr::from_id(50), nic1.ifindex());
+    kernel.stack().set_forwarding(true);
+
+    net::Packet forwarded;
+    bool got = false;
+    nic1.connect_wire([&](net::Packet&& p) {
+        forwarded = std::move(p);
+        got = true;
+    });
+
+    net::UdpSpec spec;
+    spec.src_mac = net::MacAddr::from_id(9);
+    spec.dst_mac = nic0.mac();
+    spec.src_ip = ipv4(10, 0, 0, 9);
+    spec.dst_ip = ipv4(10, 0, 1, 50);
+    spec.ttl = 10;
+    nic0.rx_from_wire(net::build_udp(spec));
+
+    ASSERT_TRUE(got);
+    const auto* ip = forwarded.header_at<net::Ipv4Header>(14);
+    EXPECT_EQ(ip->ttl, 9);
+    EXPECT_EQ(net::internet_checksum({forwarded.data() + 14, 20}), 0);
+    const auto* eth = forwarded.header_at<net::EthernetHeader>(0);
+    EXPECT_EQ(eth->src, nic1.mac());
+    EXPECT_EQ(eth->dst, net::MacAddr::from_id(50));
+    EXPECT_EQ(kernel.stack().rx_forwarded(), 1u);
+}
+
+TEST_F(StackTest, TtlExpiryDrops)
+{
+    auto& nic0 = kernel.add_device<PhysicalDevice>("eth0", net::MacAddr::from_id(1));
+    auto& nic1 = kernel.add_device<PhysicalDevice>("eth1", net::MacAddr::from_id(2));
+    kernel.stack().add_address(nic0.ifindex(), ipv4(10, 0, 0, 1), 24);
+    kernel.stack().add_address(nic1.ifindex(), ipv4(10, 0, 1, 1), 24);
+    kernel.stack().add_neighbor(ipv4(10, 0, 1, 50), net::MacAddr::from_id(50), nic1.ifindex());
+    kernel.stack().set_forwarding(true);
+
+    net::UdpSpec spec;
+    spec.dst_mac = nic0.mac();
+    spec.src_ip = ipv4(10, 0, 0, 9);
+    spec.dst_ip = ipv4(10, 0, 1, 50);
+    spec.ttl = 1;
+    nic0.rx_from_wire(net::build_udp(spec));
+    EXPECT_EQ(kernel.stack().rx_forwarded(), 0u);
+    EXPECT_EQ(kernel.stack().rx_dropped(), 1u);
+}
+
+TEST_F(StackTest, SendUdpRoutesAndResolves)
+{
+    auto& nic = kernel.add_device<PhysicalDevice>("eth0", net::MacAddr::from_id(1));
+    kernel.stack().add_address(nic.ifindex(), ipv4(10, 0, 0, 1), 24);
+    kernel.stack().add_neighbor(ipv4(10, 0, 0, 2), net::MacAddr::from_id(2), nic.ifindex());
+
+    net::Packet out;
+    bool got = false;
+    nic.connect_wire([&](net::Packet&& p) {
+        out = std::move(p);
+        got = true;
+    });
+    ASSERT_TRUE(kernel.stack().send_udp(ipv4(10, 0, 0, 2), 1234, 80, 100, ctx));
+    ASSERT_TRUE(got);
+    const auto key = net::parse_flow(out);
+    EXPECT_EQ(key.nw_src, ipv4(10, 0, 0, 1));
+    EXPECT_EQ(key.nw_dst, ipv4(10, 0, 0, 2));
+    EXPECT_EQ(key.tp_dst, 80);
+    EXPECT_EQ(key.dl_dst, net::MacAddr::from_id(2));
+}
+
+TEST_F(StackTest, SendToUnresolvedNeighborTriggersArp)
+{
+    auto& nic = kernel.add_device<PhysicalDevice>("eth0", net::MacAddr::from_id(1));
+    kernel.stack().add_address(nic.ifindex(), ipv4(10, 0, 0, 1), 24);
+
+    net::Packet out;
+    bool got = false;
+    nic.connect_wire([&](net::Packet&& p) {
+        out = std::move(p);
+        got = true;
+    });
+    EXPECT_FALSE(kernel.stack().send_udp(ipv4(10, 0, 0, 2), 1234, 80, 100, ctx));
+    ASSERT_TRUE(got); // the ARP request went out instead
+    const auto key = net::parse_flow(out);
+    EXPECT_EQ(key.dl_type, static_cast<std::uint16_t>(net::EtherType::Arp));
+}
+
+TEST_F(StackTest, NamespacesAreIsolated)
+{
+    const int ns = kernel.create_namespace("container0");
+    auto [host_end, ct_end] = VethDevice::create_pair(kernel, "veth-h", "veth-c", 0, ns);
+    kernel.stack(0).add_address(host_end->ifindex(), ipv4(172, 17, 0, 1), 24);
+    kernel.stack(ns).add_address(ct_end->ifindex(), ipv4(172, 17, 0, 2), 24);
+
+    // The container address is not local in the root namespace.
+    EXPECT_FALSE(kernel.stack(0).is_local_address(ipv4(172, 17, 0, 2)));
+    EXPECT_TRUE(kernel.stack(ns).is_local_address(ipv4(172, 17, 0, 2)));
+
+    int delivered = 0;
+    kernel.stack(ns).bind(17, 9000, [&](net::Packet&&, const net::FlowKey&, sim::ExecContext&) {
+        ++delivered;
+    });
+    kernel.stack(0).add_neighbor(ipv4(172, 17, 0, 2), ct_end->mac(), host_end->ifindex());
+    ASSERT_TRUE(kernel.stack(0).send_udp(ipv4(172, 17, 0, 2), 1111, 9000, 64, ctx));
+    EXPECT_EQ(delivered, 1);
+}
+
+TEST_F(StackTest, ChangeListenersFire)
+{
+    auto& nic = kernel.add_device<PhysicalDevice>("eth0", net::MacAddr::from_id(1));
+    int route_changes = 0, neigh_changes = 0;
+    kernel.stack().add_change_listener([&](const char* table) {
+        if (std::string(table) == "route") ++route_changes;
+        if (std::string(table) == "neighbor") ++neigh_changes;
+    });
+    kernel.stack().add_address(nic.ifindex(), ipv4(10, 0, 0, 1), 24);
+    kernel.stack().add_route(0, 0, ipv4(10, 0, 0, 254), nic.ifindex());
+    kernel.stack().add_neighbor(ipv4(10, 0, 0, 254), net::MacAddr::from_id(3), nic.ifindex());
+    EXPECT_EQ(route_changes, 2); // connected + default
+    EXPECT_EQ(neigh_changes, 1);
+}
+
+} // namespace
+} // namespace ovsx::kern

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "ebpf/programs.h"
+#include "kern/kernel.h"
+#include "kern/nic.h"
+#include "net/builder.h"
+#include "net/flow.h"
+#include "net/headers.h"
+#include "net/tunnel.h"
+#include "kern/odp.h"
+
+namespace ovsx {
+namespace {
+
+using net::ipv4;
+
+// ---- NIC interrupt vs polling mode -------------------------------------
+
+TEST(NicModes, InterruptModeCostsMore)
+{
+    kern::Kernel host;
+    auto& polled = host.add_device<kern::PhysicalDevice>("eth0", net::MacAddr::from_id(1));
+    auto& irq = host.add_device<kern::PhysicalDevice>("eth1", net::MacAddr::from_id(2));
+    irq.set_interrupt_mode(true);
+    polled.attach_xdp(ebpf::xdp_drop_all());
+    irq.attach_xdp(ebpf::xdp_drop_all());
+
+    net::UdpSpec spec;
+    spec.src_ip = ipv4(1, 1, 1, 1);
+    spec.dst_ip = ipv4(2, 2, 2, 2);
+    for (int i = 0; i < 64; ++i) {
+        polled.rx_from_wire(net::build_udp(spec));
+        irq.rx_from_wire(net::build_udp(spec));
+    }
+    EXPECT_GT(irq.softirq_ctx(0).total_busy(), polled.softirq_ctx(0).total_busy());
+}
+
+// ---- IPv4 fragments --------------------------------------------------------
+
+TEST(Fragments, FirstFragmentKeepsL4LaterFragmentsDoNot)
+{
+    net::UdpSpec spec;
+    spec.src_ip = ipv4(1, 1, 1, 1);
+    spec.dst_ip = ipv4(2, 2, 2, 2);
+    spec.src_port = 777;
+    spec.dst_port = 888;
+    net::Packet first = net::build_udp(spec);
+    auto* ip = first.header_at<net::Ipv4Header>(14);
+    ip->frag_off_be = net::host_to_be16(0x2000); // MF set, offset 0
+    net::refresh_ipv4_csum(first, 14);
+    auto key = net::parse_flow(first);
+    EXPECT_EQ(key.nw_frag, net::kFragAny);
+    EXPECT_EQ(key.tp_src, 777); // first fragment still has the header
+
+    net::Packet later = net::build_udp(spec);
+    ip = later.header_at<net::Ipv4Header>(14);
+    ip->frag_off_be = net::host_to_be16(0x00b9); // offset 185*8
+    net::refresh_ipv4_csum(later, 14);
+    key = net::parse_flow(later);
+    EXPECT_EQ(key.nw_frag, net::kFragAny | net::kFragLater);
+    EXPECT_EQ(key.tp_src, 0); // no L4 on later fragments
+}
+
+// ---- IPv6 parsing ---------------------------------------------------------------
+
+TEST(Ipv6Parse, BasicTcpOverIpv6)
+{
+    // Hand-build an IPv6/TCP frame (the builder focuses on v4).
+    net::Packet pkt(14 + 40 + 20);
+    auto* eth = pkt.header_at<net::EthernetHeader>(0);
+    eth->src = net::MacAddr::from_id(1);
+    eth->dst = net::MacAddr::from_id(2);
+    eth->set_ether_type(net::EtherType::Ipv6);
+    auto* ip6 = pkt.header_at<net::Ipv6Header>(14);
+    std::memset(static_cast<void*>(ip6), 0, sizeof *ip6);
+    ip6->ver_tc_flow_be = net::host_to_be32(0x60000000 | (0xb8 << 20));
+    ip6->set_payload_len(20);
+    ip6->next_header = 6;
+    ip6->hop_limit = 64;
+    ip6->src.bytes[0] = 0xfd;
+    ip6->src.bytes[15] = 1;
+    ip6->dst.bytes[0] = 0xfd;
+    ip6->dst.bytes[15] = 2;
+    auto* tcp = pkt.header_at<net::TcpHeader>(14 + 40);
+    std::memset(tcp, 0, sizeof *tcp);
+    tcp->set_src(4444);
+    tcp->set_dst(5555);
+    tcp->data_off = 5 << 4;
+    tcp->flags = net::kTcpSyn;
+
+    const auto key = net::parse_flow(pkt);
+    EXPECT_EQ(key.dl_type, 0x86dd);
+    EXPECT_EQ(key.nw_proto, 6);
+    EXPECT_EQ(key.nw_tos, 0xb8);
+    EXPECT_EQ(key.nw_ttl, 64);
+    EXPECT_EQ(key.ipv6_src.bytes[0], 0xfd);
+    EXPECT_EQ(key.ipv6_dst.bytes[15], 2);
+    EXPECT_EQ(key.tp_src, 4444);
+    EXPECT_EQ(key.tp_dst, 5555);
+    EXPECT_EQ(key.tcp_flags, net::kTcpSyn);
+    EXPECT_EQ(key.nw_src, 0u); // the v4 fields stay clear
+}
+
+// ---- eBPF builder diagnostics ------------------------------------------------------
+
+TEST(ProgramBuilder, DuplicateLabelThrows)
+{
+    ebpf::ProgramBuilder b;
+    b.label("x").mov_imm(ebpf::R0, 1).exit();
+    EXPECT_THROW(b.label("x"), std::invalid_argument);
+}
+
+TEST(ProgramBuilder, UnresolvedLabelThrows)
+{
+    ebpf::ProgramBuilder b;
+    b.ja("nowhere").mov_imm(ebpf::R0, 1).exit();
+    EXPECT_THROW(b.build(), std::invalid_argument);
+}
+
+TEST(ProgramBuilder, DisassembleListsEveryInsn)
+{
+    auto prog = ebpf::xdp_drop_all();
+    const std::string dis = prog.disassemble();
+    EXPECT_NE(dis.find("movi"), std::string::npos);
+    EXPECT_NE(dis.find("exit"), std::string::npos);
+    EXPECT_EQ(static_cast<std::size_t>(std::count(dis.begin(), dis.end(), '\n')),
+              prog.insns.size());
+}
+
+// ---- capture sees both directions ------------------------------------------------
+
+TEST(Capture, TcpdumpSeesStackTrafficButNotXdpConsumedPackets)
+{
+    // Faithful to real XDP: packets consumed at the hook (dropped,
+    // TX'd, redirected) never reach the skb layer, so tcpdump cannot
+    // observe them — a real-world debugging gotcha of the design.
+    kern::Kernel host;
+    auto& nic = host.add_device<kern::PhysicalDevice>("eth0", net::MacAddr::from_id(1));
+    nic.connect_wire([](net::Packet&&) {});
+    int rx = 0;
+    nic.set_capture([&](const kern::Device&, const net::Packet&, bool is_rx) {
+        if (is_rx) ++rx;
+    });
+    net::UdpSpec spec;
+    spec.src_ip = ipv4(1, 1, 1, 1);
+    spec.dst_ip = ipv4(2, 2, 2, 2);
+
+    nic.attach_xdp(ebpf::xdp_swap_macs_tx()); // consumes via XDP_TX
+    nic.rx_from_wire(net::build_udp(spec));
+    EXPECT_EQ(rx, 0); // invisible to tcpdump
+
+    nic.detach_xdp(-1);
+    nic.attach_xdp(ebpf::xdp_pass_all()); // up to the stack
+    nic.rx_from_wire(net::build_udp(spec));
+    EXPECT_EQ(rx, 1); // visible again
+}
+
+// ---- XdpVerdict / enum naming smoke ------------------------------------------------
+
+TEST(Naming, EnumToStringsAreStable)
+{
+    EXPECT_STREQ(kern::to_string(kern::XdpVerdict::RedirectedXsk), "redirect-xsk");
+    EXPECT_STREQ(kern::to_string(kern::DeviceKind::Veth), "veth");
+    EXPECT_STREQ(net::to_string(net::TunnelType::Geneve), "geneve");
+    EXPECT_STREQ(ebpf::to_string(ebpf::XdpAction::Tx), "XDP_TX");
+    EXPECT_STREQ(ebpf::to_string(ebpf::MapType::XskMap), "xskmap");
+    EXPECT_STREQ(sim::to_string(sim::CpuClass::Softirq), "softirq");
+}
+
+// ---- odp action printing -------------------------------------------------------------
+
+TEST(OdpActions, ToStringRoundsUpTheChain)
+{
+    kern::OdpActions actions;
+    kern::CtSpec ct;
+    ct.zone = 7;
+    ct.commit = true;
+    net::TunnelKey tkey;
+    tkey.tun_id = 42;
+    tkey.ip_dst = ipv4(172, 16, 0, 2);
+    actions.push_back(kern::OdpAction::conntrack(ct));
+    actions.push_back(kern::OdpAction::recirc(3));
+    actions.push_back(kern::OdpAction::set_tunnel(tkey));
+    actions.push_back(kern::OdpAction::output(9));
+    const std::string s = kern::actions_to_string(actions);
+    EXPECT_NE(s.find("ct(zone=7,commit)"), std::string::npos);
+    EXPECT_NE(s.find("recirc(3)"), std::string::npos);
+    EXPECT_NE(s.find("set_tunnel(id=42"), std::string::npos);
+    EXPECT_NE(s.find("output(9)"), std::string::npos);
+    EXPECT_EQ(kern::actions_to_string({}), "drop");
+}
+
+} // namespace
+} // namespace ovsx

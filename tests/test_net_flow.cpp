@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "net/builder.h"
+#include "net/flow.h"
+#include "net/hash.h"
+#include "net/headers.h"
+
+namespace ovsx::net {
+namespace {
+
+Packet sample_udp()
+{
+    UdpSpec spec;
+    spec.src_mac = MacAddr::from_id(1);
+    spec.dst_mac = MacAddr::from_id(2);
+    spec.src_ip = ipv4(10, 0, 0, 1);
+    spec.dst_ip = ipv4(10, 0, 0, 2);
+    spec.src_port = 1111;
+    spec.dst_port = 2222;
+    return build_udp(spec);
+}
+
+TEST(FlowKey, ParseUdp)
+{
+    Packet p = sample_udp();
+    p.meta().in_port = 5;
+    const FlowKey key = parse_flow(p);
+    EXPECT_EQ(key.in_port, 5u);
+    EXPECT_EQ(key.dl_src, MacAddr::from_id(1));
+    EXPECT_EQ(key.dl_dst, MacAddr::from_id(2));
+    EXPECT_EQ(key.dl_type, static_cast<std::uint16_t>(EtherType::Ipv4));
+    EXPECT_EQ(key.nw_src, ipv4(10, 0, 0, 1));
+    EXPECT_EQ(key.nw_dst, ipv4(10, 0, 0, 2));
+    EXPECT_EQ(key.nw_proto, 17);
+    EXPECT_EQ(key.tp_src, 1111);
+    EXPECT_EQ(key.tp_dst, 2222);
+    EXPECT_EQ(key.vlan_tci, 0);
+}
+
+TEST(FlowKey, ParseTcpFlags)
+{
+    TcpSpec spec;
+    spec.src_ip = ipv4(1, 1, 1, 1);
+    spec.dst_ip = ipv4(2, 2, 2, 2);
+    spec.src_port = 80;
+    spec.dst_port = 12345;
+    spec.flags = kTcpSyn | kTcpAck;
+    const Packet p = build_tcp(spec);
+    const FlowKey key = parse_flow(p);
+    EXPECT_EQ(key.nw_proto, 6);
+    EXPECT_EQ(key.tcp_flags, kTcpSyn | kTcpAck);
+}
+
+TEST(FlowKey, ParseVlan)
+{
+    UdpSpec spec;
+    spec.src_ip = ipv4(1, 1, 1, 1);
+    spec.dst_ip = ipv4(2, 2, 2, 2);
+    spec.vlan_tci = 42;
+    const Packet p = build_udp(spec);
+    const FlowKey key = parse_flow(p);
+    EXPECT_EQ(key.vlan_tci & 0x0fff, 42);
+    EXPECT_NE(key.vlan_tci & 0x1000, 0); // "present" bit
+    EXPECT_EQ(key.dl_type, static_cast<std::uint16_t>(EtherType::Ipv4));
+    EXPECT_EQ(key.nw_proto, 17);
+}
+
+TEST(FlowKey, ParseArp)
+{
+    const Packet p =
+        build_arp(true, MacAddr::from_id(3), ipv4(10, 0, 0, 3), MacAddr(), ipv4(10, 0, 0, 4));
+    const FlowKey key = parse_flow(p);
+    EXPECT_EQ(key.dl_type, static_cast<std::uint16_t>(EtherType::Arp));
+    EXPECT_EQ(key.nw_src, ipv4(10, 0, 0, 3));
+    EXPECT_EQ(key.nw_dst, ipv4(10, 0, 0, 4));
+    EXPECT_EQ(key.nw_proto, 1); // request
+}
+
+TEST(FlowKey, TruncatedPacketParsesPartially)
+{
+    Packet p = sample_udp();
+    p.truncate(20); // cuts into the IPv4 header
+    const FlowKey key = parse_flow(p);
+    EXPECT_EQ(key.dl_type, static_cast<std::uint16_t>(EtherType::Ipv4));
+    EXPECT_EQ(key.nw_src, 0u); // L3 not parseable
+}
+
+TEST(FlowKey, RuntPacketYieldsEmptyKey)
+{
+    Packet p(6); // shorter than an Ethernet header
+    const FlowKey key = parse_flow(p);
+    EXPECT_EQ(key.dl_type, 0);
+}
+
+TEST(FlowKey, MetadataCarriedThrough)
+{
+    Packet p = sample_udp();
+    p.meta().tunnel.tun_id = 77;
+    p.meta().tunnel.ip_src = ipv4(172, 16, 0, 1);
+    p.meta().tunnel.ip_dst = ipv4(172, 16, 0, 2);
+    p.meta().recirc_id = 3;
+    p.meta().ct_state = kCtStateTracked | kCtStateEstablished;
+    p.meta().ct_zone = 9;
+    const FlowKey key = parse_flow(p);
+    EXPECT_EQ(key.tun_id, 77u);
+    EXPECT_EQ(key.tun_src, ipv4(172, 16, 0, 1));
+    EXPECT_EQ(key.recirc_id, 3u);
+    EXPECT_EQ(key.ct_state, kCtStateTracked | kCtStateEstablished);
+    EXPECT_EQ(key.ct_zone, 9);
+}
+
+TEST(FlowKey, HashAndEquality)
+{
+    Packet a = sample_udp();
+    Packet b = sample_udp();
+    const FlowKey ka = parse_flow(a);
+    const FlowKey kb = parse_flow(b);
+    EXPECT_EQ(ka, kb);
+    EXPECT_EQ(ka.hash(), kb.hash());
+
+    b.meta().in_port = 9;
+    const FlowKey kc = parse_flow(b);
+    EXPECT_FALSE(ka == kc);
+    EXPECT_NE(ka.hash(), kc.hash());
+    EXPECT_NE(ka.hash(1), ka.hash(2)); // basis changes the hash
+}
+
+TEST(FlowMask, ApplyAndMatch)
+{
+    Packet p = sample_udp();
+    const FlowKey key = parse_flow(p);
+
+    FlowMask mask; // starts as match-all (nothing significant)
+    EXPECT_EQ(mask.apply(key), FlowKey());
+    EXPECT_TRUE(mask.matches(key, FlowKey()));
+
+    mask.bits.nw_dst = 0xffffff00; // /24 on destination
+    FlowKey masked = mask.apply(key);
+    EXPECT_EQ(masked.nw_dst, ipv4(10, 0, 0, 0));
+    EXPECT_TRUE(mask.matches(key, masked));
+
+    FlowKey other = key;
+    other.nw_dst = ipv4(10, 0, 0, 99); // same /24
+    EXPECT_TRUE(mask.matches(other, masked));
+    other.nw_dst = ipv4(10, 0, 1, 99); // different /24
+    EXPECT_FALSE(mask.matches(other, masked));
+}
+
+TEST(FlowMask, ExactMatchesOnlyIdentical)
+{
+    Packet p = sample_udp();
+    const FlowKey key = parse_flow(p);
+    const FlowMask mask = FlowMask::exact();
+    const FlowKey masked = mask.apply(key);
+    EXPECT_EQ(masked, key);
+    FlowKey other = key;
+    other.tp_src ^= 1;
+    EXPECT_FALSE(mask.matches(other, masked));
+}
+
+TEST(FlowMask, ExactBytesOrdering)
+{
+    FlowMask narrow;
+    narrow.bits.nw_dst = 0xffffffff;
+    FlowMask wide;
+    wide.bits.nw_dst = 0xffffffff;
+    wide.bits.nw_src = 0xffffffff;
+    wide.bits.tp_dst = 0xffff;
+    EXPECT_GT(wide.exact_bytes(), narrow.exact_bytes());
+    EXPECT_EQ(FlowMask::none().exact_bytes(), 0);
+}
+
+TEST(RxHash, StableAndSpreads)
+{
+    const auto h1 = rxhash_5tuple(ipv4(1, 1, 1, 1), ipv4(2, 2, 2, 2), 17, 1000, 2000);
+    const auto h2 = rxhash_5tuple(ipv4(1, 1, 1, 1), ipv4(2, 2, 2, 2), 17, 1000, 2000);
+    EXPECT_EQ(h1, h2);
+    // Different flows land on different hashes (with overwhelming probability).
+    int distinct = 0;
+    std::uint32_t prev = 0;
+    for (std::uint16_t port = 0; port < 100; ++port) {
+        const auto h = rxhash_5tuple(ipv4(1, 1, 1, 1), ipv4(2, 2, 2, 2), 17, port, 2000);
+        if (h != prev) ++distinct;
+        prev = h;
+    }
+    EXPECT_GT(distinct, 95);
+}
+
+TEST(FlowKey, ToStringMentionsSalientFields)
+{
+    Packet p = sample_udp();
+    p.meta().in_port = 4;
+    const FlowKey key = parse_flow(p);
+    const std::string s = key.to_string();
+    EXPECT_NE(s.find("in_port=4"), std::string::npos);
+    EXPECT_NE(s.find("10.0.0.1"), std::string::npos);
+    EXPECT_NE(s.find("proto=17"), std::string::npos);
+}
+
+} // namespace
+} // namespace ovsx::net

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "net/addr.h"
+#include "net/builder.h"
+#include "net/checksum.h"
+#include "net/headers.h"
+#include "net/packet.h"
+
+namespace ovsx::net {
+namespace {
+
+TEST(Addr, MacFormatting)
+{
+    MacAddr m(0x02, 0x00, 0xde, 0xad, 0xbe, 0xef);
+    EXPECT_EQ(m.to_string(), "02:00:de:ad:be:ef");
+    EXPECT_FALSE(m.is_broadcast());
+    EXPECT_TRUE(MacAddr::broadcast().is_broadcast());
+    EXPECT_TRUE(MacAddr::broadcast().is_multicast());
+    EXPECT_TRUE(MacAddr().is_zero());
+}
+
+TEST(Addr, MacFromIdIsStableAndUnicast)
+{
+    const auto a = MacAddr::from_id(7);
+    EXPECT_EQ(a, MacAddr::from_id(7));
+    EXPECT_NE(a, MacAddr::from_id(8));
+    EXPECT_FALSE(a.is_multicast());
+}
+
+TEST(Addr, Ipv4RoundTrip)
+{
+    const auto ip = ipv4(10, 1, 2, 3);
+    EXPECT_EQ(ipv4_to_string(ip), "10.1.2.3");
+    EXPECT_EQ(ipv4_from_string("10.1.2.3"), ip);
+    EXPECT_EQ(ipv4_from_string("10.1.2.999"), 0u);
+    EXPECT_EQ(ipv4_from_string("not-an-ip"), 0u);
+}
+
+TEST(ByteOrder, Swaps)
+{
+    EXPECT_EQ(host_to_be16(0x1234), 0x3412);
+    EXPECT_EQ(be32_to_host(host_to_be32(0xdeadbeef)), 0xdeadbeefu);
+    EXPECT_EQ(be64_to_host(host_to_be64(0x0123456789abcdefULL)), 0x0123456789abcdefULL);
+}
+
+TEST(Packet, PushPullFront)
+{
+    Packet p(10);
+    EXPECT_EQ(p.size(), 10u);
+    const auto headroom = p.headroom();
+    p.push_front(4);
+    EXPECT_EQ(p.size(), 14u);
+    EXPECT_EQ(p.headroom(), headroom - 4);
+    p.pull_front(14);
+    EXPECT_EQ(p.size(), 0u);
+    EXPECT_THROW(p.pull_front(1), std::runtime_error);
+}
+
+TEST(Packet, HeadroomExhaustionThrows)
+{
+    Packet p(1, /*headroom=*/8);
+    EXPECT_THROW(p.push_front(9), std::runtime_error);
+    EXPECT_NO_THROW(p.push_front(8));
+}
+
+TEST(Packet, AppendAndTruncate)
+{
+    Packet p(0);
+    const std::uint8_t data[] = {1, 2, 3};
+    p.append(data);
+    p.append_zeros(2);
+    EXPECT_EQ(p.size(), 5u);
+    EXPECT_EQ(p.data()[0], 1);
+    EXPECT_EQ(p.data()[4], 0);
+    p.truncate(2);
+    EXPECT_EQ(p.size(), 2u);
+    EXPECT_THROW(p.truncate(3), std::runtime_error);
+}
+
+TEST(Packet, TryHeaderAtBounds)
+{
+    Packet p(sizeof(EthernetHeader));
+    EXPECT_NE(p.try_header_at<EthernetHeader>(0), nullptr);
+    EXPECT_EQ(p.try_header_at<EthernetHeader>(1), nullptr);
+    EXPECT_EQ(p.try_header_at<Ipv4Header>(sizeof(EthernetHeader)), nullptr);
+}
+
+TEST(Checksum, KnownVector)
+{
+    // Classic RFC 1071 example bytes.
+    const std::uint8_t data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+    const auto sum = internet_checksum(data);
+    // Folding the data together with its own checksum must yield zero.
+    EXPECT_EQ(checksum_finish(checksum_partial(data, sum)), 0);
+}
+
+TEST(Checksum, OddLength)
+{
+    const std::uint8_t data[] = {0xab};
+    EXPECT_EQ(internet_checksum(data), static_cast<std::uint16_t>(~0xab00 & 0xffff));
+}
+
+TEST(Builder, UdpFrameIsWellFormed)
+{
+    UdpSpec spec;
+    spec.src_mac = MacAddr::from_id(1);
+    spec.dst_mac = MacAddr::from_id(2);
+    spec.src_ip = ipv4(10, 0, 0, 1);
+    spec.dst_ip = ipv4(10, 0, 0, 2);
+    spec.src_port = 1234;
+    spec.dst_port = 80;
+    const Packet p = build_udp(spec);
+    EXPECT_EQ(p.size(), 60u); // 14 eth + 20 ip + 8 udp + 18 payload (64B frame with FCS)
+
+    const auto* eth = p.header_at<EthernetHeader>(0);
+    EXPECT_EQ(eth->ether_type(), static_cast<std::uint16_t>(EtherType::Ipv4));
+    const auto* ip = p.header_at<Ipv4Header>(14);
+    EXPECT_EQ(ip->version(), 4);
+    EXPECT_EQ(ip->src(), spec.src_ip);
+    EXPECT_EQ(ip->proto, static_cast<std::uint8_t>(IpProto::Udp));
+    // IPv4 header checksum verifies.
+    EXPECT_EQ(internet_checksum({p.data() + 14, 20}), 0);
+    // L4 checksum verifies.
+    EXPECT_TRUE(verify_l4_csum(p, 14));
+}
+
+TEST(Builder, UdpWithVlan)
+{
+    UdpSpec spec;
+    spec.src_mac = MacAddr::from_id(1);
+    spec.dst_mac = MacAddr::from_id(2);
+    spec.src_ip = ipv4(1, 1, 1, 1);
+    spec.dst_ip = ipv4(2, 2, 2, 2);
+    spec.vlan_tci = 100;
+    const Packet p = build_udp(spec);
+    const auto* eth = p.header_at<EthernetHeader>(0);
+    EXPECT_EQ(eth->ether_type(), static_cast<std::uint16_t>(EtherType::Vlan));
+    const auto* vlan = p.header_at<VlanHeader>(14);
+    EXPECT_EQ(vlan->vid(), 100);
+    EXPECT_EQ(vlan->ether_type(), static_cast<std::uint16_t>(EtherType::Ipv4));
+}
+
+TEST(Builder, TcpChecksumValid)
+{
+    TcpSpec spec;
+    spec.src_mac = MacAddr::from_id(1);
+    spec.dst_mac = MacAddr::from_id(2);
+    spec.src_ip = ipv4(192, 168, 0, 1);
+    spec.dst_ip = ipv4(192, 168, 0, 2);
+    spec.src_port = 5555;
+    spec.dst_port = 443;
+    spec.flags = kTcpSyn;
+    spec.payload_len = 100;
+    const Packet p = build_tcp(spec);
+    EXPECT_TRUE(verify_l4_csum(p, 14));
+    const auto* tcp = p.header_at<TcpHeader>(34);
+    EXPECT_EQ(tcp->src(), 5555);
+    EXPECT_EQ(tcp->flags, kTcpSyn);
+}
+
+TEST(Builder, CorruptionBreaksChecksum)
+{
+    TcpSpec spec;
+    spec.src_ip = ipv4(1, 2, 3, 4);
+    spec.dst_ip = ipv4(4, 3, 2, 1);
+    spec.payload_len = 32;
+    Packet p = build_tcp(spec);
+    ASSERT_TRUE(verify_l4_csum(p, 14));
+    p.data()[40] ^= 0xff; // flip a payload byte
+    EXPECT_FALSE(verify_l4_csum(p, 14));
+    refresh_l4_csum(p, 14);
+    EXPECT_TRUE(verify_l4_csum(p, 14));
+}
+
+TEST(Builder, ArpRequest)
+{
+    const Packet p =
+        build_arp(true, MacAddr::from_id(9), ipv4(10, 0, 0, 9), MacAddr(), ipv4(10, 0, 0, 1));
+    const auto* eth = p.header_at<EthernetHeader>(0);
+    EXPECT_TRUE(eth->dst.is_broadcast());
+    const auto* arp = p.header_at<ArpHeader>(14);
+    EXPECT_EQ(arp->oper(), 1);
+    EXPECT_EQ(arp->spa(), ipv4(10, 0, 0, 9));
+    EXPECT_EQ(arp->tpa(), ipv4(10, 0, 0, 1));
+}
+
+TEST(Builder, RewriteThenRefreshIpv4Csum)
+{
+    UdpSpec spec;
+    spec.src_ip = ipv4(10, 0, 0, 1);
+    spec.dst_ip = ipv4(10, 0, 0, 2);
+    Packet p = build_udp(spec);
+    auto* ip = p.header_at<Ipv4Header>(14);
+    ip->set_dst(ipv4(10, 9, 9, 9));
+    EXPECT_NE(internet_checksum({p.data() + 14, 20}), 0);
+    refresh_ipv4_csum(p, 14);
+    EXPECT_EQ(internet_checksum({p.data() + 14, 20}), 0);
+}
+
+} // namespace
+} // namespace ovsx::net

@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include "net/builder.h"
+#include "net/checksum.h"
+#include "net/headers.h"
+#include "net/rewrite.h"
+
+namespace ovsx::net {
+namespace {
+
+Packet sample(std::uint8_t proto = 17)
+{
+    if (proto == 6) {
+        TcpSpec spec;
+        spec.src_mac = MacAddr::from_id(1);
+        spec.dst_mac = MacAddr::from_id(2);
+        spec.src_ip = ipv4(10, 0, 0, 1);
+        spec.dst_ip = ipv4(10, 0, 0, 2);
+        spec.src_port = 100;
+        spec.dst_port = 200;
+        spec.payload_len = 32;
+        return build_tcp(spec);
+    }
+    UdpSpec spec;
+    spec.src_mac = MacAddr::from_id(1);
+    spec.dst_mac = MacAddr::from_id(2);
+    spec.src_ip = ipv4(10, 0, 0, 1);
+    spec.dst_ip = ipv4(10, 0, 0, 2);
+    spec.src_port = 100;
+    spec.dst_port = 200;
+    return build_udp(spec);
+}
+
+TEST(Rewrite, MacRewrite)
+{
+    Packet p = sample();
+    FlowKey v;
+    v.dl_dst = MacAddr::from_id(99);
+    FlowMask m;
+    m.bits.dl_dst = MacAddr::broadcast();
+    EXPECT_EQ(apply_rewrite(p, v, m), 1);
+    EXPECT_EQ(parse_flow(p).dl_dst, MacAddr::from_id(99));
+    EXPECT_EQ(parse_flow(p).dl_src, MacAddr::from_id(1)); // untouched
+}
+
+TEST(Rewrite, PartialMacMask)
+{
+    Packet p = sample();
+    FlowKey v;
+    v.dl_src = MacAddr(0xff, 0, 0, 0, 0, 0);
+    FlowMask m;
+    m.bits.dl_src = MacAddr(0xff, 0, 0, 0, 0, 0); // first byte only
+    apply_rewrite(p, v, m);
+    const auto src = parse_flow(p).dl_src;
+    EXPECT_EQ(src.bytes[0], 0xff);
+    EXPECT_EQ(src.bytes[5], MacAddr::from_id(1).bytes[5]);
+}
+
+TEST(Rewrite, Ipv4AddressesRepairBothChecksums)
+{
+    for (std::uint8_t proto : {std::uint8_t{17}, std::uint8_t{6}}) {
+        Packet p = sample(proto);
+        FlowKey v;
+        v.nw_src = ipv4(99, 1, 1, 1);
+        v.nw_dst = ipv4(99, 2, 2, 2);
+        FlowMask m;
+        m.bits.nw_src = 0xffffffff;
+        m.bits.nw_dst = 0xffffffff;
+        EXPECT_EQ(apply_rewrite(p, v, m), 2);
+        const auto key = parse_flow(p);
+        EXPECT_EQ(key.nw_src, ipv4(99, 1, 1, 1));
+        EXPECT_EQ(key.nw_dst, ipv4(99, 2, 2, 2));
+        EXPECT_EQ(internet_checksum({p.data() + 14, 20}), 0) << int(proto);
+        EXPECT_TRUE(verify_l4_csum(p, 14)) << int(proto);
+    }
+}
+
+TEST(Rewrite, PortsUdpAndTcp)
+{
+    for (std::uint8_t proto : {std::uint8_t{17}, std::uint8_t{6}}) {
+        Packet p = sample(proto);
+        FlowKey v;
+        v.tp_src = 1111;
+        v.tp_dst = 2222;
+        FlowMask m;
+        m.bits.tp_src = 0xffff;
+        m.bits.tp_dst = 0xffff;
+        EXPECT_EQ(apply_rewrite(p, v, m), 2);
+        const auto key = parse_flow(p);
+        EXPECT_EQ(key.tp_src, 1111);
+        EXPECT_EQ(key.tp_dst, 2222);
+        EXPECT_TRUE(verify_l4_csum(p, 14));
+    }
+}
+
+TEST(Rewrite, TosAndTtl)
+{
+    Packet p = sample();
+    FlowKey v;
+    v.nw_tos = 0xb8;
+    v.nw_ttl = 7;
+    FlowMask m;
+    m.bits.nw_tos = 0xff;
+    m.bits.nw_ttl = 0xff;
+    EXPECT_EQ(apply_rewrite(p, v, m), 2);
+    const auto key = parse_flow(p);
+    EXPECT_EQ(key.nw_tos, 0xb8);
+    EXPECT_EQ(key.nw_ttl, 7);
+    EXPECT_EQ(internet_checksum({p.data() + 14, 20}), 0);
+}
+
+TEST(Rewrite, EmptyMaskIsNoop)
+{
+    Packet p = sample();
+    const std::vector<std::uint8_t> before(p.bytes().begin(), p.bytes().end());
+    FlowKey v;
+    v.nw_dst = ipv4(9, 9, 9, 9);
+    EXPECT_EQ(apply_rewrite(p, v, FlowMask{}), 0);
+    EXPECT_EQ(std::vector<std::uint8_t>(p.bytes().begin(), p.bytes().end()), before);
+}
+
+TEST(Rewrite, NonIpPacketOnlyL2Applies)
+{
+    Packet p = build_arp(true, MacAddr::from_id(1), ipv4(1, 1, 1, 1), MacAddr(),
+                         ipv4(2, 2, 2, 2));
+    FlowKey v;
+    v.dl_dst = MacAddr::from_id(7);
+    v.nw_dst = ipv4(9, 9, 9, 9);
+    FlowMask m;
+    m.bits.dl_dst = MacAddr::broadcast();
+    m.bits.nw_dst = 0xffffffff;
+    EXPECT_EQ(apply_rewrite(p, v, m), 1); // only the MAC field applied
+    EXPECT_EQ(parse_flow(p).dl_dst, MacAddr::from_id(7));
+}
+
+TEST(Rewrite, RuntPacketIsSafe)
+{
+    Packet p(6);
+    FlowKey v;
+    v.nw_dst = ipv4(9, 9, 9, 9);
+    FlowMask m;
+    m.bits.nw_dst = 0xffffffff;
+    EXPECT_EQ(apply_rewrite(p, v, m), 0);
+}
+
+TEST(Vlan, PushThenPopRestoresFrame)
+{
+    Packet p = sample();
+    const std::vector<std::uint8_t> before(p.bytes().begin(), p.bytes().end());
+    push_vlan(p, 123);
+    EXPECT_EQ(p.size(), before.size() + 4);
+    auto key = parse_flow(p);
+    EXPECT_EQ(key.vlan_tci & 0xfff, 123);
+    EXPECT_EQ(key.nw_dst, ipv4(10, 0, 0, 2)); // inner intact
+    EXPECT_TRUE(pop_vlan(p));
+    EXPECT_EQ(std::vector<std::uint8_t>(p.bytes().begin(), p.bytes().end()), before);
+}
+
+TEST(Vlan, PopUntaggedFails)
+{
+    Packet p = sample();
+    EXPECT_FALSE(pop_vlan(p));
+}
+
+TEST(Vlan, DoubleTagging)
+{
+    Packet p = sample();
+    push_vlan(p, 100);
+    push_vlan(p, 200); // QinQ outer
+    auto key = parse_flow(p);
+    EXPECT_EQ(key.vlan_tci & 0xfff, 200); // outer tag visible
+    EXPECT_TRUE(pop_vlan(p));
+    key = parse_flow(p);
+    EXPECT_EQ(key.vlan_tci & 0xfff, 100);
+    EXPECT_TRUE(pop_vlan(p));
+    EXPECT_EQ(parse_flow(p).vlan_tci, 0);
+}
+
+// Property sweep: rewriting any single maskable field preserves the
+// packet's structural validity (parseable, checksums repaired).
+struct FieldCase {
+    const char* name;
+    void (*set)(net::FlowKey&, net::FlowMask&);
+};
+
+class RewriteProperty : public ::testing::TestWithParam<FieldCase> {};
+
+TEST_P(RewriteProperty, PreservesValidity)
+{
+    Packet p = sample(6);
+    FlowKey v;
+    FlowMask m;
+    GetParam().set(v, m);
+    apply_rewrite(p, v, m);
+    const auto key = parse_flow(p);
+    EXPECT_EQ(key.dl_type, 0x0800);
+    EXPECT_EQ(key.nw_proto, 6);
+    EXPECT_EQ(internet_checksum({p.data() + 14, 20}), 0);
+    EXPECT_TRUE(verify_l4_csum(p, 14));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fields, RewriteProperty,
+    ::testing::Values(
+        FieldCase{"nw_src", [](net::FlowKey& v, net::FlowMask& m) {
+                      v.nw_src = ipv4(1, 2, 3, 4);
+                      m.bits.nw_src = 0xffffffff;
+                  }},
+        FieldCase{"nw_dst_prefix", [](net::FlowKey& v, net::FlowMask& m) {
+                      v.nw_dst = ipv4(77, 0, 0, 0);
+                      m.bits.nw_dst = 0xff000000;
+                  }},
+        FieldCase{"tp_src", [](net::FlowKey& v, net::FlowMask& m) {
+                      v.tp_src = 4242;
+                      m.bits.tp_src = 0xffff;
+                  }},
+        FieldCase{"ttl", [](net::FlowKey& v, net::FlowMask& m) {
+                      v.nw_ttl = 1;
+                      m.bits.nw_ttl = 0xff;
+                  }},
+        FieldCase{"dl_both", [](net::FlowKey& v, net::FlowMask& m) {
+                      v.dl_src = MacAddr::from_id(70);
+                      v.dl_dst = MacAddr::from_id(71);
+                      m.bits.dl_src = MacAddr::broadcast();
+                      m.bits.dl_dst = MacAddr::broadcast();
+                  }}),
+    [](const auto& info) { return info.param.name; });
+
+} // namespace
+} // namespace ovsx::net

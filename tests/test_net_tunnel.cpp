@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "net/builder.h"
+#include "net/checksum.h"
+#include "net/headers.h"
+#include "net/tunnel.h"
+
+namespace ovsx::net {
+namespace {
+
+Packet inner_packet()
+{
+    UdpSpec spec;
+    spec.src_mac = MacAddr::from_id(10);
+    spec.dst_mac = MacAddr::from_id(20);
+    spec.src_ip = ipv4(192, 168, 1, 1);
+    spec.dst_ip = ipv4(192, 168, 1, 2);
+    spec.src_port = 1000;
+    spec.dst_port = 2000;
+    return build_udp(spec);
+}
+
+TunnelKey tunnel_key()
+{
+    TunnelKey key;
+    key.tun_id = 5001;
+    key.ip_src = ipv4(172, 16, 0, 1);
+    key.ip_dst = ipv4(172, 16, 0, 2);
+    key.ttl = 64;
+    return key;
+}
+
+EncapParams encap_params()
+{
+    EncapParams p;
+    p.outer_src_mac = MacAddr::from_id(100);
+    p.outer_dst_mac = MacAddr::from_id(200);
+    p.udp_src_port = 50000;
+    return p;
+}
+
+class TunnelRoundTrip : public ::testing::TestWithParam<TunnelType> {};
+
+TEST_P(TunnelRoundTrip, EncapDecapPreservesInnerFrame)
+{
+    const TunnelType type = GetParam();
+    Packet pkt = inner_packet();
+    const std::vector<std::uint8_t> original(pkt.bytes().begin(), pkt.bytes().end());
+
+    const auto added = encapsulate(pkt, type, tunnel_key(), encap_params());
+    EXPECT_EQ(added, encap_overhead(type));
+    EXPECT_EQ(pkt.size(), original.size() + added);
+
+    // Outer headers are sane.
+    const auto* eth = pkt.header_at<EthernetHeader>(0);
+    EXPECT_EQ(eth->src, MacAddr::from_id(100));
+    EXPECT_EQ(eth->ether_type(), static_cast<std::uint16_t>(EtherType::Ipv4));
+    const auto* ip = pkt.header_at<Ipv4Header>(14);
+    EXPECT_EQ(ip->src(), ipv4(172, 16, 0, 1));
+    EXPECT_EQ(ip->total_len(), pkt.size() - 14);
+    EXPECT_EQ(internet_checksum({pkt.data() + 14, 20}), 0); // valid outer IP csum
+
+    auto res = decapsulate(pkt, type);
+    ASSERT_TRUE(res.has_value());
+    EXPECT_EQ(res->type, type);
+    EXPECT_EQ(res->key.ip_src, ipv4(172, 16, 0, 1));
+    EXPECT_EQ(res->key.ip_dst, ipv4(172, 16, 0, 2));
+    if (type != TunnelType::Erspan) {
+        EXPECT_EQ(res->key.tun_id, 5001u);
+    } else {
+        EXPECT_EQ(res->key.tun_id, 5001u & 0x3ff); // 10-bit session id
+    }
+
+    ASSERT_EQ(pkt.size(), original.size());
+    EXPECT_EQ(std::vector<std::uint8_t>(pkt.bytes().begin(), pkt.bytes().end()), original);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTunnelTypes, TunnelRoundTrip,
+                         ::testing::Values(TunnelType::Geneve, TunnelType::Vxlan,
+                                           TunnelType::Gre, TunnelType::Erspan),
+                         [](const auto& info) { return to_string(info.param); });
+
+TEST(Tunnel, GeneveUsesWellKnownPort)
+{
+    Packet pkt = inner_packet();
+    encapsulate(pkt, TunnelType::Geneve, tunnel_key(), encap_params());
+    const auto* udp = pkt.header_at<UdpHeader>(34);
+    EXPECT_EQ(udp->dst(), kGenevePort);
+    EXPECT_EQ(udp->src(), 50000);
+}
+
+TEST(Tunnel, GeneveOptionalUdpChecksum)
+{
+    Packet pkt = inner_packet();
+    auto params = encap_params();
+    params.udp_csum = true;
+    encapsulate(pkt, TunnelType::Geneve, tunnel_key(), params);
+    EXPECT_TRUE(verify_l4_csum(pkt, 14));
+}
+
+TEST(Tunnel, AutoDetectsType)
+{
+    for (const auto type : {TunnelType::Geneve, TunnelType::Vxlan, TunnelType::Gre}) {
+        Packet pkt = inner_packet();
+        encapsulate(pkt, type, tunnel_key(), encap_params());
+        auto res = decapsulate_auto(pkt);
+        ASSERT_TRUE(res.has_value()) << to_string(type);
+        EXPECT_EQ(res->type, type);
+    }
+}
+
+TEST(Tunnel, NonTunnelPacketIsRejected)
+{
+    Packet pkt = inner_packet(); // plain UDP to port 2000
+    EXPECT_FALSE(decapsulate_auto(pkt).has_value());
+    EXPECT_FALSE(decapsulate(pkt, TunnelType::Geneve).has_value());
+    // Rejection must not consume any bytes.
+    EXPECT_EQ(pkt.size(), inner_packet().size());
+}
+
+TEST(Tunnel, WrongExpectedTypeIsRejected)
+{
+    Packet pkt = inner_packet();
+    encapsulate(pkt, TunnelType::Vxlan, tunnel_key(), encap_params());
+    EXPECT_FALSE(decapsulate(pkt, TunnelType::Geneve).has_value());
+}
+
+TEST(Tunnel, TruncatedTunnelHeaderIsRejected)
+{
+    Packet pkt = inner_packet();
+    encapsulate(pkt, TunnelType::Geneve, tunnel_key(), encap_params());
+    pkt.truncate(40); // cut inside the Geneve header
+    EXPECT_FALSE(decapsulate_auto(pkt).has_value());
+}
+
+TEST(Tunnel, OverheadMatchesKnownSizes)
+{
+    EXPECT_EQ(encap_overhead(TunnelType::Geneve), 14u + 20u + 8u + 8u);
+    EXPECT_EQ(encap_overhead(TunnelType::Vxlan), 14u + 20u + 8u + 8u);
+    EXPECT_EQ(encap_overhead(TunnelType::Gre), 14u + 20u + 4u + 4u);
+    EXPECT_EQ(encap_overhead(TunnelType::Erspan), 14u + 20u + 4u + 4u + 8u);
+}
+
+TEST(Tunnel, NestedEncapsulation)
+{
+    // Geneve-in-GRE: decapsulating twice recovers the original frame.
+    Packet pkt = inner_packet();
+    const std::vector<std::uint8_t> original(pkt.bytes().begin(), pkt.bytes().end());
+    encapsulate(pkt, TunnelType::Geneve, tunnel_key(), encap_params());
+    TunnelKey outer = tunnel_key();
+    outer.tun_id = 9;
+    encapsulate(pkt, TunnelType::Gre, outer, encap_params());
+
+    auto first = decapsulate_auto(pkt);
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(first->type, TunnelType::Gre);
+    EXPECT_EQ(first->key.tun_id, 9u);
+    auto second = decapsulate_auto(pkt);
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(second->type, TunnelType::Geneve);
+    EXPECT_EQ(std::vector<std::uint8_t>(pkt.bytes().begin(), pkt.bytes().end()), original);
+}
+
+} // namespace
+} // namespace ovsx::net

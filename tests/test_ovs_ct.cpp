@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "net/builder.h"
+#include "net/headers.h"
+#include "ovs/ct.h"
+
+namespace ovsx::ovs {
+namespace {
+
+using net::ipv4;
+
+class UserCtTest : public ::testing::Test {
+protected:
+    net::Packet tcp(std::uint32_t src, std::uint32_t dst, std::uint16_t sport,
+                    std::uint16_t dport, std::uint8_t flags = net::kTcpAck)
+    {
+        net::TcpSpec spec;
+        spec.src_ip = src;
+        spec.dst_ip = dst;
+        spec.src_port = sport;
+        spec.dst_port = dport;
+        spec.flags = flags;
+        spec.payload_len = 16;
+        return net::build_tcp(spec);
+    }
+
+    std::uint8_t run(net::Packet& pkt, const kern::CtSpec& spec)
+    {
+        const auto key = net::parse_flow(pkt);
+        return ct.process(pkt, key, spec, ctx);
+    }
+
+    UserspaceConntrack ct;
+    sim::ExecContext ctx{"pmd", sim::CpuClass::User};
+};
+
+TEST_F(UserCtTest, BasicStateMachine)
+{
+    kern::CtSpec commit{.zone = 0, .commit = true};
+    auto p1 = tcp(ipv4(1, 1, 1, 1), ipv4(2, 2, 2, 2), 1000, 80, net::kTcpSyn);
+    EXPECT_TRUE(run(p1, commit) & net::kCtStateNew);
+
+    kern::CtSpec check{.zone = 0, .commit = false};
+    auto p2 = tcp(ipv4(2, 2, 2, 2), ipv4(1, 1, 1, 1), 80, 1000, net::kTcpSyn | net::kTcpAck);
+    const auto s2 = run(p2, check);
+    EXPECT_TRUE(s2 & net::kCtStateEstablished);
+    EXPECT_TRUE(s2 & net::kCtStateReply);
+    EXPECT_EQ(ct.size(), 1u);
+}
+
+TEST_F(UserCtTest, SnatRewritesAndUnNats)
+{
+    // SNAT 1.1.1.1 -> 5.5.5.5 on commit.
+    kern::CtSpec nat;
+    nat.zone = 1;
+    nat.commit = true;
+    nat.nat = true;
+    nat.snat = true;
+    nat.nat_ip = ipv4(5, 5, 5, 5);
+
+    auto p1 = tcp(ipv4(1, 1, 1, 1), ipv4(2, 2, 2, 2), 1000, 80, net::kTcpSyn);
+    run(p1, nat);
+    // Outbound packet leaves with the translated source.
+    EXPECT_EQ(net::parse_flow(p1).nw_src, ipv4(5, 5, 5, 5));
+    EXPECT_TRUE(net::verify_l4_csum(p1, 14));
+
+    // Reply arrives addressed to the NAT IP; conntrack restores it.
+    kern::CtSpec check{.zone = 1, .commit = false};
+    auto p2 = tcp(ipv4(2, 2, 2, 2), ipv4(5, 5, 5, 5), 80, 1000, net::kTcpSyn | net::kTcpAck);
+    const auto s = run(p2, check);
+    EXPECT_TRUE(s & net::kCtStateReply);
+    EXPECT_EQ(net::parse_flow(p2).nw_dst, ipv4(1, 1, 1, 1)); // de-NATed
+    EXPECT_TRUE(net::verify_l4_csum(p2, 14));
+}
+
+TEST_F(UserCtTest, DnatRewritesDestination)
+{
+    kern::CtSpec nat;
+    nat.zone = 2;
+    nat.commit = true;
+    nat.nat = true;
+    nat.snat = false;
+    nat.nat_ip = ipv4(10, 9, 9, 9);
+    nat.nat_port = 8080;
+
+    auto p1 = tcp(ipv4(1, 1, 1, 1), ipv4(2, 2, 2, 2), 1000, 80, net::kTcpSyn);
+    run(p1, nat);
+    const auto k1 = net::parse_flow(p1);
+    EXPECT_EQ(k1.nw_dst, ipv4(10, 9, 9, 9));
+    EXPECT_EQ(k1.tp_dst, 8080);
+
+    // Reply from the real backend gets mapped back to the VIP.
+    kern::CtSpec check{.zone = 2, .commit = false};
+    auto p2 = tcp(ipv4(10, 9, 9, 9), ipv4(1, 1, 1, 1), 8080, 1000, net::kTcpAck);
+    const auto s = run(p2, check);
+    EXPECT_TRUE(s & net::kCtStateReply);
+    const auto k2 = net::parse_flow(p2);
+    EXPECT_EQ(k2.nw_src, ipv4(2, 2, 2, 2));
+    EXPECT_EQ(k2.tp_src, 80);
+}
+
+TEST_F(UserCtTest, ZoneLimits)
+{
+    ct.set_zone_limit(9, 1);
+    kern::CtSpec commit{.zone = 9, .commit = true};
+    auto p1 = tcp(ipv4(1, 1, 1, 1), ipv4(2, 2, 2, 2), 1000, 80, net::kTcpSyn);
+    EXPECT_FALSE(run(p1, commit) & net::kCtStateInvalid);
+    auto p2 = tcp(ipv4(1, 1, 1, 1), ipv4(2, 2, 2, 2), 1001, 80, net::kTcpSyn);
+    EXPECT_TRUE(run(p2, commit) & net::kCtStateInvalid);
+}
+
+TEST_F(UserCtTest, MarkPersists)
+{
+    kern::CtSpec commit{.zone = 0, .commit = true};
+    auto p1 = tcp(ipv4(1, 1, 1, 1), ipv4(2, 2, 2, 2), 1000, 80, net::kTcpSyn);
+    run(p1, commit);
+    const auto tuple = CtTuple::from_key(net::parse_flow(p1), 0);
+    EXPECT_TRUE(ct.set_mark(tuple, 77));
+
+    kern::CtSpec check{.zone = 0, .commit = false};
+    auto p2 = tcp(ipv4(1, 1, 1, 1), ipv4(2, 2, 2, 2), 1000, 80);
+    run(p2, check);
+    EXPECT_EQ(p2.meta().ct_mark, 77u);
+}
+
+TEST_F(UserCtTest, ExpiryAndFlush)
+{
+    kern::CtSpec commit{.zone = 0, .commit = true};
+    for (std::uint16_t i = 0; i < 5; ++i) {
+        auto p = tcp(ipv4(1, 1, 1, 1), ipv4(2, 2, 2, 2), static_cast<std::uint16_t>(1000 + i),
+                     80, net::kTcpSyn);
+        const auto key = net::parse_flow(p);
+        ct.process(p, key, commit, ctx, /*now=*/i * sim::kSecond);
+    }
+    EXPECT_EQ(ct.size(), 5u);
+    EXPECT_EQ(ct.expire_idle(2 * sim::kSecond), 2u);
+    EXPECT_EQ(ct.size(), 3u);
+    ct.flush();
+    EXPECT_EQ(ct.size(), 0u);
+    EXPECT_EQ(ct.zone_count(0), 0u);
+}
+
+TEST_F(UserCtTest, TcpFlagsAccumulate)
+{
+    kern::CtSpec commit{.zone = 0, .commit = true};
+    auto p1 = tcp(ipv4(1, 1, 1, 1), ipv4(2, 2, 2, 2), 1000, 80, net::kTcpSyn);
+    run(p1, commit);
+    auto p2 = tcp(ipv4(1, 1, 1, 1), ipv4(2, 2, 2, 2), 1000, 80, net::kTcpFin);
+    run(p2, kern::CtSpec{.zone = 0, .commit = false});
+    const auto* e = ct.find(CtTuple::from_key(net::parse_flow(p1), 0));
+    ASSERT_NE(e, nullptr);
+    EXPECT_TRUE(e->tcp_flags_seen & net::kTcpSyn);
+    EXPECT_TRUE(e->tcp_flags_seen & net::kTcpFin);
+}
+
+} // namespace
+} // namespace ovsx::ovs

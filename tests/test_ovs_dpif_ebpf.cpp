@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "kern/kernel.h"
+#include "kern/nic.h"
+#include "net/builder.h"
+#include "net/headers.h"
+#include "ovs/dpif_ebpf.h"
+
+namespace ovsx::ovs {
+namespace {
+
+using net::ipv4;
+
+net::Packet udp64(std::uint16_t sport = 1000, std::uint32_t dst = ipv4(10, 0, 0, 2))
+{
+    net::UdpSpec spec;
+    spec.src_mac = net::MacAddr::from_id(1);
+    spec.dst_mac = net::MacAddr::from_id(2);
+    spec.src_ip = ipv4(10, 0, 0, 1);
+    spec.dst_ip = dst;
+    spec.src_port = sport;
+    spec.dst_port = 2000;
+    return net::build_udp(spec);
+}
+
+class DpifEbpfTest : public ::testing::Test {
+protected:
+    void SetUp() override
+    {
+        nic0 = &kernel.add_device<kern::PhysicalDevice>("eth0", net::MacAddr::from_id(1));
+        nic1 = &kernel.add_device<kern::PhysicalDevice>("eth1", net::MacAddr::from_id(2));
+        nic1->connect_wire([this](net::Packet&& p) { out1.push_back(std::move(p)); });
+        dpif = std::make_unique<DpifEbpf>(kernel);
+        p0 = dpif->add_port(*nic0);
+        p1 = dpif->add_port(*nic1);
+    }
+
+    net::FlowKey key_for(net::Packet pkt)
+    {
+        pkt.meta().in_port = p0;
+        return net::parse_flow(pkt);
+    }
+
+    kern::Kernel kernel;
+    kern::PhysicalDevice* nic0 = nullptr;
+    kern::PhysicalDevice* nic1 = nullptr;
+    std::unique_ptr<DpifEbpf> dpif;
+    std::uint32_t p0 = 0, p1 = 0;
+    std::vector<net::Packet> out1;
+};
+
+TEST_F(DpifEbpfTest, ExactMatchFlowForwards)
+{
+    dpif->flow_put(key_for(udp64()), DpifEbpf::required_mask(),
+                   {kern::OdpAction::output(p1)});
+    nic0->rx_from_wire(udp64());
+    EXPECT_EQ(dpif->hits(), 1u);
+    ASSERT_EQ(out1.size(), 1u);
+    EXPECT_EQ(net::parse_flow(out1[0]).tp_src, 1000);
+}
+
+TEST_F(DpifEbpfTest, MicroflowsNeedIndividualEntries)
+{
+    // The defining limitation: no wildcarding. Installing one flow only
+    // covers one exact 5-tuple.
+    dpif->flow_put(key_for(udp64(1000)), DpifEbpf::required_mask(),
+                   {kern::OdpAction::output(p1)});
+    nic0->rx_from_wire(udp64(1000));
+    nic0->rx_from_wire(udp64(1001)); // same "logical" flow, different tuple
+    EXPECT_EQ(dpif->hits(), 1u);
+    EXPECT_EQ(dpif->misses(), 1u);
+    EXPECT_EQ(out1.size(), 1u);
+}
+
+TEST_F(DpifEbpfTest, WildcardMasksRejected)
+{
+    net::FlowMask wild;
+    wild.bits.in_port = 0xffffffff; // a megaflow-style mask
+    EXPECT_THROW(dpif->flow_put(key_for(udp64()), wild, {kern::OdpAction::output(p1)}),
+                 std::invalid_argument);
+    // Even a slightly wider mask (missing tp_src) is inexpressible.
+    net::FlowMask almost = DpifEbpf::required_mask();
+    almost.bits.tp_src = 0;
+    EXPECT_THROW(dpif->flow_put(key_for(udp64()), almost, {kern::OdpAction::output(p1)}),
+                 std::invalid_argument);
+}
+
+TEST_F(DpifEbpfTest, MissesUpcall)
+{
+    int upcalls = 0;
+    dpif->set_upcall_handler([&](std::uint32_t in_port, net::Packet&& pkt,
+                                 const net::FlowKey& key, sim::ExecContext& ctx) {
+        ++upcalls;
+        EXPECT_EQ(in_port, p0);
+        dpif->flow_put(key, DpifEbpf::required_mask(), {kern::OdpAction::output(p1)});
+        dpif->execute(std::move(pkt), {kern::OdpAction::output(p1)}, ctx);
+    });
+    nic0->rx_from_wire(udp64());
+    nic0->rx_from_wire(udp64());
+    EXPECT_EQ(upcalls, 1);
+    EXPECT_EQ(out1.size(), 2u);
+}
+
+TEST_F(DpifEbpfTest, NonIpv4AlwaysMissesTheMap)
+{
+    dpif->flow_put(key_for(udp64()), DpifEbpf::required_mask(),
+                   {kern::OdpAction::output(p1)});
+    int upcalls = 0;
+    dpif->set_upcall_handler(
+        [&](std::uint32_t, net::Packet&&, const net::FlowKey&, sim::ExecContext&) {
+            ++upcalls;
+        });
+    nic0->rx_from_wire(net::build_arp(true, net::MacAddr::from_id(1), ipv4(1, 1, 1, 1),
+                                      net::MacAddr(), ipv4(2, 2, 2, 2)));
+    EXPECT_EQ(upcalls, 1); // ARP cannot be keyed -> slow path
+}
+
+TEST_F(DpifEbpfTest, SandboxCostIsCharged)
+{
+    dpif->flow_put(key_for(udp64()), DpifEbpf::required_mask(),
+                   {kern::OdpAction::output(p1)});
+    nic0->rx_from_wire(udp64());
+    // The TC program runs as interpreted bytecode: softirq time well
+    // above the bare kernel-module cost.
+    EXPECT_GT(nic0->softirq_ctx(0).total_busy(), 300);
+}
+
+TEST_F(DpifEbpfTest, FlushClearsFlows)
+{
+    dpif->flow_put(key_for(udp64()), DpifEbpf::required_mask(),
+                   {kern::OdpAction::output(p1)});
+    EXPECT_EQ(dpif->flow_count(), 1u);
+    dpif->flow_flush();
+    EXPECT_EQ(dpif->flow_count(), 0u);
+    nic0->rx_from_wire(udp64());
+    EXPECT_EQ(dpif->misses(), 1u);
+    EXPECT_TRUE(out1.empty());
+}
+
+TEST_F(DpifEbpfTest, ManyMicroflowsScale)
+{
+    // 1000 exact-match entries, all resolvable through the eBPF map.
+    for (std::uint16_t s = 0; s < 1000; ++s) {
+        dpif->flow_put(key_for(udp64(s)), DpifEbpf::required_mask(),
+                       {kern::OdpAction::output(p1)});
+    }
+    EXPECT_EQ(dpif->flow_count(), 1000u);
+    for (std::uint16_t s = 0; s < 1000; ++s) nic0->rx_from_wire(udp64(s));
+    EXPECT_EQ(dpif->hits(), 1000u);
+    EXPECT_EQ(out1.size(), 1000u);
+}
+
+TEST_F(DpifEbpfTest, UnsupportedActionsDrop)
+{
+    // Recirc / tunnels are not expressible in this datapath (§2.2.2).
+    dpif->flow_put(key_for(udp64()), DpifEbpf::required_mask(),
+                   {kern::OdpAction::recirc(1), kern::OdpAction::output(p1)});
+    nic0->rx_from_wire(udp64());
+    EXPECT_TRUE(out1.empty());
+}
+
+} // namespace
+} // namespace ovsx::ovs

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "kern/kernel.h"
+#include "kern/nic.h"
+#include "kern/stack.h"
+#include "ovs/netlink_cache.h"
+
+namespace ovsx::ovs {
+namespace {
+
+using net::ipv4;
+
+class NetlinkCacheTest : public ::testing::Test {
+protected:
+    kern::Kernel host{"host"};
+};
+
+TEST_F(NetlinkCacheTest, SnapshotsExistingState)
+{
+    auto& nic = host.add_device<kern::PhysicalDevice>("eth0", net::MacAddr::from_id(1));
+    host.stack().add_address(nic.ifindex(), ipv4(172, 16, 0, 1), 24);
+    host.stack().add_neighbor(ipv4(172, 16, 0, 2), net::MacAddr::from_id(9), nic.ifindex());
+
+    NetlinkCache cache(host);
+    const auto hop = cache.resolve(ipv4(172, 16, 0, 2));
+    ASSERT_TRUE(hop.has_value());
+    EXPECT_EQ(hop->ifindex, nic.ifindex());
+    EXPECT_EQ(hop->src_ip, ipv4(172, 16, 0, 1));
+    EXPECT_EQ(hop->src_mac, nic.mac());
+    EXPECT_EQ(hop->dst_mac, net::MacAddr::from_id(9));
+}
+
+TEST_F(NetlinkCacheTest, RefreshesOnKernelChanges)
+{
+    auto& nic = host.add_device<kern::PhysicalDevice>("eth0", net::MacAddr::from_id(1));
+    NetlinkCache cache(host);
+    EXPECT_FALSE(cache.resolve(ipv4(172, 16, 0, 2)).has_value());
+    const auto before = cache.refreshes();
+
+    // Control-plane updates propagate through the change listeners, the
+    // mechanism §4 describes (no per-packet kernel calls).
+    host.stack().add_address(nic.ifindex(), ipv4(172, 16, 0, 1), 24);
+    host.stack().add_neighbor(ipv4(172, 16, 0, 2), net::MacAddr::from_id(9), nic.ifindex());
+    EXPECT_GT(cache.refreshes(), before);
+    EXPECT_TRUE(cache.resolve(ipv4(172, 16, 0, 2)).has_value());
+}
+
+TEST_F(NetlinkCacheTest, GatewayRoutesResolveViaNextHop)
+{
+    auto& nic = host.add_device<kern::PhysicalDevice>("eth0", net::MacAddr::from_id(1));
+    host.stack().add_address(nic.ifindex(), ipv4(172, 16, 0, 1), 24);
+    host.stack().add_route(0, 0, ipv4(172, 16, 0, 254), nic.ifindex());
+    host.stack().add_neighbor(ipv4(172, 16, 0, 254), net::MacAddr::from_id(0xfe),
+                              nic.ifindex());
+
+    NetlinkCache cache(host);
+    const auto hop = cache.resolve(ipv4(8, 8, 8, 8));
+    ASSERT_TRUE(hop.has_value());
+    EXPECT_EQ(hop->dst_mac, net::MacAddr::from_id(0xfe)); // gateway MAC, not dest
+}
+
+TEST_F(NetlinkCacheTest, LongestPrefixWinsInTheReplica)
+{
+    auto& nic0 = host.add_device<kern::PhysicalDevice>("eth0", net::MacAddr::from_id(1));
+    auto& nic1 = host.add_device<kern::PhysicalDevice>("eth1", net::MacAddr::from_id(2));
+    host.stack().add_address(nic0.ifindex(), ipv4(10, 0, 0, 1), 8);
+    host.stack().add_address(nic1.ifindex(), ipv4(10, 1, 0, 1), 16);
+    host.stack().add_neighbor(ipv4(10, 1, 2, 3), net::MacAddr::from_id(7), nic1.ifindex());
+    host.stack().add_neighbor(ipv4(10, 2, 2, 3), net::MacAddr::from_id(8), nic0.ifindex());
+
+    NetlinkCache cache(host);
+    EXPECT_EQ(cache.resolve(ipv4(10, 1, 2, 3))->ifindex, nic1.ifindex());
+    EXPECT_EQ(cache.resolve(ipv4(10, 2, 2, 3))->ifindex, nic0.ifindex());
+}
+
+TEST_F(NetlinkCacheTest, MissingNeighborMarksStale)
+{
+    auto& nic = host.add_device<kern::PhysicalDevice>("eth0", net::MacAddr::from_id(1));
+    host.stack().add_address(nic.ifindex(), ipv4(172, 16, 0, 1), 24);
+    NetlinkCache cache(host);
+    EXPECT_FALSE(cache.resolve(ipv4(172, 16, 0, 99)).has_value());
+    EXPECT_TRUE(cache.stale()); // signals an ARP resolution is needed
+    host.stack().add_neighbor(ipv4(172, 16, 0, 99), net::MacAddr::from_id(5), nic.ifindex());
+    EXPECT_TRUE(cache.resolve(ipv4(172, 16, 0, 99)).has_value());
+    EXPECT_FALSE(cache.stale());
+}
+
+TEST_F(NetlinkCacheTest, UnroutableReturnsNothing)
+{
+    NetlinkCache cache(host);
+    EXPECT_FALSE(cache.resolve(ipv4(203, 0, 113, 1)).has_value());
+}
+
+} // namespace
+} // namespace ovsx::ovs

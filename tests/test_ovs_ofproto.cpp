@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "net/builder.h"
+#include "net/headers.h"
+#include "ovs/ofproto.h"
+
+namespace ovsx::ovs {
+namespace {
+
+using net::ipv4;
+
+net::FlowKey udp_key(std::uint32_t in_port, std::uint16_t dport = 2000,
+                     std::uint32_t dst = ipv4(10, 0, 0, 2))
+{
+    net::UdpSpec spec;
+    spec.src_ip = ipv4(10, 0, 0, 1);
+    spec.dst_ip = dst;
+    spec.src_port = 1000;
+    spec.dst_port = dport;
+    net::Packet p = net::build_udp(spec);
+    p.meta().in_port = in_port;
+    return net::parse_flow(p);
+}
+
+Match match_in_port(std::uint32_t port)
+{
+    Match m;
+    m.key.in_port = port;
+    m.mask.bits.in_port = 0xffffffff;
+    return m;
+}
+
+TEST(Ofproto, SingleTableOutput)
+{
+    Ofproto of;
+    of.add_rule({.table = 0, .priority = 10, .match = match_in_port(1),
+                 .actions = {OfAction::output(2)}});
+    const auto res = of.xlate(udp_key(1));
+    ASSERT_EQ(res.actions.size(), 1u);
+    EXPECT_EQ(res.actions[0].type, kern::OdpAction::Type::Output);
+    EXPECT_EQ(res.actions[0].port, 2u);
+    EXPECT_FALSE(res.dropped);
+    EXPECT_EQ(res.tables_visited, 1);
+}
+
+TEST(Ofproto, PriorityWins)
+{
+    Ofproto of;
+    of.add_rule({.table = 0, .priority = 1, .match = match_in_port(1),
+                 .actions = {OfAction::output(2)}});
+    Match specific = match_in_port(1);
+    specific.key.tp_dst = 2000;
+    specific.mask.bits.tp_dst = 0xffff;
+    of.add_rule({.table = 0, .priority = 100, .match = specific,
+                 .actions = {OfAction::output(9)}});
+
+    EXPECT_EQ(of.xlate(udp_key(1, 2000)).actions[0].port, 9u);
+    EXPECT_EQ(of.xlate(udp_key(1, 53)).actions[0].port, 2u);
+}
+
+TEST(Ofproto, NoMatchDrops)
+{
+    Ofproto of;
+    of.add_rule({.table = 0, .priority = 10, .match = match_in_port(1),
+                 .actions = {OfAction::output(2)}});
+    const auto res = of.xlate(udp_key(5));
+    EXPECT_TRUE(res.dropped);
+    EXPECT_TRUE(res.actions.empty());
+}
+
+TEST(Ofproto, GotoTableChains)
+{
+    Ofproto of;
+    of.add_rule({.table = 0, .priority = 10, .match = match_in_port(1),
+                 .actions = {OfAction::push_vlan(7), OfAction::goto_table(5)}});
+    Match any; // match-all
+    of.add_rule({.table = 5, .priority = 0, .match = any,
+                 .actions = {OfAction::output(3)}});
+
+    const auto res = of.xlate(udp_key(1));
+    ASSERT_EQ(res.actions.size(), 2u);
+    EXPECT_EQ(res.actions[0].type, kern::OdpAction::Type::PushVlan);
+    EXPECT_EQ(res.actions[1].port, 3u);
+    EXPECT_EQ(res.tables_visited, 2);
+}
+
+TEST(Ofproto, WildcardsCoverProbedMasks)
+{
+    Ofproto of;
+    // Table 0 has two masks: in_port-only and in_port+dport.
+    of.add_rule({.table = 0, .priority = 1, .match = match_in_port(1),
+                 .actions = {OfAction::output(2)}});
+    Match specific = match_in_port(1);
+    specific.key.tp_dst = 443;
+    specific.mask.bits.tp_dst = 0xffff;
+    of.add_rule({.table = 0, .priority = 100, .match = specific,
+                 .actions = {OfAction::drop()}});
+
+    // A packet to dport 2000 matches the broad rule, but the cache entry
+    // must still be specific on tp_dst (else a 443 packet would hit it).
+    const auto res = of.xlate(udp_key(1, 2000));
+    EXPECT_EQ(res.actions[0].port, 2u);
+    EXPECT_EQ(res.wildcards.bits.tp_dst, 0xffff);
+    EXPECT_EQ(res.wildcards.bits.in_port, 0xffffffffu);
+}
+
+TEST(Ofproto, CtRecirculationSplitsTranslation)
+{
+    Ofproto of;
+    kern::CtSpec ct{.zone = 7, .commit = false};
+    of.add_rule({.table = 0, .priority = 10, .match = match_in_port(1),
+                 .actions = {OfAction::conntrack(ct, /*recirc_table=*/4)}});
+    Match est;
+    est.key.ct_state = net::kCtStateTracked | net::kCtStateEstablished;
+    est.mask.bits.ct_state = 0xff;
+    of.add_rule({.table = 4, .priority = 10, .match = est,
+                 .actions = {OfAction::output(8)}});
+
+    // First pass ends in ct+recirc.
+    const auto pass1 = of.xlate(udp_key(1));
+    ASSERT_EQ(pass1.actions.size(), 2u);
+    EXPECT_EQ(pass1.actions[0].type, kern::OdpAction::Type::Ct);
+    EXPECT_EQ(pass1.actions[1].type, kern::OdpAction::Type::Recirc);
+    const std::uint32_t rid = pass1.actions[1].recirc_id;
+    EXPECT_NE(rid, 0u);
+    EXPECT_EQ(of.recirc_ids(), 1u);
+
+    // Second pass resumes at table 4 with ct_state set.
+    net::FlowKey key2 = udp_key(1);
+    key2.recirc_id = rid;
+    key2.ct_state = net::kCtStateTracked | net::kCtStateEstablished;
+    const auto pass2 = of.xlate(key2);
+    ASSERT_EQ(pass2.actions.size(), 1u);
+    EXPECT_EQ(pass2.actions[0].port, 8u);
+
+    // Unknown recirc id drops.
+    net::FlowKey key3 = udp_key(1);
+    key3.recirc_id = 0xdead;
+    EXPECT_TRUE(of.xlate(key3).dropped);
+}
+
+TEST(Ofproto, RecircIdsAreReusedPerResumePoint)
+{
+    Ofproto of;
+    kern::CtSpec ct{.zone = 7, .commit = false};
+    of.add_rule({.table = 0, .priority = 10, .match = match_in_port(1),
+                 .actions = {OfAction::conntrack(ct, 4)}});
+    const auto a = of.xlate(udp_key(1, 1111));
+    const auto b = of.xlate(udp_key(1, 2222));
+    EXPECT_EQ(a.actions[1].recirc_id, b.actions[1].recirc_id);
+    EXPECT_EQ(of.recirc_ids(), 1u);
+}
+
+TEST(Ofproto, SetFieldAffectsLaterTables)
+{
+    Ofproto of;
+    net::FlowKey rewrite;
+    rewrite.nw_dst = ipv4(99, 0, 0, 1);
+    net::FlowMask rmask;
+    rmask.bits.nw_dst = 0xffffffff;
+    of.add_rule({.table = 0, .priority = 10, .match = match_in_port(1),
+                 .actions = {OfAction::set_field(rewrite, rmask), OfAction::goto_table(1)}});
+    Match rewritten;
+    rewritten.key.nw_dst = ipv4(99, 0, 0, 1);
+    rewritten.mask.bits.nw_dst = 0xffffffff;
+    of.add_rule({.table = 1, .priority = 10, .match = rewritten,
+                 .actions = {OfAction::output(5)}});
+
+    const auto res = of.xlate(udp_key(1)); // original dst 10.0.0.2
+    ASSERT_EQ(res.actions.size(), 2u);
+    EXPECT_EQ(res.actions[1].port, 5u);
+}
+
+TEST(Ofproto, StatsAndInventory)
+{
+    Ofproto of;
+    of.add_rule({.table = 0, .priority = 1, .match = match_in_port(1),
+                 .actions = {OfAction::output(1)}});
+    Match m2 = match_in_port(2);
+    m2.key.nw_dst = ipv4(1, 2, 3, 4);
+    m2.mask.bits.nw_dst = 0xffffffff;
+    of.add_rule({.table = 3, .priority = 1, .match = m2, .actions = {OfAction::output(1)}});
+
+    EXPECT_EQ(of.rule_count(), 2u);
+    EXPECT_EQ(of.table_count(), 2u);
+    EXPECT_EQ(of.distinct_match_fields(), 2); // in_port, nw_dst
+    of.xlate(udp_key(1));
+    EXPECT_EQ(of.xlate_count(), 1u);
+    of.clear();
+    EXPECT_EQ(of.rule_count(), 0u);
+}
+
+TEST(Ofproto, ControllerAndMeterTranslate)
+{
+    Ofproto of;
+    of.add_rule({.table = 0, .priority = 10, .match = match_in_port(1),
+                 .actions = {OfAction::meter(3), OfAction::controller()}});
+    const auto res = of.xlate(udp_key(1));
+    ASSERT_EQ(res.actions.size(), 2u);
+    EXPECT_EQ(res.actions[0].type, kern::OdpAction::Type::Meter);
+    EXPECT_EQ(res.actions[1].type, kern::OdpAction::Type::Userspace);
+}
+
+} // namespace
+} // namespace ovsx::ovs

@@ -1,0 +1,208 @@
+// Property tests on the paper's qualitative claims: every Takeaway and
+// Outcome the paper states must hold in this reproduction, regardless
+// of how the cost-model constants drift. These run the same scenario
+// harness as the benches, at reduced packet counts.
+#include <gtest/gtest.h>
+
+#include "gen/harness.h"
+
+namespace ovsx::gen {
+namespace {
+
+constexpr std::uint64_t kPkts = 8000;
+
+RateReport p2p(Datapath dp, std::uint32_t flows = 1, std::uint32_t queues = 1,
+               std::size_t frame = 64)
+{
+    P2pConfig cfg;
+    cfg.datapath = dp;
+    cfg.n_flows = flows;
+    cfg.n_queues = queues;
+    cfg.frame_size = frame;
+    cfg.packets = kPkts;
+    return run_p2p(cfg);
+}
+
+TEST(PaperShapes, Fig2DatapathOrdering)
+{
+    const double kernel = p2p(Datapath::Kernel).mpps();
+    const double ebpf = p2p(Datapath::Ebpf).mpps();
+    const double dpdk = p2p(Datapath::Dpdk).mpps();
+    // DPDK is much faster; eBPF is slower than the kernel module by
+    // 10-25% (Takeaway #4).
+    EXPECT_GT(dpdk, 2.5 * kernel);
+    EXPECT_LT(ebpf, kernel);
+    EXPECT_GT(ebpf, 0.75 * kernel);
+}
+
+TEST(PaperShapes, Table2LadderIsMonotone)
+{
+    using Opt = ovs::AfxdpOptions;
+    Opt o1 = Opt::none();
+    o1.pmd_mode = true;
+    Opt o2 = o1;
+    o2.lock = Opt::Lock::Spinlock;
+    Opt o3 = o2;
+    o3.lock_batching = true;
+    Opt o4 = o3;
+    o4.metadata_prealloc = true;
+    Opt o5 = o4;
+    o5.csum_offload = true;
+
+    double prev = 0;
+    for (const auto& opts : {Opt::none(), o1, o2, o3, o4, o5}) {
+        P2pConfig cfg;
+        cfg.datapath = Datapath::Afxdp;
+        cfg.afxdp = opts;
+        cfg.packets = kPkts;
+        const double mpps = run_p2p(cfg).mpps();
+        EXPECT_GT(mpps, prev);
+        prev = mpps;
+    }
+    // O1 alone is the big jump (paper: 6x).
+    P2pConfig none_cfg;
+    none_cfg.datapath = Datapath::Afxdp;
+    none_cfg.afxdp = Opt::none();
+    none_cfg.packets = kPkts;
+    P2pConfig o1_cfg = none_cfg;
+    o1_cfg.afxdp = o1;
+    EXPECT_GT(run_p2p(o1_cfg).mpps(), 4.0 * run_p2p(none_cfg).mpps());
+}
+
+TEST(PaperShapes, Fig9FlowCountEffects)
+{
+    // 1000 flows hurt every userspace datapath and help the kernel (RSS).
+    for (const auto dp : {Datapath::Afxdp, Datapath::Dpdk}) {
+        EXPECT_LT(p2p(dp, 1000).mpps(), p2p(dp, 1).mpps()) << to_string(dp);
+    }
+    EXPECT_GT(p2p(Datapath::Kernel, 1000).mpps(), p2p(Datapath::Kernel, 1).mpps());
+}
+
+TEST(PaperShapes, Fig9KernelIsFastButNotEfficient)
+{
+    const auto kernel = p2p(Datapath::Kernel, 1000);
+    const auto dpdk = p2p(Datapath::Dpdk, 1000);
+    // Comparable rates, wildly different CPU budgets (Table 4).
+    EXPECT_GT(kernel.cpu.total(), 5.0);
+    EXPECT_LT(dpdk.cpu.total(), 1.5);
+    EXPECT_GT(kernel.cpu.softirq, 0.9 * kernel.cpu.total()); // all softirq
+    EXPECT_GT(dpdk.cpu.user, 0.9 * dpdk.cpu.total());        // all userspace
+}
+
+TEST(PaperShapes, Fig9AfxdpSplitsKernelAndUser)
+{
+    const auto afxdp = p2p(Datapath::Afxdp, 1000);
+    EXPECT_GT(afxdp.cpu.softirq, 0.2); // XDP program + rings
+    EXPECT_GT(afxdp.cpu.user, 0.5);    // OVS datapath
+}
+
+TEST(PaperShapes, PvpVhostBeatsTap)
+{
+    PvpConfig tap;
+    tap.datapath = Datapath::Afxdp;
+    tap.vdev = VDev::Tap;
+    tap.packets = kPkts;
+    PvpConfig vhost = tap;
+    vhost.vdev = VDev::Vhost;
+    EXPECT_GT(run_pvp(vhost).mpps(), 2.0 * run_pvp(tap).mpps());
+}
+
+TEST(PaperShapes, PvpAfxdpTrailsDpdkWithVhost)
+{
+    PvpConfig cfg;
+    cfg.vdev = VDev::Vhost;
+    cfg.packets = kPkts;
+    cfg.datapath = Datapath::Afxdp;
+    const double afxdp = run_pvp(cfg).mpps();
+    cfg.datapath = Datapath::Dpdk;
+    const double dpdk = run_pvp(cfg).mpps();
+    EXPECT_LT(afxdp, dpdk);
+    EXPECT_GT(afxdp, 0.6 * dpdk); // but in the same league
+}
+
+TEST(PaperShapes, PcpAfxdpWinsInSpeedAndCpu)
+{
+    PcpConfig cfg;
+    cfg.packets = kPkts;
+    cfg.path = ContainerPath::AfxdpXdp;
+    const auto afxdp = run_pcp(cfg);
+    cfg.path = ContainerPath::KernelVeth;
+    const auto kernel = run_pcp(cfg);
+    cfg.path = ContainerPath::DpdkAfPacket;
+    const auto dpdk = run_pcp(cfg);
+    // Outcome #2: AF_XDP best for containers, DPDK worst.
+    EXPECT_GT(afxdp.pps, kernel.pps);
+    EXPECT_GT(kernel.pps, dpdk.pps);
+    EXPECT_LT(afxdp.cpu.total(), kernel.cpu.total());
+}
+
+TEST(PaperShapes, Fig10LatencyOrdering)
+{
+    auto run = [](Datapath dp) {
+        const auto setup = make_interhost_vm_rr(dp);
+        return run_tcp_rr(setup.exchange, 800, setup.jitter);
+    };
+    const auto kernel = run(Datapath::Kernel);
+    const auto afxdp = run(Datapath::Afxdp);
+    const auto dpdk = run(Datapath::Dpdk);
+    // kernel slowest; AF_XDP barely trails DPDK.
+    EXPECT_GT(kernel.rtt.percentile(50), afxdp.rtt.percentile(50));
+    EXPECT_GE(afxdp.rtt.percentile(50), dpdk.rtt.percentile(50));
+    EXPECT_LT(static_cast<double>(afxdp.rtt.percentile(50)),
+              1.25 * static_cast<double>(dpdk.rtt.percentile(50)));
+    // Interrupt-driven tail is relatively wider.
+    const double kernel_spread = static_cast<double>(kernel.rtt.percentile(99)) /
+                                 static_cast<double>(kernel.rtt.percentile(50));
+    const double dpdk_spread = static_cast<double>(dpdk.rtt.percentile(99)) /
+                               static_cast<double>(dpdk.rtt.percentile(50));
+    EXPECT_GT(kernel_spread, dpdk_spread);
+    // Transactions/s invert the latency ordering.
+    EXPECT_GT(dpdk.transactions_per_sec, kernel.transactions_per_sec);
+}
+
+TEST(PaperShapes, Fig11ContainerLatency)
+{
+    auto run = [](Datapath dp) {
+        const auto setup = make_container_rr(dp);
+        return run_tcp_rr(setup.exchange, 800, setup.jitter);
+    };
+    const auto kernel = run(Datapath::Kernel);
+    const auto afxdp = run(Datapath::Afxdp);
+    const auto dpdk = run(Datapath::Dpdk);
+    // kernel == AF_XDP within 15%; DPDK several times slower.
+    const double ratio = static_cast<double>(afxdp.rtt.percentile(50)) /
+                         static_cast<double>(kernel.rtt.percentile(50));
+    EXPECT_GT(ratio, 0.85);
+    EXPECT_LT(ratio, 1.15);
+    EXPECT_GT(dpdk.rtt.percentile(50), 3 * kernel.rtt.percentile(50));
+}
+
+TEST(PaperShapes, Fig12MultiqueueScaling)
+{
+    // 1518B: both reach 25G line rate by 6 queues.
+    const double line_1518 = sim::line_rate_pps(25.0, 1518);
+    EXPECT_NEAR(p2p(Datapath::Afxdp, 1000, 6, 1518).pps, line_1518, line_1518 * 0.01);
+    EXPECT_NEAR(p2p(Datapath::Dpdk, 1000, 6, 1518).pps, line_1518, line_1518 * 0.01);
+
+    // 64B: AF_XDP plateaus (sublinear), DPDK scales further.
+    const double a1 = p2p(Datapath::Afxdp, 1000, 1).mpps();
+    const double a6 = p2p(Datapath::Afxdp, 1000, 6).mpps();
+    const double d6 = p2p(Datapath::Dpdk, 1000, 6).mpps();
+    EXPECT_LT(a6, 4.0 * a1); // well below linear 6x
+    EXPECT_GT(d6, 2.0 * a6); // DPDK pulls away at 6 queues
+    EXPECT_GT(a6, a1);       // but scaling still helps
+}
+
+TEST(PaperShapes, InterruptModeIsSlowerThanPolling)
+{
+    // Fig. 8(a)'s second bar: interrupt-driven AF_XDP loses to polling.
+    P2pConfig poll;
+    poll.datapath = Datapath::Afxdp;
+    poll.packets = kPkts;
+    P2pConfig irq = poll;
+    irq.afxdp = ovs::AfxdpOptions::none();
+    EXPECT_GT(run_p2p(poll).mpps(), run_p2p(irq).mpps());
+}
+
+} // namespace
+} // namespace ovsx::gen

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "sim/context.h"
+#include "sim/costs.h"
+#include "sim/histogram.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace ovsx::sim {
+namespace {
+
+TEST(SimTime, RateFromCost)
+{
+    EXPECT_DOUBLE_EQ(rate_from_cost(100), 1e7);
+    EXPECT_DOUBLE_EQ(rate_from_cost(0), 0.0);
+    EXPECT_DOUBLE_EQ(mpps(14'880'000.0), 14.88);
+}
+
+TEST(SimTime, LineRate64B10G)
+{
+    // 10GbE line rate at 64B frames is the classic 14.88 Mpps.
+    EXPECT_NEAR(line_rate_pps(10.0, 64) / 1e6, 14.88, 0.01);
+}
+
+TEST(SimTime, LineRate1518B25G)
+{
+    // The paper quotes ~2.1 Mpps for 1518B at 25 Gbps.
+    EXPECT_NEAR(line_rate_pps(25.0, 1518) / 1e6, 2.03, 0.05);
+}
+
+TEST(ExecContext, ChargesDefaultClass)
+{
+    ExecContext ctx("pmd0", CpuClass::User);
+    ctx.charge(100);
+    ctx.charge(CpuClass::System, 50);
+    EXPECT_EQ(ctx.busy(CpuClass::User), 100);
+    EXPECT_EQ(ctx.busy(CpuClass::System), 50);
+    EXPECT_EQ(ctx.busy(CpuClass::Softirq), 0);
+    EXPECT_EQ(ctx.total_busy(), 150);
+}
+
+TEST(ExecContext, CountersAccumulate)
+{
+    ExecContext ctx("x", CpuClass::User);
+    ctx.count("ring_ops", 3);
+    ctx.count("ring_ops");
+    EXPECT_EQ(ctx.counter("ring_ops"), 4u);
+    EXPECT_EQ(ctx.counter("missing"), 0u);
+}
+
+TEST(ExecContext, ResetClearsEverything)
+{
+    ExecContext ctx("x", CpuClass::Guest);
+    ctx.charge(7);
+    ctx.count("c");
+    ctx.reset();
+    EXPECT_EQ(ctx.total_busy(), 0);
+    EXPECT_EQ(ctx.counter("c"), 0u);
+}
+
+TEST(CpuUsage, NormalizesByElapsed)
+{
+    ExecContext a("a", CpuClass::Softirq);
+    a.charge(500);
+    ExecContext b("b", CpuClass::User);
+    b.charge(1000);
+    CpuUsage u;
+    u.add(a, 1000);
+    u.add(b, 1000);
+    EXPECT_DOUBLE_EQ(u.softirq, 0.5);
+    EXPECT_DOUBLE_EQ(u.user, 1.0);
+    EXPECT_DOUBLE_EQ(u.total(), 1.5);
+}
+
+TEST(CostModel, CopyAndCsumScaleWithBytes)
+{
+    const auto& m = CostModel::baseline();
+    EXPECT_EQ(m.copy(0), 0);
+    EXPECT_GT(m.copy(1500), m.copy(64));
+    EXPECT_NEAR(static_cast<double>(m.csum(1000)), m.csum_per_byte * 1000, 1.0);
+}
+
+TEST(Histogram, Percentiles)
+{
+    Histogram h;
+    for (int i = 1; i <= 100; ++i) h.add(i * 10);
+    EXPECT_EQ(h.percentile(50), 500);
+    EXPECT_EQ(h.percentile(90), 900);
+    EXPECT_EQ(h.percentile(99), 990);
+    EXPECT_EQ(h.percentile(0), 10);
+    EXPECT_EQ(h.percentile(100), 1000);
+    EXPECT_EQ(h.min(), 10);
+    EXPECT_EQ(h.max(), 1000);
+    EXPECT_DOUBLE_EQ(h.mean(), 505.0);
+}
+
+TEST(Histogram, SingleSample)
+{
+    Histogram h;
+    h.add(42);
+    EXPECT_EQ(h.percentile(50), 42);
+    EXPECT_EQ(h.percentile(99), 42);
+}
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(123), b(123), c(124);
+    EXPECT_EQ(a.next(), b.next());
+    EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(r.below(17), 17u);
+    }
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(99);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+} // namespace
+} // namespace ovsx::sim
