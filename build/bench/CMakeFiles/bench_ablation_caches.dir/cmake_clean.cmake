@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_caches.dir/bench_ablation_caches.cpp.o"
+  "CMakeFiles/bench_ablation_caches.dir/bench_ablation_caches.cpp.o.d"
+  "bench_ablation_caches"
+  "bench_ablation_caches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_caches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_xdp.dir/bench_ablation_xdp.cpp.o"
+  "CMakeFiles/bench_ablation_xdp.dir/bench_ablation_xdp.cpp.o.d"
+  "bench_ablation_xdp"
+  "bench_ablation_xdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_xdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_latency_interhost.dir/bench_fig10_latency_interhost.cpp.o"
+  "CMakeFiles/bench_fig10_latency_interhost.dir/bench_fig10_latency_interhost.cpp.o.d"
+  "bench_fig10_latency_interhost"
+  "bench_fig10_latency_interhost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_latency_interhost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_latency_container.dir/bench_fig11_latency_container.cpp.o"
+  "CMakeFiles/bench_fig11_latency_container.dir/bench_fig11_latency_container.cpp.o.d"
+  "bench_fig11_latency_container"
+  "bench_fig11_latency_container.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_latency_container.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

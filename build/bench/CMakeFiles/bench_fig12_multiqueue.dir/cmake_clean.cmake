@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_multiqueue.dir/bench_fig12_multiqueue.cpp.o"
+  "CMakeFiles/bench_fig12_multiqueue.dir/bench_fig12_multiqueue.cpp.o.d"
+  "bench_fig12_multiqueue"
+  "bench_fig12_multiqueue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_multiqueue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

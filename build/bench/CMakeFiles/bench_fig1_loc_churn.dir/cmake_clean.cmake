@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_loc_churn.dir/bench_fig1_loc_churn.cpp.o"
+  "CMakeFiles/bench_fig1_loc_churn.dir/bench_fig1_loc_churn.cpp.o.d"
+  "bench_fig1_loc_churn"
+  "bench_fig1_loc_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_loc_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec33_virtual_devices.dir/bench_sec33_virtual_devices.cpp.o"
+  "CMakeFiles/bench_sec33_virtual_devices.dir/bench_sec33_virtual_devices.cpp.o.d"
+  "bench_sec33_virtual_devices"
+  "bench_sec33_virtual_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec33_virtual_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

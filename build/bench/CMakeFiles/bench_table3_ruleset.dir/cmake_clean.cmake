@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_ruleset.dir/bench_table3_ruleset.cpp.o"
+  "CMakeFiles/bench_table3_ruleset.dir/bench_table3_ruleset.cpp.o.d"
+  "bench_table3_ruleset"
+  "bench_table3_ruleset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_ruleset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/container_networking.dir/container_networking.cpp.o"
+  "CMakeFiles/container_networking.dir/container_networking.cpp.o.d"
+  "container_networking"
+  "container_networking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/container_networking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

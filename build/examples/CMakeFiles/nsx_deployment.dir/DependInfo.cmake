@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/nsx_deployment.cpp" "examples/CMakeFiles/nsx_deployment.dir/nsx_deployment.cpp.o" "gcc" "examples/CMakeFiles/nsx_deployment.dir/nsx_deployment.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gen/CMakeFiles/ovsx_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/nsx/CMakeFiles/ovsx_nsx.dir/DependInfo.cmake"
+  "/root/repo/build/src/ovs/CMakeFiles/ovsx_ovs.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpdk/CMakeFiles/ovsx_dpdk.dir/DependInfo.cmake"
+  "/root/repo/build/src/kern/CMakeFiles/ovsx_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/ebpf/CMakeFiles/ovsx_ebpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/afxdp/CMakeFiles/ovsx_afxdp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ovsx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ovsx_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsx_deployment.dir/nsx_deployment.cpp.o"
+  "CMakeFiles/nsx_deployment.dir/nsx_deployment.cpp.o.d"
+  "nsx_deployment"
+  "nsx_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsx_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

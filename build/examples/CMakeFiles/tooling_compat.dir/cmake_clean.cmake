@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tooling_compat.dir/tooling_compat.cpp.o"
+  "CMakeFiles/tooling_compat.dir/tooling_compat.cpp.o.d"
+  "tooling_compat"
+  "tooling_compat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tooling_compat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

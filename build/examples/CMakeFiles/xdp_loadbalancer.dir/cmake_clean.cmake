@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xdp_loadbalancer.dir/xdp_loadbalancer.cpp.o"
+  "CMakeFiles/xdp_loadbalancer.dir/xdp_loadbalancer.cpp.o.d"
+  "xdp_loadbalancer"
+  "xdp_loadbalancer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xdp_loadbalancer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

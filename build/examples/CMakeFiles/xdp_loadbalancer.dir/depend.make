@@ -1,0 +1,2 @@
+# Empty dependencies file for xdp_loadbalancer.
+# This may be replaced when dependencies are built.

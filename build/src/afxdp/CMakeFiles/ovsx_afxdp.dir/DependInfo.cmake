@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/afxdp/umem.cpp" "src/afxdp/CMakeFiles/ovsx_afxdp.dir/umem.cpp.o" "gcc" "src/afxdp/CMakeFiles/ovsx_afxdp.dir/umem.cpp.o.d"
+  "/root/repo/src/afxdp/xsk.cpp" "src/afxdp/CMakeFiles/ovsx_afxdp.dir/xsk.cpp.o" "gcc" "src/afxdp/CMakeFiles/ovsx_afxdp.dir/xsk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/ovsx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ovsx_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ovsx_afxdp.dir/umem.cpp.o"
+  "CMakeFiles/ovsx_afxdp.dir/umem.cpp.o.d"
+  "CMakeFiles/ovsx_afxdp.dir/xsk.cpp.o"
+  "CMakeFiles/ovsx_afxdp.dir/xsk.cpp.o.d"
+  "libovsx_afxdp.a"
+  "libovsx_afxdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ovsx_afxdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ovsx_afxdp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ovsx_dpdk.dir/ethdev.cpp.o"
+  "CMakeFiles/ovsx_dpdk.dir/ethdev.cpp.o.d"
+  "libovsx_dpdk.a"
+  "libovsx_dpdk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ovsx_dpdk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ebpf/insn.cpp" "src/ebpf/CMakeFiles/ovsx_ebpf.dir/insn.cpp.o" "gcc" "src/ebpf/CMakeFiles/ovsx_ebpf.dir/insn.cpp.o.d"
+  "/root/repo/src/ebpf/map.cpp" "src/ebpf/CMakeFiles/ovsx_ebpf.dir/map.cpp.o" "gcc" "src/ebpf/CMakeFiles/ovsx_ebpf.dir/map.cpp.o.d"
+  "/root/repo/src/ebpf/program.cpp" "src/ebpf/CMakeFiles/ovsx_ebpf.dir/program.cpp.o" "gcc" "src/ebpf/CMakeFiles/ovsx_ebpf.dir/program.cpp.o.d"
+  "/root/repo/src/ebpf/programs.cpp" "src/ebpf/CMakeFiles/ovsx_ebpf.dir/programs.cpp.o" "gcc" "src/ebpf/CMakeFiles/ovsx_ebpf.dir/programs.cpp.o.d"
+  "/root/repo/src/ebpf/verifier.cpp" "src/ebpf/CMakeFiles/ovsx_ebpf.dir/verifier.cpp.o" "gcc" "src/ebpf/CMakeFiles/ovsx_ebpf.dir/verifier.cpp.o.d"
+  "/root/repo/src/ebpf/vm.cpp" "src/ebpf/CMakeFiles/ovsx_ebpf.dir/vm.cpp.o" "gcc" "src/ebpf/CMakeFiles/ovsx_ebpf.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/ovsx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ovsx_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

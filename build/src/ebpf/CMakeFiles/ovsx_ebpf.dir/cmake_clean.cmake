@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ovsx_ebpf.dir/insn.cpp.o"
+  "CMakeFiles/ovsx_ebpf.dir/insn.cpp.o.d"
+  "CMakeFiles/ovsx_ebpf.dir/map.cpp.o"
+  "CMakeFiles/ovsx_ebpf.dir/map.cpp.o.d"
+  "CMakeFiles/ovsx_ebpf.dir/program.cpp.o"
+  "CMakeFiles/ovsx_ebpf.dir/program.cpp.o.d"
+  "CMakeFiles/ovsx_ebpf.dir/programs.cpp.o"
+  "CMakeFiles/ovsx_ebpf.dir/programs.cpp.o.d"
+  "CMakeFiles/ovsx_ebpf.dir/verifier.cpp.o"
+  "CMakeFiles/ovsx_ebpf.dir/verifier.cpp.o.d"
+  "CMakeFiles/ovsx_ebpf.dir/vm.cpp.o"
+  "CMakeFiles/ovsx_ebpf.dir/vm.cpp.o.d"
+  "libovsx_ebpf.a"
+  "libovsx_ebpf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ovsx_ebpf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

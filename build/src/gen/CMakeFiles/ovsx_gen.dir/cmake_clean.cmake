@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ovsx_gen.dir/harness.cpp.o"
+  "CMakeFiles/ovsx_gen.dir/harness.cpp.o.d"
+  "CMakeFiles/ovsx_gen.dir/latency.cpp.o"
+  "CMakeFiles/ovsx_gen.dir/latency.cpp.o.d"
+  "CMakeFiles/ovsx_gen.dir/testbed.cpp.o"
+  "CMakeFiles/ovsx_gen.dir/testbed.cpp.o.d"
+  "libovsx_gen.a"
+  "libovsx_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ovsx_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

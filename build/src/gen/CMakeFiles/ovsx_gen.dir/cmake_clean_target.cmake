@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libovsx_gen.a"
+)

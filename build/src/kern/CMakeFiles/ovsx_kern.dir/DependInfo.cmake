@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kern/conntrack.cpp" "src/kern/CMakeFiles/ovsx_kern.dir/conntrack.cpp.o" "gcc" "src/kern/CMakeFiles/ovsx_kern.dir/conntrack.cpp.o.d"
+  "/root/repo/src/kern/device.cpp" "src/kern/CMakeFiles/ovsx_kern.dir/device.cpp.o" "gcc" "src/kern/CMakeFiles/ovsx_kern.dir/device.cpp.o.d"
+  "/root/repo/src/kern/kernel.cpp" "src/kern/CMakeFiles/ovsx_kern.dir/kernel.cpp.o" "gcc" "src/kern/CMakeFiles/ovsx_kern.dir/kernel.cpp.o.d"
+  "/root/repo/src/kern/nic.cpp" "src/kern/CMakeFiles/ovsx_kern.dir/nic.cpp.o" "gcc" "src/kern/CMakeFiles/ovsx_kern.dir/nic.cpp.o.d"
+  "/root/repo/src/kern/odp.cpp" "src/kern/CMakeFiles/ovsx_kern.dir/odp.cpp.o" "gcc" "src/kern/CMakeFiles/ovsx_kern.dir/odp.cpp.o.d"
+  "/root/repo/src/kern/ovs_kmod.cpp" "src/kern/CMakeFiles/ovsx_kern.dir/ovs_kmod.cpp.o" "gcc" "src/kern/CMakeFiles/ovsx_kern.dir/ovs_kmod.cpp.o.d"
+  "/root/repo/src/kern/rtnetlink.cpp" "src/kern/CMakeFiles/ovsx_kern.dir/rtnetlink.cpp.o" "gcc" "src/kern/CMakeFiles/ovsx_kern.dir/rtnetlink.cpp.o.d"
+  "/root/repo/src/kern/stack.cpp" "src/kern/CMakeFiles/ovsx_kern.dir/stack.cpp.o" "gcc" "src/kern/CMakeFiles/ovsx_kern.dir/stack.cpp.o.d"
+  "/root/repo/src/kern/tap.cpp" "src/kern/CMakeFiles/ovsx_kern.dir/tap.cpp.o" "gcc" "src/kern/CMakeFiles/ovsx_kern.dir/tap.cpp.o.d"
+  "/root/repo/src/kern/veth.cpp" "src/kern/CMakeFiles/ovsx_kern.dir/veth.cpp.o" "gcc" "src/kern/CMakeFiles/ovsx_kern.dir/veth.cpp.o.d"
+  "/root/repo/src/kern/virtio.cpp" "src/kern/CMakeFiles/ovsx_kern.dir/virtio.cpp.o" "gcc" "src/kern/CMakeFiles/ovsx_kern.dir/virtio.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/ovsx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ovsx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ebpf/CMakeFiles/ovsx_ebpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/afxdp/CMakeFiles/ovsx_afxdp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

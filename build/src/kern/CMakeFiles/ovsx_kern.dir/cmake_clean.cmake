@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ovsx_kern.dir/conntrack.cpp.o"
+  "CMakeFiles/ovsx_kern.dir/conntrack.cpp.o.d"
+  "CMakeFiles/ovsx_kern.dir/device.cpp.o"
+  "CMakeFiles/ovsx_kern.dir/device.cpp.o.d"
+  "CMakeFiles/ovsx_kern.dir/kernel.cpp.o"
+  "CMakeFiles/ovsx_kern.dir/kernel.cpp.o.d"
+  "CMakeFiles/ovsx_kern.dir/nic.cpp.o"
+  "CMakeFiles/ovsx_kern.dir/nic.cpp.o.d"
+  "CMakeFiles/ovsx_kern.dir/odp.cpp.o"
+  "CMakeFiles/ovsx_kern.dir/odp.cpp.o.d"
+  "CMakeFiles/ovsx_kern.dir/ovs_kmod.cpp.o"
+  "CMakeFiles/ovsx_kern.dir/ovs_kmod.cpp.o.d"
+  "CMakeFiles/ovsx_kern.dir/rtnetlink.cpp.o"
+  "CMakeFiles/ovsx_kern.dir/rtnetlink.cpp.o.d"
+  "CMakeFiles/ovsx_kern.dir/stack.cpp.o"
+  "CMakeFiles/ovsx_kern.dir/stack.cpp.o.d"
+  "CMakeFiles/ovsx_kern.dir/tap.cpp.o"
+  "CMakeFiles/ovsx_kern.dir/tap.cpp.o.d"
+  "CMakeFiles/ovsx_kern.dir/veth.cpp.o"
+  "CMakeFiles/ovsx_kern.dir/veth.cpp.o.d"
+  "CMakeFiles/ovsx_kern.dir/virtio.cpp.o"
+  "CMakeFiles/ovsx_kern.dir/virtio.cpp.o.d"
+  "libovsx_kern.a"
+  "libovsx_kern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ovsx_kern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

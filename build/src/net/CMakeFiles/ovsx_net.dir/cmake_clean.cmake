@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ovsx_net.dir/addr.cpp.o"
+  "CMakeFiles/ovsx_net.dir/addr.cpp.o.d"
+  "CMakeFiles/ovsx_net.dir/builder.cpp.o"
+  "CMakeFiles/ovsx_net.dir/builder.cpp.o.d"
+  "CMakeFiles/ovsx_net.dir/checksum.cpp.o"
+  "CMakeFiles/ovsx_net.dir/checksum.cpp.o.d"
+  "CMakeFiles/ovsx_net.dir/flow.cpp.o"
+  "CMakeFiles/ovsx_net.dir/flow.cpp.o.d"
+  "CMakeFiles/ovsx_net.dir/rewrite.cpp.o"
+  "CMakeFiles/ovsx_net.dir/rewrite.cpp.o.d"
+  "CMakeFiles/ovsx_net.dir/tunnel.cpp.o"
+  "CMakeFiles/ovsx_net.dir/tunnel.cpp.o.d"
+  "libovsx_net.a"
+  "libovsx_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ovsx_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

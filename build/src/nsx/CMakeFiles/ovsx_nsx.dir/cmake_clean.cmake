@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ovsx_nsx.dir/nsx.cpp.o"
+  "CMakeFiles/ovsx_nsx.dir/nsx.cpp.o.d"
+  "libovsx_nsx.a"
+  "libovsx_nsx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ovsx_nsx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ovsx_nsx.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for ovsx_nsx.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ovs/ct.cpp" "src/ovs/CMakeFiles/ovsx_ovs.dir/ct.cpp.o" "gcc" "src/ovs/CMakeFiles/ovsx_ovs.dir/ct.cpp.o.d"
+  "/root/repo/src/ovs/dpif_ebpf.cpp" "src/ovs/CMakeFiles/ovsx_ovs.dir/dpif_ebpf.cpp.o" "gcc" "src/ovs/CMakeFiles/ovsx_ovs.dir/dpif_ebpf.cpp.o.d"
+  "/root/repo/src/ovs/dpif_netdev.cpp" "src/ovs/CMakeFiles/ovsx_ovs.dir/dpif_netdev.cpp.o" "gcc" "src/ovs/CMakeFiles/ovsx_ovs.dir/dpif_netdev.cpp.o.d"
+  "/root/repo/src/ovs/emc.cpp" "src/ovs/CMakeFiles/ovsx_ovs.dir/emc.cpp.o" "gcc" "src/ovs/CMakeFiles/ovsx_ovs.dir/emc.cpp.o.d"
+  "/root/repo/src/ovs/megaflow.cpp" "src/ovs/CMakeFiles/ovsx_ovs.dir/megaflow.cpp.o" "gcc" "src/ovs/CMakeFiles/ovsx_ovs.dir/megaflow.cpp.o.d"
+  "/root/repo/src/ovs/meter.cpp" "src/ovs/CMakeFiles/ovsx_ovs.dir/meter.cpp.o" "gcc" "src/ovs/CMakeFiles/ovsx_ovs.dir/meter.cpp.o.d"
+  "/root/repo/src/ovs/netdev_afxdp.cpp" "src/ovs/CMakeFiles/ovsx_ovs.dir/netdev_afxdp.cpp.o" "gcc" "src/ovs/CMakeFiles/ovsx_ovs.dir/netdev_afxdp.cpp.o.d"
+  "/root/repo/src/ovs/netdev_linux.cpp" "src/ovs/CMakeFiles/ovsx_ovs.dir/netdev_linux.cpp.o" "gcc" "src/ovs/CMakeFiles/ovsx_ovs.dir/netdev_linux.cpp.o.d"
+  "/root/repo/src/ovs/netlink_cache.cpp" "src/ovs/CMakeFiles/ovsx_ovs.dir/netlink_cache.cpp.o" "gcc" "src/ovs/CMakeFiles/ovsx_ovs.dir/netlink_cache.cpp.o.d"
+  "/root/repo/src/ovs/ofproto.cpp" "src/ovs/CMakeFiles/ovsx_ovs.dir/ofproto.cpp.o" "gcc" "src/ovs/CMakeFiles/ovsx_ovs.dir/ofproto.cpp.o.d"
+  "/root/repo/src/ovs/vswitch.cpp" "src/ovs/CMakeFiles/ovsx_ovs.dir/vswitch.cpp.o" "gcc" "src/ovs/CMakeFiles/ovsx_ovs.dir/vswitch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kern/CMakeFiles/ovsx_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpdk/CMakeFiles/ovsx_dpdk.dir/DependInfo.cmake"
+  "/root/repo/build/src/afxdp/CMakeFiles/ovsx_afxdp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ebpf/CMakeFiles/ovsx_ebpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ovsx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ovsx_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

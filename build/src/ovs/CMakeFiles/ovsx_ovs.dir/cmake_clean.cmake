@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ovsx_ovs.dir/ct.cpp.o"
+  "CMakeFiles/ovsx_ovs.dir/ct.cpp.o.d"
+  "CMakeFiles/ovsx_ovs.dir/dpif_ebpf.cpp.o"
+  "CMakeFiles/ovsx_ovs.dir/dpif_ebpf.cpp.o.d"
+  "CMakeFiles/ovsx_ovs.dir/dpif_netdev.cpp.o"
+  "CMakeFiles/ovsx_ovs.dir/dpif_netdev.cpp.o.d"
+  "CMakeFiles/ovsx_ovs.dir/emc.cpp.o"
+  "CMakeFiles/ovsx_ovs.dir/emc.cpp.o.d"
+  "CMakeFiles/ovsx_ovs.dir/megaflow.cpp.o"
+  "CMakeFiles/ovsx_ovs.dir/megaflow.cpp.o.d"
+  "CMakeFiles/ovsx_ovs.dir/meter.cpp.o"
+  "CMakeFiles/ovsx_ovs.dir/meter.cpp.o.d"
+  "CMakeFiles/ovsx_ovs.dir/netdev_afxdp.cpp.o"
+  "CMakeFiles/ovsx_ovs.dir/netdev_afxdp.cpp.o.d"
+  "CMakeFiles/ovsx_ovs.dir/netdev_linux.cpp.o"
+  "CMakeFiles/ovsx_ovs.dir/netdev_linux.cpp.o.d"
+  "CMakeFiles/ovsx_ovs.dir/netlink_cache.cpp.o"
+  "CMakeFiles/ovsx_ovs.dir/netlink_cache.cpp.o.d"
+  "CMakeFiles/ovsx_ovs.dir/ofproto.cpp.o"
+  "CMakeFiles/ovsx_ovs.dir/ofproto.cpp.o.d"
+  "CMakeFiles/ovsx_ovs.dir/vswitch.cpp.o"
+  "CMakeFiles/ovsx_ovs.dir/vswitch.cpp.o.d"
+  "libovsx_ovs.a"
+  "libovsx_ovs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ovsx_ovs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ovsx_sim.dir/context.cpp.o"
+  "CMakeFiles/ovsx_sim.dir/context.cpp.o.d"
+  "CMakeFiles/ovsx_sim.dir/costs.cpp.o"
+  "CMakeFiles/ovsx_sim.dir/costs.cpp.o.d"
+  "CMakeFiles/ovsx_sim.dir/histogram.cpp.o"
+  "CMakeFiles/ovsx_sim.dir/histogram.cpp.o.d"
+  "libovsx_sim.a"
+  "libovsx_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ovsx_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

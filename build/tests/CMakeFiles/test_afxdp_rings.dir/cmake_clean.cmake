@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_afxdp_rings.dir/test_afxdp_rings.cpp.o"
+  "CMakeFiles/test_afxdp_rings.dir/test_afxdp_rings.cpp.o.d"
+  "test_afxdp_rings"
+  "test_afxdp_rings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_afxdp_rings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

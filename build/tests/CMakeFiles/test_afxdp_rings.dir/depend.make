@@ -1,0 +1,2 @@
+# Empty dependencies file for test_afxdp_rings.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dpif_kernel.dir/test_dpif_kernel.cpp.o"
+  "CMakeFiles/test_dpif_kernel.dir/test_dpif_kernel.cpp.o.d"
+  "test_dpif_kernel"
+  "test_dpif_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dpif_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

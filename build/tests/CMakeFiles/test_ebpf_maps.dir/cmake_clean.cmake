@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ebpf_maps.dir/test_ebpf_maps.cpp.o"
+  "CMakeFiles/test_ebpf_maps.dir/test_ebpf_maps.cpp.o.d"
+  "test_ebpf_maps"
+  "test_ebpf_maps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ebpf_maps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

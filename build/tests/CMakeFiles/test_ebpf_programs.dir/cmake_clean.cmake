@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ebpf_programs.dir/test_ebpf_programs.cpp.o"
+  "CMakeFiles/test_ebpf_programs.dir/test_ebpf_programs.cpp.o.d"
+  "test_ebpf_programs"
+  "test_ebpf_programs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ebpf_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ebpf_verifier.dir/test_ebpf_verifier.cpp.o"
+  "CMakeFiles/test_ebpf_verifier.dir/test_ebpf_verifier.cpp.o.d"
+  "test_ebpf_verifier"
+  "test_ebpf_verifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ebpf_verifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

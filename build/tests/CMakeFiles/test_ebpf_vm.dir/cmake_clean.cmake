@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ebpf_vm.dir/test_ebpf_vm.cpp.o"
+  "CMakeFiles/test_ebpf_vm.dir/test_ebpf_vm.cpp.o.d"
+  "test_ebpf_vm"
+  "test_ebpf_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ebpf_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kern_conntrack.dir/test_kern_conntrack.cpp.o"
+  "CMakeFiles/test_kern_conntrack.dir/test_kern_conntrack.cpp.o.d"
+  "test_kern_conntrack"
+  "test_kern_conntrack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kern_conntrack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

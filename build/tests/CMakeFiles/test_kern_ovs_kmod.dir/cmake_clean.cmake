@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kern_ovs_kmod.dir/test_kern_ovs_kmod.cpp.o"
+  "CMakeFiles/test_kern_ovs_kmod.dir/test_kern_ovs_kmod.cpp.o.d"
+  "test_kern_ovs_kmod"
+  "test_kern_ovs_kmod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kern_ovs_kmod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_kern_ovs_kmod.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_kern_stack.cpp" "tests/CMakeFiles/test_kern_stack.dir/test_kern_stack.cpp.o" "gcc" "tests/CMakeFiles/test_kern_stack.dir/test_kern_stack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kern/CMakeFiles/ovsx_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/ebpf/CMakeFiles/ovsx_ebpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/afxdp/CMakeFiles/ovsx_afxdp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ovsx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ovsx_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

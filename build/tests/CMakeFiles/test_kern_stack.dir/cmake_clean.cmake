@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kern_stack.dir/test_kern_stack.cpp.o"
+  "CMakeFiles/test_kern_stack.dir/test_kern_stack.cpp.o.d"
+  "test_kern_stack"
+  "test_kern_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kern_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_flow.dir/test_net_flow.cpp.o"
+  "CMakeFiles/test_net_flow.dir/test_net_flow.cpp.o.d"
+  "test_net_flow"
+  "test_net_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_rewrite.dir/test_net_rewrite.cpp.o"
+  "CMakeFiles/test_net_rewrite.dir/test_net_rewrite.cpp.o.d"
+  "test_net_rewrite"
+  "test_net_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_tunnel.dir/test_net_tunnel.cpp.o"
+  "CMakeFiles/test_net_tunnel.dir/test_net_tunnel.cpp.o.d"
+  "test_net_tunnel"
+  "test_net_tunnel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_tunnel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nsx.dir/test_nsx.cpp.o"
+  "CMakeFiles/test_nsx.dir/test_nsx.cpp.o.d"
+  "test_nsx"
+  "test_nsx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nsx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_operability.dir/test_operability.cpp.o"
+  "CMakeFiles/test_operability.dir/test_operability.cpp.o.d"
+  "test_operability"
+  "test_operability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_operability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ovs_caches.dir/test_ovs_caches.cpp.o"
+  "CMakeFiles/test_ovs_caches.dir/test_ovs_caches.cpp.o.d"
+  "test_ovs_caches"
+  "test_ovs_caches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ovs_caches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

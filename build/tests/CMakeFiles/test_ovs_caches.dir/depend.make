@@ -1,0 +1,2 @@
+# Empty dependencies file for test_ovs_caches.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ovs_ct.dir/test_ovs_ct.cpp.o"
+  "CMakeFiles/test_ovs_ct.dir/test_ovs_ct.cpp.o.d"
+  "test_ovs_ct"
+  "test_ovs_ct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ovs_ct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ovs_dpif_ebpf.dir/test_ovs_dpif_ebpf.cpp.o"
+  "CMakeFiles/test_ovs_dpif_ebpf.dir/test_ovs_dpif_ebpf.cpp.o.d"
+  "test_ovs_dpif_ebpf"
+  "test_ovs_dpif_ebpf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ovs_dpif_ebpf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

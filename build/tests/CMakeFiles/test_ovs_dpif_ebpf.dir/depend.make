@@ -1,0 +1,2 @@
+# Empty dependencies file for test_ovs_dpif_ebpf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ovs_dpif_netdev.dir/test_ovs_dpif_netdev.cpp.o"
+  "CMakeFiles/test_ovs_dpif_netdev.dir/test_ovs_dpif_netdev.cpp.o.d"
+  "test_ovs_dpif_netdev"
+  "test_ovs_dpif_netdev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ovs_dpif_netdev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_ovs_dpif_netdev.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ovs_netdevs.dir/test_ovs_netdevs.cpp.o"
+  "CMakeFiles/test_ovs_netdevs.dir/test_ovs_netdevs.cpp.o.d"
+  "test_ovs_netdevs"
+  "test_ovs_netdevs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ovs_netdevs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ovs_ofproto.dir/test_ovs_ofproto.cpp.o"
+  "CMakeFiles/test_ovs_ofproto.dir/test_ovs_ofproto.cpp.o.d"
+  "test_ovs_ofproto"
+  "test_ovs_ofproto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ovs_ofproto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
