@@ -1,0 +1,59 @@
+// Differential fuzz soak: runs seeded fuzz iterations against all three
+// datapaths for a wall-clock budget and exits non-zero on any
+// unexplained divergence, printing the (seed, count) pair that
+// reproduces it.
+//
+//   bench_fuzz_soak [seed] [seconds] [packets-per-iteration]
+//
+// CI runs this with a rotating seed; locally, re-running with a printed
+// seed reproduces a failure exactly.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "gen/fuzz.h"
+
+int main(int argc, char** argv)
+{
+    const std::uint64_t base_seed = argc > 1 ? std::strtoull(argv[1], nullptr, 0) : 1;
+    const double seconds = argc > 2 ? std::strtod(argv[2], nullptr) : 5.0;
+    const std::size_t count = argc > 3 ? std::strtoull(argv[3], nullptr, 0) : 2000;
+
+    ovsx::gen::FuzzConfig cfg;
+    const auto start = std::chrono::steady_clock::now();
+    std::size_t iterations = 0;
+    std::size_t packets = 0;
+    std::size_t explained = 0;
+
+    std::printf("fuzz soak: base_seed=%llu budget=%.1fs count=%zu\n",
+                static_cast<unsigned long long>(base_seed), seconds, count);
+    for (;;) {
+        const double elapsed =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+        if (elapsed >= seconds && iterations > 0) break;
+
+        const std::uint64_t seed = base_seed + iterations;
+        // Alternate feature mixes so every iteration is not the same shape.
+        cfg.use_meters = (iterations % 3) == 1;
+        cfg.use_ct = (iterations % 4) != 3;
+        const ovsx::gen::DiffReport report = ovsx::gen::fuzz_run(seed, cfg, count);
+        packets += report.packets_run;
+        explained += report.explained.size();
+        if (!report.ok()) {
+            std::printf("FAIL: unexplained divergence at seed=%llu count=%zu\n%s\n",
+                        static_cast<unsigned long long>(seed), count,
+                        report.summary().c_str());
+            return 1;
+        }
+        ++iterations;
+    }
+
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    std::printf("OK: %zu iterations, %zu packets, %zu explained divergences, %.1fs "
+                "(%.0f pkt/s across 3 datapaths)\n",
+                iterations, packets, explained, elapsed,
+                static_cast<double>(packets) / (elapsed > 0 ? elapsed : 1));
+    return 0;
+}

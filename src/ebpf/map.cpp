@@ -1,5 +1,6 @@
 #include "ebpf/map.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace ovsx::ebpf {
@@ -85,6 +86,27 @@ bool Map::update(std::span<const std::uint8_t> key, std::span<const std::uint8_t
     std::memcpy(array_.data() + static_cast<std::size_t>(idx) * value_size_, value.data(),
                 value_size_);
     return true;
+}
+
+std::vector<std::pair<std::vector<std::uint8_t>, std::vector<std::uint8_t>>> Map::snapshot() const
+{
+    std::vector<std::pair<std::vector<std::uint8_t>, std::vector<std::uint8_t>>> out;
+    if (type_ == MapType::Hash) {
+        out.reserve(hash_.size());
+        for (const auto& [k, v] : hash_) {
+            out.emplace_back(k, std::vector<std::uint8_t>(v.get(), v.get() + value_size_));
+        }
+    } else {
+        out.reserve(max_entries_);
+        for (std::uint32_t idx = 0; idx < max_entries_; ++idx) {
+            const auto* base = array_.data() + static_cast<std::size_t>(idx) * value_size_;
+            std::vector<std::uint8_t> k(sizeof idx);
+            std::memcpy(k.data(), &idx, sizeof idx);
+            out.emplace_back(std::move(k), std::vector<std::uint8_t>(base, base + value_size_));
+        }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
 }
 
 bool Map::erase(std::span<const std::uint8_t> key)

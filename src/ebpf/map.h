@@ -64,6 +64,11 @@ public:
     // the interpreter's cost accounting.
     std::uint32_t last_probes() const { return last_probes_; }
 
+    // Deterministically ordered (key, value) dump — the bpf_map_get_next_key
+    // iteration userspace tools rely on, used here for state diffing.
+    // Array maps dump every slot with its 4-byte index as the key.
+    std::vector<std::pair<std::vector<std::uint8_t>, std::vector<std::uint8_t>>> snapshot() const;
+
 private:
     struct VecHash {
         std::size_t operator()(const std::vector<std::uint8_t>& v) const;

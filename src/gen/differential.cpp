@@ -1,0 +1,546 @@
+#include "gen/differential.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <iomanip>
+#include <cstdlib>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "kern/kernel.h"
+#include "kern/nic.h"
+#include "kern/ovs_kmod.h"
+#include "ovs/dpif_ebpf.h"
+#include "ovs/dpif_kernel.h"
+#include "ovs/dpif_netdev.h"
+#include "ovs/netdev_afxdp.h"
+
+namespace ovsx::gen {
+
+namespace {
+
+// Virtual time advances 1ms per injected packet so meter refill and
+// conntrack timestamps are identical across datapaths and runs.
+constexpr sim::Nanos kStepNanos = 1'000'000;
+
+std::uint64_t fnv1a(const std::vector<std::uint8_t>& bytes)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    for (auto b : bytes) {
+        h ^= b;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+// OR of two masks, byte-wise over the FlowKey layout.
+net::FlowMask mask_union(const net::FlowMask& a, const net::FlowMask& b)
+{
+    net::FlowMask out;
+    const auto* pa = reinterpret_cast<const std::uint8_t*>(&a.bits);
+    const auto* pb = reinterpret_cast<const std::uint8_t*>(&b.bits);
+    auto* po = reinterpret_cast<std::uint8_t*>(&out.bits);
+    for (std::size_t i = 0; i < sizeof(net::FlowKey); ++i) {
+        po[i] = static_cast<std::uint8_t>(pa[i] | pb[i]);
+    }
+    return out;
+}
+
+// True when every significant bit of `m` is also significant in `allowed`.
+bool mask_within(const net::FlowMask& m, const net::FlowMask& allowed)
+{
+    const auto* pm = reinterpret_cast<const std::uint8_t*>(&m.bits);
+    const auto* pa = reinterpret_cast<const std::uint8_t*>(&allowed.bits);
+    for (std::size_t i = 0; i < sizeof(net::FlowKey); ++i) {
+        if (pm[i] & ~pa[i]) return false;
+    }
+    return true;
+}
+
+net::FlowMask ebpf_expressible_mask()
+{
+    net::FlowMask m = ovs::DpifEbpf::required_mask();
+    // recirc/ct dimensions only become relevant through a Recirc action,
+    // which is itself flagged as unsupported on the eBPF path.
+    m.bits.recirc_id = 0xffffffff;
+    m.bits.ct_state = 0xff;
+    m.bits.ct_zone = 0xffff;
+    m.bits.ct_mark = 0xffffffff;
+    return m;
+}
+
+} // namespace
+
+const char* to_string(DpKind k)
+{
+    switch (k) {
+    case DpKind::Netdev: return "netdev";
+    case DpKind::Kernel: return "kernel";
+    case DpKind::Ebpf: return "ebpf";
+    }
+    return "?";
+}
+
+const DiffRule* DiffRuleset::evaluate(const net::FlowKey& key) const
+{
+    const DiffRule* best = nullptr;
+    for (const auto& r : rules) {
+        if (!r.mask.matches(key, r.mask.apply(r.match))) continue;
+        if (!best || r.priority > best->priority) best = &r;
+    }
+    return best;
+}
+
+net::FlowMask DiffRuleset::union_mask() const
+{
+    net::FlowMask m;
+    m.bits.in_port = 0xffffffff;
+    m.bits.recirc_id = 0xffffffff;
+    for (const auto& r : rules) m = mask_union(m, r.mask);
+    return m;
+}
+
+std::string Verdict::to_string() const
+{
+    std::ostringstream os;
+    if (outputs.empty()) return "drop";
+    os << "[";
+    for (std::size_t i = 0; i < outputs.size(); ++i) {
+        if (i) os << " ";
+        os << "p" << outputs[i].first << ":" << outputs[i].second.size() << "B#" << std::hex
+           << (fnv1a(outputs[i].second) & 0xffff) << std::dec;
+        if (std::getenv("OVSX_DIFF_DUMP")) {
+            os << " ";
+            for (auto b : outputs[i].second)
+                os << std::hex << std::setw(2) << std::setfill('0') << int(b);
+            os << std::dec;
+        }
+    }
+    os << "]";
+    return os.str();
+}
+
+std::string DiffReport::summary() const
+{
+    std::ostringstream os;
+    os << packets_run << " packets, " << unexplained.size() << " unexplained / "
+       << explained.size() << " explained divergences";
+    if (reproducer) {
+        os << "; reproducer: seed=" << reproducer->seed << " steps={";
+        for (std::size_t i = 0; i < reproducer->steps.size(); ++i) {
+            if (i) os << ",";
+            os << reproducer->steps[i];
+        }
+        os << "}";
+    }
+    for (const auto& d : unexplained) os << "\n  UNEXPLAINED step " << d.step << ": " << d.detail;
+    for (const auto& d : explained) {
+        os << "\n  explained(" << d.explanation << ") step " << d.step << ": " << d.detail;
+    }
+    return os.str();
+}
+
+std::string explain_expected_divergence(const DiffRuleset& ruleset, const net::FlowKey& key,
+                                        bool ebpf_involved)
+{
+    // Conservative reachability walk: the rule the packet hits plus, for
+    // every reachable Recirc id, every rule that can match that id.
+    std::vector<const DiffRule*> reachable;
+    std::unordered_set<std::uint32_t> seen_recirc;
+    std::vector<std::uint32_t> pending;
+
+    const DiffRule* first = ruleset.evaluate(key);
+    if (first) reachable.push_back(first);
+
+    auto enqueue_recircs = [&](const DiffRule* r) {
+        for (const auto& a : r->actions) {
+            if (a.type == kern::OdpAction::Type::Recirc && seen_recirc.insert(a.recirc_id).second) {
+                pending.push_back(a.recirc_id);
+            }
+        }
+    };
+    if (first) enqueue_recircs(first);
+    while (!pending.empty()) {
+        const std::uint32_t id = pending.back();
+        pending.pop_back();
+        for (const auto& r : ruleset.rules) {
+            const std::uint32_t m = r.mask.bits.recirc_id;
+            if ((id & m) != (r.match.recirc_id & m)) continue;
+            reachable.push_back(&r);
+            enqueue_recircs(&r);
+        }
+        if (reachable.size() > 256) break; // defensive bound
+    }
+
+    for (const auto* r : reachable) {
+        for (const auto& a : r->actions) {
+            using Type = kern::OdpAction::Type;
+            if (a.type == Type::Userspace) {
+                // netdev punts to a local queue; the kernel module
+                // re-invokes the upcall handler, which re-executes.
+                return "userspace-action";
+            }
+            if (a.type == Type::Ct && a.ct.nat) {
+                // kern::Conntrack has no NAT: headers diverge.
+                return "ct-nat";
+            }
+        }
+    }
+
+    // eBPF checks scan the WHOLE ruleset, not just reachable rules: the
+    // exact-match map collapses every dimension outside its key, so a
+    // rule matching e.g. vlan_tci installs entries that frames hitting
+    // *other* rules can alias into. Any such rule poisons the keyspace.
+    if (ebpf_involved) {
+        const net::FlowMask ebpf_ok = ebpf_expressible_mask();
+        for (const auto& r : ruleset.rules) {
+            for (const auto& a : r.actions) {
+                using Type = kern::OdpAction::Type;
+                if (a.type == Type::Recirc || a.type == Type::SetTunnel ||
+                    a.type == Type::Meter) {
+                    return "ebpf-unsupported-action";
+                }
+            }
+            if (!mask_within(r.mask, ebpf_ok)) {
+                // The eBPF map key has no VLAN/MAC/ToS/... dimensions:
+                // two microflows distinguished only by such a field
+                // share one map entry.
+                return "ebpf-key-dimensions";
+            }
+        }
+    }
+    return "";
+}
+
+// ---- datapath instances ------------------------------------------------
+
+struct DifferentialHarness::Instance {
+    DpKind kind;
+    std::unique_ptr<kern::Kernel> kernel;
+    std::vector<kern::PhysicalDevice*> nics;
+    std::vector<std::uint32_t> port_nos;
+    std::vector<std::pair<std::size_t, std::vector<std::uint8_t>>> captured;
+
+    std::unique_ptr<ovs::DpifNetdev> netdev;
+    std::unique_ptr<kern::OvsKernelDatapath> kdp;
+    std::unique_ptr<ovs::DpifKernel> kdpif;
+    std::unique_ptr<ovs::DpifEbpf> ebpf;
+    ovs::Dpif* dpif = nullptr;
+    int pmd = -1;
+
+    void set_now(sim::Nanos now)
+    {
+        switch (kind) {
+        case DpKind::Netdev: netdev->set_now(now); break;
+        case DpKind::Kernel: kdp->set_now(now); break;
+        case DpKind::Ebpf: ebpf->set_now(now); break;
+        }
+    }
+
+    void inject(const DiffPacket& step, sim::Nanos now)
+    {
+        set_now(now);
+        net::Packet copy = step.pkt;
+        nics[step.port]->rx_from_wire(std::move(copy));
+        if (kind == DpKind::Netdev) {
+            while (netdev->pmd_poll_once(pmd) > 0) {
+            }
+        }
+    }
+
+    Verdict take_verdict()
+    {
+        Verdict v;
+        v.outputs = std::move(captured);
+        captured.clear();
+        std::sort(v.outputs.begin(), v.outputs.end());
+        return v;
+    }
+
+    std::size_t datapath_flow_count() const
+    {
+        return kind == DpKind::Kernel ? kdp->flow_count() : dpif->flow_count();
+    }
+
+    std::vector<kern::CtSnapshotEntry> ct_snapshot() const
+    {
+        return kind == DpKind::Netdev ? netdev->ct().snapshot() : kernel->conntrack().snapshot();
+    }
+};
+
+DifferentialHarness::DifferentialHarness(DiffRuleset ruleset, DiffOptions opts)
+    : ruleset_(std::move(ruleset)), opts_(opts)
+{
+    if (opts_.n_ports == 0) throw std::invalid_argument("differential: need at least one port");
+}
+
+DifferentialHarness::~DifferentialHarness() = default;
+
+void DifferentialHarness::set_fault(DpKind kind, ActionMutator mutator)
+{
+    faults_[static_cast<int>(kind)] = std::move(mutator);
+}
+
+std::vector<std::unique_ptr<DifferentialHarness::Instance>>
+DifferentialHarness::make_instances() const
+{
+    std::vector<DpKind> kinds = {DpKind::Netdev, DpKind::Kernel};
+    if (opts_.compare_ebpf) kinds.push_back(DpKind::Ebpf);
+
+    const net::FlowMask wide_mask = ruleset_.union_mask();
+    std::vector<std::unique_ptr<Instance>> out;
+    for (DpKind kind : kinds) {
+        auto inst = std::make_unique<Instance>();
+        inst->kind = kind;
+        inst->kernel = std::make_unique<kern::Kernel>();
+        for (std::size_t i = 0; i < opts_.n_ports; ++i) {
+            auto& nic = inst->kernel->add_device<kern::PhysicalDevice>(
+                "eth" + std::to_string(i), net::MacAddr::from_id(static_cast<std::uint64_t>(i + 1)));
+            inst->nics.push_back(&nic);
+        }
+
+        switch (kind) {
+        case DpKind::Netdev: {
+            inst->netdev = std::make_unique<ovs::DpifNetdev>(*inst->kernel);
+            inst->netdev->set_emc_insert_inv_prob(1);
+            inst->pmd = inst->netdev->add_pmd("diff-pmd");
+            for (auto* nic : inst->nics) {
+                const auto p = inst->netdev->add_port(std::make_unique<ovs::NetdevAfxdp>(*nic));
+                inst->port_nos.push_back(p);
+                inst->netdev->pmd_assign(inst->pmd, p, 0);
+            }
+            inst->dpif = inst->netdev.get();
+            for (const auto& [id, cfg] : ruleset_.meters) inst->netdev->meters().set(id, cfg);
+            break;
+        }
+        case DpKind::Kernel: {
+            inst->kdp = std::make_unique<kern::OvsKernelDatapath>(*inst->kernel);
+            for (auto* nic : inst->nics) inst->port_nos.push_back(inst->kdp->add_port(*nic));
+            inst->kdpif = std::make_unique<ovs::DpifKernel>(*inst->kdp);
+            inst->dpif = inst->kdpif.get();
+            for (const auto& [id, cfg] : ruleset_.meters) inst->kdp->meters().set(id, cfg);
+            break;
+        }
+        case DpKind::Ebpf: {
+            inst->ebpf = std::make_unique<ovs::DpifEbpf>(*inst->kernel);
+            for (auto* nic : inst->nics) inst->port_nos.push_back(inst->ebpf->add_port(*nic));
+            inst->dpif = inst->ebpf.get();
+            break;
+        }
+        }
+
+        // Wire output capture: frames leaving port i land in captured.
+        for (std::size_t i = 0; i < opts_.n_ports; ++i) {
+            Instance* raw = inst.get();
+            inst->nics[i]->connect_wire([raw, i](net::Packet&& p) {
+                raw->captured.emplace_back(
+                    i, std::vector<std::uint8_t>(p.data(), p.data() + p.size()));
+            });
+        }
+
+        // The uniform slow path: evaluate the logical ruleset, install
+        // the datapath flow, execute. Identical for every dpif modulo
+        // the per-datapath mask language (and any injected fault).
+        Instance* raw = inst.get();
+        const ActionMutator& fault = faults_[static_cast<int>(kind)];
+        inst->dpif->set_upcall_handler([this, raw, wide_mask, fault](
+                                           std::uint32_t, net::Packet&& pkt,
+                                           const net::FlowKey& key, sim::ExecContext& ctx) {
+            const DiffRule* rule = ruleset_.evaluate(key);
+            kern::OdpActions actions =
+                rule ? rule->actions : kern::OdpActions{kern::OdpAction::drop()};
+            if (fault) fault(actions);
+            if (raw->kind == DpKind::Ebpf) {
+                try {
+                    raw->dpif->flow_put(key, ovs::DpifEbpf::required_mask(), actions);
+                } catch (const std::invalid_argument&) {
+                    // wildcard-only rulesets can still run via per-packet upcalls
+                }
+            } else {
+                raw->dpif->flow_put(key, wide_mask, actions);
+            }
+            raw->dpif->execute(std::move(pkt), actions, ctx);
+        });
+
+        out.push_back(std::move(inst));
+    }
+    return out;
+}
+
+DiffReport DifferentialHarness::run_once(const std::vector<DiffPacket>& seq, bool)
+{
+    auto instances = make_instances();
+    DiffReport report;
+    report.packets_run = seq.size();
+    bool kernel_tainted = false;
+    bool ebpf_tainted = false;
+
+    for (std::size_t step = 0; step < seq.size(); ++step) {
+        const sim::Nanos now = static_cast<sim::Nanos>(step + 1) * kStepNanos;
+        std::vector<Verdict> verdicts;
+        for (auto& inst : instances) {
+            inst->inject(seq[step], now);
+            verdicts.push_back(inst->take_verdict());
+        }
+        for (std::size_t i = 1; i < instances.size(); ++i) {
+            if (verdicts[i] == verdicts[0]) continue;
+            net::Packet probe = seq[step].pkt;
+            probe.meta().in_port = static_cast<std::uint32_t>(seq[step].port + 1);
+            const net::FlowKey key = net::parse_flow(probe);
+            const bool vs_ebpf = instances[i]->kind == DpKind::Ebpf;
+            Divergence d;
+            d.step = step;
+            d.detail = std::string("netdev=") + verdicts[0].to_string() + " " +
+                       to_string(instances[i]->kind) + "=" + verdicts[i].to_string();
+            d.explanation = explain_expected_divergence(ruleset_, key, vs_ebpf);
+            if (d.explanation.empty()) {
+                report.unexplained.push_back(std::move(d));
+            } else {
+                report.explained.push_back(std::move(d));
+                (vs_ebpf ? ebpf_tainted : kernel_tainted) = true;
+            }
+        }
+    }
+
+    if (opts_.compare_end_state) {
+        const std::size_t end_step = seq.size();
+        const bool nat_used = [&] {
+            for (const auto& r : ruleset_.rules) {
+                for (const auto& a : r.actions) {
+                    if (a.type == kern::OdpAction::Type::Ct && a.ct.nat) return true;
+                }
+            }
+            return false;
+        }();
+
+        for (std::size_t i = 1; i < instances.size(); ++i) {
+            Instance& other = *instances[i];
+            const bool vs_ebpf = other.kind == DpKind::Ebpf;
+            if (vs_ebpf ? ebpf_tainted : kernel_tainted) continue;
+
+            // Flow tables: identical upcall translation must yield the
+            // same number of megaflow entries (eBPF is exact-match only,
+            // structurally different — skip it).
+            if (!vs_ebpf &&
+                instances[0]->datapath_flow_count() != other.datapath_flow_count()) {
+                report.unexplained.push_back(
+                    {end_step,
+                     "flow_count netdev=" + std::to_string(instances[0]->datapath_flow_count()) +
+                         " " + to_string(other.kind) + "=" +
+                         std::to_string(other.datapath_flow_count()),
+                     ""});
+            }
+
+            // Conntrack tables (userspace CT vs the kernel CT the other
+            // two datapaths share). NAT is userspace-only: explained.
+            if (nat_used) {
+                report.explained.push_back(
+                    {end_step, "ct snapshot comparison skipped", "ct-nat"});
+            } else {
+                const auto a = instances[0]->ct_snapshot();
+                const auto b = other.ct_snapshot();
+                if (!(a == b)) {
+                    report.unexplained.push_back(
+                        {end_step,
+                         "conntrack tables differ: netdev has " + std::to_string(a.size()) +
+                             " conns, " + to_string(other.kind) + " has " +
+                             std::to_string(b.size()),
+                         ""});
+                }
+            }
+        }
+
+        // eBPF-internal invariant: the flow map and its userspace action
+        // shadow must stay 1:1 (a leak here means stale actions linger).
+        for (auto& inst : instances) {
+            if (inst->kind != DpKind::Ebpf) continue;
+            const auto dump = inst->ebpf->flow_map().snapshot();
+            bool consistent = dump.size() == inst->ebpf->flows().size();
+            for (const auto& [k, v] : dump) {
+                std::uint32_t id = 0;
+                std::memcpy(&id, v.data(), sizeof id);
+                if (!inst->ebpf->flows().contains(id)) consistent = false;
+            }
+            if (!consistent) {
+                report.unexplained.push_back(
+                    {end_step,
+                     "ebpf flow map (" + std::to_string(dump.size()) +
+                         " entries) inconsistent with action shadow (" +
+                         std::to_string(inst->ebpf->flows().size()) + ")",
+                     ""});
+            }
+        }
+    }
+    return report;
+}
+
+bool DifferentialHarness::subsequence_diverges(const std::vector<DiffPacket>& seq,
+                                               const std::vector<std::size_t>& steps)
+{
+    auto instances = make_instances();
+    for (std::size_t step : steps) {
+        const sim::Nanos now = static_cast<sim::Nanos>(step + 1) * kStepNanos;
+        std::vector<Verdict> verdicts;
+        for (auto& inst : instances) {
+            inst->inject(seq[step], now);
+            verdicts.push_back(inst->take_verdict());
+        }
+        for (std::size_t i = 1; i < instances.size(); ++i) {
+            if (verdicts[i] == verdicts[0]) continue;
+            net::Packet probe = seq[step].pkt;
+            probe.meta().in_port = static_cast<std::uint32_t>(seq[step].port + 1);
+            const bool vs_ebpf = instances[i]->kind == DpKind::Ebpf;
+            if (explain_expected_divergence(ruleset_, net::parse_flow(probe), vs_ebpf).empty()) {
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+Reproducer DifferentialHarness::minimize(const std::vector<DiffPacket>& seq,
+                                         std::size_t fail_step)
+{
+    // ddmin-style greedy shrink of the prefix ending at the first
+    // diverging packet; that packet is always kept.
+    std::vector<std::size_t> cur(fail_step + 1);
+    for (std::size_t i = 0; i <= fail_step; ++i) cur[i] = i;
+
+    int trials = 0;
+    constexpr int kMaxTrials = 200;
+    for (std::size_t chunk = std::max<std::size_t>(cur.size() / 2, 1); chunk >= 1; chunk /= 2) {
+        std::size_t i = 0;
+        while (i + 1 < cur.size() && trials < kMaxTrials) {
+            std::vector<std::size_t> trial;
+            const std::size_t cut_end = std::min(i + chunk, cur.size() - 1);
+            trial.reserve(cur.size());
+            trial.insert(trial.end(), cur.begin(), cur.begin() + static_cast<long>(i));
+            trial.insert(trial.end(), cur.begin() + static_cast<long>(cut_end), cur.end());
+            ++trials;
+            if (subsequence_diverges(seq, trial)) {
+                cur = std::move(trial);
+            } else {
+                i = cut_end;
+            }
+        }
+        if (chunk == 1) break;
+    }
+    return Reproducer{opts_.seed, std::move(cur)};
+}
+
+DiffReport DifferentialHarness::run(const std::vector<DiffPacket>& seq)
+{
+    DiffReport report = run_once(seq, true);
+    if (!report.ok() && opts_.minimize) {
+        const auto it =
+            std::find_if(report.unexplained.begin(), report.unexplained.end(),
+                         [&](const Divergence& d) { return d.step < seq.size(); });
+        if (it != report.unexplained.end()) {
+            report.reproducer = minimize(seq, it->step);
+        }
+    }
+    return report;
+}
+
+} // namespace ovsx::gen

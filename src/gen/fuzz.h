@@ -1,0 +1,46 @@
+// Seeded packet/ruleset fuzzing on top of the differential harness.
+//
+// A splitmix64 seed fully determines both the generated ruleset and the
+// packet sequence, so any divergence is reproducible from (seed, config,
+// count) alone — the soak bench prints exactly that triple on failure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gen/differential.h"
+#include "sim/rng.h"
+
+namespace ovsx::gen {
+
+struct FuzzConfig {
+    std::size_t n_ports = 4;
+    std::size_t n_rules = 12; // first-pass rules (ct recirc rules come on top)
+    std::size_t n_flows = 24; // distinct 5-tuples the packet stream cycles over
+    std::uint16_t n_zones = 2;
+    bool use_ct = true;        // Ct+Recirc rules with ct_state second-pass rules
+    bool use_vlan = true;      // VLAN-tagged traffic + vlan_tci-matching rules
+    bool use_geneve = true;    // Geneve-encapsulated frames (outer 5-tuple fwd)
+    bool use_icmp = true;      // echo + ICMP errors citing earlier flows
+    bool use_malformed = true; // corpus from net::malform()
+    std::uint32_t malformed_percent = 8;
+    bool use_meters = false; // meter actions (explained divergence on eBPF)
+};
+
+// Generates a random but eBPF-conscious ruleset: most rules match only
+// in_port + 5-tuple dimensions (comparable across all three datapaths);
+// a few deliberately match vlan_tci/dl_type to exercise the explained
+// "ebpf-key-dimensions" path.
+DiffRuleset generate_ruleset(sim::Rng& rng, const FuzzConfig& cfg);
+
+// Generates `count` frames over cfg.n_flows tuples: UDP, TCP with
+// SYN/ACK/RST cycles, ARP, VLAN-tagged, Geneve-encapsulated, ICMP echo,
+// ICMP errors citing earlier packets, and malformed variants.
+std::vector<DiffPacket> generate_packets(sim::Rng& rng, const FuzzConfig& cfg,
+                                         std::size_t count);
+
+// One full fuzz iteration: derive ruleset + packets from `seed`, run the
+// differential harness, return its report.
+DiffReport fuzz_run(std::uint64_t seed, const FuzzConfig& cfg, std::size_t count);
+
+} // namespace ovsx::gen

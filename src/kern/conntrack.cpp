@@ -1,5 +1,9 @@
 #include "kern/conntrack.h"
 
+#include <algorithm>
+
+#include "net/headers.h"
+
 namespace ovsx::kern {
 
 CtResult Conntrack::process(net::Packet& pkt, const net::FlowKey& key, std::uint16_t zone,
@@ -23,6 +27,25 @@ CtResult Conntrack::process(net::Packet& pkt, const net::FlowKey& key, std::uint
     if (key.nw_proto != 6 && key.nw_proto != 17 && key.nw_proto != 1) return finish_invalid();
     if (key.nw_frag & net::kFragLater) return finish_invalid();
 
+    // ICMP errors are RELATED to the connection their payload cites
+    // (dest-unreachable for a tracked UDP flow, etc.); an error citing
+    // nothing we track is invalid.
+    if (key.nw_proto == 1 && net::icmp_type_is_error(key.icmp_type)) {
+        const net::IcmpInnerTuple inner = net::parse_icmp_inner(pkt);
+        if (!inner.valid) return finish_invalid();
+        const CtTuple cited{inner.src, inner.dst, inner.sport, inner.dport, inner.proto, zone};
+        auto rel = index_.find(cited);
+        if (rel == index_.end()) return finish_invalid();
+        CtEntry& e = conns_[rel->second];
+        res.state |= net::kCtStateRelated;
+        res.entry = &e;
+        pkt.meta().ct_state = res.state;
+        pkt.meta().ct_zone = zone;
+        pkt.meta().ct_mark = e.mark;
+        return res;
+    }
+
+    const bool is_rst = key.nw_proto == 6 && (key.tcp_flags & net::kTcpRst) != 0;
     const CtTuple tuple = CtTuple::from_key(key, zone);
     auto idx = index_.find(tuple);
     if (idx != index_.end()) {
@@ -37,6 +60,16 @@ CtResult Conntrack::process(net::Packet& pkt, const net::FlowKey& key, std::uint
         e.packets++;
         e.last_seen = now;
         res.entry = &e;
+        if (is_rst) {
+            // RST tears the connection down: the next SYN on this tuple
+            // starts a fresh NEW connection.
+            pkt.meta().ct_mark = e.mark;
+            erase_entry(idx->second);
+            res.entry = nullptr;
+        }
+    } else if (is_rst) {
+        // RST for a connection we never saw: untrackable.
+        return finish_invalid();
     } else {
         // New connection.
         auto& count = zone_counts_[zone];
@@ -102,6 +135,29 @@ const CtEntry* Conntrack::find(const CtTuple& tuple) const
     if (idx == index_.end()) return nullptr;
     auto it = conns_.find(idx->second);
     return it == conns_.end() ? nullptr : &it->second;
+}
+
+void Conntrack::erase_entry(std::uint64_t id)
+{
+    auto it = conns_.find(id);
+    if (it == conns_.end()) return;
+    const CtTuple& orig = it->second.orig;
+    index_.erase(orig);
+    index_.erase(orig.reversed());
+    auto& count = zone_counts_[orig.zone];
+    if (count > 0) --count;
+    conns_.erase(it);
+}
+
+std::vector<CtSnapshotEntry> Conntrack::snapshot() const
+{
+    std::vector<CtSnapshotEntry> out;
+    out.reserve(conns_.size());
+    for (const auto& [id, e] : conns_) {
+        out.push_back({e.orig, e.confirmed, e.seen_reply, e.packets});
+    }
+    std::sort(out.begin(), out.end());
+    return out;
 }
 
 } // namespace ovsx::kern

@@ -10,7 +10,9 @@
 
 #include <cstdint>
 #include <optional>
+#include <tuple>
 #include <unordered_map>
+#include <vector>
 
 #include "net/flow.h"
 #include "net/packet.h"
@@ -50,6 +52,27 @@ struct CtTuple {
             return static_cast<std::size_t>(h);
         }
     };
+
+    friend bool operator<(const CtTuple& a, const CtTuple& b)
+    {
+        return std::tie(a.zone, a.src, a.dst, a.sport, a.dport, a.proto) <
+               std::tie(b.zone, b.src, b.dst, b.sport, b.dport, b.proto);
+    }
+};
+
+// Implementation-neutral view of one tracked connection, used by the
+// differential harness to diff conntrack tables across datapaths.
+struct CtSnapshotEntry {
+    CtTuple orig;
+    bool confirmed = false;
+    bool seen_reply = false;
+    std::uint64_t packets = 0;
+
+    friend bool operator==(const CtSnapshotEntry&, const CtSnapshotEntry&) = default;
+    friend bool operator<(const CtSnapshotEntry& a, const CtSnapshotEntry& b)
+    {
+        return a.orig < b.orig;
+    }
 };
 
 struct CtEntry {
@@ -102,7 +125,13 @@ public:
     // direction of the connection.
     const CtEntry* find(const CtTuple& tuple) const;
 
+    // Deterministically ordered view of every tracked connection, for
+    // cross-datapath state diffing.
+    std::vector<CtSnapshotEntry> snapshot() const;
+
 private:
+    void erase_entry(std::uint64_t id);
+
     const sim::CostModel& costs_;
     // Both tuple directions index into one connection entry.
     std::unordered_map<CtTuple, std::uint64_t, CtTuple::Hash> index_;

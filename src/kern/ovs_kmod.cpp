@@ -276,7 +276,7 @@ void OvsKernelDatapath::execute(net::Packet&& pkt, const OdpActions& actions,
             break;
         case OdpAction::Type::Ct: {
             const net::FlowKey key = net::parse_flow(pkt);
-            kernel_.conntrack().process(pkt, key, act.ct.zone, act.ct.commit, ctx);
+            kernel_.conntrack().process(pkt, key, act.ct.zone, act.ct.commit, ctx, now_);
             break;
         }
         case OdpAction::Type::Recirc: {
@@ -301,8 +301,12 @@ void OvsKernelDatapath::execute(net::Packet&& pkt, const OdpActions& actions,
             return;
         }
         case OdpAction::Type::Meter:
-            // The kernel datapath's meter: charged but never dropping in
-            // this model (benches do not exercise kernel meters).
+            // Token-bucket policing, same semantics as the userspace
+            // datapath (kern/meter.h).
+            if (!meters_.admit(act.meter_id, pkt.size(), now_)) {
+                --recursion_;
+                return;
+            }
             break;
         case OdpAction::Type::Userspace:
             if (upcall_) {

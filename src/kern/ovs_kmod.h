@@ -13,9 +13,11 @@
 #include <vector>
 
 #include "kern/device.h"
+#include "kern/meter.h"
 #include "kern/odp.h"
 #include "net/flow.h"
 #include "net/tunnel.h"
+#include "sim/time.h"
 
 namespace ovsx::kern {
 
@@ -62,6 +64,15 @@ public:
 
     void set_upcall_handler(UpcallHandler handler) { upcall_ = std::move(handler); }
 
+    // ---- meters / virtual time ------------------------------------------
+    MeterTable& meters() { return meters_; }
+    const MeterTable& meters() const { return meters_; }
+
+    // Virtual clock used for meter refill and conntrack timestamps, the
+    // same convention as DpifNetdev::set_now.
+    void set_now(sim::Nanos now) { now_ = now; }
+    sim::Nanos now() const { return now_; }
+
     // ---- datapath ---------------------------------------------------------------
     // Ingress entry (wired as the rx handler of every device port).
     void receive(std::uint32_t port_no, net::Packet&& pkt, sim::ExecContext& ctx);
@@ -105,6 +116,8 @@ private:
     std::uint64_t misses_ = 0;
     std::uint64_t lost_ = 0;
     int recursion_ = 0;
+    MeterTable meters_;
+    sim::Nanos now_ = 0;
 };
 
 } // namespace ovsx::kern

@@ -1,5 +1,6 @@
 #include "net/builder.h"
 
+#include <cstdint>
 #include <cstring>
 
 #include "net/checksum.h"
@@ -141,18 +142,26 @@ void refresh_ipv4_csum(Packet& pkt, std::size_t l3_off)
 {
     auto* ip = pkt.try_header_at<Ipv4Header>(l3_off);
     if (!ip) return;
+    const std::size_t ihl = static_cast<std::size_t>(ip->ihl_bytes());
+    // A corrupt IHL can claim a header extending past the frame; summing
+    // it would read tailroom bytes, whose content depends on which rx
+    // path carried the packet.
+    if (ihl > pkt.size() - l3_off) return;
     ip->csum_be = 0;
-    ip->csum_be = host_to_be16(
-        internet_checksum({pkt.data() + l3_off, static_cast<std::size_t>(ip->ihl_bytes())}));
+    ip->csum_be = host_to_be16(internet_checksum({pkt.data() + l3_off, ihl}));
 }
 
 void refresh_l4_csum(Packet& pkt, std::size_t l3_off)
 {
     auto* ip = pkt.try_header_at<Ipv4Header>(l3_off);
     if (!ip) return;
-    const std::size_t l4 = l3_off + static_cast<std::size_t>(ip->ihl_bytes());
-    const std::size_t l4_len = ip->total_len() - static_cast<std::size_t>(ip->ihl_bytes());
-    if (l4 + l4_len > pkt.size()) return;
+    const std::size_t ihl = static_cast<std::size_t>(ip->ihl_bytes());
+    // A corrupt header can claim ihl > total_len; the subtraction below
+    // would wrap and defeat the bounds check.
+    if (ip->total_len() < ihl) return;
+    const std::size_t l4 = l3_off + ihl;
+    const std::size_t l4_len = ip->total_len() - ihl;
+    if (l4 > pkt.size() || l4_len > pkt.size() - l4) return;
     if (ip->proto == static_cast<std::uint8_t>(IpProto::Udp)) {
         auto* udp = pkt.header_at<UdpHeader>(l4);
         udp->csum_be = 0;
@@ -166,13 +175,233 @@ void refresh_l4_csum(Packet& pkt, std::size_t l3_off)
     }
 }
 
+Packet build_icmp(const IcmpSpec& spec)
+{
+    const std::size_t l2_len = sizeof(EthernetHeader);
+    const std::size_t l4_len = sizeof(IcmpHeader) + spec.payload_len;
+    const std::size_t ip_len = sizeof(Ipv4Header) + l4_len;
+    Packet pkt(l2_len + ip_len);
+
+    const std::size_t l3 = write_l2(pkt, spec.src_mac, spec.dst_mac, EtherType::Ipv4, 0);
+    write_ipv4(pkt, l3, spec.src_ip, spec.dst_ip, IpProto::Icmp,
+               static_cast<std::uint16_t>(ip_len), spec.ttl, 0);
+
+    const std::size_t l4 = l3 + sizeof(Ipv4Header);
+    auto* icmp = pkt.header_at<IcmpHeader>(l4);
+    icmp->type = spec.type;
+    icmp->code = spec.code;
+    icmp->csum_be = 0;
+    icmp->rest_be = host_to_be32(spec.rest);
+
+    auto* payload = pkt.data() + l4 + sizeof(IcmpHeader);
+    for (std::size_t i = 0; i < spec.payload_len; ++i) {
+        payload[i] = static_cast<std::uint8_t>(0x10 + (i & 0x3f));
+    }
+    icmp->csum_be = host_to_be16(internet_checksum({pkt.data() + l4, l4_len}));
+    return pkt;
+}
+
+namespace {
+
+// Offset of the (outermost) IPv4 header, or npos for non-IPv4 frames.
+std::size_t ipv4_offset(const Packet& pkt)
+{
+    const auto* eth = pkt.try_header_at<EthernetHeader>(0);
+    if (!eth) return SIZE_MAX;
+    std::size_t l3 = sizeof(EthernetHeader);
+    std::uint16_t type = eth->ether_type();
+    if (type == static_cast<std::uint16_t>(EtherType::Vlan)) {
+        const auto* vlan = pkt.try_header_at<VlanHeader>(l3);
+        if (!vlan) return SIZE_MAX;
+        type = vlan->ether_type();
+        l3 += sizeof(VlanHeader);
+    }
+    if (type != static_cast<std::uint16_t>(EtherType::Ipv4)) return SIZE_MAX;
+    return l3;
+}
+
+} // namespace
+
+Packet build_icmp_error(const IcmpSpec& spec, const Packet& original)
+{
+    const std::size_t orig_l3 = ipv4_offset(original);
+    if (orig_l3 > original.size()) return Packet(0);
+    const auto* orig_ip = original.try_header_at<Ipv4Header>(orig_l3);
+    if (!orig_ip || orig_ip->version() != 4) return Packet(0);
+
+    // Cite the inner IPv4 header + 8 bytes of L4, clamped to the frame.
+    const std::size_t cite_want =
+        static_cast<std::size_t>(orig_ip->ihl_bytes()) + 8;
+    const std::size_t avail = original.size() - orig_l3;
+    const std::size_t cite = cite_want < avail ? cite_want : avail;
+
+    const std::size_t l2_len = sizeof(EthernetHeader);
+    const std::size_t l4_len = sizeof(IcmpHeader) + cite;
+    const std::size_t ip_len = sizeof(Ipv4Header) + l4_len;
+    Packet pkt(l2_len + ip_len);
+
+    const std::size_t l3 = write_l2(pkt, spec.src_mac, spec.dst_mac, EtherType::Ipv4, 0);
+    write_ipv4(pkt, l3, spec.src_ip, spec.dst_ip, IpProto::Icmp,
+               static_cast<std::uint16_t>(ip_len), spec.ttl, 0);
+
+    const std::size_t l4 = l3 + sizeof(Ipv4Header);
+    auto* icmp = pkt.header_at<IcmpHeader>(l4);
+    icmp->type = spec.type;
+    icmp->code = spec.code;
+    icmp->csum_be = 0;
+    icmp->rest_be = host_to_be32(spec.rest);
+    std::memcpy(pkt.data() + l4 + sizeof(IcmpHeader), original.data() + orig_l3, cite);
+    icmp->csum_be = host_to_be16(internet_checksum({pkt.data() + l4, l4_len}));
+    return pkt;
+}
+
+const char* to_string(Malformation m)
+{
+    switch (m) {
+    case Malformation::TruncateEth: return "truncate-eth";
+    case Malformation::TruncateIp: return "truncate-ip";
+    case Malformation::TruncateL4: return "truncate-l4";
+    case Malformation::BadIhlSmall: return "bad-ihl-small";
+    case Malformation::BadIhlLarge: return "bad-ihl-large";
+    case Malformation::IpTotalLenOverrun: return "ip-total-len-overrun";
+    case Malformation::IpTotalLenUnderrun: return "ip-total-len-underrun";
+    case Malformation::GeneveOptLenOverrun: return "geneve-opt-len-overrun";
+    case Malformation::GeneveInnerTruncated: return "geneve-inner-truncated";
+    }
+    return "?";
+}
+
+std::span<const Malformation> all_malformations()
+{
+    static const Malformation kAll[] = {
+        Malformation::TruncateEth,         Malformation::TruncateIp,
+        Malformation::TruncateL4,          Malformation::BadIhlSmall,
+        Malformation::BadIhlLarge,         Malformation::IpTotalLenOverrun,
+        Malformation::IpTotalLenUnderrun,  Malformation::GeneveOptLenOverrun,
+        Malformation::GeneveInnerTruncated};
+    return kAll;
+}
+
+namespace {
+
+// Offset of the Geneve header for an (un-VLAN-tagged) Eth/IPv4/UDP:6081
+// frame, or SIZE_MAX.
+std::size_t geneve_offset(const Packet& pkt)
+{
+    const std::size_t l3 = ipv4_offset(pkt);
+    if (l3 > pkt.size()) return SIZE_MAX;
+    const auto* ip = pkt.try_header_at<Ipv4Header>(l3);
+    if (!ip || ip->version() != 4 || ip->ihl_bytes() < 20 ||
+        ip->proto != static_cast<std::uint8_t>(IpProto::Udp)) {
+        return SIZE_MAX;
+    }
+    const std::size_t l4 = l3 + static_cast<std::size_t>(ip->ihl_bytes());
+    const auto* udp = pkt.try_header_at<UdpHeader>(l4);
+    if (!udp || udp->dst() != kGenevePort) return SIZE_MAX;
+    const std::size_t gnv = l4 + sizeof(UdpHeader);
+    if (gnv + sizeof(GeneveHeader) > pkt.size()) return SIZE_MAX;
+    return gnv;
+}
+
+} // namespace
+
+bool malform(Packet& pkt, Malformation m)
+{
+    const std::size_t l3 = ipv4_offset(pkt);
+    auto* ip = l3 <= pkt.size() ? pkt.try_header_at<Ipv4Header>(l3) : nullptr;
+
+    switch (m) {
+    case Malformation::TruncateEth:
+        if (pkt.size() < sizeof(EthernetHeader)) return false;
+        pkt.truncate(sizeof(EthernetHeader) - 4);
+        return true;
+    case Malformation::TruncateIp:
+        if (!ip) return false;
+        pkt.truncate(l3 + sizeof(Ipv4Header) / 2);
+        return true;
+    case Malformation::TruncateL4: {
+        if (!ip || ip->ihl_bytes() < 20) return false;
+        const std::size_t l4 = l3 + static_cast<std::size_t>(ip->ihl_bytes());
+        if (l4 + 4 > pkt.size()) return false;
+        pkt.truncate(l4 + 2); // keeps 2 bytes: less than any L4 header
+        return true;
+    }
+    case Malformation::BadIhlSmall:
+        if (!ip) return false;
+        ip->ver_ihl = 0x43; // IHL = 3 words = 12 bytes < minimum 20
+        return true;
+    case Malformation::BadIhlLarge:
+        if (!ip) return false;
+        ip->ver_ihl = 0x4f; // IHL = 15 words = 60 bytes of header
+        return true;
+    case Malformation::IpTotalLenOverrun:
+        if (!ip) return false;
+        ip->set_total_len(static_cast<std::uint16_t>(pkt.size() - l3 + 64));
+        refresh_ipv4_csum(pkt, l3);
+        return true;
+    case Malformation::IpTotalLenUnderrun:
+        if (!ip) return false;
+        ip->set_total_len(sizeof(Ipv4Header) + 2); // shorter than any L4
+        refresh_ipv4_csum(pkt, l3);
+        return true;
+    case Malformation::GeneveOptLenOverrun: {
+        const std::size_t gnv = geneve_offset(pkt);
+        if (gnv == SIZE_MAX) return false;
+        auto* g = pkt.header_at<GeneveHeader>(gnv);
+        g->ver_optlen = static_cast<std::uint8_t>((g->ver_optlen & 0xc0) | 0x3f);
+        return true;
+    }
+    case Malformation::GeneveInnerTruncated: {
+        const std::size_t gnv = geneve_offset(pkt);
+        if (gnv == SIZE_MAX) return false;
+        const auto* g = pkt.header_at<GeneveHeader>(gnv);
+        const std::size_t inner =
+            gnv + sizeof(GeneveHeader) + static_cast<std::size_t>(g->opt_len_bytes());
+        if (inner + sizeof(EthernetHeader) > pkt.size()) return false;
+        pkt.truncate(inner + sizeof(EthernetHeader) / 2); // cut mid-inner-Ethernet
+        return true;
+    }
+    }
+    return false;
+}
+
+Packet with_ip_options(const Packet& pkt, std::size_t extra)
+{
+    if (extra == 0 || extra > 40 || extra % 4 != 0) return Packet(0);
+    const std::size_t l3 = ipv4_offset(pkt);
+    if (l3 > pkt.size()) return Packet(0);
+    const auto* ip = pkt.try_header_at<Ipv4Header>(l3);
+    if (!ip || ip->version() != 4 || ip->ihl_bytes() != 20) return Packet(0);
+    if (l3 + sizeof(Ipv4Header) > pkt.size()) return Packet(0);
+
+    Packet out(pkt.size() + extra);
+    out.meta() = pkt.meta();
+    const std::size_t fixed_end = l3 + sizeof(Ipv4Header);
+    std::memcpy(out.data(), pkt.data(), fixed_end);
+    std::memset(out.data() + fixed_end, 0x01, extra); // NOP options
+    std::memcpy(out.data() + fixed_end + extra, pkt.data() + fixed_end,
+                pkt.size() - fixed_end);
+
+    auto* oip = out.header_at<Ipv4Header>(l3);
+    oip->ver_ihl = static_cast<std::uint8_t>(0x40 | (5 + extra / 4));
+    oip->set_total_len(static_cast<std::uint16_t>(ip->total_len() + extra));
+    refresh_ipv4_csum(out, l3);
+    // L4 checksum is unaffected: the pseudo-header covers addresses and
+    // protocol only, and the L4 bytes themselves did not change.
+    return out;
+}
+
 bool verify_l4_csum(const Packet& pkt, std::size_t l3_off)
 {
     const auto* ip = pkt.try_header_at<Ipv4Header>(l3_off);
     if (!ip) return false;
-    const std::size_t l4 = l3_off + static_cast<std::size_t>(ip->ihl_bytes());
-    const std::size_t l4_len = ip->total_len() - static_cast<std::size_t>(ip->ihl_bytes());
-    if (l4 + l4_len > pkt.size()) return false;
+    const std::size_t ihl = static_cast<std::size_t>(ip->ihl_bytes());
+    // Guard the subtraction: a corrupt header claiming ihl > total_len
+    // would wrap l4_len and defeat the bounds check below.
+    if (ip->total_len() < ihl) return false;
+    const std::size_t l4 = l3_off + ihl;
+    const std::size_t l4_len = ip->total_len() - ihl;
+    if (l4 > pkt.size() || l4_len > pkt.size() - l4) return false;
     if (ip->proto != static_cast<std::uint8_t>(IpProto::Udp) &&
         ip->proto != static_cast<std::uint8_t>(IpProto::Tcp)) {
         return true;

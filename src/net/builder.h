@@ -1,7 +1,9 @@
-// Convenience constructors for well-formed test/workload packets.
+// Convenience constructors for well-formed test/workload packets, plus a
+// malformed-frame corpus for fuzzing parser/datapath robustness.
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "net/addr.h"
 #include "net/packet.h"
@@ -57,5 +59,60 @@ void refresh_l4_csum(Packet& pkt, std::size_t l3_off);
 // Verifies the L4 checksum of an IPv4 TCP/UDP frame. Returns true when
 // valid (or when the protocol carries no checksum).
 bool verify_l4_csum(const Packet& pkt, std::size_t l3_off);
+
+struct IcmpSpec {
+    MacAddr src_mac;
+    MacAddr dst_mac;
+    std::uint32_t src_ip = 0;
+    std::uint32_t dst_ip = 0;
+    std::uint8_t type = 8; // echo request
+    std::uint8_t code = 0;
+    std::uint32_t rest = 0; // id/seq for echo, unused/gateway for errors
+    std::size_t payload_len = 32;
+    std::uint8_t ttl = 64;
+};
+
+// Builds a complete Ethernet/IPv4/ICMP frame with valid checksums.
+Packet build_icmp(const IcmpSpec& spec);
+
+// Builds an ICMP *error* citing `original`: the ICMP payload is the
+// original frame's IPv4 header plus the first 8 bytes of its L4 header,
+// as RFC 792 requires. `spec.type` should be an error type (3/5/11/...).
+// `original` must be an IPv4 frame; returns an empty packet otherwise.
+Packet build_icmp_error(const IcmpSpec& spec, const Packet& original);
+
+// ---- malformed-frame corpus -------------------------------------------
+//
+// Each Malformation is a deterministic in-place corruption of a
+// well-formed frame, covering the truncation/length-confusion classes a
+// datapath parser must survive (and that the three dpifs must agree on).
+enum class Malformation {
+    TruncateEth,         // cut mid-Ethernet header (frame < 14 bytes)
+    TruncateIp,          // cut mid-IPv4 header
+    TruncateL4,          // IPv4 intact, L4 header cut short
+    BadIhlSmall,         // IHL < 5 (header shorter than minimum)
+    BadIhlLarge,         // IHL claims options beyond the frame end
+    IpTotalLenOverrun,   // total_len larger than the frame
+    IpTotalLenUnderrun,  // total_len smaller than the headers need
+    GeneveOptLenOverrun, // Geneve opt_len points past the frame
+    GeneveInnerTruncated // outer headers intact, inner frame cut short
+};
+
+const char* to_string(Malformation m);
+
+// All corpus entries, for iteration in tests and fuzzers.
+std::span<const Malformation> all_malformations();
+
+// Applies `m` to `pkt` in place. Returns false (packet untouched) when
+// the frame's shape does not admit the malformation — e.g. a Geneve
+// corruption on a non-Geneve frame.
+bool malform(Packet& pkt, Malformation m);
+
+// Returns a copy of `pkt` (an IPv4 frame) with `extra` bytes of NOP IP
+// options inserted after the fixed header; IHL, total_len and both
+// checksums are fixed up so the result is well-formed. `extra` must be a
+// non-zero multiple of 4 and at most 40; returns an empty packet when
+// the input is not IPv4 or `extra` is out of range.
+Packet with_ip_options(const Packet& pkt, std::size_t extra);
 
 } // namespace ovsx::net

@@ -232,4 +232,41 @@ HeaderOffsets locate_headers(const Packet& pkt)
     return off;
 }
 
+bool icmp_type_is_error(std::uint8_t type)
+{
+    // Destination unreachable, source quench, redirect, time exceeded,
+    // parameter problem — the types RFC 792 defines as citing a datagram.
+    return type == 3 || type == 4 || type == 5 || type == 11 || type == 12;
+}
+
+IcmpInnerTuple parse_icmp_inner(const Packet& pkt)
+{
+    IcmpInnerTuple t;
+    const HeaderOffsets off = locate_headers(pkt);
+    if (off.l4 < 0 || off.nw_proto != static_cast<std::uint8_t>(IpProto::Icmp)) return t;
+    const auto l4 = static_cast<std::size_t>(off.l4);
+    const auto* icmp = pkt.try_header_at<IcmpHeader>(l4);
+    if (!icmp || !icmp_type_is_error(icmp->type)) return t;
+
+    const std::size_t inner_l3 = l4 + sizeof(IcmpHeader);
+    const auto* ip = pkt.try_header_at<Ipv4Header>(inner_l3);
+    if (!ip || ip->version() != 4 || ip->ihl_bytes() < 20) return t;
+    if (ip->proto != static_cast<std::uint8_t>(IpProto::Tcp) &&
+        ip->proto != static_cast<std::uint8_t>(IpProto::Udp)) {
+        return t;
+    }
+    const std::size_t inner_l4 = inner_l3 + static_cast<std::size_t>(ip->ihl_bytes());
+    // RFC 792 guarantees at least 8 bytes of the original L4 header,
+    // enough for the port pair of either TCP or UDP.
+    if (inner_l4 + 8 > pkt.size()) return t;
+    const std::uint8_t* p = pkt.data() + inner_l4;
+    t.src = ip->src();
+    t.dst = ip->dst();
+    t.sport = static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+    t.dport = static_cast<std::uint16_t>((p[2] << 8) | p[3]);
+    t.proto = ip->proto;
+    t.valid = true;
+    return t;
+}
+
 } // namespace ovsx::net

@@ -120,4 +120,30 @@ struct HeaderOffsets {
 };
 HeaderOffsets locate_headers(const Packet& pkt);
 
+// ---- ICMP "related" classification helpers ----------------------------
+//
+// ICMP error messages (destination unreachable, redirect, time exceeded,
+// ...) embed the offending datagram: inner IPv4 header + at least the
+// first 8 bytes of its L4 header. Conntrack uses that embedded tuple to
+// classify the error as RELATED to an existing connection.
+
+// True for ICMP types that cite an original datagram.
+bool icmp_type_is_error(std::uint8_t type);
+
+// The 5-tuple extracted from an ICMP error payload, in the *original*
+// direction of the cited datagram (as sent by the erroring host's peer).
+struct IcmpInnerTuple {
+    std::uint32_t src = 0;
+    std::uint32_t dst = 0;
+    std::uint16_t sport = 0;
+    std::uint16_t dport = 0;
+    std::uint8_t proto = 0;
+    bool valid = false;
+};
+
+// Parses the inner tuple out of an ICMP error frame. `valid` is false
+// when the packet is not an ICMP error or the embedded datagram is too
+// short / not TCP/UDP.
+IcmpInnerTuple parse_icmp_inner(const Packet& pkt);
+
 } // namespace ovsx::net

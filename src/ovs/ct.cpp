@@ -1,6 +1,9 @@
 #include "ovs/ct.h"
 
+#include <algorithm>
+
 #include "net/flow.h"
+#include "net/headers.h"
 #include "net/rewrite.h"
 
 namespace ovsx::ovs {
@@ -26,10 +29,26 @@ std::uint8_t UserspaceConntrack::process(net::Packet& pkt, const net::FlowKey& k
         return finish(state | net::kCtStateInvalid);
     }
 
+    // ICMP errors are RELATED to the connection their payload cites;
+    // errors citing nothing we track are invalid. Mirrors
+    // kern::Conntrack::process so all datapaths classify identically.
+    if (key.nw_proto == 1 && net::icmp_type_is_error(key.icmp_type)) {
+        const net::IcmpInnerTuple inner = net::parse_icmp_inner(pkt);
+        if (!inner.valid) return finish(state | net::kCtStateInvalid);
+        const CtTuple cited{inner.src, inner.dst, inner.sport, inner.dport, inner.proto,
+                            spec.zone};
+        auto rel = index_.find(cited);
+        if (rel == index_.end()) return finish(state | net::kCtStateInvalid);
+        pkt.meta().ct_mark = conns_[rel->second].mark;
+        return finish(state | net::kCtStateRelated);
+    }
+
+    const bool is_rst = key.nw_proto == 6 && (key.tcp_flags & net::kTcpRst) != 0;
     const CtTuple tuple = CtTuple::from_key(key, spec.zone);
     auto idx = index_.find(tuple);
     if (idx != index_.end()) {
-        UserCtEntry& e = conns_[idx->second];
+        const std::uint64_t id = idx->second;
+        UserCtEntry& e = conns_[id];
         const bool is_reply = (tuple == e.reply) && !(e.reply == e.orig);
         if (is_reply) {
             e.seen_reply = true;
@@ -42,7 +61,15 @@ std::uint8_t UserspaceConntrack::process(net::Packet& pkt, const net::FlowKey& k
         e.last_seen = now;
         pkt.meta().ct_mark = e.mark;
         if (e.nat) apply_nat(pkt, e, is_reply, ctx);
+        if (is_rst) {
+            // RST tears the connection down; the next SYN starts NEW.
+            erase_entry(id);
+        }
         return finish(state);
+    }
+    if (is_rst) {
+        // RST for a connection we never saw: untrackable.
+        return finish(state | net::kCtStateInvalid);
     }
 
     // New connection.
@@ -177,6 +204,28 @@ bool UserspaceConntrack::set_mark(const CtTuple& tuple, std::uint32_t mark)
     if (idx == index_.end()) return false;
     conns_[idx->second].mark = mark;
     return true;
+}
+
+void UserspaceConntrack::erase_entry(std::uint64_t id)
+{
+    auto it = conns_.find(id);
+    if (it == conns_.end()) return;
+    index_.erase(it->second.orig);
+    index_.erase(it->second.reply);
+    auto& count = zone_counts_[it->second.orig.zone];
+    if (count > 0) --count;
+    conns_.erase(it);
+}
+
+std::vector<kern::CtSnapshotEntry> UserspaceConntrack::snapshot() const
+{
+    std::vector<kern::CtSnapshotEntry> out;
+    out.reserve(conns_.size());
+    for (const auto& [id, e] : conns_) {
+        out.push_back({e.orig, e.confirmed, e.seen_reply, e.packets});
+    }
+    std::sort(out.begin(), out.end());
+    return out;
 }
 
 } // namespace ovsx::ovs

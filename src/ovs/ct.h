@@ -10,8 +10,9 @@
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
-#include "kern/conntrack.h" // CtTuple
+#include "kern/conntrack.h" // CtTuple, CtSnapshotEntry
 #include "kern/odp.h"       // CtSpec
 #include "net/packet.h"
 #include "sim/context.h"
@@ -65,7 +66,14 @@ public:
     // Sets the mark on the connection matching `tuple` (ct_mark action).
     bool set_mark(const CtTuple& tuple, std::uint32_t mark);
 
+    // Deterministically ordered view of every tracked connection, shaped
+    // identically to kern::Conntrack::snapshot() so the differential
+    // harness can diff the two tables directly.
+    std::vector<kern::CtSnapshotEntry> snapshot() const;
+
 private:
+    void erase_entry(std::uint64_t id);
+
     void apply_nat(net::Packet& pkt, const UserCtEntry& entry, bool is_reply,
                    sim::ExecContext& ctx);
 

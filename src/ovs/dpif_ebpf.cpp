@@ -31,6 +31,10 @@ Program build_tc_program(MapPtr flow_map, MapPtr result_map)
         .jgt_reg(R4, R3, "miss");
     b.ldxh(R5, R2, kOffEthType).jne_imm(R5, kEthIpv4LE, "miss");
     b.ldxb(R5, R2, kOffIp).rsh_imm(R5, 4).jne_imm(R5, 4, "miss");
+    // IHL must be exactly 5: the key loads ports at the fixed kOffL4
+    // offset, so an options-bearing header would alias option bytes into
+    // the port fields and hit the wrong flow. Send those to the slow path.
+    b.ldxb(R5, R2, kOffIp).and_imm(R5, 0x0f).jne_imm(R5, 5, "miss");
 
     // Zero the 20-byte key slot [-24, -4).
     b.stdw(R10, -24, 0).stdw(R10, -16, 0).stw(R10, -8, 0);
@@ -107,6 +111,11 @@ void DpifEbpf::flow_put(const net::FlowKey& key, const net::FlowMask& mask,
     ek.dport = net::host_to_be16(key.tp_dst);
     ek.proto = key.nw_proto;
 
+    // Re-putting an existing key replaces the map entry; drop the old
+    // action shadow so flows_ and the map stay 1:1.
+    if (const auto old = flow_map_->lookup_kv<std::uint32_t>(ek)) {
+        flows_.erase(*old);
+    }
     const std::uint32_t flow_id = next_flow_id_++;
     flows_[flow_id] = std::move(actions);
     flow_map_->update({reinterpret_cast<const std::uint8_t*>(&ek), sizeof ek},
@@ -200,7 +209,7 @@ void DpifEbpf::execute(net::Packet&& pkt, const kern::OdpActions& actions,
         case Type::Ct: {
             // eBPF conntrack via maps — functional but charged at eBPF cost.
             const net::FlowKey key = net::parse_flow(pkt);
-            kernel_.conntrack().process(pkt, key, act.ct.zone, act.ct.commit, ctx);
+            kernel_.conntrack().process(pkt, key, act.ct.zone, act.ct.commit, ctx, now_);
             ctx.charge(static_cast<sim::Nanos>(120.0 * kernel_.costs().ebpf_insn));
             break;
         }

@@ -17,9 +17,11 @@
 #include <map>
 #include <memory>
 
+#include "ebpf/map.h"
 #include "ebpf/program.h"
 #include "kern/device.h"
 #include "ovs/dpif.h"
+#include "sim/time.h"
 
 namespace ovsx::ovs {
 
@@ -51,6 +53,16 @@ public:
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
 
+    // Virtual clock forwarded to conntrack (same convention as
+    // DpifNetdev::set_now / OvsKernelDatapath::set_now).
+    void set_now(sim::Nanos now) { now_ = now; }
+    sim::Nanos now() const { return now_; }
+
+    // Introspection for the differential harness: the in-map flow table
+    // and its userspace action shadow must stay consistent.
+    const ebpf::Map& flow_map() const { return *flow_map_; }
+    const std::map<std::uint32_t, kern::OdpActions>& flows() const { return flows_; }
+
     // TC-hook entry (wired as the device rx handler).
     void receive(std::uint32_t port_no, net::Packet&& pkt, sim::ExecContext& ctx);
 
@@ -81,6 +93,7 @@ private:
     UpcallHandler upcall_;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
+    sim::Nanos now_ = 0;
 };
 
 } // namespace ovsx::ovs

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "gen/ct_corpus.h"
 #include "kern/conntrack.h"
 #include "net/headers.h"
 #include "net/builder.h"
@@ -157,6 +158,73 @@ TEST_F(ConntrackTest, MetadataWrittenToPacket)
     run(p, 7, true);
     EXPECT_EQ(p.meta().ct_zone, 7);
     EXPECT_TRUE(p.meta().ct_state & net::kCtStateTracked);
+}
+
+TEST_F(ConntrackTest, RstMidHandshakeTearsDownEntry)
+{
+    auto seq = gen::ct_rst_mid_handshake();
+    auto r1 = run(seq[0], 0, true); // SYN
+    EXPECT_TRUE(r1.state & net::kCtStateNew);
+    EXPECT_EQ(ct.size(), 1u);
+
+    auto r2 = run(seq[1], 0, false); // RST from the server
+    EXPECT_TRUE(r2.state & net::kCtStateReply);
+    EXPECT_EQ(ct.size(), 0u); // entry gone
+
+    auto r3 = run(seq[2], 0, true); // fresh SYN on the same tuple
+    EXPECT_TRUE(r3.state & net::kCtStateNew);
+    EXPECT_FALSE(r3.state & net::kCtStateEstablished);
+    EXPECT_EQ(ct.size(), 1u);
+}
+
+TEST_F(ConntrackTest, RstOnUnknownTupleIsInvalid)
+{
+    auto p = packet(ipv4(9, 9, 9, 9), ipv4(8, 8, 8, 8), 5555, 80, net::kTcpRst);
+    auto r = run(p, 0, false);
+    EXPECT_TRUE(r.state & net::kCtStateInvalid);
+    EXPECT_EQ(ct.size(), 0u);
+}
+
+TEST_F(ConntrackTest, IcmpErrorRelatedToTrackedConnection)
+{
+    auto seq = gen::ct_icmp_related();
+    auto r1 = run(seq[0], 0, true); // the UDP datagram being cited
+    ASSERT_NE(r1.entry, nullptr);
+    const std::uint64_t pkts_before = r1.entry->packets;
+
+    auto r2 = run(seq[1], 0, false); // ICMP port-unreachable citing it
+    EXPECT_TRUE(r2.state & net::kCtStateRelated);
+    EXPECT_FALSE(r2.state & net::kCtStateNew);
+    EXPECT_FALSE(r2.state & net::kCtStateInvalid);
+    // Related errors must not bump the cited connection's counters.
+    const gen::CtCorpusTuple t;
+    const auto* e = ct.find(CtTuple{t.client_ip, t.server_ip, t.client_port, t.server_port, 17, 0});
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->packets, pkts_before);
+}
+
+TEST_F(ConntrackTest, IcmpErrorCitingUnknownTupleIsInvalid)
+{
+    auto p = gen::ct_icmp_unrelated();
+    auto r = run(p, 0, false);
+    EXPECT_TRUE(r.state & net::kCtStateInvalid);
+    EXPECT_FALSE(r.state & net::kCtStateRelated);
+}
+
+TEST_F(ConntrackTest, ExpiryUnderVirtualTime)
+{
+    auto p1 = packet(ipv4(1, 1, 1, 1), ipv4(2, 2, 2, 2), 1000, 80, net::kTcpSyn);
+    ct.process(p1, net::parse_flow(p1), 0, true, ctx, 1'000'000);
+    auto p2 = packet(ipv4(3, 3, 3, 3), ipv4(4, 4, 4, 4), 1001, 80, net::kTcpSyn);
+    ct.process(p2, net::parse_flow(p2), 0, true, ctx, 10'000'000);
+    EXPECT_EQ(ct.size(), 2u);
+
+    // Only the first connection is idle past the cutoff.
+    EXPECT_EQ(ct.expire_idle(5'000'000), 1u);
+    EXPECT_EQ(ct.size(), 1u);
+    EXPECT_EQ(ct.zone_count(0), 1u);
+    EXPECT_EQ(ct.expire_idle(20'000'000), 1u);
+    EXPECT_TRUE(ct.snapshot().empty());
 }
 
 } // namespace

@@ -3,8 +3,10 @@
 #include "net/addr.h"
 #include "net/builder.h"
 #include "net/checksum.h"
+#include "net/flow.h"
 #include "net/headers.h"
 #include "net/packet.h"
+#include "net/tunnel.h"
 
 namespace ovsx::net {
 namespace {
@@ -195,6 +197,145 @@ TEST(Builder, RewriteThenRefreshIpv4Csum)
     EXPECT_NE(internet_checksum({p.data() + 14, 20}), 0);
     refresh_ipv4_csum(p, 14);
     EXPECT_EQ(internet_checksum({p.data() + 14, 20}), 0);
+}
+
+// ---- malformed-frame corpus -------------------------------------------
+
+UdpSpec corpus_udp_spec()
+{
+    UdpSpec s;
+    s.src_mac = MacAddr::from_id(1);
+    s.dst_mac = MacAddr::from_id(2);
+    s.src_ip = ipv4(10, 0, 0, 1);
+    s.dst_ip = ipv4(10, 0, 0, 2);
+    s.src_port = 1000;
+    s.dst_port = 2000;
+    return s;
+}
+
+TEST(Malform, EveryCorpusEntryAppliesToSomeFrame)
+{
+    for (const Malformation m : all_malformations()) {
+        Packet plain = build_udp(corpus_udp_spec());
+        Packet geneve = plain;
+        {
+            TunnelKey key;
+            key.tun_id = 7;
+            key.ip_src = ipv4(192, 168, 0, 1);
+            key.ip_dst = ipv4(192, 168, 0, 2);
+            EncapParams params;
+            params.outer_src_mac = MacAddr::from_id(3);
+            params.outer_dst_mac = MacAddr::from_id(4);
+            encapsulate(geneve, TunnelType::Geneve, key, params);
+        }
+        const bool applied = malform(plain, m) || malform(geneve, m);
+        EXPECT_TRUE(applied) << "corpus entry " << to_string(m)
+                             << " applies to neither a plain nor a Geneve UDP frame";
+    }
+}
+
+TEST(Malform, ParserAndChecksumHelpersSurviveEveryEntry)
+{
+    for (const Malformation m : all_malformations()) {
+        Packet pkt = build_udp(corpus_udp_spec());
+        malform(pkt, m);
+        // None of these may read out of bounds or throw; values are free.
+        const FlowKey key = parse_flow(pkt);
+        (void)key;
+        const HeaderOffsets off = locate_headers(pkt);
+        if (off.l3 >= 0) {
+            (void)verify_l4_csum(pkt, static_cast<std::size_t>(off.l3));
+        }
+    }
+}
+
+// Regression (found by the differential fuzzer): with IHL claiming more
+// bytes than total_len, `total_len - ihl` wrapped and the span handed to
+// the checksum read past the frame.
+TEST(Malform, BadIhlLargeDoesNotOverreadInChecksumVerify)
+{
+    Packet pkt = build_udp(corpus_udp_spec());
+    ASSERT_TRUE(malform(pkt, Malformation::BadIhlLarge));
+    EXPECT_FALSE(verify_l4_csum(pkt, 14));
+    refresh_l4_csum(pkt, 14); // must be a safe no-op
+}
+
+TEST(Malform, BadIhlLargeDoesNotOverreadInIpChecksumRefresh)
+{
+    // The claimed header extends past the frame into tailroom, whose
+    // content differs between rx paths: summing it made the refreshed
+    // checksum depend on which datapath carried the packet.
+    Packet pkt = build_udp(corpus_udp_spec());
+    ASSERT_TRUE(malform(pkt, Malformation::BadIhlLarge));
+    const std::vector<std::uint8_t> before(pkt.bytes().begin(), pkt.bytes().end());
+    refresh_ipv4_csum(pkt, 14);
+    const std::vector<std::uint8_t> after(pkt.bytes().begin(), pkt.bytes().end());
+    EXPECT_EQ(after, before); // safe no-op, frame untouched
+}
+
+TEST(Malform, TruncationsShrinkTheFrame)
+{
+    Packet full = build_udp(corpus_udp_spec());
+    for (const Malformation m :
+         {Malformation::TruncateEth, Malformation::TruncateIp, Malformation::TruncateL4}) {
+        Packet pkt = full;
+        ASSERT_TRUE(malform(pkt, m)) << to_string(m);
+        EXPECT_LT(pkt.size(), full.size()) << to_string(m);
+    }
+}
+
+TEST(Builder, WithIpOptionsYieldsWellFormedFrame)
+{
+    Packet pkt = build_udp(corpus_udp_spec());
+    Packet opts = with_ip_options(pkt, 8);
+    ASSERT_GT(opts.size(), 0u);
+    EXPECT_EQ(opts.size(), pkt.size() + 8);
+
+    const auto* ip = opts.header_at<Ipv4Header>(14);
+    EXPECT_EQ(ip->ihl_bytes(), 28);
+    EXPECT_EQ(internet_checksum({opts.data() + 14, 28}), 0);
+    EXPECT_TRUE(verify_l4_csum(opts, 14));
+
+    // The flow key is unchanged: options shift the L4 header, they do
+    // not alter the 5-tuple.
+    const FlowKey a = parse_flow(pkt);
+    const FlowKey b = parse_flow(opts);
+    EXPECT_EQ(a.nw_src, b.nw_src);
+    EXPECT_EQ(a.tp_src, b.tp_src);
+    EXPECT_EQ(a.tp_dst, b.tp_dst);
+
+    // Out-of-range requests are rejected.
+    EXPECT_EQ(with_ip_options(pkt, 3).size(), 0u);
+    EXPECT_EQ(with_ip_options(pkt, 44).size(), 0u);
+}
+
+TEST(Builder, IcmpErrorRoundTripsThroughInnerParse)
+{
+    Packet orig = build_udp(corpus_udp_spec());
+
+    IcmpSpec err;
+    err.src_mac = MacAddr::from_id(2);
+    err.dst_mac = MacAddr::from_id(1);
+    err.src_ip = ipv4(10, 0, 0, 2);
+    err.dst_ip = ipv4(10, 0, 0, 1);
+    err.type = 3;
+    err.code = 3;
+    Packet error = build_icmp_error(err, orig);
+    ASSERT_GT(error.size(), 0u);
+
+    const IcmpInnerTuple inner = parse_icmp_inner(error);
+    ASSERT_TRUE(inner.valid);
+    EXPECT_EQ(inner.src, ipv4(10, 0, 0, 1));
+    EXPECT_EQ(inner.dst, ipv4(10, 0, 0, 2));
+    EXPECT_EQ(inner.sport, 1000);
+    EXPECT_EQ(inner.dport, 2000);
+    EXPECT_EQ(inner.proto, 17);
+
+    // Echo requests are not errors and carry no inner tuple.
+    IcmpSpec echo = err;
+    echo.type = 8;
+    echo.code = 0;
+    EXPECT_FALSE(parse_icmp_inner(build_icmp(echo)).valid);
 }
 
 } // namespace

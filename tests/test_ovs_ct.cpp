@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "gen/ct_corpus.h"
 #include "net/builder.h"
 #include "net/headers.h"
 #include "ovs/ct.h"
@@ -151,6 +152,93 @@ TEST_F(UserCtTest, TcpFlagsAccumulate)
     ASSERT_NE(e, nullptr);
     EXPECT_TRUE(e->tcp_flags_seen & net::kTcpSyn);
     EXPECT_TRUE(e->tcp_flags_seen & net::kTcpFin);
+}
+
+TEST_F(UserCtTest, RstMidHandshakeTearsDownEntry)
+{
+    kern::CtSpec commit{.zone = 0, .commit = true};
+    auto seq = gen::ct_rst_mid_handshake();
+    EXPECT_TRUE(run(seq[0], commit) & net::kCtStateNew);
+    EXPECT_EQ(ct.size(), 1u);
+
+    const auto s_rst = run(seq[1], kern::CtSpec{.zone = 0, .commit = false});
+    EXPECT_TRUE(s_rst & net::kCtStateReply);
+    EXPECT_EQ(ct.size(), 0u);
+
+    const auto s_syn = run(seq[2], commit);
+    EXPECT_TRUE(s_syn & net::kCtStateNew);
+    EXPECT_FALSE(s_syn & net::kCtStateEstablished);
+    EXPECT_EQ(ct.size(), 1u);
+}
+
+TEST_F(UserCtTest, RstOnUnknownTupleIsInvalid)
+{
+    auto p = tcp(ipv4(9, 9, 9, 9), ipv4(8, 8, 8, 8), 5555, 80, net::kTcpRst);
+    EXPECT_TRUE(run(p, kern::CtSpec{.zone = 0, .commit = false}) & net::kCtStateInvalid);
+    EXPECT_EQ(ct.size(), 0u);
+}
+
+TEST_F(UserCtTest, IcmpErrorRelatedToTrackedConnection)
+{
+    kern::CtSpec commit{.zone = 0, .commit = true};
+    auto seq = gen::ct_icmp_related();
+    run(seq[0], commit);
+
+    const auto s = run(seq[1], kern::CtSpec{.zone = 0, .commit = false});
+    EXPECT_TRUE(s & net::kCtStateRelated);
+    EXPECT_FALSE(s & net::kCtStateNew);
+    EXPECT_FALSE(s & net::kCtStateInvalid);
+
+    const gen::CtCorpusTuple t;
+    const auto* e = ct.find(CtTuple{t.client_ip, t.server_ip, t.client_port, t.server_port, 17, 0});
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->packets, 1u); // the error did not count as conn traffic
+}
+
+TEST_F(UserCtTest, IcmpErrorCitingUnknownTupleIsInvalid)
+{
+    auto p = gen::ct_icmp_unrelated();
+    EXPECT_TRUE(run(p, kern::CtSpec{.zone = 0, .commit = false}) & net::kCtStateInvalid);
+}
+
+TEST_F(UserCtTest, ExpiryUnderVirtualTime)
+{
+    kern::CtSpec commit{.zone = 0, .commit = true};
+    auto p1 = tcp(ipv4(1, 1, 1, 1), ipv4(2, 2, 2, 2), 1000, 80, net::kTcpSyn);
+    ct.process(p1, net::parse_flow(p1), commit, ctx, 1'000'000);
+    auto p2 = tcp(ipv4(3, 3, 3, 3), ipv4(4, 4, 4, 4), 1001, 80, net::kTcpSyn);
+    ct.process(p2, net::parse_flow(p2), commit, ctx, 10'000'000);
+    EXPECT_EQ(ct.size(), 2u);
+
+    EXPECT_EQ(ct.expire_idle(5'000'000), 1u);
+    EXPECT_EQ(ct.size(), 1u);
+    EXPECT_EQ(ct.zone_count(0), 1u);
+    EXPECT_EQ(ct.expire_idle(20'000'000), 1u);
+    EXPECT_TRUE(ct.snapshot().empty());
+}
+
+// The userspace and kernel trackers must leave identical state behind for
+// the same packet sequence — the invariant the differential harness's
+// end-state diff depends on.
+TEST_F(UserCtTest, SnapshotMatchesKernelTrackerOnCorpusSequences)
+{
+    kern::Conntrack kct;
+    kern::CtSpec commit{.zone = 0, .commit = true};
+
+    std::vector<net::Packet> seq;
+    for (auto& p : gen::ct_handshake()) seq.push_back(std::move(p));
+    for (auto& p : gen::ct_rst_mid_handshake()) seq.push_back(std::move(p));
+    for (auto& p : gen::ct_icmp_related()) seq.push_back(std::move(p));
+    seq.push_back(gen::ct_icmp_unrelated());
+
+    for (auto& p : seq) {
+        net::Packet copy = p;
+        const auto key = net::parse_flow(p);
+        ct.process(p, key, commit, ctx);
+        kct.process(copy, net::parse_flow(copy), 0, true, ctx);
+    }
+    EXPECT_EQ(ct.snapshot(), kct.snapshot());
+    EXPECT_FALSE(ct.snapshot().empty());
 }
 
 } // namespace
