@@ -37,6 +37,7 @@ int main(int argc, char** argv)
         // Alternate feature mixes so every iteration is not the same shape.
         cfg.use_meters = (iterations % 3) == 1;
         cfg.use_ct = (iterations % 4) != 3;
+        cfg.num_queues = (iterations % 2) ? 2 : 1;
         const ovsx::gen::DiffReport report = ovsx::gen::fuzz_run(seed, cfg, count);
         packets += report.packets_run;
         explained += report.explained.size();

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "afxdp/ring.h"
+#include "san/report.h"
 
 namespace ovsx::afxdp {
 
@@ -39,12 +40,18 @@ public:
     // Completion ring: kernel -> userspace (frames whose TX finished).
     SpscRing<FrameAddr>& comp() { return comp_; }
 
+    // san frame-tracker scope for this umem. Frames are only tracked
+    // once an owner registers them (NetdevAfxdp does; raw-ring tests
+    // don't), so the scope existing is free.
+    std::uint64_t san_scope() const { return san_scope_; }
+
 private:
     std::uint32_t chunk_count_;
     std::uint32_t chunk_size_;
     std::vector<std::uint8_t> buffer_;
     SpscRing<FrameAddr> fill_;
     SpscRing<FrameAddr> comp_;
+    std::uint64_t san_scope_ = san::new_scope();
 };
 
 } // namespace ovsx::afxdp

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "san/frame_tracker.h"
+
 namespace ovsx::afxdp {
 
 bool XskSocket::kernel_deliver(const net::Packet& pkt, const sim::CostModel& costs,
@@ -14,6 +16,7 @@ bool XskSocket::kernel_deliver(const net::Packet& pkt, const sim::CostModel& cos
         ++rx_dropped_no_frame;
         return false;
     }
+    san::frame_transition(umem_.san_scope(), *fill, san::FrameState::KernelRx, OVSX_SITE);
     auto dst = umem_.frame(*fill);
     const std::size_t len = pkt.size() < dst.size() ? pkt.size() : dst.size();
     std::memcpy(dst.data(), pkt.data(), len);
@@ -30,9 +33,12 @@ bool XskSocket::kernel_deliver(const net::Packet& pkt, const sim::CostModel& cos
         ++rx_dropped_ring_full;
         // Frame is lost to the fill ring until userspace replenishes;
         // give it back immediately to keep the model conservative.
+        san::frame_transition(umem_.san_scope(), *fill, san::FrameState::FillRing,
+                              OVSX_SITE);
         umem_.fill().produce(*fill);
         return false;
     }
+    san::frame_transition(umem_.san_scope(), *fill, san::FrameState::RxRing, OVSX_SITE);
     ++rx_delivered;
     return true;
 }
@@ -49,6 +55,8 @@ std::optional<net::Packet> XskSocket::kernel_collect_tx(const sim::CostModel& co
         softirq.charge(costs.copy(desc->len));
     }
     softirq.charge(costs.xsk_ring_op);
+    san::frame_transition(umem_.san_scope(), desc->addr, san::FrameState::CompRing,
+                          OVSX_SITE);
     umem_.comp().produce(desc->addr);
     ++tx_completed;
     return pkt;

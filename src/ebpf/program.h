@@ -36,6 +36,7 @@ public:
     ProgramBuilder& add_reg(int dst, int src) { return emit({Op::AddReg, u8(dst), u8(src), 0, 0}); }
     ProgramBuilder& sub_reg(int dst, int src) { return emit({Op::SubReg, u8(dst), u8(src), 0, 0}); }
     ProgramBuilder& and_imm(int dst, std::int64_t imm) { return emit({Op::AndImm, u8(dst), 0, 0, imm}); }
+    ProgramBuilder& or_imm(int dst, std::int64_t imm) { return emit({Op::OrImm, u8(dst), 0, 0, imm}); }
     ProgramBuilder& or_reg(int dst, int src) { return emit({Op::OrReg, u8(dst), u8(src), 0, 0}); }
     ProgramBuilder& xor_reg(int dst, int src) { return emit({Op::XorReg, u8(dst), u8(src), 0, 0}); }
     ProgramBuilder& lsh_imm(int dst, std::int64_t imm) { return emit({Op::LshImm, u8(dst), 0, 0, imm}); }

@@ -23,8 +23,16 @@ inline constexpr int kOffIpProto = kOffIp + 9;
 inline constexpr int kOffIpSrc = kOffIp + 12;
 inline constexpr int kOffIpDst = kOffIp + 16;
 inline constexpr int kOffL4 = kOffIp + 20;
-// EtherType 0x0800 as it appears when loaded little-endian from the wire.
+// Offsets within an 802.1Q-tagged frame: the tag shifts everything past
+// the EtherType by 4 bytes.
+inline constexpr int kOffVlanTci = 14;
+inline constexpr int kOffEthTypeTagged = 16;
+inline constexpr int kOffIpTagged = 18;
+inline constexpr int kOffL4Tagged = kOffIpTagged + 20;
+// EtherTypes 0x0800 / 0x8100 as they appear when loaded little-endian
+// from the wire.
 inline constexpr std::int64_t kEthIpv4LE = 0x0008;
+inline constexpr std::int64_t kEthVlanLE = 0x0081;
 
 // r0 = XDP_PASS: hand every packet to the kernel stack.
 Program xdp_pass_all();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <iterator>
 #include <sstream>
 #include <iomanip>
 #include <cstdlib>
@@ -203,8 +204,9 @@ std::string explain_expected_divergence(const DiffRuleset& ruleset, const net::F
                 }
             }
             if (!mask_within(r.mask, ebpf_ok)) {
-                // The eBPF map key has no VLAN/MAC/ToS/... dimensions:
-                // two microflows distinguished only by such a field
+                // The eBPF map key covers in_port/IPs/ports/proto plus
+                // VLAN TCI and IP ToS, but not MACs or dl_type: two
+                // microflows distinguished only by a missing dimension
                 // share one map entry.
                 return "ebpf-key-dimensions";
             }
@@ -294,9 +296,12 @@ DifferentialHarness::make_instances() const
         auto inst = std::make_unique<Instance>();
         inst->kind = kind;
         inst->kernel = std::make_unique<kern::Kernel>();
+        kern::NicConfig ncfg;
+        ncfg.num_queues = opts_.num_queues ? opts_.num_queues : 1;
         for (std::size_t i = 0; i < opts_.n_ports; ++i) {
             auto& nic = inst->kernel->add_device<kern::PhysicalDevice>(
-                "eth" + std::to_string(i), net::MacAddr::from_id(static_cast<std::uint64_t>(i + 1)));
+                "eth" + std::to_string(i), net::MacAddr::from_id(static_cast<std::uint64_t>(i + 1)),
+                ncfg);
             inst->nics.push_back(&nic);
         }
 
@@ -308,7 +313,9 @@ DifferentialHarness::make_instances() const
             for (auto* nic : inst->nics) {
                 const auto p = inst->netdev->add_port(std::make_unique<ovs::NetdevAfxdp>(*nic));
                 inst->port_nos.push_back(p);
-                inst->netdev->pmd_assign(inst->pmd, p, 0);
+                for (std::uint32_t q = 0; q < ncfg.num_queues; ++q) {
+                    inst->netdev->pmd_assign(inst->pmd, p, q);
+                }
             }
             inst->dpif = inst->netdev.get();
             for (const auto& [id, cfg] : ruleset_.meters) inst->netdev->meters().set(id, cfg);
@@ -420,16 +427,33 @@ DiffReport DifferentialHarness::run_once(const std::vector<DiffPacket>& seq, boo
             if (vs_ebpf ? ebpf_tainted : kernel_tainted) continue;
 
             // Flow tables: identical upcall translation must yield the
-            // same number of megaflow entries (eBPF is exact-match only,
-            // structurally different — skip it).
-            if (!vs_ebpf &&
-                instances[0]->datapath_flow_count() != other.datapath_flow_count()) {
-                report.unexplained.push_back(
-                    {end_step,
-                     "flow_count netdev=" + std::to_string(instances[0]->datapath_flow_count()) +
-                         " " + to_string(other.kind) + "=" +
-                         std::to_string(other.datapath_flow_count()),
-                     ""});
+            // same (key, mask, actions) entries, compared per entry so a
+            // divergence names the exact flow, not just a count (eBPF is
+            // exact-match only, structurally different — skip it).
+            if (!vs_ebpf) {
+                auto dump_sorted = [](const Instance& inst) {
+                    std::vector<std::string> out;
+                    for (const auto& e : inst.dpif->flow_dump()) out.push_back(e.to_string());
+                    std::sort(out.begin(), out.end());
+                    return out;
+                };
+                const auto a = dump_sorted(*instances[0]);
+                const auto b = dump_sorted(other);
+                if (a != b) {
+                    std::vector<std::string> only_a, only_b;
+                    std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                                        std::back_inserter(only_a));
+                    std::set_difference(b.begin(), b.end(), a.begin(), a.end(),
+                                        std::back_inserter(only_b));
+                    std::ostringstream os;
+                    os << "flow tables differ: netdev=" << a.size() << " entries, "
+                       << to_string(other.kind) << "=" << b.size();
+                    for (const auto& s : only_a) os << "\n    only-netdev: " << s;
+                    for (const auto& s : only_b) {
+                        os << "\n    only-" << to_string(other.kind) << ": " << s;
+                    }
+                    report.unexplained.push_back({end_step, os.str(), ""});
+                }
             }
 
             // Conntrack tables (userspace CT vs the kernel CT the other
@@ -470,6 +494,15 @@ DiffReport DifferentialHarness::run_once(const std::vector<DiffPacket>& seq, boo
                          std::to_string(inst->ebpf->flows().size()) + ")",
                      ""});
             }
+        }
+
+        // san cross-checks: every instance's table audits must agree with
+        // the structures themselves (no-ops unless hardened mode is on;
+        // violations route to the active ScopedCollect / abort).
+        for (auto& inst : instances) {
+            inst->dpif->san_check(OVSX_SITE);
+            inst->kernel->conntrack().san_check(OVSX_SITE);
+            if (inst->netdev) inst->netdev->ct().san_check(OVSX_SITE);
         }
     }
     return report;

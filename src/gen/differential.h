@@ -96,6 +96,7 @@ struct DiffReport {
 
 struct DiffOptions {
     std::size_t n_ports = 4;
+    std::uint32_t num_queues = 1;  // RSS queues per NIC (PMD polls them all)
     bool compare_ebpf = true;      // include DpifEbpf in the comparison
     bool compare_end_state = true; // diff flow/ct tables + port stats at the end
     bool minimize = true;          // shrink the first unexplained divergence

@@ -5,6 +5,8 @@
 #include "net/builder.h"
 #include "net/headers.h"
 #include "net/tunnel.h"
+#include "san/packet_ledger.h"
+#include "san/report.h"
 
 namespace ovsx::gen {
 
@@ -316,9 +318,23 @@ DiffReport fuzz_run(std::uint64_t seed, const FuzzConfig& cfg, std::size_t count
 
     DiffOptions opts;
     opts.n_ports = cfg.n_ports;
+    opts.num_queues = cfg.num_queues ? cfg.num_queues : 1;
     opts.seed = seed;
     DifferentialHarness harness(std::move(ruleset), opts);
-    return harness.run(packets);
+
+    // Every fuzz iteration doubles as a sanitizer run: hardened mode is
+    // forced on so the skb ledger, checked packet accessors and table
+    // audits all fire; violations are collected (not aborted on) and
+    // folded into the report as unexplained divergences.
+    san::ScopedHardened hardened;
+    san::ScopedCollect collect;
+    const std::uint64_t first_id = san::skb_next_id();
+    DiffReport report = harness.run(packets);
+    san::skb_leak_check_since(first_id, OVSX_SITE);
+    for (const auto& v : collect.take()) {
+        report.unexplained.push_back({packets.size(), "san: " + v.to_string(), ""});
+    }
+    return report;
 }
 
 } // namespace ovsx::gen

@@ -15,6 +15,7 @@ namespace ovsx::gen {
 
 struct FuzzConfig {
     std::size_t n_ports = 4;
+    std::uint32_t num_queues = 1; // RSS queues per NIC
     std::size_t n_rules = 12; // first-pass rules (ct recirc rules come on top)
     std::size_t n_flows = 24; // distinct 5-tuples the packet stream cycles over
     std::uint16_t n_zones = 2;

@@ -3,8 +3,24 @@
 #include <algorithm>
 
 #include "net/headers.h"
+#include "san/audit.h"
 
 namespace ovsx::kern {
+
+Conntrack::~Conntrack() { san::audit_clear(san_scope_, "ct.entry"); }
+
+void Conntrack::flush()
+{
+    index_.clear();
+    conns_.clear();
+    zone_counts_.clear();
+    san::audit_clear(san_scope_, "ct.entry");
+}
+
+void Conntrack::san_check(san::Site site) const
+{
+    san::audit_expect_size(san_scope_, "ct.entry", conns_.size(), site);
+}
 
 CtResult Conntrack::process(net::Packet& pkt, const net::FlowKey& key, std::uint16_t zone,
                             bool commit, sim::ExecContext& ctx, sim::Nanos now)
@@ -86,6 +102,7 @@ CtResult Conntrack::process(net::Packet& pkt, const net::FlowKey& key, std::uint
         entry.last_seen = now;
         auto [it, ok] = conns_.emplace(id, entry);
         (void)ok;
+        san::audit_add(san_scope_, "ct.entry", id, OVSX_SITE);
         index_.emplace(tuple, id);
         index_.emplace(tuple.reversed(), id);
         res.entry = &it->second;
@@ -120,6 +137,7 @@ std::size_t Conntrack::expire_idle(sim::Nanos cutoff)
             index_.erase(orig.reversed());
             auto& count = zone_counts_[orig.zone];
             if (count > 0) --count;
+            san::audit_remove(san_scope_, "ct.entry", it->first, OVSX_SITE);
             it = conns_.erase(it);
             ++removed;
         } else {
@@ -146,6 +164,7 @@ void Conntrack::erase_entry(std::uint64_t id)
     index_.erase(orig.reversed());
     auto& count = zone_counts_[orig.zone];
     if (count > 0) --count;
+    san::audit_remove(san_scope_, "ct.entry", id, OVSX_SITE);
     conns_.erase(it);
 }
 

@@ -16,6 +16,7 @@
 
 #include "net/flow.h"
 #include "net/packet.h"
+#include "san/report.h"
 #include "sim/context.h"
 #include "sim/costs.h"
 #include "sim/time.h"
@@ -97,6 +98,7 @@ public:
         : costs_(costs)
     {
     }
+    ~Conntrack();
 
     // Classifies `key` in `zone`, creating an unconfirmed entry for NEW
     // connections. `commit` confirms the entry (the ct(commit) action).
@@ -111,12 +113,10 @@ public:
 
     // Number of tracked connections (not tuple directions).
     std::size_t size() const { return conns_.size(); }
-    void flush()
-    {
-        index_.clear();
-        conns_.clear();
-        zone_counts_.clear();
-    }
+    void flush();
+
+    // Cross-checks the san entry audit against the real table.
+    void san_check(san::Site site) const;
 
     // Expires entries idle since before `cutoff`.
     std::size_t expire_idle(sim::Nanos cutoff);
@@ -139,6 +139,7 @@ private:
     std::uint64_t next_id_ = 1;
     std::unordered_map<std::uint16_t, std::size_t> zone_counts_;
     std::unordered_map<std::uint16_t, std::size_t> zone_limits_;
+    std::uint64_t san_scope_ = san::new_scope();
 };
 
 } // namespace ovsx::kern

@@ -2,6 +2,7 @@
 
 #include "kern/kernel.h"
 #include "kern/stack.h"
+#include "san/packet_ledger.h"
 
 namespace ovsx::kern {
 
@@ -24,9 +25,11 @@ Device::Device(Kernel& kernel, std::string name, DeviceKind kind, net::MacAddr m
 void Device::deliver_rx(net::Packet&& pkt, sim::ExecContext& ctx)
 {
     if (!up_) {
+        san::skb_free(pkt.san_id(), OVSX_SITE);
         ++stats_.rx_dropped;
         return;
     }
+    san::skb_transition(pkt.san_id(), san::SkbState::Stack, OVSX_SITE);
     ++stats_.rx_packets;
     stats_.rx_bytes += pkt.size();
     capture(pkt, true);

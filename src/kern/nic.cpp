@@ -8,6 +8,7 @@
 #include "net/builder.h"
 #include "net/hash.h"
 #include "net/headers.h"
+#include "san/packet_ledger.h"
 
 namespace ovsx::kern {
 
@@ -79,6 +80,14 @@ const ebpf::Program* PhysicalDevice::xdp_program(std::uint32_t queue) const
 
 void PhysicalDevice::rx_from_wire(net::Packet&& pkt, std::optional<std::uint32_t> forced_queue)
 {
+    if (pkt.san_id()) {
+        // Re-entering a NIC over a simulated cable: same buffer, new
+        // driver ownership.
+        san::skb_transition(pkt.san_id(), san::SkbState::Driver, OVSX_SITE);
+    } else {
+        pkt.set_san_id(san::skb_acquire("wire-rx", san::SkbState::Driver, OVSX_SITE));
+    }
+
     if (dpdk_rx_) {
         // Kernel completely bypassed: the PMD owns the queues.
         const std::uint32_t q = forced_queue.value_or(select_queue(pkt));
@@ -112,18 +121,22 @@ void PhysicalDevice::rx_from_wire(net::Packet&& pkt, std::optional<std::uint32_t
         switch (verdict) {
         case XdpVerdict::Drop:
         case XdpVerdict::Aborted:
+            san::skb_free(pkt.san_id(), OVSX_SITE);
             ++xdp_drops_;
             return;
         case XdpVerdict::Tx: {
             ctx.charge(costs.nic_tx_desc + costs.xdp_tx_flush);
             pkt.meta().latency_ns += costs.nic_tx_desc + costs.xdp_tx_flush;
+            san::skb_transition(pkt.san_id(), san::SkbState::Tx, OVSX_SITE);
             note_tx(pkt);
             to_wire(std::move(pkt));
             return;
         }
         case XdpVerdict::RedirectedXsk:
         case XdpVerdict::RedirectedDev:
-            // Consumed by the redirect target; count as received.
+            // Consumed by the redirect target (the bytes live on in a
+            // umem frame or the peer device); this skb is recycled.
+            san::skb_free(pkt.san_id(), OVSX_SITE);
             ++stats().rx_packets;
             stats().rx_bytes += pkt.size();
             return;
@@ -156,6 +169,7 @@ std::uint32_t PhysicalDevice::xsk_tx_kick(afxdp::XskSocket& sock, std::uint32_t 
     sim::ExecContext& ctx = softirq_[queue < cfg_.num_queues ? queue : 0];
     std::uint32_t sent = 0;
     while (auto pkt = sock.kernel_collect_tx(costs, ctx)) {
+        pkt->set_san_id(san::skb_acquire("xsk-tx", san::SkbState::Tx, OVSX_SITE));
         ctx.charge(costs.nic_tx_desc);
         tx_offloads(*pkt, ctx, /*charge_sw=*/true);
         note_tx(*pkt);
@@ -229,6 +243,7 @@ void PhysicalDevice::to_wire(net::Packet&& pkt)
         th->seq_be = net::host_to_be32(seq);
         net::refresh_ipv4_csum(seg, l3);
         net::refresh_l4_csum(seg, l3);
+        seg.set_san_id(san::skb_clone(pkt.san_id(), OVSX_SITE));
         seg.meta() = pkt.meta();
         seg.meta().tso_segsz = 0;
         seg.meta().csum_tx_offload = false;
@@ -248,6 +263,7 @@ void PhysicalDevice::transmit(net::Packet&& pkt, sim::ExecContext& ctx)
     ctx.charge(costs.nic_tx_desc);
     pkt.meta().latency_ns += costs.nic_tx_desc;
     tx_offloads(pkt, ctx, /*charge_sw=*/true);
+    san::skb_transition(pkt.san_id(), san::SkbState::Tx, OVSX_SITE);
     note_tx(pkt);
     to_wire(std::move(pkt));
 }
@@ -259,6 +275,7 @@ void PhysicalDevice::hw_transmit(net::Packet&& pkt)
         net::refresh_l4_csum(pkt, sizeof(net::EthernetHeader));
         pkt.meta().csum_tx_offload = false;
     }
+    san::skb_transition(pkt.san_id(), san::SkbState::Tx, OVSX_SITE);
     note_tx(pkt);
     to_wire(std::move(pkt));
 }

@@ -123,4 +123,19 @@ using OdpActions = std::vector<OdpAction>;
 
 std::string actions_to_string(const OdpActions& actions);
 
+// One installed datapath flow, as dumped for end-state comparison
+// (OVS_FLOW_CMD_DUMP equivalent). `key` is already masked.
+struct OdpFlowEntry {
+    net::FlowKey key;
+    net::FlowMask mask;
+    OdpActions actions;
+
+    // Canonical form for cross-datapath diffing and sorting.
+    std::string to_string() const
+    {
+        return "key{" + key.to_string() + "} mask{" + mask.bits.to_string() +
+               "} actions{" + actions_to_string(actions) + "}";
+    }
+};
+
 } // namespace ovsx::kern

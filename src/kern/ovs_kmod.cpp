@@ -6,10 +6,34 @@
 #include "kern/stack.h"
 #include "net/headers.h"
 #include "net/rewrite.h"
+#include "san/audit.h"
+#include "san/packet_ledger.h"
 
 namespace ovsx::kern {
 
-OvsKernelDatapath::OvsKernelDatapath(Kernel& kernel) : kernel_(kernel) {}
+namespace {
+
+// Audit identity of a flow-table entry: the masked key hashed with the
+// mask (FlowKey bytes are fully defined, so this is deterministic).
+std::uint64_t flow_audit_key(const net::FlowKey& masked, const net::FlowMask& mask)
+{
+    return masked.hash(mask.hash());
+}
+
+} // namespace
+
+OvsKernelDatapath::OvsKernelDatapath(Kernel& kernel)
+    : kernel_(kernel), san_scope_(san::new_scope())
+{
+}
+
+OvsKernelDatapath::~OvsKernelDatapath()
+{
+    for (const auto& [no, vport] : ports_) {
+        if (vport.dev) san::ref_dec(0, "netdev.ref", vport.dev->ifindex(), OVSX_SITE);
+    }
+    san::audit_clear(san_scope_, "kdp.flow");
+}
 
 std::uint32_t OvsKernelDatapath::add_port(Device& dev)
 {
@@ -19,6 +43,7 @@ std::uint32_t OvsKernelDatapath::add_port(Device& dev)
     vport.name = dev.name();
     vport.dev = &dev;
     ports_[port_no] = vport;
+    san::ref_inc(0, "netdev.ref", dev.ifindex(), OVSX_SITE);
     dev.set_rx_handler([this, port_no](Device&, net::Packet&& pkt, sim::ExecContext& ctx) {
         receive(port_no, std::move(pkt), ctx);
     });
@@ -58,7 +83,10 @@ void OvsKernelDatapath::del_port(std::uint32_t port_no)
 {
     auto it = ports_.find(port_no);
     if (it == ports_.end()) return;
-    if (it->second.dev) it->second.dev->clear_rx_handler();
+    if (it->second.dev) {
+        it->second.dev->clear_rx_handler();
+        san::ref_dec(0, "netdev.ref", it->second.dev->ifindex(), OVSX_SITE);
+    }
     ports_.erase(it);
 }
 
@@ -98,6 +126,7 @@ void OvsKernelDatapath::flow_put(const net::FlowKey& key, const net::FlowMask& m
             }
             bucket.emplace_back(masked, std::move(actions));
             ++sub.size;
+            san::audit_add(san_scope_, "kdp.flow", flow_audit_key(masked, mask), OVSX_SITE);
             return;
         }
     }
@@ -106,6 +135,7 @@ void OvsKernelDatapath::flow_put(const net::FlowKey& key, const net::FlowMask& m
     sub.flows[masked.hash()].emplace_back(masked, std::move(actions));
     sub.size = 1;
     subtables_.push_back(std::move(sub));
+    san::audit_add(san_scope_, "kdp.flow", flow_audit_key(masked, mask), OVSX_SITE);
     // Keep the most specific masks first so probe order favours them.
     std::sort(subtables_.begin(), subtables_.end(), [](const Subtable& a, const Subtable& b) {
         return a.mask.exact_bytes() > b.mask.exact_bytes();
@@ -124,6 +154,8 @@ bool OvsKernelDatapath::flow_del(const net::FlowKey& key, const net::FlowMask& m
             if (bit->first == masked) {
                 bucket.erase(bit);
                 --sub.size;
+                san::audit_remove(san_scope_, "kdp.flow", flow_audit_key(masked, mask),
+                                  OVSX_SITE);
                 return true;
             }
         }
@@ -131,13 +163,35 @@ bool OvsKernelDatapath::flow_del(const net::FlowKey& key, const net::FlowMask& m
     return false;
 }
 
-void OvsKernelDatapath::flow_flush() { subtables_.clear(); }
+void OvsKernelDatapath::flow_flush()
+{
+    subtables_.clear();
+    san::audit_clear(san_scope_, "kdp.flow");
+}
 
 std::size_t OvsKernelDatapath::flow_count() const
 {
     std::size_t n = 0;
     for (const auto& sub : subtables_) n += sub.size;
     return n;
+}
+
+std::vector<OdpFlowEntry> OvsKernelDatapath::flow_dump() const
+{
+    std::vector<OdpFlowEntry> out;
+    for (const auto& sub : subtables_) {
+        for (const auto& [hash, bucket] : sub.flows) {
+            for (const auto& [k, actions] : bucket) {
+                out.push_back(OdpFlowEntry{k, sub.mask, actions});
+            }
+        }
+    }
+    return out;
+}
+
+void OvsKernelDatapath::san_check(san::Site site) const
+{
+    san::audit_expect_size(san_scope_, "kdp.flow", flow_count(), site);
 }
 
 OvsKernelDatapath::LookupResult OvsKernelDatapath::lookup(const net::FlowKey& key,
@@ -163,6 +217,7 @@ OvsKernelDatapath::LookupResult OvsKernelDatapath::lookup(const net::FlowKey& ke
 void OvsKernelDatapath::receive(std::uint32_t port_no, net::Packet&& pkt, sim::ExecContext& ctx)
 {
     const auto& costs = kernel_.costs();
+    san::skb_transition(pkt.san_id(), san::SkbState::Datapath, OVSX_SITE);
     ctx.charge(costs.kdp_base);
     pkt.meta().latency_ns += costs.kdp_base;
     pkt.meta().in_port = port_no;

@@ -17,6 +17,7 @@
 #include "kern/odp.h"
 #include "net/flow.h"
 #include "net/tunnel.h"
+#include "san/report.h"
 #include "sim/time.h"
 
 namespace ovsx::kern {
@@ -46,6 +47,7 @@ public:
                            sim::ExecContext&)>;
 
     explicit OvsKernelDatapath(Kernel& kernel);
+    ~OvsKernelDatapath();
 
     // ---- ports ---------------------------------------------------------
     std::uint32_t add_port(Device& dev);
@@ -61,6 +63,11 @@ public:
     bool flow_del(const net::FlowKey& key, const net::FlowMask& mask);
     void flow_flush();
     std::size_t flow_count() const;
+    // Every installed flow, for per-entry end-state diffing.
+    std::vector<OdpFlowEntry> flow_dump() const;
+
+    // Cross-checks the san table audit against the real table.
+    void san_check(san::Site site) const;
 
     void set_upcall_handler(UpcallHandler handler) { upcall_ = std::move(handler); }
 
@@ -118,6 +125,7 @@ private:
     int recursion_ = 0;
     MeterTable meters_;
     sim::Nanos now_ = 0;
+    std::uint64_t san_scope_;
 };
 
 } // namespace ovsx::kern

@@ -147,9 +147,29 @@ void refresh_ipv4_csum(Packet& pkt, std::size_t l3_off)
     // it would read tailroom bytes, whose content depends on which rx
     // path carried the packet.
     if (ihl > pkt.size() - l3_off) return;
+    const auto hdr = pkt.checked_read(l3_off, ihl, OVSX_SITE);
+    if (hdr.empty()) return;
     ip->csum_be = 0;
-    ip->csum_be = host_to_be16(internet_checksum({pkt.data() + l3_off, ihl}));
+    ip->csum_be = host_to_be16(internet_checksum(hdr));
 }
+
+namespace test_seams {
+
+void refresh_ipv4_csum_without_ihl_guard(Packet& pkt, std::size_t l3_off)
+{
+    // PR 1's corrupt-IHL checksum bug, preserved so the sanitizer
+    // negative tests can prove the checked accessor catches it: sums
+    // ihl_bytes() of header without validating it against the frame.
+    auto* ip = pkt.try_header_at<Ipv4Header>(l3_off);
+    if (!ip) return;
+    const std::size_t ihl = static_cast<std::size_t>(ip->ihl_bytes());
+    const auto hdr = pkt.checked_read(l3_off, ihl, OVSX_SITE);
+    if (hdr.empty()) return;
+    ip->csum_be = 0;
+    ip->csum_be = host_to_be16(internet_checksum(hdr));
+}
+
+} // namespace test_seams
 
 void refresh_l4_csum(Packet& pkt, std::size_t l3_off)
 {
@@ -162,16 +182,18 @@ void refresh_l4_csum(Packet& pkt, std::size_t l3_off)
     const std::size_t l4 = l3_off + ihl;
     const std::size_t l4_len = ip->total_len() - ihl;
     if (l4 > pkt.size() || l4_len > pkt.size() - l4) return;
+    const auto l4_span = pkt.checked_read(l4, l4_len, OVSX_SITE);
+    if (l4_span.empty() && l4_len != 0) return;
     if (ip->proto == static_cast<std::uint8_t>(IpProto::Udp)) {
         auto* udp = pkt.header_at<UdpHeader>(l4);
         udp->csum_be = 0;
         udp->csum_be =
-            host_to_be16(l4_checksum_ipv4(ip->src(), ip->dst(), ip->proto, {pkt.data() + l4, l4_len}));
+            host_to_be16(l4_checksum_ipv4(ip->src(), ip->dst(), ip->proto, l4_span));
     } else if (ip->proto == static_cast<std::uint8_t>(IpProto::Tcp)) {
         auto* tcp = pkt.header_at<TcpHeader>(l4);
         tcp->csum_be = 0;
         tcp->csum_be =
-            host_to_be16(l4_checksum_ipv4(ip->src(), ip->dst(), ip->proto, {pkt.data() + l4, l4_len}));
+            host_to_be16(l4_checksum_ipv4(ip->src(), ip->dst(), ip->proto, l4_span));
     }
 }
 
@@ -407,7 +429,9 @@ bool verify_l4_csum(const Packet& pkt, std::size_t l3_off)
         return true;
     }
     // A checksum over data that includes a correct checksum folds to 0.
-    return l4_checksum_ipv4(ip->src(), ip->dst(), ip->proto, {pkt.data() + l4, l4_len}) == 0;
+    const auto l4_span = pkt.checked_read(l4, l4_len, OVSX_SITE);
+    if (l4_span.empty() && l4_len != 0) return false;
+    return l4_checksum_ipv4(ip->src(), ip->dst(), ip->proto, l4_span) == 0;
 }
 
 } // namespace ovsx::net

@@ -60,6 +60,13 @@ void refresh_l4_csum(Packet& pkt, std::size_t l3_off);
 // valid (or when the protocol carries no checksum).
 bool verify_l4_csum(const Packet& pkt, std::size_t l3_off);
 
+namespace test_seams {
+// Resurrected form of PR 1's corrupt-IHL checksum bug (no IHL-vs-frame
+// guard), kept so the san negative tests can prove the checked packet
+// accessor catches it at the access site. Test-only.
+void refresh_ipv4_csum_without_ihl_guard(Packet& pkt, std::size_t l3_off);
+} // namespace test_seams
+
 struct IcmpSpec {
     MacAddr src_mac;
     MacAddr dst_mac;

@@ -259,7 +259,9 @@ IcmpInnerTuple parse_icmp_inner(const Packet& pkt)
     // RFC 792 guarantees at least 8 bytes of the original L4 header,
     // enough for the port pair of either TCP or UDP.
     if (inner_l4 + 8 > pkt.size()) return t;
-    const std::uint8_t* p = pkt.data() + inner_l4;
+    const auto ports = pkt.checked_read(inner_l4, 8, OVSX_SITE);
+    if (ports.empty()) return t;
+    const std::uint8_t* p = ports.data();
     t.src = ip->src();
     t.dst = ip->dst();
     t.sport = static_cast<std::uint16_t>((p[0] << 8) | p[1]);

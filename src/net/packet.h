@@ -6,9 +6,11 @@
 #include <cstring>
 #include <span>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "net/tunnel_key.h"
+#include "san/packet_ledger.h"
 
 namespace ovsx::net {
 
@@ -58,8 +60,47 @@ public:
                              std::size_t headroom = kDefaultHeadroom)
     {
         Packet p(bytes.size(), headroom);
-        std::memcpy(p.data(), bytes.data(), bytes.size());
+        if (!bytes.empty()) std::memcpy(p.data(), bytes.data(), bytes.size());
         return p;
+    }
+
+    // The san packet ledger tracks ownership per buffer, not per
+    // metadata block (TSO segmentation copies meta() between packets):
+    // copies are tracked clones, moves carry the identity, destruction
+    // retires the record.
+    ~Packet() { san::skb_retire(san_id_); }
+
+    Packet(const Packet& other)
+        : buf_(other.buf_), off_(other.off_), len_(other.len_), meta_(other.meta_),
+          san_id_(san::skb_clone(other.san_id_, OVSX_SITE))
+    {
+    }
+    Packet& operator=(const Packet& other)
+    {
+        if (this == &other) return *this;
+        san::skb_retire(san_id_);
+        buf_ = other.buf_;
+        off_ = other.off_;
+        len_ = other.len_;
+        meta_ = other.meta_;
+        san_id_ = san::skb_clone(other.san_id_, OVSX_SITE);
+        return *this;
+    }
+    Packet(Packet&& other) noexcept
+        : buf_(std::move(other.buf_)), off_(other.off_), len_(other.len_),
+          meta_(other.meta_), san_id_(std::exchange(other.san_id_, 0))
+    {
+    }
+    Packet& operator=(Packet&& other) noexcept
+    {
+        if (this == &other) return *this;
+        san::skb_retire(san_id_);
+        buf_ = std::move(other.buf_);
+        off_ = other.off_;
+        len_ = other.len_;
+        meta_ = other.meta_;
+        san_id_ = std::exchange(other.san_id_, 0);
+        return *this;
     }
 
     std::uint8_t* data() { return buf_.data() + off_; }
@@ -99,6 +140,7 @@ public:
 
     void append(std::span<const std::uint8_t> bytes)
     {
+        if (bytes.empty()) return;
         buf_.resize(off_ + len_ + bytes.size());
         std::memcpy(buf_.data() + off_ + len_, bytes.data(), bytes.size());
         len_ += bytes.size();
@@ -135,14 +177,70 @@ public:
         return header_at<T>(offset);
     }
 
+    // Bounds-checked views for paths that compute offsets from
+    // packet-derived fields (IHL, total_len, inner offsets). In-bounds
+    // access costs one compare; out of bounds reports a san violation
+    // at the call site — with the packet's ownership trail and which
+    // buffer region the access would have hit — and yields an empty
+    // span / nullptr so the caller can bail.
+    std::span<const std::uint8_t> checked_read(std::size_t offset, std::size_t n,
+                                               san::Site site) const
+    {
+        if (oob(offset, n)) [[unlikely]] {
+            san::report_packet_oob("read", offset, n, len_, off_, buf_.size(), san_id_,
+                                   site);
+            return {};
+        }
+        return {data() + offset, n};
+    }
+    std::span<std::uint8_t> checked_write(std::size_t offset, std::size_t n,
+                                          san::Site site)
+    {
+        if (oob(offset, n)) [[unlikely]] {
+            san::report_packet_oob("write", offset, n, len_, off_, buf_.size(), san_id_,
+                                   site);
+            return {};
+        }
+        return {data() + offset, n};
+    }
+    template <typename T>
+    const T* checked_header_at(std::size_t offset, san::Site site) const
+    {
+        if (oob(offset, sizeof(T))) [[unlikely]] {
+            san::report_packet_oob("read", offset, sizeof(T), len_, off_, buf_.size(),
+                                   san_id_, site);
+            return nullptr;
+        }
+        return header_at<T>(offset);
+    }
+    template <typename T> T* checked_header_at(std::size_t offset, san::Site site)
+    {
+        if (oob(offset, sizeof(T))) [[unlikely]] {
+            san::report_packet_oob("write", offset, sizeof(T), len_, off_, buf_.size(),
+                                   san_id_, site);
+            return nullptr;
+        }
+        return header_at<T>(offset);
+    }
+
+    // san packet-ledger identity (0 = untracked).
+    std::uint64_t san_id() const { return san_id_; }
+    void set_san_id(std::uint64_t id) { san_id_ = id; }
+
     PacketMeta& meta() { return meta_; }
     const PacketMeta& meta() const { return meta_; }
 
 private:
+    bool oob(std::size_t offset, std::size_t n) const
+    {
+        return n > len_ || offset > len_ - n;
+    }
+
     std::vector<std::uint8_t> buf_;
     std::size_t off_;
     std::size_t len_;
     PacketMeta meta_;
+    std::uint64_t san_id_ = 0;
 };
 
 } // namespace ovsx::net

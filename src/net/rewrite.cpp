@@ -125,11 +125,12 @@ void push_vlan(Packet& pkt, std::uint16_t tci)
     const MacAddr src = eth_old->src;
     const MacAddr dst = eth_old->dst;
     pkt.push_front(sizeof(VlanHeader));
-    auto* eth = pkt.header_at<EthernetHeader>(0);
+    auto* eth = pkt.checked_header_at<EthernetHeader>(0, OVSX_SITE);
+    auto* vlan = pkt.checked_header_at<VlanHeader>(sizeof(EthernetHeader), OVSX_SITE);
+    if (!eth || !vlan) return;
     eth->src = src;
     eth->dst = dst;
     eth->set_ether_type(EtherType::Vlan);
-    auto* vlan = pkt.header_at<VlanHeader>(sizeof(EthernetHeader));
     vlan->set_tci(static_cast<std::uint16_t>(tci & 0xefff));
     vlan->set_ether_type(inner_type);
 }
@@ -144,7 +145,8 @@ bool pop_vlan(Packet& pkt)
     const MacAddr src = eth->src;
     const MacAddr dst = eth->dst;
     pkt.pull_front(sizeof(VlanHeader));
-    auto* eth2 = pkt.header_at<EthernetHeader>(0);
+    auto* eth2 = pkt.checked_header_at<EthernetHeader>(0, OVSX_SITE);
+    if (!eth2) return false;
     eth2->src = src;
     eth2->dst = dst;
     eth2->set_ether_type(inner_type);

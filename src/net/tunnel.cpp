@@ -110,8 +110,9 @@ std::size_t encapsulate(Packet& pkt, TunnelType type, const TunnelKey& key,
         auto* gre = pkt.header_at<GreHeader>(kEthIp);
         gre->flags_ver_be = host_to_be16(0x2000); // key present
         gre->protocol_be = host_to_be16(kGeneveProtoEthernet);
-        auto* keyp = pkt.header_at<std::uint32_t>(kEthIp + sizeof(GreHeader));
-        *keyp = host_to_be32(static_cast<std::uint32_t>(key.tun_id));
+        // The GRE key is 2-byte aligned in the frame; store via memcpy.
+        const std::uint32_t gre_key_be = host_to_be32(static_cast<std::uint32_t>(key.tun_id));
+        std::memcpy(pkt.data() + kEthIp + sizeof(GreHeader), &gre_key_be, sizeof gre_key_be);
         break;
     }
     case TunnelType::Erspan: {
@@ -120,8 +121,8 @@ std::size_t encapsulate(Packet& pkt, TunnelType type, const TunnelKey& key,
         auto* gre = pkt.header_at<GreHeader>(kEthIp);
         gre->flags_ver_be = host_to_be16(0x1000); // sequence present
         gre->protocol_be = host_to_be16(static_cast<std::uint16_t>(EtherType::Erspan));
-        auto* seq = pkt.header_at<std::uint32_t>(kEthIp + sizeof(GreHeader));
-        *seq = host_to_be32(0);
+        const std::uint32_t seq_be = host_to_be32(0);
+        std::memcpy(pkt.data() + kEthIp + sizeof(GreHeader), &seq_be, sizeof seq_be);
         auto* ers = pkt.header_at<ErspanHeader>(kEthIp + sizeof(GreHeader) + 4);
         std::memset(ers, 0, sizeof *ers);
         ers->ver_vlan_be = host_to_be16(1 << 12); // version II
@@ -181,9 +182,10 @@ std::optional<DecapResult> decap_gre(Packet& pkt, const Ipv4Header& outer_ip,
     res.key.ttl = outer_ip.ttl;
     if (gre->has_checksum()) off += 4;
     if (gre->has_key()) {
-        const auto* keyp = pkt.try_header_at<std::uint32_t>(off);
-        if (!keyp) return std::nullopt;
-        res.key.tun_id = be32_to_host(*keyp);
+        if (off + 4 > pkt.size()) return std::nullopt;
+        std::uint32_t key_be; // 2-byte aligned in the frame; load via memcpy
+        std::memcpy(&key_be, pkt.data() + off, sizeof key_be);
+        res.key.tun_id = be32_to_host(key_be);
         res.key.flags |= kTunnelKeyBit;
         off += 4;
     }

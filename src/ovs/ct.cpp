@@ -5,8 +5,16 @@
 #include "net/flow.h"
 #include "net/headers.h"
 #include "net/rewrite.h"
+#include "san/audit.h"
 
 namespace ovsx::ovs {
+
+UserspaceConntrack::~UserspaceConntrack() { san::audit_clear(san_scope_, "uct.entry"); }
+
+void UserspaceConntrack::san_check(san::Site site) const
+{
+    san::audit_expect_size(san_scope_, "uct.entry", conns_.size(), site);
+}
 
 std::uint8_t UserspaceConntrack::process(net::Packet& pkt, const net::FlowKey& key,
                                          const kern::CtSpec& spec, sim::ExecContext& ctx,
@@ -110,6 +118,7 @@ std::uint8_t UserspaceConntrack::process(net::Packet& pkt, const net::FlowKey& k
     const std::uint64_t id = next_id_++;
     auto [it, ok] = conns_.emplace(id, entry);
     (void)ok;
+    san::audit_add(san_scope_, "uct.entry", id, OVSX_SITE);
     index_.emplace(tuple, id);
     if (!(reply == tuple)) index_.emplace(reply, id);
     ++count;
@@ -174,6 +183,7 @@ std::size_t UserspaceConntrack::expire_idle(sim::Nanos cutoff)
             index_.erase(it->second.reply);
             auto& count = zone_counts_[it->second.orig.zone];
             if (count > 0) --count;
+            san::audit_remove(san_scope_, "uct.entry", it->first, OVSX_SITE);
             it = conns_.erase(it);
             ++removed;
         } else {
@@ -188,6 +198,7 @@ void UserspaceConntrack::flush()
     index_.clear();
     conns_.clear();
     zone_counts_.clear();
+    san::audit_clear(san_scope_, "uct.entry");
 }
 
 const UserCtEntry* UserspaceConntrack::find(const CtTuple& tuple) const
@@ -214,6 +225,7 @@ void UserspaceConntrack::erase_entry(std::uint64_t id)
     index_.erase(it->second.reply);
     auto& count = zone_counts_[it->second.orig.zone];
     if (count > 0) --count;
+    san::audit_remove(san_scope_, "uct.entry", id, OVSX_SITE);
     conns_.erase(it);
 }
 

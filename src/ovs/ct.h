@@ -46,6 +46,7 @@ public:
         : costs_(costs)
     {
     }
+    ~UserspaceConntrack();
 
     // Runs a packet through conntrack per `spec`. When spec.nat is set
     // and the connection is committed, applies (and remembers) the NAT
@@ -60,6 +61,9 @@ public:
     std::size_t size() const { return conns_.size(); }
     std::size_t expire_idle(sim::Nanos cutoff);
     void flush();
+
+    // Cross-checks the san entry audit against the real table.
+    void san_check(san::Site site) const;
 
     const UserCtEntry* find(const CtTuple& tuple) const;
 
@@ -83,6 +87,7 @@ private:
     std::uint64_t next_id_ = 1;
     std::unordered_map<std::uint16_t, std::size_t> zone_counts_;
     std::unordered_map<std::uint16_t, std::size_t> zone_limits_;
+    std::uint64_t san_scope_ = san::new_scope();
 };
 
 } // namespace ovsx::ovs

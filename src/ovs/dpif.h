@@ -6,10 +6,12 @@
 #pragma once
 
 #include <functional>
+#include <vector>
 
 #include "kern/odp.h"
 #include "net/flow.h"
 #include "net/packet.h"
+#include "san/report.h"
 #include "sim/context.h"
 
 namespace ovsx::ovs {
@@ -30,6 +32,12 @@ public:
                           kern::OdpActions actions) = 0;
     virtual void flow_flush() = 0;
     virtual std::size_t flow_count() const = 0;
+    // Every installed datapath flow (OVS_FLOW_CMD_DUMP), for per-entry
+    // end-state diffing across providers.
+    virtual std::vector<kern::OdpFlowEntry> flow_dump() const = 0;
+    // Cross-checks the san table audits against the provider's real
+    // tables; violations are reported through san::report.
+    virtual void san_check(san::Site site) const { (void)site; }
 
     virtual void execute(net::Packet&& pkt, const kern::OdpActions& actions,
                          sim::ExecContext& ctx) = 0;

@@ -8,6 +8,8 @@
 #include "kern/kernel.h"
 #include "net/headers.h"
 #include "net/rewrite.h"
+#include "san/audit.h"
+#include "san/packet_ledger.h"
 
 namespace ovsx::ovs {
 
@@ -15,8 +17,21 @@ using namespace ebpf;
 
 namespace {
 
+// Audit identity of an eBPF map entry: FNV-1a over the raw key bytes
+// (EbpfKey is packed, so every byte is defined).
+std::uint64_t map_audit_key(const void* key, std::size_t len)
+{
+    const auto* p = static_cast<const std::uint8_t*>(key);
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (std::size_t i = 0; i < len; ++i) h = (h ^ p[i]) * 0x100000001b3ull;
+    return h;
+}
+
 // Builds the TC-hook datapath program: parse -> exact key -> map lookup.
 // Returns 3 on hit (flow id deposited in result_map[0]) and 2 on miss.
+// Handles untagged and single-802.1Q-tagged IPv4; the key carries the
+// TCI (with the "present" bit, OVS convention) and the IP ToS, so VLAN
+// and DSCP rules are now expressible — still strictly exact-match.
 Program build_tc_program(MapPtr flow_map, MapPtr result_map)
 {
     ProgramBuilder b("ovs_ebpf_datapath");
@@ -29,22 +44,47 @@ Program build_tc_program(MapPtr flow_map, MapPtr result_map)
         .mov_reg(R4, R2)
         .add_imm(R4, kOffL4 + 8)
         .jgt_reg(R4, R3, "miss");
-    b.ldxh(R5, R2, kOffEthType).jne_imm(R5, kEthIpv4LE, "miss");
-    b.ldxb(R5, R2, kOffIp).rsh_imm(R5, 4).jne_imm(R5, 4, "miss");
-    // IHL must be exactly 5: the key loads ports at the fixed kOffL4
-    // offset, so an options-bearing header would alias option bytes into
-    // the port fields and hit the wrong flow. Send those to the slow path.
-    b.ldxb(R5, R2, kOffIp).and_imm(R5, 0x0f).jne_imm(R5, 5, "miss");
 
     // Zero the 20-byte key slot [-24, -4).
     b.stdw(R10, -24, 0).stdw(R10, -16, 0).stw(R10, -8, 0);
     // in_port from ctx->ingress_ifindex.
     b.ldxdw(R5, R6, 16).stxw(R10, -24, R5);
+
+    b.ldxh(R5, R2, kOffEthType);
+    b.jeq_imm(R5, kEthVlanLE, "vlan");
+    b.jne_imm(R5, kEthIpv4LE, "miss");
+
+    // ---- untagged IPv4 ----
+    b.ldxb(R5, R2, kOffIp).rsh_imm(R5, 4).jne_imm(R5, 4, "miss");
+    // IHL must be exactly 5: the key loads ports at the fixed kOffL4
+    // offset, so an options-bearing header would alias option bytes into
+    // the port fields and hit the wrong flow. Send those to the slow path.
+    b.ldxb(R5, R2, kOffIp).and_imm(R5, 0x0f).jne_imm(R5, 5, "miss");
     b.ldxw(R5, R2, kOffIpSrc).stxw(R10, -20, R5);
     b.ldxw(R5, R2, kOffIpDst).stxw(R10, -16, R5);
     b.ldxw(R5, R2, kOffL4).stxw(R10, -12, R5); // sport|dport as on the wire
     b.ldxb(R5, R2, kOffIpProto).stxb(R10, -8, R5);
+    b.ldxb(R5, R2, kOffIp + 1).stxb(R10, -7, R5); // ToS
+    b.ja("lookup");
 
+    // ---- 802.1Q-tagged IPv4 ----
+    b.label("vlan");
+    b.mov_reg(R4, R2).add_imm(R4, kOffL4Tagged + 8).jgt_reg(R4, R3, "miss");
+    b.ldxh(R5, R2, kOffEthTypeTagged).jne_imm(R5, kEthIpv4LE, "miss");
+    b.ldxb(R5, R2, kOffIpTagged).rsh_imm(R5, 4).jne_imm(R5, 4, "miss");
+    b.ldxb(R5, R2, kOffIpTagged).and_imm(R5, 0x0f).jne_imm(R5, 5, "miss");
+    b.ldxw(R5, R2, kOffIpTagged + 12).stxw(R10, -20, R5);
+    b.ldxw(R5, R2, kOffIpTagged + 16).stxw(R10, -16, R5);
+    b.ldxw(R5, R2, kOffL4Tagged).stxw(R10, -12, R5);
+    b.ldxb(R5, R2, kOffIpTagged + 9).stxb(R10, -8, R5);
+    b.ldxb(R5, R2, kOffIpTagged + 1).stxb(R10, -7, R5); // ToS
+    // TCI as loaded little-endian from the wire; OR-ing 0x10 here sets
+    // the same bit the byte-swapped host value 0x1000 ("VLAN present",
+    // OVS convention) occupies, so the stored halfword bytes equal the
+    // packed EbpfKey bytes of host_to_be16(tci | 0x1000).
+    b.ldxh(R5, R2, kOffVlanTci).or_imm(R5, 0x10).stxh(R10, -6, R5);
+
+    b.label("lookup");
     b.load_map_fd(R1, flow_fd).mov_reg(R2, R10).add_imm(R2, -24).call(HelperId::MapLookup);
     b.jeq_imm(R0, 0, "miss");
     b.ldxw(R7, R0, 0); // flow id
@@ -62,7 +102,7 @@ Program build_tc_program(MapPtr flow_map, MapPtr result_map)
 
 } // namespace
 
-DpifEbpf::DpifEbpf(kern::Kernel& kernel) : kernel_(kernel)
+DpifEbpf::DpifEbpf(kern::Kernel& kernel) : kernel_(kernel), san_scope_(san::new_scope())
 {
     flow_map_ = std::make_shared<Map>(MapType::Hash, "ovs_flow_table", sizeof(EbpfKey), 4,
                                       1 << 18);
@@ -73,10 +113,20 @@ DpifEbpf::DpifEbpf(kern::Kernel& kernel) : kernel_(kernel)
     }
 }
 
+DpifEbpf::~DpifEbpf()
+{
+    for (const auto& [no, dev] : ports_) {
+        san::ref_dec(0, "netdev.ref", dev->ifindex(), OVSX_SITE);
+    }
+    san::audit_clear(san_scope_, "ebpf.map");
+    san::audit_clear(san_scope_, "ebpf.shadow");
+}
+
 std::uint32_t DpifEbpf::add_port(kern::Device& dev)
 {
     const std::uint32_t port_no = next_port_no_++;
     ports_[port_no] = &dev;
+    san::ref_inc(0, "netdev.ref", dev.ifindex(), OVSX_SITE);
     dev.set_rx_handler([this, port_no](kern::Device&, net::Packet&& pkt, sim::ExecContext& ctx) {
         receive(port_no, std::move(pkt), ctx);
     });
@@ -90,8 +140,10 @@ net::FlowMask DpifEbpf::required_mask()
     m.bits.nw_src = 0xffffffff;
     m.bits.nw_dst = 0xffffffff;
     m.bits.nw_proto = 0xff;
+    m.bits.nw_tos = 0xff;
     m.bits.tp_src = 0xffff;
     m.bits.tp_dst = 0xffff;
+    m.bits.vlan_tci = 0xffff;
     return m;
 }
 
@@ -101,7 +153,7 @@ void DpifEbpf::flow_put(const net::FlowKey& key, const net::FlowMask& mask,
     if (!(mask == required_mask())) {
         // The structural limitation: no wildcarding, hence no megaflows.
         throw std::invalid_argument(
-            "dpif-ebpf: only exact-match 5-tuple flows are expressible in the eBPF map");
+            "dpif-ebpf: only exact-match flows are expressible in the eBPF map");
     }
     EbpfKey ek;
     ek.in_port = key.in_port;
@@ -110,16 +162,24 @@ void DpifEbpf::flow_put(const net::FlowKey& key, const net::FlowMask& mask,
     ek.sport = net::host_to_be16(key.tp_src);
     ek.dport = net::host_to_be16(key.tp_dst);
     ek.proto = key.nw_proto;
+    ek.tos = key.nw_tos;
+    ek.vlan_tci_be = net::host_to_be16(key.vlan_tci);
 
     // Re-putting an existing key replaces the map entry; drop the old
     // action shadow so flows_ and the map stay 1:1.
-    if (const auto old = flow_map_->lookup_kv<std::uint32_t>(ek)) {
+    const auto old = flow_map_->lookup_kv<std::uint32_t>(ek);
+    if (old && !test_skip_shadow_erase_) {
         flows_.erase(*old);
+        san::audit_remove(san_scope_, "ebpf.shadow", *old, OVSX_SITE);
     }
     const std::uint32_t flow_id = next_flow_id_++;
     flows_[flow_id] = std::move(actions);
+    san::audit_add(san_scope_, "ebpf.shadow", flow_id, OVSX_SITE);
     flow_map_->update({reinterpret_cast<const std::uint8_t*>(&ek), sizeof ek},
                       {reinterpret_cast<const std::uint8_t*>(&flow_id), sizeof flow_id});
+    if (!old) {
+        san::audit_add(san_scope_, "ebpf.map", map_audit_key(&ek, sizeof ek), OVSX_SITE);
+    }
 }
 
 void DpifEbpf::flow_flush()
@@ -128,10 +188,47 @@ void DpifEbpf::flow_flush()
     flow_map_ = std::make_shared<Map>(MapType::Hash, "ovs_flow_table", sizeof(EbpfKey), 4,
                                       1 << 18);
     prog_ = build_tc_program(flow_map_, result_map_);
+    san::audit_clear(san_scope_, "ebpf.map");
+    san::audit_clear(san_scope_, "ebpf.shadow");
+}
+
+std::vector<kern::OdpFlowEntry> DpifEbpf::flow_dump() const
+{
+    std::vector<kern::OdpFlowEntry> out;
+    const net::FlowMask mask = required_mask();
+    for (const auto& [kbytes, vbytes] : flow_map_->snapshot()) {
+        EbpfKey ek;
+        std::memcpy(&ek, kbytes.data(), sizeof ek);
+        std::uint32_t flow_id = 0;
+        std::memcpy(&flow_id, vbytes.data(), sizeof flow_id);
+        net::FlowKey key;
+        key.in_port = ek.in_port;
+        key.nw_src = net::be32_to_host(ek.src);
+        key.nw_dst = net::be32_to_host(ek.dst);
+        key.tp_src = net::be16_to_host(ek.sport);
+        key.tp_dst = net::be16_to_host(ek.dport);
+        key.nw_proto = ek.proto;
+        key.nw_tos = ek.tos;
+        key.vlan_tci = net::be16_to_host(ek.vlan_tci_be);
+        auto it = flows_.find(flow_id);
+        out.push_back(kern::OdpFlowEntry{
+            key, mask, it == flows_.end() ? kern::OdpActions{} : it->second});
+    }
+    return out;
+}
+
+void DpifEbpf::san_check(san::Site site) const
+{
+    san::audit_expect_size(san_scope_, "ebpf.shadow", flows_.size(), site);
+    san::audit_expect_size(san_scope_, "ebpf.map", flow_map_->size(), site);
+    // The map and its userspace action shadow must stay 1:1 (PR 1's
+    // shadow-leak bug breaks exactly this invariant).
+    san::audit_expect_linked(san_scope_, "ebpf.map", "ebpf.shadow", site);
 }
 
 void DpifEbpf::receive(std::uint32_t port_no, net::Packet&& pkt, sim::ExecContext& ctx)
 {
+    san::skb_transition(pkt.san_id(), san::SkbState::Datapath, OVSX_SITE);
     pkt.meta().in_port = port_no;
     auto res = kernel_.vm().run_xdp(prog_, pkt, port_no, 0);
     ctx.charge(res.cost + kernel_.costs().xdp_setup);

@@ -28,6 +28,7 @@ namespace ovsx::ovs {
 class DpifEbpf : public Dpif {
 public:
     explicit DpifEbpf(kern::Kernel& kernel);
+    ~DpifEbpf();
 
     const char* type() const override { return "ebpf"; }
 
@@ -36,13 +37,15 @@ public:
 
     void set_upcall_handler(UpcallHandler handler) override { upcall_ = std::move(handler); }
 
-    // Only exact-match keys are supported: `mask` must cover in_port and
-    // the full 5-tuple exactly; anything wider throws (the megaflow
-    // limitation).
+    // Only exact-match keys are supported: `mask` must cover in_port,
+    // the full 5-tuple, the VLAN TCI and the IP ToS exactly; anything
+    // wider throws (the megaflow limitation).
     void flow_put(const net::FlowKey& key, const net::FlowMask& mask,
                   kern::OdpActions actions) override;
     void flow_flush() override;
     std::size_t flow_count() const override { return flows_.size(); }
+    std::vector<kern::OdpFlowEntry> flow_dump() const override;
+    void san_check(san::Site site) const override;
 
     void execute(net::Packet&& pkt, const kern::OdpActions& actions,
                  sim::ExecContext& ctx) override;
@@ -66,6 +69,11 @@ public:
     // TC-hook entry (wired as the device rx handler).
     void receive(std::uint32_t port_no, net::Packet&& pkt, sim::ExecContext& ctx);
 
+    // Test seam: resurrects PR 1's flow_put action-shadow leak (the old
+    // shadow entry is not erased on a re-put), so the san audit has a
+    // real bug to catch. Test-only.
+    void set_test_skip_shadow_erase(bool v) { test_skip_shadow_erase_ = v; }
+
 private:
 #pragma pack(push, 1)
     struct EbpfKey {
@@ -75,7 +83,8 @@ private:
         std::uint16_t sport = 0;
         std::uint16_t dport = 0;
         std::uint8_t proto = 0;
-        std::uint8_t pad[3] = {0, 0, 0};
+        std::uint8_t tos = 0;
+        std::uint16_t vlan_tci_be = 0; // CFI "present" bit set, wire byte order
     };
 #pragma pack(pop)
     static_assert(sizeof(EbpfKey) == 20);
@@ -94,6 +103,8 @@ private:
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
     sim::Nanos now_ = 0;
+    std::uint64_t san_scope_;
+    bool test_skip_shadow_erase_ = false;
 };
 
 } // namespace ovsx::ovs

@@ -31,6 +31,8 @@ public:
 
     void flow_flush() override { dp_.flow_flush(); }
     std::size_t flow_count() const override { return dp_.flow_count(); }
+    std::vector<kern::OdpFlowEntry> flow_dump() const override { return dp_.flow_dump(); }
+    void san_check(san::Site site) const override { dp_.san_check(site); }
 
     void execute(net::Packet&& pkt, const kern::OdpActions& actions,
                  sim::ExecContext& ctx) override

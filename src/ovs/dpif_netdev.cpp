@@ -4,6 +4,7 @@
 #include "net/hash.h"
 #include "net/headers.h"
 #include "net/rewrite.h"
+#include "san/packet_ledger.h"
 
 namespace ovsx::ovs {
 
@@ -64,6 +65,15 @@ void DpifNetdev::flow_flush()
 {
     megaflow_.clear();
     emc_.clear();
+}
+
+std::vector<kern::OdpFlowEntry> DpifNetdev::flow_dump() const
+{
+    std::vector<kern::OdpFlowEntry> out;
+    megaflow_.for_each_entry([&](const CachedFlow& flow, const net::FlowMask& mask) {
+        out.push_back(kern::OdpFlowEntry{flow.masked_key, mask, flow.actions});
+    });
+    return out;
 }
 
 int DpifNetdev::add_pmd(const std::string& name)
@@ -138,6 +148,7 @@ void DpifNetdev::process_batch(std::uint32_t in_port, std::vector<net::Packet>&&
     const bool outer = !batching_outputs_;
     if (outer) batching_outputs_ = true;
     for (auto& pkt : batch) {
+        san::skb_transition(pkt.san_id(), san::SkbState::Datapath, OVSX_SITE);
         pkt.meta().in_port = in_port;
         try_tunnel_decap(pkt, ctx);
         pipeline(std::move(pkt), ctx, 0);

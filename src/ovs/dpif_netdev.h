@@ -40,6 +40,8 @@ public:
                   kern::OdpActions actions) override;
     void flow_flush() override;
     std::size_t flow_count() const override { return megaflow_.flow_count(); }
+    std::vector<kern::OdpFlowEntry> flow_dump() const override;
+    void san_check(san::Site site) const override { megaflow_.san_check(site); }
     void execute(net::Packet&& pkt, const kern::OdpActions& actions,
                  sim::ExecContext& ctx) override;
 

@@ -2,7 +2,20 @@
 
 #include <algorithm>
 
+#include "san/audit.h"
+
 namespace ovsx::ovs {
+
+namespace {
+
+std::uint64_t flow_audit_key(const net::FlowKey& masked, const net::FlowMask& mask)
+{
+    return masked.hash(mask.hash());
+}
+
+} // namespace
+
+MegaflowCache::~MegaflowCache() { san::audit_clear(san_scope_, "mfc.flow"); }
 
 MegaflowCache::LookupResult MegaflowCache::lookup(const net::FlowKey& key)
 {
@@ -47,6 +60,7 @@ CachedFlowPtr MegaflowCache::insert(const net::FlowKey& key, const net::FlowMask
             }
             bucket.push_back(flow);
             ++sub.size;
+            san::audit_add(san_scope_, "mfc.flow", flow_audit_key(masked, mask), OVSX_SITE);
             return flow;
         }
     }
@@ -55,6 +69,7 @@ CachedFlowPtr MegaflowCache::insert(const net::FlowKey& key, const net::FlowMask
     sub.flows[masked.hash()].push_back(flow);
     sub.size = 1;
     subtables_.push_back(std::move(sub));
+    san::audit_add(san_scope_, "mfc.flow", flow_audit_key(masked, mask), OVSX_SITE);
     return flow;
 }
 
@@ -71,6 +86,8 @@ bool MegaflowCache::remove(const net::FlowKey& key, const net::FlowMask& mask)
                 (*bit)->dead = true;
                 bucket.erase(bit);
                 --sub.size;
+                san::audit_remove(san_scope_, "mfc.flow", flow_audit_key(masked, mask),
+                                  OVSX_SITE);
                 return true;
             }
         }
@@ -82,6 +99,7 @@ void MegaflowCache::clear()
 {
     for_each([](CachedFlowPtr& flow) { flow->dead = true; });
     subtables_.clear();
+    san::audit_clear(san_scope_, "mfc.flow");
 }
 
 std::size_t MegaflowCache::flow_count() const
@@ -101,6 +119,8 @@ std::size_t MegaflowCache::expire_idle()
                     flow->dead = true;
                     --sub.size;
                     ++removed;
+                    san::audit_remove(san_scope_, "mfc.flow",
+                                      flow_audit_key(flow->masked_key, sub.mask), OVSX_SITE);
                     return true;
                 }
                 flow->hits_at_last_sweep = flow->hits; // grace consumed
@@ -120,6 +140,11 @@ void MegaflowCache::rerank()
     for (auto& sub : subtables_) sub.hit_count = 0;
     // Drop empty subtables so dead masks stop costing probes.
     std::erase_if(subtables_, [](const Subtable& sub) { return sub.size == 0; });
+}
+
+void MegaflowCache::san_check(san::Site site) const
+{
+    san::audit_expect_size(san_scope_, "mfc.flow", flow_count(), site);
 }
 
 } // namespace ovsx::ovs

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "ovs/emc.h"
+#include "san/report.h"
 
 namespace ovsx::ovs {
 
@@ -41,12 +42,27 @@ public:
     // sweep (the revalidator's idle-flow expiry). Returns flows removed.
     std::size_t expire_idle();
 
+    // Cross-checks the san table audit against the real cache.
+    void san_check(san::Site site) const;
+
+    ~MegaflowCache();
+
     // Visits all flows (revalidator use).
     template <typename Fn> void for_each(Fn&& fn)
     {
         for (auto& sub : subtables_) {
             for (auto& [h, bucket] : sub.flows) {
                 for (auto& flow : bucket) fn(flow);
+            }
+        }
+    }
+
+    // Visits all flows together with their subtable mask.
+    template <typename Fn> void for_each_entry(Fn&& fn) const
+    {
+        for (const auto& sub : subtables_) {
+            for (const auto& [h, bucket] : sub.flows) {
+                for (const auto& flow : bucket) fn(*flow, sub.mask);
             }
         }
     }
@@ -62,6 +78,7 @@ private:
     std::vector<Subtable> subtables_;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
+    std::uint64_t san_scope_ = san::new_scope();
 };
 
 } // namespace ovsx::ovs

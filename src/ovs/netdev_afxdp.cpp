@@ -9,6 +9,9 @@
 #include "net/builder.h"
 #include "net/hash.h"
 #include "net/headers.h"
+#include "san/audit.h"
+#include "san/frame_tracker.h"
+#include "san/packet_ledger.h"
 
 namespace ovsx::ovs {
 
@@ -34,13 +37,18 @@ NetdevAfxdp::NetdevAfxdp(kern::PhysicalDevice& nic, AfxdpOptions options)
             const afxdp::FrameAddr addr =
                 static_cast<afxdp::FrameAddr>(i) * qs.umem->chunk_size();
             if (i < half) {
+                san::frame_register(qs.umem->san_scope(), addr,
+                                    san::FrameState::FillRing, OVSX_SITE);
                 qs.umem->fill().produce(addr);
             } else {
+                san::frame_register(qs.umem->san_scope(), addr,
+                                    san::FrameState::UserPool, OVSX_SITE);
                 qs.free_frames.push_back(addr);
             }
         }
         nic_.kernel().bind_xsk(xsk_map_.get(), q, qs.xsk.get());
     }
+    san::ref_inc(0, "netdev.ref", nic_.ifindex(), OVSX_SITE);
 
     // The trivial hook program of §2.2.3: redirect everything here. OVS
     // verifies what it loads, like the in-kernel verifier would.
@@ -56,7 +64,13 @@ NetdevAfxdp::~NetdevAfxdp()
     nic_.detach_xdp(-1);
     for (std::uint32_t q = 0; q < queues_.size(); ++q) {
         nic_.kernel().unbind_xsk(xsk_map_.get(), q);
+        // Nothing may still be in flight inside the kernel: frames on
+        // the fill or rx rings are fine (they belong to this umem and
+        // die with it), frames mid-rx or on the tx ring are leaks.
+        san::frame_expect_quiesced(queues_[q].umem->san_scope(), OVSX_SITE);
+        san::frame_release_scope(queues_[q].umem->san_scope());
     }
+    san::ref_dec(0, "netdev.ref", nic_.ifindex(), OVSX_SITE);
 }
 
 void NetdevAfxdp::load_custom_xdp(ebpf::Program prog)
@@ -88,6 +102,8 @@ void NetdevAfxdp::refill(QueueState& q, std::uint32_t count, sim::ExecContext& c
     const auto& costs = nic_.kernel().costs();
     for (std::uint32_t i = 0; i < count && !q.free_frames.empty(); ++i) {
         if (!options_.lock_batching) charge_lock(ctx); // per-frame locking (pre-O3)
+        san::frame_transition(q.umem->san_scope(), q.free_frames.back(),
+                              san::FrameState::FillRing, OVSX_SITE);
         q.umem->fill().produce(q.free_frames.back());
         q.free_frames.pop_back();
         ctx.charge(costs.xsk_ring_op);
@@ -118,6 +134,7 @@ std::uint32_t NetdevAfxdp::rx_burst(std::uint32_t queue, std::vector<net::Packet
 
         auto frame = q.umem->frame(desc->addr);
         net::Packet pkt = net::Packet::from_bytes(frame.subspan(0, desc->len));
+        pkt.set_san_id(san::skb_acquire("afxdp-rx", san::SkbState::Driver, OVSX_SITE));
         // AF_XDP carries no NIC metadata: hash and checksum hints from
         // the hardware were lost at the XDP boundary (§3.2 O5, Fig. 12).
         pkt.meta().in_port = 0;
@@ -156,6 +173,8 @@ std::uint32_t NetdevAfxdp::rx_burst(std::uint32_t queue, std::vector<net::Packet
         pkt.meta().latency_ns += per_pkt;
         note_rx(pkt);
         out.push_back(std::move(pkt));
+        san::frame_transition(q.umem->san_scope(), desc->addr, san::FrameState::UserPool,
+                              OVSX_SITE);
         q.free_frames.push_back(desc->addr); // frame is free once copied out
         ++n;
     }
@@ -200,10 +219,13 @@ void NetdevAfxdp::tx_burst(std::uint32_t queue, std::vector<net::Packet>&& pkts,
         }
 
         std::memcpy(frame.data(), pkt.data(), len);
+        san::skb_transition(pkt.san_id(), san::SkbState::Tx, OVSX_SITE);
         const auto copy_cost = costs.copy(static_cast<std::int64_t>(len));
         ctx.charge(copy_cost);
         pkt.meta().latency_ns += copy_cost + costs.xsk_ring_op;
         ctx.charge(costs.xsk_ring_op);
+        san::frame_transition(q.umem->san_scope(), addr, san::FrameState::TxRing,
+                              OVSX_SITE);
         q.xsk->tx().produce({addr, static_cast<std::uint32_t>(len), 0});
         note_tx(pkt);
         ++queued;
@@ -217,6 +239,8 @@ void NetdevAfxdp::tx_burst(std::uint32_t queue, std::vector<net::Packet>&& pkts,
     // Reclaim completed frames into the umempool.
     while (auto addr = q.umem->comp().consume()) {
         ctx.charge(costs.xsk_ring_op);
+        san::frame_transition(q.umem->san_scope(), *addr, san::FrameState::UserPool,
+                              OVSX_SITE);
         q.free_frames.push_back(*addr);
     }
 }

@@ -1,0 +1,169 @@
+#include "san/audit.h"
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ovsx::san {
+
+namespace {
+
+using Bucket = std::pair<std::uint64_t, std::string>;
+
+struct BucketLess {
+    bool operator()(const Bucket& a, const Bucket& b) const
+    {
+        if (a.first != b.first) return a.first < b.first;
+        return a.second < b.second;
+    }
+};
+
+std::map<Bucket, std::unordered_set<std::uint64_t>, BucketLess>& tables()
+{
+    static std::map<Bucket, std::unordered_set<std::uint64_t>, BucketLess> m;
+    return m;
+}
+
+std::map<Bucket, std::unordered_map<std::uint64_t, std::int64_t>, BucketLess>& refs()
+{
+    static std::map<Bucket, std::unordered_map<std::uint64_t, std::int64_t>, BucketLess> m;
+    return m;
+}
+
+void violate(const char* checker, std::uint64_t scope, const char* category,
+             const std::string& msg, Site site)
+{
+    Violation v;
+    v.checker = checker;
+    v.message = std::string(category) + " (scope " + std::to_string(scope) + "): " + msg;
+    v.site = site;
+    report(std::move(v));
+}
+
+} // namespace
+
+void audit_add(std::uint64_t scope, const char* category, std::uint64_t key, Site site)
+{
+    if (!hardened()) return;
+    auto [it, fresh] = tables()[{scope, category}].insert(key);
+    (void)it;
+    if (!fresh) {
+        violate("audit-double-add", scope, category,
+                "entry " + std::to_string(key) + " registered twice", site);
+    }
+}
+
+void audit_remove(std::uint64_t scope, const char* category, std::uint64_t key, Site site)
+{
+    if (!hardened()) return;
+    auto bit = tables().find({scope, category});
+    if (bit == tables().end() || bit->second.erase(key) == 0) {
+        violate("audit-unknown-remove", scope, category,
+                "entry " + std::to_string(key) + " erased but never registered", site);
+    }
+}
+
+void audit_clear(std::uint64_t scope, const char* category)
+{
+    if (!hardened()) return;
+    tables().erase({scope, category});
+}
+
+std::size_t audit_size(std::uint64_t scope, const char* category)
+{
+    auto bit = tables().find({scope, category});
+    return bit == tables().end() ? 0 : bit->second.size();
+}
+
+void audit_expect_size(std::uint64_t scope, const char* category, std::size_t expected,
+                       Site site)
+{
+    if (!hardened()) return;
+    const std::size_t got = audit_size(scope, category);
+    if (got != expected) {
+        violate("audit-size-mismatch", scope, category,
+                "structure holds " + std::to_string(expected) + " entries but " +
+                    std::to_string(got) + " are registered — entries leaked or lost",
+                site);
+    }
+}
+
+void audit_expect_linked(std::uint64_t scope, const char* cat_a, const char* cat_b,
+                         Site site)
+{
+    if (!hardened()) return;
+    const std::size_t a = audit_size(scope, cat_a);
+    const std::size_t b = audit_size(scope, cat_b);
+    if (a != b) {
+        violate("audit-link-broken", scope, cat_a,
+                std::string("linked tables drifted: ") + cat_a + " has " +
+                    std::to_string(a) + " entries, " + cat_b + " has " +
+                    std::to_string(b),
+                site);
+    }
+}
+
+void audit_expect_empty(std::uint64_t scope, const char* category, Site site)
+{
+    if (!hardened()) return;
+    const std::size_t got = audit_size(scope, category);
+    if (got != 0) {
+        violate("audit-leak", scope, category,
+                std::to_string(got) + " entries still registered at teardown", site);
+    }
+}
+
+void ref_inc(std::uint64_t scope, const char* category, std::uint64_t key, Site site)
+{
+    if (!hardened()) return;
+    (void)site;
+    ++refs()[{scope, category}][key];
+}
+
+bool ref_dec(std::uint64_t scope, const char* category, std::uint64_t key, Site site)
+{
+    if (!hardened()) return true;
+    auto bit = refs().find({scope, category});
+    if (bit != refs().end()) {
+        auto it = bit->second.find(key);
+        if (it != bit->second.end() && it->second > 0) {
+            if (--it->second == 0) bit->second.erase(it);
+            return true;
+        }
+    }
+    violate("refcount-underflow", scope, category,
+            "reference " + std::to_string(key) + " released more times than taken", site);
+    return false;
+}
+
+std::int64_t ref_count(std::uint64_t scope, const char* category, std::uint64_t key)
+{
+    auto bit = refs().find({scope, category});
+    if (bit == refs().end()) return 0;
+    auto it = bit->second.find(key);
+    return it == bit->second.end() ? 0 : it->second;
+}
+
+void ref_expect_all_zero(std::uint64_t scope, const char* category, Site site)
+{
+    if (!hardened()) return;
+    auto bit = refs().find({scope, category});
+    if (bit == refs().end()) return;
+    for (const auto& [key, count] : bit->second) {
+        if (count != 0) {
+            violate("refcount-leak", scope, category,
+                    "reference " + std::to_string(key) + " still held " +
+                        std::to_string(count) + " time(s) at teardown",
+                    site);
+        }
+    }
+}
+
+void audit_reset()
+{
+    tables().clear();
+    refs().clear();
+}
+
+} // namespace ovsx::san

@@ -1,0 +1,61 @@
+// Refcount & table audit.
+//
+// Subsystems register every table entry they create (eBPF map entries
+// and their action-shadow twins, megaflow-cache entries, kernel
+// flow-table entries, conntrack entries) under a (scope, category)
+// bucket, and every reference they take (netdev references) as a
+// counted key. At teardown — or at any explicit checkpoint — the audit
+// cross-checks the registered population against the structure's own
+// idea of its size, so an entry that leaks or a table pair that drifts
+// apart (PR 1's flow_put action-shadow leak) is caught directly
+// instead of surfacing later as a verdict diff.
+//
+// All mutation entry points are no-ops when hardened mode is off; all
+// expectation entry points are too, so partially-observed populations
+// from a non-hardened phase can never produce false positives.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "san/report.h"
+
+namespace ovsx::san {
+
+// --- table-entry audit -------------------------------------------------
+
+// Registers `key` under (scope, category). Registering a key twice is a
+// violation — call sites distinguish insert from replace.
+void audit_add(std::uint64_t scope, const char* category, std::uint64_t key, Site site);
+
+// Removes `key`; removing a key that was never registered is a
+// violation (an erase of something the table should not contain).
+void audit_remove(std::uint64_t scope, const char* category, std::uint64_t key, Site site);
+
+// Drops the whole category (table flush).
+void audit_clear(std::uint64_t scope, const char* category);
+
+std::size_t audit_size(std::uint64_t scope, const char* category);
+
+// Checkpoints: the audited population must match the structure's size…
+void audit_expect_size(std::uint64_t scope, const char* category, std::size_t expected,
+                       Site site);
+// …two linked categories must have equal populations (map ↔ shadow)…
+void audit_expect_linked(std::uint64_t scope, const char* cat_a, const char* cat_b,
+                         Site site);
+// …or the category must be empty (teardown leak check).
+void audit_expect_empty(std::uint64_t scope, const char* category, Site site);
+
+// --- refcount audit ----------------------------------------------------
+
+void ref_inc(std::uint64_t scope, const char* category, std::uint64_t key, Site site);
+// Decrement below zero is a violation; returns false when it fires.
+bool ref_dec(std::uint64_t scope, const char* category, std::uint64_t key, Site site);
+std::int64_t ref_count(std::uint64_t scope, const char* category, std::uint64_t key);
+// Any key with a nonzero count is a reference leak.
+void ref_expect_all_zero(std::uint64_t scope, const char* category, Site site);
+
+// Test support: forgets every audited entry and refcount.
+void audit_reset();
+
+} // namespace ovsx::san

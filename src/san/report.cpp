@@ -1,0 +1,67 @@
+#include "san/report.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ovsx::san {
+
+namespace detail {
+#ifdef OVSX_HARDENED
+bool g_hardened = true;
+#else
+bool g_hardened = false;
+#endif
+
+ScopedCollect*& collector()
+{
+    static ScopedCollect* c = nullptr;
+    return c;
+}
+} // namespace detail
+
+namespace {
+std::uint64_t g_suppressed = 0;
+std::uint64_t g_next_scope = 1;
+} // namespace
+
+void set_hardened(bool on) { detail::g_hardened = on; }
+
+std::string Site::to_string() const
+{
+    return std::string(file) + ":" + std::to_string(line) + " (" + func + ")";
+}
+
+std::string Violation::to_string() const
+{
+    std::string s = "[" + checker + "] " + message + "\n    at " + site.to_string();
+    if (!history.empty()) {
+        s += "\n    ownership trail:";
+        for (const auto& h : history) s += "\n      - " + h;
+    }
+    return s;
+}
+
+ScopedCollect::ScopedCollect() : prev_(detail::collector()) { detail::collector() = this; }
+
+ScopedCollect::~ScopedCollect() { detail::collector() = prev_; }
+
+void report(Violation v)
+{
+    if (ScopedCollect* c = detail::collector()) {
+        c->add(std::move(v));
+        return;
+    }
+    if (hardened()) {
+        std::fprintf(stderr, "ovsx::san violation\n%s\n", v.to_string().c_str());
+        std::fflush(stderr);
+        std::abort();
+    }
+    ++g_suppressed;
+}
+
+std::uint64_t suppressed_count() { return g_suppressed; }
+void reset_suppressed() { g_suppressed = 0; }
+
+std::uint64_t new_scope() { return g_next_scope++; }
+
+} // namespace ovsx::san

@@ -1,0 +1,93 @@
+// ovsx::san — in-simulation sanitizer core: provenance sites, the
+// hardened-mode switch, and violation routing.
+//
+// The simulated dataplane mirrors what the paper's §2.2.2 argues the
+// eBPF verifier buys for real datapaths: safety properties enforced at
+// the access site, not discovered later as corrupted output. The C++
+// kern/ovs/net surface has no verifier, so this layer supplies the
+// moral equivalent at runtime. It is always compiled; every check is a
+// single well-predicted branch when hardened mode is off, and
+// exhaustive when it is on (OVSX_HARDENED=ON builds, the fuzzer, and
+// the negative tests).
+//
+// Everything here is single-threaded by design, like the rest of the
+// simulation: one ExecContext at a time drives the stacks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ovsx::san {
+
+// Source provenance for a checked operation. Build with OVSX_SITE so a
+// violation names the faulting call site, not the checker internals.
+struct Site {
+    const char* file = "?";
+    int line = 0;
+    const char* func = "?";
+
+    std::string to_string() const;
+};
+
+#define OVSX_SITE (::ovsx::san::Site{__FILE__, __LINE__, __func__})
+
+struct Violation {
+    std::string checker;               // e.g. "packet-oob-read"
+    std::string message;
+    Site site;
+    std::vector<std::string> history;  // ownership trail, oldest first
+
+    std::string to_string() const;
+};
+
+namespace detail {
+extern bool g_hardened;
+}
+
+// Hardened mode gates all tracking (acquire/register/audit) and all
+// expensive checks. Checked packet accessors validate bounds regardless
+// — only the reporting depth differs.
+inline bool hardened() { return detail::g_hardened; }
+void set_hardened(bool on);
+
+struct ScopedHardened {
+    bool prev;
+    ScopedHardened() : prev(hardened()) { set_hardened(true); }
+    ~ScopedHardened() { set_hardened(prev); }
+    ScopedHardened(const ScopedHardened&) = delete;
+    ScopedHardened& operator=(const ScopedHardened&) = delete;
+};
+
+// Installs itself as the innermost violation sink: while alive,
+// report() appends here instead of aborting. Used by the fuzzer (to
+// fold violations into the differential report) and by negative tests.
+class ScopedCollect {
+public:
+    ScopedCollect();
+    ~ScopedCollect();
+    ScopedCollect(const ScopedCollect&) = delete;
+    ScopedCollect& operator=(const ScopedCollect&) = delete;
+
+    void add(Violation v) { collected_.push_back(std::move(v)); }
+    std::vector<Violation> take() { return std::exchange(collected_, {}); }
+    const std::vector<Violation>& violations() const { return collected_; }
+
+private:
+    std::vector<Violation> collected_;
+    ScopedCollect* prev_;
+};
+
+// Routes a violation: innermost ScopedCollect if installed; else, when
+// hardened, prints the provenance report to stderr and aborts; else
+// counts it silently (non-hardened builds must never change behaviour).
+void report(Violation v);
+std::uint64_t suppressed_count();
+void reset_suppressed();
+
+// Monotonic scope ids tie tracked objects (umem frames, audited tables)
+// to the owning instance, so independent stacks never cross-talk.
+std::uint64_t new_scope();
+
+} // namespace ovsx::san

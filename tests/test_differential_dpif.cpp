@@ -325,18 +325,21 @@ TEST(DifferentialRegression, EbpfFlowShadowStaysConsistentAcrossReputs)
 
     DifferentialHarness harness(rs);
     std::vector<DiffPacket> seq;
-    // VLAN-tagged frames never match the eBPF parser, so every one
-    // upcalls and re-puts the same exact (inner 5-tuple) key.
-    for (int i = 0; i < 3; ++i) seq.push_back({0, udp(1000, 80, /*vlan_tci=*/100)});
+    // IP-options frames (IHL != 5) never match the eBPF parser's
+    // fixed-header fast path, so every one upcalls and re-puts the same
+    // exact (5-tuple) key.
+    for (int i = 0; i < 3; ++i) {
+        seq.push_back({0, net::with_ip_options(udp(1000, 80), 8)});
+    }
     const DiffReport report = harness.run(seq);
     EXPECT_TRUE(report.ok()) << report.summary();
 }
 
-// A ruleset matching vlan_tci — a dimension absent from the eBPF map key
-// — makes eBPF alias tagged/untagged microflows into one entry. That is
-// an *explained* divergence: it must be reported under its allowlist tag,
-// never silently dropped and never counted as unexplained.
-TEST(DifferentialAllowlist, VlanKeyDimensionDivergenceIsExplainedNotSilent)
+// The eBPF map key now carries the VLAN TCI (and IP ToS), so rulesets
+// matching vlan_tci are fully expressible: tagged and untagged twins of
+// the same 5-tuple land in *different* map entries and every datapath
+// agrees — with no "ebpf-key-dimensions" explanation needed.
+TEST(DifferentialAllowlist, VlanRulesNowAgreeAcrossAllDatapaths)
 {
     DiffRuleset rs;
     {
@@ -349,14 +352,62 @@ TEST(DifferentialAllowlist, VlanKeyDimensionDivergenceIsExplainedNotSilent)
 
     DifferentialHarness harness(rs);
     std::vector<DiffPacket> seq;
-    seq.push_back({0, udp(1000, 80, /*vlan_tci=*/100)}); // installs aliased entry
-    seq.push_back({0, udp(1000, 80)});                   // untagged twin hits it
+    seq.push_back({0, udp(1000, 80, /*vlan_tci=*/100)}); // tagged → port 2
+    seq.push_back({0, udp(1000, 80)});                   // untagged → port 3
+    seq.push_back({0, udp(1000, 80, /*vlan_tci=*/100)}); // map hit, still port 2
+    const DiffReport report = harness.run(seq);
+    EXPECT_TRUE(report.ok()) << report.summary();
+    EXPECT_TRUE(report.explained.empty()) << report.summary();
+}
+
+// A ruleset matching dl_dst — a dimension still absent from the eBPF map
+// key — makes eBPF alias microflows that differ only in destination MAC
+// into one entry. That is an *explained* divergence: it must be reported
+// under its allowlist tag, never silently dropped and never counted as
+// unexplained.
+TEST(DifferentialAllowlist, MacKeyDimensionDivergenceIsExplainedNotSilent)
+{
+    DiffRuleset rs;
+    {
+        DiffRule r = rule(50, {kern::OdpAction::output(2)});
+        r.mask.bits.dl_dst = net::MacAddr(0xff, 0xff, 0xff, 0xff, 0xff, 0xff);
+        r.match.dl_dst = net::MacAddr::from_id(2);
+        rs.rules.push_back(std::move(r));
+    }
+    rs.rules.push_back(rule(1, {kern::OdpAction::output(3)}));
+
+    DifferentialHarness harness(rs);
+    std::vector<DiffPacket> seq;
+    seq.push_back({0, udp(1000, 80)}); // dst MAC from_id(2): installs aliased entry
+    {
+        net::UdpSpec s;
+        s.src_mac = net::MacAddr::from_id(1);
+        s.dst_mac = net::MacAddr::from_id(3); // same 5-tuple, other MAC
+        s.src_ip = 0x0a000001;
+        s.dst_ip = 0x0a000002;
+        s.src_port = 1000;
+        s.dst_port = 80;
+        seq.push_back({0, net::build_udp(s)});
+    }
     const DiffReport report = harness.run(seq);
     EXPECT_TRUE(report.ok()) << report.summary();
     ASSERT_FALSE(report.explained.empty());
     for (const auto& d : report.explained) {
         EXPECT_EQ(d.explanation, "ebpf-key-dimensions") << d.detail;
     }
+}
+
+// Multi-queue RSS: with num_queues > 1 the PMD polls every queue of each
+// NIC and the hash-spread frames must still produce identical verdicts
+// and end state across all three datapaths.
+TEST(DifferentialFuzz, MultiQueueRssSeedClean)
+{
+    FuzzConfig cfg;
+    cfg.num_queues = 2;
+    const DiffReport report = fuzz_run(/*seed=*/0xC0FFEE, cfg, 2000);
+    EXPECT_EQ(report.packets_run, 2000u);
+    EXPECT_TRUE(report.ok()) << report.summary();
+    expect_explained_allowlisted(report);
 }
 
 } // namespace

@@ -1,0 +1,269 @@
+// Negative corpus for ovsx::san: every checker class must FIRE on its
+// bug pattern, with provenance naming the faulting call site — and the
+// clean paths must stay silent under full hardening. Resurrected bugs
+// from PR 1 (corrupt-IHL checksum OOB, dpif-ebpf action-shadow leak)
+// are reproduced through test-only seams and must be caught.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "gen/fuzz.h"
+#include "kern/kernel.h"
+#include "kern/nic.h"
+#include "net/builder.h"
+#include "net/headers.h"
+#include "net/packet.h"
+#include "ovs/dpif_ebpf.h"
+#include "san/audit.h"
+#include "san/frame_tracker.h"
+#include "san/packet_ledger.h"
+#include "san/report.h"
+
+namespace ovsx {
+namespace {
+
+using san::ScopedCollect;
+using san::ScopedHardened;
+
+net::Packet udp64()
+{
+    net::UdpSpec s;
+    s.src_mac = net::MacAddr::from_id(1);
+    s.dst_mac = net::MacAddr::from_id(2);
+    s.src_ip = 0x0a000001;
+    s.dst_ip = 0x0a000002;
+    s.src_port = 1000;
+    s.dst_port = 80;
+    return net::build_udp(s);
+}
+
+bool site_in(const san::Violation& v, const char* file)
+{
+    return std::string(v.site.file).find(file) != std::string::npos;
+}
+
+// ---- checked packet access ---------------------------------------------
+
+TEST(SanPacket, CheckedReadOobFiresWithFaultingSite)
+{
+    ScopedHardened hardened;
+    ScopedCollect collect;
+    net::Packet pkt = udp64();
+    const auto span = pkt.checked_read(pkt.size() - 4, 16, OVSX_SITE);
+    EXPECT_TRUE(span.empty());
+    ASSERT_EQ(collect.violations().size(), 1u);
+    EXPECT_EQ(collect.violations()[0].checker, "packet-oob-read");
+    EXPECT_TRUE(site_in(collect.violations()[0], "test_san.cpp"))
+        << collect.violations()[0].to_string();
+}
+
+TEST(SanPacket, CheckedWriteOobFiresWithFaultingSite)
+{
+    ScopedHardened hardened;
+    ScopedCollect collect;
+    net::Packet pkt = udp64();
+    const auto span = pkt.checked_write(pkt.size(), 1, OVSX_SITE);
+    EXPECT_TRUE(span.empty());
+    ASSERT_EQ(collect.violations().size(), 1u);
+    EXPECT_EQ(collect.violations()[0].checker, "packet-oob-write");
+    EXPECT_TRUE(site_in(collect.violations()[0], "test_san.cpp"));
+}
+
+TEST(SanPacket, InBoundsAccessIsSilent)
+{
+    ScopedHardened hardened;
+    ScopedCollect collect;
+    net::Packet pkt = udp64();
+    EXPECT_FALSE(pkt.checked_read(0, pkt.size(), OVSX_SITE).empty());
+    EXPECT_NE(pkt.checked_header_at<net::Ipv4Header>(14, OVSX_SITE), nullptr);
+    EXPECT_TRUE(collect.violations().empty());
+}
+
+// PR 1's corrupt-IHL checksum bug, resurrected behind a test seam: the
+// unguarded refresh sums ihl_bytes() past the frame end, and the
+// checked accessor must catch it — naming builder.cpp, the site of the
+// faulting read, not the checker internals.
+TEST(SanPacket, ResurrectedIhlChecksumBugIsCaught)
+{
+    ScopedHardened hardened;
+    ScopedCollect collect;
+    net::Packet pkt = udp64();
+    // Corrupt the IHL nibble: claim a 60-byte IPv4 header in a 64-byte
+    // frame (14 + 60 > 64).
+    pkt.data()[14] = 0x4F;
+    net::test_seams::refresh_ipv4_csum_without_ihl_guard(pkt, 14);
+    ASSERT_EQ(collect.violations().size(), 1u);
+    EXPECT_EQ(collect.violations()[0].checker, "packet-oob-read");
+    EXPECT_TRUE(site_in(collect.violations()[0], "builder.cpp"))
+        << collect.violations()[0].to_string();
+}
+
+// ---- skb lifecycle ledger ----------------------------------------------
+
+TEST(SanSkb, UseAfterFreeFires)
+{
+    ScopedHardened hardened;
+    ScopedCollect collect;
+    const auto id = san::skb_acquire("test-rx", san::SkbState::Driver, OVSX_SITE);
+    ASSERT_NE(id, 0u);
+    san::skb_free(id, OVSX_SITE);
+    san::skb_transition(id, san::SkbState::Datapath, OVSX_SITE);
+    ASSERT_EQ(collect.violations().size(), 1u);
+    EXPECT_EQ(collect.violations()[0].checker, "skb-use-after-free");
+    // The ownership trail must be attached, oldest first.
+    EXPECT_FALSE(collect.violations()[0].history.empty());
+    san::skb_retire(id);
+}
+
+TEST(SanSkb, DoubleFreeFires)
+{
+    ScopedHardened hardened;
+    ScopedCollect collect;
+    const auto id = san::skb_acquire("test-rx", san::SkbState::Driver, OVSX_SITE);
+    san::skb_free(id, OVSX_SITE);
+    san::skb_free(id, OVSX_SITE);
+    ASSERT_EQ(collect.violations().size(), 1u);
+    EXPECT_EQ(collect.violations()[0].checker, "skb-double-free");
+    san::skb_retire(id);
+}
+
+TEST(SanSkb, DoubleTxFires)
+{
+    ScopedHardened hardened;
+    ScopedCollect collect;
+    const auto id = san::skb_acquire("test-rx", san::SkbState::Driver, OVSX_SITE);
+    san::skb_transition(id, san::SkbState::Datapath, OVSX_SITE);
+    san::skb_transition(id, san::SkbState::Tx, OVSX_SITE);
+    san::skb_transition(id, san::SkbState::Tx, OVSX_SITE);
+    ASSERT_EQ(collect.violations().size(), 1u);
+    EXPECT_EQ(collect.violations()[0].checker, "skb-double-tx");
+    san::skb_retire(id);
+}
+
+TEST(SanSkb, TeardownLeakFires)
+{
+    ScopedHardened hardened;
+    ScopedCollect collect;
+    const auto first = san::skb_next_id();
+    const auto id = san::skb_acquire("test-rx", san::SkbState::Driver, OVSX_SITE);
+    const auto leaks = san::skb_leak_check_since(first, OVSX_SITE);
+    EXPECT_EQ(leaks, 1u);
+    ASSERT_FALSE(collect.violations().empty());
+    EXPECT_EQ(collect.violations()[0].checker, "skb-leak");
+    san::skb_retire(id);
+}
+
+TEST(SanSkb, NormalLifecycleIsSilent)
+{
+    ScopedHardened hardened;
+    ScopedCollect collect;
+    const auto first = san::skb_next_id();
+    const auto id = san::skb_acquire("test-rx", san::SkbState::Driver, OVSX_SITE);
+    san::skb_transition(id, san::SkbState::Stack, OVSX_SITE);
+    san::skb_transition(id, san::SkbState::Datapath, OVSX_SITE);
+    san::skb_transition(id, san::SkbState::Tx, OVSX_SITE);
+    san::skb_retire(id);
+    EXPECT_EQ(san::skb_leak_check_since(first, OVSX_SITE), 0u);
+    EXPECT_TRUE(collect.violations().empty());
+}
+
+// ---- umem frame tracker ------------------------------------------------
+
+TEST(SanFrame, DoubleFillFires)
+{
+    ScopedHardened hardened;
+    ScopedCollect collect;
+    const auto scope = san::new_scope();
+    san::frame_register(scope, 0x1000, san::FrameState::UserPool, OVSX_SITE);
+    san::frame_transition(scope, 0x1000, san::FrameState::FillRing, OVSX_SITE);
+    san::frame_transition(scope, 0x1000, san::FrameState::FillRing, OVSX_SITE);
+    ASSERT_EQ(collect.violations().size(), 1u);
+    EXPECT_EQ(collect.violations()[0].checker, "frame-double-fill");
+    san::frame_release_scope(scope);
+}
+
+TEST(SanFrame, TeardownWithKernelOwnedFrameFires)
+{
+    ScopedHardened hardened;
+    ScopedCollect collect;
+    const auto scope = san::new_scope();
+    san::frame_register(scope, 0x2000, san::FrameState::UserPool, OVSX_SITE);
+    san::frame_transition(scope, 0x2000, san::FrameState::FillRing, OVSX_SITE);
+    san::frame_transition(scope, 0x2000, san::FrameState::KernelRx, OVSX_SITE);
+    EXPECT_EQ(san::frame_expect_quiesced(scope, OVSX_SITE), 1u);
+    ASSERT_FALSE(collect.violations().empty());
+    san::frame_release_scope(scope);
+}
+
+// ---- refcount & table audit --------------------------------------------
+
+TEST(SanAudit, RefcountUnderflowFires)
+{
+    ScopedHardened hardened;
+    ScopedCollect collect;
+    const auto scope = san::new_scope();
+    EXPECT_FALSE(san::ref_dec(scope, "test.ref", 7, OVSX_SITE));
+    ASSERT_EQ(collect.violations().size(), 1u);
+    EXPECT_EQ(collect.violations()[0].checker, "refcount-underflow");
+}
+
+TEST(SanAudit, DoubleAddAndSizeMismatchFire)
+{
+    ScopedHardened hardened;
+    ScopedCollect collect;
+    const auto scope = san::new_scope();
+    san::audit_add(scope, "test.tbl", 1, OVSX_SITE);
+    san::audit_add(scope, "test.tbl", 1, OVSX_SITE); // double add
+    san::audit_expect_size(scope, "test.tbl", 3, OVSX_SITE); // population is 1
+    ASSERT_EQ(collect.violations().size(), 2u);
+    EXPECT_EQ(collect.violations()[0].checker, "audit-double-add");
+    EXPECT_EQ(collect.violations()[1].checker, "audit-size-mismatch");
+    san::audit_clear(scope, "test.tbl");
+}
+
+// PR 1's dpif-ebpf action-shadow leak, resurrected behind a test-only
+// seam: re-putting an existing key without erasing the old shadow entry
+// lets the map and the shadow drift apart — the table audit must flag
+// the broken map↔shadow link at the next checkpoint.
+TEST(SanAudit, ResurrectedEbpfShadowLeakIsCaught)
+{
+    ScopedHardened hardened;
+    ScopedCollect collect;
+    kern::Kernel kernel;
+    auto& nic = kernel.add_device<kern::PhysicalDevice>("eth0", net::MacAddr::from_id(1));
+    {
+        ovs::DpifEbpf dpif(kernel);
+        dpif.add_port(nic);
+
+        net::Packet pkt = udp64();
+        pkt.meta().in_port = 1;
+        const net::FlowKey key = net::parse_flow(pkt);
+
+        dpif.set_test_skip_shadow_erase(true);
+        dpif.flow_put(key, ovs::DpifEbpf::required_mask(), {kern::OdpAction::output(1)});
+        dpif.flow_put(key, ovs::DpifEbpf::required_mask(), {kern::OdpAction::output(1)});
+        dpif.san_check(OVSX_SITE);
+        EXPECT_FALSE(collect.violations().empty());
+        bool link_broken = false;
+        for (const auto& v : collect.violations()) {
+            if (v.checker == "audit-link-broken") link_broken = true;
+        }
+        EXPECT_TRUE(link_broken);
+    }
+    (void)collect.take(); // dpif teardown clears its audit scopes
+}
+
+// ---- end to end: the full stack is clean under hardening ---------------
+
+TEST(SanEndToEnd, MultiQueueFuzzRunCleanUnderHardening)
+{
+    // fuzz_run forces hardened mode internally and folds any violation
+    // (skb leaks, audit drift, OOB accesses) into report.unexplained.
+    gen::FuzzConfig cfg;
+    cfg.num_queues = 2;
+    const gen::DiffReport report = gen::fuzz_run(/*seed=*/0xD00D, cfg, 500);
+    EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+} // namespace
+} // namespace ovsx
