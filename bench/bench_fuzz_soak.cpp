@@ -11,8 +11,11 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "gen/fuzz.h"
+#include "gen/obs_export.h"
+#include "obs/metrics.h"
 
 int main(int argc, char** argv)
 {
@@ -42,9 +45,14 @@ int main(int argc, char** argv)
         packets += report.packets_run;
         explained += report.explained.size();
         if (!report.ok()) {
+            // report.summary() includes the divergent packet's
+            // per-provider obs trace and the minimized reproducer.
             std::printf("FAIL: unexplained divergence at seed=%llu count=%zu\n%s\n",
                         static_cast<unsigned long long>(seed), count,
                         report.summary().c_str());
+            ovsx::obs::metrics_set("soak.result", ovsx::obs::Value("fail"));
+            ovsx::obs::metrics_set("soak.fail_seed", ovsx::obs::Value(seed));
+            ovsx::gen::metrics_flush_from_env();
             return 1;
         }
         ++iterations;
@@ -56,5 +64,14 @@ int main(int argc, char** argv)
                 "(%.0f pkt/s across 3 datapaths)\n",
                 iterations, packets, explained, elapsed,
                 static_cast<double>(packets) / (elapsed > 0 ? elapsed : 1));
+
+    ovsx::obs::metrics_set("soak.result", ovsx::obs::Value("ok"));
+    ovsx::obs::metrics_set("soak.base_seed", ovsx::obs::Value(base_seed));
+    ovsx::obs::metrics_set("soak.iterations", ovsx::obs::Value(iterations));
+    ovsx::obs::metrics_set("soak.packets", ovsx::obs::Value(packets));
+    ovsx::obs::metrics_set("soak.explained_divergences", ovsx::obs::Value(explained));
+    ovsx::obs::metrics_set("soak.elapsed_seconds", ovsx::obs::Value(elapsed));
+    const std::string written = ovsx::gen::metrics_flush_from_env();
+    if (!written.empty()) std::printf("obs metrics written to %s\n", written.c_str());
     return 0;
 }

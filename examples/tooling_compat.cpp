@@ -15,6 +15,7 @@
 #include "ovs/dpif_netdev.h"
 #include "ovs/netdev_afxdp.h"
 #include "ovs/netdev_dpdk.h"
+#include "ovs/vswitch.h"
 
 using namespace ovsx;
 using namespace ovsx::kern;
@@ -94,9 +95,17 @@ int main()
     {
         // OVS takes eth0 through AF_XDP: everything still works, because
         // the kernel driver still owns the NIC.
-        ovs::DpifNetdev dpif(host);
-        dpif.add_port(std::make_unique<ovs::NetdevAfxdp>(eth0));
+        auto dpif = std::make_unique<ovs::DpifNetdev>(host);
+        dpif->add_port(std::make_unique<ovs::NetdevAfxdp>(eth0));
+        ovs::VSwitch vswitch(std::move(dpif));
         show_tools(host, "device attached to OVS via AF_XDP");
+
+        // And so does ovs-appctl: the obs command registry answers the
+        // classic introspection commands for whatever dpif is loaded.
+        for (const char* cmd :
+             {"dpif-netdev/pmd-stats-show", "xsk/ring-stats", "memory/show"}) {
+            std::printf("$ ovs-appctl %s\n%s\n", cmd, vswitch.appctl().run(cmd).c_str());
+        }
     }
 
     {

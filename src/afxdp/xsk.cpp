@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "obs/coverage.h"
+#include "obs/trace.h"
 #include "san/frame_tracker.h"
 
 namespace ovsx::afxdp {
@@ -11,9 +13,13 @@ bool XskSocket::kernel_deliver(const net::Packet& pkt, const sim::CostModel& cos
 {
     const auto fill = umem_.fill().consume();
     softirq.charge(costs.xsk_ring_op);
-    softirq.count("xsk.fill_consume");
+    OVSX_COVERAGE_CTX(softirq, "xsk.fill_consume");
     if (!fill) {
         ++rx_dropped_no_frame;
+        if (pkt.meta().trace_id) {
+            obs::trace(pkt.meta().trace_id, obs::Hop::XskRx, pkt.meta().latency_ns,
+                       "no-frame");
+        }
         return false;
     }
     san::frame_transition(umem_.san_scope(), *fill, san::FrameState::KernelRx, OVSX_SITE);
@@ -26,11 +32,17 @@ bool XskSocket::kernel_deliver(const net::Packet& pkt, const sim::CostModel& cos
     }
     // Zero-copy: the NIC DMA'd straight into umem; no CPU byte cost.
 
-    XdpDesc desc{*fill, static_cast<std::uint32_t>(len), 0};
+    // The frame is raw bytes; the trace id rides in the descriptor's
+    // options word so NetdevAfxdp::rx_burst can restore it.
+    XdpDesc desc{*fill, static_cast<std::uint32_t>(len), pkt.meta().trace_id};
     softirq.charge(costs.xsk_ring_op);
-    softirq.count("xsk.rx_produce");
+    OVSX_COVERAGE_CTX(softirq, "xsk.rx_produce");
     if (!rx_.produce(desc)) {
         ++rx_dropped_ring_full;
+        if (pkt.meta().trace_id) {
+            obs::trace(pkt.meta().trace_id, obs::Hop::XskRx, pkt.meta().latency_ns,
+                       "ring-full");
+        }
         // Frame is lost to the fill ring until userspace replenishes;
         // give it back immediately to keep the model conservative.
         san::frame_transition(umem_.san_scope(), *fill, san::FrameState::FillRing,
@@ -40,6 +52,10 @@ bool XskSocket::kernel_deliver(const net::Packet& pkt, const sim::CostModel& cos
     }
     san::frame_transition(umem_.san_scope(), *fill, san::FrameState::RxRing, OVSX_SITE);
     ++rx_delivered;
+    if (pkt.meta().trace_id) {
+        obs::trace(pkt.meta().trace_id, obs::Hop::XskRx, pkt.meta().latency_ns,
+                   "delivered", *fill);
+    }
     return true;
 }
 
@@ -51,6 +67,7 @@ std::optional<net::Packet> XskSocket::kernel_collect_tx(const sim::CostModel& co
     if (!desc) return std::nullopt;
     auto src = umem_.frame(desc->addr);
     net::Packet pkt = net::Packet::from_bytes(src.subspan(0, desc->len));
+    pkt.meta().trace_id = desc->options;
     if (mode_ == BindMode::Copy) {
         softirq.charge(costs.copy(desc->len));
     }

@@ -1,6 +1,7 @@
 #include "dpdk/ethdev.h"
 
 #include "kern/kernel.h"
+#include "obs/coverage.h"
 
 namespace ovsx::dpdk {
 
@@ -35,7 +36,7 @@ std::uint32_t EthDev::rx_burst(std::uint32_t queue, std::vector<net::Packet>& ou
         q.pop_front();
         ++n;
     }
-    pmd.count("dpdk.rx_burst");
+    OVSX_COVERAGE_CTX(pmd, "dpdk.rx_burst");
     return n;
 }
 

@@ -12,6 +12,7 @@
 #include "kern/kernel.h"
 #include "kern/nic.h"
 #include "kern/ovs_kmod.h"
+#include "obs/trace.h"
 #include "ovs/dpif_ebpf.h"
 #include "ovs/dpif_kernel.h"
 #include "ovs/dpif_netdev.h"
@@ -135,7 +136,10 @@ std::string DiffReport::summary() const
         }
         os << "}";
     }
-    for (const auto& d : unexplained) os << "\n  UNEXPLAINED step " << d.step << ": " << d.detail;
+    for (const auto& d : unexplained) {
+        os << "\n  UNEXPLAINED step " << d.step << ": " << d.detail;
+        if (!d.trace.empty()) os << "\n  " << d.trace;
+    }
     for (const auto& d : explained) {
         os << "\n  explained(" << d.explanation << ") step " << d.step << ": " << d.detail;
     }
@@ -240,10 +244,15 @@ struct DifferentialHarness::Instance {
         }
     }
 
-    void inject(const DiffPacket& step, sim::Nanos now)
+    void inject(const DiffPacket& step, sim::Nanos now, std::uint32_t trace_id = 0)
     {
         set_now(now);
+        // All instrumentation this instance records while processing the
+        // packet lands under this provider's domain tag, so a divergent
+        // packet's journeys can be dumped side by side.
+        obs::tracer().set_domain(to_string(kind));
         net::Packet copy = step.pkt;
+        copy.meta().trace_id = trace_id;
         nics[step.port]->rx_from_wire(std::move(copy));
         if (kind == DpKind::Netdev) {
             while (netdev->pmd_poll_once(pmd) > 0) {
@@ -383,11 +392,19 @@ DiffReport DifferentialHarness::run_once(const std::vector<DiffPacket>& seq, boo
     bool kernel_tainted = false;
     bool ebpf_tainted = false;
 
+    // Trace every injected packet (id = step + 1): when a divergence is
+    // detected, the per-provider journey of that exact packet is pulled
+    // out of the ring and attached to the divergence. The ring is sized
+    // so a full run fits; restore the tracer's prior state afterwards.
+    const bool tracing_was_enabled = obs::tracer().enabled();
+    obs::tracer().enable(std::max<std::size_t>(4096, seq.size() * 64));
+
     for (std::size_t step = 0; step < seq.size(); ++step) {
         const sim::Nanos now = static_cast<sim::Nanos>(step + 1) * kStepNanos;
+        const auto trace_id = static_cast<std::uint32_t>(step + 1);
         std::vector<Verdict> verdicts;
         for (auto& inst : instances) {
-            inst->inject(seq[step], now);
+            inst->inject(seq[step], now, trace_id);
             verdicts.push_back(inst->take_verdict());
         }
         for (std::size_t i = 1; i < instances.size(); ++i) {
@@ -401,6 +418,7 @@ DiffReport DifferentialHarness::run_once(const std::vector<DiffPacket>& seq, boo
             d.detail = std::string("netdev=") + verdicts[0].to_string() + " " +
                        to_string(instances[i]->kind) + "=" + verdicts[i].to_string();
             d.explanation = explain_expected_divergence(ruleset_, key, vs_ebpf);
+            d.trace = obs::tracer().dump(trace_id);
             if (d.explanation.empty()) {
                 report.unexplained.push_back(std::move(d));
             } else {
@@ -409,6 +427,8 @@ DiffReport DifferentialHarness::run_once(const std::vector<DiffPacket>& seq, boo
             }
         }
     }
+
+    if (!tracing_was_enabled) obs::tracer().disable();
 
     if (opts_.compare_end_state) {
         const std::size_t end_step = seq.size();

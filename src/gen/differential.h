@@ -77,6 +77,10 @@ struct Divergence {
     std::size_t step = 0;    // sequence index; == sequence size for end-state
     std::string detail;      // per-datapath verdicts / state difference
     std::string explanation; // empty = unexplained conformance bug
+    // obs trace of the divergent packet's journey through every
+    // provider (grouped by domain), captured from the trace ring at
+    // detection time. Empty for end-state divergences.
+    std::string trace;
 };
 
 struct Reproducer {

@@ -1,0 +1,46 @@
+#include "gen/obs_export.h"
+
+#include <cstdlib>
+
+#include "obs/metrics.h"
+
+namespace ovsx::gen {
+
+void publish_cpu_usage(const std::string& prefix, const sim::CpuUsage& cpu)
+{
+    obs::metrics_set(prefix + ".user", obs::Value(cpu.user));
+    obs::metrics_set(prefix + ".system", obs::Value(cpu.system));
+    obs::metrics_set(prefix + ".softirq", obs::Value(cpu.softirq));
+    obs::metrics_set(prefix + ".guest", obs::Value(cpu.guest));
+    obs::metrics_set(prefix + ".total", obs::Value(cpu.total()));
+}
+
+sim::CpuUsage read_cpu_usage(const std::string& prefix)
+{
+    sim::CpuUsage cpu;
+    if (auto v = obs::metrics_get(prefix + ".user")) cpu.user = v->as_double();
+    if (auto v = obs::metrics_get(prefix + ".system")) cpu.system = v->as_double();
+    if (auto v = obs::metrics_get(prefix + ".softirq")) cpu.softirq = v->as_double();
+    if (auto v = obs::metrics_get(prefix + ".guest")) cpu.guest = v->as_double();
+    return cpu;
+}
+
+void publish_rate_report(const std::string& prefix, const RateReport& rep)
+{
+    obs::metrics_set(prefix + ".pps", obs::Value(rep.pps));
+    obs::metrics_set(prefix + ".bottleneck", obs::Value(rep.bottleneck));
+    publish_cpu_usage(prefix + ".cpu", rep.cpu);
+    for (const auto& [stage, ns] : rep.stage_ns) {
+        obs::metrics_set(prefix + ".stage_ns." + stage, obs::Value(ns));
+    }
+}
+
+std::string metrics_flush_from_env()
+{
+    const char* path = std::getenv("OVSX_OBS_JSON");
+    if (!path || !*path) return "";
+    obs::metrics_write_json(path);
+    return path;
+}
+
+} // namespace ovsx::gen

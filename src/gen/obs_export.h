@@ -1,0 +1,31 @@
+// Bridges measurement results into the obs metrics tree, and flushes
+// the tree to disk for CI: benches publish their rows here, then render
+// the printed tables *from* the published metrics, so the JSON artifact
+// and the human-readable table can never disagree.
+#pragma once
+
+#include <string>
+
+#include "gen/measure.h"
+#include "sim/context.h"
+
+namespace ovsx::gen {
+
+// Publishes a CpuUsage under `prefix` (dotted path): user / system /
+// softirq / guest / total, in hyperthreads.
+void publish_cpu_usage(const std::string& prefix, const sim::CpuUsage& cpu);
+
+// Reads back a CpuUsage published by publish_cpu_usage. Returns zeros
+// for missing paths.
+sim::CpuUsage read_cpu_usage(const std::string& prefix);
+
+// Publishes a RateReport under `prefix`: pps, bottleneck stage, CPU
+// usage and per-stage ns/packet.
+void publish_rate_report(const std::string& prefix, const RateReport& rep);
+
+// Writes the obs metrics JSON (schema ovsx-obs-v1, including the
+// coverage snapshot) to $OVSX_OBS_JSON when that variable is set.
+// Returns the path written, or "" when the variable is unset.
+std::string metrics_flush_from_env();
+
+} // namespace ovsx::gen

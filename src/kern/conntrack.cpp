@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "net/headers.h"
+#include "obs/coverage.h"
+#include "obs/trace.h"
 #include "san/audit.h"
 
 namespace ovsx::kern {
@@ -27,7 +29,7 @@ CtResult Conntrack::process(net::Packet& pkt, const net::FlowKey& key, std::uint
 {
     // Hash + lookup cost, comparable to a flow-table probe.
     ctx.charge(costs_.kdp_flow_probe);
-    ctx.count("ct.lookup");
+    OVSX_COVERAGE_CTX(ctx, "ct.lookup");
 
     CtResult res;
     res.state = net::kCtStateTracked;

@@ -4,6 +4,7 @@
 
 #include "kern/ovs_kmod.h"
 #include "kern/stack.h"
+#include "obs/coverage.h"
 
 namespace ovsx::kern {
 
@@ -109,11 +110,11 @@ XdpVerdict Kernel::run_xdp(const ebpf::Program& prog, net::Packet& pkt, Device& 
         ctx.charge(costs_.cache_miss);
         pkt.meta().latency_ns += costs_.cache_miss;
     }
-    ctx.count("xdp.run");
+    OVSX_COVERAGE_CTX(ctx, "xdp.run");
 
     switch (res.action) {
     case ebpf::XdpAction::Aborted:
-        ctx.count("xdp.aborted");
+        OVSX_COVERAGE_CTX(ctx, "xdp.aborted");
         return XdpVerdict::Aborted;
     case ebpf::XdpAction::Drop:
         return XdpVerdict::Drop;

@@ -8,6 +8,7 @@
 #include "net/builder.h"
 #include "net/hash.h"
 #include "net/headers.h"
+#include "obs/trace.h"
 #include "san/packet_ledger.h"
 
 namespace ovsx::kern {
@@ -101,6 +102,10 @@ void PhysicalDevice::rx_from_wire(net::Packet&& pkt, std::optional<std::uint32_t
 
     ctx.charge(costs.nic_rx_desc);
     pkt.meta().latency_ns += costs.nic_rx_desc;
+    if (pkt.meta().trace_id) {
+        obs::trace(pkt.meta().trace_id, obs::Hop::NicRx, pkt.meta().latency_ns, name().c_str(),
+                   q);
+    }
     if (interrupt_mode_) {
         // One interrupt per NAPI batch; the wakeup it causes is paid by
         // whoever sleeps on the data (stack socket or AF_XDP poller).
@@ -118,6 +123,10 @@ void PhysicalDevice::rx_from_wire(net::Packet&& pkt, std::optional<std::uint32_t
 
     if (const ebpf::Program* prog = xdp_program(q)) {
         const XdpVerdict verdict = kernel().run_xdp(*prog, pkt, *this, q, ctx);
+        if (pkt.meta().trace_id) {
+            obs::trace(pkt.meta().trace_id, obs::Hop::Xdp, pkt.meta().latency_ns,
+                       to_string(verdict), q);
+        }
         switch (verdict) {
         case XdpVerdict::Drop:
         case XdpVerdict::Aborted:

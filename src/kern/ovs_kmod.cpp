@@ -6,6 +6,8 @@
 #include "kern/stack.h"
 #include "net/headers.h"
 #include "net/rewrite.h"
+#include "obs/coverage.h"
+#include "obs/trace.h"
 #include "san/audit.h"
 #include "san/packet_ledger.h"
 
@@ -227,15 +229,31 @@ void OvsKernelDatapath::receive(std::uint32_t port_no, net::Packet&& pkt, sim::E
     pkt.meta().latency_ns += static_cast<sim::Nanos>(res.probes) * costs.kdp_flow_probe;
     if (res.actions) {
         ++hits_;
+        OVSX_COVERAGE_CTX(ctx, "kdp.hit");
+        if (pkt.meta().trace_id) {
+            obs::trace(pkt.meta().trace_id, obs::Hop::KernelFlow, pkt.meta().latency_ns,
+                       "hit", res.probes);
+        }
         // Copy: executing may install flows and reenter.
         const OdpActions actions = *res.actions;
         execute(std::move(pkt), actions, ctx);
         return;
     }
     ++misses_;
+    OVSX_COVERAGE_CTX(ctx, "kdp.miss");
+    if (pkt.meta().trace_id) {
+        obs::trace(pkt.meta().trace_id, obs::Hop::KernelFlow, pkt.meta().latency_ns, "miss",
+                   res.probes);
+    }
     if (!upcall_) {
         ++lost_;
+        if (pkt.meta().trace_id) {
+            obs::trace(pkt.meta().trace_id, obs::Hop::Drop, pkt.meta().latency_ns, "lost");
+        }
         return;
+    }
+    if (pkt.meta().trace_id) {
+        obs::trace(pkt.meta().trace_id, obs::Hop::Upcall, pkt.meta().latency_ns, "");
     }
     ctx.charge(costs.upcall / 10); // kernel-side upcall enqueue share
     upcall_(port_no, std::move(pkt), key, ctx);
@@ -262,7 +280,16 @@ void OvsKernelDatapath::do_output(net::Packet&& pkt, std::uint32_t port_no,
                                   sim::ExecContext& ctx)
 {
     const Vport* vport = port(port_no);
-    if (!vport) return;
+    if (!vport) {
+        if (pkt.meta().trace_id) {
+            obs::trace(pkt.meta().trace_id, obs::Hop::Drop, pkt.meta().latency_ns,
+                       "no-such-port", port_no);
+        }
+        return;
+    }
+    if (pkt.meta().trace_id) {
+        obs::trace(pkt.meta().trace_id, obs::Hop::Tx, pkt.meta().latency_ns, "", port_no);
+    }
     if (vport->dev) {
         vport->dev->transmit(std::move(pkt), ctx);
         return;
@@ -332,6 +359,10 @@ void OvsKernelDatapath::execute(net::Packet&& pkt, const OdpActions& actions,
         case OdpAction::Type::Ct: {
             const net::FlowKey key = net::parse_flow(pkt);
             kernel_.conntrack().process(pkt, key, act.ct.zone, act.ct.commit, ctx, now_);
+            if (pkt.meta().trace_id) {
+                obs::trace(pkt.meta().trace_id, obs::Hop::Ct, pkt.meta().latency_ns, "",
+                           act.ct.zone, pkt.meta().ct_state);
+            }
             break;
         }
         case OdpAction::Type::Recirc: {

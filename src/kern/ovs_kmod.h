@@ -49,6 +49,8 @@ public:
     explicit OvsKernelDatapath(Kernel& kernel);
     ~OvsKernelDatapath();
 
+    Kernel& kernel() { return kernel_; }
+
     // ---- ports ---------------------------------------------------------
     std::uint32_t add_port(Device& dev);
     std::uint32_t add_tunnel_port(const std::string& name, net::TunnelType type,

@@ -43,6 +43,11 @@ struct PacketMeta {
     // that charge an execution context also add here, so end-to-end
     // latency distributions (Figs. 10/11) fall out of the same model.
     std::int64_t latency_ns = 0;
+
+    // obs trace-span identity: 0 = untraced (the common case; every
+    // tracer call site guards on it, so tracing costs one compare per
+    // hop when off). Assigned by the differential harness / tests.
+    std::uint32_t trace_id = 0;
 };
 
 class Packet {

@@ -1,0 +1,130 @@
+#include "obs/appctl.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "obs/coverage.h"
+
+namespace ovsx::obs {
+
+Appctl::Appctl()
+{
+    register_command("coverage/show", "global coverage counters", [](const Args&) {
+        Value v = Value::object();
+        for (const auto& [name, count] : coverage_snapshot()) {
+            v.set(name, count);
+        }
+        return v;
+    });
+    register_command("memory/show", "registered allocator/cache occupancy",
+                     [](const Args&) { return memory_show(); });
+    register_command("appctl/list", "list registered commands", [this](const Args&) {
+        Value v = Value::object();
+        for (const auto& [name, help] : commands()) {
+            v.set(name, help);
+        }
+        return v;
+    });
+}
+
+void Appctl::register_command(std::string name, std::string help, Handler handler)
+{
+    for (auto& cmd : commands_) {
+        if (cmd.name == name) {
+            cmd.help = std::move(help);
+            cmd.handler = std::move(handler);
+            return;
+        }
+    }
+    commands_.push_back(Command{std::move(name), std::move(help), std::move(handler)});
+}
+
+void Appctl::unregister_command(const std::string& name)
+{
+    commands_.erase(std::remove_if(commands_.begin(), commands_.end(),
+                                   [&](const Command& c) { return c.name == name; }),
+                    commands_.end());
+}
+
+bool Appctl::has(const std::string& name) const
+{
+    return std::any_of(commands_.begin(), commands_.end(),
+                       [&](const Command& c) { return c.name == name; });
+}
+
+std::vector<std::pair<std::string, std::string>> Appctl::commands() const
+{
+    std::vector<std::pair<std::string, std::string>> out;
+    out.reserve(commands_.size());
+    for (const auto& c : commands_) out.emplace_back(c.name, c.help);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+Value Appctl::run_value(const std::string& name, const Args& args) const
+{
+    for (const auto& c : commands_) {
+        if (c.name == name) return c.handler(args);
+    }
+    throw std::invalid_argument("appctl: unknown command '" + name + "'");
+}
+
+std::string Appctl::run(const std::string& name, const Args& args, Format format) const
+{
+    const Value v = run_value(name, args);
+    return format == Format::Json ? v.to_json() : v.to_text();
+}
+
+// --- memory-reporter registry ------------------------------------------
+
+namespace {
+
+struct MemoryRegistry {
+    std::uint64_t next_token = 1;
+    // Ordered by registration; names may repeat (several mempools).
+    std::vector<std::pair<std::uint64_t, std::pair<std::string, MemoryReportFn>>> entries;
+};
+
+MemoryRegistry& memory_registry()
+{
+    static MemoryRegistry r;
+    return r;
+}
+
+} // namespace
+
+std::uint64_t memory_register(std::string name, MemoryReportFn fn)
+{
+    MemoryRegistry& r = memory_registry();
+    const std::uint64_t token = r.next_token++;
+    r.entries.emplace_back(token, std::make_pair(std::move(name), std::move(fn)));
+    return token;
+}
+
+void memory_unregister(std::uint64_t token)
+{
+    MemoryRegistry& r = memory_registry();
+    r.entries.erase(std::remove_if(r.entries.begin(), r.entries.end(),
+                                   [&](const auto& e) { return e.first == token; }),
+                    r.entries.end());
+}
+
+Value memory_show()
+{
+    // Sort by name; disambiguate duplicates with "#2", "#3", ...
+    std::map<std::string, std::vector<const MemoryReportFn*>> by_name;
+    for (const auto& [token, entry] : memory_registry().entries) {
+        by_name[entry.first].push_back(&entry.second);
+    }
+    Value v = Value::object();
+    for (const auto& [name, fns] : by_name) {
+        for (std::size_t i = 0; i < fns.size(); ++i) {
+            const std::string key = i == 0 ? name : name + "#" + std::to_string(i + 1);
+            v.set(key, (*fns[i])());
+        }
+    }
+    return v;
+}
+
+} // namespace ovsx::obs

@@ -1,0 +1,70 @@
+// obs::Appctl — the ovs-appctl analogue: a registry of named
+// introspection commands, each producing a Value tree rendered as
+// stable text or JSON.
+//
+// Subsystems register their commands against whichever Appctl instance
+// owns them (a VSwitch exposes one; tests build their own). Two
+// built-ins come registered on every instance:
+//
+//   coverage/show  — global coverage counters (see obs/coverage.h)
+//   memory/show    — every reporter in the global memory registry
+//                    (mempools, replica caches, san ledgers, ...)
+//   appctl/list    — the command catalog itself
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/value.h"
+
+namespace ovsx::obs {
+
+class Appctl {
+public:
+    enum class Format { Text, Json };
+    using Args = std::vector<std::string>;
+    using Handler = std::function<Value(const Args&)>;
+
+    Appctl();
+
+    // Re-registering a name replaces the handler.
+    void register_command(std::string name, std::string help, Handler handler);
+    void unregister_command(const std::string& name);
+
+    bool has(const std::string& name) const;
+    // (name, help) pairs sorted by name.
+    std::vector<std::pair<std::string, std::string>> commands() const;
+
+    // Runs a command; throws std::invalid_argument for unknown names.
+    Value run_value(const std::string& name, const Args& args = {}) const;
+    std::string run(const std::string& name, const Args& args = {},
+                    Format format = Format::Text) const;
+
+private:
+    struct Command {
+        std::string name;
+        std::string help;
+        Handler handler;
+    };
+    std::vector<Command> commands_;
+};
+
+// --- global memory-reporter registry -----------------------------------
+//
+// Long-lived allocators/caches (dpdk::Mempool, ovs::NetlinkCache, the
+// san skb ledger) register a closure returning their occupancy; the
+// `memory/show` built-in renders every live reporter.
+
+using MemoryReportFn = std::function<Value()>;
+
+// Returns a token for unregistration (object destruction).
+std::uint64_t memory_register(std::string name, MemoryReportFn fn);
+void memory_unregister(std::uint64_t token);
+
+// Object keyed by reporter name, sorted; duplicate names get "#2", ...
+Value memory_show();
+
+} // namespace ovsx::obs

@@ -1,0 +1,98 @@
+#include "obs/coverage.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace ovsx::obs {
+
+namespace {
+
+struct Registry {
+    std::mutex mu;
+    std::unordered_map<std::string, CounterId> ids;
+    std::vector<std::string> names;
+};
+
+Registry& reg()
+{
+    static Registry r;
+    return r;
+}
+
+std::atomic<std::uint64_t> g_counts[kCoverageMax];
+
+} // namespace
+
+CounterId coverage_id(const std::string& name)
+{
+    Registry& r = reg();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.ids.find(name);
+    if (it != r.ids.end()) return it->second;
+    if (r.names.size() >= kCoverageMax) {
+        throw std::runtime_error("obs: coverage counter capacity exceeded interning '" +
+                                 name + "'");
+    }
+    const auto id = static_cast<CounterId>(r.names.size());
+    r.names.push_back(name);
+    r.ids.emplace(name, id);
+    return id;
+}
+
+std::optional<CounterId> coverage_find(const std::string& name)
+{
+    Registry& r = reg();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.ids.find(name);
+    if (it == r.ids.end()) return std::nullopt;
+    return it->second;
+}
+
+const std::string& coverage_name(CounterId id)
+{
+    Registry& r = reg();
+    std::lock_guard<std::mutex> lock(r.mu);
+    static const std::string unknown = "?";
+    return id < r.names.size() ? r.names[id] : unknown;
+}
+
+std::size_t coverage_registered()
+{
+    Registry& r = reg();
+    std::lock_guard<std::mutex> lock(r.mu);
+    return r.names.size();
+}
+
+void coverage_inc(CounterId id, std::uint64_t n)
+{
+    if (id < kCoverageMax) g_counts[id].fetch_add(n, std::memory_order_relaxed);
+}
+
+std::uint64_t coverage_value(CounterId id)
+{
+    return id < kCoverageMax ? g_counts[id].load(std::memory_order_relaxed) : 0;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> coverage_snapshot(bool include_zero)
+{
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    Registry& r = reg();
+    std::lock_guard<std::mutex> lock(r.mu);
+    out.reserve(r.names.size());
+    for (std::size_t i = 0; i < r.names.size(); ++i) {
+        const std::uint64_t v = g_counts[i].load(std::memory_order_relaxed);
+        if (v != 0 || include_zero) out.emplace_back(r.names[i], v);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+void coverage_reset()
+{
+    for (auto& c : g_counts) c.store(0, std::memory_order_relaxed);
+}
+
+} // namespace ovsx::obs

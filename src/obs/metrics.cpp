@@ -1,0 +1,92 @@
+#include "obs/metrics.h"
+
+#include <fstream>
+
+#include "obs/coverage.h"
+
+namespace ovsx::obs {
+
+namespace {
+
+Value& root()
+{
+    static Value v = Value::object();
+    return v;
+}
+
+std::vector<std::string> split_path(const std::string& dotted)
+{
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (start <= dotted.size()) {
+        const std::size_t dot = dotted.find('.', start);
+        if (dot == std::string::npos) {
+            parts.push_back(dotted.substr(start));
+            break;
+        }
+        parts.push_back(dotted.substr(start, dot - start));
+        start = dot + 1;
+    }
+    return parts;
+}
+
+} // namespace
+
+void metrics_set(const std::string& dotted, Value v)
+{
+    const auto parts = split_path(dotted);
+    Value* node = &root();
+    for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
+        Value* child = const_cast<Value*>(node->find(parts[i]));
+        if (!child || !child->is_object()) {
+            node->set(parts[i], Value::object());
+            child = const_cast<Value*>(node->find(parts[i]));
+        }
+        node = child;
+    }
+    node->set(parts.back(), std::move(v));
+}
+
+std::optional<Value> metrics_get(const std::string& dotted)
+{
+    const auto parts = split_path(dotted);
+    const Value* node = &root();
+    for (const auto& p : parts) {
+        node = node->find(p);
+        if (!node) return std::nullopt;
+    }
+    return *node;
+}
+
+Value metrics_snapshot()
+{
+    return root();
+}
+
+void metrics_reset()
+{
+    root() = Value::object();
+}
+
+std::string metrics_json()
+{
+    Value doc = Value::object();
+    doc.set("schema", kMetricsSchema);
+    Value cov = Value::object();
+    for (const auto& [name, count] : coverage_snapshot()) {
+        cov.set(name, count);
+    }
+    doc.set("coverage", std::move(cov));
+    doc.set("metrics", root());
+    return doc.to_json();
+}
+
+bool metrics_write_json(const std::string& path)
+{
+    std::ofstream out(path);
+    if (!out) return false;
+    out << metrics_json() << "\n";
+    return static_cast<bool>(out);
+}
+
+} // namespace ovsx::obs

@@ -1,0 +1,37 @@
+// Metrics JSON exporter.
+//
+// Benches and the fuzz soak publish structured results here under
+// dotted paths ("rates.p2p.pps", "soak.packets") instead of keeping
+// bespoke printf tables; `metrics_json()` renders everything — plus a
+// coverage-counter section — as one schema-tagged document that CI
+// uploads and sanity-checks.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "obs/value.h"
+
+namespace ovsx::obs {
+
+inline constexpr const char* kMetricsSchema = "ovsx-obs-v1";
+
+// Sets the value at `dotted` ("a.b.c"), creating intermediate objects.
+// A non-object intermediate is replaced by an object.
+void metrics_set(const std::string& dotted, Value v);
+
+// Copy of the value at `dotted`, or nullopt.
+std::optional<Value> metrics_get(const std::string& dotted);
+
+// Copy of the whole metrics tree (an object).
+Value metrics_snapshot();
+
+void metrics_reset();
+
+// {"schema":"ovsx-obs-v1","coverage":{...},"metrics":{...}}
+std::string metrics_json();
+
+// Writes metrics_json() to `path`; false on I/O failure.
+bool metrics_write_json(const std::string& path);
+
+} // namespace ovsx::obs

@@ -1,0 +1,112 @@
+#include "obs/trace.h"
+
+namespace ovsx::obs {
+
+const char* to_string(Hop h)
+{
+    switch (h) {
+    case Hop::NicRx: return "nic-rx";
+    case Hop::Xdp: return "xdp";
+    case Hop::XskRx: return "xsk-rx";
+    case Hop::Upcall: return "upcall";
+    case Hop::Emc: return "emc";
+    case Hop::Megaflow: return "megaflow";
+    case Hop::KernelFlow: return "kernel-flow";
+    case Hop::EbpfLookup: return "ebpf-lookup";
+    case Hop::Ofproto: return "ofproto";
+    case Hop::Ct: return "ct";
+    case Hop::Action: return "action";
+    case Hop::Meter: return "meter";
+    case Hop::Tx: return "tx";
+    case Hop::Drop: return "drop";
+    }
+    return "?";
+}
+
+std::string TraceEvent::to_string() const
+{
+    std::string s = std::to_string(ts) + "ns " + obs::to_string(hop);
+    if (verdict && verdict[0]) s += std::string(" ") + verdict;
+    if (a || b) s += " (" + std::to_string(a) + "," + std::to_string(b) + ")";
+    return s;
+}
+
+void Tracer::enable(std::size_t capacity)
+{
+    enabled_ = true;
+    ring_.assign(capacity ? capacity : 1, TraceEvent{});
+    head_ = 0;
+    recorded_ = 0;
+}
+
+void Tracer::disable()
+{
+    enabled_ = false;
+}
+
+void Tracer::record(std::uint32_t packet_id, Hop hop, std::int64_t ts, const char* verdict,
+                    std::uint64_t a, std::uint64_t b)
+{
+    if (!enabled_ || packet_id == 0 || ring_.empty()) return;
+    ring_[head_] = TraceEvent{packet_id, hop, ts, domain_, verdict, a, b};
+    head_ = (head_ + 1) % ring_.size();
+    ++recorded_;
+}
+
+std::vector<TraceEvent> Tracer::all() const
+{
+    std::vector<TraceEvent> out;
+    if (ring_.empty()) return out;
+    const std::size_t n = recorded_ < ring_.size() ? static_cast<std::size_t>(recorded_)
+                                                   : ring_.size();
+    out.reserve(n);
+    // Oldest surviving event first.
+    const std::size_t start = recorded_ < ring_.size() ? 0 : head_;
+    for (std::size_t i = 0; i < n; ++i) {
+        out.push_back(ring_[(start + i) % ring_.size()]);
+    }
+    return out;
+}
+
+std::vector<TraceEvent> Tracer::events_for(std::uint32_t packet_id) const
+{
+    std::vector<TraceEvent> out;
+    for (const TraceEvent& ev : all()) {
+        if (ev.packet_id == packet_id) out.push_back(ev);
+    }
+    return out;
+}
+
+std::string Tracer::dump(std::uint32_t packet_id) const
+{
+    const auto events = events_for(packet_id);
+    if (events.empty()) {
+        return "trace[" + std::to_string(packet_id) + "]: no events (ring overwritten?)\n";
+    }
+    std::string out = "trace[" + std::to_string(packet_id) + "]:\n";
+    const char* current_domain = nullptr;
+    for (const TraceEvent& ev : events) {
+        if (!current_domain || std::string(current_domain) != ev.domain) {
+            current_domain = ev.domain;
+            out += "  [" + std::string(ev.domain && ev.domain[0] ? ev.domain : "-") + "]\n";
+        }
+        out += "    " + ev.to_string() + "\n";
+    }
+    return out;
+}
+
+void Tracer::clear()
+{
+    for (auto& ev : ring_) ev = TraceEvent{};
+    head_ = 0;
+    recorded_ = 0;
+    next_id_ = 1;
+}
+
+Tracer& tracer()
+{
+    static Tracer t;
+    return t;
+}
+
+} // namespace ovsx::obs

@@ -1,0 +1,395 @@
+#include "obs/value.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ovsx::obs {
+
+Value& Value::set(std::string key, Value v)
+{
+    kind_ = Kind::Object;
+    for (auto& [k, existing] : members_) {
+        if (k == key) {
+            existing = std::move(v);
+            return *this;
+        }
+    }
+    members_.emplace_back(std::move(key), std::move(v));
+    return *this;
+}
+
+Value& Value::push(Value v)
+{
+    kind_ = Kind::Array;
+    items_.push_back(std::move(v));
+    return *this;
+}
+
+const Value* Value::find(const std::string& key) const
+{
+    for (const auto& [k, v] : members_) {
+        if (k == key) return &v;
+    }
+    return nullptr;
+}
+
+double Value::as_double() const
+{
+    switch (kind_) {
+    case Kind::Int: return static_cast<double>(i_);
+    case Kind::Uint: return static_cast<double>(u_);
+    case Kind::Double: return d_;
+    default: return 0.0;
+    }
+}
+
+namespace {
+
+void json_escape(const std::string& s, std::string& out)
+{
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+std::string double_repr(double d)
+{
+    if (!std::isfinite(d)) return "0";
+    char buf[40];
+    // %.17g round-trips; trim to something stable and readable first.
+    std::snprintf(buf, sizeof buf, "%.6f", d);
+    std::string s = buf;
+    while (s.size() > 1 && s.back() == '0' && s[s.size() - 2] != '.') s.pop_back();
+    return s;
+}
+
+} // namespace
+
+void Value::json_to(std::string& out) const
+{
+    switch (kind_) {
+    case Kind::Null: out += "null"; break;
+    case Kind::Bool: out += b_ ? "true" : "false"; break;
+    case Kind::Int: out += std::to_string(i_); break;
+    case Kind::Uint: out += std::to_string(u_); break;
+    case Kind::Double: out += double_repr(d_); break;
+    case Kind::String: json_escape(s_, out); break;
+    case Kind::Array: {
+        out += '[';
+        bool first = true;
+        for (const auto& v : items_) {
+            if (!first) out += ',';
+            first = false;
+            v.json_to(out);
+        }
+        out += ']';
+        break;
+    }
+    case Kind::Object: {
+        out += '{';
+        bool first = true;
+        for (const auto& [k, v] : members_) {
+            if (!first) out += ',';
+            first = false;
+            json_escape(k, out);
+            out += ':';
+            v.json_to(out);
+        }
+        out += '}';
+        break;
+    }
+    }
+}
+
+std::string Value::to_json() const
+{
+    std::string out;
+    json_to(out);
+    return out;
+}
+
+namespace {
+
+bool is_scalar(Value::Kind k)
+{
+    return k != Value::Kind::Array && k != Value::Kind::Object;
+}
+
+std::string scalar_text(const Value& v)
+{
+    switch (v.kind()) {
+    case Value::Kind::Null: return "-";
+    case Value::Kind::Bool: return v.as_bool() ? "true" : "false";
+    case Value::Kind::Int: return std::to_string(v.as_int());
+    case Value::Kind::Uint: return std::to_string(v.as_uint());
+    case Value::Kind::Double: return double_repr(v.as_double());
+    case Value::Kind::String: return v.as_string();
+    default: return "";
+    }
+}
+
+} // namespace
+
+void Value::text_to(std::string& out, int indent) const
+{
+    const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+    switch (kind_) {
+    case Kind::Object:
+        for (const auto& [k, v] : members_) {
+            if (is_scalar(v.kind())) {
+                out += pad + k + ": " + scalar_text(v) + "\n";
+            } else {
+                out += pad + k + ":\n";
+                v.text_to(out, indent + 1);
+            }
+        }
+        break;
+    case Kind::Array:
+        for (const auto& v : items_) {
+            if (is_scalar(v.kind())) {
+                out += pad + "- " + scalar_text(v) + "\n";
+            } else {
+                out += pad + "-\n";
+                v.text_to(out, indent + 1);
+            }
+        }
+        break;
+    default: out += pad + scalar_text(*this) + "\n";
+    }
+}
+
+std::string Value::to_text() const
+{
+    std::string out;
+    text_to(out, 0);
+    return out;
+}
+
+// --- JSON reader -------------------------------------------------------
+
+namespace {
+
+struct Parser {
+    const std::string& s;
+    std::size_t i = 0;
+    bool ok = true;
+
+    void skip_ws()
+    {
+        while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r'))
+            ++i;
+    }
+    bool eat(char c)
+    {
+        skip_ws();
+        if (i < s.size() && s[i] == c) {
+            ++i;
+            return true;
+        }
+        return false;
+    }
+    char peek()
+    {
+        skip_ws();
+        return i < s.size() ? s[i] : '\0';
+    }
+
+    Value parse_value()
+    {
+        switch (peek()) {
+        case '{': return parse_object();
+        case '[': return parse_array();
+        case '"': return Value(parse_string());
+        case 't':
+            if (s.compare(i, 4, "true") == 0) {
+                i += 4;
+                return Value(true);
+            }
+            ok = false;
+            return {};
+        case 'f':
+            if (s.compare(i, 5, "false") == 0) {
+                i += 5;
+                return Value(false);
+            }
+            ok = false;
+            return {};
+        case 'n':
+            if (s.compare(i, 4, "null") == 0) {
+                i += 4;
+                return {};
+            }
+            ok = false;
+            return {};
+        default: return parse_number();
+        }
+    }
+
+    Value parse_object()
+    {
+        Value v = Value::object();
+        if (!eat('{')) {
+            ok = false;
+            return v;
+        }
+        if (eat('}')) return v;
+        while (ok) {
+            if (peek() != '"') {
+                ok = false;
+                break;
+            }
+            std::string key = parse_string();
+            if (!ok || !eat(':')) {
+                ok = false;
+                break;
+            }
+            v.set(std::move(key), parse_value());
+            if (eat(',')) continue;
+            if (eat('}')) break;
+            ok = false;
+        }
+        return v;
+    }
+
+    Value parse_array()
+    {
+        Value v = Value::array();
+        if (!eat('[')) {
+            ok = false;
+            return v;
+        }
+        if (eat(']')) return v;
+        while (ok) {
+            v.push(parse_value());
+            if (eat(',')) continue;
+            if (eat(']')) break;
+            ok = false;
+        }
+        return v;
+    }
+
+    std::string parse_string()
+    {
+        std::string out;
+        if (!eat('"')) {
+            ok = false;
+            return out;
+        }
+        while (i < s.size()) {
+            const char c = s[i++];
+            if (c == '"') return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (i >= s.size()) break;
+            const char e = s[i++];
+            switch (e) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'n': out += '\n'; break;
+            case 't': out += '\t'; break;
+            case 'r': out += '\r'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'u': {
+                if (i + 4 > s.size()) {
+                    ok = false;
+                    return out;
+                }
+                unsigned cp = 0;
+                for (int k = 0; k < 4; ++k) {
+                    const char h = s[i++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else {
+                        ok = false;
+                        return out;
+                    }
+                }
+                // UTF-8 encode (BMP only; surrogate pairs unsupported).
+                if (cp < 0x80) {
+                    out += static_cast<char>(cp);
+                } else if (cp < 0x800) {
+                    out += static_cast<char>(0xc0 | (cp >> 6));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (cp >> 12));
+                    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
+                }
+                break;
+            }
+            default: ok = false; return out;
+            }
+        }
+        ok = false;
+        return out;
+    }
+
+    Value parse_number()
+    {
+        skip_ws();
+        const std::size_t start = i;
+        bool is_float = false;
+        if (i < s.size() && s[i] == '-') ++i;
+        while (i < s.size()) {
+            const char c = s[i];
+            if (std::isdigit(static_cast<unsigned char>(c))) {
+                ++i;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+                is_float = true;
+                ++i;
+            } else {
+                break;
+            }
+        }
+        if (i == start) {
+            ok = false;
+            return {};
+        }
+        const std::string tok = s.substr(start, i - start);
+        if (is_float) return Value(std::strtod(tok.c_str(), nullptr));
+        if (tok[0] == '-') return Value(std::strtoll(tok.c_str(), nullptr, 10));
+        return Value(std::strtoull(tok.c_str(), nullptr, 10));
+    }
+};
+
+} // namespace
+
+std::optional<Value> json_parse(const std::string& text)
+{
+    Parser p{text};
+    Value v = p.parse_value();
+    p.skip_ws();
+    if (!p.ok || p.i != text.size()) return std::nullopt;
+    return v;
+}
+
+} // namespace ovsx::obs

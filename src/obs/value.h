@@ -1,0 +1,100 @@
+// ovsx::obs — structured values for introspection output.
+//
+// Every appctl command and metrics reporter produces a Value tree; the
+// tree renders either as deterministic appctl-style text (golden-tested)
+// or as JSON (machine-consumed by benches and CI). Objects preserve
+// insertion order so renderings are stable across runs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ovsx::obs {
+
+class Value {
+public:
+    enum class Kind { Null, Bool, Int, Uint, Double, String, Array, Object };
+
+    Value() = default;
+    Value(bool b) : kind_(Kind::Bool), b_(b) {}
+    Value(int i) : kind_(Kind::Int), i_(i) {}
+    Value(long i) : kind_(Kind::Int), i_(i) {}
+    Value(long long i) : kind_(Kind::Int), i_(i) {}
+    Value(unsigned u) : kind_(Kind::Uint), u_(u) {}
+    Value(unsigned long u) : kind_(Kind::Uint), u_(u) {}
+    Value(unsigned long long u) : kind_(Kind::Uint), u_(u) {}
+    Value(double d) : kind_(Kind::Double), d_(d) {}
+    Value(const char* s) : kind_(Kind::String), s_(s) {}
+    Value(std::string s) : kind_(Kind::String), s_(std::move(s)) {}
+
+    static Value object()
+    {
+        Value v;
+        v.kind_ = Kind::Object;
+        return v;
+    }
+    static Value array()
+    {
+        Value v;
+        v.kind_ = Kind::Array;
+        return v;
+    }
+
+    Kind kind() const { return kind_; }
+    bool is_null() const { return kind_ == Kind::Null; }
+    bool is_object() const { return kind_ == Kind::Object; }
+    bool is_array() const { return kind_ == Kind::Array; }
+    bool is_number() const
+    {
+        return kind_ == Kind::Int || kind_ == Kind::Uint || kind_ == Kind::Double;
+    }
+
+    // Object member set (replaces an existing key in place); returns
+    // *this for chaining.
+    Value& set(std::string key, Value v);
+    Value& push(Value v);
+
+    const Value* find(const std::string& key) const;
+    const std::vector<std::pair<std::string, Value>>& members() const { return members_; }
+    const std::vector<Value>& items() const { return items_; }
+
+    bool as_bool() const { return b_; }
+    std::int64_t as_int() const
+    {
+        return kind_ == Kind::Uint ? static_cast<std::int64_t>(u_) : i_;
+    }
+    std::uint64_t as_uint() const
+    {
+        return kind_ == Kind::Int ? static_cast<std::uint64_t>(i_) : u_;
+    }
+    double as_double() const;
+    const std::string& as_string() const { return s_; }
+
+    std::string to_json() const;
+    // Appctl-style rendering: "key: value" lines, nested levels indented
+    // two spaces, array elements introduced by "- ".
+    std::string to_text() const;
+
+private:
+    void json_to(std::string& out) const;
+    void text_to(std::string& out, int indent) const;
+
+    Kind kind_ = Kind::Null;
+    bool b_ = false;
+    std::int64_t i_ = 0;
+    std::uint64_t u_ = 0;
+    double d_ = 0;
+    std::string s_;
+    std::vector<std::pair<std::string, Value>> members_;
+    std::vector<Value> items_;
+};
+
+// Minimal JSON reader for the obs dialect (what to_json emits): objects,
+// arrays, strings with \"\\/bfnrt and \uXXXX (BMP only), numbers, bools,
+// null. Returns nullopt on malformed input.
+std::optional<Value> json_parse(const std::string& text);
+
+} // namespace ovsx::obs

@@ -1,0 +1,86 @@
+#include "ovs/appctl_render.h"
+
+#include <algorithm>
+
+namespace ovsx::ovs {
+
+std::string ipv4_to_string(std::uint32_t ip)
+{
+    return std::to_string((ip >> 24) & 0xff) + "." + std::to_string((ip >> 16) & 0xff) + "." +
+           std::to_string((ip >> 8) & 0xff) + "." + std::to_string(ip & 0xff);
+}
+
+obs::Value render_flow_dump(const std::vector<kern::OdpFlowEntry>& flows)
+{
+    std::vector<std::string> lines;
+    lines.reserve(flows.size());
+    for (const auto& f : flows) lines.push_back(f.to_string());
+    std::sort(lines.begin(), lines.end());
+
+    obs::Value v = obs::Value::object();
+    v.set("flow_count", static_cast<std::uint64_t>(flows.size()));
+    obs::Value arr = obs::Value::array();
+    for (auto& line : lines) arr.push(obs::Value(std::move(line)));
+    v.set("flows", std::move(arr));
+    return v;
+}
+
+obs::Value render_ct_snapshot(const std::vector<kern::CtSnapshotEntry>& entries)
+{
+    obs::Value v = obs::Value::object();
+    v.set("count", static_cast<std::uint64_t>(entries.size()));
+    obs::Value arr = obs::Value::array();
+    for (const auto& e : entries) {
+        obs::Value row = obs::Value::object();
+        row.set("src", ipv4_to_string(e.orig.src));
+        row.set("dst", ipv4_to_string(e.orig.dst));
+        row.set("sport", static_cast<std::uint64_t>(e.orig.sport));
+        row.set("dport", static_cast<std::uint64_t>(e.orig.dport));
+        row.set("proto", static_cast<std::uint64_t>(e.orig.proto));
+        row.set("zone", static_cast<std::uint64_t>(e.orig.zone));
+        row.set("confirmed", e.confirmed);
+        row.set("seen_reply", e.seen_reply);
+        row.set("packets", e.packets);
+        arr.push(std::move(row));
+    }
+    v.set("entries", std::move(arr));
+    return v;
+}
+
+obs::Value render_pmd_stats(const char* datapath, std::uint64_t hits, std::uint64_t misses,
+                            std::uint64_t lost)
+{
+    obs::Value v = obs::Value::object();
+    v.set("datapath", datapath);
+    obs::Value stats = obs::Value::object();
+    stats.set("hits", hits);
+    stats.set("misses", misses);
+    stats.set("lost", lost);
+    v.set("stats", std::move(stats));
+    v.set("pmds", obs::Value::array());
+    return v;
+}
+
+obs::Value render_xsk_rings(const std::vector<XskRingRow>& rows)
+{
+    obs::Value v = obs::Value::object();
+    obs::Value arr = obs::Value::array();
+    for (const auto& r : rows) {
+        obs::Value row = obs::Value::object();
+        row.set("dev", r.dev);
+        row.set("queue", static_cast<std::uint64_t>(r.queue));
+        row.set("rx_size", static_cast<std::uint64_t>(r.rx_size));
+        row.set("tx_size", static_cast<std::uint64_t>(r.tx_size));
+        row.set("fill_size", static_cast<std::uint64_t>(r.fill_size));
+        row.set("comp_size", static_cast<std::uint64_t>(r.comp_size));
+        row.set("rx_delivered", r.rx_delivered);
+        row.set("rx_dropped_no_frame", r.rx_dropped_no_frame);
+        row.set("rx_dropped_ring_full", r.rx_dropped_ring_full);
+        row.set("tx_completed", r.tx_completed);
+        arr.push(std::move(row));
+    }
+    v.set("rings", std::move(arr));
+    return v;
+}
+
+} // namespace ovsx::ovs

@@ -1,0 +1,53 @@
+// Shared appctl renderers: every dataplane provider answers the same
+// introspection commands (dpctl/dump-flows, conntrack/show,
+// dpif-netdev/pmd-stats-show, xsk/ring-stats) with the same value
+// shape, so golden tests and the differential harness can compare
+// providers field by field.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kern/conntrack.h"
+#include "kern/odp.h"
+#include "obs/value.h"
+
+namespace ovsx::ovs {
+
+// {"flow_count": N, "flows": ["key{..} mask{..} actions{..}", ...]}
+// Flow strings are sorted so the dump is deterministic regardless of
+// provider-internal table order.
+obs::Value render_flow_dump(const std::vector<kern::OdpFlowEntry>& flows);
+
+// {"count": N, "entries": [{src,dst,sport,dport,proto,zone,...}, ...]}
+obs::Value render_ct_snapshot(const std::vector<kern::CtSnapshotEntry>& entries);
+
+// Common header of dpif-netdev/pmd-stats-show: the caller appends the
+// per-PMD rows (empty for providers without PMD threads).
+// {"datapath": type, "stats": {hits, misses, lost}, "pmds": [...]}
+obs::Value render_pmd_stats(const char* datapath, std::uint64_t hits, std::uint64_t misses,
+                            std::uint64_t lost);
+
+// One AF_XDP socket's ring occupancy + delivery counters.
+struct XskRingRow {
+    std::string dev;
+    std::uint32_t queue = 0;
+    std::uint32_t rx_size = 0;
+    std::uint32_t tx_size = 0;
+    std::uint32_t fill_size = 0;
+    std::uint32_t comp_size = 0;
+    std::uint64_t rx_delivered = 0;
+    std::uint64_t rx_dropped_no_frame = 0;
+    std::uint64_t rx_dropped_ring_full = 0;
+    std::uint64_t tx_completed = 0;
+};
+
+// {"rings": [{dev, queue, rx, tx, fill, comp, ...}, ...]} — providers
+// without AF_XDP ports return the same shape with an empty array.
+obs::Value render_xsk_rings(const std::vector<XskRingRow>& rows);
+
+// Dotted-quad rendering of a host-order IPv4 address.
+std::string ipv4_to_string(std::uint32_t ip);
+
+} // namespace ovsx::ovs

@@ -5,6 +5,8 @@
 #include "net/flow.h"
 #include "net/headers.h"
 #include "net/rewrite.h"
+#include "obs/coverage.h"
+#include "obs/trace.h"
 #include "san/audit.h"
 
 namespace ovsx::ovs {
@@ -21,12 +23,20 @@ std::uint8_t UserspaceConntrack::process(net::Packet& pkt, const net::FlowKey& k
                                          sim::Nanos now)
 {
     ctx.charge(costs_.emc_hit); // hash + lookup, comparable to an EMC probe
-    ctx.count("userspace_ct.lookup");
+    OVSX_COVERAGE_CTX(ctx, "userspace_ct.lookup");
 
     std::uint8_t state = net::kCtStateTracked;
     auto finish = [&](std::uint8_t s) {
         pkt.meta().ct_state = s;
         pkt.meta().ct_zone = spec.zone;
+        if (pkt.meta().trace_id) {
+            obs::trace(pkt.meta().trace_id, obs::Hop::Ct, pkt.meta().latency_ns,
+                       (s & net::kCtStateInvalid) ? "invalid"
+                       : (s & net::kCtStateEstablished) ? "established"
+                       : (s & net::kCtStateRelated)     ? "related"
+                                                        : "new",
+                       spec.zone, s);
+        }
         return s;
     };
 

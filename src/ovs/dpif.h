@@ -11,6 +11,7 @@
 #include "kern/odp.h"
 #include "net/flow.h"
 #include "net/packet.h"
+#include "obs/appctl.h"
 #include "san/report.h"
 #include "sim/context.h"
 
@@ -38,6 +39,14 @@ public:
     // Cross-checks the san table audits against the provider's real
     // tables; violations are reported through san::report.
     virtual void san_check(san::Site site) const { (void)site; }
+
+    // Registers this provider's introspection commands. Every provider
+    // answers the same command set (dpctl/dump-flows, conntrack/show,
+    // dpif-netdev/pmd-stats-show, xsk/ring-stats) so tooling works
+    // unchanged across datapaths; commands that do not apply return the
+    // same shape with empty collections. Handlers capture `this`: the
+    // registry must not outlive the provider.
+    virtual void register_appctl(obs::Appctl& appctl) { (void)appctl; }
 
     virtual void execute(net::Packet&& pkt, const kern::OdpActions& actions,
                          sim::ExecContext& ctx) = 0;

@@ -8,6 +8,9 @@
 #include "kern/kernel.h"
 #include "net/headers.h"
 #include "net/rewrite.h"
+#include "obs/coverage.h"
+#include "obs/trace.h"
+#include "ovs/appctl_render.h"
 #include "san/audit.h"
 #include "san/packet_ledger.h"
 
@@ -226,6 +229,31 @@ void DpifEbpf::san_check(san::Site site) const
     san::audit_expect_linked(san_scope_, "ebpf.map", "ebpf.shadow", site);
 }
 
+void DpifEbpf::register_appctl(obs::Appctl& appctl)
+{
+    appctl.register_command(
+        "dpif-netdev/pmd-stats-show", "datapath statistics",
+        [this](const obs::Appctl::Args&) {
+            // Runs at the TC hook in softirq context: no PMD threads.
+            obs::Value v = render_pmd_stats(type(), hits_, misses_, 0);
+            v.set("map_entries", static_cast<std::uint64_t>(flow_map_->size()));
+            return v;
+        });
+    appctl.register_command("dpctl/dump-flows", "installed datapath flows",
+                            [this](const obs::Appctl::Args&) {
+                                return render_flow_dump(flow_dump());
+                            });
+    appctl.register_command("conntrack/show", "tracked connections",
+                            [this](const obs::Appctl::Args&) {
+                                return render_ct_snapshot(kernel_.conntrack().snapshot());
+                            });
+    appctl.register_command("xsk/ring-stats", "AF_XDP socket ring statistics",
+                            [](const obs::Appctl::Args&) {
+                                // The eBPF datapath owns no XSK sockets.
+                                return render_xsk_rings({});
+                            });
+}
+
 void DpifEbpf::receive(std::uint32_t port_no, net::Packet&& pkt, sim::ExecContext& ctx)
 {
     san::skb_transition(pkt.san_id(), san::SkbState::Datapath, OVSX_SITE);
@@ -253,6 +281,11 @@ void DpifEbpf::receive(std::uint32_t port_no, net::Packet&& pkt, sim::ExecContex
         auto it = flows_.find(flow_id);
         if (it != flows_.end()) {
             ++hits_;
+            OVSX_COVERAGE_CTX(ctx, "ebpf.hit");
+            if (pkt.meta().trace_id) {
+                obs::trace(pkt.meta().trace_id, obs::Hop::EbpfLookup, pkt.meta().latency_ns,
+                           "hit", flow_id, res.insns);
+            }
             // Action execution also runs as sandboxed bytecode in this
             // design: charge the equivalent instruction cost per action.
             const auto insn_cost = static_cast<sim::Nanos>(
@@ -264,6 +297,12 @@ void DpifEbpf::receive(std::uint32_t port_no, net::Packet&& pkt, sim::ExecContex
         }
     }
     ++misses_;
+    OVSX_COVERAGE_CTX(ctx, "ebpf.miss");
+    if (pkt.meta().trace_id) {
+        obs::trace(pkt.meta().trace_id, obs::Hop::EbpfLookup, pkt.meta().latency_ns, "miss",
+                   0, res.insns);
+        obs::trace(pkt.meta().trace_id, obs::Hop::Upcall, pkt.meta().latency_ns, "");
+    }
     if (upcall_) {
         const net::FlowKey key = net::parse_flow(pkt);
         upcall_(port_no, std::move(pkt), key, ctx);
@@ -273,7 +312,16 @@ void DpifEbpf::receive(std::uint32_t port_no, net::Packet&& pkt, sim::ExecContex
 void DpifEbpf::do_output(net::Packet&& pkt, std::uint32_t port_no, sim::ExecContext& ctx)
 {
     auto it = ports_.find(port_no);
-    if (it == ports_.end()) return;
+    if (it == ports_.end()) {
+        if (pkt.meta().trace_id) {
+            obs::trace(pkt.meta().trace_id, obs::Hop::Drop, pkt.meta().latency_ns,
+                       "no-such-port", port_no);
+        }
+        return;
+    }
+    if (pkt.meta().trace_id) {
+        obs::trace(pkt.meta().trace_id, obs::Hop::Tx, pkt.meta().latency_ns, "", port_no);
+    }
     it->second->transmit(std::move(pkt), ctx);
 }
 
@@ -308,6 +356,10 @@ void DpifEbpf::execute(net::Packet&& pkt, const kern::OdpActions& actions,
             const net::FlowKey key = net::parse_flow(pkt);
             kernel_.conntrack().process(pkt, key, act.ct.zone, act.ct.commit, ctx, now_);
             ctx.charge(static_cast<sim::Nanos>(120.0 * kernel_.costs().ebpf_insn));
+            if (pkt.meta().trace_id) {
+                obs::trace(pkt.meta().trace_id, obs::Hop::Ct, pkt.meta().latency_ns, "",
+                           act.ct.zone, pkt.meta().ct_state);
+            }
             break;
         }
         case Type::Recirc:
@@ -318,6 +370,11 @@ void DpifEbpf::execute(net::Packet&& pkt, const kern::OdpActions& actions,
             // eBPF map without recirc/ct dimensions, and the paper notes
             // the eBPF datapath "lacks some OVS datapath features".
             // Treated as drop.
+            OVSX_COVERAGE_CTX(ctx, "ebpf.unsupported_action");
+            if (pkt.meta().trace_id) {
+                obs::trace(pkt.meta().trace_id, obs::Hop::Drop, pkt.meta().latency_ns,
+                           "unsupported-action");
+            }
             return;
         case Type::Drop:
             return;

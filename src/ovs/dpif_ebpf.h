@@ -46,6 +46,7 @@ public:
     std::size_t flow_count() const override { return flows_.size(); }
     std::vector<kern::OdpFlowEntry> flow_dump() const override;
     void san_check(san::Site site) const override;
+    void register_appctl(obs::Appctl& appctl) override;
 
     void execute(net::Packet&& pkt, const kern::OdpActions& actions,
                  sim::ExecContext& ctx) override;

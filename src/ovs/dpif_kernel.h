@@ -3,7 +3,9 @@
 // installs flows over the (simulated) openvswitch netlink channel.
 #pragma once
 
+#include "kern/kernel.h"
 #include "kern/ovs_kmod.h"
+#include "ovs/appctl_render.h"
 #include "ovs/dpif.h"
 
 namespace ovsx::ovs {
@@ -33,6 +35,31 @@ public:
     std::size_t flow_count() const override { return dp_.flow_count(); }
     std::vector<kern::OdpFlowEntry> flow_dump() const override { return dp_.flow_dump(); }
     void san_check(san::Site site) const override { dp_.san_check(site); }
+
+    void register_appctl(obs::Appctl& appctl) override
+    {
+        appctl.register_command("dpif-netdev/pmd-stats-show", "datapath statistics",
+                                [this](const obs::Appctl::Args&) {
+                                    // No PMD threads: packets are processed in
+                                    // softirq context, so the pmds array is empty.
+                                    return render_pmd_stats(type(), dp_.hits(), dp_.misses(),
+                                                            dp_.lost());
+                                });
+        appctl.register_command("dpctl/dump-flows", "installed datapath flows",
+                                [this](const obs::Appctl::Args&) {
+                                    return render_flow_dump(dp_.flow_dump());
+                                });
+        appctl.register_command("conntrack/show", "tracked connections",
+                                [this](const obs::Appctl::Args&) {
+                                    return render_ct_snapshot(
+                                        dp_.kernel().conntrack().snapshot());
+                                });
+        appctl.register_command("xsk/ring-stats", "AF_XDP socket ring statistics",
+                                [](const obs::Appctl::Args&) {
+                                    // The kernel datapath owns no XSK sockets.
+                                    return render_xsk_rings({});
+                                });
+    }
 
     void execute(net::Packet&& pkt, const kern::OdpActions& actions,
                  sim::ExecContext& ctx) override

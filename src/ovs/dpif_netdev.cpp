@@ -4,6 +4,10 @@
 #include "net/hash.h"
 #include "net/headers.h"
 #include "net/rewrite.h"
+#include "obs/coverage.h"
+#include "obs/trace.h"
+#include "ovs/appctl_render.h"
+#include "ovs/netdev_afxdp.h"
 #include "san/packet_ledger.h"
 
 namespace ovsx::ovs {
@@ -74,6 +78,72 @@ std::vector<kern::OdpFlowEntry> DpifNetdev::flow_dump() const
         out.push_back(kern::OdpFlowEntry{flow.masked_key, mask, flow.actions});
     });
     return out;
+}
+
+void DpifNetdev::register_appctl(obs::Appctl& appctl)
+{
+    appctl.register_command(
+        "dpif-netdev/pmd-stats-show", "per-PMD datapath statistics",
+        [this](const obs::Appctl::Args&) {
+            obs::Value v =
+                render_pmd_stats(type(),
+                                 obs::coverage_value(obs::coverage_id("emc.hit")) +
+                                     obs::coverage_value(obs::coverage_id("megaflow.hit")),
+                                 upcall_count_, dropped_);
+            obs::Value pmds = obs::Value::array();
+            for (const Pmd& pmd : pmds_) {
+                obs::Value row = obs::Value::object();
+                row.set("name", pmd.name);
+                row.set("rxqs", static_cast<std::uint64_t>(pmd.rxqs.size()));
+                for (const char* name :
+                     {"emc.hit", "emc.miss", "megaflow.hit", "megaflow.miss"}) {
+                    row.set(name, pmd.ctx.counter(std::string(name)));
+                }
+                obs::Value busy = obs::Value::object();
+                for (sim::CpuClass c : {sim::CpuClass::User, sim::CpuClass::System,
+                                        sim::CpuClass::Softirq, sim::CpuClass::Guest}) {
+                    busy.set(sim::to_string(c), static_cast<std::uint64_t>(pmd.ctx.busy(c)));
+                }
+                busy.set("total", static_cast<std::uint64_t>(pmd.ctx.total_busy()));
+                row.set("busy_ns", std::move(busy));
+                pmds.push(std::move(row));
+            }
+            v.set("pmds", std::move(pmds));
+            return v;
+        });
+    appctl.register_command("dpctl/dump-flows", "installed datapath flows",
+                            [this](const obs::Appctl::Args&) {
+                                return render_flow_dump(flow_dump());
+                            });
+    appctl.register_command("conntrack/show", "tracked connections",
+                            [this](const obs::Appctl::Args&) {
+                                return render_ct_snapshot(ct_.snapshot());
+                            });
+    appctl.register_command(
+        "xsk/ring-stats", "AF_XDP socket ring occupancy and delivery counters",
+        [this](const obs::Appctl::Args&) {
+            std::vector<XskRingRow> rows;
+            for (const auto& [port_no, port] : ports_) {
+                auto* afxdp = dynamic_cast<NetdevAfxdp*>(port.netdev.get());
+                if (!afxdp) continue;
+                for (std::uint32_t q = 0; q < afxdp->n_rxq(); ++q) {
+                    afxdp::XskSocket& xsk = afxdp->xsk(q);
+                    XskRingRow row;
+                    row.dev = xsk.bound_dev();
+                    row.queue = xsk.bound_queue();
+                    row.rx_size = xsk.rx().size();
+                    row.tx_size = xsk.tx().size();
+                    row.fill_size = xsk.umem().fill().size();
+                    row.comp_size = xsk.umem().comp().size();
+                    row.rx_delivered = xsk.rx_delivered;
+                    row.rx_dropped_no_frame = xsk.rx_dropped_no_frame;
+                    row.rx_dropped_ring_full = xsk.rx_dropped_ring_full;
+                    row.tx_completed = xsk.tx_completed;
+                    rows.push_back(std::move(row));
+                }
+            }
+            return render_xsk_rings(rows);
+        });
 }
 
 int DpifNetdev::add_pmd(const std::string& name)
@@ -182,11 +252,19 @@ void DpifNetdev::pipeline(net::Packet&& pkt, sim::ExecContext& ctx, int depth)
         pkt.meta().latency_ns += costs_.cache_miss;
     }
     if (CachedFlow* flow = emc_.lookup(key, hash)) {
+        OVSX_COVERAGE_CTX(ctx, "emc.hit");
+        if (pkt.meta().trace_id) {
+            obs::trace(pkt.meta().trace_id, obs::Hop::Emc, pkt.meta().latency_ns, "hit");
+        }
         ++flow->hits;
         flow->bytes += pkt.size();
         const kern::OdpActions actions = flow->actions;
         run_actions(std::move(pkt), actions, ctx, depth);
         return;
+    }
+    OVSX_COVERAGE_CTX(ctx, "emc.miss");
+    if (pkt.meta().trace_id) {
+        obs::trace(pkt.meta().trace_id, obs::Hop::Emc, pkt.meta().latency_ns, "miss");
     }
 
     // Second level: megaflow (tuple space search).
@@ -194,6 +272,11 @@ void DpifNetdev::pipeline(net::Packet&& pkt, sim::ExecContext& ctx, int depth)
     ctx.charge(static_cast<sim::Nanos>(res.probes) * costs_.megaflow_probe);
     pkt.meta().latency_ns += static_cast<sim::Nanos>(res.probes) * costs_.megaflow_probe;
     if (res.flow) {
+        OVSX_COVERAGE_CTX(ctx, "megaflow.hit");
+        if (pkt.meta().trace_id) {
+            obs::trace(pkt.meta().trace_id, obs::Hop::Megaflow, pkt.meta().latency_ns,
+                       "hit", res.probes);
+        }
         ++res.flow->hits;
         res.flow->bytes += pkt.size();
         if (++emc_insert_counter_ % emc_insert_inv_prob_ == 0) {
@@ -206,10 +289,23 @@ void DpifNetdev::pipeline(net::Packet&& pkt, sim::ExecContext& ctx, int depth)
     }
 
     // Slow path.
+    OVSX_COVERAGE_CTX(ctx, "megaflow.miss");
+    if (pkt.meta().trace_id) {
+        obs::trace(pkt.meta().trace_id, obs::Hop::Megaflow, pkt.meta().latency_ns, "miss",
+                   res.probes);
+    }
     ++upcall_count_;
     if (!upcall_) {
         ++dropped_;
+        if (pkt.meta().trace_id) {
+            obs::trace(pkt.meta().trace_id, obs::Hop::Drop, pkt.meta().latency_ns,
+                       "no-upcall-handler");
+        }
         return;
+    }
+    OVSX_COVERAGE_CTX(ctx, "dpif_netdev.upcall");
+    if (pkt.meta().trace_id) {
+        obs::trace(pkt.meta().trace_id, obs::Hop::Upcall, pkt.meta().latency_ns, "");
     }
     ctx.charge(costs_.upcall);
     pkt.meta().latency_ns += costs_.upcall;
@@ -221,9 +317,16 @@ void DpifNetdev::output(net::Packet&& pkt, std::uint32_t port_no, sim::ExecConte
     auto it = ports_.find(port_no);
     if (it == ports_.end()) {
         ++dropped_;
+        if (pkt.meta().trace_id) {
+            obs::trace(pkt.meta().trace_id, obs::Hop::Drop, pkt.meta().latency_ns,
+                       "no-such-port", port_no);
+        }
         return;
     }
     Port& port = it->second;
+    if (pkt.meta().trace_id && !port.tunnel) {
+        obs::trace(pkt.meta().trace_id, obs::Hop::Tx, pkt.meta().latency_ns, "", port_no);
+    }
     if (port.tunnel) {
         output_tunnel(std::move(pkt), port, ctx);
         return;
@@ -339,10 +442,19 @@ void DpifNetdev::run_actions(net::Packet&& pkt, const kern::OdpActions& actions,
         case Type::Meter:
             if (!meters_.admit(act.meter_id, pkt.size(), now_)) {
                 ++dropped_;
+                OVSX_COVERAGE_CTX(ctx, "meter.drop");
+                if (pkt.meta().trace_id) {
+                    obs::trace(pkt.meta().trace_id, obs::Hop::Meter, pkt.meta().latency_ns,
+                               "drop", act.meter_id);
+                }
                 return;
             }
             break;
         case Type::Userspace:
+            if (pkt.meta().trace_id) {
+                obs::trace(pkt.meta().trace_id, obs::Hop::Action, pkt.meta().latency_ns,
+                           "userspace-punt");
+            }
             punted_.push_back(std::move(pkt));
             return;
         case Type::Drop:

@@ -41,7 +41,12 @@ public:
     void flow_flush() override;
     std::size_t flow_count() const override { return megaflow_.flow_count(); }
     std::vector<kern::OdpFlowEntry> flow_dump() const override;
-    void san_check(san::Site site) const override { megaflow_.san_check(site); }
+    void san_check(san::Site site) const override
+    {
+        megaflow_.san_check(site);
+        netlink_.san_check(site);
+    }
+    void register_appctl(obs::Appctl& appctl) override;
     void execute(net::Packet&& pkt, const kern::OdpActions& actions,
                  sim::ExecContext& ctx) override;
 

@@ -9,6 +9,7 @@
 #include "net/builder.h"
 #include "net/hash.h"
 #include "net/headers.h"
+#include "obs/coverage.h"
 #include "san/audit.h"
 #include "san/frame_tracker.h"
 #include "san/packet_ledger.h"
@@ -94,7 +95,7 @@ void NetdevAfxdp::charge_lock(sim::ExecContext& ctx) const
     if (nq > 1) {
         ctx.charge(costs.spin_contended_extra * static_cast<sim::Nanos>(nq - 1));
     }
-    ctx.count("umempool.lock");
+    OVSX_COVERAGE_CTX(ctx, "umempool.lock");
 }
 
 void NetdevAfxdp::refill(QueueState& q, std::uint32_t count, sim::ExecContext& ctx)
@@ -138,6 +139,7 @@ std::uint32_t NetdevAfxdp::rx_burst(std::uint32_t queue, std::vector<net::Packet
         // AF_XDP carries no NIC metadata: hash and checksum hints from
         // the hardware were lost at the XDP boundary (§3.2 O5, Fig. 12).
         pkt.meta().in_port = 0;
+        pkt.meta().trace_id = desc->options; // obs trace id rides the descriptor
         sim::Nanos per_pkt = costs.xsk_ring_op;
 
         // dp_packet metadata (O4).
@@ -180,7 +182,7 @@ std::uint32_t NetdevAfxdp::rx_burst(std::uint32_t queue, std::vector<net::Packet
     }
 
     if (n > 0) refill(q, n, ctx);
-    ctx.count("afxdp.rx_burst");
+    OVSX_COVERAGE_CTX(ctx, "afxdp.rx_burst");
     return n;
 }
 
@@ -226,7 +228,7 @@ void NetdevAfxdp::tx_burst(std::uint32_t queue, std::vector<net::Packet>&& pkts,
         ctx.charge(costs.xsk_ring_op);
         san::frame_transition(q.umem->san_scope(), addr, san::FrameState::TxRing,
                               OVSX_SITE);
-        q.xsk->tx().produce({addr, static_cast<std::uint32_t>(len), 0});
+        q.xsk->tx().produce({addr, static_cast<std::uint32_t>(len), pkt.meta().trace_id});
         note_tx(pkt);
         ++queued;
     }

@@ -1,8 +1,12 @@
 #include "ovs/netlink_cache.h"
 
+#include "obs/appctl.h"
+#include "san/audit.h"
+
 namespace ovsx::ovs {
 
-NetlinkCache::NetlinkCache(kern::Kernel& kernel) : kernel_(kernel)
+NetlinkCache::NetlinkCache(kern::Kernel& kernel)
+    : kernel_(kernel), san_scope_(san::new_scope())
 {
     kernel_.stack(0).add_change_listener([this](const char*) {
         // Control-plane events are rare (slow path), so a full refresh
@@ -10,7 +14,24 @@ NetlinkCache::NetlinkCache(kern::Kernel& kernel) : kernel_(kernel)
         // by slow control plane operations".
         refresh();
     });
+    obs_token_ = obs::memory_register("ovs.netlink_cache", [this] {
+        obs::Value v = obs::Value::object();
+        v.set("routes", route_count());
+        v.set("neighbors", neighbor_count());
+        v.set("addresses", address_count());
+        v.set("refreshes", refreshes());
+        v.set("stale", stale());
+        return v;
+    });
     refresh();
+}
+
+NetlinkCache::~NetlinkCache()
+{
+    obs::memory_unregister(obs_token_);
+    san::audit_clear(san_scope_, "nlcache.route");
+    san::audit_clear(san_scope_, "nlcache.neighbor");
+    san::audit_clear(san_scope_, "nlcache.address");
 }
 
 void NetlinkCache::refresh()
@@ -21,6 +42,29 @@ void NetlinkCache::refresh()
     addrs_ = stack.addresses();
     ++refreshes_;
     stale_ = false;
+
+    // Re-register the replica populations with the table audit: a
+    // replica that drifts from what the audit saw at refresh time (a
+    // stale-cache bug) fails san_check.
+    san::audit_clear(san_scope_, "nlcache.route");
+    san::audit_clear(san_scope_, "nlcache.neighbor");
+    san::audit_clear(san_scope_, "nlcache.address");
+    for (std::size_t i = 0; i < routes_.size(); ++i) {
+        san::audit_add(san_scope_, "nlcache.route", i, OVSX_SITE);
+    }
+    for (std::size_t i = 0; i < neighbors_.size(); ++i) {
+        san::audit_add(san_scope_, "nlcache.neighbor", i, OVSX_SITE);
+    }
+    for (std::size_t i = 0; i < addrs_.size(); ++i) {
+        san::audit_add(san_scope_, "nlcache.address", i, OVSX_SITE);
+    }
+}
+
+void NetlinkCache::san_check(san::Site site) const
+{
+    san::audit_expect_size(san_scope_, "nlcache.route", routes_.size(), site);
+    san::audit_expect_size(san_scope_, "nlcache.neighbor", neighbors_.size(), site);
+    san::audit_expect_size(san_scope_, "nlcache.address", addrs_.size(), site);
 }
 
 std::optional<NetlinkCache::NextHop> NetlinkCache::resolve(std::uint32_t dst_ip) const

@@ -9,6 +9,7 @@
 
 #include "kern/kernel.h"
 #include "kern/stack.h"
+#include "san/report.h"
 
 namespace ovsx::ovs {
 
@@ -17,6 +18,9 @@ public:
     // Subscribes to change notifications from the host kernel's root
     // namespace and snapshots the current tables.
     explicit NetlinkCache(kern::Kernel& kernel);
+    ~NetlinkCache();
+    NetlinkCache(const NetlinkCache&) = delete;
+    NetlinkCache& operator=(const NetlinkCache&) = delete;
 
     struct NextHop {
         int ifindex = -1;
@@ -35,6 +39,14 @@ public:
 
     bool stale() const { return stale_; }
 
+    std::size_t route_count() const { return routes_.size(); }
+    std::size_t neighbor_count() const { return neighbors_.size(); }
+    std::size_t address_count() const { return addrs_.size(); }
+
+    // Audit checkpoint: the replica populations must match what the
+    // table audit recorded at the last refresh.
+    void san_check(san::Site site) const;
+
 private:
     void refresh();
 
@@ -44,6 +56,8 @@ private:
     std::vector<kern::AddressEntry> addrs_;
     std::uint64_t refreshes_ = 0;
     mutable bool stale_ = false;
+    std::uint64_t san_scope_ = 0;
+    std::uint64_t obs_token_ = 0;
 };
 
 } // namespace ovsx::ovs

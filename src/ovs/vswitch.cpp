@@ -8,6 +8,7 @@ VSwitch::VSwitch(std::unique_ptr<Dpif> dpif) : dpif_(std::move(dpif))
                                      const net::FlowKey& key, sim::ExecContext& ctx) {
         handle_upcall(in_port, std::move(pkt), key, ctx);
     });
+    dpif_->register_appctl(appctl_);
 }
 
 void VSwitch::handle_upcall(std::uint32_t in_port, net::Packet&& pkt, const net::FlowKey& key,

@@ -5,6 +5,7 @@
 
 #include <memory>
 
+#include "obs/appctl.h"
 #include "ovs/dpif.h"
 #include "ovs/ofproto.h"
 
@@ -19,6 +20,10 @@ public:
     Dpif& dpif() { return *dpif_; }
     template <typename T> T& dpif_as() { return dynamic_cast<T&>(*dpif_); }
 
+    // The ovs-appctl surface: global commands (coverage/show,
+    // memory/show) plus whatever the datapath provider registered.
+    obs::Appctl& appctl() { return appctl_; }
+
     std::uint64_t upcalls_handled() const { return upcalls_; }
     std::uint64_t flows_installed() const { return installs_; }
 
@@ -28,6 +33,7 @@ private:
 
     Ofproto ofproto_;
     std::unique_ptr<Dpif> dpif_;
+    obs::Appctl appctl_;
     std::uint64_t upcalls_ = 0;
     std::uint64_t installs_ = 0;
 };

@@ -3,7 +3,28 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/appctl.h"
+#include "san/packet_ledger.h"
+
 namespace ovsx::san {
+
+namespace {
+// Surfaces the skb ledger through `memory/show` alongside the mempool
+// and replica-cache reporters. Registered from this TU because report.cpp
+// is linked into every binary that uses san at all.
+struct SanMemoryReporter {
+    SanMemoryReporter()
+    {
+        obs::memory_register("san.skb_ledger", [] {
+            obs::Value v = obs::Value::object();
+            v.set("live", skb_live_count());
+            v.set("hardened", hardened());
+            v.set("suppressed_violations", suppressed_count());
+            return v;
+        });
+    }
+} g_san_memory_reporter;
+} // namespace
 
 namespace detail {
 #ifdef OVSX_HARDENED

@@ -13,6 +13,15 @@ const char* to_string(CpuClass c)
     return "?";
 }
 
+std::map<std::string, std::uint64_t> ExecContext::counters() const
+{
+    std::map<std::string, std::uint64_t> out;
+    for (obs::CounterId id = 0; id < counters_.size(); ++id) {
+        if (counters_[id] != 0) out.emplace(obs::coverage_name(id), counters_[id]);
+    }
+    return out;
+}
+
 void CpuUsage::add(const ExecContext& ctx, Nanos elapsed)
 {
     if (elapsed <= 0) return;

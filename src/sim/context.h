@@ -11,7 +11,9 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
+#include "obs/coverage.h"
 #include "sim/time.h"
 
 namespace ovsx::sim {
@@ -57,15 +59,35 @@ public:
     Nanos busy(CpuClass c) const { return busy_[static_cast<int>(c)]; }
     Nanos total_busy() const { return total_; }
 
-    // Named instrumentation counters (ring operations performed, masks
-    // probed, eBPF instructions retired, ...). Purely diagnostic.
-    void count(const std::string& key, std::uint64_t n = 1) { counters_[key] += n; }
+    // Instrumentation counters (ring operations performed, masks
+    // probed, eBPF instructions retired, ...), keyed by interned
+    // obs::CounterId — hot paths use OVSX_COVERAGE_CTX with a
+    // function-local static id, so no string is built per packet.
+    // Every per-context increment also feeds the global coverage
+    // aggregate (`coverage/show`).
+    void count(obs::CounterId id, std::uint64_t n = 1)
+    {
+        if (id >= counters_.size()) counters_.resize(id + 1, 0);
+        counters_[id] += n;
+        obs::coverage_inc(id, n);
+    }
+    std::uint64_t counter(obs::CounterId id) const
+    {
+        return id < counters_.size() ? counters_[id] : 0;
+    }
+
+    // String-keyed compatibility surface (tests, cold paths): interns
+    // on write, looks up without registering on read.
+    void count(const std::string& key, std::uint64_t n = 1)
+    {
+        count(obs::coverage_id(key), n);
+    }
     std::uint64_t counter(const std::string& key) const
     {
-        auto it = counters_.find(key);
-        return it == counters_.end() ? 0 : it->second;
+        const auto id = obs::coverage_find(key);
+        return id ? counter(*id) : 0;
     }
-    const std::map<std::string, std::uint64_t>& counters() const { return counters_; }
+    std::map<std::string, std::uint64_t> counters() const;
 
     void reset()
     {
@@ -79,7 +101,7 @@ private:
     CpuClass default_class_ = CpuClass::User;
     Nanos busy_[4] = {0, 0, 0, 0};
     Nanos total_ = 0;
-    std::map<std::string, std::uint64_t> counters_;
+    std::vector<std::uint64_t> counters_; // indexed by obs::CounterId
 };
 
 // Aggregated busy time across a set of contexts, in units of one CPU

@@ -1,0 +1,327 @@
+// ovsx::obs: interned coverage counters, per-packet trace spans, the
+// appctl command registry and the metrics exporter — plus the
+// integration guarantees PR 3 makes: all three dataplane providers
+// answer the same appctl commands, identical seeded runs produce
+// identical coverage snapshots, and a forced differential mismatch
+// prints the divergent packet's per-provider trace.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gen/fuzz.h"
+#include "kern/kernel.h"
+#include "kern/nic.h"
+#include "kern/ovs_kmod.h"
+#include "net/builder.h"
+#include "obs/appctl.h"
+#include "obs/coverage.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/value.h"
+#include "ovs/dpif_ebpf.h"
+#include "ovs/dpif_kernel.h"
+#include "ovs/dpif_netdev.h"
+#include "ovs/netdev_afxdp.h"
+#include "ovs/vswitch.h"
+#include "sim/context.h"
+
+namespace ovsx {
+namespace {
+
+// ---- coverage counters -------------------------------------------------
+
+TEST(ObsCoverage, InterningIsStableAndLookupDoesNotRegister)
+{
+    const auto id1 = obs::coverage_id("test_obs.alpha");
+    const auto id2 = obs::coverage_id("test_obs.alpha");
+    EXPECT_EQ(id1, id2);
+    EXPECT_EQ(obs::coverage_name(id1), std::string("test_obs.alpha"));
+
+    EXPECT_FALSE(obs::coverage_find("test_obs.never_registered").has_value());
+    ASSERT_TRUE(obs::coverage_find("test_obs.alpha").has_value());
+    EXPECT_EQ(*obs::coverage_find("test_obs.alpha"), id1);
+}
+
+TEST(ObsCoverage, ContextCountsAggregateIntoGlobal)
+{
+    const auto id = obs::coverage_id("test_obs.ctx_agg");
+    const std::uint64_t before = obs::coverage_value(id);
+
+    sim::ExecContext a("a", sim::CpuClass::User);
+    sim::ExecContext b("b", sim::CpuClass::User);
+    a.count(id, 3);
+    b.count(id);
+    b.count("test_obs.ctx_agg", 2); // string-compat path interns to the same id
+
+    EXPECT_EQ(a.counter(id), 3u);
+    EXPECT_EQ(b.counter(id), 3u);
+    EXPECT_EQ(a.counter("test_obs.ctx_agg"), 3u);
+    EXPECT_EQ(obs::coverage_value(id), before + 6);
+
+    // The string map view resolves interned ids back to names.
+    const auto counters = a.counters();
+    ASSERT_TRUE(counters.contains("test_obs.ctx_agg"));
+    EXPECT_EQ(counters.at("test_obs.ctx_agg"), 3u);
+}
+
+TEST(ObsCoverage, SnapshotFiltersZerosAndResetClears)
+{
+    const auto id = obs::coverage_id("test_obs.reset_me");
+    obs::coverage_inc(id, 7);
+    auto snap = obs::coverage_snapshot();
+    const auto find = [&](const char* name) {
+        for (const auto& [n, v] : snap) {
+            if (n == name) return v;
+        }
+        return std::uint64_t{0};
+    };
+    EXPECT_EQ(find("test_obs.reset_me"), 7u);
+
+    obs::coverage_reset();
+    EXPECT_EQ(obs::coverage_value(id), 0u);
+    snap = obs::coverage_snapshot();
+    EXPECT_EQ(find("test_obs.reset_me"), 0u); // zero entries are filtered
+    // The name registration survives the reset.
+    EXPECT_TRUE(obs::coverage_find("test_obs.reset_me").has_value());
+}
+
+// ---- trace ring ---------------------------------------------------------
+
+TEST(ObsTrace, RingOverwritesOldestAndKeepsNewest)
+{
+    obs::Tracer t;
+    t.enable(4);
+    for (std::uint32_t i = 1; i <= 6; ++i) {
+        t.record(i, obs::Hop::NicRx, static_cast<std::int64_t>(i) * 10, "rx", i);
+    }
+    EXPECT_EQ(t.recorded(), 6u);
+    EXPECT_EQ(t.capacity(), 4u);
+
+    // 1 and 2 were overwritten; 3..6 survive, oldest first.
+    EXPECT_TRUE(t.events_for(1).empty());
+    EXPECT_TRUE(t.events_for(2).empty());
+    const auto all = t.all();
+    ASSERT_EQ(all.size(), 4u);
+    EXPECT_EQ(all.front().packet_id, 3u);
+    EXPECT_EQ(all.back().packet_id, 6u);
+
+    EXPECT_NE(t.dump(2).find("no events"), std::string::npos);
+    EXPECT_NE(t.dump(5).find("nic-rx"), std::string::npos);
+}
+
+TEST(ObsTrace, DisabledTracerRecordsNothing)
+{
+    obs::Tracer t;
+    t.record(1, obs::Hop::Tx, 0, "tx");
+    EXPECT_EQ(t.recorded(), 0u);
+    t.enable(8);
+    t.record(0, obs::Hop::Tx, 0, "tx"); // id 0 = untraced
+    EXPECT_EQ(t.recorded(), 0u);
+    t.record(1, obs::Hop::Tx, 0, "tx");
+    EXPECT_EQ(t.recorded(), 1u);
+    t.disable();
+    t.record(2, obs::Hop::Tx, 0, "tx");
+    EXPECT_EQ(t.recorded(), 1u);
+}
+
+TEST(ObsTrace, DumpGroupsByDomain)
+{
+    obs::Tracer t;
+    t.enable(16);
+    t.set_domain("netdev");
+    t.record(7, obs::Hop::Emc, 100, "miss");
+    t.set_domain("kernel");
+    t.record(7, obs::Hop::KernelFlow, 120, "hit", 2);
+    const std::string dump = t.dump(7);
+    EXPECT_NE(dump.find("[netdev]"), std::string::npos);
+    EXPECT_NE(dump.find("[kernel]"), std::string::npos);
+    EXPECT_NE(dump.find("emc"), std::string::npos);
+    EXPECT_NE(dump.find("kernel-flow"), std::string::npos);
+}
+
+// ---- appctl on all three providers -------------------------------------
+
+const std::vector<std::string> kRequiredCommands = {
+    "coverage/show", "memory/show", "dpif-netdev/pmd-stats-show",
+    "dpctl/dump-flows", "conntrack/show", "xsk/ring-stats",
+};
+
+void expect_command_surface(obs::Appctl& appctl, const char* provider)
+{
+    for (const auto& cmd : kRequiredCommands) {
+        ASSERT_TRUE(appctl.has(cmd)) << provider << " missing " << cmd;
+        // Every command renders as text and as JSON that round-trips
+        // through the obs JSON reader.
+        const std::string text = appctl.run(cmd, {}, obs::Appctl::Format::Text);
+        const std::string json = appctl.run(cmd, {}, obs::Appctl::Format::Json);
+        EXPECT_TRUE(obs::json_parse(json).has_value())
+            << provider << " " << cmd << " produced unparseable JSON: " << json;
+        (void)text;
+    }
+    // Consistent shapes regardless of provider.
+    const obs::Value stats = appctl.run_value("dpif-netdev/pmd-stats-show");
+    ASSERT_NE(stats.find("datapath"), nullptr) << provider;
+    ASSERT_NE(stats.find("stats"), nullptr) << provider;
+    ASSERT_NE(stats.find("pmds"), nullptr) << provider;
+    EXPECT_NE(stats.find("stats")->find("hits"), nullptr) << provider;
+    const obs::Value rings = appctl.run_value("xsk/ring-stats");
+    ASSERT_NE(rings.find("rings"), nullptr) << provider;
+    EXPECT_TRUE(rings.find("rings")->is_array()) << provider;
+    const obs::Value flows = appctl.run_value("dpctl/dump-flows");
+    ASSERT_NE(flows.find("flow_count"), nullptr) << provider;
+    const obs::Value ct = appctl.run_value("conntrack/show");
+    ASSERT_NE(ct.find("count"), nullptr) << provider;
+}
+
+TEST(ObsAppctl, AllThreeProvidersAnswerTheSameCommands)
+{
+    {
+        kern::Kernel host;
+        auto& nic = host.add_device<kern::PhysicalDevice>("eth0", net::MacAddr::from_id(1));
+        auto dpif = std::make_unique<ovs::DpifNetdev>(host);
+        dpif->add_port(std::make_unique<ovs::NetdevAfxdp>(nic));
+        ovs::VSwitch vs(std::move(dpif));
+        expect_command_surface(vs.appctl(), "netdev");
+        // The AF_XDP port must show up in xsk/ring-stats.
+        const obs::Value rings = vs.appctl().run_value("xsk/ring-stats");
+        ASSERT_EQ(rings.find("rings")->items().size(), 1u);
+        EXPECT_EQ(rings.find("rings")->items()[0].find("dev")->as_string(), "eth0");
+    }
+    {
+        kern::Kernel host;
+        kern::OvsKernelDatapath dp(host);
+        ovs::VSwitch vs(std::make_unique<ovs::DpifKernel>(dp));
+        expect_command_surface(vs.appctl(), "kernel");
+        EXPECT_TRUE(vs.appctl().run_value("xsk/ring-stats").find("rings")->items().empty());
+    }
+    {
+        kern::Kernel host;
+        ovs::VSwitch vs(std::make_unique<ovs::DpifEbpf>(host));
+        expect_command_surface(vs.appctl(), "ebpf");
+        EXPECT_TRUE(vs.appctl().run_value("xsk/ring-stats").find("rings")->items().empty());
+    }
+}
+
+TEST(ObsAppctl, KernelPmdStatsGoldenText)
+{
+    kern::Kernel host;
+    kern::OvsKernelDatapath dp(host);
+    ovs::VSwitch vs(std::make_unique<ovs::DpifKernel>(dp));
+    EXPECT_EQ(vs.appctl().run("dpif-netdev/pmd-stats-show"),
+              "datapath: system\n"
+              "stats:\n"
+              "  hits: 0\n"
+              "  misses: 0\n"
+              "  lost: 0\n"
+              "pmds:\n");
+}
+
+TEST(ObsAppctl, CoverageShowReflectsCounters)
+{
+    obs::Appctl appctl;
+    obs::coverage_inc(obs::coverage_id("test_obs.appctl_cov"), 5);
+    const obs::Value v = appctl.run_value("coverage/show");
+    ASSERT_NE(v.find("test_obs.appctl_cov"), nullptr);
+    EXPECT_GE(v.find("test_obs.appctl_cov")->as_uint(), 5u);
+
+    const std::string json = appctl.run("coverage/show", {}, obs::Appctl::Format::Json);
+    const auto parsed = obs::json_parse(json);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_GE(parsed->find("test_obs.appctl_cov")->as_uint(), 5u);
+}
+
+TEST(ObsAppctl, UnknownCommandThrows)
+{
+    obs::Appctl appctl;
+    EXPECT_THROW((void)appctl.run_value("no/such-command"), std::invalid_argument);
+}
+
+// ---- metrics exporter ---------------------------------------------------
+
+TEST(ObsMetrics, DottedPathsAndSchema)
+{
+    obs::metrics_reset();
+    obs::metrics_set("t.a.b", obs::Value(std::uint64_t{42}));
+    obs::metrics_set("t.a.c", obs::Value("x"));
+    ASSERT_TRUE(obs::metrics_get("t.a.b").has_value());
+    EXPECT_EQ(obs::metrics_get("t.a.b")->as_uint(), 42u);
+
+    const auto doc = obs::json_parse(obs::metrics_json());
+    ASSERT_TRUE(doc.has_value());
+    ASSERT_NE(doc->find("schema"), nullptr);
+    EXPECT_EQ(doc->find("schema")->as_string(), obs::kMetricsSchema);
+    ASSERT_NE(doc->find("coverage"), nullptr);
+    ASSERT_NE(doc->find("metrics"), nullptr);
+    EXPECT_EQ(doc->find("metrics")->find("t")->find("a")->find("b")->as_uint(), 42u);
+    obs::metrics_reset();
+}
+
+// ---- determinism --------------------------------------------------------
+
+TEST(ObsDeterminism, IdenticalSeededRunsProduceIdenticalCoverage)
+{
+    gen::FuzzConfig cfg;
+    cfg.use_malformed = false;
+
+    obs::coverage_reset();
+    ASSERT_TRUE(gen::fuzz_run(42, cfg, 60).ok());
+    const auto snap1 = obs::coverage_snapshot();
+
+    obs::coverage_reset();
+    ASSERT_TRUE(gen::fuzz_run(42, cfg, 60).ok());
+    const auto snap2 = obs::coverage_snapshot();
+
+    EXPECT_EQ(snap1, snap2);
+    EXPECT_FALSE(snap1.empty());
+}
+
+// ---- forced divergence prints per-provider traces -----------------------
+
+TEST(ObsTraceIntegration, ForcedMismatchDumpsPerProviderTrace)
+{
+    gen::DiffRuleset ruleset;
+    gen::DiffRule forward;
+    forward.priority = 1;
+    forward.mask.bits.in_port = 0xffffffff;
+    forward.match.in_port = 1;
+    forward.actions.push_back(kern::OdpAction::output(2));
+    ruleset.rules.push_back(forward);
+
+    gen::DifferentialHarness harness(ruleset, {.n_ports = 2, .compare_ebpf = false});
+    // Mis-translate the kernel datapath's actions: output to the wrong
+    // port. Every packet diverges.
+    harness.set_fault(gen::DpKind::Kernel, [](kern::OdpActions& actions) {
+        for (auto& a : actions) {
+            if (a.type == kern::OdpAction::Type::Output) a.port = 1;
+        }
+    });
+
+    net::UdpSpec spec;
+    spec.src_mac = net::MacAddr::from_id(1);
+    spec.dst_mac = net::MacAddr::from_id(2);
+    spec.src_ip = 0x0a000001;
+    spec.dst_ip = 0x0a000002;
+    spec.src_port = 1111;
+    spec.dst_port = 2222;
+    std::vector<gen::DiffPacket> seq;
+    seq.push_back({0, net::build_udp(spec)});
+
+    const gen::DiffReport report = harness.run(seq);
+    ASSERT_FALSE(report.ok());
+    ASSERT_FALSE(report.unexplained.empty());
+    const gen::Divergence& d = report.unexplained.front();
+    // The divergence carries the packet's journey through BOTH
+    // providers, grouped by domain, and the summary prints it.
+    EXPECT_NE(d.trace.find("[netdev]"), std::string::npos) << d.trace;
+    EXPECT_NE(d.trace.find("[kernel]"), std::string::npos) << d.trace;
+    EXPECT_NE(d.trace.find("nic-rx"), std::string::npos) << d.trace;
+    EXPECT_NE(d.trace.find("tx"), std::string::npos) << d.trace;
+    EXPECT_NE(report.summary().find("[kernel]"), std::string::npos);
+    // The tracer was harness-enabled and restored afterwards.
+    EXPECT_FALSE(obs::tracer().enabled());
+}
+
+} // namespace
+} // namespace ovsx

@@ -1,0 +1,83 @@
+// CI sanity check for obs metrics JSON artifacts (schema ovsx-obs-v1):
+//
+//   obs_schema_check <metrics.json> [required.dotted.key ...]
+//
+// Validates that the document parses, is schema-tagged, carries a
+// coverage object whose counters are all non-negative integers, and a
+// metrics object; extra arguments name dotted paths (under "metrics")
+// that must exist. Exits non-zero with a diagnostic on any violation.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/value.h"
+
+namespace {
+
+int fail(const std::string& msg)
+{
+    std::fprintf(stderr, "obs_schema_check: %s\n", msg.c_str());
+    return 1;
+}
+
+const ovsx::obs::Value* walk(const ovsx::obs::Value& root, const std::string& dotted)
+{
+    const ovsx::obs::Value* cur = &root;
+    std::size_t start = 0;
+    while (start <= dotted.size()) {
+        const std::size_t dot = dotted.find('.', start);
+        const std::string seg = dotted.substr(start, dot == std::string::npos
+                                                         ? std::string::npos
+                                                         : dot - start);
+        cur = cur->find(seg);
+        if (!cur) return nullptr;
+        if (dot == std::string::npos) break;
+        start = dot + 1;
+    }
+    return cur;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    if (argc < 2) return fail("usage: obs_schema_check <metrics.json> [required.key ...]");
+
+    std::ifstream in(argv[1]);
+    if (!in) return fail(std::string("cannot open ") + argv[1]);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    const auto doc = ovsx::obs::json_parse(buf.str());
+    if (!doc) return fail("malformed JSON");
+
+    const ovsx::obs::Value* schema = doc->find("schema");
+    if (!schema || schema->as_string() != ovsx::obs::kMetricsSchema) {
+        return fail(std::string("schema tag missing or not ") + ovsx::obs::kMetricsSchema);
+    }
+
+    const ovsx::obs::Value* coverage = doc->find("coverage");
+    if (!coverage || !coverage->is_object()) return fail("coverage object missing");
+    for (const auto& [name, v] : coverage->members()) {
+        // json_parse maps non-negative integers to Uint; anything else
+        // here means a negative or non-integer counter leaked out.
+        if (v.kind() != ovsx::obs::Value::Kind::Uint) {
+            return fail("coverage counter '" + name + "' is not a non-negative integer");
+        }
+    }
+
+    const ovsx::obs::Value* metrics = doc->find("metrics");
+    if (!metrics || !metrics->is_object()) return fail("metrics object missing");
+
+    for (int i = 2; i < argc; ++i) {
+        if (!walk(*metrics, argv[i])) {
+            return fail(std::string("required metrics key missing: ") + argv[i]);
+        }
+    }
+
+    std::printf("obs_schema_check: %s OK (%zu coverage counters)\n", argv[1],
+                coverage->members().size());
+    return 0;
+}
