@@ -41,6 +41,8 @@ int main(int argc, char** argv)
         cfg.use_meters = (iterations % 3) == 1;
         cfg.use_ct = (iterations % 4) != 3;
         cfg.num_queues = (iterations % 2) ? 2 : 1;
+        cfg.use_fragments = (iterations % 3) == 2;
+        cfg.use_extra_encaps = (iterations % 5) >= 3;
         const ovsx::gen::DiffReport report = ovsx::gen::fuzz_run(seed, cfg, count);
         packets += report.packets_run;
         explained += report.explained.size();

@@ -318,6 +318,9 @@ DifferentialHarness::make_instances() const
         case DpKind::Netdev: {
             inst->netdev = std::make_unique<ovs::DpifNetdev>(*inst->kernel);
             inst->netdev->set_emc_insert_inv_prob(1);
+            // Windowed telemetry over the 1ms-per-step virtual clock, so
+            // run artifacts carry a non-empty "windows" section.
+            inst->netdev->set_window_interval(10 * kStepNanos);
             inst->pmd = inst->netdev->add_pmd("diff-pmd");
             for (auto* nic : inst->nics) {
                 const auto p = inst->netdev->add_port(std::make_unique<ovs::NetdevAfxdp>(*nic));

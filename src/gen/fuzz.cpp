@@ -242,6 +242,16 @@ std::vector<DiffPacket> generate_packets(sim::Rng& rng, const FuzzConfig& cfg,
             }
             dp.pkt = net::build_udp(s);
             if (s.vlan_tci == 0) last_plain = dp.pkt;
+            if (cfg.use_fragments && rng.below(6) == 0) {
+                // First fragment (offset 0, MF set) or a later one whose
+                // "port" bytes are really payload — the aliasing case the
+                // datapaths must agree to slow-path.
+                const bool first = rng.below(2) == 0;
+                const auto off =
+                    first ? std::uint16_t{0} : static_cast<std::uint16_t>(3 + rng.below(16));
+                net::Packet frag = net::as_fragment(dp.pkt, off, first);
+                if (frag.size() > 0) dp.pkt = std::move(frag);
+            }
         } else if (roll < 70) {
             net::TcpSpec s;
             s.src_mac = src_mac;
@@ -280,7 +290,14 @@ std::vector<DiffPacket> generate_packets(sim::Rng& rng, const FuzzConfig& cfg,
             params.outer_src_mac = src_mac;
             params.outer_dst_mac = dst_mac;
             params.udp_src_port = static_cast<std::uint16_t>(20000 + rng.below(100));
-            net::encapsulate(pkt, net::TunnelType::Geneve, key, params);
+            net::TunnelType type = net::TunnelType::Geneve;
+            if (cfg.use_extra_encaps) {
+                const std::uint64_t t = rng.below(3);
+                type = t == 0   ? net::TunnelType::Geneve
+                       : t == 1 ? net::TunnelType::Vxlan
+                                : net::TunnelType::Erspan;
+            }
+            net::encapsulate(pkt, type, key, params);
             dp.pkt = std::move(pkt);
         } else if (cfg.use_icmp && roll < 88) {
             net::IcmpSpec s;

@@ -26,6 +26,8 @@ struct FuzzConfig {
     bool use_malformed = true; // corpus from net::malform()
     std::uint32_t malformed_percent = 8;
     bool use_meters = false; // meter actions (explained divergence on eBPF)
+    bool use_fragments = false;    // re-badge some UDP frames as IP fragments
+    bool use_extra_encaps = false; // rotate VXLAN/ERSPAN outers alongside Geneve
 };
 
 // Generates a random but eBPF-conscious ruleset: most rules match only

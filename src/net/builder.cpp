@@ -413,6 +413,21 @@ Packet with_ip_options(const Packet& pkt, std::size_t extra)
     return out;
 }
 
+Packet as_fragment(const Packet& pkt, std::uint16_t offset_words, bool more_fragments)
+{
+    const std::size_t l3 = ipv4_offset(pkt);
+    if (l3 > pkt.size()) return Packet(0);
+    const auto* ip = pkt.try_header_at<Ipv4Header>(l3);
+    if (!ip || ip->version() != 4) return Packet(0);
+
+    Packet out = pkt;
+    auto* oip = out.header_at<Ipv4Header>(l3);
+    oip->frag_off_be = host_to_be16(
+        static_cast<std::uint16_t>((more_fragments ? 0x2000 : 0) | (offset_words & 0x1fff)));
+    refresh_ipv4_csum(out, l3);
+    return out;
+}
+
 bool verify_l4_csum(const Packet& pkt, std::size_t l3_off)
 {
     const auto* ip = pkt.try_header_at<Ipv4Header>(l3_off);

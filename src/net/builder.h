@@ -122,4 +122,13 @@ bool malform(Packet& pkt, Malformation m);
 // the input is not IPv4 or `extra` is out of range.
 Packet with_ip_options(const Packet& pkt, std::size_t extra);
 
+// Returns a copy of `pkt` (an IPv4 frame, untagged or 802.1Q-tagged)
+// re-badged as an IP fragment: the fragment-offset field is set to
+// `offset_words` (8-byte units) with the more-fragments bit per
+// `more_fragments`, and the IP checksum refreshed. The payload bytes are
+// left as-is — for a non-first fragment (offset > 0) the bytes where the
+// L4 header sat now read as opaque payload, exactly the aliasing hazard
+// a datapath must not key on. Returns an empty packet when not IPv4.
+Packet as_fragment(const Packet& pkt, std::uint16_t offset_words, bool more_fragments);
+
 } // namespace ovsx::net

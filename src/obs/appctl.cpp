@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "obs/coverage.h"
+#include "obs/latency.h"
 
 namespace ovsx::obs {
 
@@ -17,6 +18,9 @@ Appctl::Appctl()
         }
         return v;
     });
+    // Built-in so every provider's appctl reports the identical shape.
+    register_command("latency/show", "per-provider per-tier latency histograms",
+                     [](const Args&) { return latency_show(); });
     register_command("memory/show", "registered allocator/cache occupancy",
                      [](const Args&) { return memory_show(); });
     register_command("appctl/list", "list registered commands", [this](const Args&) {

@@ -1,0 +1,107 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace ovsx::obs {
+
+std::size_t percentile_rank(std::size_t n, double p)
+{
+    if (p <= 0.0) return 1;
+    if (p >= 100.0) return n;
+    auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * static_cast<double>(n)));
+    if (rank == 0) rank = 1;
+    if (rank > n) rank = n;
+    return rank;
+}
+
+std::size_t LatencyHistogram::bucket_index(std::uint64_t v)
+{
+    if (v < (std::uint64_t{1} << kLinearBits)) return static_cast<std::size_t>(v);
+    int e = std::bit_width(v) - 1;
+    if (e >= kMaxBits) {
+        e = kMaxBits - 1;
+        v = (std::uint64_t{1} << kMaxBits) - 1;
+    }
+    const auto sub = static_cast<std::size_t>((v >> (e - kSubBits)) & ((1u << kSubBits) - 1));
+    return (std::size_t{1} << kLinearBits) +
+           static_cast<std::size_t>(e - kLinearBits) * (std::size_t{1} << kSubBits) + sub;
+}
+
+std::uint64_t LatencyHistogram::bucket_upper(std::size_t idx)
+{
+    if (idx < (std::size_t{1} << kLinearBits)) return idx;
+    const std::size_t k = idx - (std::size_t{1} << kLinearBits);
+    const int e = kLinearBits + static_cast<int>(k >> kSubBits);
+    const auto sub = static_cast<std::uint64_t>(k & ((1u << kSubBits) - 1));
+    const std::uint64_t lower = ((std::uint64_t{1} << kSubBits) + sub) << (e - kSubBits);
+    return lower + ((std::uint64_t{1} << (e - kSubBits)) - 1);
+}
+
+void LatencyHistogram::record(std::int64_t v)
+{
+    if (v < 0) v = 0;
+    ++buckets_[bucket_index(static_cast<std::uint64_t>(v))];
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++count_;
+    sum_ += static_cast<double>(v);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other)
+{
+    if (other.count_ == 0) return;
+    for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
+
+std::int64_t LatencyHistogram::percentile(double p) const
+{
+    if (count_ == 0) return 0;
+    const std::size_t rank = percentile_rank(static_cast<std::size_t>(count_), p);
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+        cum += buckets_[i];
+        if (cum >= rank) {
+            const auto v = static_cast<std::int64_t>(bucket_upper(i));
+            return std::clamp(v, min_, max_);
+        }
+    }
+    return max_;
+}
+
+void LatencyHistogram::reset()
+{
+    buckets_.fill(0);
+    count_ = 0;
+    min_ = max_ = 0;
+    sum_ = 0.0;
+}
+
+Value LatencyHistogram::to_value() const
+{
+    Value v = Value::object();
+    v.set("count", count_);
+    v.set("min", min());
+    v.set("p50", percentile(50));
+    v.set("p90", percentile(90));
+    v.set("p99", percentile(99));
+    v.set("max", max());
+    v.set("mean", mean());
+    return v;
+}
+
+} // namespace ovsx::obs

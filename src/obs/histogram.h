@@ -1,0 +1,69 @@
+// obs::LatencyHistogram — fixed-bucket log-linear latency histogram.
+//
+// Hot-path recording is O(1) (a bit-scan and one array increment, no
+// allocation), histograms merge bucket-wise, and percentile queries walk
+// the cumulative bucket counts with the same nearest-rank rule
+// sim::Histogram uses — percentile_rank() below is THE percentile
+// implementation both share, so edge behavior (p<=0, p>=100, a single
+// sample) is identical everywhere.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "obs/value.h"
+
+namespace ovsx::obs {
+
+// Nearest-rank percentile rank, 1-based: ceil(p/100 * n) clamped to
+// [1, n]. p <= 0 selects the first sample, p >= 100 the last, n == 1
+// always selects the only sample. Requires n > 0.
+std::size_t percentile_rank(std::size_t n, double p);
+
+class LatencyHistogram {
+public:
+    // Values below 2^kLinearBits land in exact 1 ns buckets; above that,
+    // every power-of-two octave splits into 2^kSubBits sub-buckets, so
+    // the relative quantization error is at most 1/16. Values of
+    // 2^kMaxBits ns (~78 h) or more clamp into the top bucket.
+    static constexpr int kLinearBits = 6;
+    static constexpr int kSubBits = 4;
+    static constexpr int kMaxBits = 48;
+    static constexpr std::size_t kBuckets =
+        (std::size_t{1} << kLinearBits) +
+        static_cast<std::size_t>(kMaxBits - kLinearBits) * (std::size_t{1} << kSubBits);
+
+    // Negative samples clamp to 0 (latency deltas are non-negative by
+    // construction; a clamp beats UB on a subtraction bug).
+    void record(std::int64_t v);
+    void merge(const LatencyHistogram& other);
+
+    std::uint64_t count() const { return count_; }
+    std::int64_t min() const { return count_ ? min_ : 0; }
+    std::int64_t max() const { return count_ ? max_ : 0; }
+    double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+
+    // Upper edge of the bucket holding the nearest-rank sample, clamped
+    // to the exact [min, max]. Empty histogram -> 0.
+    std::int64_t percentile(double p) const;
+
+    void reset();
+
+    // {"count","min","p50","p90","p99","max","mean"} — the shape the
+    // latency/show appctl command and the metrics "histograms" section
+    // render for every tier.
+    Value to_value() const;
+
+    static std::size_t bucket_index(std::uint64_t v);
+    static std::uint64_t bucket_upper(std::size_t idx);
+
+private:
+    std::array<std::uint64_t, kBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+    std::int64_t min_ = 0;
+    std::int64_t max_ = 0;
+    double sum_ = 0.0;
+};
+
+} // namespace ovsx::obs

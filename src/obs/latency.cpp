@@ -1,0 +1,147 @@
+#include "obs/latency.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ovsx::obs {
+namespace {
+
+constexpr std::size_t kHops = 14; // one per Hop enumerator
+constexpr std::size_t kDomainSlots = 16;
+constexpr std::size_t kSpanSlots = 2048; // power of two, direct-mapped
+
+struct DomainSlot {
+    const char* name = nullptr;
+    std::unique_ptr<std::array<LatencyHistogram, kHops>> hists;
+};
+
+std::array<DomainSlot, kDomainSlots>& domains()
+{
+    static std::array<DomainSlot, kDomainSlots> d{};
+    return d;
+}
+
+std::array<LatencyHistogram, kHops>& domain_hists(const char* domain)
+{
+    if (!domain) domain = "";
+    auto& slots = domains();
+    for (auto& d : slots) {
+        if (d.name && std::strcmp(d.name, domain) == 0) return *d.hists;
+        if (!d.name) {
+            d.name = domain;
+            d.hists = std::make_unique<std::array<LatencyHistogram, kHops>>();
+            return *d.hists;
+        }
+    }
+    // Capacity exhausted — fold into the first slot rather than drop.
+    return *slots[0].hists;
+}
+
+// Direct-mapped last-closed-span table. Collisions and id reuse are
+// benign: a mismatched id, a different domain, or a timestamp that went
+// backwards all mean "new journey" and the next delta is measured from 0
+// (packet latency is cumulative from rx within one provider run).
+struct SpanSlot {
+    std::uint32_t id = 0;
+    const char* domain = nullptr;
+    std::int64_t last_ts = 0;
+};
+
+std::array<SpanSlot, kSpanSlots>& span_table()
+{
+    static std::array<SpanSlot, kSpanSlots> t{};
+    return t;
+}
+
+bool same_domain(const char* a, const char* b)
+{
+    if (a == b) return true;
+    return a && b && std::strcmp(a, b) == 0;
+}
+
+} // namespace
+
+void latency_record(const char* domain, Hop hop, std::int64_t delta_ns)
+{
+    const auto h = static_cast<std::size_t>(hop);
+    if (h >= kHops) return;
+    domain_hists(domain)[h].record(delta_ns);
+}
+
+void latency_feed_span(std::uint32_t packet_id, const char* domain, Hop hop, std::int64_t ts,
+                       const char* verdict)
+{
+    if (packet_id == 0) return;
+    if (!domain) domain = "";
+    SpanSlot& slot = span_table()[packet_id & (kSpanSlots - 1)];
+    const bool same_journey =
+        slot.id == packet_id && same_domain(slot.domain, domain) && ts >= slot.last_ts;
+    if (!same_journey) {
+        slot.id = packet_id;
+        slot.domain = domain;
+        slot.last_ts = 0;
+    }
+    // A "miss" does not close the span: the tier that finally resolves
+    // the packet (megaflow after an EMC miss, upcall after a full miss)
+    // absorbs the probing time that led to it.
+    if (verdict && std::strcmp(verdict, "miss") == 0) return;
+    latency_record(domain, hop, ts - slot.last_ts);
+    slot.last_ts = ts;
+}
+
+Value latency_show()
+{
+    std::vector<std::pair<std::string, const std::array<LatencyHistogram, kHops>*>> named;
+    for (const auto& d : domains()) {
+        if (!d.name || !d.hists) continue;
+        bool any = false;
+        for (const auto& h : *d.hists) {
+            if (h.count() > 0) { any = true; break; }
+        }
+        if (any) named.emplace_back(d.name[0] ? d.name : "-", d.hists.get());
+    }
+    std::sort(named.begin(), named.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+
+    Value out = Value::object();
+    for (const auto& [name, hists] : named) {
+        std::vector<std::pair<std::string, std::size_t>> tiers;
+        for (std::size_t i = 0; i < kHops; ++i) {
+            if ((*hists)[i].count() > 0) tiers.emplace_back(to_string(static_cast<Hop>(i)), i);
+        }
+        std::sort(tiers.begin(), tiers.end(),
+                  [](const auto& a, const auto& b) { return a.first < b.first; });
+        Value dom = Value::object();
+        for (const auto& [tier, i] : tiers) dom.set(tier, (*hists)[i].to_value());
+        out.set(name, std::move(dom));
+    }
+    return out;
+}
+
+const LatencyHistogram* latency_histogram(const char* domain, Hop hop)
+{
+    if (!domain) domain = "";
+    const auto h = static_cast<std::size_t>(hop);
+    if (h >= kHops) return nullptr;
+    for (const auto& d : domains()) {
+        if (d.name && std::strcmp(d.name, domain) == 0) return &(*d.hists)[h];
+    }
+    return nullptr;
+}
+
+void latency_reset()
+{
+    for (auto& d : domains()) {
+        if (d.hists) {
+            for (auto& h : *d.hists) h.reset();
+        }
+    }
+    span_table().fill(SpanSlot{});
+}
+
+} // namespace ovsx::obs

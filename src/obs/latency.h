@@ -1,0 +1,43 @@
+// Per-tier latency histograms, fed from trace spans at span close.
+//
+// Every traced hop carries the packet's cumulative virtual-ns latency;
+// the tier latency is the delta between a hop's timestamp and the
+// previous closed span of the same packet, tracked in a fixed
+// direct-mapped table (O(1), no allocation, collisions just restart a
+// journey). A "miss" verdict does not close the span: an EMC miss is
+// part of the same classification stage the megaflow probe finishes, so
+// the megaflow tier's delta subsumes the probing that led to it.
+//
+// Histograms are keyed (provider domain, tier). The `latency/show`
+// appctl built-in and the metrics JSON "histograms" section render the
+// same registry, so every provider reports the same output shape.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/histogram.h"
+#include "obs/trace.h"
+#include "obs/value.h"
+
+namespace ovsx::obs {
+
+// Records one tier-latency sample for (domain, hop). `domain` must be a
+// long-lived string ("netdev" / "kernel" / "ebpf" / "" when unset);
+// unknown domains beyond the slot capacity fold into the first slot.
+void latency_record(const char* domain, Hop hop, std::int64_t delta_ns);
+
+// Span-close feed — called by Tracer::record for every traced hop.
+void latency_feed_span(std::uint32_t packet_id, const char* domain, Hop hop, std::int64_t ts,
+                       const char* verdict);
+
+// {provider: {tier: {count,min,p50,p90,p99,max,mean}}}; providers and
+// tiers without samples are omitted, keys sorted for determinism.
+Value latency_show();
+
+// Histogram for one (domain, tier), or nullptr when never fed.
+const LatencyHistogram* latency_histogram(const char* domain, Hop hop);
+
+// Clears every histogram and the span table (domain slots survive).
+void latency_reset();
+
+} // namespace ovsx::obs

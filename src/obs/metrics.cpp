@@ -3,6 +3,8 @@
 #include <fstream>
 
 #include "obs/coverage.h"
+#include "obs/latency.h"
+#include "obs/window.h"
 
 namespace ovsx::obs {
 
@@ -77,6 +79,8 @@ std::string metrics_json()
         cov.set(name, count);
     }
     doc.set("coverage", std::move(cov));
+    doc.set("histograms", latency_show());
+    doc.set("windows", windows_snapshot());
     doc.set("metrics", root());
     return doc.to_json();
 }

@@ -14,7 +14,7 @@
 
 namespace ovsx::obs {
 
-inline constexpr const char* kMetricsSchema = "ovsx-obs-v1";
+inline constexpr const char* kMetricsSchema = "ovsx-obs-v2";
 
 // Sets the value at `dotted` ("a.b.c"), creating intermediate objects.
 // A non-object intermediate is replaced by an object.
@@ -28,7 +28,9 @@ Value metrics_snapshot();
 
 void metrics_reset();
 
-// {"schema":"ovsx-obs-v1","coverage":{...},"metrics":{...}}
+// {"schema":"ovsx-obs-v2","coverage":{...},"histograms":{...},
+//  "windows":{...},"metrics":{...}} — histograms is the per-provider
+// per-tier latency registry, windows the published window snapshots.
 std::string metrics_json();
 
 // Writes metrics_json() to `path`; false on I/O failure.

@@ -1,5 +1,7 @@
 #include "obs/trace.h"
 
+#include "obs/latency.h"
+
 namespace ovsx::obs {
 
 const char* to_string(Hop h)
@@ -51,6 +53,7 @@ void Tracer::record(std::uint32_t packet_id, Hop hop, std::int64_t ts, const cha
     ring_[head_] = TraceEvent{packet_id, hop, ts, domain_, verdict, a, b};
     head_ = (head_ + 1) % ring_.size();
     ++recorded_;
+    latency_feed_span(packet_id, domain_, hop, ts, verdict);
 }
 
 std::vector<TraceEvent> Tracer::all() const

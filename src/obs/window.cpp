@@ -1,0 +1,147 @@
+#include "obs/window.h"
+
+#include <utility>
+
+#include "obs/coverage.h"
+
+namespace ovsx::obs {
+
+void WindowedRate::sample(std::int64_t now, std::uint64_t cumulative)
+{
+    if (!primed_) {
+        primed_ = true;
+        last_now_ = now;
+        last_cum_ = cumulative;
+        return;
+    }
+    std::uint64_t delta =
+        cumulative >= last_cum_ ? cumulative - last_cum_ : cumulative; // counter reset
+    const std::int64_t span = now - last_now_;
+    last_now_ = now;
+    last_cum_ = cumulative;
+    if (span <= 0) {
+        // Zero-length window: no time passed, fold into the next one.
+        carry_ += delta;
+        return;
+    }
+    delta += carry_;
+    carry_ = 0;
+    ++windows_;
+    last_delta_ = delta;
+    last_window_ns_ = span;
+    rate_ = static_cast<double>(delta) * 1e9 / static_cast<double>(span);
+    ewma_ = windows_ == 1 ? rate_ : alpha_ * rate_ + (1.0 - alpha_) * ewma_;
+}
+
+void WindowedRate::reset()
+{
+    primed_ = false;
+    last_now_ = 0;
+    last_cum_ = 0;
+    carry_ = 0;
+    windows_ = 0;
+    last_delta_ = 0;
+    last_window_ns_ = 0;
+    rate_ = 0.0;
+    ewma_ = 0.0;
+}
+
+void Window::track_coverage(const std::string& name)
+{
+    for (const auto& n : coverage_names_) {
+        if (n == name) return;
+    }
+    coverage_names_.push_back(name);
+}
+
+bool Window::tick(std::int64_t now)
+{
+    if (interval_ns_ <= 0) return false;
+    if (!primed_) {
+        primed_ = true;
+        last_close_ = now;
+        sample_coverage();
+        return true;
+    }
+    if (now - last_close_ < interval_ns_) return false;
+    last_close_ = now;
+    ++closes_;
+    sample_coverage();
+    return true;
+}
+
+void Window::sample_coverage()
+{
+    for (const auto& name : coverage_names_) {
+        const auto id = coverage_find(name);
+        feed(name, id ? coverage_value(*id) : 0);
+    }
+}
+
+void Window::feed(const std::string& series, std::uint64_t cumulative)
+{
+    auto [it, inserted] = series_.try_emplace(series, alpha_);
+    it->second.sample(last_close_, cumulative);
+}
+
+const WindowedRate* Window::series(const std::string& name) const
+{
+    const auto it = series_.find(name);
+    return it == series_.end() ? nullptr : &it->second;
+}
+
+Value Window::to_value() const
+{
+    Value out = Value::object();
+    out.set("interval_ns", interval_ns_);
+    out.set("windows", closes_);
+    Value series = Value::object();
+    for (const auto& [name, wr] : series_) {
+        Value s = Value::object();
+        s.set("rate_per_sec", wr.rate_per_sec());
+        s.set("ewma_per_sec", wr.ewma_per_sec());
+        s.set("last_delta", wr.last_delta());
+        s.set("last_window_ns", wr.last_window_ns());
+        s.set("windows", wr.windows());
+        series.set(name, std::move(s));
+    }
+    out.set("series", std::move(series));
+    return out;
+}
+
+void Window::reset()
+{
+    primed_ = false;
+    last_close_ = 0;
+    closes_ = 0;
+    series_.clear();
+}
+
+namespace {
+
+std::map<std::string, Value>& published()
+{
+    static std::map<std::string, Value> m;
+    return m;
+}
+
+} // namespace
+
+void windows_publish(const std::string& name, Value snapshot)
+{
+    published().insert_or_assign(name, std::move(snapshot));
+}
+
+Value windows_snapshot()
+{
+    Value out = Value::object();
+    for (const auto& [name, v] : published()) out.set(name, v);
+    return out;
+}
+
+void windows_reset()
+{
+    published().clear();
+}
+
+} // namespace ovsx::obs

@@ -1,0 +1,115 @@
+// Windowed sampling of cumulative counters: rates + EWMA utilization.
+//
+// Lifetime totals (coverage counters, busy-ns) answer "how much ever";
+// the paper's §4.2 auto-load-balancer needs "how much lately". A
+// WindowedRate is fed a cumulative value at each window close and turns
+// it into a per-second rate plus an exponentially-weighted moving
+// average; an obs::Window gates the closes on a configurable sim-time
+// interval and can track coverage counters automatically.
+//
+// Window snapshots are published into a process-global registry (keyed
+// by publisher name) that the metrics JSON "windows" section renders.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/value.h"
+
+namespace ovsx::obs {
+
+// Default EWMA smoothing factor: new windows weigh 40%, matching the
+// spirit of OVS's pmd-auto-lb cycle averaging (responsive but damped).
+inline constexpr double kWindowAlpha = 0.4;
+
+// Turns samples of one cumulative counter into windowed rates. The
+// first sample primes the baseline and produces no window.
+class WindowedRate {
+public:
+    explicit WindowedRate(double alpha = kWindowAlpha) : alpha_(alpha) {}
+
+    // `cumulative < previous` means the underlying counter was reset;
+    // the whole new value counts as this window's delta. A zero-length
+    // window (now == previous close) folds its delta into the next
+    // window instead of dividing by zero.
+    void sample(std::int64_t now, std::uint64_t cumulative);
+
+    std::uint64_t windows() const { return windows_; }
+    std::uint64_t last_delta() const { return last_delta_; }
+    std::int64_t last_window_ns() const { return last_window_ns_; }
+    double rate_per_sec() const { return rate_; }
+    double ewma_per_sec() const { return ewma_; }
+
+    void reset();
+
+private:
+    double alpha_;
+    bool primed_ = false;
+    std::int64_t last_now_ = 0;
+    std::uint64_t last_cum_ = 0;
+    std::uint64_t carry_ = 0; // delta from zero-length windows
+    std::uint64_t windows_ = 0;
+    std::uint64_t last_delta_ = 0;
+    std::int64_t last_window_ns_ = 0;
+    double rate_ = 0.0;
+    double ewma_ = 0.0;
+};
+
+// Interval-gated sampler over named WindowedRate series.
+class Window {
+public:
+    explicit Window(std::int64_t interval_ns = 0, double alpha = kWindowAlpha)
+        : interval_ns_(interval_ns), alpha_(alpha) {}
+
+    // interval 0 disables the window (tick never fires).
+    void set_interval(std::int64_t interval_ns) { interval_ns_ = interval_ns; }
+    std::int64_t interval_ns() const { return interval_ns_; }
+
+    // Coverage counters sampled automatically at every close. Uses
+    // coverage_find — a name never interned reads as 0, it is NOT
+    // registered (counter names must stay static, not data-derived).
+    void track_coverage(const std::string& name);
+
+    // Returns true when `now` crossed a sample boundary — including the
+    // priming tick, so callers feed() cumulative values at every true
+    // return and each WindowedRate primes itself. closes() counts only
+    // non-priming boundaries (completed windows).
+    bool tick(std::int64_t now);
+
+    std::int64_t last_close() const { return last_close_; }
+    std::uint64_t closes() const { return closes_; }
+
+    // Feed one cumulative value for `series` at the last close time.
+    // Call after tick() returned true.
+    void feed(const std::string& series, std::uint64_t cumulative);
+
+    // nullptr when the series was never fed.
+    const WindowedRate* series(const std::string& name) const;
+
+    // {"interval_ns","windows","series":{name:{rate_per_sec,
+    //  ewma_per_sec,last_delta,last_window_ns,windows}}}
+    Value to_value() const;
+
+    void reset();
+
+private:
+    void sample_coverage();
+
+    std::int64_t interval_ns_;
+    double alpha_;
+    bool primed_ = false;
+    std::int64_t last_close_ = 0;
+    std::uint64_t closes_ = 0;
+    std::vector<std::string> coverage_names_;
+    std::map<std::string, WindowedRate> series_;
+};
+
+// Global registry of published window snapshots, rendered as the
+// metrics JSON "windows" section. Publishing replaces by name.
+void windows_publish(const std::string& name, Value snapshot);
+Value windows_snapshot();
+void windows_reset();
+
+} // namespace ovsx::obs

@@ -83,4 +83,32 @@ obs::Value render_xsk_rings(const std::vector<XskRingRow>& rows)
     return v;
 }
 
+obs::Value render_pmd_rxq(const char* datapath, const std::vector<PmdRxqRow>& rows)
+{
+    obs::Value v = obs::Value::object();
+    v.set("datapath", datapath);
+    obs::Value pmds = obs::Value::array();
+    std::size_t i = 0;
+    while (i < rows.size()) {
+        const std::string name = rows[i].pmd;
+        obs::Value rxqs = obs::Value::array();
+        for (; i < rows.size() && rows[i].pmd == name; ++i) {
+            const PmdRxqRow& r = rows[i];
+            obs::Value row = obs::Value::object();
+            row.set("port", r.port);
+            row.set("queue", static_cast<std::uint64_t>(r.queue));
+            row.set("busy_ns", r.busy_ns);
+            row.set("busy_pct", r.busy_pct);
+            row.set("windows", r.windows);
+            rxqs.push(std::move(row));
+        }
+        obs::Value entry = obs::Value::object();
+        entry.set("name", name);
+        entry.set("rxqs", std::move(rxqs));
+        pmds.push(std::move(entry));
+    }
+    v.set("pmds", std::move(pmds));
+    return v;
+}
+
 } // namespace ovsx::ovs

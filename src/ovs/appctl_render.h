@@ -47,6 +47,24 @@ struct XskRingRow {
 // without AF_XDP ports return the same shape with an empty array.
 obs::Value render_xsk_rings(const std::vector<XskRingRow>& rows);
 
+// One rxq assignment for dpif-netdev/pmd-rxq-show. busy_pct is the
+// EWMA-windowed utilization (percent of the sampling window the PMD
+// spent on this queue); windows is how many completed windows back it.
+struct PmdRxqRow {
+    std::string pmd;
+    std::string port;
+    std::uint32_t queue = 0;
+    std::uint64_t busy_ns = 0; // cumulative
+    double busy_pct = 0.0;
+    std::uint64_t windows = 0;
+};
+
+// {"datapath": type, "pmds": [{"name", "rxqs": [{port, queue, busy_ns,
+//  busy_pct, windows}, ...]}, ...]} — rows group by PMD in row order;
+// providers without PMD threads return the same shape with an empty
+// pmds array.
+obs::Value render_pmd_rxq(const char* datapath, const std::vector<PmdRxqRow>& rows);
+
 // Dotted-quad rendering of a host-order IPv4 address.
 std::string ipv4_to_string(std::uint32_t ip);
 

@@ -63,6 +63,11 @@ Program build_tc_program(MapPtr flow_map, MapPtr result_map)
     // offset, so an options-bearing header would alias option bytes into
     // the port fields and hit the wrong flow. Send those to the slow path.
     b.ldxb(R5, R2, kOffIp).and_imm(R5, 0x0f).jne_imm(R5, 5, "miss");
+    // Fragments must not key on kOffL4: a later fragment carries payload
+    // bytes where the ports live, which would alias another flow's map
+    // entry while the installed key has tp=0. Punt anything with MF or a
+    // nonzero offset (frag_off & 0x3fff after byte swap) to the slow path.
+    b.ldxh(R5, R2, kOffIp + 6).be16(R5).and_imm(R5, 0x3fff).jne_imm(R5, 0, "miss");
     b.ldxw(R5, R2, kOffIpSrc).stxw(R10, -20, R5);
     b.ldxw(R5, R2, kOffIpDst).stxw(R10, -16, R5);
     b.ldxw(R5, R2, kOffL4).stxw(R10, -12, R5); // sport|dport as on the wire
@@ -76,6 +81,7 @@ Program build_tc_program(MapPtr flow_map, MapPtr result_map)
     b.ldxh(R5, R2, kOffEthTypeTagged).jne_imm(R5, kEthIpv4LE, "miss");
     b.ldxb(R5, R2, kOffIpTagged).rsh_imm(R5, 4).jne_imm(R5, 4, "miss");
     b.ldxb(R5, R2, kOffIpTagged).and_imm(R5, 0x0f).jne_imm(R5, 5, "miss");
+    b.ldxh(R5, R2, kOffIpTagged + 6).be16(R5).and_imm(R5, 0x3fff).jne_imm(R5, 0, "miss");
     b.ldxw(R5, R2, kOffIpTagged + 12).stxw(R10, -20, R5);
     b.ldxw(R5, R2, kOffIpTagged + 16).stxw(R10, -16, R5);
     b.ldxw(R5, R2, kOffL4Tagged).stxw(R10, -12, R5);
@@ -251,6 +257,20 @@ void DpifEbpf::register_appctl(obs::Appctl& appctl)
                             [](const obs::Appctl::Args&) {
                                 // The eBPF datapath owns no XSK sockets.
                                 return render_xsk_rings({});
+                            });
+    appctl.register_command("dpif-netdev/pmd-rxq-show",
+                            "rxq-to-PMD assignment with windowed busy%",
+                            [this](const obs::Appctl::Args&) {
+                                // TC-hook softirq processing: no PMD threads.
+                                return render_pmd_rxq(type(), {});
+                            });
+    appctl.register_command("dpif-netdev/pmd-rebalance", "rebalance rxqs across PMDs now",
+                            [this](const obs::Appctl::Args&) {
+                                obs::Value v = obs::Value::object();
+                                v.set("datapath", type());
+                                v.set("rebalanced", false);
+                                v.set("detail", "no PMD threads");
+                                return v;
                             });
 }
 

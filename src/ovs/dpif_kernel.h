@@ -59,6 +59,21 @@ public:
                                     // The kernel datapath owns no XSK sockets.
                                     return render_xsk_rings({});
                                 });
+        appctl.register_command("dpif-netdev/pmd-rxq-show",
+                                "rxq-to-PMD assignment with windowed busy%",
+                                [this](const obs::Appctl::Args&) {
+                                    // Softirq processing: no PMD threads.
+                                    return render_pmd_rxq(type(), {});
+                                });
+        appctl.register_command("dpif-netdev/pmd-rebalance",
+                                "rebalance rxqs across PMDs now",
+                                [this](const obs::Appctl::Args&) {
+                                    obs::Value v = obs::Value::object();
+                                    v.set("datapath", type());
+                                    v.set("rebalanced", false);
+                                    v.set("detail", "no PMD threads");
+                                    return v;
+                                });
     }
 
     void execute(net::Packet&& pkt, const kern::OdpActions& actions,

@@ -1,5 +1,9 @@
 #include "ovs/dpif_netdev.h"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
 #include "kern/kernel.h"
 #include "net/hash.h"
 #include "net/headers.h"
@@ -144,6 +148,157 @@ void DpifNetdev::register_appctl(obs::Appctl& appctl)
             }
             return render_xsk_rings(rows);
         });
+    appctl.register_command(
+        "dpif-netdev/pmd-rxq-show", "rxq-to-PMD assignment with windowed busy%",
+        [this](const obs::Appctl::Args&) {
+            std::vector<PmdRxqRow> rows;
+            for (const Pmd& pmd : pmds_) {
+                for (const Rxq& rxq : pmd.rxqs) {
+                    PmdRxqRow row;
+                    row.pmd = pmd.name;
+                    auto it = ports_.find(rxq.port_no);
+                    row.port = it != ports_.end() ? it->second.name
+                                                  : std::to_string(rxq.port_no);
+                    row.queue = rxq.queue;
+                    row.busy_ns = rxq.busy_ns;
+                    if (const obs::WindowedRate* wr = window_.series("rxq/" + rxq_name(rxq))) {
+                        // EWMA busy-ns per second -> percent of the
+                        // window, rounded to 2 decimals for stable text.
+                        const double pct = wr->ewma_per_sec() / 1e9 * 100.0;
+                        row.busy_pct = std::round(pct * 100.0) / 100.0;
+                        row.windows = wr->windows();
+                    }
+                    rows.push_back(std::move(row));
+                }
+            }
+            return render_pmd_rxq(type(), rows);
+        });
+    appctl.register_command(
+        "dpif-netdev/pmd-rebalance", "rebalance rxqs across PMDs now",
+        [this](const obs::Appctl::Args&) {
+            const bool did = rebalance_now();
+            obs::Value v = obs::Value::object();
+            v.set("datapath", type());
+            v.set("rebalanced", did);
+            v.set("detail", did ? rebalance_events_.back().detail
+                                : std::string("no improving assignment"));
+            return v;
+        });
+}
+
+void DpifNetdev::set_now(sim::Nanos now)
+{
+    now_ = now;
+    if (window_.tick(now)) sample_window();
+}
+
+void DpifNetdev::set_window_interval(sim::Nanos interval_ns)
+{
+    window_.set_interval(interval_ns);
+    for (const char* name :
+         {"emc.hit", "emc.miss", "megaflow.hit", "megaflow.miss", "dpif_netdev.upcall"}) {
+        window_.track_coverage(name);
+    }
+}
+
+void DpifNetdev::set_auto_lb(bool enabled, double min_improvement)
+{
+    auto_lb_ = enabled;
+    auto_lb_min_improvement_ = min_improvement > 1.0 ? min_improvement : 1.0;
+}
+
+std::string DpifNetdev::rxq_name(const Rxq& rxq) const
+{
+    auto it = ports_.find(rxq.port_no);
+    const std::string port =
+        it != ports_.end() ? it->second.name : std::to_string(rxq.port_no);
+    return port + ":" + std::to_string(rxq.queue);
+}
+
+void DpifNetdev::sample_window()
+{
+    // Series are keyed by rxq (not by owning PMD) so a rebalance does
+    // not restart a queue's EWMA history mid-flight.
+    for (const Pmd& pmd : pmds_) {
+        window_.feed("pmd/" + pmd.name, static_cast<std::uint64_t>(pmd.ctx.total_busy()));
+        for (const Rxq& rxq : pmd.rxqs) {
+            window_.feed("rxq/" + rxq_name(rxq), rxq.busy_ns);
+        }
+    }
+    if (window_.closes() == 0) return; // priming tick
+    // Publish before deciding, so every rebalance event is reproducible
+    // from the published windowed metrics.
+    obs::windows_publish("dpif-netdev", window_.to_value());
+    if (auto_lb_) maybe_rebalance(auto_lb_min_improvement_);
+}
+
+bool DpifNetdev::maybe_rebalance(double min_improvement)
+{
+    OVSX_COVERAGE("pmd.autolb.check");
+    if (pmds_.size() < 2) return false;
+
+    struct Item {
+        Rxq rxq;
+        std::size_t old_pmd = 0;
+        double load = 0.0;
+    };
+    std::vector<Item> items;
+    bool any_windowed = false;
+    for (std::size_t p = 0; p < pmds_.size(); ++p) {
+        for (const Rxq& rxq : pmds_[p].rxqs) {
+            const obs::WindowedRate* wr = window_.series("rxq/" + rxq_name(rxq));
+            const double load = wr && wr->windows() > 0 ? wr->ewma_per_sec() : 0.0;
+            if (load > 0.0) any_windowed = true;
+            items.push_back(Item{rxq, p, load});
+        }
+    }
+    if (items.empty()) return false;
+    if (!any_windowed) {
+        // No windowed signal yet (e.g. appctl trigger before the first
+        // close): fall back to lifetime busy-ns for every rxq, never mix
+        // the two units within one decision.
+        for (Item& it : items) it.load = static_cast<double>(it.rxq.busy_ns);
+    }
+
+    std::vector<double> cur_load(pmds_.size(), 0.0);
+    for (const Item& it : items) cur_load[it.old_pmd] += it.load;
+    const double cur_max = *std::max_element(cur_load.begin(), cur_load.end());
+
+    // OVS's pmd-auto-lb greedy: heaviest rxq first onto the least-loaded
+    // PMD. Ties break deterministically (port, queue / lowest index).
+    std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+        if (a.load != b.load) return a.load > b.load;
+        if (a.rxq.port_no != b.rxq.port_no) return a.rxq.port_no < b.rxq.port_no;
+        return a.rxq.queue < b.rxq.queue;
+    });
+    std::vector<double> new_load(pmds_.size(), 0.0);
+    std::vector<std::vector<Rxq>> assignment(pmds_.size());
+    std::size_t moves = 0;
+    for (const Item& it : items) {
+        const std::size_t target = static_cast<std::size_t>(
+            std::min_element(new_load.begin(), new_load.end()) - new_load.begin());
+        new_load[target] += it.load;
+        assignment[target].push_back(it.rxq);
+        if (target != it.old_pmd) ++moves;
+    }
+    const double new_max = *std::max_element(new_load.begin(), new_load.end());
+    if (moves == 0 || !(new_max < cur_max)) return false;
+    if (new_max > 0.0 && cur_max / new_max < min_improvement) return false;
+
+    for (std::size_t p = 0; p < pmds_.size(); ++p) {
+        pmds_[p].rxqs = std::move(assignment[p]);
+    }
+    char detail[160];
+    std::snprintf(detail, sizeof detail, "moved %zu rxqs, busiest PMD load %.0f -> %.0f",
+                  moves, cur_max, new_max);
+    rebalance_events_.push_back(RebalanceEvent{now_, window_.closes(), detail});
+    OVSX_COVERAGE("pmd.autolb.rebalance");
+    return true;
+}
+
+bool DpifNetdev::rebalance_now()
+{
+    return maybe_rebalance(1.0);
 }
 
 int DpifNetdev::add_pmd(const std::string& name)
@@ -157,22 +312,27 @@ int DpifNetdev::add_pmd(const std::string& name)
 
 void DpifNetdev::pmd_assign(int pmd, std::uint32_t port_no, std::uint32_t queue)
 {
-    pmds_[static_cast<std::size_t>(pmd)].rxqs.emplace_back(port_no, queue);
+    pmds_[static_cast<std::size_t>(pmd)].rxqs.push_back(Rxq{port_no, queue, 0});
 }
 
 std::uint32_t DpifNetdev::pmd_poll_once(int pmd_index)
 {
     Pmd& pmd = pmds_[static_cast<std::size_t>(pmd_index)];
     std::uint32_t processed = 0;
-    for (const auto& [port_no, queue] : pmd.rxqs) {
-        auto it = ports_.find(port_no);
+    for (Rxq& rxq : pmd.rxqs) {
+        auto it = ports_.find(rxq.port_no);
         if (it == ports_.end() || !it->second.netdev) continue;
+        const sim::Nanos busy_before = pmd.ctx.total_busy();
         std::vector<net::Packet> batch;
         const std::uint32_t n =
-            it->second.netdev->rx_burst(queue, batch, Netdev::kBatchSize, pmd.ctx);
-        if (n == 0) continue;
-        process_batch(port_no, std::move(batch), pmd.ctx);
-        processed += n;
+            it->second.netdev->rx_burst(rxq.queue, batch, Netdev::kBatchSize, pmd.ctx);
+        if (n > 0) {
+            process_batch(rxq.port_no, std::move(batch), pmd.ctx);
+            processed += n;
+        }
+        // Everything the PMD spent on this queue's burst (poll included)
+        // is the §4.2 "processing cycles" signal the auto-LB consumes.
+        rxq.busy_ns += static_cast<std::uint64_t>(pmd.ctx.total_busy() - busy_before);
     }
     return processed;
 }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "net/tunnel.h"
+#include "obs/window.h"
 #include "ovs/ct.h"
 #include "ovs/dpif.h"
 #include "ovs/emc.h"
@@ -75,9 +76,35 @@ public:
     MeterTable& meters() { return meters_; }
     NetlinkCache& netlink_cache() { return netlink_; }
 
-    // Virtual time for meters / ct timestamps.
-    void set_now(sim::Nanos now) { now_ = now; }
+    // Virtual time for meters / ct timestamps. Also drives the telemetry
+    // window: every crossed sampling boundary snapshots per-PMD/per-rxq
+    // busy-ns and coverage counters, publishes the window, and (when
+    // auto-LB is enabled) runs a rebalance check.
+    void set_now(sim::Nanos now);
     sim::Nanos now() const { return now_; }
+
+    // ---- windowed telemetry + §4.2 auto-load-balancing -------------------
+    // 0 disables windowed sampling (the default).
+    void set_window_interval(sim::Nanos interval_ns);
+    const obs::Window& window() const { return window_; }
+
+    // Enables rebalancing rxqs across PMDs when the windowed load
+    // imbalance would drop the busiest PMD's load by at least
+    // `min_improvement` (ratio, OVS's pmd-auto-lb-improvement-threshold
+    // in spirit; 1.25 = busiest PMD 25% less loaded).
+    void set_auto_lb(bool enabled, double min_improvement = 1.25);
+    bool auto_lb() const { return auto_lb_; }
+
+    struct RebalanceEvent {
+        sim::Nanos at = 0;         // virtual time of the decision
+        std::uint64_t window = 0;  // completed windows at that point
+        std::string detail;        // deterministic, seed-reproducible
+    };
+    const std::vector<RebalanceEvent>& rebalance_events() const { return rebalance_events_; }
+
+    // Appctl-triggered rebalance: applies any strict improvement
+    // (threshold 1.0) regardless of whether auto-LB is enabled.
+    bool rebalance_now();
 
     // Packets punted by an explicit Userspace action.
     std::vector<net::Packet>& punted() { return punted_; }
@@ -105,11 +132,21 @@ private:
         std::uint32_t tunnel_local_ip = 0;
     };
 
+    struct Rxq {
+        std::uint32_t port_no = 0;
+        std::uint32_t queue = 0;
+        std::uint64_t busy_ns = 0; // cumulative processing time, survives moves
+    };
+
     struct Pmd {
         std::string name;
         sim::ExecContext ctx;
-        std::vector<std::pair<std::uint32_t, std::uint32_t>> rxqs;
+        std::vector<Rxq> rxqs;
     };
+
+    std::string rxq_name(const Rxq& rxq) const;
+    void sample_window();
+    bool maybe_rebalance(double min_improvement);
 
     void pipeline(net::Packet&& pkt, sim::ExecContext& ctx, int depth);
     void output(net::Packet&& pkt, std::uint32_t port_no, sim::ExecContext& ctx);
@@ -139,6 +176,10 @@ private:
     std::uint64_t dropped_ = 0;
     std::uint32_t emc_insert_inv_prob_ = 100;
     std::uint64_t emc_insert_counter_ = 0;
+    obs::Window window_;
+    bool auto_lb_ = false;
+    double auto_lb_min_improvement_ = 1.25;
+    std::vector<RebalanceEvent> rebalance_events_;
 };
 
 } // namespace ovsx::ovs

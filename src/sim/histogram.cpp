@@ -1,8 +1,9 @@
 #include "sim/histogram.h"
 
 #include <algorithm>
-#include <cassert>
 #include <numeric>
+
+#include "obs/histogram.h"
 
 namespace ovsx::sim {
 
@@ -16,28 +17,21 @@ void Histogram::sort() const
 
 Nanos Histogram::percentile(double p) const
 {
-    assert(!samples_.empty());
+    if (samples_.empty()) return 0;
     sort();
-    if (p <= 0) return samples_.front();
-    if (p >= 100) return samples_.back();
-    // Nearest-rank: ceil(p/100 * N), 1-based.
-    const auto n = static_cast<double>(samples_.size());
-    auto rank = static_cast<std::size_t>(p / 100.0 * n + 0.999999);
-    if (rank == 0) rank = 1;
-    if (rank > samples_.size()) rank = samples_.size();
-    return samples_[rank - 1];
+    return samples_[obs::percentile_rank(samples_.size(), p) - 1];
 }
 
 Nanos Histogram::min() const
 {
-    assert(!samples_.empty());
+    if (samples_.empty()) return 0;
     sort();
     return samples_.front();
 }
 
 Nanos Histogram::max() const
 {
-    assert(!samples_.empty());
+    if (samples_.empty()) return 0;
     sort();
     return samples_.back();
 }

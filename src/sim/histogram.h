@@ -14,9 +14,12 @@ public:
     std::size_t count() const { return samples_.size(); }
     bool empty() const { return samples_.empty(); }
 
-    // Percentile by nearest-rank, p in [0, 100]. Requires !empty().
+    // Percentile by nearest-rank via obs::percentile_rank (the one
+    // shared implementation): p <= 0 -> first sample, p >= 100 -> last,
+    // a single sample answers every p. Empty histogram -> 0.
     Nanos percentile(double p) const;
 
+    // Empty histogram -> 0, matching obs::LatencyHistogram.
     Nanos min() const;
     Nanos max() const;
     double mean() const;

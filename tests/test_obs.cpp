@@ -17,9 +17,12 @@
 #include "net/builder.h"
 #include "obs/appctl.h"
 #include "obs/coverage.h"
+#include "obs/histogram.h"
+#include "obs/latency.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "obs/value.h"
+#include "obs/window.h"
 #include "ovs/dpif_ebpf.h"
 #include "ovs/dpif_kernel.h"
 #include "ovs/dpif_netdev.h"
@@ -144,8 +147,11 @@ TEST(ObsTrace, DumpGroupsByDomain)
 // ---- appctl on all three providers -------------------------------------
 
 const std::vector<std::string> kRequiredCommands = {
-    "coverage/show", "memory/show", "dpif-netdev/pmd-stats-show",
-    "dpctl/dump-flows", "conntrack/show", "xsk/ring-stats",
+    "coverage/show",    "memory/show",
+    "latency/show",     "dpif-netdev/pmd-stats-show",
+    "dpctl/dump-flows", "conntrack/show",
+    "xsk/ring-stats",   "dpif-netdev/pmd-rxq-show",
+    "dpif-netdev/pmd-rebalance",
 };
 
 void expect_command_surface(obs::Appctl& appctl, const char* provider)
@@ -173,6 +179,15 @@ void expect_command_surface(obs::Appctl& appctl, const char* provider)
     ASSERT_NE(flows.find("flow_count"), nullptr) << provider;
     const obs::Value ct = appctl.run_value("conntrack/show");
     ASSERT_NE(ct.find("count"), nullptr) << provider;
+    // latency/show is an object keyed provider -> tier on every dpif.
+    EXPECT_TRUE(appctl.run_value("latency/show").is_object()) << provider;
+    const obs::Value rxq = appctl.run_value("dpif-netdev/pmd-rxq-show");
+    ASSERT_NE(rxq.find("datapath"), nullptr) << provider;
+    ASSERT_NE(rxq.find("pmds"), nullptr) << provider;
+    EXPECT_TRUE(rxq.find("pmds")->is_array()) << provider;
+    const obs::Value reb = appctl.run_value("dpif-netdev/pmd-rebalance");
+    ASSERT_NE(reb.find("rebalanced"), nullptr) << provider;
+    ASSERT_NE(reb.find("detail"), nullptr) << provider;
 }
 
 TEST(ObsAppctl, AllThreeProvidersAnswerTheSameCommands)
@@ -252,10 +267,237 @@ TEST(ObsMetrics, DottedPathsAndSchema)
     ASSERT_TRUE(doc.has_value());
     ASSERT_NE(doc->find("schema"), nullptr);
     EXPECT_EQ(doc->find("schema")->as_string(), obs::kMetricsSchema);
+    EXPECT_EQ(doc->find("schema")->as_string(), "ovsx-obs-v2");
     ASSERT_NE(doc->find("coverage"), nullptr);
     ASSERT_NE(doc->find("metrics"), nullptr);
+    // v2 adds the histograms and windows sections.
+    ASSERT_NE(doc->find("histograms"), nullptr);
+    EXPECT_TRUE(doc->find("histograms")->is_object());
+    ASSERT_NE(doc->find("windows"), nullptr);
+    EXPECT_TRUE(doc->find("windows")->is_object());
     EXPECT_EQ(doc->find("metrics")->find("t")->find("a")->find("b")->as_uint(), 42u);
     obs::metrics_reset();
+}
+
+// ---- latency histograms -------------------------------------------------
+
+TEST(ObsLatency, PercentileRankIsSharedAndClampsEdges)
+{
+    // THE nearest-rank rule, shared with sim::Histogram.
+    EXPECT_EQ(obs::percentile_rank(10, 50), 5u);
+    EXPECT_EQ(obs::percentile_rank(10, 90), 9u);
+    EXPECT_EQ(obs::percentile_rank(10, 99), 10u);
+    EXPECT_EQ(obs::percentile_rank(10, 0), 1u);
+    EXPECT_EQ(obs::percentile_rank(10, -7), 1u);
+    EXPECT_EQ(obs::percentile_rank(10, 100), 10u);
+    EXPECT_EQ(obs::percentile_rank(10, 250), 10u);
+    EXPECT_EQ(obs::percentile_rank(1, 50), 1u);
+}
+
+TEST(ObsLatency, HistogramLinearRegionIsExact)
+{
+    obs::LatencyHistogram h;
+    EXPECT_EQ(h.percentile(50), 0); // empty -> 0
+    for (std::int64_t v = 0; v < 64; ++v) h.record(v);
+    EXPECT_EQ(h.count(), 64u);
+    EXPECT_EQ(h.min(), 0);
+    EXPECT_EQ(h.max(), 63);
+    // Below 2^6 every bucket is 1 ns wide: percentiles are exact.
+    EXPECT_EQ(h.percentile(50), 31);
+    EXPECT_EQ(h.percentile(100), 63);
+    h.record(-5); // negative deltas clamp to 0
+    EXPECT_EQ(h.min(), 0);
+}
+
+TEST(ObsLatency, HistogramLogRegionBoundsRelativeError)
+{
+    obs::LatencyHistogram h;
+    const std::int64_t v = 1'000'000;
+    for (int i = 0; i < 100; ++i) h.record(v);
+    const std::int64_t p99 = h.percentile(99);
+    // Log-linear buckets with 16 sub-buckets: <= 1/16 relative error,
+    // and the result clamps into the observed [min, max].
+    EXPECT_GE(p99, v);
+    EXPECT_LE(p99, v + v / 16);
+    EXPECT_EQ(h.percentile(100), h.max());
+    EXPECT_EQ(h.max(), v);
+}
+
+TEST(ObsLatency, MergeMatchesCombinedRecording)
+{
+    obs::LatencyHistogram a, b, combined;
+    for (std::int64_t v : {10, 20, 5000, 40}) {
+        a.record(v);
+        combined.record(v);
+    }
+    for (std::int64_t v : {100, 900'000, 7}) {
+        b.record(v);
+        combined.record(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), combined.count());
+    EXPECT_EQ(a.min(), combined.min());
+    EXPECT_EQ(a.max(), combined.max());
+    for (double p : {50.0, 90.0, 99.0}) {
+        EXPECT_EQ(a.percentile(p), combined.percentile(p)) << p;
+    }
+}
+
+TEST(ObsLatency, SpanFeedRecordsDeltasAndSkipsMisses)
+{
+    obs::latency_reset();
+    // A journey: emc miss at t=100 (probed, not resolved), megaflow hit
+    // at t=130, tx at t=150. The miss must not record OR advance the
+    // base timestamp: the megaflow delta subsumes the probing cost.
+    obs::latency_feed_span(9, "testdom", obs::Hop::Emc, 100, "miss");
+    obs::latency_feed_span(9, "testdom", obs::Hop::Megaflow, 130, "hit");
+    obs::latency_feed_span(9, "testdom", obs::Hop::Tx, 150, "");
+    const auto* emc = obs::latency_histogram("testdom", obs::Hop::Emc);
+    ASSERT_NE(emc, nullptr); // the domain is interned...
+    EXPECT_EQ(emc->count(), 0u); // ...but the missed tier recorded nothing
+    const auto* mf = obs::latency_histogram("testdom", obs::Hop::Megaflow);
+    ASSERT_NE(mf, nullptr);
+    EXPECT_EQ(mf->count(), 1u);
+    EXPECT_EQ(mf->max(), 130);
+    const auto* tx = obs::latency_histogram("testdom", obs::Hop::Tx);
+    ASSERT_NE(tx, nullptr);
+    EXPECT_EQ(tx->max(), 20);
+    // latency/show renders the fed tiers under the provider key.
+    const obs::Value shown = obs::latency_show();
+    const auto* dom = shown.find("testdom");
+    ASSERT_NE(dom, nullptr);
+    ASSERT_NE(dom->find("megaflow"), nullptr);
+    EXPECT_EQ(dom->find("megaflow")->find("count")->as_uint(), 1u);
+    EXPECT_EQ(dom->find("emc"), nullptr); // zero-count tiers are omitted
+    obs::latency_reset();
+}
+
+TEST(ObsLatency, NewJourneyOnIdDomainOrTimeRegression)
+{
+    obs::latency_reset();
+    obs::latency_feed_span(11, "testdom", obs::Hop::Emc, 100, "hit");
+    // Same slot, different packet id: base restarts at 0.
+    obs::latency_feed_span(11 + 2048, "testdom", obs::Hop::Emc, 500, "hit");
+    // Same id, earlier timestamp (provider switch): new journey too.
+    obs::latency_feed_span(11, "testdom", obs::Hop::Emc, 40, "hit");
+    const auto* emc = obs::latency_histogram("testdom", obs::Hop::Emc);
+    ASSERT_NE(emc, nullptr);
+    EXPECT_EQ(emc->count(), 3u);
+    EXPECT_EQ(emc->max(), 500); // not 400: the collision reset the base
+    EXPECT_EQ(emc->min(), 40);
+    obs::latency_reset();
+}
+
+// ---- windowed rates -----------------------------------------------------
+
+TEST(ObsWindow, RatePrimesThenMeasures)
+{
+    obs::WindowedRate r;
+    r.sample(1'000'000'000, 500); // priming: no window yet
+    EXPECT_EQ(r.windows(), 0u);
+    EXPECT_EQ(r.rate_per_sec(), 0.0);
+    r.sample(2'000'000'000, 1500); // +1000 over 1 s
+    EXPECT_EQ(r.windows(), 1u);
+    EXPECT_EQ(r.last_delta(), 1000u);
+    EXPECT_DOUBLE_EQ(r.rate_per_sec(), 1000.0);
+    EXPECT_DOUBLE_EQ(r.ewma_per_sec(), 1000.0); // first window sets EWMA
+}
+
+TEST(ObsWindow, CounterResetMidWindowCountsNewValueOnly)
+{
+    obs::WindowedRate r;
+    r.sample(0, 900);
+    r.sample(1'000'000'000, 1000); // +100
+    // Counter reset (process restart, coverage_reset): cumulative drops.
+    r.sample(2'000'000'000, 40);
+    EXPECT_EQ(r.windows(), 2u);
+    EXPECT_EQ(r.last_delta(), 40u); // the whole new value, not a huge wrap
+    EXPECT_DOUBLE_EQ(r.rate_per_sec(), 40.0);
+}
+
+TEST(ObsWindow, ZeroLengthWindowFoldsDeltaIntoNext)
+{
+    obs::WindowedRate r;
+    r.sample(0, 0);
+    r.sample(1'000'000'000, 100);
+    EXPECT_EQ(r.windows(), 1u);
+    r.sample(1'000'000'000, 160); // zero-length: +60 carried, no window
+    EXPECT_EQ(r.windows(), 1u);
+    EXPECT_EQ(r.last_delta(), 100u);
+    r.sample(2'000'000'000, 200); // +40 plus the 60 carry over 1 s
+    EXPECT_EQ(r.windows(), 2u);
+    EXPECT_EQ(r.last_delta(), 100u);
+    EXPECT_DOUBLE_EQ(r.rate_per_sec(), 100.0);
+}
+
+TEST(ObsWindow, EwmaConvergesToSteadyRate)
+{
+    obs::WindowedRate r(0.4);
+    std::uint64_t cum = 0;
+    std::int64_t now = 0;
+    r.sample(now, cum);
+    // One hot window, then a long steady run at 100/s: the EWMA must
+    // approach 100 geometrically (each step closes the gap by alpha).
+    now += 1'000'000'000;
+    cum += 10'000;
+    r.sample(now, cum);
+    double prev_gap = 1e18;
+    for (int i = 0; i < 30; ++i) {
+        now += 1'000'000'000;
+        cum += 100;
+        r.sample(now, cum);
+        const double gap = r.ewma_per_sec() - 100.0;
+        EXPECT_GE(gap, 0.0);
+        EXPECT_LT(gap, prev_gap);
+        prev_gap = gap;
+    }
+    EXPECT_NEAR(r.ewma_per_sec(), 100.0, 1.0);
+    EXPECT_DOUBLE_EQ(r.rate_per_sec(), 100.0);
+}
+
+TEST(ObsWindow, TickPrimesThenFiresOnIntervalCrossings)
+{
+    obs::Window w(1000);
+    EXPECT_TRUE(w.tick(5)); // priming tick: feed baselines now
+    EXPECT_EQ(w.closes(), 0u);
+    w.feed("s", 10);
+    EXPECT_FALSE(w.tick(900)); // not a full interval since the prime
+    EXPECT_TRUE(w.tick(1005));
+    EXPECT_EQ(w.closes(), 1u);
+    w.feed("s", 30);
+    const auto* s = w.series("s");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->last_delta(), 20u);
+    EXPECT_EQ(w.series("never-fed"), nullptr);
+
+    // Disabled window (interval 0) never ticks.
+    obs::Window off;
+    EXPECT_FALSE(off.tick(1'000'000));
+}
+
+TEST(ObsWindow, TrackedCoverageSampledAtCloses)
+{
+    const auto id = obs::coverage_id("test_obs.windowed");
+    obs::Window w(1000);
+    w.track_coverage("test_obs.windowed");
+    w.track_coverage("test_obs.window_never_registered"); // reads as 0
+    ASSERT_TRUE(w.tick(0));
+    obs::coverage_inc(id, 50);
+    ASSERT_TRUE(w.tick(1000));
+    const auto* s = w.series("test_obs.windowed");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->last_delta(), 50u);
+    // track_coverage must not intern data-derived names.
+    EXPECT_FALSE(obs::coverage_find("test_obs.window_never_registered").has_value());
+
+    const obs::Value v = w.to_value();
+    EXPECT_EQ(v.find("interval_ns")->as_uint(), 1000u);
+    ASSERT_NE(v.find("series"), nullptr);
+    ASSERT_NE(v.find("series")->find("test_obs.windowed"), nullptr);
+
+    obs::windows_publish("test_obs", w.to_value());
+    const obs::Value snap = obs::windows_snapshot();
+    ASSERT_NE(snap.find("test_obs"), nullptr);
 }
 
 // ---- determinism --------------------------------------------------------

@@ -1,10 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "kern/kernel.h"
 #include "kern/nic.h"
 #include "kern/stack.h"
 #include "net/builder.h"
 #include "net/headers.h"
+#include "obs/appctl.h"
+#include "obs/value.h"
 #include "ovs/dpif_netdev.h"
 #include "ovs/netdev_afxdp.h"
 #include "ovs/vswitch.h"
@@ -278,6 +283,118 @@ TEST_F(DpifNetdevTest, VSwitchDrivesUpcallsThroughOfproto)
     raw->pmd_poll_once(vpmd);
     EXPECT_EQ(vswitch.upcalls_handled(), 1u);
     EXPECT_EQ(out1.size(), 2u);
+}
+
+// ---- §4.2 windowed rxq telemetry + auto-load-balancing ------------------
+
+// Skewed 4-queue fixture: queues 0 and 1 (both pinned to pmd0) carry
+// ~90% of the traffic via forced-queue injection.
+struct AutoLbRun {
+    std::vector<std::string> events;
+    std::string rxq_show_json;
+    std::uint64_t checks = 0;
+};
+
+AutoLbRun run_skewed_autolb(bool enable_lb)
+{
+    kern::Kernel kernel;
+    kern::NicConfig cfg;
+    cfg.num_queues = 4;
+    auto& nic0 = kernel.add_device<kern::PhysicalDevice>("eth0", net::MacAddr::from_id(1), cfg);
+    auto& nic1 = kernel.add_device<kern::PhysicalDevice>("eth1", net::MacAddr::from_id(2));
+    nic1.connect_wire([](net::Packet&&) {});
+
+    DpifNetdev dp(kernel);
+    dp.set_emc_insert_inv_prob(1);
+    const auto p0 = dp.add_port(std::make_unique<NetdevAfxdp>(nic0));
+    const auto p1 = dp.add_port(std::make_unique<NetdevAfxdp>(nic1));
+    const int pmd0 = dp.add_pmd("pmd0");
+    const int pmd1 = dp.add_pmd("pmd1");
+    dp.pmd_assign(pmd0, p0, 0);
+    dp.pmd_assign(pmd0, p0, 1);
+    dp.pmd_assign(pmd1, p0, 2);
+    dp.pmd_assign(pmd1, p0, 3);
+
+    net::Packet probe = udp64();
+    probe.meta().in_port = p0;
+    net::FlowMask mask;
+    mask.bits.in_port = 0xffffffff;
+    mask.bits.recirc_id = 0xffffffff;
+    dp.flow_put(net::parse_flow(probe), mask, {kern::OdpAction::output(p1)});
+
+    dp.set_window_interval(1'000'000);
+    dp.set_auto_lb(enable_lb, 1.25);
+
+    sim::Nanos now = 0;
+    for (int i = 0; i < 3000; ++i) {
+        now += 10'000;
+        dp.set_now(now);
+        // 9 of 10 packets to the pmd0 queues, alternating 0/1.
+        const std::uint32_t q = (i % 10 < 9) ? static_cast<std::uint32_t>(i % 2)
+                                             : 2 + static_cast<std::uint32_t>(i % 2);
+        nic0.rx_from_wire(udp64(), q);
+        while (dp.pmd_poll_once(pmd0) > 0) {
+        }
+        while (dp.pmd_poll_once(pmd1) > 0) {
+        }
+    }
+
+    AutoLbRun out;
+    for (const auto& ev : dp.rebalance_events()) {
+        out.events.push_back("at=" + std::to_string(ev.at) +
+                             " window=" + std::to_string(ev.window) + " " + ev.detail);
+    }
+    obs::Appctl appctl;
+    dp.register_appctl(appctl);
+    out.rxq_show_json = appctl.run("dpif-netdev/pmd-rxq-show", {}, obs::Appctl::Format::Json);
+    return out;
+}
+
+TEST(DpifNetdevAutoLb, PmdRxqShowReportsWindowedBusyPct)
+{
+    const AutoLbRun run = run_skewed_autolb(false);
+    EXPECT_TRUE(run.events.empty()); // auto-LB disabled: telemetry only
+    const auto doc = obs::json_parse(run.rxq_show_json);
+    ASSERT_TRUE(doc.has_value());
+    const auto* pmds = doc->find("pmds");
+    ASSERT_NE(pmds, nullptr);
+    ASSERT_EQ(pmds->items().size(), 2u);
+    double hot = 0, cold = 0;
+    for (const auto& pmd : pmds->items()) {
+        for (const auto& rxq : pmd.find("rxqs")->items()) {
+            EXPECT_GT(rxq.find("windows")->as_uint(), 0u);
+            const double pct = rxq.find("busy_pct")->as_double();
+            if (rxq.find("queue")->as_uint() < 2) {
+                hot += pct;
+            } else {
+                cold += pct;
+            }
+        }
+    }
+    // The skew is visible in the windowed utilization numbers.
+    EXPECT_GT(hot, cold * 3);
+}
+
+TEST(DpifNetdevAutoLb, SkewTriggersReproducibleRebalance)
+{
+    const AutoLbRun a = run_skewed_autolb(true);
+    ASSERT_FALSE(a.events.empty());
+    EXPECT_NE(a.events.front().find("moved"), std::string::npos);
+
+    // Identical runs make identical decisions: the rebalance is fully
+    // determined by the published windowed metrics.
+    const AutoLbRun b = run_skewed_autolb(true);
+    EXPECT_EQ(a.events, b.events);
+}
+
+TEST_F(DpifNetdevTest, RebalanceWithoutLoadReportsNoImprovement)
+{
+    obs::Appctl appctl;
+    dpif->register_appctl(appctl);
+    const auto v = appctl.run_value("dpif-netdev/pmd-rebalance");
+    ASSERT_NE(v.find("rebalanced"), nullptr);
+    EXPECT_FALSE(v.find("rebalanced")->as_bool());
+    EXPECT_TRUE(dpif->rebalance_events().empty());
 }
 
 } // namespace

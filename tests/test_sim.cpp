@@ -100,6 +100,23 @@ TEST(Histogram, SingleSample)
     h.add(42);
     EXPECT_EQ(h.percentile(50), 42);
     EXPECT_EQ(h.percentile(99), 42);
+    // Edges route through the shared nearest-rank rule.
+    EXPECT_EQ(h.percentile(0), 42);
+    EXPECT_EQ(h.percentile(-3), 42);
+    EXPECT_EQ(h.percentile(100), 42);
+    EXPECT_EQ(h.percentile(400), 42);
+}
+
+TEST(Histogram, EmptyAnswersZeroEverywhere)
+{
+    Histogram h;
+    EXPECT_TRUE(h.empty());
+    EXPECT_EQ(h.percentile(50), 0);
+    EXPECT_EQ(h.percentile(0), 0);
+    EXPECT_EQ(h.percentile(100), 0);
+    EXPECT_EQ(h.min(), 0);
+    EXPECT_EQ(h.max(), 0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
 }
 
 TEST(Rng, DeterministicForSeed)

@@ -1,15 +1,24 @@
-// CI sanity check for obs metrics JSON artifacts (schema ovsx-obs-v1):
+// CI sanity check for obs metrics JSON artifacts (schema ovsx-obs-v2):
 //
 //   obs_schema_check <metrics.json> [required.dotted.key ...]
+//                    [--require-histogram <provider.tier> ...]
+//                    [--p99-not-above <provider.tier> <provider.tier>]
 //
-// Validates that the document parses, is schema-tagged, carries a
-// coverage object whose counters are all non-negative integers, and a
-// metrics object; extra arguments name dotted paths (under "metrics")
-// that must exist. Exits non-zero with a diagnostic on any violation.
+// Validates that the document parses, is schema-tagged ovsx-obs-v2,
+// carries a coverage object whose counters are all non-negative
+// integers, a histograms object of per-provider per-tier latency stats
+// with ordered quantiles, a windows object of windowed-rate series, and
+// a metrics object. Plain extra arguments name dotted paths (under
+// "metrics") that must exist. --require-histogram demands a non-empty
+// latency histogram for a provider.tier pair; --p99-not-above A B is
+// the tier-latency regression guard: it fails when p99(A) > p99(B).
+// Exits non-zero with a diagnostic on any violation.
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "obs/value.h"
@@ -39,11 +48,76 @@ const ovsx::obs::Value* walk(const ovsx::obs::Value& root, const std::string& do
     return cur;
 }
 
+bool is_number(const ovsx::obs::Value& v)
+{
+    using Kind = ovsx::obs::Value::Kind;
+    return v.kind() == Kind::Uint || v.kind() == Kind::Int || v.kind() == Kind::Double;
+}
+
+// One per-tier latency stats block: {count,min,p50,p90,p99,max,mean}
+// with non-decreasing quantiles whenever the histogram is non-empty.
+int check_histogram_stats(const std::string& where, const ovsx::obs::Value& stats)
+{
+    static const char* kFields[] = {"count", "min", "p50", "p90", "p99", "max", "mean"};
+    if (!stats.is_object()) return fail("histogram '" + where + "' is not an object");
+    for (const char* f : kFields) {
+        const auto* v = stats.find(f);
+        if (!v || !is_number(*v)) {
+            return fail("histogram '" + where + "' missing numeric field '" + f + "'");
+        }
+    }
+    const auto num = [&](const char* f) { return stats.find(f)->as_double(); };
+    if (num("count") > 0) {
+        const double q[] = {num("min"), num("p50"), num("p90"), num("p99"), num("max")};
+        for (std::size_t i = 1; i < 5; ++i) {
+            if (q[i] < q[i - 1]) {
+                return fail("histogram '" + where + "' quantiles are not non-decreasing");
+            }
+        }
+    }
+    return 0;
+}
+
+// One windowed-rate series entry as emitted by obs::Window::to_value().
+int check_window_series(const std::string& where, const ovsx::obs::Value& series)
+{
+    static const char* kFields[] = {"rate_per_sec", "ewma_per_sec", "last_delta",
+                                    "last_window_ns", "windows"};
+    if (!series.is_object()) return fail("window series '" + where + "' is not an object");
+    for (const char* f : kFields) {
+        const auto* v = series.find(f);
+        if (!v || !is_number(*v)) {
+            return fail("window series '" + where + "' missing numeric field '" + f + "'");
+        }
+    }
+    return 0;
+}
+
 } // namespace
 
 int main(int argc, char** argv)
 {
-    if (argc < 2) return fail("usage: obs_schema_check <metrics.json> [required.key ...]");
+    if (argc < 2) {
+        return fail("usage: obs_schema_check <metrics.json> [required.key ...] "
+                    "[--require-histogram provider.tier ...] "
+                    "[--p99-not-above provider.tier provider.tier]");
+    }
+
+    std::vector<std::string> required_keys;
+    std::vector<std::string> required_hists;
+    std::vector<std::pair<std::string, std::string>> p99_guards;
+    for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--require-histogram") == 0) {
+            if (i + 1 >= argc) return fail("--require-histogram needs provider.tier");
+            required_hists.emplace_back(argv[++i]);
+        } else if (std::strcmp(argv[i], "--p99-not-above") == 0) {
+            if (i + 2 >= argc) return fail("--p99-not-above needs two provider.tier args");
+            p99_guards.emplace_back(argv[i + 1], argv[i + 2]);
+            i += 2;
+        } else {
+            required_keys.emplace_back(argv[i]);
+        }
+    }
 
     std::ifstream in(argv[1]);
     if (!in) return fail(std::string("cannot open ") + argv[1]);
@@ -54,7 +128,13 @@ int main(int argc, char** argv)
     if (!doc) return fail("malformed JSON");
 
     const ovsx::obs::Value* schema = doc->find("schema");
-    if (!schema || schema->as_string() != ovsx::obs::kMetricsSchema) {
+    const std::string tag = schema ? schema->as_string() : "";
+    if (tag == "ovsx-obs-v1") {
+        return fail("artifact is schema ovsx-obs-v1; this checker requires ovsx-obs-v2 "
+                    "(regenerate the artifact with a current binary — v1 lacks the "
+                    "histograms and windows sections)");
+    }
+    if (tag != ovsx::obs::kMetricsSchema) {
         return fail(std::string("schema tag missing or not ") + ovsx::obs::kMetricsSchema);
     }
 
@@ -68,16 +148,72 @@ int main(int argc, char** argv)
         }
     }
 
-    const ovsx::obs::Value* metrics = doc->find("metrics");
-    if (!metrics || !metrics->is_object()) return fail("metrics object missing");
-
-    for (int i = 2; i < argc; ++i) {
-        if (!walk(*metrics, argv[i])) {
-            return fail(std::string("required metrics key missing: ") + argv[i]);
+    const ovsx::obs::Value* histograms = doc->find("histograms");
+    if (!histograms || !histograms->is_object()) return fail("histograms object missing");
+    std::size_t hist_tiers = 0;
+    for (const auto& [provider, tiers] : histograms->members()) {
+        if (!tiers.is_object()) {
+            return fail("histograms provider '" + provider + "' is not an object");
+        }
+        for (const auto& [tier, stats] : tiers.members()) {
+            if (const int rc = check_histogram_stats(provider + "." + tier, stats)) return rc;
+            ++hist_tiers;
         }
     }
 
-    std::printf("obs_schema_check: %s OK (%zu coverage counters)\n", argv[1],
-                coverage->members().size());
+    const ovsx::obs::Value* windows = doc->find("windows");
+    if (!windows || !windows->is_object()) return fail("windows object missing");
+    std::size_t window_series = 0;
+    for (const auto& [name, w] : windows->members()) {
+        if (!w.is_object()) return fail("window '" + name + "' is not an object");
+        for (const char* f : {"interval_ns", "windows"}) {
+            const auto* v = w.find(f);
+            if (!v || !is_number(*v)) {
+                return fail("window '" + name + "' missing numeric field '" + f + "'");
+            }
+        }
+        const auto* series = w.find("series");
+        if (!series || !series->is_object()) {
+            return fail("window '" + name + "' missing series object");
+        }
+        for (const auto& [sname, s] : series->members()) {
+            if (const int rc = check_window_series(name + "/" + sname, s)) return rc;
+            ++window_series;
+        }
+    }
+
+    const ovsx::obs::Value* metrics = doc->find("metrics");
+    if (!metrics || !metrics->is_object()) return fail("metrics object missing");
+
+    for (const auto& key : required_keys) {
+        if (!walk(*metrics, key)) return fail("required metrics key missing: " + key);
+    }
+    for (const auto& h : required_hists) {
+        const auto* stats = walk(*histograms, h);
+        if (!stats) return fail("required histogram missing: " + h);
+        const auto* count = stats->find("count");
+        if (!count || count->as_double() <= 0) {
+            return fail("required histogram is empty: " + h);
+        }
+    }
+    for (const auto& [a, b] : p99_guards) {
+        const auto* sa = walk(*histograms, a);
+        const auto* sb = walk(*histograms, b);
+        if (!sa || !sa->find("p99")) return fail("p99 guard: histogram missing: " + a);
+        if (!sb || !sb->find("p99")) return fail("p99 guard: histogram missing: " + b);
+        const double pa = sa->find("p99")->as_double();
+        const double pb = sb->find("p99")->as_double();
+        if (pa > pb) {
+            char msg[160];
+            std::snprintf(msg, sizeof(msg),
+                          "tier latency regression: p99(%s)=%.0fns > p99(%s)=%.0fns",
+                          a.c_str(), pa, b.c_str(), pb);
+            return fail(msg);
+        }
+    }
+
+    std::printf("obs_schema_check: %s OK (%zu coverage counters, %zu histogram tiers, "
+                "%zu window series)\n",
+                argv[1], coverage->members().size(), hist_tiers, window_series);
     return 0;
 }
