@@ -40,6 +40,7 @@ int main(int argc, char** argv)
         // Alternate feature mixes so every iteration is not the same shape.
         cfg.use_meters = (iterations % 3) == 1;
         cfg.use_ct = (iterations % 4) != 3;
+        cfg.use_nat = (iterations % 3) != 1; // SNAT/DNAT rulesets in the mix
         cfg.num_queues = (iterations % 2) ? 2 : 1;
         cfg.use_fragments = (iterations % 3) == 2;
         cfg.use_extra_encaps = (iterations % 5) >= 3;

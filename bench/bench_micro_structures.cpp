@@ -151,9 +151,12 @@ void BM_ConntrackEstablished(benchmark::State& state)
     sim::ExecContext ctx("x", sim::CpuClass::User);
     net::Packet pkt = sample_udp();
     const net::FlowKey key = net::parse_flow(pkt);
-    kern::CtSpec commit{.zone = 1, .commit = true};
+    kern::CtSpec commit;
+    commit.zone = 1;
+    commit.commit = true;
     ct.process(pkt, key, commit, ctx);
-    kern::CtSpec check{.zone = 1, .commit = false};
+    kern::CtSpec check;
+    check.zone = 1;
     for (auto _ : state) {
         benchmark::DoNotOptimize(ct.process(pkt, key, check, ctx));
     }

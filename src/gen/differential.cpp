@@ -186,10 +186,6 @@ std::string explain_expected_divergence(const DiffRuleset& ruleset, const net::F
                 // re-invokes the upcall handler, which re-executes.
                 return "userspace-action";
             }
-            if (a.type == Type::Ct && a.ct.nat) {
-                // kern::Conntrack has no NAT: headers diverge.
-                return "ct-nat";
-            }
         }
     }
 
@@ -217,6 +213,16 @@ std::string explain_expected_divergence(const DiffRuleset& ruleset, const net::F
         }
     }
     return "";
+}
+
+const std::vector<std::string>& known_divergence_tags()
+{
+    static const std::vector<std::string> tags = {
+        "ebpf-key-dimensions",
+        "ebpf-unsupported-action",
+        "userspace-action",
+    };
+    return tags;
 }
 
 // ---- datapath instances ------------------------------------------------
@@ -435,14 +441,6 @@ DiffReport DifferentialHarness::run_once(const std::vector<DiffPacket>& seq, boo
 
     if (opts_.compare_end_state) {
         const std::size_t end_step = seq.size();
-        const bool nat_used = [&] {
-            for (const auto& r : ruleset_.rules) {
-                for (const auto& a : r.actions) {
-                    if (a.type == kern::OdpAction::Type::Ct && a.ct.nat) return true;
-                }
-            }
-            return false;
-        }();
 
         for (std::size_t i = 1; i < instances.size(); ++i) {
             Instance& other = *instances[i];
@@ -480,20 +478,32 @@ DiffReport DifferentialHarness::run_once(const std::vector<DiffPacket>& seq, boo
             }
 
             // Conntrack tables (userspace CT vs the kernel CT the other
-            // two datapaths share). NAT is userspace-only: explained.
-            if (nat_used) {
-                report.explained.push_back(
-                    {end_step, "ct snapshot comparison skipped", "ct-nat"});
-            } else {
-                const auto a = instances[0]->ct_snapshot();
-                const auto b = other.ct_snapshot();
-                if (!(a == b)) {
-                    report.unexplained.push_back(
-                        {end_step,
-                         "conntrack tables differ: netdev has " + std::to_string(a.size()) +
-                             " conns, " + to_string(other.kind) + " has " +
-                             std::to_string(b.size()),
-                         ""});
+            // two datapaths share), compared per entry — NAT reply
+            // tuples and marks included — so a divergence names the
+            // exact connection that drifted.
+            {
+                auto dump_ct = [](const Instance& inst) {
+                    std::vector<std::string> out;
+                    for (const auto& e : inst.ct_snapshot()) out.push_back(e.to_string());
+                    std::sort(out.begin(), out.end());
+                    return out;
+                };
+                const auto a = dump_ct(*instances[0]);
+                const auto b = dump_ct(other);
+                if (a != b) {
+                    std::vector<std::string> only_a, only_b;
+                    std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                                        std::back_inserter(only_a));
+                    std::set_difference(b.begin(), b.end(), a.begin(), a.end(),
+                                        std::back_inserter(only_b));
+                    std::ostringstream os;
+                    os << "conntrack tables differ: netdev=" << a.size() << " conns, "
+                       << to_string(other.kind) << "=" << b.size();
+                    for (const auto& s : only_a) os << "\n    only-netdev: " << s;
+                    for (const auto& s : only_b) {
+                        os << "\n    only-" << to_string(other.kind) << ": " << s;
+                    }
+                    report.unexplained.push_back({end_step, os.str(), ""});
                 }
             }
         }

@@ -10,9 +10,11 @@
 // per-port stats). Divergences come back with a minimized reproducer.
 //
 // Known, structural differences (the eBPF datapath cannot express
-// recirculation, tunnels, meters or wildcards; the kernel conntrack has
-// no NAT) are encoded as explicit *explanations* — a divergence is
-// either explained by one of those or reported as a conformance bug.
+// recirculation, tunnels, meters or wildcards) are encoded as explicit
+// *explanations* — a divergence is either explained by one of those or
+// reported as a conformance bug. Conntrack — including SNAT/DNAT — is
+// implemented by every datapath, so ct end state (NAT tuples included)
+// is always diffed, never allowlisted.
 #pragma once
 
 #include <cstdint>
@@ -143,5 +145,11 @@ private:
 // `ebpf_involved` limits eBPF-only explanations to eBPF comparisons.
 std::string explain_expected_divergence(const DiffRuleset& ruleset, const net::FlowKey& key,
                                         bool ebpf_involved);
+
+// The complete allowlist: every tag explain_expected_divergence can
+// return, sorted. Tests and the CI allowlist-budget check compare
+// against this set — it must only ever shrink (a removed tag, e.g. the
+// retired "ct-nat", must never reappear).
+const std::vector<std::string>& known_divergence_tags();
 
 } // namespace ovsx::gen

@@ -18,6 +18,9 @@ namespace {
 // frame's 5-tuple would alias.
 std::uint32_t flow_ip(std::uint64_t i) { return 0x0a000000u | (1 + (i % 8)); } // 10.0.0.x
 std::uint32_t mgmt_ip(std::uint64_t i) { return 0x0a000100u | (1 + (i % 8)); } // 10.0.1.x
+// NAT translations land in their own /24 so a translated tuple can never
+// alias an untranslated flow tuple.
+std::uint32_t nat_ip(std::uint64_t i) { return 0x0a000200u | (1 + (i % 8)); } // 10.0.2.x
 
 constexpr std::uint16_t kPorts[] = {53, 80, 443, 1234, 5001, 8080};
 
@@ -90,10 +93,25 @@ kern::OdpActions random_actions(sim::Rng& rng, const FuzzConfig& cfg,
             return {kern::OdpAction::meter(id), kern::OdpAction::output(port())};
         }
         return {kern::OdpAction::drop()};
-    default: { // Ct + Recirc into a second-pass ct_state rule pair
+    default: { // Ct (+SNAT/DNAT) + Recirc into a second-pass ct_state rule pair
         kern::CtSpec spec;
         spec.zone = static_cast<std::uint16_t>(rng.below(cfg.n_zones));
         spec.commit = true;
+        if (cfg.use_nat) {
+            switch (rng.below(4)) {
+            case 1: // plain SNAT (address only)
+                spec.nat = kern::NatSpec::src(nat_ip(rng.next()));
+                break;
+            case 2: // SNAT with a narrow port range, to force allocation
+                spec.nat = kern::NatSpec::src(nat_ip(rng.next()), 40000, 40007);
+                break;
+            case 3: // DNAT onto a backend port
+                spec.nat = kern::NatSpec::dst(nat_ip(rng.next()),
+                                              kPorts[rng.below(std::size(kPorts))]);
+                break;
+            default: break; // un-NATed ct keeps its coverage too
+            }
+        }
         const std::uint32_t rid = 0x100 + static_cast<std::uint32_t>(recirc_ids.size());
         recirc_ids.push_back(rid);
         return {kern::OdpAction::conntrack(spec), kern::OdpAction::recirc(rid)};

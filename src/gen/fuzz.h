@@ -20,6 +20,7 @@ struct FuzzConfig {
     std::size_t n_flows = 24; // distinct 5-tuples the packet stream cycles over
     std::uint16_t n_zones = 2;
     bool use_ct = true;        // Ct+Recirc rules with ct_state second-pass rules
+    bool use_nat = true;       // attach SNAT/DNAT (incl. port ranges) to ct rules
     bool use_vlan = true;      // VLAN-tagged traffic + vlan_tci-matching rules
     bool use_geneve = true;    // Geneve-encapsulated frames (outer 5-tuple fwd)
     bool use_icmp = true;      // echo + ICMP errors citing earlier flows

@@ -1,15 +1,76 @@
 #include "kern/conntrack.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include "net/headers.h"
+#include "net/rewrite.h"
+#include "obs/appctl.h"
 #include "obs/coverage.h"
 #include "obs/trace.h"
 #include "san/audit.h"
 
 namespace ovsx::kern {
 
-Conntrack::~Conntrack() { san::audit_clear(san_scope_, "ct.entry"); }
+std::string CtTuple::to_string() const
+{
+    std::ostringstream os;
+    os << net::ipv4_to_string(src) << ":" << sport << ">" << net::ipv4_to_string(dst) << ":"
+       << dport << "/" << int(proto) << " zone=" << zone;
+    return os.str();
+}
+
+std::string CtSnapshotEntry::to_string() const
+{
+    std::ostringstream os;
+    os << "orig{" << orig.to_string() << "} reply{" << reply.to_string() << "}"
+       << " confirmed=" << confirmed << " seen_reply=" << seen_reply << " nat=" << nat
+       << " mark=" << mark << " packets=" << packets;
+    return os.str();
+}
+
+CtTuple nat_reply_tuple(const CtTuple& tuple, const NatSpec& nat, std::uint16_t port)
+{
+    CtTuple reply = tuple.reversed();
+    if (!nat.enabled) return reply;
+    if (nat.snat) {
+        // Replies will come addressed to the NAT source.
+        if (nat.ip) reply.dst = nat.ip;
+        if (port) reply.dport = port;
+    } else {
+        // DNAT: replies originate from the translated destination.
+        if (nat.ip) reply.src = nat.ip;
+        if (port) reply.sport = port;
+    }
+    return reply;
+}
+
+Conntrack::Conntrack(const sim::CostModel& costs) : costs_(costs)
+{
+    obs_token_ = obs::memory_register("kern.ct", [this] {
+        obs::Value v = obs::Value::object();
+        v.set("connections", static_cast<std::uint64_t>(conns_.size()));
+        v.set("index_entries", static_cast<std::uint64_t>(index_.size()));
+        v.set("nat_bindings", static_cast<std::uint64_t>(nat_binding_count()));
+        return v;
+    });
+}
+
+Conntrack::~Conntrack()
+{
+    obs::memory_unregister(obs_token_);
+    san::audit_clear(san_scope_, "ct.entry");
+    san::audit_clear(san_scope_, "ct.nat");
+}
+
+std::size_t Conntrack::nat_binding_count() const
+{
+    std::size_t n = 0;
+    for (const auto& [id, e] : conns_) {
+        if (e.nat) ++n;
+    }
+    return n;
+}
 
 void Conntrack::flush()
 {
@@ -17,19 +78,22 @@ void Conntrack::flush()
     conns_.clear();
     zone_counts_.clear();
     san::audit_clear(san_scope_, "ct.entry");
+    san::audit_clear(san_scope_, "ct.nat");
 }
 
 void Conntrack::san_check(san::Site site) const
 {
     san::audit_expect_size(san_scope_, "ct.entry", conns_.size(), site);
+    san::audit_expect_size(san_scope_, "ct.nat", nat_binding_count(), site);
 }
 
-CtResult Conntrack::process(net::Packet& pkt, const net::FlowKey& key, std::uint16_t zone,
-                            bool commit, sim::ExecContext& ctx, sim::Nanos now)
+CtResult Conntrack::process(net::Packet& pkt, const net::FlowKey& key, const CtSpec& spec,
+                            sim::ExecContext& ctx, sim::Nanos now)
 {
     // Hash + lookup cost, comparable to a flow-table probe.
     ctx.charge(costs_.kdp_flow_probe);
     OVSX_COVERAGE_CTX(ctx, "ct.lookup");
+    const std::uint16_t zone = spec.zone;
 
     CtResult res;
     res.state = net::kCtStateTracked;
@@ -67,55 +131,143 @@ CtResult Conntrack::process(net::Packet& pkt, const net::FlowKey& key, std::uint
     const CtTuple tuple = CtTuple::from_key(key, zone);
     auto idx = index_.find(tuple);
     if (idx != index_.end()) {
-        CtEntry& e = conns_[idx->second];
-        const bool is_reply = !(tuple == e.orig);
+        const std::uint64_t id = idx->second;
+        CtEntry& e = conns_[id];
+        const bool is_reply = (tuple == e.reply) && !(e.reply == e.orig);
         if (is_reply) {
             e.seen_reply = true;
             res.state |= net::kCtStateReply;
         }
         res.state |= e.confirmed ? net::kCtStateEstablished : net::kCtStateNew;
-        if (commit && !e.confirmed) e.confirmed = true;
+        if (spec.commit && !e.confirmed) e.confirmed = true;
+        if (spec.commit && spec.set_mark) e.mark = spec.mark;
         e.packets++;
         e.last_seen = now;
         res.entry = &e;
+        pkt.meta().ct_mark = e.mark;
+        if (e.nat) apply_nat(pkt, e, is_reply, ctx);
         if (is_rst) {
             // RST tears the connection down: the next SYN on this tuple
             // starts a fresh NEW connection.
-            pkt.meta().ct_mark = e.mark;
-            erase_entry(idx->second);
+            erase_entry(id);
             res.entry = nullptr;
         }
-    } else if (is_rst) {
+        pkt.meta().ct_state = res.state;
+        pkt.meta().ct_zone = zone;
+        return res;
+    }
+    if (is_rst) {
         // RST for a connection we never saw: untrackable.
         return finish_invalid();
-    } else {
-        // New connection.
-        auto& count = zone_counts_[zone];
-        const auto lim = zone_limits_.find(zone);
-        if (lim != zone_limits_.end() && lim->second != 0 && count >= lim->second) {
-            return finish_invalid(); // zone limit exceeded
-        }
-        res.state |= net::kCtStateNew;
-        const std::uint64_t id = next_id_++;
-        CtEntry entry;
-        entry.orig = tuple;
-        entry.confirmed = commit;
-        entry.packets = 1;
-        entry.last_seen = now;
-        auto [it, ok] = conns_.emplace(id, entry);
-        (void)ok;
-        san::audit_add(san_scope_, "ct.entry", id, OVSX_SITE);
-        index_.emplace(tuple, id);
-        index_.emplace(tuple.reversed(), id);
-        res.entry = &it->second;
-        ++count;
-        ctx.charge(costs_.kdp_flow_probe); // insert cost
     }
 
+    // New connection.
+    auto& count = zone_counts_[zone];
+    const auto lim = zone_limits_.find(zone);
+    if (lim != zone_limits_.end() && lim->second != 0 && count >= lim->second) {
+        return finish_invalid(); // zone limit exceeded
+    }
+
+    res.state |= net::kCtStateNew;
+    CtEntry entry;
+    entry.orig = tuple;
+    entry.confirmed = spec.commit;
+    if (spec.commit && spec.set_mark) entry.mark = spec.mark;
+    entry.packets = 1;
+    entry.last_seen = now;
+
+    // Compute the reply tuple, binding NAT (and allocating a port from
+    // the requested range) if the connection commits.
+    CtTuple reply = tuple.reversed();
+    if (spec.nat.enabled && spec.commit) {
+        NatBinding nat;
+        nat.snat = spec.nat.snat;
+        nat.ip = spec.nat.ip;
+        if (spec.nat.port_min != 0) {
+            // Deterministic allocation: first port in [port_min, port_max]
+            // whose translated reply tuple is untracked. Scanning from
+            // port_min every time keeps allocation order identical across
+            // independently built datapaths — the end-state diff depends
+            // on it.
+            const std::uint16_t lo = spec.nat.port_min;
+            const std::uint16_t hi = std::max(spec.nat.port_max, lo);
+            std::uint16_t chosen = 0;
+            for (std::uint32_t p = lo; p <= hi; ++p) {
+                const CtTuple cand =
+                    nat_reply_tuple(tuple, spec.nat, static_cast<std::uint16_t>(p));
+                if (index_.find(cand) == index_.end()) {
+                    chosen = static_cast<std::uint16_t>(p);
+                    break;
+                }
+            }
+            if (chosen == 0) {
+                // Range exhausted: the connection is untrackable.
+                OVSX_COVERAGE_CTX(ctx, "ct.nat_port_exhausted");
+                res.state = static_cast<std::uint8_t>(res.state & ~net::kCtStateNew);
+                return finish_invalid();
+            }
+            nat.port = chosen;
+        }
+        entry.nat = nat;
+        reply = nat_reply_tuple(tuple, spec.nat, nat.port);
+    }
+    entry.reply = reply;
+
+    const std::uint64_t id = next_id_++;
+    auto [it, ok] = conns_.emplace(id, entry);
+    (void)ok;
+    san::audit_add(san_scope_, "ct.entry", id, OVSX_SITE);
+    if (it->second.nat) san::audit_add(san_scope_, "ct.nat", id, OVSX_SITE);
+    index_.emplace(tuple, id);
+    if (!(reply == tuple)) index_.emplace(reply, id);
+    res.entry = &it->second;
+    ++count;
+    ctx.charge(costs_.kdp_flow_probe); // insert cost
+
+    pkt.meta().ct_mark = it->second.mark;
+    if (it->second.nat) apply_nat(pkt, it->second, /*is_reply=*/false, ctx);
     pkt.meta().ct_state = res.state;
     pkt.meta().ct_zone = zone;
-    if (res.entry) pkt.meta().ct_mark = res.entry->mark;
     return res;
+}
+
+void Conntrack::apply_nat(net::Packet& pkt, const CtEntry& entry, bool is_reply,
+                          sim::ExecContext& ctx)
+{
+    const NatBinding& nat = *entry.nat;
+    net::FlowKey value;
+    net::FlowMask mask;
+    if (!is_reply) {
+        if (nat.snat) {
+            value.nw_src = nat.ip;
+            mask.bits.nw_src = nat.ip ? 0xffffffff : 0;
+            value.tp_src = nat.port;
+            mask.bits.tp_src = nat.port ? 0xffff : 0;
+        } else {
+            value.nw_dst = nat.ip;
+            mask.bits.nw_dst = nat.ip ? 0xffffffff : 0;
+            value.tp_dst = nat.port;
+            mask.bits.tp_dst = nat.port ? 0xffff : 0;
+        }
+    } else {
+        // Undo the translation for reply traffic: restore the original
+        // tuple the initiator expects.
+        if (nat.snat) {
+            value.nw_dst = entry.orig.src;
+            mask.bits.nw_dst = 0xffffffff;
+            value.tp_dst = entry.orig.sport;
+            mask.bits.tp_dst = 0xffff;
+        } else {
+            value.nw_src = entry.orig.dst;
+            mask.bits.nw_src = 0xffffffff;
+            value.tp_src = entry.orig.dport;
+            mask.bits.tp_src = 0xffff;
+        }
+    }
+    const int fields = net::apply_rewrite(pkt, value, mask);
+    if (fields > 0) {
+        ctx.charge(costs_.csum(64)); // header checksum repair share
+    }
 }
 
 void Conntrack::set_zone_limit(std::uint16_t zone, std::size_t limit)
@@ -134,12 +286,15 @@ std::size_t Conntrack::expire_idle(sim::Nanos cutoff)
     std::size_t removed = 0;
     for (auto it = conns_.begin(); it != conns_.end();) {
         if (it->second.last_seen < cutoff) {
-            const CtTuple& orig = it->second.orig;
-            index_.erase(orig);
-            index_.erase(orig.reversed());
-            auto& count = zone_counts_[orig.zone];
+            // Erase the NAT-translated reply tuple, not orig.reversed():
+            // for NATed connections they differ, and a stale reply index
+            // entry would pin the allocated port forever.
+            index_.erase(it->second.orig);
+            index_.erase(it->second.reply);
+            auto& count = zone_counts_[it->second.orig.zone];
             if (count > 0) --count;
             san::audit_remove(san_scope_, "ct.entry", it->first, OVSX_SITE);
+            if (it->second.nat) san::audit_remove(san_scope_, "ct.nat", it->first, OVSX_SITE);
             it = conns_.erase(it);
             ++removed;
         } else {
@@ -161,12 +316,12 @@ void Conntrack::erase_entry(std::uint64_t id)
 {
     auto it = conns_.find(id);
     if (it == conns_.end()) return;
-    const CtTuple& orig = it->second.orig;
-    index_.erase(orig);
-    index_.erase(orig.reversed());
-    auto& count = zone_counts_[orig.zone];
+    index_.erase(it->second.orig);
+    index_.erase(it->second.reply);
+    auto& count = zone_counts_[it->second.orig.zone];
     if (count > 0) --count;
     san::audit_remove(san_scope_, "ct.entry", id, OVSX_SITE);
+    if (it->second.nat) san::audit_remove(san_scope_, "ct.nat", id, OVSX_SITE);
     conns_.erase(it);
 }
 
@@ -175,7 +330,8 @@ std::vector<CtSnapshotEntry> Conntrack::snapshot() const
     std::vector<CtSnapshotEntry> out;
     out.reserve(conns_.size());
     for (const auto& [id, e] : conns_) {
-        out.push_back({e.orig, e.confirmed, e.seen_reply, e.packets});
+        out.push_back(
+            {e.orig, e.reply, e.confirmed, e.seen_reply, e.nat.has_value(), e.mark, e.packets});
     }
     std::sort(out.begin(), out.end());
     return out;

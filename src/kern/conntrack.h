@@ -2,18 +2,22 @@
 //
 // Tracks bidirectional 5-tuple+zone connections with NEW/ESTABLISHED
 // state, per-zone connection limits (the paper's §2.1.1 "per-zone
-// connection limiting" example feature), and mark storage. The
-// userspace datapath has its own, richer reimplementation (ovs/ct.h) —
-// exactly the duplication the paper's §6 "features must be
-// reimplemented" lesson describes.
+// connection limiting" example feature), mark storage and SNAT/DNAT
+// with deterministic port-range allocation. The userspace datapath has
+// its own reimplementation (ovs/ct.h) — exactly the duplication the
+// paper's §6 "features must be reimplemented" lesson describes; the
+// differential harness diffs the two tables entry by entry, so the
+// semantics here must match ovs::UserspaceConntrack bit for bit.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <tuple>
 #include <unordered_map>
 #include <vector>
 
+#include "kern/odp.h" // CtSpec / NatSpec
 #include "net/flow.h"
 #include "net/packet.h"
 #include "san/report.h"
@@ -41,15 +45,26 @@ struct CtTuple {
     }
 
     struct Hash {
+        static std::uint64_t mix(std::uint64_t x)
+        {
+            x ^= x >> 30;
+            x *= 0xbf58476d1ce4e5b9ULL;
+            x ^= x >> 27;
+            x *= 0x94d049bb133111ebULL;
+            x ^= x >> 31;
+            return x;
+        }
         std::size_t operator()(const CtTuple& t) const
         {
-            std::uint64_t h = (static_cast<std::uint64_t>(t.src) << 32) | t.dst;
-            h ^= (static_cast<std::uint64_t>(t.sport) << 48) |
-                 (static_cast<std::uint64_t>(t.dport) << 32) |
-                 (static_cast<std::uint64_t>(t.proto) << 16) | t.zone;
-            h ^= h >> 33;
-            h *= 0xff51afd7ed558ccdULL;
-            h ^= h >> 33;
+            // Every field feeds the splitmix finalizer on its own, in
+            // order, so no two fields can cancel by XOR: a tuple, its
+            // reverse, and zone-swapped variants all hash differently
+            // (the old XOR-fold collided e.g. {src=0x10000, sport=0}
+            // with {src=0, sport=1}).
+            std::uint64_t h = mix(0x9e3779b97f4a7c15ULL ^ t.src);
+            h = mix(h + t.dst);
+            h = mix(h + ((static_cast<std::uint64_t>(t.sport) << 16) | t.dport));
+            h = mix(h + ((static_cast<std::uint64_t>(t.proto) << 16) | t.zone));
             return static_cast<std::size_t>(h);
         }
     };
@@ -59,14 +74,28 @@ struct CtTuple {
         return std::tie(a.zone, a.src, a.dst, a.sport, a.dport, a.proto) <
                std::tie(b.zone, b.src, b.dst, b.sport, b.dport, b.proto);
     }
+
+    std::string to_string() const;
+};
+
+// One live NAT translation on a connection. The allocated port lives in
+// the reply tuple's index entry: the reply tuple leaving the index is
+// what frees the port for reallocation.
+struct NatBinding {
+    bool snat = false;
+    std::uint32_t ip = 0;
+    std::uint16_t port = 0;
 };
 
 // Implementation-neutral view of one tracked connection, used by the
 // differential harness to diff conntrack tables across datapaths.
 struct CtSnapshotEntry {
     CtTuple orig;
+    CtTuple reply; // reversed orig with any NAT translation applied
     bool confirmed = false;
     bool seen_reply = false;
+    bool nat = false;
+    std::uint32_t mark = 0;
     std::uint64_t packets = 0;
 
     friend bool operator==(const CtSnapshotEntry&, const CtSnapshotEntry&) = default;
@@ -74,13 +103,17 @@ struct CtSnapshotEntry {
     {
         return a.orig < b.orig;
     }
+
+    std::string to_string() const;
 };
 
 struct CtEntry {
     CtTuple orig;
+    CtTuple reply;          // reversed orig with any NAT translation applied
     bool confirmed = false; // committed by a ct(commit) action
     bool seen_reply = false;
     std::uint32_t mark = 0;
+    std::optional<NatBinding> nat;
     std::uint64_t packets = 0;
     sim::Nanos last_seen = 0;
 };
@@ -94,17 +127,27 @@ struct CtResult {
 
 class Conntrack {
 public:
-    explicit Conntrack(const sim::CostModel& costs = sim::CostModel::baseline())
-        : costs_(costs)
-    {
-    }
+    explicit Conntrack(const sim::CostModel& costs = sim::CostModel::baseline());
     ~Conntrack();
 
-    // Classifies `key` in `zone`, creating an unconfirmed entry for NEW
-    // connections. `commit` confirms the entry (the ct(commit) action).
-    // Updates pkt.meta() ct fields and returns the resulting state bits.
-    CtResult process(net::Packet& pkt, const net::FlowKey& key, std::uint16_t zone, bool commit,
+    // Classifies `key` in spec.zone, creating an unconfirmed entry for
+    // NEW connections; spec.commit confirms it. When spec.nat is set and
+    // the connection commits, binds (and remembers) the NAT rewrite —
+    // reply-direction packets are de-NATed automatically. Updates
+    // pkt.meta() ct fields, rewrites headers for NAT, and returns the
+    // resulting state bits.
+    CtResult process(net::Packet& pkt, const net::FlowKey& key, const CtSpec& spec,
                      sim::ExecContext& ctx, sim::Nanos now = 0);
+
+    // Zone/commit-only convenience form (no NAT, no mark).
+    CtResult process(net::Packet& pkt, const net::FlowKey& key, std::uint16_t zone, bool commit,
+                     sim::ExecContext& ctx, sim::Nanos now = 0)
+    {
+        CtSpec spec;
+        spec.zone = zone;
+        spec.commit = commit;
+        return process(pkt, key, spec, ctx, now);
+    }
 
     // Per-zone connection limit (0 = unlimited). Connections beyond the
     // limit are classified INVALID instead of NEW.
@@ -113,16 +156,17 @@ public:
 
     // Number of tracked connections (not tuple directions).
     std::size_t size() const { return conns_.size(); }
+    std::size_t nat_binding_count() const;
     void flush();
 
-    // Cross-checks the san entry audit against the real table.
+    // Cross-checks the san entry + NAT-binding audits against the table.
     void san_check(san::Site site) const;
 
     // Expires entries idle since before `cutoff`.
     std::size_t expire_idle(sim::Nanos cutoff);
 
     // Lookup without side effects (diagnostics). Finds by either
-    // direction of the connection.
+    // direction of the connection (NAT-translated for replies).
     const CtEntry* find(const CtTuple& tuple) const;
 
     // Deterministically ordered view of every tracked connection, for
@@ -131,15 +175,25 @@ public:
 
 private:
     void erase_entry(std::uint64_t id);
+    void apply_nat(net::Packet& pkt, const CtEntry& entry, bool is_reply, sim::ExecContext& ctx);
 
     const sim::CostModel& costs_;
-    // Both tuple directions index into one connection entry.
+    // Both tuple directions index into one connection entry; the reply
+    // direction carries the NAT translation, so it is NOT orig.reversed()
+    // for NATed connections.
     std::unordered_map<CtTuple, std::uint64_t, CtTuple::Hash> index_;
     std::unordered_map<std::uint64_t, CtEntry> conns_;
     std::uint64_t next_id_ = 1;
     std::unordered_map<std::uint16_t, std::size_t> zone_counts_;
     std::unordered_map<std::uint16_t, std::size_t> zone_limits_;
     std::uint64_t san_scope_ = san::new_scope();
+    std::uint64_t obs_token_ = 0;
 };
+
+// The translated reply tuple for a connection whose original direction
+// is `tuple` under `nat` (with `port` already allocated; 0 = keep).
+// Shared by both conntrack implementations so their reply-index keys —
+// and therefore their port-allocation decisions — cannot drift.
+CtTuple nat_reply_tuple(const CtTuple& tuple, const NatSpec& nat, std::uint16_t port);
 
 } // namespace ovsx::kern

@@ -17,8 +17,20 @@ std::string OdpAction::to_string() const
            << ")";
         break;
     case Type::Ct:
-        os << "ct(zone=" << ct.zone << (ct.commit ? ",commit" : "") << (ct.nat ? ",nat" : "")
-           << ")";
+        os << "ct(zone=" << ct.zone << (ct.commit ? ",commit" : "");
+        if (ct.set_mark) os << ",mark=" << ct.mark;
+        if (ct.nat.enabled) {
+            os << ",nat(" << (ct.nat.snat ? "src=" : "dst=")
+               << net::ipv4_to_string(ct.nat.ip);
+            if (ct.nat.port_min) {
+                os << ":" << ct.nat.port_min;
+                if (ct.nat.port_max && ct.nat.port_max != ct.nat.port_min) {
+                    os << "-" << ct.nat.port_max;
+                }
+            }
+            os << ")";
+        }
+        os << ")";
         break;
     case Type::Recirc: os << "recirc(" << recirc_id << ")"; break;
     case Type::Meter: os << "meter(" << meter_id << ")"; break;

@@ -13,14 +13,35 @@
 
 namespace ovsx::kern {
 
+// NAT half of a ct() action: ct(commit,nat(src=ip:min-max)) and the
+// dst= equivalent. Both conntrack implementations (kern/conntrack.h and
+// ovs/ct.h) honor it with identical semantics — the differential
+// harness diffs their end state entry by entry.
+struct NatSpec {
+    bool enabled = false;
+    bool snat = false;          // true = SNAT (rewrite source), false = DNAT
+    std::uint32_t ip = 0;       // translated address (0 = keep original)
+    std::uint16_t port_min = 0; // 0 = keep the original port
+    std::uint16_t port_max = 0; // 0 = exactly port_min (no range)
+
+    friend bool operator==(const NatSpec&, const NatSpec&) = default;
+
+    static NatSpec src(std::uint32_t ip, std::uint16_t port_min = 0, std::uint16_t port_max = 0)
+    {
+        return {true, true, ip, port_min, port_max};
+    }
+    static NatSpec dst(std::uint32_t ip, std::uint16_t port_min = 0, std::uint16_t port_max = 0)
+    {
+        return {true, false, ip, port_min, port_max};
+    }
+};
+
 struct CtSpec {
     std::uint16_t zone = 0;
     bool commit = false;
-    // NAT (userspace conntrack only; see ovs/ct.h).
-    bool nat = false;
-    bool snat = false; // true = SNAT, false = DNAT (when nat is set)
-    std::uint32_t nat_ip = 0;
-    std::uint16_t nat_port = 0;
+    bool set_mark = false; // ct(commit,mark=M): store M on the connection
+    std::uint32_t mark = 0;
+    NatSpec nat;
 };
 
 struct OdpAction {

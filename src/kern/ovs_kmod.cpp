@@ -358,7 +358,7 @@ void OvsKernelDatapath::execute(net::Packet&& pkt, const OdpActions& actions,
             break;
         case OdpAction::Type::Ct: {
             const net::FlowKey key = net::parse_flow(pkt);
-            kernel_.conntrack().process(pkt, key, act.ct.zone, act.ct.commit, ctx, now_);
+            kernel_.conntrack().process(pkt, key, act.ct, ctx, now_);
             if (pkt.meta().trace_id) {
                 obs::trace(pkt.meta().trace_id, obs::Hop::Ct, pkt.meta().latency_ns, "",
                            act.ct.zone, pkt.meta().ct_state);

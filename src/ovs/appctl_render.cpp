@@ -40,6 +40,14 @@ obs::Value render_ct_snapshot(const std::vector<kern::CtSnapshotEntry>& entries)
         row.set("zone", static_cast<std::uint64_t>(e.orig.zone));
         row.set("confirmed", e.confirmed);
         row.set("seen_reply", e.seen_reply);
+        row.set("mark", static_cast<std::uint64_t>(e.mark));
+        // NAT columns are always present so the shape is identical on
+        // every provider; the reply tuple carries the translation.
+        row.set("nat", e.nat);
+        row.set("reply_src", ipv4_to_string(e.reply.src));
+        row.set("reply_dst", ipv4_to_string(e.reply.dst));
+        row.set("reply_sport", static_cast<std::uint64_t>(e.reply.sport));
+        row.set("reply_dport", static_cast<std::uint64_t>(e.reply.dport));
         row.set("packets", e.packets);
         arr.push(std::move(row));
     }

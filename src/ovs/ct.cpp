@@ -5,17 +5,44 @@
 #include "net/flow.h"
 #include "net/headers.h"
 #include "net/rewrite.h"
+#include "obs/appctl.h"
 #include "obs/coverage.h"
 #include "obs/trace.h"
 #include "san/audit.h"
 
 namespace ovsx::ovs {
 
-UserspaceConntrack::~UserspaceConntrack() { san::audit_clear(san_scope_, "uct.entry"); }
+UserspaceConntrack::UserspaceConntrack(const sim::CostModel& costs) : costs_(costs)
+{
+    obs_token_ = obs::memory_register("ovs.uct", [this] {
+        obs::Value v = obs::Value::object();
+        v.set("connections", static_cast<std::uint64_t>(conns_.size()));
+        v.set("index_entries", static_cast<std::uint64_t>(index_.size()));
+        v.set("nat_bindings", static_cast<std::uint64_t>(nat_binding_count()));
+        return v;
+    });
+}
+
+UserspaceConntrack::~UserspaceConntrack()
+{
+    obs::memory_unregister(obs_token_);
+    san::audit_clear(san_scope_, "uct.entry");
+    san::audit_clear(san_scope_, "uct.nat");
+}
+
+std::size_t UserspaceConntrack::nat_binding_count() const
+{
+    std::size_t n = 0;
+    for (const auto& [id, e] : conns_) {
+        if (e.nat) ++n;
+    }
+    return n;
+}
 
 void UserspaceConntrack::san_check(san::Site site) const
 {
     san::audit_expect_size(san_scope_, "uct.entry", conns_.size(), site);
+    san::audit_expect_size(san_scope_, "uct.nat", nat_binding_count(), site);
 }
 
 std::uint8_t UserspaceConntrack::process(net::Packet& pkt, const net::FlowKey& key,
@@ -74,6 +101,7 @@ std::uint8_t UserspaceConntrack::process(net::Packet& pkt, const net::FlowKey& k
         }
         state |= e.confirmed ? net::kCtStateEstablished : net::kCtStateNew;
         if (spec.commit && !e.confirmed) e.confirmed = true;
+        if (spec.commit && spec.set_mark) e.mark = spec.mark;
         if (key.nw_proto == 6) e.tcp_flags_seen |= key.tcp_flags;
         e.packets++;
         e.last_seen = now;
@@ -101,27 +129,41 @@ std::uint8_t UserspaceConntrack::process(net::Packet& pkt, const net::FlowKey& k
     UserCtEntry entry;
     entry.orig = tuple;
     entry.confirmed = spec.commit;
+    if (spec.commit && spec.set_mark) entry.mark = spec.mark;
     entry.packets = 1;
     entry.last_seen = now;
     if (key.nw_proto == 6) entry.tcp_flags_seen = key.tcp_flags;
 
-    // Compute the reply tuple, applying NAT if requested.
+    // Compute the reply tuple, binding NAT (and allocating a port from
+    // the requested range) if the connection commits. Must match
+    // kern::Conntrack::process exactly, down to the allocation order.
     CtTuple reply = tuple.reversed();
-    if (spec.nat && spec.commit) {
+    if (spec.nat.enabled && spec.commit) {
         NatBinding nat;
-        nat.snat = spec.snat;
-        nat.ip = spec.nat_ip;
-        nat.port = spec.nat_port;
-        entry.nat = nat;
-        if (spec.snat) {
-            // Replies will come addressed to the NAT source.
-            reply.dst = nat.ip ? nat.ip : reply.dst;
-            if (nat.port) reply.dport = nat.port;
-        } else {
-            // DNAT: replies originate from the translated destination.
-            reply.src = nat.ip ? nat.ip : reply.src;
-            if (nat.port) reply.sport = nat.port;
+        nat.snat = spec.nat.snat;
+        nat.ip = spec.nat.ip;
+        if (spec.nat.port_min != 0) {
+            const std::uint16_t lo = spec.nat.port_min;
+            const std::uint16_t hi = std::max(spec.nat.port_max, lo);
+            std::uint16_t chosen = 0;
+            for (std::uint32_t p = lo; p <= hi; ++p) {
+                const CtTuple cand =
+                    kern::nat_reply_tuple(tuple, spec.nat, static_cast<std::uint16_t>(p));
+                if (index_.find(cand) == index_.end()) {
+                    chosen = static_cast<std::uint16_t>(p);
+                    break;
+                }
+            }
+            if (chosen == 0) {
+                // Range exhausted: the connection is untrackable.
+                OVSX_COVERAGE_CTX(ctx, "userspace_ct.nat_port_exhausted");
+                return finish(static_cast<std::uint8_t>((state & ~net::kCtStateNew) |
+                                                        net::kCtStateInvalid));
+            }
+            nat.port = chosen;
         }
+        entry.nat = nat;
+        reply = kern::nat_reply_tuple(tuple, spec.nat, nat.port);
     }
     entry.reply = reply;
 
@@ -129,12 +171,13 @@ std::uint8_t UserspaceConntrack::process(net::Packet& pkt, const net::FlowKey& k
     auto [it, ok] = conns_.emplace(id, entry);
     (void)ok;
     san::audit_add(san_scope_, "uct.entry", id, OVSX_SITE);
+    if (it->second.nat) san::audit_add(san_scope_, "uct.nat", id, OVSX_SITE);
     index_.emplace(tuple, id);
     if (!(reply == tuple)) index_.emplace(reply, id);
     ++count;
     ctx.charge(costs_.emc_hit); // insertion
 
-    pkt.meta().ct_mark = 0;
+    pkt.meta().ct_mark = it->second.mark;
     if (it->second.nat) apply_nat(pkt, it->second, /*is_reply=*/false, ctx);
     return finish(state);
 }
@@ -194,6 +237,7 @@ std::size_t UserspaceConntrack::expire_idle(sim::Nanos cutoff)
             auto& count = zone_counts_[it->second.orig.zone];
             if (count > 0) --count;
             san::audit_remove(san_scope_, "uct.entry", it->first, OVSX_SITE);
+            if (it->second.nat) san::audit_remove(san_scope_, "uct.nat", it->first, OVSX_SITE);
             it = conns_.erase(it);
             ++removed;
         } else {
@@ -209,6 +253,7 @@ void UserspaceConntrack::flush()
     conns_.clear();
     zone_counts_.clear();
     san::audit_clear(san_scope_, "uct.entry");
+    san::audit_clear(san_scope_, "uct.nat");
 }
 
 const UserCtEntry* UserspaceConntrack::find(const CtTuple& tuple) const
@@ -236,6 +281,7 @@ void UserspaceConntrack::erase_entry(std::uint64_t id)
     auto& count = zone_counts_[it->second.orig.zone];
     if (count > 0) --count;
     san::audit_remove(san_scope_, "uct.entry", id, OVSX_SITE);
+    if (it->second.nat) san::audit_remove(san_scope_, "uct.nat", id, OVSX_SITE);
     conns_.erase(it);
 }
 
@@ -244,7 +290,8 @@ std::vector<kern::CtSnapshotEntry> UserspaceConntrack::snapshot() const
     std::vector<kern::CtSnapshotEntry> out;
     out.reserve(conns_.size());
     for (const auto& [id, e] : conns_) {
-        out.push_back({e.orig, e.confirmed, e.seen_reply, e.packets});
+        out.push_back(
+            {e.orig, e.reply, e.confirmed, e.seen_reply, e.nat.has_value(), e.mark, e.packets});
     }
     std::sort(out.begin(), out.end());
     return out;

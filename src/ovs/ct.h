@@ -42,23 +42,24 @@ struct UserCtEntry {
 
 class UserspaceConntrack {
 public:
-    explicit UserspaceConntrack(const sim::CostModel& costs = sim::CostModel::baseline())
-        : costs_(costs)
-    {
-    }
+    explicit UserspaceConntrack(const sim::CostModel& costs = sim::CostModel::baseline());
     ~UserspaceConntrack();
 
     // Runs a packet through conntrack per `spec`. When spec.nat is set
     // and the connection is committed, applies (and remembers) the NAT
-    // rewrite — reply-direction packets are de-NATed automatically.
-    // Updates pkt.meta() and rewrites headers for NAT. Returns the state
-    // bits written to the packet.
+    // rewrite — allocating a port from the requested range — and
+    // reply-direction packets are de-NATed automatically. Updates
+    // pkt.meta() and rewrites headers for NAT. Returns the state bits
+    // written to the packet. Must stay semantically identical to
+    // kern::Conntrack::process: the differential harness diffs the two
+    // tables entry by entry.
     std::uint8_t process(net::Packet& pkt, const net::FlowKey& key, const kern::CtSpec& spec,
                          sim::ExecContext& ctx, sim::Nanos now = 0);
 
     void set_zone_limit(std::uint16_t zone, std::size_t limit) { zone_limits_[zone] = limit; }
     std::size_t zone_count(std::uint16_t zone) const;
     std::size_t size() const { return conns_.size(); }
+    std::size_t nat_binding_count() const;
     std::size_t expire_idle(sim::Nanos cutoff);
     void flush();
 
@@ -88,6 +89,7 @@ private:
     std::unordered_map<std::uint16_t, std::size_t> zone_counts_;
     std::unordered_map<std::uint16_t, std::size_t> zone_limits_;
     std::uint64_t san_scope_ = san::new_scope();
+    std::uint64_t obs_token_ = 0;
 };
 
 } // namespace ovsx::ovs

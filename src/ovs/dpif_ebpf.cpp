@@ -374,7 +374,7 @@ void DpifEbpf::execute(net::Packet&& pkt, const kern::OdpActions& actions,
         case Type::Ct: {
             // eBPF conntrack via maps — functional but charged at eBPF cost.
             const net::FlowKey key = net::parse_flow(pkt);
-            kernel_.conntrack().process(pkt, key, act.ct.zone, act.ct.commit, ctx, now_);
+            kernel_.conntrack().process(pkt, key, act.ct, ctx, now_);
             ctx.charge(static_cast<sim::Nanos>(120.0 * kernel_.costs().ebpf_insn));
             if (pkt.meta().trace_id) {
                 obs::trace(pkt.meta().trace_id, obs::Hop::Ct, pkt.meta().latency_ns, "",

@@ -17,16 +17,15 @@
 namespace ovsx::gen {
 namespace {
 
-// The complete allowlist of intentional cross-datapath differences. A
-// divergence explained by anything else (or nothing) is a conformance bug.
+// The complete allowlist of intentional cross-datapath differences,
+// taken from the harness itself so tests and budget cannot drift. A
+// divergence explained by anything else (or nothing) is a conformance
+// bug. "ct-nat" is retired: NAT now exists in both conntracks and is
+// diffed, never allowlisted.
 const std::set<std::string>& allowlist()
 {
-    static const std::set<std::string> tags = {
-        "ebpf-unsupported-action", // recirc/tunnel/meter not expressible in eBPF
-        "ebpf-key-dimensions",     // exact-match map lacks vlan/mac/... key fields
-        "ct-nat",                  // NAT exists only in the userspace conntrack
-        "userspace-action",        // punt semantics differ by design
-    };
+    static const std::set<std::string> tags(known_divergence_tags().begin(),
+                                            known_divergence_tags().end());
     return tags;
 }
 
@@ -288,6 +287,121 @@ TEST(DifferentialRegression, ConntrackSequencesAgreeAcrossDatapaths)
     const DiffReport report = harness.run(seq);
     EXPECT_TRUE(report.ok()) << report.summary();
     expect_explained_allowlisted(report);
+}
+
+// The retirement test for the "ct-nat" allowlist tag: a ruleset doing
+// both SNAT and DNAT (no recirc, so it is eBPF-expressible) must run
+// through all three datapaths with ZERO divergences of either kind —
+// identical translated frames on the wire, identical de-NATed replies,
+// and identical conntrack end state (the per-entry diff covers the NAT
+// reply tuples and the deterministically allocated ports).
+TEST(DifferentialRegression, SnatDnatRulesetAgreesAcrossAllThreeDatapaths)
+{
+    DiffRuleset rs;
+    {
+        // Outbound web traffic is source-NATed behind 10.0.9.1 with a
+        // port range, forcing the allocator to run on every connection.
+        kern::CtSpec spec;
+        spec.commit = true;
+        spec.nat = kern::NatSpec::src(0x0a000901, 40000, 40003);
+        DiffRule r = rule(50, {kern::OdpAction::conntrack(spec), kern::OdpAction::output(1)});
+        r.mask.bits.nw_proto = 0xff;
+        r.match.nw_proto = 17;
+        r.mask.bits.tp_dst = 0xffff;
+        r.match.tp_dst = 80;
+        rs.rules.push_back(std::move(r));
+    }
+    {
+        // Inbound DNAT to a backend on another zone.
+        kern::CtSpec spec;
+        spec.zone = 7;
+        spec.commit = true;
+        spec.set_mark = true;
+        spec.mark = 3;
+        spec.nat = kern::NatSpec::dst(0x0a000402, 8080);
+        DiffRule r = rule(40, {kern::OdpAction::conntrack(spec), kern::OdpAction::output(2)});
+        r.mask.bits.nw_proto = 0xff;
+        r.match.nw_proto = 17;
+        r.mask.bits.tp_dst = 0xffff;
+        r.match.tp_dst = 443;
+        rs.rules.push_back(std::move(r));
+    }
+    {
+        // Replies: plain ct (no nat spec needed — the tracker de-NATs
+        // reply-direction packets from the stored binding).
+        kern::CtSpec spec;
+        DiffRule r = rule(30, {kern::OdpAction::conntrack(spec), kern::OdpAction::output(3)});
+        r.mask.bits.nw_proto = 0xff;
+        r.match.nw_proto = 17;
+        rs.rules.push_back(std::move(r));
+    }
+
+    std::vector<DiffPacket> seq;
+    // Four SNAT connections exercise ports 40000..40003; a fifth
+    // exhausts the range on every datapath identically.
+    for (std::uint16_t i = 0; i < 5; ++i) {
+        seq.push_back({0, udp(static_cast<std::uint16_t>(5000 + i), 80)});
+    }
+    // A reply to the first translated connection must de-NAT the same
+    // way everywhere (dst = the NAT ip and first allocated port).
+    {
+        net::UdpSpec s;
+        s.src_mac = net::MacAddr::from_id(2);
+        s.dst_mac = net::MacAddr::from_id(1);
+        s.src_ip = 0x0a000002;
+        s.dst_ip = 0x0a000901;
+        s.src_port = 80;
+        s.dst_port = 40000;
+        seq.push_back({1, net::build_udp(s)});
+    }
+    // Two DNAT connections plus a re-hit of the first (established path).
+    seq.push_back({0, udp(6000, 443)});
+    seq.push_back({0, udp(6001, 443)});
+    seq.push_back({0, udp(6000, 443)});
+
+    DifferentialHarness harness(rs);
+    const DiffReport report = harness.run(seq);
+    EXPECT_TRUE(report.ok()) << report.summary();
+    EXPECT_TRUE(report.explained.empty()) << report.summary();
+}
+
+// The satellite bug this PR's comparator exists to catch: the old
+// CtSnapshotEntry omitted the mark (and NAT tuple), so a datapath that
+// stored a wrong mark produced identical verdicts AND an identical
+// snapshot — invisible. Now a fault that corrupts only the committed
+// mark on one datapath must surface as exactly one unexplained
+// end-state divergence naming the conntrack table.
+TEST(DifferentialFault, CorruptedCtMarkCaughtByEndStateDiff)
+{
+    DiffRuleset rs;
+    kern::CtSpec spec;
+    spec.commit = true;
+    spec.set_mark = true;
+    spec.mark = 5;
+    DiffRule r = rule(10, {kern::OdpAction::conntrack(spec), kern::OdpAction::output(2)});
+    r.mask.bits.nw_proto = 0xff;
+    r.match.nw_proto = 17;
+    rs.rules.push_back(std::move(r));
+
+    DiffOptions opts;
+    opts.minimize = false; // end-state divergences have no packet step
+    DifferentialHarness harness(rs, opts);
+    harness.set_fault(DpKind::Ebpf, [](kern::OdpActions& actions) {
+        for (auto& a : actions) {
+            if (a.type == kern::OdpAction::Type::Ct) a.ct.mark = 6;
+        }
+    });
+
+    std::vector<DiffPacket> seq;
+    seq.push_back({0, udp(1000, 80)});
+    const DiffReport report = harness.run(seq);
+    // The verdict stream is identical — the mark never reaches the wire.
+    ASSERT_EQ(report.unexplained.size(), 1u) << report.summary();
+    EXPECT_TRUE(report.explained.empty()) << report.summary();
+    EXPECT_NE(report.unexplained[0].detail.find("conntrack"), std::string::npos)
+        << report.unexplained[0].detail;
+    EXPECT_NE(report.unexplained[0].detail.find("mark=6"), std::string::npos)
+        << report.unexplained[0].detail;
 }
 
 // Both lookup-based datapaths cap recirculation depth at 8; a

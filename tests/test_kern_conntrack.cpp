@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "gen/ct_corpus.h"
 #include "kern/conntrack.h"
 #include "net/headers.h"
@@ -225,6 +228,217 @@ TEST_F(ConntrackTest, ExpiryUnderVirtualTime)
     EXPECT_EQ(ct.zone_count(0), 1u);
     EXPECT_EQ(ct.expire_idle(20'000'000), 1u);
     EXPECT_TRUE(ct.snapshot().empty());
+}
+
+// ---- NAT ----------------------------------------------------------------
+
+TEST_F(ConntrackTest, SnatRewritesAndUnNats)
+{
+    kern::CtSpec nat;
+    nat.zone = 1;
+    nat.commit = true;
+    nat.nat = NatSpec::src(ipv4(5, 5, 5, 5));
+
+    auto p1 = packet(ipv4(1, 1, 1, 1), ipv4(2, 2, 2, 2), 1000, 80, net::kTcpSyn);
+    ct.process(p1, net::parse_flow(p1), nat, ctx);
+    EXPECT_EQ(net::parse_flow(p1).nw_src, ipv4(5, 5, 5, 5));
+    EXPECT_TRUE(net::verify_l4_csum(p1, 14));
+
+    // Reply arrives addressed to the NAT ip; conntrack restores it.
+    kern::CtSpec check{.zone = 1, .commit = false};
+    auto p2 = packet(ipv4(2, 2, 2, 2), ipv4(5, 5, 5, 5), 80, 1000, net::kTcpSyn | net::kTcpAck);
+    const auto r = ct.process(p2, net::parse_flow(p2), check, ctx);
+    EXPECT_TRUE(r.state & net::kCtStateReply);
+    EXPECT_EQ(net::parse_flow(p2).nw_dst, ipv4(1, 1, 1, 1));
+    EXPECT_TRUE(net::verify_l4_csum(p2, 14));
+}
+
+TEST_F(ConntrackTest, DnatRewritesDestination)
+{
+    kern::CtSpec nat;
+    nat.zone = 2;
+    nat.commit = true;
+    nat.nat = NatSpec::dst(ipv4(10, 9, 9, 9), 8080);
+
+    auto p1 = packet(ipv4(1, 1, 1, 1), ipv4(2, 2, 2, 2), 1000, 80, net::kTcpSyn);
+    ct.process(p1, net::parse_flow(p1), nat, ctx);
+    const auto k1 = net::parse_flow(p1);
+    EXPECT_EQ(k1.nw_dst, ipv4(10, 9, 9, 9));
+    EXPECT_EQ(k1.tp_dst, 8080);
+
+    kern::CtSpec check{.zone = 2, .commit = false};
+    auto p2 = packet(ipv4(10, 9, 9, 9), ipv4(1, 1, 1, 1), 8080, 1000, net::kTcpAck);
+    const auto r = ct.process(p2, net::parse_flow(p2), check, ctx);
+    EXPECT_TRUE(r.state & net::kCtStateReply);
+    const auto k2 = net::parse_flow(p2);
+    EXPECT_EQ(k2.nw_src, ipv4(2, 2, 2, 2));
+    EXPECT_EQ(k2.tp_src, 80);
+}
+
+TEST_F(ConntrackTest, NatPortRangeAllocatesDeterministically)
+{
+    kern::CtSpec nat;
+    nat.commit = true;
+    nat.nat = NatSpec::src(ipv4(5, 5, 5, 5), 40000, 40001);
+
+    // Same server, different clients: each new connection takes the
+    // first free port of the range, in order.
+    auto p1 = packet(ipv4(1, 1, 1, 1), ipv4(2, 2, 2, 2), 1000, 80, net::kTcpSyn);
+    ct.process(p1, net::parse_flow(p1), nat, ctx);
+    EXPECT_EQ(net::parse_flow(p1).tp_src, 40000);
+    auto p2 = packet(ipv4(1, 1, 1, 1), ipv4(2, 2, 2, 2), 1001, 80, net::kTcpSyn);
+    ct.process(p2, net::parse_flow(p2), nat, ctx);
+    EXPECT_EQ(net::parse_flow(p2).tp_src, 40001);
+
+    // Range exhausted: untrackable, and nothing is inserted.
+    auto p3 = packet(ipv4(1, 1, 1, 1), ipv4(2, 2, 2, 2), 1002, 80, net::kTcpSyn);
+    const auto r3 = ct.process(p3, net::parse_flow(p3), nat, ctx);
+    EXPECT_TRUE(r3.state & net::kCtStateInvalid);
+    EXPECT_EQ(ct.size(), 2u);
+    EXPECT_EQ(ct.zone_count(0), 2u);
+    EXPECT_EQ(ct.nat_binding_count(), 2u);
+}
+
+// The satellite bug: expiry used to erase orig.reversed() from the
+// index, which for a NATed connection is NOT the reply tuple — the
+// translated tuple (and its allocated port) leaked forever. Expiry, RST
+// teardown and flush must all release the port for reallocation, and
+// the san table audit must agree at every step.
+TEST_F(ConntrackTest, NatPortReleasedOnExpiryRstAndFlush)
+{
+    san::ScopedHardened hardened;
+    san::ScopedCollect collect;
+    kern::CtSpec nat;
+    nat.commit = true;
+    nat.nat = NatSpec::src(ipv4(5, 5, 5, 5), 40000, 40000); // width-1 range
+
+    auto p1 = packet(ipv4(1, 1, 1, 1), ipv4(2, 2, 2, 2), 1000, 80, net::kTcpSyn);
+    ct.process(p1, net::parse_flow(p1), nat, ctx, /*now=*/1000);
+    ct.san_check(OVSX_SITE);
+
+    // While the binding is live, the sole port is taken.
+    auto p2 = packet(ipv4(1, 1, 1, 1), ipv4(2, 2, 2, 2), 1001, 80, net::kTcpSyn);
+    EXPECT_TRUE(ct.process(p2, net::parse_flow(p2), nat, ctx, 1500).state &
+                net::kCtStateInvalid);
+
+    // Expiry must drop the translated reply tuple from the index...
+    EXPECT_EQ(ct.expire_idle(2000), 1u);
+    ct.san_check(OVSX_SITE);
+    EXPECT_EQ(ct.nat_binding_count(), 0u);
+    EXPECT_EQ(ct.find(CtTuple{ipv4(2, 2, 2, 2), ipv4(5, 5, 5, 5), 80, 40000, 6, 0}), nullptr);
+
+    // ...so the port can be reallocated.
+    auto p3 = packet(ipv4(1, 1, 1, 1), ipv4(2, 2, 2, 2), 1002, 80, net::kTcpSyn);
+    EXPECT_TRUE(ct.process(p3, net::parse_flow(p3), nat, ctx, 3000).state & net::kCtStateNew);
+    EXPECT_EQ(net::parse_flow(p3).tp_src, 40000);
+    ct.san_check(OVSX_SITE);
+
+    // RST teardown releases it too (reply-direction RST, de-NATed).
+    auto rst = packet(ipv4(2, 2, 2, 2), ipv4(5, 5, 5, 5), 80, 40000,
+                      net::kTcpRst | net::kTcpAck);
+    ct.process(rst, net::parse_flow(rst), kern::CtSpec{.zone = 0, .commit = false}, ctx, 3500);
+    EXPECT_EQ(ct.size(), 0u);
+    EXPECT_EQ(ct.zone_count(0), 0u);
+    ct.san_check(OVSX_SITE);
+
+    auto p4 = packet(ipv4(1, 1, 1, 1), ipv4(2, 2, 2, 2), 1003, 80, net::kTcpSyn);
+    EXPECT_TRUE(ct.process(p4, net::parse_flow(p4), nat, ctx, 4000).state & net::kCtStateNew);
+    ct.flush();
+    ct.san_check(OVSX_SITE);
+    EXPECT_EQ(ct.nat_binding_count(), 0u);
+
+    EXPECT_TRUE(collect.take().empty());
+}
+
+TEST_F(ConntrackTest, UncommittedCtDoesNotBindNat)
+{
+    san::ScopedHardened hardened;
+    san::ScopedCollect collect;
+    kern::CtSpec nat;
+    nat.commit = false; // ct(nat) without commit: no binding, no rewrite
+    nat.nat = NatSpec::src(ipv4(5, 5, 5, 5), 40000, 40000);
+
+    auto p1 = packet(ipv4(1, 1, 1, 1), ipv4(2, 2, 2, 2), 1000, 80, net::kTcpSyn);
+    ct.process(p1, net::parse_flow(p1), nat, ctx, 100);
+    EXPECT_EQ(net::parse_flow(p1).nw_src, ipv4(1, 1, 1, 1));
+    EXPECT_EQ(ct.nat_binding_count(), 0u);
+    ct.san_check(OVSX_SITE);
+
+    // The unconfirmed entry holds no port, so a committed connection can
+    // take it; expiring the unconfirmed entry leaks nothing.
+    EXPECT_EQ(ct.expire_idle(200), 1u);
+    ct.san_check(OVSX_SITE);
+    EXPECT_TRUE(collect.take().empty());
+}
+
+TEST_F(ConntrackTest, MarkFromSpecAppliedOnCommit)
+{
+    kern::CtSpec spec;
+    spec.commit = true;
+    spec.set_mark = true;
+    spec.mark = 42;
+    auto p1 = packet(ipv4(1, 1, 1, 1), ipv4(2, 2, 2, 2), 1000, 80, net::kTcpSyn);
+    ct.process(p1, net::parse_flow(p1), spec, ctx);
+    EXPECT_EQ(p1.meta().ct_mark, 42u);
+
+    const auto snap = ct.snapshot();
+    ASSERT_EQ(snap.size(), 1u);
+    EXPECT_EQ(snap[0].mark, 42u);
+    EXPECT_FALSE(snap[0].nat);
+    EXPECT_EQ(snap[0].reply, snap[0].orig.reversed());
+}
+
+// ---- tuple hash quality -------------------------------------------------
+
+TEST_F(ConntrackTest, HashSeparatesReverseZoneAndFoldedVariants)
+{
+    const CtTuple::Hash h;
+    const CtTuple t{ipv4(10, 0, 0, 1), ipv4(10, 0, 0, 2), 1234, 80, 6, 0};
+    EXPECT_NE(h(t), h(t.reversed()));
+    CtTuple zswap = t;
+    zswap.zone = 1;
+    EXPECT_NE(h(t), h(zswap));
+
+    // The old XOR-fold collided these systematically: src bit 16 lands
+    // on the same folded bit as sport bit 0.
+    CtTuple a{0x00010000u, ipv4(10, 0, 0, 2), 0, 80, 6, 0};
+    CtTuple b{0x00000000u, ipv4(10, 0, 0, 2), 1, 80, 6, 0};
+    EXPECT_NE(h(a), h(b));
+}
+
+TEST_F(ConntrackTest, HashCollisionRateOverFuzzCorpusTuples)
+{
+    // Tuples shaped like the fuzzer's corpus (8 flow ips x 6 ports x 2
+    // zones x 2 protos), plus every reverse — the exact population the
+    // conntrack index hashes in the differential soak.
+    const std::uint16_t ports[] = {53, 80, 443, 1234, 5001, 8080};
+    std::vector<CtTuple> tuples;
+    for (std::uint32_t s = 0; s < 8; ++s) {
+        for (std::uint32_t d = 0; d < 8; ++d) {
+            for (std::uint16_t sp : ports) {
+                for (std::uint16_t zone = 0; zone < 2; ++zone) {
+                    for (std::uint8_t proto : {std::uint8_t{6}, std::uint8_t{17}}) {
+                        const CtTuple t{0x0a000001u + s, 0x0a000001u + d,
+                                        static_cast<std::uint16_t>(10000 + sp), sp, proto, zone};
+                        tuples.push_back(t);
+                        tuples.push_back(t.reversed());
+                    }
+                }
+            }
+        }
+    }
+    std::sort(tuples.begin(), tuples.end());
+    tuples.erase(std::unique(tuples.begin(), tuples.end()), tuples.end());
+
+    const CtTuple::Hash h;
+    std::vector<std::size_t> hashes;
+    hashes.reserve(tuples.size());
+    for (const auto& t : tuples) hashes.push_back(h(t));
+    std::sort(hashes.begin(), hashes.end());
+    const auto dup = std::adjacent_find(hashes.begin(), hashes.end());
+    // Full 64-bit hashes over a few thousand structured tuples must not
+    // collide at all; the old fold collided hundreds of pairs.
+    EXPECT_EQ(dup, hashes.end()) << tuples.size() << " tuples";
 }
 
 } // namespace

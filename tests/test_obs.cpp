@@ -15,6 +15,7 @@
 #include "kern/nic.h"
 #include "kern/ovs_kmod.h"
 #include "net/builder.h"
+#include "net/headers.h"
 #include "obs/appctl.h"
 #include "obs/coverage.h"
 #include "obs/histogram.h"
@@ -231,6 +232,89 @@ TEST(ObsAppctl, KernelPmdStatsGoldenText)
               "  misses: 0\n"
               "  lost: 0\n"
               "pmds:\n");
+}
+
+// conntrack/show must render the exact same text — NAT columns
+// included — no matter which provider answers it. The netdev provider
+// reads its userspace tracker, the kernel and eBPF providers read the
+// host kernel's tracker; identical traffic must yield byte-identical
+// output on all three.
+TEST(ObsAppctl, ConntrackShowNatGoldenTextIdenticalAcrossProviders)
+{
+    // One SNAT'd connection (203.0.113.9, first port of the range) plus
+    // its de-NATed reply, driven straight through each tracker.
+    const auto drive = [](auto& tracker) {
+        sim::ExecContext ctx{"test", sim::CpuClass::User};
+        kern::CtSpec spec;
+        spec.zone = 3;
+        spec.commit = true;
+        spec.set_mark = true;
+        spec.mark = 7;
+        spec.nat = kern::NatSpec::src(net::ipv4(203, 0, 113, 9), 40000, 40010);
+
+        net::TcpSpec syn;
+        syn.src_ip = net::ipv4(10, 0, 0, 1);
+        syn.dst_ip = net::ipv4(10, 0, 0, 2);
+        syn.src_port = 1000;
+        syn.dst_port = 80;
+        syn.flags = net::kTcpSyn;
+        net::Packet p1 = net::build_tcp(syn);
+        tracker.process(p1, net::parse_flow(p1), spec, ctx);
+
+        net::TcpSpec rep;
+        rep.src_ip = net::ipv4(10, 0, 0, 2);
+        rep.dst_ip = net::ipv4(203, 0, 113, 9);
+        rep.src_port = 80;
+        rep.dst_port = 40000;
+        rep.flags = net::kTcpSyn | net::kTcpAck;
+        net::Packet p2 = net::build_tcp(rep);
+        kern::CtSpec plain;
+        plain.zone = 3;
+        tracker.process(p2, net::parse_flow(p2), plain, ctx);
+    };
+
+    const std::string golden = "count: 1\n"
+                               "entries:\n"
+                               "  -\n"
+                               "    src: 10.0.0.1\n"
+                               "    dst: 10.0.0.2\n"
+                               "    sport: 1000\n"
+                               "    dport: 80\n"
+                               "    proto: 6\n"
+                               "    zone: 3\n"
+                               "    confirmed: true\n"
+                               "    seen_reply: true\n"
+                               "    mark: 7\n"
+                               "    nat: true\n"
+                               "    reply_src: 10.0.0.2\n"
+                               "    reply_dst: 203.0.113.9\n"
+                               "    reply_sport: 80\n"
+                               "    reply_dport: 40000\n"
+                               "    packets: 2\n";
+
+    {
+        kern::Kernel host;
+        auto& nic = host.add_device<kern::PhysicalDevice>("eth0", net::MacAddr::from_id(1));
+        auto dpif = std::make_unique<ovs::DpifNetdev>(host);
+        dpif->add_port(std::make_unique<ovs::NetdevAfxdp>(nic));
+        ovs::DpifNetdev* raw = dpif.get();
+        ovs::VSwitch vs(std::move(dpif));
+        drive(raw->ct());
+        EXPECT_EQ(vs.appctl().run("conntrack/show"), golden) << "netdev";
+    }
+    {
+        kern::Kernel host;
+        kern::OvsKernelDatapath dp(host);
+        ovs::VSwitch vs(std::make_unique<ovs::DpifKernel>(dp));
+        drive(host.conntrack());
+        EXPECT_EQ(vs.appctl().run("conntrack/show"), golden) << "kernel";
+    }
+    {
+        kern::Kernel host;
+        ovs::VSwitch vs(std::make_unique<ovs::DpifEbpf>(host));
+        drive(host.conntrack());
+        EXPECT_EQ(vs.appctl().run("conntrack/show"), golden) << "ebpf";
+    }
 }
 
 TEST(ObsAppctl, CoverageShowReflectsCounters)

@@ -55,9 +55,7 @@ TEST_F(UserCtTest, SnatRewritesAndUnNats)
     kern::CtSpec nat;
     nat.zone = 1;
     nat.commit = true;
-    nat.nat = true;
-    nat.snat = true;
-    nat.nat_ip = ipv4(5, 5, 5, 5);
+    nat.nat = kern::NatSpec::src(ipv4(5, 5, 5, 5));
 
     auto p1 = tcp(ipv4(1, 1, 1, 1), ipv4(2, 2, 2, 2), 1000, 80, net::kTcpSyn);
     run(p1, nat);
@@ -79,10 +77,7 @@ TEST_F(UserCtTest, DnatRewritesDestination)
     kern::CtSpec nat;
     nat.zone = 2;
     nat.commit = true;
-    nat.nat = true;
-    nat.snat = false;
-    nat.nat_ip = ipv4(10, 9, 9, 9);
-    nat.nat_port = 8080;
+    nat.nat = kern::NatSpec::dst(ipv4(10, 9, 9, 9), 8080);
 
     auto p1 = tcp(ipv4(1, 1, 1, 1), ipv4(2, 2, 2, 2), 1000, 80, net::kTcpSyn);
     run(p1, nat);
@@ -239,6 +234,60 @@ TEST_F(UserCtTest, SnapshotMatchesKernelTrackerOnCorpusSequences)
     }
     EXPECT_EQ(ct.snapshot(), kct.snapshot());
     EXPECT_FALSE(ct.snapshot().empty());
+}
+
+// Same invariant under NAT: identical SNAT specs (with a port range and
+// a mark) must leave byte-identical packets and identical snapshots —
+// NAT reply tuples, marks and allocation order included.
+TEST_F(UserCtTest, NatSnapshotAndBytesMatchKernelTracker)
+{
+    kern::Conntrack kct;
+    kern::CtSpec nat;
+    nat.zone = 0;
+    nat.commit = true;
+    nat.set_mark = true;
+    nat.mark = 9;
+    nat.nat = kern::NatSpec::src(ipv4(5, 5, 5, 5), 40000, 40001);
+    kern::CtSpec check{.zone = 0, .commit = false};
+
+    auto run_both = [&](net::Packet& p, const kern::CtSpec& spec) {
+        net::Packet copy = p;
+        const auto s_u = ct.process(p, net::parse_flow(p), spec, ctx);
+        const auto r_k = kct.process(copy, net::parse_flow(copy), spec, ctx);
+        EXPECT_EQ(s_u, r_k.state);
+        EXPECT_EQ(std::vector<std::uint8_t>(p.data(), p.data() + p.size()),
+                  std::vector<std::uint8_t>(copy.data(), copy.data() + copy.size()));
+        return s_u;
+    };
+
+    // Two clients behind the same SNAT ip: the second allocates the next
+    // port; the third exhausts the two-port range and must be invalid in
+    // BOTH trackers.
+    for (std::uint16_t sp : {1000, 1001}) {
+        auto p = tcp(ipv4(1, 1, 1, 1), ipv4(2, 2, 2, 2), sp, 80, net::kTcpSyn);
+        EXPECT_TRUE(run_both(p, nat) & net::kCtStateNew);
+        EXPECT_EQ(net::parse_flow(p).nw_src, ipv4(5, 5, 5, 5));
+    }
+    auto p3 = tcp(ipv4(1, 1, 1, 1), ipv4(2, 2, 2, 2), 1002, 80, net::kTcpSyn);
+    EXPECT_TRUE(run_both(p3, nat) & net::kCtStateInvalid);
+
+    // Replies to each allocated port de-NAT back to the right client.
+    auto r1 = tcp(ipv4(2, 2, 2, 2), ipv4(5, 5, 5, 5), 80, 40000, net::kTcpSyn | net::kTcpAck);
+    EXPECT_TRUE(run_both(r1, check) & net::kCtStateReply);
+    EXPECT_EQ(net::parse_flow(r1).nw_dst, ipv4(1, 1, 1, 1));
+    EXPECT_EQ(net::parse_flow(r1).tp_dst, 1000);
+    EXPECT_EQ(r1.meta().ct_mark, 9u);
+    auto r2 = tcp(ipv4(2, 2, 2, 2), ipv4(5, 5, 5, 5), 80, 40001, net::kTcpSyn | net::kTcpAck);
+    EXPECT_TRUE(run_both(r2, check) & net::kCtStateReply);
+    EXPECT_EQ(net::parse_flow(r2).tp_dst, 1001);
+
+    const auto snap_u = ct.snapshot();
+    EXPECT_EQ(snap_u, kct.snapshot());
+    ASSERT_EQ(snap_u.size(), 2u);
+    EXPECT_TRUE(snap_u[0].nat);
+    EXPECT_EQ(snap_u[0].mark, 9u);
+    EXPECT_EQ(snap_u[0].reply.dport, 40000);
+    EXPECT_EQ(snap_u[1].reply.dport, 40001);
 }
 
 } // namespace

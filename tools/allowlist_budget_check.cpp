@@ -1,0 +1,49 @@
+// Allowlist-budget check for the differential harness.
+//
+// CI passes the budgeted tag list on the command line; this tool
+// compares it against gen::known_divergence_tags() (the complete set
+// explain_expected_divergence can return) and fails when the sets
+// differ in either direction: a tag the budget doesn't know means the
+// allowlist grew; a budgeted tag the harness no longer emits means the
+// budget is stale (e.g. a retired tag like "ct-nat" reappearing in the
+// budget — or in the harness — is an error either way).
+//
+// Usage: allowlist_budget_check TAG [TAG...]
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "gen/differential.h"
+
+int main(int argc, char** argv)
+{
+    std::vector<std::string> budget(argv + 1, argv + argc);
+    std::sort(budget.begin(), budget.end());
+
+    std::vector<std::string> actual = ovsx::gen::known_divergence_tags();
+    std::sort(actual.begin(), actual.end());
+
+    std::vector<std::string> grew, stale;
+    std::set_difference(actual.begin(), actual.end(), budget.begin(), budget.end(),
+                        std::back_inserter(grew));
+    std::set_difference(budget.begin(), budget.end(), actual.begin(), actual.end(),
+                        std::back_inserter(stale));
+
+    for (const auto& t : grew) {
+        std::printf("FAIL: allowlist grew beyond budget: new tag \"%s\"\n", t.c_str());
+    }
+    for (const auto& t : stale) {
+        std::printf("FAIL: budgeted tag \"%s\" is not emitted by the harness "
+                    "(retired tag reappearing in the budget, or stale budget)\n",
+                    t.c_str());
+    }
+    if (!grew.empty() || !stale.empty()) return 1;
+
+    std::printf("allowlist budget ok: %zu tags {", actual.size());
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+        std::printf("%s%s", i ? ", " : "", actual[i].c_str());
+    }
+    std::printf("}\n");
+    return 0;
+}
