@@ -16,7 +16,7 @@ const char* to_string(MapType t)
     return "?";
 }
 
-std::size_t Map::VecHash::operator()(const std::vector<std::uint8_t>& v) const
+std::size_t Map::VecHash::operator()(std::span<const std::uint8_t> v) const
 {
     std::size_t h = 1469598103934665603ULL;
     for (auto b : v) {
@@ -50,8 +50,7 @@ std::uint8_t* Map::lookup(std::span<const std::uint8_t> key)
 {
     if (key.size() != key_size_) return nullptr;
     if (type_ == MapType::Hash) {
-        std::vector<std::uint8_t> k(key.begin(), key.end());
-        auto it = hash_.find(k);
+        auto it = hash_.find(key);
         // Model open-hashing probe count as 1 + small load-factor effect.
         last_probes_ = 1;
         if (it == hash_.end()) return nullptr;
@@ -68,8 +67,7 @@ bool Map::update(std::span<const std::uint8_t> key, std::span<const std::uint8_t
 {
     if (key.size() != key_size_ || value.size() != value_size_) return false;
     if (type_ == MapType::Hash) {
-        std::vector<std::uint8_t> k(key.begin(), key.end());
-        auto it = hash_.find(k);
+        auto it = hash_.find(key);
         if (it != hash_.end()) {
             std::memcpy(it->second.get(), value.data(), value_size_);
             return true;
@@ -77,7 +75,7 @@ bool Map::update(std::span<const std::uint8_t> key, std::span<const std::uint8_t
         if (hash_.size() >= max_entries_) return false;
         auto box = std::make_unique<std::uint8_t[]>(value_size_);
         std::memcpy(box.get(), value.data(), value_size_);
-        hash_.emplace(std::move(k), std::move(box));
+        hash_.emplace(std::vector<std::uint8_t>(key.begin(), key.end()), std::move(box));
         return true;
     }
     std::uint32_t idx;

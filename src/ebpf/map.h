@@ -5,6 +5,7 @@
 // index, or an AF_XDP socket binding).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <memory>
@@ -70,8 +71,23 @@ public:
     std::vector<std::pair<std::vector<std::uint8_t>, std::vector<std::uint8_t>>> snapshot() const;
 
 private:
+    // Transparent hash/equality so lookups probe with the caller's span
+    // directly — the per-packet XDP map helper was allocating a
+    // temporary key vector for every find.
     struct VecHash {
-        std::size_t operator()(const std::vector<std::uint8_t>& v) const;
+        using is_transparent = void;
+        std::size_t operator()(std::span<const std::uint8_t> v) const;
+        std::size_t operator()(const std::vector<std::uint8_t>& v) const
+        {
+            return (*this)(std::span<const std::uint8_t>(v.data(), v.size()));
+        }
+    };
+    struct VecEq {
+        using is_transparent = void;
+        template <typename A, typename B> bool operator()(const A& a, const B& b) const
+        {
+            return std::equal(a.begin(), a.end(), b.begin(), b.end());
+        }
     };
 
     MapType type_;
@@ -82,7 +98,8 @@ private:
     std::uint32_t last_probes_ = 1;
 
     // Hash/DevMap/XskMap storage: values boxed for pointer stability.
-    std::unordered_map<std::vector<std::uint8_t>, std::unique_ptr<std::uint8_t[]>, VecHash> hash_;
+    std::unordered_map<std::vector<std::uint8_t>, std::unique_ptr<std::uint8_t[]>, VecHash, VecEq>
+        hash_;
     // Array storage: one contiguous allocation, always fully populated.
     std::vector<std::uint8_t> array_;
 };

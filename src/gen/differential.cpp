@@ -60,6 +60,26 @@ bool mask_within(const net::FlowMask& m, const net::FlowMask& allowed)
     return true;
 }
 
+// Order-independent digest of one flow-table entry. Flow tables are
+// compared digest-first: XOR of entry digests (plus a count) decides
+// equality, and the expensive per-entry string dump is built only when
+// digests disagree and a divergence must be named.
+std::uint64_t flow_entry_digest(const net::FlowKey& masked, const net::FlowMask& mask,
+                                const kern::OdpActions& actions)
+{
+    std::uint64_t h = masked.hash(mask.bits.hash(0x6d61736bULL));
+    for (const auto& a : actions) {
+        std::uint64_t ah = 1469598103934665603ULL;
+        for (const char c : a.to_string()) {
+            ah ^= static_cast<unsigned char>(c);
+            ah *= 1099511628211ULL;
+        }
+        h = (h ^ ah) * 0x9e3779b97f4a7c15ULL;
+    }
+    h ^= h >> 32;
+    return h;
+}
+
 net::FlowMask ebpf_expressible_mask()
 {
     net::FlowMask m = ovs::DpifEbpf::required_mask();
@@ -88,7 +108,7 @@ const DiffRule* DiffRuleset::evaluate(const net::FlowKey& key) const
 {
     const DiffRule* best = nullptr;
     for (const auto& r : rules) {
-        if (!r.mask.matches(key, r.mask.apply(r.match))) continue;
+        if (!r.mask.same_masked(key, r.match)) continue;
         if (!best || r.priority > best->priority) best = &r;
     }
     return best;
@@ -228,11 +248,21 @@ const std::vector<std::string>& known_divergence_tags()
 // ---- datapath instances ------------------------------------------------
 
 struct DifferentialHarness::Instance {
+    // One frame that left the switch: which port emitted it, the exact
+    // bytes, and the trace id of the injected packet it descends from
+    // (rides PacketMeta end to end, XskDesc::options across the umem) —
+    // the id is what lets burst-mode verdicts be split back per step.
+    struct CapturedFrame {
+        std::size_t port;
+        std::vector<std::uint8_t> bytes;
+        std::uint32_t trace_id;
+    };
+
     DpKind kind;
     std::unique_ptr<kern::Kernel> kernel;
     std::vector<kern::PhysicalDevice*> nics;
     std::vector<std::uint32_t> port_nos;
-    std::vector<std::pair<std::size_t, std::vector<std::uint8_t>>> captured;
+    std::vector<CapturedFrame> captured;
 
     std::unique_ptr<ovs::DpifNetdev> netdev;
     std::unique_ptr<kern::OvsKernelDatapath> kdp;
@@ -250,7 +280,10 @@ struct DifferentialHarness::Instance {
         }
     }
 
-    void inject(const DiffPacket& step, sim::Nanos now, std::uint32_t trace_id = 0)
+    // Enqueues one packet into the NIC without draining: the kernel and
+    // eBPF datapaths process synchronously inside rx_from_wire; the
+    // netdev datapath leaves it on the rxq until drain().
+    void enqueue(const DiffPacket& step, sim::Nanos now, std::uint32_t trace_id)
     {
         set_now(now);
         // All instrumentation this instance records while processing the
@@ -260,19 +293,47 @@ struct DifferentialHarness::Instance {
         net::Packet copy = step.pkt;
         copy.meta().trace_id = trace_id;
         nics[step.port]->rx_from_wire(std::move(copy));
+    }
+
+    void drain()
+    {
         if (kind == DpKind::Netdev) {
             while (netdev->pmd_poll_once(pmd) > 0) {
             }
         }
     }
 
+    void inject(const DiffPacket& step, sim::Nanos now, std::uint32_t trace_id = 0)
+    {
+        enqueue(step, now, trace_id);
+        drain();
+    }
+
     Verdict take_verdict()
     {
         Verdict v;
-        v.outputs = std::move(captured);
+        for (auto& f : captured) v.outputs.emplace_back(f.port, std::move(f.bytes));
         captured.clear();
         std::sort(v.outputs.begin(), v.outputs.end());
         return v;
+    }
+
+    // Splits everything captured since the last take into per-step
+    // verdicts for the `count` steps with trace ids [base_id, base_id +
+    // count), attributing each frame to the injected packet it descends
+    // from. Steps that emitted nothing read as drops.
+    std::vector<Verdict> split_verdicts(std::uint32_t base_id, std::size_t count)
+    {
+        std::vector<Verdict> out(count);
+        for (auto& f : captured) {
+            const std::size_t idx =
+                (f.trace_id >= base_id && f.trace_id < base_id + count) ? f.trace_id - base_id
+                                                                        : 0;
+            out[idx].outputs.emplace_back(f.port, std::move(f.bytes));
+        }
+        captured.clear();
+        for (auto& v : out) std::sort(v.outputs.begin(), v.outputs.end());
+        return out;
     }
 
     std::size_t datapath_flow_count() const
@@ -299,97 +360,113 @@ void DifferentialHarness::set_fault(DpKind kind, ActionMutator mutator)
     faults_[static_cast<int>(kind)] = std::move(mutator);
 }
 
+std::unique_ptr<DifferentialHarness::Instance>
+DifferentialHarness::make_instance(DpKind kind) const
+{
+    const net::FlowMask wide_mask = ruleset_.union_mask();
+    auto inst = std::make_unique<Instance>();
+    inst->kind = kind;
+    inst->kernel = std::make_unique<kern::Kernel>();
+    kern::NicConfig ncfg;
+    ncfg.num_queues = opts_.num_queues ? opts_.num_queues : 1;
+    for (std::size_t i = 0; i < opts_.n_ports; ++i) {
+        auto& nic = inst->kernel->add_device<kern::PhysicalDevice>(
+            "eth" + std::to_string(i), net::MacAddr::from_id(static_cast<std::uint64_t>(i + 1)),
+            ncfg);
+        inst->nics.push_back(&nic);
+    }
+
+    switch (kind) {
+    case DpKind::Netdev: {
+        inst->netdev = std::make_unique<ovs::DpifNetdev>(*inst->kernel);
+        inst->netdev->set_emc_insert_inv_prob(1);
+        // A fraction of the per-PMD default: the fuzz corpus cycles over
+        // a few dozen microflows, and EMC table construction/teardown is
+        // O(entries) per instance.
+        inst->netdev->set_emc_entries(1024);
+        // Windowed telemetry over the 1ms-per-step virtual clock, so
+        // run artifacts carry a non-empty "windows" section.
+        inst->netdev->set_window_interval(10 * kStepNanos);
+        inst->pmd = inst->netdev->add_pmd("diff-pmd");
+        // Far fewer umem frames than the bench default: the harness
+        // never holds more than one burst in flight per port, and frame
+        // registration/quiesce scans are O(frames) per instance — at
+        // thousands of instances per soak they dominated setup cost.
+        ovs::AfxdpOptions aopts;
+        aopts.umem_frames = 256;
+        for (auto* nic : inst->nics) {
+            const auto p =
+                inst->netdev->add_port(std::make_unique<ovs::NetdevAfxdp>(*nic, aopts));
+            inst->port_nos.push_back(p);
+            for (std::uint32_t q = 0; q < ncfg.num_queues; ++q) {
+                inst->netdev->pmd_assign(inst->pmd, p, q);
+            }
+        }
+        inst->dpif = inst->netdev.get();
+        for (const auto& [id, cfg] : ruleset_.meters) inst->netdev->meters().set(id, cfg);
+        break;
+    }
+    case DpKind::Kernel: {
+        inst->kdp = std::make_unique<kern::OvsKernelDatapath>(*inst->kernel);
+        for (auto* nic : inst->nics) inst->port_nos.push_back(inst->kdp->add_port(*nic));
+        inst->kdpif = std::make_unique<ovs::DpifKernel>(*inst->kdp);
+        inst->dpif = inst->kdpif.get();
+        for (const auto& [id, cfg] : ruleset_.meters) inst->kdp->meters().set(id, cfg);
+        break;
+    }
+    case DpKind::Ebpf: {
+        inst->ebpf = std::make_unique<ovs::DpifEbpf>(*inst->kernel);
+        for (auto* nic : inst->nics) inst->port_nos.push_back(inst->ebpf->add_port(*nic));
+        inst->dpif = inst->ebpf.get();
+        break;
+    }
+    }
+
+    // Wire output capture: frames leaving port i land in captured.
+    for (std::size_t i = 0; i < opts_.n_ports; ++i) {
+        Instance* raw = inst.get();
+        inst->nics[i]->connect_wire([raw, i](net::Packet&& p) {
+            raw->captured.push_back(
+                {i, std::vector<std::uint8_t>(p.data(), p.data() + p.size()),
+                 p.meta().trace_id});
+        });
+    }
+
+    // The uniform slow path: evaluate the logical ruleset, install
+    // the datapath flow, execute. Identical for every dpif modulo
+    // the per-datapath mask language (and any injected fault).
+    Instance* raw = inst.get();
+    const ActionMutator& fault = faults_[static_cast<int>(kind)];
+    inst->dpif->set_upcall_handler([this, raw, wide_mask, fault](
+                                       std::uint32_t, net::Packet&& pkt,
+                                       const net::FlowKey& key, sim::ExecContext& ctx) {
+        const DiffRule* rule = ruleset_.evaluate(key);
+        kern::OdpActions actions =
+            rule ? rule->actions : kern::OdpActions{kern::OdpAction::drop()};
+        if (fault) fault(actions);
+        if (raw->kind == DpKind::Ebpf) {
+            try {
+                raw->dpif->flow_put(key, ovs::DpifEbpf::required_mask(), actions);
+            } catch (const std::invalid_argument&) {
+                // wildcard-only rulesets can still run via per-packet upcalls
+            }
+        } else {
+            raw->dpif->flow_put(key, wide_mask, actions);
+        }
+        raw->dpif->execute(std::move(pkt), actions, ctx);
+    });
+
+    return inst;
+}
+
 std::vector<std::unique_ptr<DifferentialHarness::Instance>>
 DifferentialHarness::make_instances() const
 {
     std::vector<DpKind> kinds = {DpKind::Netdev, DpKind::Kernel};
     if (opts_.compare_ebpf) kinds.push_back(DpKind::Ebpf);
 
-    const net::FlowMask wide_mask = ruleset_.union_mask();
     std::vector<std::unique_ptr<Instance>> out;
-    for (DpKind kind : kinds) {
-        auto inst = std::make_unique<Instance>();
-        inst->kind = kind;
-        inst->kernel = std::make_unique<kern::Kernel>();
-        kern::NicConfig ncfg;
-        ncfg.num_queues = opts_.num_queues ? opts_.num_queues : 1;
-        for (std::size_t i = 0; i < opts_.n_ports; ++i) {
-            auto& nic = inst->kernel->add_device<kern::PhysicalDevice>(
-                "eth" + std::to_string(i), net::MacAddr::from_id(static_cast<std::uint64_t>(i + 1)),
-                ncfg);
-            inst->nics.push_back(&nic);
-        }
-
-        switch (kind) {
-        case DpKind::Netdev: {
-            inst->netdev = std::make_unique<ovs::DpifNetdev>(*inst->kernel);
-            inst->netdev->set_emc_insert_inv_prob(1);
-            // Windowed telemetry over the 1ms-per-step virtual clock, so
-            // run artifacts carry a non-empty "windows" section.
-            inst->netdev->set_window_interval(10 * kStepNanos);
-            inst->pmd = inst->netdev->add_pmd("diff-pmd");
-            for (auto* nic : inst->nics) {
-                const auto p = inst->netdev->add_port(std::make_unique<ovs::NetdevAfxdp>(*nic));
-                inst->port_nos.push_back(p);
-                for (std::uint32_t q = 0; q < ncfg.num_queues; ++q) {
-                    inst->netdev->pmd_assign(inst->pmd, p, q);
-                }
-            }
-            inst->dpif = inst->netdev.get();
-            for (const auto& [id, cfg] : ruleset_.meters) inst->netdev->meters().set(id, cfg);
-            break;
-        }
-        case DpKind::Kernel: {
-            inst->kdp = std::make_unique<kern::OvsKernelDatapath>(*inst->kernel);
-            for (auto* nic : inst->nics) inst->port_nos.push_back(inst->kdp->add_port(*nic));
-            inst->kdpif = std::make_unique<ovs::DpifKernel>(*inst->kdp);
-            inst->dpif = inst->kdpif.get();
-            for (const auto& [id, cfg] : ruleset_.meters) inst->kdp->meters().set(id, cfg);
-            break;
-        }
-        case DpKind::Ebpf: {
-            inst->ebpf = std::make_unique<ovs::DpifEbpf>(*inst->kernel);
-            for (auto* nic : inst->nics) inst->port_nos.push_back(inst->ebpf->add_port(*nic));
-            inst->dpif = inst->ebpf.get();
-            break;
-        }
-        }
-
-        // Wire output capture: frames leaving port i land in captured.
-        for (std::size_t i = 0; i < opts_.n_ports; ++i) {
-            Instance* raw = inst.get();
-            inst->nics[i]->connect_wire([raw, i](net::Packet&& p) {
-                raw->captured.emplace_back(
-                    i, std::vector<std::uint8_t>(p.data(), p.data() + p.size()));
-            });
-        }
-
-        // The uniform slow path: evaluate the logical ruleset, install
-        // the datapath flow, execute. Identical for every dpif modulo
-        // the per-datapath mask language (and any injected fault).
-        Instance* raw = inst.get();
-        const ActionMutator& fault = faults_[static_cast<int>(kind)];
-        inst->dpif->set_upcall_handler([this, raw, wide_mask, fault](
-                                           std::uint32_t, net::Packet&& pkt,
-                                           const net::FlowKey& key, sim::ExecContext& ctx) {
-            const DiffRule* rule = ruleset_.evaluate(key);
-            kern::OdpActions actions =
-                rule ? rule->actions : kern::OdpActions{kern::OdpAction::drop()};
-            if (fault) fault(actions);
-            if (raw->kind == DpKind::Ebpf) {
-                try {
-                    raw->dpif->flow_put(key, ovs::DpifEbpf::required_mask(), actions);
-                } catch (const std::invalid_argument&) {
-                    // wildcard-only rulesets can still run via per-packet upcalls
-                }
-            } else {
-                raw->dpif->flow_put(key, wide_mask, actions);
-            }
-            raw->dpif->execute(std::move(pkt), actions, ctx);
-        });
-
-        out.push_back(std::move(inst));
-    }
+    for (DpKind kind : kinds) out.push_back(make_instance(kind));
     return out;
 }
 
@@ -401,13 +478,12 @@ DiffReport DifferentialHarness::run_once(const std::vector<DiffPacket>& seq, boo
     bool kernel_tainted = false;
     bool ebpf_tainted = false;
 
-    // Trace every injected packet (id = step + 1): when a divergence is
-    // detected, the per-provider journey of that exact packet is pulled
-    // out of the ring and attached to the divergence. The ring is sized
-    // so a full run fits; restore the tracer's prior state afterwards.
-    const bool tracing_was_enabled = obs::tracer().enabled();
-    obs::tracer().enable(std::max<std::size_t>(4096, seq.size() * 64));
-
+    // The comparison pass runs with the tracer as-is (off, normally:
+    // recording every packet's journey dominated soak wall-clock).
+    // Every packet still carries trace id = step + 1, and when an
+    // unexplained divergence surfaces, attach_traces() replays the
+    // sequence deterministically with the tracer on to recover the
+    // divergent packet's per-provider journey.
     for (std::size_t step = 0; step < seq.size(); ++step) {
         const sim::Nanos now = static_cast<sim::Nanos>(step + 1) * kStepNanos;
         const auto trace_id = static_cast<std::uint32_t>(step + 1);
@@ -427,7 +503,6 @@ DiffReport DifferentialHarness::run_once(const std::vector<DiffPacket>& seq, boo
             d.detail = std::string("netdev=") + verdicts[0].to_string() + " " +
                        to_string(instances[i]->kind) + "=" + verdicts[i].to_string();
             d.explanation = explain_expected_divergence(ruleset_, key, vs_ebpf);
-            d.trace = obs::tracer().dump(trace_id);
             if (d.explanation.empty()) {
                 report.unexplained.push_back(std::move(d));
             } else {
@@ -436,8 +511,6 @@ DiffReport DifferentialHarness::run_once(const std::vector<DiffPacket>& seq, boo
             }
         }
     }
-
-    if (!tracing_was_enabled) obs::tracer().disable();
 
     if (opts_.compare_end_state) {
         const std::size_t end_step = seq.size();
@@ -452,28 +525,51 @@ DiffReport DifferentialHarness::run_once(const std::vector<DiffPacket>& seq, boo
             // divergence names the exact flow, not just a count (eBPF is
             // exact-match only, structurally different — skip it).
             if (!vs_ebpf) {
-                auto dump_sorted = [](const Instance& inst) {
-                    std::vector<std::string> out;
-                    for (const auto& e : inst.dpif->flow_dump()) out.push_back(e.to_string());
-                    std::sort(out.begin(), out.end());
-                    return out;
-                };
-                const auto a = dump_sorted(*instances[0]);
-                const auto b = dump_sorted(other);
-                if (a != b) {
-                    std::vector<std::string> only_a, only_b;
-                    std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
-                                        std::back_inserter(only_a));
-                    std::set_difference(b.begin(), b.end(), a.begin(), a.end(),
-                                        std::back_inserter(only_b));
-                    std::ostringstream os;
-                    os << "flow tables differ: netdev=" << a.size() << " entries, "
-                       << to_string(other.kind) << "=" << b.size();
-                    for (const auto& s : only_a) os << "\n    only-netdev: " << s;
-                    for (const auto& s : only_b) {
-                        os << "\n    only-" << to_string(other.kind) << ": " << s;
+                // Digest-first: netdev and kernel walk their tables
+                // copy-free; the per-entry dump below only runs on a
+                // digest mismatch.
+                auto digest_of = [](const Instance& inst) {
+                    std::uint64_t d = 0;
+                    std::size_t n = 0;
+                    auto acc = [&](const net::FlowKey& k, const net::FlowMask& m,
+                                   const kern::OdpActions& acts) {
+                        d ^= flow_entry_digest(k, m, acts);
+                        ++n;
+                    };
+                    if (inst.netdev) {
+                        inst.netdev->megaflow().for_each_entry(
+                            [&](const ovs::CachedFlow& f, const net::FlowMask& m) {
+                                acc(f.masked_key, m, f.actions);
+                            });
+                    } else if (inst.kdp) {
+                        inst.kdp->for_each_entry(acc);
                     }
-                    report.unexplained.push_back({end_step, os.str(), ""});
+                    return std::pair<std::uint64_t, std::size_t>{d, n};
+                };
+                if (digest_of(*instances[0]) != digest_of(other)) {
+                    auto dump_sorted = [](const Instance& inst) {
+                        std::vector<std::string> out;
+                        for (const auto& e : inst.dpif->flow_dump()) out.push_back(e.to_string());
+                        std::sort(out.begin(), out.end());
+                        return out;
+                    };
+                    const auto a = dump_sorted(*instances[0]);
+                    const auto b = dump_sorted(other);
+                    if (a != b) {
+                        std::vector<std::string> only_a, only_b;
+                        std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                                            std::back_inserter(only_a));
+                        std::set_difference(b.begin(), b.end(), a.begin(), a.end(),
+                                            std::back_inserter(only_b));
+                        std::ostringstream os;
+                        os << "flow tables differ: netdev=" << a.size() << " entries, "
+                           << to_string(other.kind) << "=" << b.size();
+                        for (const auto& s : only_a) os << "\n    only-netdev: " << s;
+                        for (const auto& s : only_b) {
+                            os << "\n    only-" << to_string(other.kind) << ": " << s;
+                        }
+                        report.unexplained.push_back({end_step, os.str(), ""});
+                    }
                 }
             }
 
@@ -482,15 +578,24 @@ DiffReport DifferentialHarness::run_once(const std::vector<DiffPacket>& seq, boo
             // tuples and marks included — so a divergence names the
             // exact connection that drifted.
             {
+                // Structural compare first (entries sort and compare as
+                // values); the string rendering below only runs when a
+                // divergence has to be named.
+                auto snap_sorted = [](const Instance& inst) {
+                    auto v = inst.ct_snapshot();
+                    std::sort(v.begin(), v.end());
+                    return v;
+                };
+                const bool ct_equal = snap_sorted(*instances[0]) == snap_sorted(other);
                 auto dump_ct = [](const Instance& inst) {
                     std::vector<std::string> out;
                     for (const auto& e : inst.ct_snapshot()) out.push_back(e.to_string());
                     std::sort(out.begin(), out.end());
                     return out;
                 };
-                const auto a = dump_ct(*instances[0]);
-                const auto b = dump_ct(other);
-                if (a != b) {
+                const auto a = ct_equal ? std::vector<std::string>{} : dump_ct(*instances[0]);
+                const auto b = ct_equal ? std::vector<std::string>{} : dump_ct(other);
+                if (!ct_equal && a != b) {
                     std::vector<std::string> only_a, only_b;
                     std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
                                         std::back_inserter(only_a));
@@ -538,7 +643,38 @@ DiffReport DifferentialHarness::run_once(const std::vector<DiffPacket>& seq, boo
             if (inst->netdev) inst->netdev->ct().san_check(OVSX_SITE);
         }
     }
+
+    attach_traces(seq, report);
     return report;
+}
+
+void DifferentialHarness::attach_traces(const std::vector<DiffPacket>& seq, DiffReport& report)
+{
+    bool need = false;
+    for (const auto& d : report.unexplained) need = need || d.step < seq.size();
+    if (!need) return;
+
+    // Deterministic replay with the tracer on: instances are rebuilt
+    // from scratch and driven by the identical schedule, so the ring
+    // ends up holding exactly the journeys the comparison pass saw. The
+    // ring is sized so the full run fits; the tracer's prior state is
+    // restored afterwards.
+    const bool tracing_was_enabled = obs::tracer().enabled();
+    obs::tracer().enable(std::max<std::size_t>(4096, seq.size() * 64));
+    auto instances = make_instances();
+    for (std::size_t step = 0; step < seq.size(); ++step) {
+        const sim::Nanos now = static_cast<sim::Nanos>(step + 1) * kStepNanos;
+        for (auto& inst : instances) {
+            inst->inject(seq[step], now, static_cast<std::uint32_t>(step + 1));
+            inst->take_verdict();
+        }
+    }
+    for (auto& d : report.unexplained) {
+        if (d.step < seq.size()) {
+            d.trace = obs::tracer().dump(static_cast<std::uint32_t>(d.step + 1));
+        }
+    }
+    if (!tracing_was_enabled) obs::tracer().disable();
 }
 
 bool DifferentialHarness::subsequence_diverges(const std::vector<DiffPacket>& seq,
@@ -605,6 +741,159 @@ DiffReport DifferentialHarness::run(const std::vector<DiffPacket>& seq)
         if (it != report.unexplained.end()) {
             report.reproducer = minimize(seq, it->step);
         }
+    }
+    return report;
+}
+
+DiffReport DifferentialHarness::run_batch_vs_scalar(const std::vector<DiffPacket>& seq,
+                                                    DpKind kind, std::size_t batch_size)
+{
+    if (batch_size == 0) batch_size = 1;
+    DiffReport report;
+    report.packets_run = seq.size();
+
+    // One side runs the default (vector) configuration, the other is
+    // forced onto the packet-at-a-time spine. For the kernel and eBPF
+    // datapaths both sides are structurally identical — there is no
+    // compute batching there, which is the paper's Table 4 story — so
+    // the mode degenerates to a burst-arrival determinism check.
+    std::unique_ptr<Instance> batch = make_instance(kind);
+    std::unique_ptr<Instance> scalar = make_instance(kind);
+    if (kind == DpKind::Netdev) {
+        scalar->netdev->set_scalar_spine(true);
+        // Windowed telemetry stays with the cross-provider instances
+        // (whose windows feed the run artifacts); publishing a snapshot
+        // per window close on this pair would only burn time.
+        batch->netdev->set_window_interval(0);
+        scalar->netdev->set_window_interval(0);
+    }
+    Instance* sides[2] = {batch.get(), scalar.get()};
+
+    for (std::size_t base = 0; base < seq.size(); base += batch_size) {
+        const std::size_t n = std::min(batch_size, seq.size() - base);
+        // Enqueue the whole chunk before either side drains, so the
+        // vector spine sees real bursts. Both sides share the identical
+        // schedule (and the netdev PMD drains its rxqs in the same
+        // port-major order on both), so processing order is equal even
+        // when it differs from injection order — which is exactly why
+        // the cross-provider mode above must stay per-step while this
+        // same-provider mode may burst.
+        for (Instance* inst : sides) {
+            for (std::size_t k = 0; k < n; ++k) {
+                const std::size_t step = base + k;
+                inst->enqueue(seq[step], static_cast<sim::Nanos>(step + 1) * kStepNanos,
+                              static_cast<std::uint32_t>(step + 1));
+            }
+            inst->drain();
+        }
+        auto bv = batch->split_verdicts(static_cast<std::uint32_t>(base + 1), n);
+        auto sv = scalar->split_verdicts(static_cast<std::uint32_t>(base + 1), n);
+        for (std::size_t k = 0; k < n; ++k) {
+            if (bv[k] == sv[k]) continue;
+            report.unexplained.push_back({base + k,
+                                          "batch=" + bv[k].to_string() +
+                                              " scalar=" + sv[k].to_string(),
+                                          ""});
+        }
+    }
+
+    // End state: same provider on both sides, so flow tables (eBPF
+    // included), conntrack, and the semantic pipeline counters must all
+    // match exactly. Transport telemetry (batch.occupancy/flush,
+    // doorbells, lock counts) is deliberately excluded: batching may
+    // change how packets are moved, never what they did.
+    const std::size_t end_step = seq.size();
+    auto diff_scalar = [&](const char* what, std::uint64_t b, std::uint64_t s) {
+        if (b == s) return;
+        report.unexplained.push_back({end_step,
+                                      std::string(what) + " differs: batch=" +
+                                          std::to_string(b) +
+                                          " scalar=" + std::to_string(s),
+                                      ""});
+    };
+    auto joined = [](std::vector<std::string> v) {
+        std::sort(v.begin(), v.end());
+        std::string out;
+        for (const auto& s : v) {
+            out += s;
+            out += "; ";
+        }
+        return out;
+    };
+    {
+        auto flows = [&](const Instance& inst) {
+            std::vector<std::string> out;
+            for (const auto& e : inst.dpif->flow_dump()) out.push_back(e.to_string());
+            return joined(std::move(out));
+        };
+        auto ct = [&](const Instance& inst) {
+            std::vector<std::string> out;
+            for (const auto& e : inst.ct_snapshot()) out.push_back(e.to_string());
+            return joined(std::move(out));
+        };
+        // Fast path for the fuzz soak: an order-independent digest over
+        // the megaflow entries (no copies, no strings). The full string
+        // dump — which names the exact divergent flow — is built only
+        // when the digests disagree.
+        bool flows_match_cheaply = false;
+        if (kind == DpKind::Netdev) {
+            auto digest = [](Instance& inst) {
+                std::uint64_t d = 0;
+                std::size_t n = 0;
+                inst.netdev->megaflow().for_each_entry(
+                    [&](const ovs::CachedFlow& f, const net::FlowMask& m) {
+                        d ^= flow_entry_digest(f.masked_key, m, f.actions);
+                        ++n;
+                    });
+                return std::pair<std::uint64_t, std::size_t>{d, n};
+            };
+            flows_match_cheaply = digest(*batch) == digest(*scalar);
+        }
+        if (!flows_match_cheaply) {
+            const std::string bf = flows(*batch), sf = flows(*scalar);
+            if (bf != sf) {
+                report.unexplained.push_back(
+                    {end_step, "flow tables differ: batch={" + bf + "} scalar={" + sf + "}", ""});
+            }
+        }
+        auto snap_sorted = [](const Instance& inst) {
+            auto v = inst.ct_snapshot();
+            std::sort(v.begin(), v.end());
+            return v;
+        };
+        if (snap_sorted(*batch) != snap_sorted(*scalar)) {
+            const std::string bc = ct(*batch), sc = ct(*scalar);
+            report.unexplained.push_back(
+                {end_step, "conntrack differs: batch={" + bc + "} scalar={" + sc + "}", ""});
+        }
+    }
+    switch (kind) {
+    case DpKind::Netdev: {
+        static const char* const kSemantic[] = {"emc.hit",       "emc.miss",
+                                                "megaflow.hit",  "megaflow.miss",
+                                                "dpif_netdev.upcall", "meter.drop"};
+        sim::ExecContext& bc = batch->netdev->pmd_ctx(batch->pmd);
+        sim::ExecContext& sc = scalar->netdev->pmd_ctx(scalar->pmd);
+        for (const char* name : kSemantic) diff_scalar(name, bc.counter(name), sc.counter(name));
+        diff_scalar("upcalls", batch->netdev->upcalls(), scalar->netdev->upcalls());
+        diff_scalar("dropped", batch->netdev->dropped(), scalar->netdev->dropped());
+        break;
+    }
+    case DpKind::Kernel:
+        diff_scalar("kdp.hits", batch->kdp->hits(), scalar->kdp->hits());
+        diff_scalar("kdp.misses", batch->kdp->misses(), scalar->kdp->misses());
+        diff_scalar("kdp.lost", batch->kdp->lost(), scalar->kdp->lost());
+        break;
+    case DpKind::Ebpf:
+        diff_scalar("ebpf.hits", batch->ebpf->hits(), scalar->ebpf->hits());
+        diff_scalar("ebpf.misses", batch->ebpf->misses(), scalar->ebpf->misses());
+        break;
+    }
+
+    for (Instance* inst : sides) {
+        inst->dpif->san_check(OVSX_SITE);
+        inst->kernel->conntrack().san_check(OVSX_SITE);
+        if (inst->netdev) inst->netdev->ct().san_check(OVSX_SITE);
     }
     return report;
 }

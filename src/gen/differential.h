@@ -80,8 +80,11 @@ struct Divergence {
     std::string detail;      // per-datapath verdicts / state difference
     std::string explanation; // empty = unexplained conformance bug
     // obs trace of the divergent packet's journey through every
-    // provider (grouped by domain), captured from the trace ring at
-    // detection time. Empty for end-state divergences.
+    // provider (grouped by domain). The main comparison pass runs with
+    // the tracer off (it dominated soak wall-clock); when an unexplained
+    // divergence surfaces, the identical sequence is deterministically
+    // re-run with tracing on and the trace regenerated from the replay.
+    // Empty for end-state and explained divergences.
     std::string trace;
 };
 
@@ -125,11 +128,28 @@ public:
     // Each call starts from fresh datapath instances.
     DiffReport run(const std::vector<DiffPacket>& seq);
 
+    // Batch-vs-scalar self-check for the vector spine: two instances of
+    // the SAME datapath kind — one processing full bursts, one forced
+    // onto the packet-at-a-time spine — share an identical injection
+    // schedule (`batch_size` packets are enqueued before either side
+    // drains, so both sides see the same arrival order AND the batch
+    // side sees real bursts). Per-step verdicts are re-attributed by
+    // trace id, then verdict vectors, end state (flow table + ct), and
+    // semantic counters (EMC/megaflow/upcall/meter — not transport
+    // counters like doorbells or batch.occupancy) are diffed. There is
+    // no allowlist and no minimizer here: the two sides run identical
+    // rulesets on one provider, so ANY divergence is an unexplained bug
+    // in the batch path.
+    DiffReport run_batch_vs_scalar(const std::vector<DiffPacket>& seq, DpKind kind,
+                                   std::size_t batch_size);
+
 private:
     struct Instance;
 
+    std::unique_ptr<Instance> make_instance(DpKind kind) const;
     std::vector<std::unique_ptr<Instance>> make_instances() const;
     DiffReport run_once(const std::vector<DiffPacket>& seq, bool allow_minimize);
+    void attach_traces(const std::vector<DiffPacket>& seq, DiffReport& report);
     bool subsequence_diverges(const std::vector<DiffPacket>& seq,
                               const std::vector<std::size_t>& steps);
     Reproducer minimize(const std::vector<DiffPacket>& seq, std::size_t fail_step);

@@ -29,6 +29,12 @@ struct FuzzConfig {
     bool use_meters = false; // meter actions (explained divergence on eBPF)
     bool use_fragments = false;    // re-badge some UDP frames as IP fragments
     bool use_extra_encaps = false; // rotate VXLAN/ERSPAN outers alongside Geneve
+    // Batch-vs-scalar self-check: each iteration additionally drives the
+    // identical sequence through a vector-spine and a forced-scalar
+    // netdev instance under one chunked injection schedule and folds any
+    // divergence (there is no allowlist for this mode) into the report.
+    // 0 disables; 1 degenerates to per-packet injection.
+    std::size_t batch_size = 32;
 };
 
 // Generates a random but eBPF-conscious ruleset: most rules match only

@@ -117,16 +117,17 @@ void OvsKernelDatapath::flow_put(const net::FlowKey& key, const net::FlowMask& m
                                  OdpActions actions)
 {
     const net::FlowKey masked = mask.apply(key);
+    auto ref = std::make_shared<const OdpActions>(std::move(actions));
     for (auto& sub : subtables_) {
         if (sub.mask == mask) {
             auto& bucket = sub.flows[masked.hash()];
             for (auto& [k, a] : bucket) {
                 if (k == masked) {
-                    a = std::move(actions);
+                    a = std::move(ref);
                     return;
                 }
             }
-            bucket.emplace_back(masked, std::move(actions));
+            bucket.emplace_back(masked, std::move(ref));
             ++sub.size;
             san::audit_add(san_scope_, "kdp.flow", flow_audit_key(masked, mask), OVSX_SITE);
             return;
@@ -134,7 +135,7 @@ void OvsKernelDatapath::flow_put(const net::FlowKey& key, const net::FlowMask& m
     }
     Subtable sub;
     sub.mask = mask;
-    sub.flows[masked.hash()].emplace_back(masked, std::move(actions));
+    sub.flows[masked.hash()].emplace_back(masked, std::move(ref));
     sub.size = 1;
     subtables_.push_back(std::move(sub));
     san::audit_add(san_scope_, "kdp.flow", flow_audit_key(masked, mask), OVSX_SITE);
@@ -184,7 +185,7 @@ std::vector<OdpFlowEntry> OvsKernelDatapath::flow_dump() const
     for (const auto& sub : subtables_) {
         for (const auto& [hash, bucket] : sub.flows) {
             for (const auto& [k, actions] : bucket) {
-                out.push_back(OdpFlowEntry{k, sub.mask, actions});
+                out.push_back(OdpFlowEntry{k, sub.mask, *actions});
             }
         }
     }
@@ -203,12 +204,11 @@ OvsKernelDatapath::LookupResult OvsKernelDatapath::lookup(const net::FlowKey& ke
     for (auto& sub : subtables_) {
         ++res.probes;
         ctx.charge(kernel_.costs().kdp_flow_probe);
-        const net::FlowKey masked = sub.mask.apply(key);
-        auto it = sub.flows.find(masked.hash());
+        auto it = sub.flows.find(sub.mask.masked_hash(key));
         if (it == sub.flows.end()) continue;
         for (const auto& [k, actions] : it->second) {
-            if (k == masked) {
-                res.actions = &actions;
+            if (sub.mask.matches(key, k)) {
+                res.actions = actions;
                 return res;
             }
         }
@@ -234,9 +234,9 @@ void OvsKernelDatapath::receive(std::uint32_t port_no, net::Packet&& pkt, sim::E
             obs::trace(pkt.meta().trace_id, obs::Hop::KernelFlow, pkt.meta().latency_ns,
                        "hit", res.probes);
         }
-        // Copy: executing may install flows and reenter.
-        const OdpActions actions = *res.actions;
-        execute(std::move(pkt), actions, ctx);
+        // The shared reference keeps the actions alive even if execution
+        // installs a replacement flow and re-enters.
+        execute(std::move(pkt), *res.actions, ctx);
         return;
     }
     ++misses_;
@@ -257,6 +257,18 @@ void OvsKernelDatapath::receive(std::uint32_t port_no, net::Packet&& pkt, sim::E
     }
     ctx.charge(costs.upcall / 10); // kernel-side upcall enqueue share
     upcall_(port_no, std::move(pkt), key, ctx);
+}
+
+void OvsKernelDatapath::receive_batch(std::uint32_t port_no, std::vector<net::Packet>&& pkts,
+                                      sim::ExecContext& ctx)
+{
+    if (pkts.empty()) return;
+    OVSX_COVERAGE_CTX(ctx, "batch.flush");
+    OVSX_COVERAGE_CTX_N(ctx, "batch.occupancy", pkts.size());
+    for (auto& pkt : pkts) {
+        receive(port_no, std::move(pkt), ctx);
+    }
+    pkts.clear();
 }
 
 void OvsKernelDatapath::tunnel_rx(net::Packet&& pkt, const net::FlowKey& key,
@@ -373,8 +385,7 @@ void OvsKernelDatapath::execute(net::Packet&& pkt, const OdpActions& actions,
             const LookupResult res = lookup(key, ctx);
             if (res.actions) {
                 ++hits_;
-                const OdpActions next = *res.actions;
-                execute(std::move(pkt), next, ctx);
+                execute(std::move(pkt), *res.actions, ctx);
             } else {
                 ++misses_;
                 if (upcall_) {

@@ -68,6 +68,18 @@ public:
     // Every installed flow, for per-entry end-state diffing.
     std::vector<OdpFlowEntry> flow_dump() const;
 
+    // Copy-free walk over (masked key, mask, actions): the differential
+    // harness digests end state through this and only materializes the
+    // full dump when digests disagree.
+    template <typename Fn> void for_each_entry(Fn&& fn) const
+    {
+        for (const auto& sub : subtables_) {
+            for (const auto& [hash, bucket] : sub.flows) {
+                for (const auto& [k, actions] : bucket) fn(k, sub.mask, *actions);
+            }
+        }
+    }
+
     // Cross-checks the san table audit against the real table.
     void san_check(san::Site site) const;
 
@@ -86,6 +98,14 @@ public:
     // Ingress entry (wired as the rx handler of every device port).
     void receive(std::uint32_t port_no, net::Packet&& pkt, sim::ExecContext& ctx);
 
+    // Burst ingress: the whole vector is admitted at once (one rx
+    // doorbell amortized over the burst), then each packet runs the
+    // per-packet path — the kernel datapath has no compute batching,
+    // which is exactly the paper's Table 4 story. Publishes the same
+    // batch.occupancy/batch.flush telemetry as the userspace spine.
+    void receive_batch(std::uint32_t port_no, std::vector<net::Packet>&& pkts,
+                       sim::ExecContext& ctx);
+
     // Executes actions on a packet (also the userspace re-injection path,
     // OVS_PACKET_CMD_EXECUTE).
     void execute(net::Packet&& pkt, const OdpActions& actions, sim::ExecContext& ctx);
@@ -100,15 +120,21 @@ public:
     std::size_t mask_count() const { return subtables_.size(); }
 
 private:
+    // Actions are held by shared_ptr so a lookup result stays valid
+    // while its packet executes, even when execution re-enters flow_put
+    // and replaces the entry (previously guarded by a per-packet deep
+    // copy of the action list).
+    using ActionsRef = std::shared_ptr<const OdpActions>;
+
     struct Subtable {
         net::FlowMask mask;
-        std::unordered_map<std::uint64_t, std::vector<std::pair<net::FlowKey, OdpActions>>>
+        std::unordered_map<std::uint64_t, std::vector<std::pair<net::FlowKey, ActionsRef>>>
             flows; // hash(masked key) -> entries
         std::size_t size = 0;
     };
 
     struct LookupResult {
-        const OdpActions* actions = nullptr;
+        ActionsRef actions;
         int probes = 0;
     };
 

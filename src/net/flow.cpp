@@ -1,21 +1,46 @@
 #include "net/flow.h"
 
+#include <cstring>
 #include <sstream>
 
 #include "net/headers.h"
 
 namespace ovsx::net {
 
+namespace {
+
+// The key structs are laid out with explicit zeroed padding and a size
+// that is a multiple of 8, so they can be processed as 64-bit lanes
+// (via memcpy, which compiles to plain loads). The byte-at-a-time
+// versions of hash/apply/matches were the hottest functions of the
+// differential soak.
+constexpr std::size_t kKeyLanes = sizeof(FlowKey) / sizeof(std::uint64_t);
+static_assert(sizeof(FlowKey) % sizeof(std::uint64_t) == 0,
+              "FlowKey must be a whole number of 64-bit lanes");
+
+inline std::uint64_t lane(const void* base, std::size_t i)
+{
+    std::uint64_t w;
+    std::memcpy(&w, static_cast<const std::uint8_t*>(base) + i * sizeof w, sizeof w);
+    return w;
+}
+
+} // namespace
+
 std::uint64_t FlowKey::hash(std::uint64_t basis) const
 {
-    // FNV-1a over the raw struct bytes; all padding is explicitly zeroed
-    // by the constructor so this is well-defined.
-    const auto* p = reinterpret_cast<const std::uint8_t*>(this);
-    std::uint64_t h = 1469598103934665603ULL ^ basis;
-    for (std::size_t i = 0; i < sizeof *this; ++i) {
-        h ^= p[i];
-        h *= 1099511628211ULL;
+    // Word-at-a-time hash with a splitmix64-style avalanche per lane;
+    // all padding is explicitly zeroed by the constructor so hashing
+    // raw memory is well-defined.
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ basis;
+    for (std::size_t i = 0; i < kKeyLanes; ++i) {
+        std::uint64_t w = lane(this, i);
+        w *= 0xbf58476d1ce4e5b9ULL;
+        w ^= w >> 31;
+        w *= 0x94d049bb133111ebULL;
+        h = (h ^ w) * 0x2545f4914f6cdd1dULL;
     }
+    h ^= h >> 32;
     return h;
 }
 
@@ -42,23 +67,46 @@ std::string FlowKey::to_string() const
     return os.str();
 }
 
+std::uint64_t FlowMask::masked_hash(const FlowKey& key, std::uint64_t basis) const
+{
+    // Must stay bit-identical to apply(key).hash(basis): megaflow
+    // buckets are keyed by the insert-time masked hash.
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ basis;
+    for (std::size_t i = 0; i < kKeyLanes; ++i) {
+        std::uint64_t w = lane(&key, i) & lane(&bits, i);
+        w *= 0xbf58476d1ce4e5b9ULL;
+        w ^= w >> 31;
+        w *= 0x94d049bb133111ebULL;
+        h = (h ^ w) * 0x2545f4914f6cdd1dULL;
+    }
+    h ^= h >> 32;
+    return h;
+}
+
 FlowKey FlowMask::apply(const FlowKey& key) const
 {
     FlowKey out;
-    const auto* k = reinterpret_cast<const std::uint8_t*>(&key);
-    const auto* m = reinterpret_cast<const std::uint8_t*>(&bits);
     auto* o = reinterpret_cast<std::uint8_t*>(&out);
-    for (std::size_t i = 0; i < sizeof(FlowKey); ++i) o[i] = k[i] & m[i];
+    for (std::size_t i = 0; i < kKeyLanes; ++i) {
+        const std::uint64_t w = lane(&key, i) & lane(&bits, i);
+        std::memcpy(o + i * sizeof w, &w, sizeof w);
+    }
     return out;
 }
 
 bool FlowMask::matches(const FlowKey& key, const FlowKey& masked_key) const
 {
-    const auto* k = reinterpret_cast<const std::uint8_t*>(&key);
-    const auto* m = reinterpret_cast<const std::uint8_t*>(&bits);
-    const auto* t = reinterpret_cast<const std::uint8_t*>(&masked_key);
-    for (std::size_t i = 0; i < sizeof(FlowKey); ++i) {
-        if ((k[i] & m[i]) != t[i]) return false;
+    for (std::size_t i = 0; i < kKeyLanes; ++i) {
+        if ((lane(&key, i) & lane(&bits, i)) != lane(&masked_key, i)) return false;
+    }
+    return true;
+}
+
+bool FlowMask::same_masked(const FlowKey& a, const FlowKey& b) const
+{
+    for (std::size_t i = 0; i < kKeyLanes; ++i) {
+        const std::uint64_t m = lane(&bits, i);
+        if ((lane(&a, i) & m) != (lane(&b, i) & m)) return false;
     }
     return true;
 }

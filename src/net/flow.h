@@ -90,9 +90,18 @@ struct FlowMask {
     // Returns key & mask.
     FlowKey apply(const FlowKey& key) const;
 
+    // Hash of apply(key) without materializing the masked copy —
+    // identical to apply(key).hash(basis). The per-subtable probe of
+    // every megaflow/kernel lookup was the soak's hottest path.
+    std::uint64_t masked_hash(const FlowKey& key, std::uint64_t basis = 0) const;
+
     // True if `key` masked equals `masked_key` (which must already be
     // masked by this mask).
     bool matches(const FlowKey& key, const FlowKey& masked_key) const;
+
+    // True if two unmasked keys agree on every bit this mask covers —
+    // apply(a) == apply(b) without materializing either copy.
+    bool same_masked(const FlowKey& a, const FlowKey& b) const;
 
     // Number of fully exact bytes in the mask — a crude specificity
     // measure used to order subtable probes.

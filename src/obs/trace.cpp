@@ -1,5 +1,7 @@
 #include "obs/trace.h"
 
+#include <algorithm>
+
 #include "obs/latency.h"
 
 namespace ovsx::obs {
@@ -36,7 +38,15 @@ std::string TraceEvent::to_string() const
 void Tracer::enable(std::size_t capacity)
 {
     enabled_ = true;
-    ring_.assign(capacity ? capacity : 1, TraceEvent{});
+    if (capacity == 0) capacity = 1;
+    if (ring_.size() == capacity) {
+        // Re-enabling at the same capacity (the differential harness does
+        // this once per run) reuses the allocation; stale events are
+        // unreachable because head_/recorded_ reset.
+        std::fill(ring_.begin(), ring_.end(), TraceEvent{});
+    } else {
+        ring_.assign(capacity, TraceEvent{});
+    }
     head_ = 0;
     recorded_ = 0;
 }
@@ -73,8 +83,16 @@ std::vector<TraceEvent> Tracer::all() const
 
 std::vector<TraceEvent> Tracer::events_for(std::uint32_t packet_id) const
 {
+    // Scans the ring in place (oldest surviving event first) instead of
+    // materializing all(): dump() runs per divergence and the full-copy
+    // version dominated fuzz-soak profiles.
     std::vector<TraceEvent> out;
-    for (const TraceEvent& ev : all()) {
+    if (ring_.empty()) return out;
+    const std::size_t n = recorded_ < ring_.size() ? static_cast<std::size_t>(recorded_)
+                                                   : ring_.size();
+    const std::size_t start = recorded_ < ring_.size() ? 0 : head_;
+    for (std::size_t i = 0; i < n; ++i) {
+        const TraceEvent& ev = ring_[(start + i) % ring_.size()];
         if (ev.packet_id == packet_id) out.push_back(ev);
     }
     return out;

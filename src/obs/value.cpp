@@ -16,6 +16,10 @@ Value& Value::set(std::string key, Value v)
             return *this;
         }
     }
+    // Most objects carry a handful of members; growing 1->2->4->...
+    // reallocated on nearly every insert in hot snapshot builders
+    // (windowed telemetry publishes a tree per window close).
+    if (members_.empty()) members_.reserve(8);
     members_.emplace_back(std::move(key), std::move(v));
     return *this;
 }
@@ -23,6 +27,7 @@ Value& Value::set(std::string key, Value v)
 Value& Value::push(Value v)
 {
     kind_ = Kind::Array;
+    if (items_.empty()) items_.reserve(8);
     items_.push_back(std::move(v));
     return *this;
 }

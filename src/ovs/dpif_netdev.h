@@ -9,6 +9,7 @@
 #include <optional>
 #include <vector>
 
+#include "net/packet_batch.h"
 #include "net/tunnel.h"
 #include "obs/window.h"
 #include "ovs/ct.h"
@@ -65,9 +66,19 @@ public:
     // (the pre-O1 configuration).
     std::uint32_t main_thread_poll_once(sim::ExecContext& ctx);
 
-    // Datapath entry: run a received batch through the pipeline.
+    // Datapath entry: run a received batch through the pipeline. By
+    // default this is the vector spine — bursts are processed through a
+    // PacketBatch in two phases (classify the whole vector, then resolve
+    // and execute strictly in packet order) so per-packet semantics,
+    // counters, and trace spans match the scalar path exactly.
     void process_batch(std::uint32_t in_port, std::vector<net::Packet>&& batch,
                        sim::ExecContext& ctx);
+
+    // Forces the pre-batching packet-at-a-time spine (also settable via
+    // the OVSX_SCALAR_SPINE env var). Kept for before/after benchmarking
+    // and for the batch-vs-scalar differential mode.
+    void set_scalar_spine(bool scalar) { scalar_spine_ = scalar; }
+    bool scalar_spine() const { return scalar_spine_; }
 
     // ---- subsystems ---------------------------------------------------------------
     Emc& emc() { return emc_; }
@@ -120,6 +131,12 @@ public:
         emc_insert_inv_prob_ = inv_prob ? inv_prob : 1;
     }
 
+    // Replaces the EMC with a fresh table of `entries` slots (discards
+    // any cached flows — meant for configuration time, before traffic).
+    // The differential harness sizes its thousands of short-lived
+    // instances well below OVS's per-PMD 8192 default.
+    void set_emc_entries(std::uint32_t entries) { emc_ = Emc(entries); }
+
     std::uint64_t upcalls() const { return upcall_count_; }
     std::uint64_t dropped() const { return dropped_; }
 
@@ -149,6 +166,7 @@ private:
     bool maybe_rebalance(double min_improvement);
 
     void pipeline(net::Packet&& pkt, sim::ExecContext& ctx, int depth);
+    void process_vector(std::uint32_t in_port, net::PacketBatch& vec, sim::ExecContext& ctx);
     void output(net::Packet&& pkt, std::uint32_t port_no, sim::ExecContext& ctx);
     void output_tunnel(net::Packet&& pkt, const Port& vport, sim::ExecContext& ctx);
     bool try_tunnel_decap(net::Packet& pkt, sim::ExecContext& ctx);
@@ -170,6 +188,9 @@ private:
     std::vector<Pmd> pmds_;
     std::map<std::uint32_t, std::vector<net::Packet>> out_batches_;
     bool batching_outputs_ = false;
+    net::PacketBatch batch_scratch_; // reused by process_batch
+    bool batch_scratch_busy_ = false;
+    bool scalar_spine_ = false;
     std::vector<net::Packet> punted_;
     sim::Nanos now_ = 0;
     std::uint64_t upcall_count_ = 0;

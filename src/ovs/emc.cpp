@@ -9,11 +9,19 @@ Emc::Emc(std::uint32_t entries) : entries_(entries), mask_(entries - 1)
     if (entries == 0 || (entries & mask_) != 0) {
         throw std::invalid_argument("Emc: entries must be a power of two");
     }
-    table_.resize(static_cast<std::size_t>(entries_) * kWays);
+    // The table itself is materialized on first insert: an OVS-default
+    // table is ~2 MB of zeroed entries, and the differential harness
+    // constructs hundreds of short-lived datapaths (and immediately
+    // replaces the default with a smaller table via set_emc_entries),
+    // so eager allocation dominated soak profiles.
 }
 
 CachedFlow* Emc::lookup(const net::FlowKey& key, std::uint64_t hash)
 {
+    if (table_.empty()) {
+        ++misses_;
+        return nullptr;
+    }
     const std::size_t base = static_cast<std::size_t>(hash & mask_) * kWays;
     for (int w = 0; w < kWays; ++w) {
         Entry& e = table_[base + static_cast<std::size_t>(w)];
@@ -31,8 +39,56 @@ CachedFlow* Emc::lookup(const net::FlowKey& key, std::uint64_t hash)
     return nullptr;
 }
 
+CachedFlowPtr Emc::lookup_ref(const net::FlowKey& key, std::uint64_t hash)
+{
+    if (table_.empty()) {
+        ++misses_;
+        return nullptr;
+    }
+    const std::size_t base = static_cast<std::size_t>(hash & mask_) * kWays;
+    for (int w = 0; w < kWays; ++w) {
+        Entry& e = table_[base + static_cast<std::size_t>(w)];
+        if (e.valid && e.hash == hash && e.key == key) {
+            if (e.flow->dead) {
+                e.valid = false;
+                --occupancy_;
+                continue;
+            }
+            ++hits_;
+            return e.flow;
+        }
+    }
+    ++misses_;
+    return nullptr;
+}
+
+const CachedFlow* Emc::peek(const net::FlowKey& key, std::uint64_t hash) const
+{
+    if (table_.empty()) return nullptr;
+    const std::size_t base = static_cast<std::size_t>(hash & mask_) * kWays;
+    for (int w = 0; w < kWays; ++w) {
+        const Entry& e = table_[base + static_cast<std::size_t>(w)];
+        if (e.valid && e.hash == hash && e.key == key && !e.flow->dead) {
+            return e.flow.get();
+        }
+    }
+    return nullptr;
+}
+
+void Emc::prefetch(std::uint64_t hash) const
+{
+    if (table_.empty()) return;
+    const std::size_t base = static_cast<std::size_t>(hash & mask_) * kWays;
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&table_[base], 0, 3);
+#else
+    (void)base;
+#endif
+}
+
 void Emc::insert(const net::FlowKey& key, std::uint64_t hash, CachedFlowPtr flow)
 {
+    if (table_.empty()) table_.resize(static_cast<std::size_t>(entries_) * kWays);
     const std::size_t base = static_cast<std::size_t>(hash & mask_) * kWays;
     // Prefer an invalid way; otherwise evict the way with fewer hits.
     std::size_t victim = base;

@@ -37,6 +37,21 @@ public:
     // Looks up a full (unmasked) key. Returns nullptr on miss.
     CachedFlow* lookup(const net::FlowKey& key, std::uint64_t hash);
 
+    // As lookup(), but returns a shared reference so batched/deferred
+    // action execution survives a concurrent flow_put or revalidator
+    // sweep invalidating the entry mid-burst.
+    CachedFlowPtr lookup_ref(const net::FlowKey& key, std::uint64_t hash);
+
+    // Read-only probe: no hit/miss accounting, no dead-entry eviction.
+    // The vector spine peeks in its classify phase to partition the
+    // burst, then resolves each packet in order with lookup()/
+    // lookup_ref() so stats and eviction happen exactly as scalar.
+    const CachedFlow* peek(const net::FlowKey& key, std::uint64_t hash) const;
+
+    // Software prefetch of the 2-way bucket for `hash`, issued one
+    // packet ahead of the lookup stage.
+    void prefetch(std::uint64_t hash) const;
+
     // Inserts a full key -> flow association (on megaflow hit, so the
     // next packet of this microflow short-circuits).
     void insert(const net::FlowKey& key, std::uint64_t hash, CachedFlowPtr flow);

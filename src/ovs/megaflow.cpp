@@ -22,11 +22,10 @@ MegaflowCache::LookupResult MegaflowCache::lookup(const net::FlowKey& key)
     LookupResult res;
     for (auto& sub : subtables_) {
         ++res.probes;
-        const net::FlowKey masked = sub.mask.apply(key);
-        auto it = sub.flows.find(masked.hash());
+        auto it = sub.flows.find(sub.mask.masked_hash(key));
         if (it == sub.flows.end()) continue;
         for (auto& flow : it->second) {
-            if (!flow->dead && flow->masked_key == masked) {
+            if (!flow->dead && sub.mask.matches(key, flow->masked_key)) {
                 ++hits_;
                 ++sub.hit_count;
                 res.flow = flow;
@@ -38,9 +37,47 @@ MegaflowCache::LookupResult MegaflowCache::lookup(const net::FlowKey& key)
     return res;
 }
 
+void MegaflowCache::lookup_batch(const net::FlowKey* const keys[], std::size_t n,
+                                 LookupResult out[]) const
+{
+    for (std::size_t i = 0; i < n; ++i) out[i] = LookupResult{};
+    std::size_t unresolved = n;
+    for (std::size_t s = 0; s < subtables_.size() && unresolved > 0; ++s) {
+        const Subtable& sub = subtables_[s];
+        for (std::size_t i = 0; i < n; ++i) {
+            if (out[i].flow) continue;
+            ++out[i].probes;
+            auto it = sub.flows.find(sub.mask.masked_hash(*keys[i]));
+            if (it == sub.flows.end()) continue;
+            for (const auto& flow : it->second) {
+                if (!flow->dead && sub.mask.matches(*keys[i], flow->masked_key)) {
+                    out[i].flow = flow;
+                    out[i].subtable = static_cast<int>(s);
+                    --unresolved;
+                    break;
+                }
+            }
+        }
+    }
+}
+
+void MegaflowCache::commit(const LookupResult& res)
+{
+    if (res.flow) {
+        ++hits_;
+        if (res.subtable >= 0 &&
+            static_cast<std::size_t>(res.subtable) < subtables_.size()) {
+            ++subtables_[static_cast<std::size_t>(res.subtable)].hit_count;
+        }
+    } else {
+        ++misses_;
+    }
+}
+
 CachedFlowPtr MegaflowCache::insert(const net::FlowKey& key, const net::FlowMask& mask,
                                     kern::OdpActions actions)
 {
+    ++epoch_;
     const net::FlowKey masked = mask.apply(key);
     auto flow = std::make_shared<CachedFlow>();
     flow->masked_key = masked;
@@ -83,6 +120,7 @@ bool MegaflowCache::remove(const net::FlowKey& key, const net::FlowMask& mask)
         auto& bucket = it->second;
         for (auto bit = bucket.begin(); bit != bucket.end(); ++bit) {
             if ((*bit)->masked_key == masked) {
+                ++epoch_;
                 (*bit)->dead = true;
                 bucket.erase(bit);
                 --sub.size;
@@ -97,6 +135,7 @@ bool MegaflowCache::remove(const net::FlowKey& key, const net::FlowMask& mask)
 
 void MegaflowCache::clear()
 {
+    ++epoch_;
     for_each([](CachedFlowPtr& flow) { flow->dead = true; });
     subtables_.clear();
     san::audit_clear(san_scope_, "mfc.flow");
@@ -111,6 +150,7 @@ std::size_t MegaflowCache::flow_count() const
 
 std::size_t MegaflowCache::expire_idle()
 {
+    ++epoch_;
     std::size_t removed = 0;
     for (auto& sub : subtables_) {
         for (auto& [h, bucket] : sub.flows) {
@@ -133,6 +173,7 @@ std::size_t MegaflowCache::expire_idle()
 
 void MegaflowCache::rerank()
 {
+    ++epoch_;
     std::stable_sort(subtables_.begin(), subtables_.end(),
                      [](const Subtable& a, const Subtable& b) {
                          return a.hit_count > b.hit_count;

@@ -18,9 +18,29 @@ public:
     struct LookupResult {
         CachedFlowPtr flow; // null on miss
         int probes = 0;     // subtables probed (drives lookup cost)
+        int subtable = -1;  // index of the matching subtable (batch commit)
     };
 
     LookupResult lookup(const net::FlowKey& key);
+
+    // Stats-free classification of a whole burst in one subtable-major
+    // pass: each subtable's mask is applied to every still-unresolved
+    // key before moving to the next subtable, so the mask and its
+    // buckets stay hot across the vector (the VPP trick). Probe counts
+    // match what per-packet lookup() would report. Pair each result
+    // with commit() — in packet order — to apply the hit/miss and
+    // ranking stats, or redo lookup() per packet if epoch() moved.
+    void lookup_batch(const net::FlowKey* const keys[], std::size_t n,
+                      LookupResult out[]) const;
+
+    // Applies the stats lookup() would have recorded for `res`. Only
+    // valid while epoch() still equals the value snapshotted before
+    // lookup_batch (subtable indices are stable across an epoch).
+    void commit(const LookupResult& res);
+
+    // Bumped by any structural mutation (insert/remove/expire/rerank/
+    // clear); lets a batched lookup detect that its snapshot went stale.
+    std::uint64_t epoch() const { return epoch_; }
 
     // Installs a flow; replaces an existing identical masked entry.
     CachedFlowPtr insert(const net::FlowKey& key, const net::FlowMask& mask,
@@ -78,6 +98,7 @@ private:
     std::vector<Subtable> subtables_;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
+    std::uint64_t epoch_ = 0;
     std::uint64_t san_scope_ = san::new_scope();
 };
 

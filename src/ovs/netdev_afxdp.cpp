@@ -235,8 +235,10 @@ void NetdevAfxdp::tx_burst(std::uint32_t queue, std::vector<net::Packet>&& pkts,
     if (queued == 0) return;
 
     // Kick the kernel (sendto) once per batch; the driver drains the TX
-    // ring in softirq context and returns completions.
+    // ring in softirq context and returns completions. This is the
+    // AF_XDP doorbell — amortized over the burst, never per packet.
     nic_.xsk_tx_kick(*q.xsk, queue, ctx);
+    OVSX_COVERAGE_CTX(ctx, "afxdp.tx_kick");
 
     // Reclaim completed frames into the umempool.
     while (auto addr = q.umem->comp().consume()) {

@@ -1,5 +1,7 @@
 #include "ovs/ofproto.h"
 
+#include <cstring>
+
 #include <set>
 
 namespace ovsx::ovs {
@@ -168,13 +170,21 @@ const OfRule* Ofproto::classify(const Table& table, const net::FlowKey& key,
         // megaflow must be at least as specific as everything examined.
         auto* wc = reinterpret_cast<std::uint8_t*>(&wildcards->bits);
         const auto* sm = reinterpret_cast<const std::uint8_t*>(&sub.mask.bits);
-        for (std::size_t i = 0; i < sizeof(net::FlowKey); ++i) wc[i] |= sm[i];
+        for (std::size_t i = 0; i < sizeof(net::FlowKey); i += sizeof(std::uint64_t)) {
+            std::uint64_t w, s;
+            std::memcpy(&w, wc + i, sizeof w);
+            std::memcpy(&s, sm + i, sizeof s);
+            w |= s;
+            std::memcpy(wc + i, &w, sizeof w);
+        }
 
-        const net::FlowKey masked = sub.mask.apply(key);
-        auto it = sub.rules.find(masked.hash());
+        auto it = sub.rules.find(sub.mask.masked_hash(key));
         if (it == sub.rules.end()) continue;
         for (const OfRule* rule : it->second) {
-            if (rule->match.masked() == masked && (!best || rule->priority > best->priority)) {
+            // All rules of a subtable share its mask, so comparing the
+            // unmasked rule key under sub.mask is masked() == masked.
+            if (sub.mask.same_masked(key, rule->match.key) &&
+                (!best || rule->priority > best->priority)) {
                 best = rule;
             }
         }

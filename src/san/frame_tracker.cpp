@@ -11,9 +11,20 @@ namespace {
 
 constexpr std::size_t kMaxHistory = 24;
 
+// Structured history entry (see packet_ledger.cpp): hardened mode notes
+// every ring hop of every frame, so the trail is stored as PODs and only
+// rendered to strings when a violation fires.
+struct FrameNote {
+    FrameState from = FrameState::UserPool;
+    FrameState to = FrameState::UserPool;
+    bool registration = false;
+    Site site;
+};
+
 struct FrameRecord {
     FrameState state = FrameState::UserPool;
-    std::vector<std::string> history;
+    std::vector<FrameNote> history;
+    bool truncated = false;
 };
 
 using FrameMap = std::unordered_map<std::uint64_t, FrameRecord>;
@@ -24,14 +35,27 @@ std::unordered_map<std::uint64_t, FrameMap>& scopes()
     return m;
 }
 
-void note(FrameRecord& rec, const std::string& what, Site site)
+void note(FrameRecord& rec, FrameState from, FrameState to, bool registration, Site site)
 {
-    if (rec.history.size() == kMaxHistory) {
-        rec.history.push_back("... (history truncated)");
+    if (rec.history.size() >= kMaxHistory) {
+        rec.truncated = true;
         return;
     }
-    if (rec.history.size() > kMaxHistory) return;
-    rec.history.push_back(what + " @ " + site.to_string());
+    rec.history.push_back(FrameNote{from, to, registration, site});
+}
+
+std::vector<std::string> format_history(const FrameRecord& rec)
+{
+    std::vector<std::string> out;
+    out.reserve(rec.history.size() + (rec.truncated ? 1 : 0));
+    for (const FrameNote& n : rec.history) {
+        const std::string line =
+            n.registration ? std::string("registered as ") + to_string(n.to)
+                           : std::string(to_string(n.from)) + " -> " + to_string(n.to);
+        out.push_back(line + " @ " + n.site.to_string());
+    }
+    if (rec.truncated) out.push_back("... (history truncated)");
+    return out;
 }
 
 void violate(const char* checker, std::uint64_t addr, const std::string& msg, Site site,
@@ -45,7 +69,7 @@ void violate(const char* checker, std::uint64_t addr, const std::string& msg, Si
         return std::string(buf);
     }() + ": " + msg;
     v.site = site;
-    if (rec) v.history = rec->history;
+    if (rec) v.history = format_history(*rec);
     report(std::move(v));
 }
 
@@ -101,7 +125,7 @@ void frame_register(std::uint64_t scope, std::uint64_t addr, FrameState initial,
         return;
     }
     it->second.state = initial;
-    note(it->second, std::string("registered as ") + to_string(initial), site);
+    note(it->second, initial, initial, /*registration=*/true, site);
 }
 
 bool frame_scope_tracked(std::uint64_t scope) { return scopes().count(scope) != 0; }
@@ -123,7 +147,7 @@ void frame_transition(std::uint64_t scope, std::uint64_t addr, FrameState next, 
                 site, &rec);
         return;
     }
-    note(rec, std::string(to_string(rec.state)) + " -> " + to_string(next), site);
+    note(rec, rec.state, next, /*registration=*/false, site);
     rec.state = next;
 }
 

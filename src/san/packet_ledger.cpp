@@ -10,10 +10,23 @@ namespace {
 
 constexpr std::size_t kMaxHistory = 24;
 
+// One structured history entry. Hardened mode notes every ownership
+// operation on every packet, so entries are plain PODs (two interned
+// strings + a numeric ref + the site); the human-readable trail is only
+// formatted when a violation is actually reported.
+struct SkbNote {
+    const char* verb = "";   // "acquired" / "cloned from" / transition arrow
+    const char* a = "";      // origin or from-state
+    const char* b = "";      // to-state ("" = not a transition)
+    std::uint64_t ref = 0;   // cloned-from id
+    Site site;
+};
+
 struct SkbRecord {
     SkbState state = SkbState::Driver;
     const char* origin = "?";
-    std::vector<std::string> history;
+    std::vector<SkbNote> history;
+    bool truncated = false;
 };
 
 std::unordered_map<std::uint64_t, SkbRecord>& ledger()
@@ -24,14 +37,31 @@ std::unordered_map<std::uint64_t, SkbRecord>& ledger()
 
 std::uint64_t g_next_id = 1;
 
-void note(SkbRecord& rec, const std::string& what, Site site)
+void note(SkbRecord& rec, const char* verb, const char* a, const char* b, std::uint64_t ref,
+          Site site)
 {
-    if (rec.history.size() == kMaxHistory) {
-        rec.history.push_back("... (history truncated)");
+    if (rec.history.size() >= kMaxHistory) {
+        rec.truncated = true;
         return;
     }
-    if (rec.history.size() > kMaxHistory) return;
-    rec.history.push_back(what + " @ " + site.to_string());
+    rec.history.push_back(SkbNote{verb, a, b, ref, site});
+}
+
+std::vector<std::string> format_history(const SkbRecord& rec)
+{
+    std::vector<std::string> out;
+    out.reserve(rec.history.size() + (rec.truncated ? 1 : 0));
+    for (const SkbNote& n : rec.history) {
+        std::string line = n.verb;
+        if (n.ref) line += " skb #" + std::to_string(n.ref);
+        if (n.a[0]) {
+            line += n.b[0] ? std::string(" ") + n.a + " -> " + n.b
+                           : std::string(" ") + n.a;
+        }
+        out.push_back(line + " @ " + n.site.to_string());
+    }
+    if (rec.truncated) out.push_back("... (history truncated)");
+    return out;
 }
 
 void violate(const char* checker, std::uint64_t id, const std::string& msg, Site site,
@@ -41,7 +71,7 @@ void violate(const char* checker, std::uint64_t id, const std::string& msg, Site
     v.checker = checker;
     v.message = "skb #" + std::to_string(id) + ": " + msg;
     v.site = site;
-    if (rec) v.history = rec->history;
+    if (rec) v.history = format_history(*rec);
     report(std::move(v));
 }
 
@@ -66,7 +96,7 @@ std::uint64_t skb_acquire(const char* origin, SkbState initial, Site site)
     SkbRecord rec;
     rec.state = initial;
     rec.origin = origin;
-    note(rec, std::string("acquired (") + origin + ") as " + to_string(initial), site);
+    note(rec, "acquired", origin, to_string(initial), 0, site);
     ledger().emplace(id, std::move(rec));
     return id;
 }
@@ -85,7 +115,7 @@ std::uint64_t skb_clone(std::uint64_t id, Site site)
     }
     const std::uint64_t cid = g_next_id++;
     SkbRecord rec = it->second; // inherit the trail up to the fork
-    note(rec, "cloned from skb #" + std::to_string(id), site);
+    note(rec, "cloned from", "", "", id, site);
     ledger().emplace(cid, std::move(rec));
     return cid;
 }
@@ -113,7 +143,7 @@ void skb_transition(std::uint64_t id, SkbState next, Site site)
                 site, &rec);
         return;
     }
-    note(rec, std::string(to_string(rec.state)) + " -> " + to_string(next), site);
+    note(rec, "", to_string(rec.state), to_string(next), 0, site);
     rec.state = next;
 }
 
@@ -130,7 +160,7 @@ void skb_free(std::uint64_t id, Site site)
         violate("skb-double-free", id, "freed twice", site, &rec);
         return;
     }
-    note(rec, std::string(to_string(rec.state)) + " -> freed", site);
+    note(rec, "", to_string(rec.state), "freed", 0, site);
     rec.state = SkbState::Freed;
 }
 
@@ -182,7 +212,7 @@ void report_packet_oob(const char* kind, std::size_t offset, std::size_t want,
     v.site = site;
     if (skb_id != 0) {
         auto it = ledger().find(skb_id);
-        if (it != ledger().end()) v.history = it->second.history;
+        if (it != ledger().end()) v.history = format_history(it->second);
     }
     report(std::move(v));
 }

@@ -99,6 +99,9 @@ struct CostModel {
     Nanos dpdk_rx_desc = 12; // PMD RX descriptor handling (no kernel involved)
     Nanos dpdk_tx_desc = 12;
     Nanos mbuf_op = 7;       // mbuf alloc/free from the mempool cache
+    // One uncached MMIO write to the NIC tail register, paid once per
+    // burst (the doorbell the vector spine amortizes over the batch).
+    Nanos nic_doorbell = 90;
 
     // ---- userspace datapath misc --------------------------------------------
     Nanos dp_packet_init = 12;    // metadata init when preallocated (O4 state)

@@ -324,5 +324,57 @@ TEST_F(KmodTest, GeneveTunnelRoundTripBetweenDatapaths)
     EXPECT_EQ(vm_got, 1);
 }
 
+// Burst ingress: receive_batch admits the whole vector at once but must
+// be observationally identical to N receive() calls — same verdicts in
+// arrival order, same flow stats, mixed hits/misses handled per packet.
+TEST_F(KmodTest, ReceiveBatchMatchesScalarReceivePerPacket)
+{
+    // Flow for sport 1000 only; sport 2000 packets miss and upcall.
+    dp->flow_put(net::parse_flow([&] {
+                     net::Packet probe = udp64(1000);
+                     probe.meta().in_port = p0;
+                     return probe;
+                 }()),
+                 tuple_mask(), {OdpAction::output(p1)});
+
+    std::vector<std::uint16_t> upcall_sports;
+    dp->set_upcall_handler([&](std::uint32_t, net::Packet&& pkt, const net::FlowKey& key,
+                               sim::ExecContext&) { upcall_sports.push_back(key.tp_src); });
+
+    // Hit, miss, hit, miss, hit — the batch must split verdicts
+    // per-packet, not per-burst.
+    std::vector<net::Packet> burst;
+    for (const std::uint16_t sport : {1000, 2000, 1000, 2001, 1000}) {
+        net::Packet pkt = udp64(sport);
+        pkt.meta().in_port = p0;
+        burst.push_back(std::move(pkt));
+    }
+    sim::ExecContext softirq{"softirq", sim::CpuClass::Softirq};
+    dp->receive_batch(p0, std::move(burst), softirq);
+
+    EXPECT_EQ(out1.size(), 3u);
+    EXPECT_EQ(dp->hits(), 3u);
+    EXPECT_EQ(dp->misses(), 2u);
+    EXPECT_EQ(upcall_sports, (std::vector<std::uint16_t>{2000, 2001})); // arrival order
+
+    // The same traffic delivered one packet at a time lands identically.
+    out1.clear();
+    upcall_sports.clear();
+    for (const std::uint16_t sport : {1000, 2000, 1000, 2001, 1000}) {
+        net::Packet pkt = udp64(sport);
+        pkt.meta().in_port = p0;
+        dp->receive(p0, std::move(pkt), softirq);
+    }
+    EXPECT_EQ(out1.size(), 3u);
+    EXPECT_EQ(dp->hits(), 6u);
+    EXPECT_EQ(dp->misses(), 4u);
+    EXPECT_EQ(upcall_sports, (std::vector<std::uint16_t>{2000, 2001}));
+
+    // An empty burst is legal and a no-op.
+    dp->receive_batch(p0, {}, softirq);
+    EXPECT_EQ(dp->hits(), 6u);
+    EXPECT_EQ(dp->misses(), 4u);
+}
+
 } // namespace
 } // namespace ovsx::kern

@@ -9,6 +9,8 @@
 #include "net/builder.h"
 #include "net/headers.h"
 #include "obs/appctl.h"
+#include "obs/latency.h"
+#include "obs/trace.h"
 #include "obs/value.h"
 #include "ovs/dpif_netdev.h"
 #include "ovs/netdev_afxdp.h"
@@ -395,6 +397,71 @@ TEST_F(DpifNetdevTest, RebalanceWithoutLoadReportsNoImprovement)
     ASSERT_NE(v.find("rebalanced"), nullptr);
     EXPECT_FALSE(v.find("rebalanced")->as_bool());
     EXPECT_TRUE(dpif->rebalance_events().empty());
+}
+
+// Batching must not change latency accounting granularity: the vector
+// spine's one-classify-pass-per-burst still emits one trace span per
+// PACKET per tier, so the per-tier histograms record exactly as many
+// samples as the scalar spine does for the same traffic. (A batch that
+// recorded one span per burst would deflate the count 32x and silently
+// skew every percentile in Figs. 10/11.)
+TEST_F(DpifNetdevTest, VectorSpineRecordsOneLatencySpanPerPacket)
+{
+    struct TierCounts {
+        std::uint64_t emc, megaflow, tx;
+    };
+    // Each run uses its own source port so the second starts EMC-cold
+    // like the first (the megaflow rule below is port-masked only).
+    const auto traced_run = [&](bool scalar, std::size_t n, std::uint16_t sport) {
+        obs::latency_reset();
+        obs::tracer().enable();
+        obs::tracer().set_domain("netdev");
+        dpif->set_scalar_spine(scalar);
+        dpif->set_emc_insert_inv_prob(1); // always insert: pkt 2+ hit the EMC
+        std::size_t sent = 0;
+        while (sent < n) {
+            // Inject a full burst (last one partial) then poll, so the
+            // vector side sees real 32-wide bursts.
+            const std::size_t burst = std::min<std::size_t>(n - sent, 32);
+            for (std::size_t i = 0; i < burst; ++i) {
+                net::Packet pkt = udp64(sport);
+                pkt.meta().trace_id = obs::tracer().next_packet_id();
+                nic0->rx_from_wire(std::move(pkt));
+            }
+            dpif->pmd_poll_once(pmd);
+            sent += burst;
+        }
+        const auto count = [](const obs::LatencyHistogram* h) {
+            return h ? h->count() : std::uint64_t{0};
+        };
+        TierCounts c{count(obs::latency_histogram("netdev", obs::Hop::Emc)),
+                     count(obs::latency_histogram("netdev", obs::Hop::Megaflow)),
+                     count(obs::latency_histogram("netdev", obs::Hop::Tx))};
+        obs::tracer().disable();
+        obs::latency_reset();
+        return c;
+    };
+
+    dpif->flow_put(key_on_port(p0), port_mask(), {kern::OdpAction::output(p1)});
+    constexpr std::size_t kPackets = 69; // two full bursts + a partial one
+
+    const TierCounts vec = traced_run(/*scalar=*/false, kPackets, 1000);
+    // Every packet resolves in exactly one classifier tier (the EMC miss
+    // of packet 1 doesn't close a span — its megaflow hit does) and
+    // transmits exactly once.
+    EXPECT_EQ(vec.emc + vec.megaflow, kPackets);
+    EXPECT_EQ(vec.tx, kPackets);
+    EXPECT_GE(vec.megaflow, 1u); // packet 1, before its EMC insert
+
+    ASSERT_EQ(out1.size(), kPackets);
+    out1.clear();
+
+    // The scalar spine on identical traffic must produce identical
+    // per-tier sample counts — span-per-packet, not span-per-burst.
+    const TierCounts sca = traced_run(/*scalar=*/true, kPackets, 1001);
+    EXPECT_EQ(sca.emc, vec.emc);
+    EXPECT_EQ(sca.megaflow, vec.megaflow);
+    EXPECT_EQ(sca.tx, vec.tx);
 }
 
 } // namespace

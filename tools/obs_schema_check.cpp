@@ -2,6 +2,7 @@
 //
 //   obs_schema_check <metrics.json> [required.dotted.key ...]
 //                    [--require-histogram <provider.tier> ...]
+//                    [--require-counter <name> ...]
 //                    [--p99-not-above <provider.tier> <provider.tier>]
 //
 // Validates that the document parses, is schema-tagged ovsx-obs-v2,
@@ -10,7 +11,10 @@
 // with ordered quantiles, a windows object of windowed-rate series, and
 // a metrics object. Plain extra arguments name dotted paths (under
 // "metrics") that must exist. --require-histogram demands a non-empty
-// latency histogram for a provider.tier pair; --p99-not-above A B is
+// latency histogram for a provider.tier pair; --require-counter demands
+// the coverage object contain the named counter with a value > 0 (CI
+// uses it to prove the vector spine actually ran batched, via
+// batch.occupancy); --p99-not-above A B is
 // the tier-latency regression guard: it fails when p99(A) > p99(B).
 // Exits non-zero with a diagnostic on any violation.
 #include <cstdio>
@@ -100,16 +104,21 @@ int main(int argc, char** argv)
     if (argc < 2) {
         return fail("usage: obs_schema_check <metrics.json> [required.key ...] "
                     "[--require-histogram provider.tier ...] "
+                    "[--require-counter name ...] "
                     "[--p99-not-above provider.tier provider.tier]");
     }
 
     std::vector<std::string> required_keys;
     std::vector<std::string> required_hists;
+    std::vector<std::string> required_counters;
     std::vector<std::pair<std::string, std::string>> p99_guards;
     for (int i = 2; i < argc; ++i) {
         if (std::strcmp(argv[i], "--require-histogram") == 0) {
             if (i + 1 >= argc) return fail("--require-histogram needs provider.tier");
             required_hists.emplace_back(argv[++i]);
+        } else if (std::strcmp(argv[i], "--require-counter") == 0) {
+            if (i + 1 >= argc) return fail("--require-counter needs a counter name");
+            required_counters.emplace_back(argv[++i]);
         } else if (std::strcmp(argv[i], "--p99-not-above") == 0) {
             if (i + 2 >= argc) return fail("--p99-not-above needs two provider.tier args");
             p99_guards.emplace_back(argv[i + 1], argv[i + 2]);
@@ -187,6 +196,11 @@ int main(int argc, char** argv)
 
     for (const auto& key : required_keys) {
         if (!walk(*metrics, key)) return fail("required metrics key missing: " + key);
+    }
+    for (const auto& name : required_counters) {
+        const auto* v = coverage->find(name);
+        if (!v) return fail("required coverage counter missing: " + name);
+        if (v->as_double() <= 0) return fail("required coverage counter is zero: " + name);
     }
     for (const auto& h : required_hists) {
         const auto* stats = walk(*histograms, h);
