@@ -5,6 +5,23 @@
 // This is a real lock-free ring — producer and consumer may live on
 // different threads — with the same power-of-two, free-running-index
 // design as the kernel's xsk_queue.
+//
+// Memory-ordering audit (docs/CONCURRENCY.md). Two synchronizing pairs
+// carry all cross-thread data:
+//
+//   P1  producer's release store of prod_   ->  consumer's acquire load
+//       of prod_ (consume/consume_batch/size). A consumer that observes
+//       prod_ >= i+1 therefore observes the write to slots_[i & mask]
+//       sequenced before that store — descriptors are published safely.
+//
+//   P2  consumer's release store of cons_   ->  producer's acquire load
+//       of cons_ (produce/produce_batch/size). A producer that observes
+//       cons_ >= i+1 knows slots_[i & mask] has been read out, so
+//       overwriting the slot on wrap cannot race the consumer's read.
+//
+// Each side loads its OWN index relaxed: it is the only writer of that
+// index, so it always sees its latest value (same-thread coherence);
+// acquire there would order nothing.
 #pragma once
 
 #include <atomic>
@@ -36,11 +53,11 @@ public:
     // Producer side: returns false when the ring is full.
     bool produce(const T& item)
     {
-        const std::uint32_t prod = prod_.load(std::memory_order_relaxed);
-        const std::uint32_t cons = cons_.load(std::memory_order_acquire);
+        const std::uint32_t prod = prod_.load(std::memory_order_relaxed); // own index
+        const std::uint32_t cons = cons_.load(std::memory_order_acquire); // pair P2
         if (prod - cons == capacity()) return false;
         slots_[prod & mask_] = item;
-        prod_.store(prod + 1, std::memory_order_release);
+        prod_.store(prod + 1, std::memory_order_release); // pair P1: publishes the slot
         return true;
     }
 
@@ -59,11 +76,11 @@ public:
     // Consumer side: returns nullopt when empty.
     std::optional<T> consume()
     {
-        const std::uint32_t cons = cons_.load(std::memory_order_relaxed);
-        const std::uint32_t prod = prod_.load(std::memory_order_acquire);
+        const std::uint32_t cons = cons_.load(std::memory_order_relaxed); // own index
+        const std::uint32_t prod = prod_.load(std::memory_order_acquire); // pair P1
         if (prod == cons) return std::nullopt;
         T item = slots_[cons & mask_];
-        cons_.store(cons + 1, std::memory_order_release);
+        cons_.store(cons + 1, std::memory_order_release); // pair P2: frees the slot
         return item;
     }
 
@@ -80,8 +97,10 @@ public:
     }
 
 private:
-    std::vector<T> slots_;
-    std::uint32_t mask_;
+    std::vector<T> slots_; // written by producer, read by consumer; ordered by P1/P2
+    std::uint32_t mask_;   // immutable after construction
+    // Separate cache lines so the producer's index store does not
+    // false-share with the consumer's.
     alignas(64) std::atomic<std::uint32_t> prod_{0};
     alignas(64) std::atomic<std::uint32_t> cons_{0};
 };

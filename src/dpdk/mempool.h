@@ -17,6 +17,8 @@
 
 #include "obs/appctl.h"
 #include "san/audit.h"
+#include "san/lockset.h"
+#include "sync/mutex.h"
 
 namespace ovsx::dpdk {
 
@@ -26,6 +28,11 @@ struct Mbuf {
     std::uint8_t* data = nullptr;
 };
 
+// Concurrency: the free list is guarded by one capability-annotated
+// mutex. Real DPDK uses per-lcore caches over a lock-free ring; this
+// model keeps the single-lock shape (alloc/free are not the modeled
+// hot cost) and the annotations mark exactly what a per-PMD cache
+// split would have to shard.
 class Mempool {
 public:
     Mempool(std::uint32_t count, std::uint32_t buf_size)
@@ -59,11 +66,17 @@ public:
     Mempool& operator=(const Mempool&) = delete;
 
     std::uint32_t capacity() const { return count_; }
-    std::uint32_t available() const { return static_cast<std::uint32_t>(free_.size()); }
+    std::uint32_t available() const OVSX_EXCLUDES(mu_)
+    {
+        sync::LockGuard guard(mu_);
+        return static_cast<std::uint32_t>(free_.size());
+    }
     std::uint32_t buf_size() const { return buf_size_; }
 
-    std::optional<Mbuf> alloc()
+    std::optional<Mbuf> alloc() OVSX_EXCLUDES(mu_)
     {
+        sync::LockGuard guard(mu_);
+        OVSX_SAN_ACCESS_AT(this, "dpdk.mempool", true);
         if (free_.empty()) return std::nullopt;
         const std::uint32_t idx = free_.back();
         free_.pop_back();
@@ -71,17 +84,20 @@ public:
         return Mbuf{idx, 0, memory_.data() + static_cast<std::size_t>(idx) * buf_size_};
     }
 
-    void free(const Mbuf& mbuf)
+    void free(const Mbuf& mbuf) OVSX_EXCLUDES(mu_)
     {
         if (mbuf.index >= count_) throw std::out_of_range("Mempool: bad mbuf");
+        sync::LockGuard guard(mu_);
+        OVSX_SAN_ACCESS_AT(this, "dpdk.mempool", true);
         // Freeing an index that is not outstanding (double free) fires here.
         san::audit_remove(san_scope_, "mempool.mbuf", mbuf.index, OVSX_SITE);
         free_.push_back(mbuf.index);
     }
 
     // Audit checkpoint: outstanding mbufs must match the audited set.
-    void san_check(san::Site site) const
+    void san_check(san::Site site) const OVSX_EXCLUDES(mu_)
     {
+        sync::LockGuard guard(mu_);
         san::audit_expect_size(san_scope_, "mempool.mbuf",
                                static_cast<std::size_t>(count_) - free_.size(), site);
     }
@@ -89,8 +105,9 @@ public:
 private:
     std::uint32_t count_;
     std::uint32_t buf_size_;
-    std::vector<std::uint8_t> memory_;
-    std::vector<std::uint32_t> free_;
+    std::vector<std::uint8_t> memory_; // slots owned by whoever holds the Mbuf
+    mutable sync::Mutex mu_{"dpdk.mempool"};
+    std::vector<std::uint32_t> free_ OVSX_GUARDED_BY(mu_);
     std::uint64_t san_scope_;
     std::uint64_t obs_token_ = 0;
 };

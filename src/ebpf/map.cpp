@@ -42,13 +42,22 @@ Map::Map(MapType type, std::string name, std::uint32_t key_size, std::uint32_t v
 
 std::size_t Map::size() const
 {
+    sync::LockGuard guard(mu_);
     if (type_ == MapType::Hash) return hash_.size();
     return max_entries_;
+}
+
+std::uint32_t Map::last_probes() const
+{
+    sync::LockGuard guard(mu_);
+    return last_probes_;
 }
 
 std::uint8_t* Map::lookup(std::span<const std::uint8_t> key)
 {
     if (key.size() != key_size_) return nullptr;
+    sync::LockGuard guard(mu_);
+    OVSX_SAN_ACCESS_AT(this, "ebpf.map", true); // mutates last_probes_
     if (type_ == MapType::Hash) {
         auto it = hash_.find(key);
         // Model open-hashing probe count as 1 + small load-factor effect.
@@ -66,6 +75,8 @@ std::uint8_t* Map::lookup(std::span<const std::uint8_t> key)
 bool Map::update(std::span<const std::uint8_t> key, std::span<const std::uint8_t> value)
 {
     if (key.size() != key_size_ || value.size() != value_size_) return false;
+    sync::LockGuard guard(mu_);
+    OVSX_SAN_ACCESS_AT(this, "ebpf.map", true);
     if (type_ == MapType::Hash) {
         auto it = hash_.find(key);
         if (it != hash_.end()) {
@@ -88,6 +99,8 @@ bool Map::update(std::span<const std::uint8_t> key, std::span<const std::uint8_t
 
 std::vector<std::pair<std::vector<std::uint8_t>, std::vector<std::uint8_t>>> Map::snapshot() const
 {
+    sync::LockGuard guard(mu_);
+    OVSX_SAN_ACCESS_AT(this, "ebpf.map", false);
     std::vector<std::pair<std::vector<std::uint8_t>, std::vector<std::uint8_t>>> out;
     if (type_ == MapType::Hash) {
         out.reserve(hash_.size());
@@ -110,6 +123,8 @@ std::vector<std::pair<std::vector<std::uint8_t>, std::vector<std::uint8_t>>> Map
 bool Map::erase(std::span<const std::uint8_t> key)
 {
     if (key.size() != key_size_) return false;
+    sync::LockGuard guard(mu_);
+    OVSX_SAN_ACCESS_AT(this, "ebpf.map", true);
     if (type_ == MapType::Hash) {
         std::vector<std::uint8_t> k(key.begin(), key.end());
         return hash_.erase(k) > 0;

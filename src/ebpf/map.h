@@ -15,12 +15,22 @@
 #include <unordered_map>
 #include <vector>
 
+#include "san/lockset.h"
+#include "sync/mutex.h"
+
 namespace ovsx::ebpf {
 
 enum class MapType { Hash, Array, DevMap, XskMap };
 
 const char* to_string(MapType t);
 
+// Concurrency: one capability-annotated mutex per map. The XDP fast
+// path and the control plane (ovs-ofctl-style map updates, snapshot
+// diffing) may touch a map concurrently; the immutable shape fields
+// (type/name/sizes) are lock-free, everything mutable is guarded.
+// lookup() returns a pointer into the map; it stays valid until the
+// entry is erased, but reading it after unlock races with concurrent
+// update() by design (exactly the bpf map contract).
 class Map {
 public:
     Map(MapType type, std::string name, std::uint32_t key_size, std::uint32_t value_size,
@@ -31,18 +41,19 @@ public:
     std::uint32_t key_size() const { return key_size_; }
     std::uint32_t value_size() const { return value_size_; }
     std::uint32_t max_entries() const { return max_entries_; }
-    std::size_t size() const;
+    std::size_t size() const OVSX_EXCLUDES(mu_);
 
     // Returns a pointer to the stored value, or nullptr when absent.
     // The pointer stays valid until the entry is deleted or the map is
     // destroyed (values are stable heap allocations).
-    std::uint8_t* lookup(std::span<const std::uint8_t> key);
+    OVSX_HOT std::uint8_t* lookup(std::span<const std::uint8_t> key) OVSX_EXCLUDES(mu_);
 
     // Inserts or replaces. Returns false when the map is full or the
     // key/value sizes mismatch.
-    bool update(std::span<const std::uint8_t> key, std::span<const std::uint8_t> value);
+    bool update(std::span<const std::uint8_t> key, std::span<const std::uint8_t> value)
+        OVSX_EXCLUDES(mu_);
 
-    bool erase(std::span<const std::uint8_t> key);
+    bool erase(std::span<const std::uint8_t> key) OVSX_EXCLUDES(mu_);
 
     // Convenience typed accessors for fixed-width keys/values.
     template <typename K, typename V> bool update_kv(const K& key, const V& value)
@@ -63,12 +74,13 @@ public:
 
     // Number of hash-bucket probes performed by the last lookup; feeds
     // the interpreter's cost accounting.
-    std::uint32_t last_probes() const { return last_probes_; }
+    std::uint32_t last_probes() const OVSX_EXCLUDES(mu_);
 
     // Deterministically ordered (key, value) dump — the bpf_map_get_next_key
     // iteration userspace tools rely on, used here for state diffing.
     // Array maps dump every slot with its 4-byte index as the key.
-    std::vector<std::pair<std::vector<std::uint8_t>, std::vector<std::uint8_t>>> snapshot() const;
+    std::vector<std::pair<std::vector<std::uint8_t>, std::vector<std::uint8_t>>> snapshot() const
+        OVSX_EXCLUDES(mu_);
 
 private:
     // Transparent hash/equality so lookups probe with the caller's span
@@ -95,13 +107,14 @@ private:
     std::uint32_t key_size_;
     std::uint32_t value_size_;
     std::uint32_t max_entries_;
-    std::uint32_t last_probes_ = 1;
+    mutable sync::Mutex mu_{"ebpf.map"};
+    std::uint32_t last_probes_ OVSX_GUARDED_BY(mu_) = 1;
 
     // Hash/DevMap/XskMap storage: values boxed for pointer stability.
     std::unordered_map<std::vector<std::uint8_t>, std::unique_ptr<std::uint8_t[]>, VecHash, VecEq>
-        hash_;
+        hash_ OVSX_GUARDED_BY(mu_);
     // Array storage: one contiguous allocation, always fully populated.
-    std::vector<std::uint8_t> array_;
+    std::vector<std::uint8_t> array_ OVSX_GUARDED_BY(mu_);
 };
 
 using MapPtr = std::shared_ptr<Map>;

@@ -48,10 +48,11 @@ CtTuple nat_reply_tuple(const CtTuple& tuple, const NatSpec& nat, std::uint16_t 
 Conntrack::Conntrack(const sim::CostModel& costs) : costs_(costs)
 {
     obs_token_ = obs::memory_register("kern.ct", [this] {
+        sync::LockGuard guard(mu_);
         obs::Value v = obs::Value::object();
         v.set("connections", static_cast<std::uint64_t>(conns_.size()));
         v.set("index_entries", static_cast<std::uint64_t>(index_.size()));
-        v.set("nat_bindings", static_cast<std::uint64_t>(nat_binding_count()));
+        v.set("nat_bindings", static_cast<std::uint64_t>(nat_binding_count_locked()));
         return v;
     });
 }
@@ -63,7 +64,7 @@ Conntrack::~Conntrack()
     san::audit_clear(san_scope_, "ct.nat");
 }
 
-std::size_t Conntrack::nat_binding_count() const
+std::size_t Conntrack::nat_binding_count_locked() const
 {
     std::size_t n = 0;
     for (const auto& [id, e] : conns_) {
@@ -72,8 +73,22 @@ std::size_t Conntrack::nat_binding_count() const
     return n;
 }
 
+std::size_t Conntrack::nat_binding_count() const
+{
+    sync::LockGuard guard(mu_);
+    return nat_binding_count_locked();
+}
+
+std::size_t Conntrack::size() const
+{
+    sync::LockGuard guard(mu_);
+    return conns_.size();
+}
+
 void Conntrack::flush()
 {
+    sync::LockGuard guard(mu_);
+    OVSX_SAN_ACCESS_AT(this, "kern.ct", true);
     index_.clear();
     conns_.clear();
     zone_counts_.clear();
@@ -83,8 +98,9 @@ void Conntrack::flush()
 
 void Conntrack::san_check(san::Site site) const
 {
+    sync::LockGuard guard(mu_);
     san::audit_expect_size(san_scope_, "ct.entry", conns_.size(), site);
-    san::audit_expect_size(san_scope_, "ct.nat", nat_binding_count(), site);
+    san::audit_expect_size(san_scope_, "ct.nat", nat_binding_count_locked(), site);
 }
 
 CtResult Conntrack::process(net::Packet& pkt, const net::FlowKey& key, const CtSpec& spec,
@@ -93,6 +109,9 @@ CtResult Conntrack::process(net::Packet& pkt, const net::FlowKey& key, const CtS
     // Hash + lookup cost, comparable to a flow-table probe.
     ctx.charge(costs_.kdp_flow_probe);
     OVSX_COVERAGE_CTX(ctx, "ct.lookup");
+    // Lock-order: kern.ct before the coverage registry lock (a leaf).
+    sync::LockGuard guard(mu_);
+    OVSX_SAN_ACCESS_AT(this, "kern.ct", true);
     const std::uint16_t zone = spec.zone;
 
     CtResult res;
@@ -272,17 +291,23 @@ void Conntrack::apply_nat(net::Packet& pkt, const CtEntry& entry, bool is_reply,
 
 void Conntrack::set_zone_limit(std::uint16_t zone, std::size_t limit)
 {
+    sync::LockGuard guard(mu_);
+    OVSX_SAN_ACCESS_AT(this, "kern.ct", true);
     zone_limits_[zone] = limit;
 }
 
 std::size_t Conntrack::zone_count(std::uint16_t zone) const
 {
+    sync::LockGuard guard(mu_);
+    OVSX_SAN_ACCESS_AT(this, "kern.ct", false);
     auto it = zone_counts_.find(zone);
     return it == zone_counts_.end() ? 0 : it->second;
 }
 
 std::size_t Conntrack::expire_idle(sim::Nanos cutoff)
 {
+    sync::LockGuard guard(mu_);
+    OVSX_SAN_ACCESS_AT(this, "kern.ct", true);
     std::size_t removed = 0;
     for (auto it = conns_.begin(); it != conns_.end();) {
         if (it->second.last_seen < cutoff) {
@@ -306,6 +331,8 @@ std::size_t Conntrack::expire_idle(sim::Nanos cutoff)
 
 const CtEntry* Conntrack::find(const CtTuple& tuple) const
 {
+    sync::LockGuard guard(mu_);
+    OVSX_SAN_ACCESS_AT(this, "kern.ct", false);
     auto idx = index_.find(tuple);
     if (idx == index_.end()) return nullptr;
     auto it = conns_.find(idx->second);
@@ -327,6 +354,8 @@ void Conntrack::erase_entry(std::uint64_t id)
 
 std::vector<CtSnapshotEntry> Conntrack::snapshot() const
 {
+    sync::LockGuard guard(mu_);
+    OVSX_SAN_ACCESS_AT(this, "kern.ct", false);
     std::vector<CtSnapshotEntry> out;
     out.reserve(conns_.size());
     for (const auto& [id, e] : conns_) {

@@ -20,10 +20,12 @@
 #include "kern/odp.h" // CtSpec / NatSpec
 #include "net/flow.h"
 #include "net/packet.h"
+#include "san/lockset.h"
 #include "san/report.h"
 #include "sim/context.h"
 #include "sim/costs.h"
 #include "sim/time.h"
+#include "sync/mutex.h"
 
 namespace ovsx::kern {
 
@@ -125,6 +127,10 @@ struct CtResult {
     CtEntry* entry = nullptr;
 };
 
+// Concurrency: mirror of ovs::UserspaceConntrack — one capability-
+// annotated mutex over all four maps, locked internally by every public
+// method. CtResult.entry and find() return interior pointers stable only
+// until the next mutating call; snapshot() copies for longer-lived use.
 class Conntrack {
 public:
     explicit Conntrack(const sim::CostModel& costs = sim::CostModel::baseline());
@@ -136,8 +142,8 @@ public:
     // reply-direction packets are de-NATed automatically. Updates
     // pkt.meta() ct fields, rewrites headers for NAT, and returns the
     // resulting state bits.
-    CtResult process(net::Packet& pkt, const net::FlowKey& key, const CtSpec& spec,
-                     sim::ExecContext& ctx, sim::Nanos now = 0);
+    OVSX_HOT CtResult process(net::Packet& pkt, const net::FlowKey& key, const CtSpec& spec,
+                              sim::ExecContext& ctx, sim::Nanos now = 0) OVSX_EXCLUDES(mu_);
 
     // Zone/commit-only convenience form (no NAT, no mark).
     CtResult process(net::Packet& pkt, const net::FlowKey& key, std::uint16_t zone, bool commit,
@@ -151,41 +157,44 @@ public:
 
     // Per-zone connection limit (0 = unlimited). Connections beyond the
     // limit are classified INVALID instead of NEW.
-    void set_zone_limit(std::uint16_t zone, std::size_t limit);
-    std::size_t zone_count(std::uint16_t zone) const;
+    void set_zone_limit(std::uint16_t zone, std::size_t limit) OVSX_EXCLUDES(mu_);
+    std::size_t zone_count(std::uint16_t zone) const OVSX_EXCLUDES(mu_);
 
     // Number of tracked connections (not tuple directions).
-    std::size_t size() const { return conns_.size(); }
-    std::size_t nat_binding_count() const;
-    void flush();
+    std::size_t size() const OVSX_EXCLUDES(mu_);
+    std::size_t nat_binding_count() const OVSX_EXCLUDES(mu_);
+    void flush() OVSX_EXCLUDES(mu_);
 
     // Cross-checks the san entry + NAT-binding audits against the table.
-    void san_check(san::Site site) const;
+    void san_check(san::Site site) const OVSX_EXCLUDES(mu_);
 
     // Expires entries idle since before `cutoff`.
-    std::size_t expire_idle(sim::Nanos cutoff);
+    std::size_t expire_idle(sim::Nanos cutoff) OVSX_EXCLUDES(mu_);
 
     // Lookup without side effects (diagnostics). Finds by either
     // direction of the connection (NAT-translated for replies).
-    const CtEntry* find(const CtTuple& tuple) const;
+    const CtEntry* find(const CtTuple& tuple) const OVSX_EXCLUDES(mu_);
 
     // Deterministically ordered view of every tracked connection, for
     // cross-datapath state diffing.
-    std::vector<CtSnapshotEntry> snapshot() const;
+    std::vector<CtSnapshotEntry> snapshot() const OVSX_EXCLUDES(mu_);
 
 private:
-    void erase_entry(std::uint64_t id);
-    void apply_nat(net::Packet& pkt, const CtEntry& entry, bool is_reply, sim::ExecContext& ctx);
+    std::size_t nat_binding_count_locked() const OVSX_REQUIRES(mu_);
+    void erase_entry(std::uint64_t id) OVSX_REQUIRES(mu_);
+    void apply_nat(net::Packet& pkt, const CtEntry& entry, bool is_reply, sim::ExecContext& ctx)
+        OVSX_REQUIRES(mu_);
 
     const sim::CostModel& costs_;
+    mutable sync::Mutex mu_{"kern.ct"};
     // Both tuple directions index into one connection entry; the reply
     // direction carries the NAT translation, so it is NOT orig.reversed()
     // for NATed connections.
-    std::unordered_map<CtTuple, std::uint64_t, CtTuple::Hash> index_;
-    std::unordered_map<std::uint64_t, CtEntry> conns_;
-    std::uint64_t next_id_ = 1;
-    std::unordered_map<std::uint16_t, std::size_t> zone_counts_;
-    std::unordered_map<std::uint16_t, std::size_t> zone_limits_;
+    std::unordered_map<CtTuple, std::uint64_t, CtTuple::Hash> index_ OVSX_GUARDED_BY(mu_);
+    std::unordered_map<std::uint64_t, CtEntry> conns_ OVSX_GUARDED_BY(mu_);
+    std::uint64_t next_id_ OVSX_GUARDED_BY(mu_) = 1;
+    std::unordered_map<std::uint16_t, std::size_t> zone_counts_ OVSX_GUARDED_BY(mu_);
+    std::unordered_map<std::uint16_t, std::size_t> zone_limits_ OVSX_GUARDED_BY(mu_);
     std::uint64_t san_scope_ = san::new_scope();
     std::uint64_t obs_token_ = 0;
 };

@@ -34,6 +34,7 @@ Appctl::Appctl()
 
 void Appctl::register_command(std::string name, std::string help, Handler handler)
 {
+    sync::LockGuard guard(mu_);
     for (auto& cmd : commands_) {
         if (cmd.name == name) {
             cmd.help = std::move(help);
@@ -46,6 +47,7 @@ void Appctl::register_command(std::string name, std::string help, Handler handle
 
 void Appctl::unregister_command(const std::string& name)
 {
+    sync::LockGuard guard(mu_);
     commands_.erase(std::remove_if(commands_.begin(), commands_.end(),
                                    [&](const Command& c) { return c.name == name; }),
                     commands_.end());
@@ -53,12 +55,14 @@ void Appctl::unregister_command(const std::string& name)
 
 bool Appctl::has(const std::string& name) const
 {
+    sync::LockGuard guard(mu_);
     return std::any_of(commands_.begin(), commands_.end(),
                        [&](const Command& c) { return c.name == name; });
 }
 
 std::vector<std::pair<std::string, std::string>> Appctl::commands() const
 {
+    sync::LockGuard guard(mu_);
     std::vector<std::pair<std::string, std::string>> out;
     out.reserve(commands_.size());
     for (const auto& c : commands_) out.emplace_back(c.name, c.help);
@@ -68,10 +72,22 @@ std::vector<std::pair<std::string, std::string>> Appctl::commands() const
 
 Value Appctl::run_value(const std::string& name, const Args& args) const
 {
-    for (const auto& c : commands_) {
-        if (c.name == name) return c.handler(args);
+    // Copy the handler out, then invoke with mu_ released: handlers
+    // re-enter this Appctl (appctl/list calls commands()) and take
+    // datapath locks, so invoking under mu_ would self-deadlock and
+    // invert the lock order.
+    Handler handler;
+    {
+        sync::LockGuard guard(mu_);
+        for (const auto& c : commands_) {
+            if (c.name == name) {
+                handler = c.handler;
+                break;
+            }
+        }
     }
-    throw std::invalid_argument("appctl: unknown command '" + name + "'");
+    if (!handler) throw std::invalid_argument("appctl: unknown command '" + name + "'");
+    return handler(args);
 }
 
 std::string Appctl::run(const std::string& name, const Args& args, Format format) const
@@ -85,9 +101,11 @@ std::string Appctl::run(const std::string& name, const Args& args, Format format
 namespace {
 
 struct MemoryRegistry {
-    std::uint64_t next_token = 1;
+    sync::Mutex mu{"obs.memory"};
+    std::uint64_t next_token OVSX_GUARDED_BY(mu) = 1;
     // Ordered by registration; names may repeat (several mempools).
-    std::vector<std::pair<std::uint64_t, std::pair<std::string, MemoryReportFn>>> entries;
+    std::vector<std::pair<std::uint64_t, std::pair<std::string, MemoryReportFn>>> entries
+        OVSX_GUARDED_BY(mu);
 };
 
 MemoryRegistry& memory_registry()
@@ -101,6 +119,7 @@ MemoryRegistry& memory_registry()
 std::uint64_t memory_register(std::string name, MemoryReportFn fn)
 {
     MemoryRegistry& r = memory_registry();
+    sync::LockGuard guard(r.mu);
     const std::uint64_t token = r.next_token++;
     r.entries.emplace_back(token, std::make_pair(std::move(name), std::move(fn)));
     return token;
@@ -109,6 +128,7 @@ std::uint64_t memory_register(std::string name, MemoryReportFn fn)
 void memory_unregister(std::uint64_t token)
 {
     MemoryRegistry& r = memory_registry();
+    sync::LockGuard guard(r.mu);
     r.entries.erase(std::remove_if(r.entries.begin(), r.entries.end(),
                                    [&](const auto& e) { return e.first == token; }),
                     r.entries.end());
@@ -116,10 +136,20 @@ void memory_unregister(std::uint64_t token)
 
 Value memory_show()
 {
+    // Copy the reporter list under the registry lock, then run the
+    // reporters unlocked: they take their owners' table locks, and
+    // obs.memory must stay a leaf in the lock order.
+    std::vector<std::pair<std::string, MemoryReportFn>> reporters;
+    {
+        MemoryRegistry& r = memory_registry();
+        sync::LockGuard guard(r.mu);
+        reporters.reserve(r.entries.size());
+        for (const auto& [token, entry] : r.entries) reporters.push_back(entry);
+    }
     // Sort by name; disambiguate duplicates with "#2", "#3", ...
     std::map<std::string, std::vector<const MemoryReportFn*>> by_name;
-    for (const auto& [token, entry] : memory_registry().entries) {
-        by_name[entry.first].push_back(&entry.second);
+    for (const auto& [name, fn] : reporters) {
+        by_name[name].push_back(&fn);
     }
     Value v = Value::object();
     for (const auto& [name, fns] : by_name) {

@@ -18,7 +18,12 @@
 #include <utility>
 #include <vector>
 
+// Note: the obs layer links below san (ovsx_san depends on ovsx_obs),
+// so it uses sync primitives + annotations only — lock-order checking
+// reaches these locks through the sync-layer hooks; Eraser object
+// tracking (OVSX_SAN_ACCESS) is reserved for layers above san.
 #include "obs/value.h"
+#include "sync/mutex.h"
 
 namespace ovsx::obs {
 
@@ -31,17 +36,20 @@ public:
     Appctl();
 
     // Re-registering a name replaces the handler.
-    void register_command(std::string name, std::string help, Handler handler);
-    void unregister_command(const std::string& name);
+    void register_command(std::string name, std::string help, Handler handler)
+        OVSX_EXCLUDES(mu_);
+    void unregister_command(const std::string& name) OVSX_EXCLUDES(mu_);
 
-    bool has(const std::string& name) const;
+    bool has(const std::string& name) const OVSX_EXCLUDES(mu_);
     // (name, help) pairs sorted by name.
-    std::vector<std::pair<std::string, std::string>> commands() const;
+    std::vector<std::pair<std::string, std::string>> commands() const OVSX_EXCLUDES(mu_);
 
     // Runs a command; throws std::invalid_argument for unknown names.
-    Value run_value(const std::string& name, const Args& args = {}) const;
+    // The handler itself runs with mu_ released — handlers may call
+    // back into this Appctl (appctl/list does) and take datapath locks.
+    Value run_value(const std::string& name, const Args& args = {}) const OVSX_EXCLUDES(mu_);
     std::string run(const std::string& name, const Args& args = {},
-                    Format format = Format::Text) const;
+                    Format format = Format::Text) const OVSX_EXCLUDES(mu_);
 
 private:
     struct Command {
@@ -49,7 +57,8 @@ private:
         std::string help;
         Handler handler;
     };
-    std::vector<Command> commands_;
+    mutable sync::Mutex mu_{"obs.appctl"};
+    std::vector<Command> commands_ OVSX_GUARDED_BY(mu_);
 };
 
 // --- global memory-reporter registry -----------------------------------

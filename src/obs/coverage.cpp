@@ -2,18 +2,23 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 #include <stdexcept>
 #include <unordered_map>
+
+#include "sync/mutex.h"
 
 namespace ovsx::obs {
 
 namespace {
 
+// Interning registry. Lock-order leaf together with the other obs
+// registries: datapath locks (ovs.*, kern.*, ebpf.*) may be held when a
+// coverage macro fires, so this lock must never be held while calling
+// back into datapath code.
 struct Registry {
-    std::mutex mu;
-    std::unordered_map<std::string, CounterId> ids;
-    std::vector<std::string> names;
+    sync::Mutex mu{"obs.coverage"};
+    std::unordered_map<std::string, CounterId> ids OVSX_GUARDED_BY(mu);
+    std::vector<std::string> names OVSX_GUARDED_BY(mu);
 };
 
 Registry& reg()
@@ -22,6 +27,11 @@ Registry& reg()
     return r;
 }
 
+// Memory ordering: counters are pure statistics — nothing is published
+// through them, and snapshot consistency across counters is not needed.
+// Relaxed increments keep OVSX_COVERAGE at one uncontended RMW on the
+// hot path; the registry mutex (acquire/release in lock/unlock) is what
+// orders id interning against first use of a counter id.
 std::atomic<std::uint64_t> g_counts[kCoverageMax];
 
 } // namespace
@@ -29,7 +39,7 @@ std::atomic<std::uint64_t> g_counts[kCoverageMax];
 CounterId coverage_id(const std::string& name)
 {
     Registry& r = reg();
-    std::lock_guard<std::mutex> lock(r.mu);
+    sync::LockGuard lock(r.mu);
     auto it = r.ids.find(name);
     if (it != r.ids.end()) return it->second;
     if (r.names.size() >= kCoverageMax) {
@@ -45,7 +55,7 @@ CounterId coverage_id(const std::string& name)
 std::optional<CounterId> coverage_find(const std::string& name)
 {
     Registry& r = reg();
-    std::lock_guard<std::mutex> lock(r.mu);
+    sync::LockGuard lock(r.mu);
     auto it = r.ids.find(name);
     if (it == r.ids.end()) return std::nullopt;
     return it->second;
@@ -54,7 +64,7 @@ std::optional<CounterId> coverage_find(const std::string& name)
 const std::string& coverage_name(CounterId id)
 {
     Registry& r = reg();
-    std::lock_guard<std::mutex> lock(r.mu);
+    sync::LockGuard lock(r.mu);
     static const std::string unknown = "?";
     return id < r.names.size() ? r.names[id] : unknown;
 }
@@ -62,7 +72,7 @@ const std::string& coverage_name(CounterId id)
 std::size_t coverage_registered()
 {
     Registry& r = reg();
-    std::lock_guard<std::mutex> lock(r.mu);
+    sync::LockGuard lock(r.mu);
     return r.names.size();
 }
 
@@ -80,7 +90,7 @@ std::vector<std::pair<std::string, std::uint64_t>> coverage_snapshot(bool includ
 {
     std::vector<std::pair<std::string, std::uint64_t>> out;
     Registry& r = reg();
-    std::lock_guard<std::mutex> lock(r.mu);
+    sync::LockGuard lock(r.mu);
     out.reserve(r.names.size());
     for (std::size_t i = 0; i < r.names.size(); ++i) {
         const std::uint64_t v = g_counts[i].load(std::memory_order_relaxed);

@@ -15,10 +15,11 @@ namespace ovsx::ovs {
 UserspaceConntrack::UserspaceConntrack(const sim::CostModel& costs) : costs_(costs)
 {
     obs_token_ = obs::memory_register("ovs.uct", [this] {
+        sync::LockGuard guard(mu_);
         obs::Value v = obs::Value::object();
         v.set("connections", static_cast<std::uint64_t>(conns_.size()));
         v.set("index_entries", static_cast<std::uint64_t>(index_.size()));
-        v.set("nat_bindings", static_cast<std::uint64_t>(nat_binding_count()));
+        v.set("nat_bindings", static_cast<std::uint64_t>(nat_binding_count_locked()));
         return v;
     });
 }
@@ -30,7 +31,7 @@ UserspaceConntrack::~UserspaceConntrack()
     san::audit_clear(san_scope_, "uct.nat");
 }
 
-std::size_t UserspaceConntrack::nat_binding_count() const
+std::size_t UserspaceConntrack::nat_binding_count_locked() const
 {
     std::size_t n = 0;
     for (const auto& [id, e] : conns_) {
@@ -39,10 +40,30 @@ std::size_t UserspaceConntrack::nat_binding_count() const
     return n;
 }
 
+std::size_t UserspaceConntrack::nat_binding_count() const
+{
+    sync::LockGuard guard(mu_);
+    return nat_binding_count_locked();
+}
+
+void UserspaceConntrack::set_zone_limit(std::uint16_t zone, std::size_t limit)
+{
+    sync::LockGuard guard(mu_);
+    OVSX_SAN_ACCESS_AT(this, "ovs.uct", true);
+    zone_limits_[zone] = limit;
+}
+
+std::size_t UserspaceConntrack::size() const
+{
+    sync::LockGuard guard(mu_);
+    return conns_.size();
+}
+
 void UserspaceConntrack::san_check(san::Site site) const
 {
+    sync::LockGuard guard(mu_);
     san::audit_expect_size(san_scope_, "uct.entry", conns_.size(), site);
-    san::audit_expect_size(san_scope_, "uct.nat", nat_binding_count(), site);
+    san::audit_expect_size(san_scope_, "uct.nat", nat_binding_count_locked(), site);
 }
 
 std::uint8_t UserspaceConntrack::process(net::Packet& pkt, const net::FlowKey& key,
@@ -51,6 +72,11 @@ std::uint8_t UserspaceConntrack::process(net::Packet& pkt, const net::FlowKey& k
 {
     ctx.charge(costs_.emc_hit); // hash + lookup, comparable to an EMC probe
     OVSX_COVERAGE_CTX(ctx, "userspace_ct.lookup");
+
+    // Lock-order: ovs.uct is acquired before the coverage/trace registry
+    // locks (leaves); never take a table lock while holding those.
+    sync::LockGuard guard(mu_);
+    OVSX_SAN_ACCESS_AT(this, "ovs.uct", true);
 
     std::uint8_t state = net::kCtStateTracked;
     auto finish = [&](std::uint8_t s) {
@@ -223,12 +249,16 @@ void UserspaceConntrack::apply_nat(net::Packet& pkt, const UserCtEntry& entry, b
 
 std::size_t UserspaceConntrack::zone_count(std::uint16_t zone) const
 {
+    sync::LockGuard guard(mu_);
+    OVSX_SAN_ACCESS_AT(this, "ovs.uct", false);
     auto it = zone_counts_.find(zone);
     return it == zone_counts_.end() ? 0 : it->second;
 }
 
 std::size_t UserspaceConntrack::expire_idle(sim::Nanos cutoff)
 {
+    sync::LockGuard guard(mu_);
+    OVSX_SAN_ACCESS_AT(this, "ovs.uct", true);
     std::size_t removed = 0;
     for (auto it = conns_.begin(); it != conns_.end();) {
         if (it->second.last_seen < cutoff) {
@@ -249,6 +279,8 @@ std::size_t UserspaceConntrack::expire_idle(sim::Nanos cutoff)
 
 void UserspaceConntrack::flush()
 {
+    sync::LockGuard guard(mu_);
+    OVSX_SAN_ACCESS_AT(this, "ovs.uct", true);
     index_.clear();
     conns_.clear();
     zone_counts_.clear();
@@ -258,6 +290,8 @@ void UserspaceConntrack::flush()
 
 const UserCtEntry* UserspaceConntrack::find(const CtTuple& tuple) const
 {
+    sync::LockGuard guard(mu_);
+    OVSX_SAN_ACCESS_AT(this, "ovs.uct", false);
     auto idx = index_.find(tuple);
     if (idx == index_.end()) return nullptr;
     auto it = conns_.find(idx->second);
@@ -266,6 +300,8 @@ const UserCtEntry* UserspaceConntrack::find(const CtTuple& tuple) const
 
 bool UserspaceConntrack::set_mark(const CtTuple& tuple, std::uint32_t mark)
 {
+    sync::LockGuard guard(mu_);
+    OVSX_SAN_ACCESS_AT(this, "ovs.uct", true);
     auto idx = index_.find(tuple);
     if (idx == index_.end()) return false;
     conns_[idx->second].mark = mark;
@@ -287,6 +323,8 @@ void UserspaceConntrack::erase_entry(std::uint64_t id)
 
 std::vector<kern::CtSnapshotEntry> UserspaceConntrack::snapshot() const
 {
+    sync::LockGuard guard(mu_);
+    OVSX_SAN_ACCESS_AT(this, "ovs.uct", false);
     std::vector<kern::CtSnapshotEntry> out;
     out.reserve(conns_.size());
     for (const auto& [id, e] : conns_) {

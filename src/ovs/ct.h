@@ -15,8 +15,10 @@
 #include "kern/conntrack.h" // CtTuple, CtSnapshotEntry
 #include "kern/odp.h"       // CtSpec
 #include "net/packet.h"
+#include "san/lockset.h"
 #include "sim/context.h"
 #include "sim/costs.h"
+#include "sync/mutex.h"
 
 namespace ovsx::ovs {
 
@@ -40,6 +42,12 @@ struct UserCtEntry {
     sim::Nanos last_seen = 0;
 };
 
+// Concurrency: one capability-annotated mutex guards all four maps (they
+// move together — index_ points into conns_, zone_counts_ mirrors it).
+// Public methods lock internally; the revalidator and PMD threads may
+// interleave calls freely. find() returns an interior pointer that is
+// only stable until the next mutating call — callers that outlive their
+// quiescent window must copy (snapshot() does).
 class UserspaceConntrack {
 public:
     explicit UserspaceConntrack(const sim::CostModel& costs = sim::CostModel::baseline());
@@ -53,41 +61,45 @@ public:
     // written to the packet. Must stay semantically identical to
     // kern::Conntrack::process: the differential harness diffs the two
     // tables entry by entry.
-    std::uint8_t process(net::Packet& pkt, const net::FlowKey& key, const kern::CtSpec& spec,
-                         sim::ExecContext& ctx, sim::Nanos now = 0);
+    OVSX_HOT std::uint8_t process(net::Packet& pkt, const net::FlowKey& key,
+                                  const kern::CtSpec& spec, sim::ExecContext& ctx,
+                                  sim::Nanos now = 0) OVSX_EXCLUDES(mu_);
 
-    void set_zone_limit(std::uint16_t zone, std::size_t limit) { zone_limits_[zone] = limit; }
-    std::size_t zone_count(std::uint16_t zone) const;
-    std::size_t size() const { return conns_.size(); }
-    std::size_t nat_binding_count() const;
-    std::size_t expire_idle(sim::Nanos cutoff);
-    void flush();
+    void set_zone_limit(std::uint16_t zone, std::size_t limit) OVSX_EXCLUDES(mu_);
+    std::size_t zone_count(std::uint16_t zone) const OVSX_EXCLUDES(mu_);
+    std::size_t size() const OVSX_EXCLUDES(mu_);
+    std::size_t nat_binding_count() const OVSX_EXCLUDES(mu_);
+    std::size_t expire_idle(sim::Nanos cutoff) OVSX_EXCLUDES(mu_);
+    void flush() OVSX_EXCLUDES(mu_);
 
     // Cross-checks the san entry audit against the real table.
-    void san_check(san::Site site) const;
+    void san_check(san::Site site) const OVSX_EXCLUDES(mu_);
 
-    const UserCtEntry* find(const CtTuple& tuple) const;
+    const UserCtEntry* find(const CtTuple& tuple) const OVSX_EXCLUDES(mu_);
 
     // Sets the mark on the connection matching `tuple` (ct_mark action).
-    bool set_mark(const CtTuple& tuple, std::uint32_t mark);
+    bool set_mark(const CtTuple& tuple, std::uint32_t mark) OVSX_EXCLUDES(mu_);
 
     // Deterministically ordered view of every tracked connection, shaped
     // identically to kern::Conntrack::snapshot() so the differential
     // harness can diff the two tables directly.
-    std::vector<kern::CtSnapshotEntry> snapshot() const;
+    std::vector<kern::CtSnapshotEntry> snapshot() const OVSX_EXCLUDES(mu_);
 
 private:
-    void erase_entry(std::uint64_t id);
+    std::size_t nat_binding_count_locked() const OVSX_REQUIRES(mu_);
+
+    void erase_entry(std::uint64_t id) OVSX_REQUIRES(mu_);
 
     void apply_nat(net::Packet& pkt, const UserCtEntry& entry, bool is_reply,
-                   sim::ExecContext& ctx);
+                   sim::ExecContext& ctx) OVSX_REQUIRES(mu_);
 
     const sim::CostModel& costs_;
-    std::unordered_map<CtTuple, std::uint64_t, CtTuple::Hash> index_;
-    std::unordered_map<std::uint64_t, UserCtEntry> conns_;
-    std::uint64_t next_id_ = 1;
-    std::unordered_map<std::uint16_t, std::size_t> zone_counts_;
-    std::unordered_map<std::uint16_t, std::size_t> zone_limits_;
+    mutable sync::Mutex mu_{"ovs.uct"};
+    std::unordered_map<CtTuple, std::uint64_t, CtTuple::Hash> index_ OVSX_GUARDED_BY(mu_);
+    std::unordered_map<std::uint64_t, UserCtEntry> conns_ OVSX_GUARDED_BY(mu_);
+    std::uint64_t next_id_ OVSX_GUARDED_BY(mu_) = 1;
+    std::unordered_map<std::uint16_t, std::size_t> zone_counts_ OVSX_GUARDED_BY(mu_);
+    std::unordered_map<std::uint16_t, std::size_t> zone_limits_ OVSX_GUARDED_BY(mu_);
     std::uint64_t san_scope_ = san::new_scope();
     std::uint64_t obs_token_ = 0;
 };

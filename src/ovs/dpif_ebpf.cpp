@@ -176,6 +176,8 @@ void DpifEbpf::flow_put(const net::FlowKey& key, const net::FlowMask& mask,
 
     // Re-putting an existing key replaces the map entry; drop the old
     // action shadow so flows_ and the map stay 1:1.
+    sync::LockGuard guard(flow_mu_);
+    OVSX_SAN_ACCESS_AT(this, "ovs.dpif_ebpf.shadow", true);
     const auto old = flow_map_->lookup_kv<std::uint32_t>(ek);
     if (old && !test_skip_shadow_erase_) {
         flows_.erase(*old);
@@ -193,6 +195,8 @@ void DpifEbpf::flow_put(const net::FlowKey& key, const net::FlowMask& mask,
 
 void DpifEbpf::flow_flush()
 {
+    sync::LockGuard guard(flow_mu_);
+    OVSX_SAN_ACCESS_AT(this, "ovs.dpif_ebpf.shadow", true);
     flows_.clear();
     flow_map_ = std::make_shared<Map>(MapType::Hash, "ovs_flow_table", sizeof(EbpfKey), 4,
                                       1 << 18);
@@ -204,6 +208,8 @@ void DpifEbpf::flow_flush()
 std::vector<kern::OdpFlowEntry> DpifEbpf::flow_dump() const
 {
     std::vector<kern::OdpFlowEntry> out;
+    sync::LockGuard guard(flow_mu_);
+    OVSX_SAN_ACCESS_AT(this, "ovs.dpif_ebpf.shadow", false);
     const net::FlowMask mask = required_mask();
     for (const auto& [kbytes, vbytes] : flow_map_->snapshot()) {
         EbpfKey ek;
@@ -228,6 +234,7 @@ std::vector<kern::OdpFlowEntry> DpifEbpf::flow_dump() const
 
 void DpifEbpf::san_check(san::Site site) const
 {
+    sync::LockGuard guard(flow_mu_);
     san::audit_expect_size(san_scope_, "ebpf.shadow", flows_.size(), site);
     san::audit_expect_size(san_scope_, "ebpf.map", flow_map_->size(), site);
     // The map and its userspace action shadow must stay 1:1 (PR 1's
@@ -241,6 +248,7 @@ void DpifEbpf::register_appctl(obs::Appctl& appctl)
         "dpif-netdev/pmd-stats-show", "datapath statistics",
         [this](const obs::Appctl::Args&) {
             // Runs at the TC hook in softirq context: no PMD threads.
+            sync::LockGuard guard(flow_mu_);
             obs::Value v = render_pmd_stats(type(), hits_, misses_, 0);
             v.set("map_entries", static_cast<std::uint64_t>(flow_map_->size()));
             return v;
@@ -298,9 +306,22 @@ void DpifEbpf::receive(std::uint32_t port_no, net::Packet&& pkt, sim::ExecContex
     if (res.ret == 3) {
         const std::uint32_t slot = 0;
         const auto flow_id = result_map_->lookup_kv<std::uint32_t>(slot).value_or(0);
-        auto it = flows_.find(flow_id);
-        if (it != flows_.end()) {
-            ++hits_;
+        // Resolve the shadow under flow_mu_, then execute unlocked:
+        // output actions can re-enter receive() through a veth peer, so
+        // holding the lock across execute() would self-deadlock. The
+        // reference stays valid after unlock (map nodes are stable; see
+        // the flow_mu_ contract in the header).
+        const kern::OdpActions* actions = nullptr;
+        {
+            sync::LockGuard guard(flow_mu_);
+            OVSX_SAN_ACCESS_AT(this, "ovs.dpif_ebpf.shadow", true);
+            auto it = flows_.find(flow_id);
+            if (it != flows_.end()) {
+                ++hits_;
+                actions = &it->second;
+            }
+        }
+        if (actions) {
             OVSX_COVERAGE_CTX(ctx, "ebpf.hit");
             if (pkt.meta().trace_id) {
                 obs::trace(pkt.meta().trace_id, obs::Hop::EbpfLookup, pkt.meta().latency_ns,
@@ -309,14 +330,18 @@ void DpifEbpf::receive(std::uint32_t port_no, net::Packet&& pkt, sim::ExecContex
             // Action execution also runs as sandboxed bytecode in this
             // design: charge the equivalent instruction cost per action.
             const auto insn_cost = static_cast<sim::Nanos>(
-                60.0 * kernel_.costs().ebpf_insn * static_cast<double>(it->second.size()));
+                60.0 * kernel_.costs().ebpf_insn * static_cast<double>(actions->size()));
             ctx.charge(insn_cost);
             pkt.meta().latency_ns += insn_cost;
-            execute(std::move(pkt), it->second, ctx);
+            execute(std::move(pkt), *actions, ctx);
             return;
         }
     }
-    ++misses_;
+    {
+        sync::LockGuard guard(flow_mu_);
+        OVSX_SAN_ACCESS_AT(this, "ovs.dpif_ebpf.shadow", true);
+        ++misses_;
+    }
     OVSX_COVERAGE_CTX(ctx, "ebpf.miss");
     if (pkt.meta().trace_id) {
         obs::trace(pkt.meta().trace_id, obs::Hop::EbpfLookup, pkt.meta().latency_ns, "miss",

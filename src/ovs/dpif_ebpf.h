@@ -21,7 +21,9 @@
 #include "ebpf/program.h"
 #include "kern/device.h"
 #include "ovs/dpif.h"
+#include "san/lockset.h"
 #include "sim/time.h"
+#include "sync/mutex.h"
 
 namespace ovsx::ovs {
 
@@ -41,10 +43,14 @@ public:
     // the full 5-tuple, the VLAN TCI and the IP ToS exactly; anything
     // wider throws (the megaflow limitation).
     void flow_put(const net::FlowKey& key, const net::FlowMask& mask,
-                  kern::OdpActions actions) override;
-    void flow_flush() override;
-    std::size_t flow_count() const override { return flows_.size(); }
-    std::vector<kern::OdpFlowEntry> flow_dump() const override;
+                  kern::OdpActions actions) override OVSX_EXCLUDES(flow_mu_);
+    void flow_flush() override OVSX_EXCLUDES(flow_mu_);
+    std::size_t flow_count() const override OVSX_EXCLUDES(flow_mu_)
+    {
+        sync::LockGuard guard(flow_mu_);
+        return flows_.size();
+    }
+    std::vector<kern::OdpFlowEntry> flow_dump() const override OVSX_EXCLUDES(flow_mu_);
     void san_check(san::Site site) const override;
     void register_appctl(obs::Appctl& appctl) override;
 
@@ -54,8 +60,16 @@ public:
     // The exact-match mask this datapath requires.
     static net::FlowMask required_mask();
 
-    std::uint64_t hits() const { return hits_; }
-    std::uint64_t misses() const { return misses_; }
+    std::uint64_t hits() const OVSX_EXCLUDES(flow_mu_)
+    {
+        sync::LockGuard guard(flow_mu_);
+        return hits_;
+    }
+    std::uint64_t misses() const OVSX_EXCLUDES(flow_mu_)
+    {
+        sync::LockGuard guard(flow_mu_);
+        return misses_;
+    }
 
     // Virtual clock forwarded to conntrack (same convention as
     // DpifNetdev::set_now / OvsKernelDatapath::set_now).
@@ -63,9 +77,14 @@ public:
     sim::Nanos now() const { return now_; }
 
     // Introspection for the differential harness: the in-map flow table
-    // and its userspace action shadow must stay consistent.
+    // and its userspace action shadow must stay consistent. Quiescent
+    // use only — the returned references are unsynchronized views.
     const ebpf::Map& flow_map() const { return *flow_map_; }
-    const std::map<std::uint32_t, kern::OdpActions>& flows() const { return flows_; }
+    const std::map<std::uint32_t, kern::OdpActions>& flows() const
+        OVSX_NO_THREAD_SAFETY_ANALYSIS
+    {
+        return flows_;
+    }
 
     // TC-hook entry (wired as the device rx handler).
     void receive(std::uint32_t port_no, net::Packet&& pkt, sim::ExecContext& ctx);
@@ -97,12 +116,19 @@ private:
     ebpf::MapPtr result_map_; // slot 0: flow id found by the program
     ebpf::Program prog_;
     std::map<std::uint32_t, kern::Device*> ports_;
-    std::map<std::uint32_t, kern::OdpActions> flows_; // flow id -> actions
+    // Guards the userspace action shadow + stats. Lock-order: acquired
+    // before the flow map's own ebpf.map lock, never after it. Action
+    // references handed to execute() stay valid across unlock because
+    // std::map nodes are stable; erasing a flow while packets for it
+    // are in flight is a control-plane quiescence bug, not a datapath
+    // one (same contract as the real kernel's RCU-deferred flow free).
+    mutable sync::Mutex flow_mu_{"ovs.dpif_ebpf.shadow"};
+    std::map<std::uint32_t, kern::OdpActions> flows_ OVSX_GUARDED_BY(flow_mu_); // id -> actions
     std::uint32_t next_port_no_ = 1;
-    std::uint32_t next_flow_id_ = 1;
+    std::uint32_t next_flow_id_ OVSX_GUARDED_BY(flow_mu_) = 1;
     UpcallHandler upcall_;
-    std::uint64_t hits_ = 0;
-    std::uint64_t misses_ = 0;
+    std::uint64_t hits_ OVSX_GUARDED_BY(flow_mu_) = 0;
+    std::uint64_t misses_ OVSX_GUARDED_BY(flow_mu_) = 0;
     sim::Nanos now_ = 0;
     std::uint64_t san_scope_;
     bool test_skip_shadow_erase_ = false;

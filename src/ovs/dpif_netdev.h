@@ -135,7 +135,7 @@ public:
     // any cached flows — meant for configuration time, before traffic).
     // The differential harness sizes its thousands of short-lived
     // instances well below OVS's per-PMD 8192 default.
-    void set_emc_entries(std::uint32_t entries) { emc_ = Emc(entries); }
+    void set_emc_entries(std::uint32_t entries) { emc_.resize(entries); }
 
     std::uint64_t upcalls() const { return upcall_count_; }
     std::uint64_t dropped() const { return dropped_; }

@@ -18,6 +18,8 @@ Emc::Emc(std::uint32_t entries) : entries_(entries), mask_(entries - 1)
 
 CachedFlow* Emc::lookup(const net::FlowKey& key, std::uint64_t hash)
 {
+    sync::LockGuard guard(mu_);
+    OVSX_SAN_ACCESS_AT(this, "ovs.emc", true); // mutates stats + evicts dead ways
     if (table_.empty()) {
         ++misses_;
         return nullptr;
@@ -41,6 +43,8 @@ CachedFlow* Emc::lookup(const net::FlowKey& key, std::uint64_t hash)
 
 CachedFlowPtr Emc::lookup_ref(const net::FlowKey& key, std::uint64_t hash)
 {
+    sync::LockGuard guard(mu_);
+    OVSX_SAN_ACCESS_AT(this, "ovs.emc", true);
     if (table_.empty()) {
         ++misses_;
         return nullptr;
@@ -64,6 +68,8 @@ CachedFlowPtr Emc::lookup_ref(const net::FlowKey& key, std::uint64_t hash)
 
 const CachedFlow* Emc::peek(const net::FlowKey& key, std::uint64_t hash) const
 {
+    sync::LockGuard guard(mu_);
+    OVSX_SAN_ACCESS_AT(this, "ovs.emc", false);
     if (table_.empty()) return nullptr;
     const std::size_t base = static_cast<std::size_t>(hash & mask_) * kWays;
     for (int w = 0; w < kWays; ++w) {
@@ -88,6 +94,8 @@ void Emc::prefetch(std::uint64_t hash) const
 
 void Emc::insert(const net::FlowKey& key, std::uint64_t hash, CachedFlowPtr flow)
 {
+    sync::LockGuard guard(mu_);
+    OVSX_SAN_ACCESS_AT(this, "ovs.emc", true);
     if (table_.empty()) table_.resize(static_cast<std::size_t>(entries_) * kWays);
     const std::size_t base = static_cast<std::size_t>(hash & mask_) * kWays;
     // Prefer an invalid way; otherwise evict the way with fewer hits.
@@ -112,6 +120,8 @@ void Emc::insert(const net::FlowKey& key, std::uint64_t hash, CachedFlowPtr flow
 
 std::size_t Emc::sweep()
 {
+    sync::LockGuard guard(mu_);
+    OVSX_SAN_ACCESS_AT(this, "ovs.emc", true);
     std::size_t swept = 0;
     for (auto& e : table_) {
         if (e.valid && e.flow->dead) {
@@ -126,11 +136,52 @@ std::size_t Emc::sweep()
 
 void Emc::clear()
 {
+    sync::LockGuard guard(mu_);
+    OVSX_SAN_ACCESS_AT(this, "ovs.emc", true);
     for (auto& e : table_) {
         e.valid = false;
         e.flow.reset();
     }
     occupancy_ = 0;
+}
+
+void Emc::resize(std::uint32_t entries)
+{
+    if (entries == 0 || (entries & (entries - 1)) != 0) {
+        throw std::invalid_argument("Emc: entries must be a power of two");
+    }
+    sync::LockGuard guard(mu_);
+    OVSX_SAN_ACCESS_AT(this, "ovs.emc", true);
+    entries_ = entries;
+    mask_ = entries - 1;
+    table_.clear(); // re-materialized lazily on first insert
+    hits_ = 0;
+    misses_ = 0;
+    occupancy_ = 0;
+}
+
+std::uint32_t Emc::capacity() const
+{
+    sync::LockGuard guard(mu_);
+    return entries_;
+}
+
+std::uint64_t Emc::hits() const
+{
+    sync::LockGuard guard(mu_);
+    return hits_;
+}
+
+std::uint64_t Emc::misses() const
+{
+    sync::LockGuard guard(mu_);
+    return misses_;
+}
+
+std::uint32_t Emc::occupancy() const
+{
+    sync::LockGuard guard(mu_);
+    return occupancy_;
 }
 
 } // namespace ovsx::ovs

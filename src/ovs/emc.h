@@ -3,6 +3,13 @@
 // flow keys to cached flow entries. This is the cache whose kernel
 // equivalent the Linux maintainers rejected (§2.1), forcing it to live
 // in userspace.
+//
+// Concurrency: today each PMD owns its Emc, but the scale-out plan
+// shares revalidator sweeps across PMDs, so the table is capability-
+// annotated and internally locked like the other shared tables: one
+// mutex ("ovs.emc") over the ways and the hit/miss stats, taken by
+// every public method. Entry pointers returned by lookup()/peek() stay
+// valid through shared ownership (CachedFlowPtr), not through the lock.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +18,8 @@
 
 #include "kern/odp.h"
 #include "net/flow.h"
+#include "san/lockset.h"
+#include "sync/mutex.h"
 
 namespace ovsx::ovs {
 
@@ -34,39 +43,53 @@ public:
 
     explicit Emc(std::uint32_t entries = kDefaultEntries);
 
-    // Looks up a full (unmasked) key. Returns nullptr on miss.
-    CachedFlow* lookup(const net::FlowKey& key, std::uint64_t hash);
+    // Looks up a full (unmasked) key. Returns nullptr on miss. The
+    // pointer stays valid while the flow is referenced by the cache or
+    // the caller still holds its CachedFlowPtr (shared ownership).
+    OVSX_HOT CachedFlow* lookup(const net::FlowKey& key, std::uint64_t hash)
+        OVSX_EXCLUDES(mu_);
 
     // As lookup(), but returns a shared reference so batched/deferred
     // action execution survives a concurrent flow_put or revalidator
     // sweep invalidating the entry mid-burst.
-    CachedFlowPtr lookup_ref(const net::FlowKey& key, std::uint64_t hash);
+    OVSX_HOT CachedFlowPtr lookup_ref(const net::FlowKey& key, std::uint64_t hash)
+        OVSX_EXCLUDES(mu_);
 
     // Read-only probe: no hit/miss accounting, no dead-entry eviction.
     // The vector spine peeks in its classify phase to partition the
     // burst, then resolves each packet in order with lookup()/
     // lookup_ref() so stats and eviction happen exactly as scalar.
-    const CachedFlow* peek(const net::FlowKey& key, std::uint64_t hash) const;
+    OVSX_HOT const CachedFlow* peek(const net::FlowKey& key, std::uint64_t hash) const
+        OVSX_EXCLUDES(mu_);
 
     // Software prefetch of the 2-way bucket for `hash`, issued one
-    // packet ahead of the lookup stage.
-    void prefetch(std::uint64_t hash) const;
+    // packet ahead of the lookup stage. Runs unlocked by design: it
+    // only computes an address and issues a CPU hint, never reads an
+    // entry, and a stale address costs a wasted prefetch at worst.
+    OVSX_HOT void prefetch(std::uint64_t hash) const OVSX_NO_THREAD_SAFETY_ANALYSIS;
 
     // Inserts a full key -> flow association (on megaflow hit, so the
     // next packet of this microflow short-circuits).
-    void insert(const net::FlowKey& key, std::uint64_t hash, CachedFlowPtr flow);
+    void insert(const net::FlowKey& key, std::uint64_t hash, CachedFlowPtr flow)
+        OVSX_EXCLUDES(mu_);
 
     // Drops entries pointing at dead flows; returns how many were swept.
-    std::size_t sweep();
+    std::size_t sweep() OVSX_EXCLUDES(mu_);
 
-    void clear();
-    std::uint32_t capacity() const { return entries_; }
-    std::uint64_t hits() const { return hits_; }
-    std::uint64_t misses() const { return misses_; }
+    void clear() OVSX_EXCLUDES(mu_);
+
+    // Repoints the cache at a new power-of-two geometry, dropping every
+    // entry and stat (the Mutex member makes Emc non-assignable, so
+    // reconfiguration mutates in place instead of rebuilding).
+    void resize(std::uint32_t entries) OVSX_EXCLUDES(mu_);
+
+    std::uint32_t capacity() const OVSX_EXCLUDES(mu_);
+    std::uint64_t hits() const OVSX_EXCLUDES(mu_);
+    std::uint64_t misses() const OVSX_EXCLUDES(mu_);
     // Number of live entries — the lookup working set. Large working
     // sets spill out of the CPU caches, which is what degrades the
     // 1000-flow rows of Fig. 9 relative to single-flow.
-    std::uint32_t occupancy() const { return occupancy_; }
+    std::uint32_t occupancy() const OVSX_EXCLUDES(mu_);
 
 private:
     struct Entry {
@@ -76,12 +99,13 @@ private:
         CachedFlowPtr flow;
     };
 
-    std::uint32_t entries_;
-    std::uint32_t mask_;
-    std::vector<Entry> table_;
-    std::uint64_t hits_ = 0;
-    std::uint64_t misses_ = 0;
-    std::uint32_t occupancy_ = 0;
+    mutable sync::Mutex mu_{"ovs.emc"};
+    std::uint32_t entries_ OVSX_GUARDED_BY(mu_);
+    std::uint32_t mask_ OVSX_GUARDED_BY(mu_);
+    std::vector<Entry> table_ OVSX_GUARDED_BY(mu_);
+    std::uint64_t hits_ OVSX_GUARDED_BY(mu_) = 0;
+    std::uint64_t misses_ OVSX_GUARDED_BY(mu_) = 0;
+    std::uint32_t occupancy_ OVSX_GUARDED_BY(mu_) = 0;
 };
 
 } // namespace ovsx::ovs

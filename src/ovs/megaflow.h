@@ -2,14 +2,26 @@
 // tuple-space-search classifier over wildcard masks, populated by
 // ofproto translations on upcall. The structure the eBPF datapath could
 // not express (§2.2.2, footnote 1).
+//
+// Concurrency: the whole classifier is guarded by one capability-
+// annotated mutex (coarse-grained on purpose — the roadmap's scale-out
+// shards this structure per PMD with epoch-based reclamation, and the
+// annotations below are what let that PR move members between shards
+// without losing the compile-time guard analysis). All public methods
+// lock internally, so N PMD threads may hammer one cache through this
+// API; `epoch()` alone is lock-free so the vector spine can snapshot
+// it per burst without serializing.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
 
 #include "ovs/emc.h"
+#include "san/lockset.h"
 #include "san/report.h"
+#include "sync/mutex.h"
 
 namespace ovsx::ovs {
 
@@ -21,7 +33,7 @@ public:
         int subtable = -1;  // index of the matching subtable (batch commit)
     };
 
-    LookupResult lookup(const net::FlowKey& key);
+    OVSX_HOT LookupResult lookup(const net::FlowKey& key) OVSX_EXCLUDES(mu_);
 
     // Stats-free classification of a whole burst in one subtable-major
     // pass: each subtable's mask is applied to every still-unresolved
@@ -30,62 +42,71 @@ public:
     // match what per-packet lookup() would report. Pair each result
     // with commit() — in packet order — to apply the hit/miss and
     // ranking stats, or redo lookup() per packet if epoch() moved.
-    void lookup_batch(const net::FlowKey* const keys[], std::size_t n,
-                      LookupResult out[]) const;
+    OVSX_HOT void lookup_batch(const net::FlowKey* const keys[], std::size_t n,
+                               LookupResult out[]) const OVSX_EXCLUDES(mu_);
 
     // Applies the stats lookup() would have recorded for `res`. Only
     // valid while epoch() still equals the value snapshotted before
     // lookup_batch (subtable indices are stable across an epoch).
-    void commit(const LookupResult& res);
+    OVSX_HOT void commit(const LookupResult& res) OVSX_EXCLUDES(mu_);
 
     // Bumped by any structural mutation (insert/remove/expire/rerank/
-    // clear); lets a batched lookup detect that its snapshot went stale.
-    std::uint64_t epoch() const { return epoch_; }
+    // clear); lets a batched lookup detect that its snapshot went
+    // stale. Lock-free: the release store in mutators pairs with this
+    // acquire so a reader that sees the new epoch also sees the
+    // mutation it tags.
+    std::uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
 
     // Installs a flow; replaces an existing identical masked entry.
     CachedFlowPtr insert(const net::FlowKey& key, const net::FlowMask& mask,
-                         kern::OdpActions actions);
+                         kern::OdpActions actions) OVSX_EXCLUDES(mu_);
 
-    bool remove(const net::FlowKey& key, const net::FlowMask& mask);
-    void clear();
+    bool remove(const net::FlowKey& key, const net::FlowMask& mask) OVSX_EXCLUDES(mu_);
+    void clear() OVSX_EXCLUDES(mu_);
 
-    std::size_t flow_count() const;
-    std::size_t mask_count() const { return subtables_.size(); }
-    std::uint64_t hits() const { return hits_; }
-    std::uint64_t misses() const { return misses_; }
+    std::size_t flow_count() const OVSX_EXCLUDES(mu_);
+    std::size_t mask_count() const OVSX_EXCLUDES(mu_);
+    std::uint64_t hits() const OVSX_EXCLUDES(mu_);
+    std::uint64_t misses() const OVSX_EXCLUDES(mu_);
 
     // Moves frequently-hit subtables toward the front of the probe
     // order (OVS's subtable ranking optimisation). Call periodically.
-    void rerank();
+    void rerank() OVSX_EXCLUDES(mu_);
 
     // Removes flows whose hit counter has not moved since the last
     // sweep (the revalidator's idle-flow expiry). Returns flows removed.
-    std::size_t expire_idle();
+    std::size_t expire_idle() OVSX_EXCLUDES(mu_);
 
     // Cross-checks the san table audit against the real cache.
-    void san_check(san::Site site) const;
+    void san_check(san::Site site) const OVSX_EXCLUDES(mu_);
 
     ~MegaflowCache();
 
-    // Visits all flows (revalidator use).
-    template <typename Fn> void for_each(Fn&& fn)
+    // Visits all flows (revalidator use). Holds the cache lock for the
+    // whole sweep; `fn` must not call back into this cache.
+    template <typename Fn> void for_each(Fn&& fn) OVSX_EXCLUDES(mu_)
     {
-        for (auto& sub : subtables_) {
-            for (auto& [h, bucket] : sub.flows) {
-                for (auto& flow : bucket) fn(flow);
-            }
-        }
+        sync::LockGuard guard(mu_);
+        for_each_locked(fn);
     }
 
     // Visits all flows together with their subtable mask.
-    template <typename Fn> void for_each_entry(Fn&& fn) const
+    template <typename Fn> void for_each_entry(Fn&& fn) const OVSX_EXCLUDES(mu_)
     {
+        sync::LockGuard guard(mu_);
+        OVSX_SAN_ACCESS_AT(this, "ovs.megaflow", false);
         for (const auto& sub : subtables_) {
             for (const auto& [h, bucket] : sub.flows) {
                 for (const auto& flow : bucket) fn(*flow, sub.mask);
             }
         }
     }
+
+    // Test seam (negative lockset tests only): probes the classifier
+    // WITHOUT taking mu_ — the deliberately unguarded access the
+    // Eraser checker must catch when another thread uses the locked
+    // API. Returns the subtable count it raced over.
+    std::size_t test_seam_unguarded_probe() const OVSX_NO_THREAD_SAFETY_ANALYSIS;
 
 private:
     struct Subtable {
@@ -95,10 +116,24 @@ private:
         std::size_t size = 0;
     };
 
-    std::vector<Subtable> subtables_;
-    std::uint64_t hits_ = 0;
-    std::uint64_t misses_ = 0;
-    std::uint64_t epoch_ = 0;
+    template <typename Fn> void for_each_locked(Fn&& fn) OVSX_REQUIRES(mu_)
+    {
+        OVSX_SAN_ACCESS_AT(this, "ovs.megaflow", false);
+        for (auto& sub : subtables_) {
+            for (auto& [h, bucket] : sub.flows) {
+                for (auto& flow : bucket) fn(flow);
+            }
+        }
+    }
+
+    std::size_t flow_count_locked() const OVSX_REQUIRES(mu_);
+
+    mutable sync::Mutex mu_{"ovs.megaflow"};
+    std::vector<Subtable> subtables_ OVSX_GUARDED_BY(mu_);
+    std::uint64_t hits_ OVSX_GUARDED_BY(mu_) = 0;
+    std::uint64_t misses_ OVSX_GUARDED_BY(mu_) = 0;
+    // Written under mu_, read lock-free by epoch().
+    std::atomic<std::uint64_t> epoch_{0};
     std::uint64_t san_scope_ = san::new_scope();
 };
 

@@ -34,14 +34,40 @@ NetlinkCache::~NetlinkCache()
     san::audit_clear(san_scope_, "nlcache.address");
 }
 
+std::uint64_t NetlinkCache::refreshes() const
+{
+    sync::SharedLockGuard guard(mu_);
+    return refreshes_;
+}
+
+std::size_t NetlinkCache::route_count() const
+{
+    sync::SharedLockGuard guard(mu_);
+    return routes_.size();
+}
+
+std::size_t NetlinkCache::neighbor_count() const
+{
+    sync::SharedLockGuard guard(mu_);
+    return neighbors_.size();
+}
+
+std::size_t NetlinkCache::address_count() const
+{
+    sync::SharedLockGuard guard(mu_);
+    return addrs_.size();
+}
+
 void NetlinkCache::refresh()
 {
     const kern::IpStack& stack = kernel_.stack(0);
+    sync::LockGuard guard(mu_);
+    OVSX_SAN_ACCESS_AT(this, "ovs.netlink_cache", true);
     routes_ = stack.routes();
     neighbors_ = stack.neighbors();
     addrs_ = stack.addresses();
     ++refreshes_;
-    stale_ = false;
+    stale_.store(false, std::memory_order_relaxed);
 
     // Re-register the replica populations with the table audit: a
     // replica that drifts from what the audit saw at refresh time (a
@@ -62,6 +88,7 @@ void NetlinkCache::refresh()
 
 void NetlinkCache::san_check(san::Site site) const
 {
+    sync::SharedLockGuard guard(mu_);
     san::audit_expect_size(san_scope_, "nlcache.route", routes_.size(), site);
     san::audit_expect_size(san_scope_, "nlcache.neighbor", neighbors_.size(), site);
     san::audit_expect_size(san_scope_, "nlcache.address", addrs_.size(), site);
@@ -69,6 +96,8 @@ void NetlinkCache::san_check(san::Site site) const
 
 std::optional<NetlinkCache::NextHop> NetlinkCache::resolve(std::uint32_t dst_ip) const
 {
+    sync::SharedLockGuard guard(mu_);
+    OVSX_SAN_ACCESS_AT(this, "ovs.netlink_cache", false);
     // Longest-prefix match over the cached routes.
     const kern::RouteEntry* best = nullptr;
     for (const auto& r : routes_) {
@@ -91,7 +120,7 @@ std::optional<NetlinkCache::NextHop> NetlinkCache::resolve(std::uint32_t dst_ip)
         }
     }
     if (!neigh_found) {
-        stale_ = true; // signal that an ARP resolution is needed
+        stale_.store(true, std::memory_order_relaxed); // ARP resolution needed
         return std::nullopt;
     }
     for (const auto& a : addrs_) {

@@ -4,15 +4,23 @@
 // encapsulation can resolve routes/ARP without syscalls per packet.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 
 #include "kern/kernel.h"
 #include "kern/stack.h"
+#include "san/lockset.h"
 #include "san/report.h"
+#include "sync/mutex.h"
 
 namespace ovsx::ovs {
 
+// Concurrency: reader/writer split on a capability-annotated shared
+// mutex — per-packet resolve() and the counters take the lock shared
+// (many PMDs in parallel), refresh() takes it exclusive. Control-plane
+// refreshes are rare by the paper's own argument, so writer starvation
+// is not a concern.
 class NetlinkCache {
 public:
     // Subscribes to change notifications from the host kernel's root
@@ -32,30 +40,35 @@ public:
     // Resolves the egress interface, source addressing and next-hop MAC
     // for `dst_ip` entirely from the cached tables (no kernel calls on
     // the fast path).
-    std::optional<NextHop> resolve(std::uint32_t dst_ip) const;
+    OVSX_HOT std::optional<NextHop> resolve(std::uint32_t dst_ip) const OVSX_EXCLUDES(mu_);
 
     // Number of times the cache was refreshed from the kernel.
-    std::uint64_t refreshes() const { return refreshes_; }
+    std::uint64_t refreshes() const OVSX_EXCLUDES(mu_);
 
-    bool stale() const { return stale_; }
+    // Relaxed is enough: stale is a latched advisory flag (an ARP
+    // resolution is needed); no other data is published through it.
+    bool stale() const { return stale_.load(std::memory_order_relaxed); }
 
-    std::size_t route_count() const { return routes_.size(); }
-    std::size_t neighbor_count() const { return neighbors_.size(); }
-    std::size_t address_count() const { return addrs_.size(); }
+    std::size_t route_count() const OVSX_EXCLUDES(mu_);
+    std::size_t neighbor_count() const OVSX_EXCLUDES(mu_);
+    std::size_t address_count() const OVSX_EXCLUDES(mu_);
 
     // Audit checkpoint: the replica populations must match what the
     // table audit recorded at the last refresh.
-    void san_check(san::Site site) const;
+    void san_check(san::Site site) const OVSX_EXCLUDES(mu_);
 
 private:
-    void refresh();
+    void refresh() OVSX_EXCLUDES(mu_);
 
     kern::Kernel& kernel_;
-    std::vector<kern::RouteEntry> routes_;
-    std::vector<kern::NeighborEntry> neighbors_;
-    std::vector<kern::AddressEntry> addrs_;
-    std::uint64_t refreshes_ = 0;
-    mutable bool stale_ = false;
+    mutable sync::SharedMutex mu_{"ovs.netlink_cache"};
+    std::vector<kern::RouteEntry> routes_ OVSX_GUARDED_BY(mu_);
+    std::vector<kern::NeighborEntry> neighbors_ OVSX_GUARDED_BY(mu_);
+    std::vector<kern::AddressEntry> addrs_ OVSX_GUARDED_BY(mu_);
+    std::uint64_t refreshes_ OVSX_GUARDED_BY(mu_) = 0;
+    // Written by shared-lock readers (resolve), hence atomic rather
+    // than guarded.
+    mutable std::atomic<bool> stale_{false};
     std::uint64_t san_scope_ = 0;
     std::uint64_t obs_token_ = 0;
 };

@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "sync/mutex.h"
+
 namespace ovsx::san {
 
 namespace {
@@ -19,16 +21,22 @@ struct BucketLess {
     }
 };
 
-std::map<Bucket, std::unordered_set<std::uint64_t>, BucketLess>& tables()
-{
-    static std::map<Bucket, std::unordered_set<std::uint64_t>, BucketLess> m;
-    return m;
-}
+// The audit registry is global shared state itself: table methods call
+// in while holding their own table lock, so audit_mu() is a leaf in the
+// lock order (documented in docs/CONCURRENCY.md) — it is acquired last
+// and nothing is acquired under it.
+struct AuditState {
+    sync::Mutex mu{"san.audit"};
+    std::map<Bucket, std::unordered_set<std::uint64_t>, BucketLess> tables
+        OVSX_GUARDED_BY(mu);
+    std::map<Bucket, std::unordered_map<std::uint64_t, std::int64_t>, BucketLess> refs
+        OVSX_GUARDED_BY(mu);
+};
 
-std::map<Bucket, std::unordered_map<std::uint64_t, std::int64_t>, BucketLess>& refs()
+AuditState& audit_state()
 {
-    static std::map<Bucket, std::unordered_map<std::uint64_t, std::int64_t>, BucketLess> m;
-    return m;
+    static AuditState s;
+    return s;
 }
 
 void violate(const char* checker, std::uint64_t scope, const char* category,
@@ -46,8 +54,12 @@ void violate(const char* checker, std::uint64_t scope, const char* category,
 void audit_add(std::uint64_t scope, const char* category, std::uint64_t key, Site site)
 {
     if (!hardened()) return;
-    auto [it, fresh] = tables()[{scope, category}].insert(key);
-    (void)it;
+    AuditState& s = audit_state();
+    bool fresh;
+    {
+        sync::LockGuard g(s.mu);
+        fresh = s.tables[{scope, category}].insert(key).second;
+    }
     if (!fresh) {
         violate("audit-double-add", scope, category,
                 "entry " + std::to_string(key) + " registered twice", site);
@@ -57,8 +69,14 @@ void audit_add(std::uint64_t scope, const char* category, std::uint64_t key, Sit
 void audit_remove(std::uint64_t scope, const char* category, std::uint64_t key, Site site)
 {
     if (!hardened()) return;
-    auto bit = tables().find({scope, category});
-    if (bit == tables().end() || bit->second.erase(key) == 0) {
+    AuditState& s = audit_state();
+    bool known;
+    {
+        sync::LockGuard g(s.mu);
+        auto bit = s.tables.find({scope, category});
+        known = bit != s.tables.end() && bit->second.erase(key) != 0;
+    }
+    if (!known) {
         violate("audit-unknown-remove", scope, category,
                 "entry " + std::to_string(key) + " erased but never registered", site);
     }
@@ -67,13 +85,17 @@ void audit_remove(std::uint64_t scope, const char* category, std::uint64_t key, 
 void audit_clear(std::uint64_t scope, const char* category)
 {
     if (!hardened()) return;
-    tables().erase({scope, category});
+    AuditState& s = audit_state();
+    sync::LockGuard g(s.mu);
+    s.tables.erase({scope, category});
 }
 
 std::size_t audit_size(std::uint64_t scope, const char* category)
 {
-    auto bit = tables().find({scope, category});
-    return bit == tables().end() ? 0 : bit->second.size();
+    AuditState& s = audit_state();
+    sync::LockGuard g(s.mu);
+    auto bit = s.tables.find({scope, category});
+    return bit == s.tables.end() ? 0 : bit->second.size();
 }
 
 void audit_expect_size(std::uint64_t scope, const char* category, std::size_t expected,
@@ -118,29 +140,40 @@ void ref_inc(std::uint64_t scope, const char* category, std::uint64_t key, Site 
 {
     if (!hardened()) return;
     (void)site;
-    ++refs()[{scope, category}][key];
+    AuditState& s = audit_state();
+    sync::LockGuard g(s.mu);
+    ++s.refs[{scope, category}][key];
 }
 
 bool ref_dec(std::uint64_t scope, const char* category, std::uint64_t key, Site site)
 {
     if (!hardened()) return true;
-    auto bit = refs().find({scope, category});
-    if (bit != refs().end()) {
-        auto it = bit->second.find(key);
-        if (it != bit->second.end() && it->second > 0) {
-            if (--it->second == 0) bit->second.erase(it);
-            return true;
+    AuditState& s = audit_state();
+    bool ok = false;
+    {
+        sync::LockGuard g(s.mu);
+        auto bit = s.refs.find({scope, category});
+        if (bit != s.refs.end()) {
+            auto it = bit->second.find(key);
+            if (it != bit->second.end() && it->second > 0) {
+                if (--it->second == 0) bit->second.erase(it);
+                ok = true;
+            }
         }
     }
-    violate("refcount-underflow", scope, category,
-            "reference " + std::to_string(key) + " released more times than taken", site);
-    return false;
+    if (!ok) {
+        violate("refcount-underflow", scope, category,
+                "reference " + std::to_string(key) + " released more times than taken", site);
+    }
+    return ok;
 }
 
 std::int64_t ref_count(std::uint64_t scope, const char* category, std::uint64_t key)
 {
-    auto bit = refs().find({scope, category});
-    if (bit == refs().end()) return 0;
+    AuditState& s = audit_state();
+    sync::LockGuard g(s.mu);
+    auto bit = s.refs.find({scope, category});
+    if (bit == s.refs.end()) return 0;
     auto it = bit->second.find(key);
     return it == bit->second.end() ? 0 : it->second;
 }
@@ -148,22 +181,30 @@ std::int64_t ref_count(std::uint64_t scope, const char* category, std::uint64_t 
 void ref_expect_all_zero(std::uint64_t scope, const char* category, Site site)
 {
     if (!hardened()) return;
-    auto bit = refs().find({scope, category});
-    if (bit == refs().end()) return;
-    for (const auto& [key, count] : bit->second) {
-        if (count != 0) {
-            violate("refcount-leak", scope, category,
-                    "reference " + std::to_string(key) + " still held " +
-                        std::to_string(count) + " time(s) at teardown",
-                    site);
+    AuditState& s = audit_state();
+    std::vector<std::pair<std::uint64_t, std::int64_t>> leaked;
+    {
+        sync::LockGuard g(s.mu);
+        auto bit = s.refs.find({scope, category});
+        if (bit == s.refs.end()) return;
+        for (const auto& [key, count] : bit->second) {
+            if (count != 0) leaked.emplace_back(key, count);
         }
+    }
+    for (const auto& [key, count] : leaked) {
+        violate("refcount-leak", scope, category,
+                "reference " + std::to_string(key) + " still held " + std::to_string(count) +
+                    " time(s) at teardown",
+                site);
     }
 }
 
 void audit_reset()
 {
-    tables().clear();
-    refs().clear();
+    AuditState& s = audit_state();
+    sync::LockGuard g(s.mu);
+    s.tables.clear();
+    s.refs.clear();
 }
 
 } // namespace ovsx::san

@@ -1,5 +1,6 @@
 #include "san/report.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -35,14 +36,20 @@ bool g_hardened = false;
 
 ScopedCollect*& collector()
 {
-    static ScopedCollect* c = nullptr;
+    // Thread-local: a collector installed by a test on the main thread
+    // must not swallow (and race on) violations fired from worker
+    // threads — those take the hardened abort path with full provenance
+    // instead.
+    thread_local ScopedCollect* c = nullptr;
     return c;
 }
 } // namespace detail
 
 namespace {
-std::uint64_t g_suppressed = 0;
-std::uint64_t g_next_scope = 1;
+// Plain counters would race once PMD threads report in parallel;
+// relaxed is enough — they are statistics, never synchronization.
+std::atomic<std::uint64_t> g_suppressed{0};
+std::atomic<std::uint64_t> g_next_scope{1};
 } // namespace
 
 void set_hardened(bool on) { detail::g_hardened = on; }
@@ -77,12 +84,12 @@ void report(Violation v)
         std::fflush(stderr);
         std::abort();
     }
-    ++g_suppressed;
+    g_suppressed.fetch_add(1, std::memory_order_relaxed);
 }
 
-std::uint64_t suppressed_count() { return g_suppressed; }
-void reset_suppressed() { g_suppressed = 0; }
+std::uint64_t suppressed_count() { return g_suppressed.load(std::memory_order_relaxed); }
+void reset_suppressed() { g_suppressed.store(0, std::memory_order_relaxed); }
 
-std::uint64_t new_scope() { return g_next_scope++; }
+std::uint64_t new_scope() { return g_next_scope.fetch_add(1, std::memory_order_relaxed); }
 
 } // namespace ovsx::san

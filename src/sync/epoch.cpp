@@ -1,0 +1,168 @@
+#include "sync/epoch.h"
+
+#include <cstdio>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+
+namespace ovsx::sync {
+
+namespace {
+std::uint64_t next_domain_id()
+{
+    // Relaxed: uniqueness only. Ids are never reused, so a stale
+    // thread-local entry for a destroyed domain can never alias a new
+    // one that happens to land at the same address.
+    static std::atomic<std::uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+}
+} // namespace
+
+struct EpochDomain::ReaderState {
+    std::uint32_t slot = 0;
+    std::uint64_t depth = 0;
+};
+
+EpochDomain::ReaderState& EpochDomain::reader_state()
+{
+    thread_local std::unordered_map<std::uint64_t, ReaderState> states;
+    auto [it, inserted] = states.try_emplace(domain_id_);
+    if (inserted) {
+        const std::uint32_t slot = slots_used_.fetch_add(1, std::memory_order_relaxed);
+        if (slot >= kMaxReaders) {
+            throw std::runtime_error("EpochDomain: more than kMaxReaders reader threads");
+        }
+        it->second.slot = slot;
+    }
+    return it->second;
+}
+
+EpochDomain::EpochDomain(const char* name) : name_(name), domain_id_(next_domain_id()) {}
+
+EpochDomain::~EpochDomain()
+{
+    // The owner must have joined/quiesced its readers by now; any
+    // still-pinned slot here is a bug in the teardown order.
+    const std::uint32_t used = slots_used_.load(std::memory_order_acquire);
+    for (std::uint32_t i = 0; i < used && i < kMaxReaders; ++i) {
+        if (slots_[i].pinned.load(std::memory_order_acquire) != 0) {
+            std::fprintf(stderr, "EpochDomain(%s): destroyed with a pinned reader\n", name_);
+        }
+    }
+    // No reader can exist anymore, so every pending callback is safe.
+    std::vector<Retired> rest;
+    {
+        LockGuard g(retire_mu_);
+        rest.swap(retired_);
+    }
+    for (auto& r : rest) r.reclaim();
+}
+
+void EpochDomain::pin()
+{
+    ReaderState& rs = reader_state();
+    if (rs.depth++ > 0) return;
+    Slot& slot = slots_[rs.slot];
+    // Publish-and-recheck: store the pin, then confirm the epoch did not
+    // advance in between. seq_cst on both sides forms the store/load
+    // "Dekker" pair with try_advance (which stores the new epoch, then
+    // loads every pin): either the advancer sees our pin and stalls the
+    // epoch, or we see its new epoch and re-pin at it. Either way our
+    // published pin is never older than the epoch our traversal starts
+    // in, which is what the two-advance reclamation rule relies on.
+    std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+    for (;;) {
+        slot.pinned.store(e, std::memory_order_seq_cst);
+        const std::uint64_t now = global_epoch_.load(std::memory_order_seq_cst);
+        if (now == e) break;
+        e = now;
+    }
+}
+
+void EpochDomain::unpin()
+{
+    ReaderState& rs = reader_state();
+    if (--rs.depth > 0) return;
+    // Release: everything the reader did inside the critical section
+    // happens-before an advancer that observes the slot as unpinned.
+    slots_[rs.slot].pinned.store(0, std::memory_order_release);
+}
+
+bool EpochDomain::this_thread_pinned() const
+{
+    return const_cast<EpochDomain*>(this)->reader_state().depth > 0;
+}
+
+void EpochDomain::retire(std::function<void()> reclaim)
+{
+    LockGuard g(retire_mu_);
+    // The epoch must be read under retire_mu_: advances also happen
+    // under it, so a callback tagged E proves the tagging strictly
+    // preceded the advance E -> E+1 (see the safety argument in
+    // epoch.h).
+    retired_.push_back({global_epoch_.load(std::memory_order_seq_cst), std::move(reclaim)});
+}
+
+std::size_t EpochDomain::try_advance()
+{
+    std::vector<Retired> ready;
+    {
+        LockGuard g(retire_mu_);
+        const std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+        bool can_advance = true;
+        const std::uint32_t used = slots_used_.load(std::memory_order_acquire);
+        for (std::uint32_t i = 0; i < used && i < kMaxReaders; ++i) {
+            const std::uint64_t pinned = slots_[i].pinned.load(std::memory_order_seq_cst);
+            if (pinned != 0 && pinned != e) {
+                can_advance = false;
+                break;
+            }
+        }
+        std::uint64_t now = e;
+        if (can_advance) {
+            now = e + 1;
+            global_epoch_.store(now, std::memory_order_seq_cst);
+            // Re-check the pins AFTER publishing the new epoch: a reader
+            // racing with us either saw the old epoch (then its pin was
+            // visible to the loop above — all were == e) or sees the new
+            // one and pins at `now`. Both keep the invariant that no
+            // active pin is < e.
+        }
+        // A callback retired at R is safe once the epoch has advanced
+        // twice past it: global >= R + 2.
+        for (std::size_t i = 0; i < retired_.size();) {
+            if (retired_[i].epoch + 2 <= now) {
+                ready.push_back(std::move(retired_[i]));
+                retired_[i] = std::move(retired_.back());
+                retired_.pop_back();
+            } else {
+                ++i;
+            }
+        }
+    }
+    for (auto& r : ready) r.reclaim();
+    return ready.size();
+}
+
+void EpochDomain::synchronize()
+{
+    if (this_thread_pinned()) {
+        // Advancing past our own pin is impossible — spinning here would
+        // deadlock the caller against itself.
+        std::fprintf(stderr,
+                     "EpochDomain(%s): synchronize() called under an EpochGuard; skipping\n",
+                     name_);
+        return;
+    }
+    while (pending() > 0) {
+        if (try_advance() == 0) std::this_thread::yield();
+    }
+}
+
+std::size_t EpochDomain::pending() const
+{
+    LockGuard g(retire_mu_);
+    return retired_.size();
+}
+
+} // namespace ovsx::sync

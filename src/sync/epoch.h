@@ -1,0 +1,115 @@
+// Epoch-based reclamation, the memory-lifetime half of the scale-out
+// plan: the sharded megaflow/conntrack design on the roadmap replaces
+// its global locks with read-mostly structures whose readers must never
+// block, which means removed entries cannot be freed until every reader
+// that might still see them has moved on. EpochDomain implements the
+// classic three-epoch scheme (Fraser; crossbeam-epoch; the kernel's
+// RCU grace periods are the same idea):
+//
+//  - Readers wrap traversals in an EpochGuard, which pins the thread to
+//    the current global epoch E. Pinning is wait-free.
+//  - Writers unlink an object from the structure first, then retire()
+//    a reclaim callback, tagged with the epoch current at retire time.
+//  - try_advance() moves the global epoch E -> E+1 only when every
+//    pinned thread is pinned at E. A callback retired at epoch R runs
+//    once the global epoch reaches R+2: two advances prove that every
+//    reader that could have observed the object (those pinned at R or
+//    earlier) has unpinned.
+//
+// The two-advance rule is what makes the unlink-then-retire protocol
+// safe: a reader pinned after the advance past R+1 entered at epoch
+// >= R+1, strictly after the object was unlinked, so it cannot find it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sync/annotations.h"
+#include "sync/mutex.h"
+
+namespace ovsx::sync {
+
+class EpochGuard;
+
+class EpochDomain {
+public:
+    // Fixed reader-slot table: registration is lock-free and a slot id
+    // is stable for the lifetime of (thread, domain).
+    static constexpr std::uint32_t kMaxReaders = 64;
+
+    explicit EpochDomain(const char* name = "epoch");
+    ~EpochDomain();
+    EpochDomain(const EpochDomain&) = delete;
+    EpochDomain& operator=(const EpochDomain&) = delete;
+
+    // Defers `reclaim` until no reader pinned at or before the current
+    // epoch can still be active. Callable from any thread; the writer
+    // must have already unlinked the object from the shared structure.
+    void retire(std::function<void()> reclaim);
+
+    // Attempts one epoch advance and runs every callback whose grace
+    // period has elapsed. Returns the number of callbacks run. Safe to
+    // call from any thread, including concurrently.
+    std::size_t try_advance();
+
+    // Blocks (spinning on try_advance + yield) until every callback
+    // retired before the call has run. Must not be called while the
+    // calling thread holds an EpochGuard on this domain — that is a
+    // self-deadlock, reported through the san layer as a violation and
+    // broken by returning early.
+    void synchronize();
+
+    std::size_t pending() const;
+    std::uint64_t epoch() const { return global_epoch_.load(std::memory_order_acquire); }
+    const char* name() const { return name_; }
+
+    // True while the calling thread holds at least one EpochGuard here.
+    bool this_thread_pinned() const;
+
+private:
+    friend class EpochGuard;
+
+    struct ReaderState; // per-thread pin bookkeeping (epoch.cpp)
+    ReaderState& reader_state();
+
+    void pin();
+    void unpin();
+
+    const char* name_;
+    std::uint64_t domain_id_; // survives address reuse in thread-local maps
+
+    // Global epoch counter, starts at 1 so a slot value of 0 can mean
+    // "not pinned". Advanced only under retire_mu_, read lock-free.
+    std::atomic<std::uint64_t> global_epoch_{1};
+
+    // slots_[i] == 0: no pinned reader; otherwise the epoch that reader
+    // is pinned at. Readers own their slot exclusively.
+    struct alignas(64) Slot {
+        std::atomic<std::uint64_t> pinned{0};
+    };
+    Slot slots_[kMaxReaders];
+    std::atomic<std::uint32_t> slots_used_{0};
+
+    mutable Mutex retire_mu_{"sync.epoch.retire"};
+    struct Retired {
+        std::uint64_t epoch;
+        std::function<void()> reclaim;
+    };
+    std::vector<Retired> retired_ OVSX_GUARDED_BY(retire_mu_);
+};
+
+// RAII reader pin. Nests: only the outermost guard pins/unpins.
+class EpochGuard {
+public:
+    explicit EpochGuard(EpochDomain& domain) : domain_(domain) { domain_.pin(); }
+    ~EpochGuard() { domain_.unpin(); }
+    EpochGuard(const EpochGuard&) = delete;
+    EpochGuard& operator=(const EpochGuard&) = delete;
+
+private:
+    EpochDomain& domain_;
+};
+
+} // namespace ovsx::sync

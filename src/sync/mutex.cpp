@@ -1,0 +1,28 @@
+#include "sync/mutex.h"
+
+namespace ovsx::sync {
+
+namespace detail {
+
+std::atomic<AcquireHook> g_acquire_hook{nullptr};
+std::atomic<ReleaseHook> g_release_hook{nullptr};
+
+std::uint32_t next_lock_id()
+{
+    // Relaxed: the id only needs uniqueness, no ordering with anything.
+    static std::atomic<std::uint32_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace detail
+
+void set_lock_hooks(detail::AcquireHook acquire, detail::ReleaseHook release)
+{
+    // Release pairs with the acquire loads in hook_acquire/hook_release:
+    // everything the installer wrote before this call (the lockset
+    // checker's own state) is visible to any thread that sees the hook.
+    detail::g_acquire_hook.store(acquire, std::memory_order_release);
+    detail::g_release_hook.store(release, std::memory_order_release);
+}
+
+} // namespace ovsx::sync

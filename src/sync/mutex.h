@@ -1,0 +1,174 @@
+// ovsx::sync — capability-annotated locking primitives.
+//
+// Every lock in the tree outside this directory must be one of these
+// wrappers (enforced by tools/ovsx_lint rule `raw-mutex`): they carry
+// the clang thread-safety capability attributes, a stable name + id for
+// diagnostics, and a hook seam through which the ovsx::san lockset
+// checker observes every acquisition and release — per-thread held-lock
+// sets for Eraser-style race detection and a global acquisition DAG for
+// lock-order (ABBA) detection. The hooks are raw function pointers
+// installed by san/lockset.cpp at static-init time, so this layer has
+// no dependency on san and sits at the very bottom of the link graph
+// (obs can use it for its registries).
+//
+// Hooks fire only in hardened mode (the installed hook checks); when
+// off, a lock is exactly a std::mutex plus one predicted-null branch.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>        // NOLINT(ovsx) raw primitive wrapped here, allowed in src/sync/ only
+#include <shared_mutex> // NOLINT(ovsx)
+
+#include "sync/annotations.h"
+
+namespace ovsx::sync {
+
+namespace detail {
+
+// on_acquire(id, name, exclusive) is called BEFORE blocking on the
+// underlying lock, so a lock-order cycle is reported even when the
+// program would deadlock right after; on_release(id) after unlocking.
+using AcquireHook = void (*)(std::uint32_t id, const char* name, bool exclusive);
+using ReleaseHook = void (*)(std::uint32_t id);
+
+extern std::atomic<AcquireHook> g_acquire_hook;
+extern std::atomic<ReleaseHook> g_release_hook;
+
+// Monotonic lock ids, assigned at construction (deterministic within a
+// deterministic program).
+std::uint32_t next_lock_id();
+
+inline void hook_acquire(std::uint32_t id, const char* name, bool exclusive)
+{
+    if (AcquireHook h = g_acquire_hook.load(std::memory_order_acquire)) h(id, name, exclusive);
+}
+
+inline void hook_release(std::uint32_t id)
+{
+    if (ReleaseHook h = g_release_hook.load(std::memory_order_acquire)) h(id);
+}
+
+} // namespace detail
+
+// Installs the lockset observer (san/lockset.cpp). Passing nullptrs
+// detaches it. `acquire` ordering pairs with the acquire loads in the
+// hook_* shims so a hook installed at static-init is fully constructed
+// before any other thread can invoke it.
+void set_lock_hooks(detail::AcquireHook acquire, detail::ReleaseHook release);
+
+class OVSX_CAPABILITY("mutex") Mutex {
+public:
+    explicit Mutex(const char* name = "mutex") : id_(detail::next_lock_id()), name_(name) {}
+    Mutex(const Mutex&) = delete;
+    Mutex& operator=(const Mutex&) = delete;
+
+    void lock() OVSX_ACQUIRE()
+    {
+        detail::hook_acquire(id_, name_, /*exclusive=*/true);
+        mu_.lock();
+    }
+
+    bool try_lock() OVSX_TRY_ACQUIRE(true)
+    {
+        if (!mu_.try_lock()) return false;
+        detail::hook_acquire(id_, name_, /*exclusive=*/true);
+        return true;
+    }
+
+    void unlock() OVSX_RELEASE()
+    {
+        mu_.unlock();
+        detail::hook_release(id_);
+    }
+
+    std::uint32_t id() const { return id_; }
+    const char* name() const { return name_; }
+
+private:
+    std::mutex mu_;
+    std::uint32_t id_;
+    const char* name_;
+};
+
+class OVSX_CAPABILITY("shared_mutex") SharedMutex {
+public:
+    explicit SharedMutex(const char* name = "shared_mutex")
+        : id_(detail::next_lock_id()), name_(name)
+    {
+    }
+    SharedMutex(const SharedMutex&) = delete;
+    SharedMutex& operator=(const SharedMutex&) = delete;
+
+    void lock() OVSX_ACQUIRE()
+    {
+        detail::hook_acquire(id_, name_, /*exclusive=*/true);
+        mu_.lock();
+    }
+    void unlock() OVSX_RELEASE()
+    {
+        mu_.unlock();
+        detail::hook_release(id_);
+    }
+
+    void lock_shared() OVSX_ACQUIRE_SHARED()
+    {
+        detail::hook_acquire(id_, name_, /*exclusive=*/false);
+        mu_.lock_shared();
+    }
+    void unlock_shared() OVSX_RELEASE_SHARED()
+    {
+        mu_.unlock_shared();
+        detail::hook_release(id_);
+    }
+
+    std::uint32_t id() const { return id_; }
+    const char* name() const { return name_; }
+
+private:
+    std::shared_mutex mu_;
+    std::uint32_t id_;
+    const char* name_;
+};
+
+class OVSX_SCOPED_CAPABILITY LockGuard {
+public:
+    explicit LockGuard(Mutex& mu) OVSX_ACQUIRE(mu) : mu_(&mu), shared_mu_(nullptr)
+    {
+        mu_->lock();
+    }
+    explicit LockGuard(SharedMutex& mu) OVSX_ACQUIRE(mu) : mu_(nullptr), shared_mu_(&mu)
+    {
+        shared_mu_->lock();
+    }
+    ~LockGuard() OVSX_RELEASE()
+    {
+        if (mu_) mu_->unlock();
+        if (shared_mu_) shared_mu_->unlock();
+    }
+    LockGuard(const LockGuard&) = delete;
+    LockGuard& operator=(const LockGuard&) = delete;
+
+private:
+    Mutex* mu_;
+    SharedMutex* shared_mu_;
+};
+
+class OVSX_SCOPED_CAPABILITY SharedLockGuard {
+public:
+    explicit SharedLockGuard(SharedMutex& mu) OVSX_ACQUIRE_SHARED(mu) : mu_(mu)
+    {
+        mu_.lock_shared();
+    }
+    ~SharedLockGuard() OVSX_RELEASE()
+    {
+        mu_.unlock_shared();
+    }
+    SharedLockGuard(const SharedLockGuard&) = delete;
+    SharedLockGuard& operator=(const SharedLockGuard&) = delete;
+
+private:
+    SharedMutex& mu_;
+};
+
+} // namespace ovsx::sync
