@@ -1,0 +1,195 @@
+// Fabric INT localization: injects a degraded (slow) link into a
+// leaf–spine fabric and localizes it purely from the exported INT
+// telemetry — the localizer consumes obs::int_hop_percentiles() (what
+// `int/paths` renders) and the static topology, never the fabric's
+// link state or the injected ground truth.
+//
+//   bench_fabric_int [extra_ns] [frames-per-pair]
+//
+// Exits non-zero when any scenario localizes the wrong link, misses
+// the degraded link, or reports an anomaly on a healthy fabric.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fabric/fabric.h"
+#include "gen/obs_export.h"
+#include "obs/coverage.h"
+#include "obs/int_export.h"
+#include "obs/metrics.h"
+
+using namespace ovsx;
+
+namespace {
+
+std::uint64_t coverage_count(const char* name)
+{
+    const auto id = obs::coverage_find(name);
+    return id ? obs::coverage_value(*id) : 0;
+}
+
+// A localized link: the wire between two named switches, inferred from
+// telemetry alone.
+struct Suspect {
+    std::string from;
+    std::string to;
+    std::int64_t p50_ns = 0;
+};
+
+// Finds the slow link from exported INT data only. A hop record's
+// latency delta covers "previous switch egress -> this switch egress",
+// i.e. the ingress wire plus this switch's residence; an elevated p99
+// at hop i therefore indicts the link chain[i-1] -> chain[i] of that
+// path. Hop 0 is the origin host's own residence (no ingress wire) and
+// is never a link suspect. Returns nullopt when no hop stands out.
+std::optional<Suspect> localize(const fabric::Fabric& fab)
+{
+    // p50, not p99: a degraded wire delays EVERY frame that crosses
+    // it, while the big benign outliers (one upcall per new megaflow
+    // per switch) only touch the first frame of a flow and land in the
+    // tail. The median isolates the per-frame link cost.
+    const auto hops = obs::int_hop_percentiles();
+    std::vector<std::int64_t> transit_p50;
+    const obs::IntHopP99* worst = nullptr;
+    for (const auto& h : hops) {
+        if (h.hop == 0) continue;
+        transit_p50.push_back(h.p50_ns);
+        if (!worst || h.p50_ns > worst->p50_ns) worst = &h;
+    }
+    if (!worst || transit_p50.empty()) return std::nullopt;
+    std::sort(transit_p50.begin(), transit_p50.end());
+    const std::int64_t median = transit_p50[transit_p50.size() / 2];
+    // Anomaly: the worst hop is far off the fleet median AND slow in
+    // absolute terms (sub-50us jitter is normal pipeline noise).
+    if (worst->p50_ns < 50'000 || worst->p50_ns < 10 * std::max<std::int64_t>(1, median)) {
+        return std::nullopt;
+    }
+    // Reconstruct this path's switch chain from its key: "hA->hB via
+    // <id> <id> ..." — exported data, not fabric state.
+    std::vector<std::uint32_t> chain;
+    const std::size_t via = worst->path.find(" via ");
+    if (via == std::string::npos) return std::nullopt;
+    const char* p = worst->path.c_str() + via + 5;
+    while (*p) {
+        chain.push_back(static_cast<std::uint32_t>(std::strtoul(p, const_cast<char**>(&p), 10)));
+        while (*p == ' ') ++p;
+    }
+    if (worst->hop >= chain.size() || worst->hop == 0) return std::nullopt;
+    return Suspect{fab.switch_name(chain[worst->hop - 1]), fab.switch_name(chain[worst->hop]),
+                   worst->p50_ns};
+}
+
+fabric::FabricConfig mixed_fabric_config()
+{
+    fabric::FabricConfig cfg;
+    cfg.hosts = 4;
+    cfg.leaves = 2;
+    cfg.spines = 2;
+    // One of each provider plus a second netdev: telemetry for the
+    // localization must come from every datapath flavor at once.
+    cfg.providers = {fabric::HostProvider::Netdev, fabric::HostProvider::Kernel,
+                     fabric::HostProvider::Ebpf, fabric::HostProvider::Netdev};
+    cfg.batch_size = 8;
+    return cfg;
+}
+
+void drive_all_pairs(fabric::Fabric& fab, std::size_t frames)
+{
+    for (std::size_t s = 0; s < fab.host_count(); ++s) {
+        for (std::size_t d = 0; d < fab.host_count(); ++d) {
+            if (s != d) fab.send(s, d, frames);
+        }
+    }
+}
+
+struct Scenario {
+    const char* name;
+    std::optional<fabric::DegradedLink> degraded;
+};
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    const std::int64_t extra_ns = argc > 1 ? std::strtoll(argv[1], nullptr, 0) : 500'000;
+    const std::size_t frames = argc > 2 ? std::strtoull(argv[2], nullptr, 0) : 40;
+
+    const Scenario scenarios[] = {
+        {"degraded-transit", fabric::DegradedLink{"leaf0", "spine1", extra_ns}},
+        {"degraded-uplink", fabric::DegradedLink{"h0", "leaf0", extra_ns}},
+        {"healthy", std::nullopt},
+    };
+
+    std::printf("fabric INT localization: 4 hosts (netdev/kernel/ebpf/netdev), "
+                "2 leaves x 2 spines, %zu frames/pair, extra=%lldns\n\n",
+                frames, static_cast<long long>(extra_ns));
+
+    int failures = 0;
+    std::size_t correct = 0;
+    for (const Scenario& sc : scenarios) {
+        obs::int_reset();
+        fabric::FabricConfig cfg = mixed_fabric_config();
+        cfg.degraded = sc.degraded;
+        fabric::Fabric fab(cfg);
+        drive_all_pairs(fab, frames);
+
+        const auto suspect = localize(fab);
+        std::printf("scenario %-17s", sc.name);
+        bool ok;
+        if (sc.degraded) {
+            ok = suspect && suspect->from == sc.degraded->from &&
+                 suspect->to == sc.degraded->to;
+            std::printf(" injected %s->%s  localized %s  p50=%lldns  %s\n",
+                        sc.degraded->from.c_str(), sc.degraded->to.c_str(),
+                        suspect ? (suspect->from + "->" + suspect->to).c_str() : "(none)",
+                        suspect ? static_cast<long long>(suspect->p50_ns) : 0,
+                        ok ? "CORRECT" : "WRONG");
+        } else {
+            ok = !suspect;
+            std::printf(" injected (none)     localized %s  %s\n",
+                        suspect ? (suspect->from + "->" + suspect->to).c_str() : "(none)",
+                        ok ? "CORRECT" : "FALSE-POSITIVE");
+        }
+        if (ok) {
+            ++correct;
+        } else {
+            ++failures;
+        }
+
+        if (sc.degraded == std::nullopt) {
+            // Golden-able artifacts from the healthy run: the observed
+            // paths with per-hop percentiles, and the topology.
+            std::printf("\n---- int/paths (healthy fabric) ----\n%s\n",
+                        fab.appctl(0).run("int/paths").c_str());
+            std::printf("---- fabric/show ----\n%s\n", fab.appctl(0).run("fabric/show").c_str());
+        }
+    }
+
+    std::printf("\ncounters: int.stamped=%llu int.exported=%llu int.hops=%llu "
+                "int.truncated=%llu\n",
+                static_cast<unsigned long long>(coverage_count("int.stamped")),
+                static_cast<unsigned long long>(coverage_count("int.exported")),
+                static_cast<unsigned long long>(coverage_count("int.hops")),
+                static_cast<unsigned long long>(coverage_count("int.truncated")));
+
+    obs::metrics_set("fabric.result", obs::Value(failures == 0 ? "ok" : "fail"));
+    obs::metrics_set("fabric.scenarios",
+                     obs::Value(static_cast<std::uint64_t>(std::size(scenarios))));
+    obs::metrics_set("fabric.localized_correct", obs::Value(correct));
+    obs::metrics_set("fabric.extra_ns", obs::Value(extra_ns));
+    obs::metrics_set("fabric.frames_per_pair", obs::Value(frames));
+    const std::string written = gen::metrics_flush_from_env();
+    if (!written.empty()) std::printf("obs metrics written to %s\n", written.c_str());
+
+    if (failures) {
+        std::printf("\nFAIL: %d scenario(s) mislocalized\n", failures);
+        return 1;
+    }
+    std::printf("\nOK: all %zu scenarios localized correctly from exported INT data\n",
+                correct);
+    return 0;
+}

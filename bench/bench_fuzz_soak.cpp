@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "fabric/fabric.h"
 #include "gen/fuzz.h"
 #include "gen/obs_export.h"
 #include "obs/coverage.h"
@@ -39,6 +40,7 @@ int main(int argc, char** argv)
     std::size_t iterations = 0;
     std::size_t packets = 0;
     std::size_t explained = 0;
+    std::size_t fabric_frames = 0;
 
     std::printf("fuzz soak: base_seed=%llu budget=%.1fs count=%zu\n",
                 static_cast<unsigned long long>(base_seed), seconds, count);
@@ -55,10 +57,26 @@ int main(int argc, char** argv)
         cfg.num_queues = (iterations % 2) ? 2 : 1;
         cfg.use_fragments = (iterations % 3) == 2;
         cfg.use_extra_encaps = (iterations % 5) >= 3;
+        cfg.use_int = (iterations % 2) == 0; // pre-attached INT headers in the mix
         // Rotate the batch-vs-scalar chunk size so the vector spine is
         // soaked at degenerate (1), partial (8) and full (32) occupancy.
         static constexpr std::size_t kBatchSizes[] = {1, 8, 32};
         cfg.batch_size = kBatchSizes[iterations % 3];
+
+        // Every few iterations, soak the fabric too: a 3-host leaf–spine
+        // run per provider with INT stamping on, at the same rotated
+        // batch size, diffed for delivery and journey divergence.
+        if ((iterations % 4) == 0) {
+            const auto fr = ovsx::fabric::run_fabric_differential(3, 2, cfg.batch_size);
+            fabric_frames += fr.frames_sent;
+            if (!fr.ok()) {
+                std::printf("FAIL: fabric divergence at iteration=%zu batch=%zu\n%s\n",
+                            iterations, cfg.batch_size, fr.summary().c_str());
+                ovsx::obs::metrics_set("soak.result", ovsx::obs::Value("fail"));
+                ovsx::gen::metrics_flush_from_env();
+                return 1;
+            }
+        }
         const ovsx::gen::DiffReport report = ovsx::gen::fuzz_run(seed, cfg, count);
         packets += report.packets_run;
         explained += report.explained.size();
@@ -79,9 +97,9 @@ int main(int argc, char** argv)
     const double elapsed =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
     const double pkt_per_s = static_cast<double>(packets) / (elapsed > 0 ? elapsed : 1);
-    std::printf("OK: %zu iterations, %zu packets, %zu explained divergences, %.1fs "
-                "(%.0f pkt/s across 3 datapaths)\n",
-                iterations, packets, explained, elapsed, pkt_per_s);
+    std::printf("OK: %zu iterations, %zu packets, %zu explained divergences, "
+                "%zu fabric frames, %.1fs (%.0f pkt/s across 3 datapaths)\n",
+                iterations, packets, explained, fabric_frames, elapsed, pkt_per_s);
 
     // Obs evidence that the vector spine actually ran batched: the
     // occupancy counter sums packets per flush, so occupancy/flush is
@@ -103,6 +121,7 @@ int main(int argc, char** argv)
     ovsx::obs::metrics_set("soak.iterations", ovsx::obs::Value(iterations));
     ovsx::obs::metrics_set("soak.packets", ovsx::obs::Value(packets));
     ovsx::obs::metrics_set("soak.explained_divergences", ovsx::obs::Value(explained));
+    ovsx::obs::metrics_set("soak.fabric_frames", ovsx::obs::Value(fabric_frames));
     ovsx::obs::metrics_set("soak.elapsed_seconds", ovsx::obs::Value(elapsed));
     const std::string written = ovsx::gen::metrics_flush_from_env();
     if (!written.empty()) std::printf("obs metrics written to %s\n", written.c_str());

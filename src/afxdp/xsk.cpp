@@ -34,7 +34,8 @@ bool XskSocket::kernel_deliver(const net::Packet& pkt, const sim::CostModel& cos
 
     // The frame is raw bytes; the trace id rides in the descriptor's
     // options word so NetdevAfxdp::rx_burst can restore it.
-    XdpDesc desc{*fill, static_cast<std::uint32_t>(len), pkt.meta().trace_id};
+    XdpDesc desc{*fill, static_cast<std::uint32_t>(len), pkt.meta().trace_id,
+                 pkt.meta().latency_ns};
     softirq.charge(costs.xsk_ring_op);
     OVSX_COVERAGE_CTX(softirq, "xsk.rx_produce");
     if (!rx_.produce(desc)) {
@@ -68,6 +69,7 @@ std::optional<net::Packet> XskSocket::kernel_collect_tx(const sim::CostModel& co
     auto src = umem_.frame(desc->addr);
     net::Packet pkt = net::Packet::from_bytes(src.subspan(0, desc->len));
     pkt.meta().trace_id = desc->options;
+    pkt.meta().latency_ns = desc->latency_ns;
     if (mode_ == BindMode::Copy) {
         softirq.charge(costs.copy(desc->len));
     }

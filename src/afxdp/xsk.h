@@ -22,6 +22,10 @@ struct XdpDesc {
     FrameAddr addr = 0;
     std::uint32_t len = 0;
     std::uint32_t options = 0;
+    // Stands in for the XDP rx-metadata area (hardware rx timestamps):
+    // the frame bytes in umem are raw, so the accumulated packet
+    // latency crosses the socket in the descriptor, like the trace id.
+    std::int64_t latency_ns = 0;
 };
 
 // Copy mode (XDP_SKB / generic) pays a kernel-side copy per packet;

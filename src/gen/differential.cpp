@@ -12,6 +12,7 @@
 #include "kern/kernel.h"
 #include "kern/nic.h"
 #include "kern/ovs_kmod.h"
+#include "net/int_hdr.h"
 #include "obs/trace.h"
 #include "ovs/dpif_ebpf.h"
 #include "ovs/dpif_kernel.h"
@@ -404,6 +405,12 @@ DifferentialHarness::make_instance(DpKind kind) const
         }
         inst->dpif = inst->netdev.get();
         for (const auto& [id, cfg] : ruleset_.meters) inst->netdev->meters().set(id, cfg);
+        if (opts_.enable_int) {
+            // Identical switch id on every provider: the stamped VALUES
+            // (latency ticks, occupancy) still differ per provider, which
+            // is exactly why verdicts strip the option before comparing.
+            inst->netdev->set_int({true, 1, net::kIntTierHost, 8, true});
+        }
         break;
     }
     case DpKind::Kernel: {
@@ -412,6 +419,7 @@ DifferentialHarness::make_instance(DpKind kind) const
         inst->kdpif = std::make_unique<ovs::DpifKernel>(*inst->kdp);
         inst->dpif = inst->kdpif.get();
         for (const auto& [id, cfg] : ruleset_.meters) inst->kdp->meters().set(id, cfg);
+        if (opts_.enable_int) inst->kdp->set_int({true, 1, net::kIntTierHost, 8, true});
         break;
     }
     case DpKind::Ebpf: {
@@ -422,13 +430,18 @@ DifferentialHarness::make_instance(DpKind kind) const
     }
     }
 
-    // Wire output capture: frames leaving port i land in captured.
+    // Wire output capture: frames leaving port i land in captured. With
+    // INT on, the option is stripped from the captured bytes first —
+    // stamped telemetry values differ per provider by design, while the
+    // rest of the frame (outer headers, inner packet) must stay
+    // byte-identical across providers.
     for (std::size_t i = 0; i < opts_.n_ports; ++i) {
         Instance* raw = inst.get();
-        inst->nics[i]->connect_wire([raw, i](net::Packet&& p) {
-            raw->captured.push_back(
-                {i, std::vector<std::uint8_t>(p.data(), p.data() + p.size()),
-                 p.meta().trace_id});
+        const bool strip_int = opts_.enable_int;
+        inst->nics[i]->connect_wire([raw, i, strip_int](net::Packet&& p) {
+            std::vector<std::uint8_t> bytes(p.data(), p.data() + p.size());
+            if (strip_int) bytes = net::int_strip_bytes(bytes);
+            raw->captured.push_back({i, std::move(bytes), p.meta().trace_id});
         });
     }
 

@@ -110,6 +110,12 @@ struct DiffOptions {
     bool compare_end_state = true; // diff flow/ct tables + port stats at the end
     bool minimize = true;          // shrink the first unexplained divergence
     std::uint64_t seed = 0;        // recorded into reproducers
+    // INT telemetry on: netdev and kernel stamp hop records into
+    // INT-bearing Geneve frames, eBPF forwards them intact. Stamped
+    // latency/occupancy legitimately differ across providers, so
+    // captured frames are INT-stripped (net::int_strip_bytes) before
+    // verdict comparison — the inner packet must still be byte-identical.
+    bool enable_int = false;
 };
 
 // Fault injection: mutates the translated actions for one datapath

@@ -4,6 +4,7 @@
 
 #include "net/builder.h"
 #include "net/headers.h"
+#include "net/int_hdr.h"
 #include "net/tunnel.h"
 #include "san/packet_ledger.h"
 #include "san/report.h"
@@ -316,6 +317,19 @@ std::vector<DiffPacket> generate_packets(sim::Rng& rng, const FuzzConfig& cfg,
                                 : net::TunnelType::Erspan;
             }
             net::encapsulate(pkt, type, key, params);
+            if (cfg.use_int && type == net::TunnelType::Geneve) {
+                // Pre-stamped origin record, as a fabric host would emit:
+                // the providers under test then stamp (netdev/kernel) or
+                // forward intact (eBPF); verdicts are INT-stripped.
+                net::int_attach(pkt, 8);
+                net::IntHop origin;
+                origin.switch_id = 0xf0;
+                origin.ingress_tier = net::kIntTierHost;
+                origin.egress_tier = net::kIntTierHost;
+                origin.occupancy = 1;
+                origin.latency_ticks = static_cast<std::uint32_t>(rng.below(64));
+                net::int_stamp(pkt, origin);
+            }
             dp.pkt = std::move(pkt);
         } else if (cfg.use_icmp && roll < 88) {
             net::IcmpSpec s;
@@ -355,6 +369,7 @@ DiffReport fuzz_run(std::uint64_t seed, const FuzzConfig& cfg, std::size_t count
     opts.n_ports = cfg.n_ports;
     opts.num_queues = cfg.num_queues ? cfg.num_queues : 1;
     opts.seed = seed;
+    opts.enable_int = cfg.use_int;
     DifferentialHarness harness(std::move(ruleset), opts);
 
     // Every fuzz iteration doubles as a sanitizer run: hardened mode is

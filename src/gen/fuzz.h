@@ -27,6 +27,10 @@ struct FuzzConfig {
     bool use_malformed = true; // corpus from net::malform()
     std::uint32_t malformed_percent = 8;
     bool use_meters = false; // meter actions (explained divergence on eBPF)
+    // INT telemetry: Geneve frames carry the INT option with one
+    // pre-stamped origin record; instances run with INT stamping enabled
+    // and verdicts are INT-stripped (DiffOptions::enable_int).
+    bool use_int = false;
     bool use_fragments = false;    // re-badge some UDP frames as IP fragments
     bool use_extra_encaps = false; // rotate VXLAN/ERSPAN outers alongside Geneve
     // Batch-vs-scalar self-check: each iteration additionally drives the

@@ -5,8 +5,10 @@
 #include "kern/kernel.h"
 #include "kern/stack.h"
 #include "net/headers.h"
+#include "net/int_hdr.h"
 #include "net/rewrite.h"
 #include "obs/coverage.h"
+#include "obs/int_export.h"
 #include "obs/trace.h"
 #include "san/audit.h"
 #include "san/packet_ledger.h"
@@ -265,6 +267,8 @@ void OvsKernelDatapath::receive_batch(std::uint32_t port_no, std::vector<net::Pa
     if (pkts.empty()) return;
     OVSX_COVERAGE_CTX(ctx, "batch.flush");
     OVSX_COVERAGE_CTX_N(ctx, "batch.occupancy", pkts.size());
+    last_batch_occupancy_ =
+        static_cast<std::uint16_t>(std::min<std::size_t>(pkts.size(), 0xffff));
     for (auto& pkt : pkts) {
         receive(port_no, std::move(pkt), ctx);
     }
@@ -276,6 +280,22 @@ void OvsKernelDatapath::tunnel_rx(net::Packet&& pkt, const net::FlowKey& key,
 {
     auto res = net::decapsulate_auto(pkt);
     if (!res) return;
+    if (!res->geneve_opts.empty()) {
+        // Last hop: pop the INT option (decap already stripped it from
+        // the frame) and export the hop records.
+        bool truncated = false;
+        const auto hops = net::int_parse_options(res->geneve_opts, &truncated);
+        if (!hops.empty() || truncated) {
+            std::vector<obs::IntHopSample> samples;
+            samples.reserve(hops.size());
+            for (const auto& h : hops) {
+                samples.push_back({h.switch_id, h.ingress_tier, h.egress_tier, h.occupancy,
+                                   static_cast<std::int64_t>(h.latency_ticks) *
+                                       net::kIntTickNs});
+            }
+            obs::int_export(res->key.ip_src, res->key.ip_dst, samples, truncated);
+        }
+    }
     // Find the vport for this tunnel type.
     for (const auto& [no, vport] : ports_) {
         if (vport.tunnel && *vport.tunnel == res->type) {
@@ -303,6 +323,7 @@ void OvsKernelDatapath::do_output(net::Packet&& pkt, std::uint32_t port_no,
         obs::trace(pkt.meta().trace_id, obs::Hop::Tx, pkt.meta().latency_ns, "", port_no);
     }
     if (vport->dev) {
+        if (int_cfg_.enabled) maybe_int_stamp(pkt, ctx);
         vport->dev->transmit(std::move(pkt), ctx);
         return;
     }
@@ -328,8 +349,30 @@ void OvsKernelDatapath::do_output(net::Packet&& pkt, std::uint32_t port_no,
         net::encapsulate(pkt, *vport->tunnel, tkey, params);
         ctx.charge(costs.copy(static_cast<std::int64_t>(net::encap_overhead(*vport->tunnel))));
         pkt.meta().tunnel = net::TunnelKey{};
+        if (int_cfg_.enabled && int_cfg_.attach_on_encap &&
+            *vport->tunnel == net::TunnelType::Geneve) {
+            net::int_attach(pkt, int_cfg_.max_hops);
+        }
+        if (int_cfg_.enabled) maybe_int_stamp(pkt, ctx);
         out->transmit(std::move(pkt), ctx);
         return;
+    }
+}
+
+void OvsKernelDatapath::maybe_int_stamp(net::Packet& pkt, sim::ExecContext& ctx)
+{
+    net::IntHop hop;
+    hop.switch_id = int_cfg_.switch_id;
+    hop.ingress_tier = int_cfg_.tier;
+    hop.egress_tier = int_cfg_.tier;
+    hop.occupancy = last_batch_occupancy_;
+    hop.latency_ticks = static_cast<std::uint32_t>(pkt.meta().latency_ns / net::kIntTickNs);
+    if (net::int_stamp(pkt, hop)) {
+        OVSX_COVERAGE_CTX(ctx, "int.stamped");
+        const auto c =
+            kernel_.costs().copy(static_cast<std::int64_t>(sizeof(net::IntHopRecord)));
+        ctx.charge(c);
+        pkt.meta().latency_ns += c;
     }
 }
 

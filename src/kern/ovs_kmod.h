@@ -110,6 +110,20 @@ public:
     // OVS_PACKET_CMD_EXECUTE).
     void execute(net::Packet&& pkt, const OdpActions& actions, sim::ExecContext& ctx);
 
+    // ---- in-band telemetry (INT) ---------------------------------------
+    // Same semantics as DpifNetdev::IntConfig: attach the Geneve INT
+    // option at encap, stamp one hop record per transmitted frame that
+    // carries the option, pop+export at tunnel decap.
+    struct IntConfig {
+        bool enabled = false;
+        std::uint32_t switch_id = 0;
+        std::uint8_t tier = 0; // net::kIntTier{Host,Leaf,Spine}
+        std::uint8_t max_hops = 8;
+        bool attach_on_encap = true;
+    };
+    void set_int(const IntConfig& cfg) { int_cfg_ = cfg; }
+    const IntConfig& int_config() const { return int_cfg_; }
+
     // ---- statistics -----------------------------------------------------------------
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
@@ -141,6 +155,7 @@ private:
     LookupResult lookup(const net::FlowKey& key, sim::ExecContext& ctx);
     void do_output(net::Packet&& pkt, std::uint32_t port_no, sim::ExecContext& ctx);
     void tunnel_rx(net::Packet&& pkt, const net::FlowKey& key, sim::ExecContext& ctx);
+    void maybe_int_stamp(net::Packet& pkt, sim::ExecContext& ctx);
 
     Kernel& kernel_;
     std::map<std::uint32_t, Vport> ports_;
@@ -153,6 +168,8 @@ private:
     int recursion_ = 0;
     MeterTable meters_;
     sim::Nanos now_ = 0;
+    IntConfig int_cfg_;
+    std::uint16_t last_batch_occupancy_ = 1; // INT queue/batch occupancy field
     std::uint64_t san_scope_;
 };
 

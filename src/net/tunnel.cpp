@@ -4,6 +4,7 @@
 
 #include "net/checksum.h"
 #include "net/headers.h"
+#include "net/int_hdr.h"
 
 namespace ovsx::net {
 
@@ -155,9 +156,28 @@ std::optional<DecapResult> decap_udp_tunnel(Packet& pkt, TunnelType type,
         if (be16_to_host(gnv->protocol_be) != kGeneveProtoEthernet) return std::nullopt;
         res.key.tun_id = gnv->vni_value();
         if (gnv->flags & 0x80) res.key.flags |= kTunnelOam;
-        const std::size_t full = inner_off + static_cast<std::size_t>(gnv->opt_len_bytes());
-        if (full > pkt.size()) return std::nullopt;
-        pkt.pull_front(full);
+        const std::size_t opt_len = static_cast<std::size_t>(gnv->opt_len_bytes());
+        if (opt_len > 0) {
+            // The option area length comes from the packet itself:
+            // validate the region and every TLV inside it before the
+            // inner frame is exposed. A truncated area (opt_len past the
+            // end) or an option whose own length runs past the area are
+            // both attacker-shaped inputs, not parse results.
+            if (inner_off + opt_len > pkt.size()) return std::nullopt;
+            const auto opts = pkt.checked_read(inner_off, opt_len, OVSX_SITE);
+            if (opts.empty()) return std::nullopt;
+            std::size_t o = 0;
+            while (o < opt_len) {
+                if (o + sizeof(GeneveOptionHeader) > opt_len) return std::nullopt;
+                GeneveOptionHeader opt;
+                std::memcpy(&opt, opts.data() + o, sizeof opt);
+                o += sizeof(GeneveOptionHeader) +
+                     static_cast<std::size_t>(opt.body_len_bytes());
+            }
+            if (o != opt_len) return std::nullopt; // oversized trailing TLV
+            res.geneve_opts.assign(opts.begin(), opts.end());
+        }
+        pkt.pull_front(inner_off + opt_len);
     } else {
         const auto* vx = pkt.try_header_at<VxlanHeader>(l4_off + sizeof(UdpHeader));
         if (!vx || !(vx->flags & 0x08)) return std::nullopt;

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "net/addr.h"
 #include "net/packet.h"
@@ -37,6 +38,11 @@ std::size_t encapsulate(Packet& pkt, TunnelType type, const TunnelKey& key,
 struct DecapResult {
     TunnelKey key;
     TunnelType type = TunnelType::Geneve;
+    // Raw Geneve options region (TLVs, e.g. the INT telemetry option),
+    // copied out before the outer headers are stripped. Empty for other
+    // tunnel types and option-less Geneve frames. Decap points parse
+    // this (net/int_hdr.h) to export telemetry at the last hop.
+    std::vector<std::uint8_t> geneve_opts;
 };
 
 // Attempts to decapsulate a tunneled frame in place. Returns nullopt

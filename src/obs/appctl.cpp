@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "obs/coverage.h"
+#include "obs/int_export.h"
 #include "obs/latency.h"
 
 namespace ovsx::obs {
@@ -21,6 +22,10 @@ Appctl::Appctl()
     // Built-in so every provider's appctl reports the identical shape.
     register_command("latency/show", "per-provider per-tier latency histograms",
                      [](const Args&) { return latency_show(); });
+    register_command("int/paths", "observed INT paths with per-hop p50/p99",
+                     [](const Args&) { return int_paths_show(); });
+    register_command("fabric/show", "fabric topology and per-link load",
+                     [](const Args&) { return fabric_show(); });
     register_command("memory/show", "registered allocator/cache occupancy",
                      [](const Args&) { return memory_show(); });
     register_command("appctl/list", "list registered commands", [this](const Args&) {

@@ -1,0 +1,179 @@
+#include "obs/int_export.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "obs/coverage.h"
+#include "obs/histogram.h"
+#include "obs/latency.h"
+
+namespace ovsx::obs {
+namespace {
+
+const char* tier_name(std::uint8_t tier)
+{
+    switch (tier) {
+    case 0: return "host";
+    case 1: return "leaf";
+    case 2: return "spine";
+    }
+    return "?";
+}
+
+std::string ip_to_string(std::uint32_t ip)
+{
+    return std::to_string(ip >> 24) + "." + std::to_string((ip >> 16) & 0xff) + "." +
+           std::to_string((ip >> 8) & 0xff) + "." + std::to_string(ip & 0xff);
+}
+
+struct HopStats {
+    std::uint32_t switch_id = 0;
+    std::uint8_t ingress_tier = 0;
+    std::uint8_t egress_tier = 0;
+    LatencyHistogram latency; // per-hop delta ns
+    std::uint64_t occupancy_sum = 0;
+    std::uint64_t samples = 0;
+};
+
+struct PathStats {
+    std::uint64_t count = 0;
+    std::uint64_t truncated = 0;
+    LatencyHistogram total; // cumulative latency at the last stamp
+    std::vector<HopStats> hops;
+};
+
+std::map<std::uint32_t, std::string>& host_names()
+{
+    static std::map<std::uint32_t, std::string> m;
+    return m;
+}
+
+// Path key -> stats. Keys embed the switch chain so ECMP siblings stay
+// distinct observed paths. Interned path-latency domain strings for the
+// latency/show feed live for the process lifetime by design.
+std::map<std::string, PathStats>& paths()
+{
+    static std::map<std::string, PathStats> m;
+    return m;
+}
+
+std::string endpoint_name(std::uint32_t ip)
+{
+    const auto it = host_names().find(ip);
+    return it != host_names().end() ? it->second : ip_to_string(ip);
+}
+
+} // namespace
+
+void int_name_host(std::uint32_t ip, std::string name)
+{
+    host_names()[ip] = std::move(name);
+}
+
+void int_export(std::uint32_t src_ip, std::uint32_t dst_ip,
+                const std::vector<IntHopSample>& hops, bool truncated)
+{
+    OVSX_COVERAGE("int.exported");
+    if (!hops.empty()) OVSX_COVERAGE_N("int.hops", hops.size());
+    if (truncated) OVSX_COVERAGE("int.truncated");
+
+    const std::string pair = endpoint_name(src_ip) + "->" + endpoint_name(dst_ip);
+    std::string key = pair + " via";
+    for (const auto& h : hops) key += " " + std::to_string(h.switch_id);
+
+    PathStats& ps = paths()[key];
+    ps.count += 1;
+    if (truncated) ps.truncated += 1;
+    if (ps.hops.size() < hops.size()) ps.hops.resize(hops.size());
+    std::int64_t prev = 0;
+    std::int64_t last = 0;
+    for (std::size_t i = 0; i < hops.size(); ++i) {
+        HopStats& hs = ps.hops[i];
+        hs.switch_id = hops[i].switch_id;
+        hs.ingress_tier = hops[i].ingress_tier;
+        hs.egress_tier = hops[i].egress_tier;
+        const std::int64_t delta = std::max<std::int64_t>(0, hops[i].latency_ns - prev);
+        hs.latency.record(delta);
+        hs.occupancy_sum += hops[i].occupancy;
+        hs.samples += 1;
+        prev = hops[i].latency_ns;
+        last = hops[i].latency_ns;
+    }
+    ps.total.record(last);
+    latency_path_record(pair, last);
+}
+
+Value int_paths_show()
+{
+    Value out = Value::object();
+    Value vpaths = Value::object();
+    for (const auto& [key, ps] : paths()) {
+        Value p = Value::object();
+        p.set("count", ps.count);
+        p.set("truncated", ps.truncated);
+        p.set("total", ps.total.to_value());
+        Value hops = Value::array();
+        for (std::size_t i = 0; i < ps.hops.size(); ++i) {
+            const HopStats& hs = ps.hops[i];
+            Value h = Value::object();
+            h.set("hop", static_cast<std::uint64_t>(i));
+            h.set("switch", hs.switch_id);
+            h.set("ingress_tier", tier_name(hs.ingress_tier));
+            h.set("egress_tier", tier_name(hs.egress_tier));
+            h.set("count", hs.latency.count());
+            h.set("p50_ns", hs.latency.percentile(50));
+            h.set("p99_ns", hs.latency.percentile(99));
+            h.set("occupancy_avg",
+                  hs.samples ? static_cast<double>(hs.occupancy_sum) /
+                                   static_cast<double>(hs.samples)
+                             : 0.0);
+            hops.push(std::move(h));
+        }
+        p.set("hops", std::move(hops));
+        vpaths.set(key, std::move(p));
+    }
+    out.set("paths", std::move(vpaths));
+    return out;
+}
+
+std::vector<IntHopP99> int_hop_percentiles()
+{
+    std::vector<IntHopP99> out;
+    for (const auto& [key, ps] : paths()) {
+        for (std::size_t i = 0; i < ps.hops.size(); ++i) {
+            const HopStats& hs = ps.hops[i];
+            out.push_back({key, i, hs.switch_id, hs.ingress_tier, hs.latency.percentile(50),
+                           hs.latency.percentile(99), hs.latency.count()});
+        }
+    }
+    return out;
+}
+
+void int_reset() { paths().clear(); }
+
+namespace {
+std::function<Value()>& fabric_provider()
+{
+    static std::function<Value()> p;
+    return p;
+}
+} // namespace
+
+void fabric_show_set_provider(std::function<Value()> provider)
+{
+    fabric_provider() = std::move(provider);
+}
+
+Value fabric_show()
+{
+    if (fabric_provider()) return fabric_provider()();
+    Value v = Value::object();
+    v.set("hosts", Value::array());
+    v.set("switches", Value::array());
+    v.set("links", Value::array());
+    return v;
+}
+
+} // namespace ovsx::obs

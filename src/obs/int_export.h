@@ -1,0 +1,79 @@
+// INT (in-band network telemetry) export registry.
+//
+// The last-hop switch pops the INT option at Geneve decap and feeds the
+// per-hop records here. The registry keeps, per observed path — a
+// (src-host, dst-host) pair plus the exact switch chain the records
+// describe — a latency histogram per hop and for the whole path, and
+// bumps the interned counters:
+//
+//   int.exported   packets whose INT option reached an export point
+//   int.hops       hop records exported (sum over packets)
+//   int.truncated  exported options carrying the truncated flag
+//
+// (`int.stamped` is bumped at the stamp sites in the providers.)
+//
+// The (src-host, dst-host) total-latency histograms additionally feed
+// the `latency/show` registry under the "path" provider, so fabric-wide
+// path latency renders through the same appctl/metrics surface as the
+// per-tier provider histograms. The `int/paths` appctl command renders
+// int_paths_show() on every provider.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/value.h"
+
+namespace ovsx::obs {
+
+// One hop record as exported (host byte order, latency reconstructed
+// to cumulative nanoseconds by the caller from the stamped ticks).
+struct IntHopSample {
+    std::uint32_t switch_id = 0;
+    std::uint8_t ingress_tier = 0;
+    std::uint8_t egress_tier = 0;
+    std::uint16_t occupancy = 0;
+    std::int64_t latency_ns = 0; // cumulative packet latency at stamp time
+};
+
+// Registers a human name for a tunnel endpoint IP ("h0"); unnamed
+// endpoints render as dotted quads.
+void int_name_host(std::uint32_t ip, std::string name);
+
+// Exports one popped INT option: outer (src, dst) VTEP addresses plus
+// the stamped hop chain. `truncated` mirrors the option's flag.
+void int_export(std::uint32_t src_ip, std::uint32_t dst_ip,
+                const std::vector<IntHopSample>& hops, bool truncated);
+
+// {"paths": {<path>: {"count","truncated","total":{stats},"hops":[...]}}}
+// — keys sorted, same shape on every provider.
+Value int_paths_show();
+
+// Per-hop p99 latency (ns) for every observed path, flattened as
+// (path key, hop index, switch id, p99) — the localization input
+// bench_fabric_int consumes. Derived purely from exported data.
+struct IntHopP99 {
+    std::string path;
+    std::size_t hop = 0;
+    std::uint32_t switch_id = 0;
+    std::uint8_t ingress_tier = 0;
+    std::int64_t p50_ns = 0;
+    std::int64_t p99_ns = 0;
+    std::uint64_t count = 0;
+};
+std::vector<IntHopP99> int_hop_percentiles();
+
+// Clears observed paths (host names survive).
+void int_reset();
+
+// ---- fabric/show ---------------------------------------------------
+// The `fabric/show` appctl built-in renders fabric_show(): topology +
+// per-link load. The fabric (src/fabric/) installs the provider; with
+// none installed every appctl answers the same empty shape
+// {"hosts":[],"switches":[],"links":[]}.
+void fabric_show_set_provider(std::function<Value()> provider);
+Value fabric_show();
+
+} // namespace ovsx::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cstring>
+#include <map>
 #include <memory>
 #include <string>
 #include <utility>
@@ -64,6 +65,15 @@ bool same_domain(const char* a, const char* b)
     return a && b && std::strcmp(a, b) == 0;
 }
 
+// Fabric path histograms, keyed (src-host -> dst-host). Ordered map:
+// latency_show renders keys sorted and path cardinality is tiny
+// (host-pair count), so no interning is needed.
+std::map<std::string, LatencyHistogram>& path_hists()
+{
+    static std::map<std::string, LatencyHistogram> m;
+    return m;
+}
+
 } // namespace
 
 void latency_record(const char* domain, Hop hop, std::int64_t delta_ns)
@@ -108,7 +118,7 @@ Value latency_show()
     std::sort(named.begin(), named.end(),
               [](const auto& a, const auto& b) { return a.first < b.first; });
 
-    Value out = Value::object();
+    std::vector<std::pair<std::string, Value>> entries;
     for (const auto& [name, hists] : named) {
         std::vector<std::pair<std::string, std::size_t>> tiers;
         for (std::size_t i = 0; i < kHops; ++i) {
@@ -118,8 +128,22 @@ Value latency_show()
                   [](const auto& a, const auto& b) { return a.first < b.first; });
         Value dom = Value::object();
         for (const auto& [tier, i] : tiers) dom.set(tier, (*hists)[i].to_value());
-        out.set(name, std::move(dom));
+        entries.emplace_back(name, std::move(dom));
     }
+    // Fabric paths render as one synthetic "path" provider with the
+    // (src-host -> dst-host) pair as the tier key; the map is already
+    // key-sorted.
+    {
+        Value dom = Value::object();
+        for (const auto& [path, hist] : path_hists()) {
+            if (hist.count() > 0) dom.set(path, hist.to_value());
+        }
+        if (!dom.members().empty()) entries.emplace_back("path", std::move(dom));
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    Value out = Value::object();
+    for (auto& [name, dom] : entries) out.set(name, std::move(dom));
     return out;
 }
 
@@ -134,6 +158,17 @@ const LatencyHistogram* latency_histogram(const char* domain, Hop hop)
     return nullptr;
 }
 
+void latency_path_record(const std::string& path, std::int64_t total_ns)
+{
+    path_hists()[path].record(total_ns);
+}
+
+const LatencyHistogram* latency_path_histogram(const std::string& path)
+{
+    const auto it = path_hists().find(path);
+    return it != path_hists().end() ? &it->second : nullptr;
+}
+
 void latency_reset()
 {
     for (auto& d : domains()) {
@@ -141,6 +176,7 @@ void latency_reset()
             for (auto& h : *d.hists) h.reset();
         }
     }
+    path_hists().clear();
     span_table().fill(SpanSlot{});
 }
 

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "obs/histogram.h"
 #include "obs/trace.h"
@@ -36,6 +37,17 @@ Value latency_show();
 
 // Histogram for one (domain, tier), or nullptr when never fed.
 const LatencyHistogram* latency_histogram(const char* domain, Hop hop);
+
+// Fabric path latency: one end-to-end sample for a (src-host, dst-host)
+// pair, fed by the INT export point at the last hop. Paths render in
+// latency_show() under the synthetic "path" provider with the pair as
+// the tier key, so fabric-wide latency shares the appctl/metrics
+// surface of the per-tier histograms. Dynamic keys are allowed here
+// (paths are few and long-lived), unlike the interned provider slots.
+void latency_path_record(const std::string& path, std::int64_t total_ns);
+
+// Histogram for one path key, or nullptr when never fed.
+const LatencyHistogram* latency_path_histogram(const std::string& path);
 
 // Clears every histogram and the span table (domain slots survive).
 void latency_reset();

@@ -3,6 +3,7 @@
 #include <fstream>
 
 #include "obs/coverage.h"
+#include "obs/int_export.h"
 #include "obs/latency.h"
 #include "obs/window.h"
 
@@ -81,6 +82,7 @@ std::string metrics_json()
     doc.set("coverage", std::move(cov));
     doc.set("histograms", latency_show());
     doc.set("windows", windows_snapshot());
+    doc.set("int", int_paths_show());
     doc.set("metrics", root());
     return doc.to_json();
 }

@@ -14,7 +14,10 @@
 
 namespace ovsx::obs {
 
-inline constexpr const char* kMetricsSchema = "ovsx-obs-v2";
+// v3 adds the "int" section (observed fabric paths with per-hop
+// latency percentiles, from obs/int_export.h) and admits the synthetic
+// "path" provider inside "histograms".
+inline constexpr const char* kMetricsSchema = "ovsx-obs-v3";
 
 // Sets the value at `dotted` ("a.b.c"), creating intermediate objects.
 // A non-object intermediate is replaced by an object.
@@ -28,9 +31,11 @@ Value metrics_snapshot();
 
 void metrics_reset();
 
-// {"schema":"ovsx-obs-v2","coverage":{...},"histograms":{...},
-//  "windows":{...},"metrics":{...}} — histograms is the per-provider
-// per-tier latency registry, windows the published window snapshots.
+// {"schema":"ovsx-obs-v3","coverage":{...},"histograms":{...},
+//  "windows":{...},"int":{...},"metrics":{...}} — histograms is the
+// per-provider per-tier latency registry (plus the "path" provider fed
+// by INT export), windows the published window snapshots, int the
+// observed INT paths.
 std::string metrics_json();
 
 // Writes metrics_json() to `path`; false on I/O failure.

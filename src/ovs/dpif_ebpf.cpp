@@ -7,6 +7,7 @@
 #include "ebpf/verifier.h"
 #include "kern/kernel.h"
 #include "net/headers.h"
+#include "net/int_hdr.h"
 #include "net/rewrite.h"
 #include "obs/coverage.h"
 #include "obs/trace.h"
@@ -367,6 +368,11 @@ void DpifEbpf::do_output(net::Packet&& pkt, std::uint32_t port_no, sim::ExecCont
     if (pkt.meta().trace_id) {
         obs::trace(pkt.meta().trace_id, obs::Hop::Tx, pkt.meta().latency_ns, "", port_no);
     }
+    // This datapath cannot rewrite packets in flight, so a Geneve frame
+    // carrying an INT option transits byte-identical (no stamp, no
+    // strip). Count it so the fabric can prove the forward-intact
+    // obligation from exported coverage alone.
+    if (net::int_find(pkt)) OVSX_COVERAGE_CTX(ctx, "int.forwarded");
     it->second->transmit(std::move(pkt), ctx);
 }
 

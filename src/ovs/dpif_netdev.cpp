@@ -10,8 +10,10 @@
 #include "kern/kernel.h"
 #include "net/hash.h"
 #include "net/headers.h"
+#include "net/int_hdr.h"
 #include "net/rewrite.h"
 #include "obs/coverage.h"
+#include "obs/int_export.h"
 #include "obs/trace.h"
 #include "ovs/appctl_render.h"
 #include "ovs/netdev_afxdp.h"
@@ -371,6 +373,23 @@ bool DpifNetdev::try_tunnel_decap(net::Packet& pkt, sim::ExecContext& ctx)
         auto res = net::decapsulate(pkt, *port.tunnel);
         if (!res) continue;
         ctx.charge(costs_.parse_extract); // outer header parse
+        if (!res->geneve_opts.empty()) {
+            // Last hop: pop the INT option (decap already stripped it
+            // from the frame) and export the hop records.
+            bool truncated = false;
+            const auto hops = net::int_parse_options(res->geneve_opts, &truncated);
+            if (!hops.empty() || truncated) {
+                std::vector<obs::IntHopSample> samples;
+                samples.reserve(hops.size());
+                for (const auto& h : hops) {
+                    samples.push_back({h.switch_id, h.ingress_tier, h.egress_tier,
+                                       h.occupancy,
+                                       static_cast<std::int64_t>(h.latency_ticks) *
+                                           net::kIntTickNs});
+                }
+                obs::int_export(res->key.ip_src, res->key.ip_dst, samples, truncated);
+            }
+        }
         pkt.meta().tunnel = res->key;
         pkt.meta().in_port = no;
         return true;
@@ -384,6 +403,7 @@ void DpifNetdev::process_batch(std::uint32_t in_port, std::vector<net::Packet>&&
     const bool outer = !batching_outputs_;
     if (outer) batching_outputs_ = true;
     if (scalar_spine_) {
+        last_batch_occupancy_ = 1;
         for (auto& pkt : batch) {
             san::skb_transition(pkt.san_id(), san::SkbState::Datapath, OVSX_SITE);
             pkt.meta().in_port = in_port;
@@ -444,6 +464,7 @@ void DpifNetdev::process_vector(std::uint32_t in_port, net::PacketBatch& vec,
     const std::size_t n = vec.size();
     OVSX_COVERAGE_CTX(ctx, "batch.flush");
     OVSX_COVERAGE_CTX_N(ctx, "batch.occupancy", n);
+    last_batch_occupancy_ = static_cast<std::uint16_t>(n);
 
     // ---- Phase A: admit + extract + prefetch -------------------------
     for (std::size_t i = 0; i < n; ++i) {
@@ -663,6 +684,7 @@ void DpifNetdev::output(net::Packet&& pkt, std::uint32_t port_no, sim::ExecConte
         ++dropped_;
         return;
     }
+    if (int_cfg_.enabled) maybe_int_stamp(pkt, ctx);
     if (batching_outputs_) {
         out_batches_[port_no].push_back(std::move(pkt));
         return;
@@ -711,11 +733,36 @@ void DpifNetdev::output_tunnel(net::Packet&& pkt, const Port& vport, sim::ExecCo
     params.udp_src_port =
         static_cast<std::uint16_t>(0xc000 | (net::rxhash_from_key(inner_key) & 0x3fff));
     net::encapsulate(pkt, *vport.tunnel, tkey, params);
+    if (int_cfg_.enabled && int_cfg_.attach_on_encap &&
+        *vport.tunnel == net::TunnelType::Geneve) {
+        net::int_attach(pkt, int_cfg_.max_hops);
+    }
     const auto c = costs_.copy(static_cast<std::int64_t>(net::encap_overhead(*vport.tunnel)));
     ctx.charge(c);
     pkt.meta().latency_ns += c;
     pkt.meta().tunnel = net::TunnelKey{};
     output(std::move(pkt), out_port->second, ctx);
+}
+
+void DpifNetdev::maybe_int_stamp(net::Packet& pkt, sim::ExecContext& ctx)
+{
+    // Only Geneve frames already carrying the INT option are stamped —
+    // int_stamp() locates the option (or bails for every other frame)
+    // and appends this switch's record in place. The inner frame bytes
+    // are untouched.
+    net::IntHop hop;
+    hop.switch_id = int_cfg_.switch_id;
+    hop.ingress_tier = int_cfg_.tier;
+    hop.egress_tier = int_cfg_.tier;
+    hop.occupancy = last_batch_occupancy_;
+    hop.latency_ticks = static_cast<std::uint32_t>(
+        pkt.meta().latency_ns / net::kIntTickNs);
+    if (net::int_stamp(pkt, hop)) {
+        OVSX_COVERAGE_CTX(ctx, "int.stamped");
+        const auto c = costs_.copy(static_cast<std::int64_t>(sizeof(net::IntHopRecord)));
+        ctx.charge(c);
+        pkt.meta().latency_ns += c;
+    }
 }
 
 void DpifNetdev::execute(net::Packet&& pkt, const kern::OdpActions& actions,

@@ -80,6 +80,23 @@ public:
     void set_scalar_spine(bool scalar) { scalar_spine_ = scalar; }
     bool scalar_spine() const { return scalar_spine_; }
 
+    // ---- in-band telemetry (INT) ---------------------------------------
+    // When enabled this switch participates in fabric INT: the Geneve
+    // encap path attaches the option at the origin, every transmitted
+    // Geneve frame already carrying the option gets one hop record
+    // (switch id, tier, current batch occupancy, cumulative latency
+    // ticks) stamped on the batched dataplane, and tunnel decap pops the
+    // records into obs::int_export.
+    struct IntConfig {
+        bool enabled = false;
+        std::uint32_t switch_id = 0;
+        std::uint8_t tier = 0; // net::kIntTier{Host,Leaf,Spine}
+        std::uint8_t max_hops = 8;
+        bool attach_on_encap = true; // origin host adds the option
+    };
+    void set_int(const IntConfig& cfg) { int_cfg_ = cfg; }
+    const IntConfig& int_config() const { return int_cfg_; }
+
     // ---- subsystems ---------------------------------------------------------------
     Emc& emc() { return emc_; }
     MegaflowCache& megaflow() { return megaflow_; }
@@ -170,6 +187,7 @@ private:
     void output(net::Packet&& pkt, std::uint32_t port_no, sim::ExecContext& ctx);
     void output_tunnel(net::Packet&& pkt, const Port& vport, sim::ExecContext& ctx);
     bool try_tunnel_decap(net::Packet& pkt, sim::ExecContext& ctx);
+    void maybe_int_stamp(net::Packet& pkt, sim::ExecContext& ctx);
     void run_actions(net::Packet&& pkt, const kern::OdpActions& actions, sim::ExecContext& ctx,
                      int depth);
     void flush_output_batches(sim::ExecContext& ctx);
@@ -197,6 +215,8 @@ private:
     std::uint64_t dropped_ = 0;
     std::uint32_t emc_insert_inv_prob_ = 100;
     std::uint64_t emc_insert_counter_ = 0;
+    IntConfig int_cfg_;
+    std::uint16_t last_batch_occupancy_ = 1; // INT queue/batch occupancy field
     obs::Window window_;
     bool auto_lb_ = false;
     double auto_lb_min_improvement_ = 1.25;

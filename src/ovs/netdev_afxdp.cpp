@@ -140,6 +140,7 @@ std::uint32_t NetdevAfxdp::rx_burst(std::uint32_t queue, std::vector<net::Packet
         // the hardware were lost at the XDP boundary (§3.2 O5, Fig. 12).
         pkt.meta().in_port = 0;
         pkt.meta().trace_id = desc->options; // obs trace id rides the descriptor
+        pkt.meta().latency_ns = desc->latency_ns; // rx-metadata timestamp
         sim::Nanos per_pkt = costs.xsk_ring_op;
 
         // dp_packet metadata (O4).
@@ -228,7 +229,8 @@ void NetdevAfxdp::tx_burst(std::uint32_t queue, std::vector<net::Packet>&& pkts,
         ctx.charge(costs.xsk_ring_op);
         san::frame_transition(q.umem->san_scope(), addr, san::FrameState::TxRing,
                               OVSX_SITE);
-        q.xsk->tx().produce({addr, static_cast<std::uint32_t>(len), pkt.meta().trace_id});
+        q.xsk->tx().produce({addr, static_cast<std::uint32_t>(len), pkt.meta().trace_id,
+                             pkt.meta().latency_ns});
         note_tx(pkt);
         ++queued;
     }

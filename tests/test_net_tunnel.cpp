@@ -3,7 +3,9 @@
 #include "net/builder.h"
 #include "net/checksum.h"
 #include "net/headers.h"
+#include "net/int_hdr.h"
 #include "net/tunnel.h"
+#include "san/report.h"
 
 namespace ovsx::net {
 namespace {
@@ -158,6 +160,138 @@ TEST(Tunnel, NestedEncapsulation)
     auto second = decapsulate_auto(pkt);
     ASSERT_TRUE(second.has_value());
     EXPECT_EQ(second->type, TunnelType::Geneve);
+    EXPECT_EQ(std::vector<std::uint8_t>(pkt.bytes().begin(), pkt.bytes().end()), original);
+}
+
+// ---- Geneve option-area hardening and the INT option ---------------------
+
+constexpr std::size_t kGeneveHdrOff =
+    sizeof(EthernetHeader) + sizeof(Ipv4Header) + sizeof(UdpHeader);
+
+Packet geneve_with_int(std::uint8_t max_hops = 4)
+{
+    Packet pkt = inner_packet();
+    encapsulate(pkt, TunnelType::Geneve, tunnel_key(), encap_params());
+    EXPECT_TRUE(int_attach(pkt, max_hops));
+    return pkt;
+}
+
+TEST(GeneveOptions, OptLenPastPacketEndIsRejected)
+{
+    Packet pkt = inner_packet();
+    encapsulate(pkt, TunnelType::Geneve, tunnel_key(), encap_params());
+    // Claim a huge options area: the whole remaining packet plus more.
+    auto* gnv = pkt.checked_header_at<GeneveHeader>(kGeneveHdrOff, OVSX_SITE);
+    ASSERT_NE(gnv, nullptr);
+    gnv->ver_optlen = static_cast<std::uint8_t>((gnv->ver_optlen & 0xc0) | 0x3f);
+    EXPECT_FALSE(decapsulate(pkt, TunnelType::Geneve).has_value());
+    EXPECT_FALSE(int_find(pkt).has_value());
+}
+
+TEST(GeneveOptions, TruncatedOptionAreaIsRejected)
+{
+    Packet pkt = geneve_with_int();
+    // Cut inside the options area: the Geneve header survives but its
+    // advertised option bytes do not.
+    pkt.truncate(kGeneveHdrOff + sizeof(GeneveHeader) + 2);
+    EXPECT_FALSE(decapsulate(pkt, TunnelType::Geneve).has_value());
+    EXPECT_FALSE(int_find(pkt).has_value());
+}
+
+TEST(GeneveOptions, OversizedTlvBodyIsRejected)
+{
+    Packet pkt = geneve_with_int();
+    // The lone TLV claims a body larger than the option area it sits in.
+    const std::size_t opt_off = kGeneveHdrOff + sizeof(GeneveHeader);
+    auto* opt = pkt.checked_header_at<GeneveOptionHeader>(opt_off, OVSX_SITE);
+    ASSERT_NE(opt, nullptr);
+    opt->set_body_len_bytes(sizeof(IntMetadata) + 3 * sizeof(IntHopRecord));
+    EXPECT_FALSE(decapsulate(pkt, TunnelType::Geneve).has_value());
+    EXPECT_FALSE(int_find(pkt).has_value());
+}
+
+TEST(GeneveOptions, HopCountLengthMismatchIsRejected)
+{
+    Packet pkt = geneve_with_int();
+    ASSERT_TRUE(int_stamp(pkt, {7, kIntTierHost, kIntTierHost, 1, 10}));
+    // Metadata now claims two hops while the TLV holds bytes for one.
+    const std::size_t meta_off =
+        kGeneveHdrOff + sizeof(GeneveHeader) + sizeof(GeneveOptionHeader);
+    auto* meta = pkt.checked_header_at<IntMetadata>(meta_off, OVSX_SITE);
+    ASSERT_NE(meta, nullptr);
+    meta->hop_count = 2;
+    EXPECT_FALSE(int_find(pkt).has_value());
+    EXPECT_TRUE(int_read(pkt).empty());
+    // The raw-region parser applies the same consistency check.
+    auto res = decapsulate(pkt, TunnelType::Geneve);
+    ASSERT_TRUE(res.has_value()); // tunnel itself is fine, the option is not
+    EXPECT_TRUE(int_parse_options(res->geneve_opts).empty());
+}
+
+TEST(GeneveOptions, IntAttachStampStripRoundTrip)
+{
+    Packet pkt = inner_packet();
+    encapsulate(pkt, TunnelType::Geneve, tunnel_key(), encap_params());
+    const std::vector<std::uint8_t> encapped(pkt.bytes().begin(), pkt.bytes().end());
+
+    ASSERT_TRUE(int_attach(pkt, 4));
+    EXPECT_FALSE(int_attach(pkt, 4)); // at most one INT option per frame
+    ASSERT_TRUE(int_stamp(pkt, {101, kIntTierHost, kIntTierLeaf, 3, 1000}));
+    ASSERT_TRUE(int_stamp(pkt, {202, kIntTierLeaf, kIntTierSpine, 8, 2500}));
+
+    const auto hops = int_read(pkt);
+    ASSERT_EQ(hops.size(), 2u);
+    EXPECT_EQ(hops[0].switch_id, 101u);
+    EXPECT_EQ(hops[0].egress_tier, kIntTierLeaf);
+    EXPECT_EQ(hops[1].switch_id, 202u);
+    EXPECT_EQ(hops[1].occupancy, 8u);
+    EXPECT_EQ(hops[1].latency_ticks, 2500u);
+
+    // Stripping restores the exact pre-INT encapsulated frame, modulo
+    // the outer UDP checksum which attaching legitimately cleared.
+    ASSERT_TRUE(int_strip(pkt));
+    Packet ref = Packet::from_bytes(encapped);
+    auto* udp = ref.checked_header_at<UdpHeader>(
+        sizeof(EthernetHeader) + sizeof(Ipv4Header), OVSX_SITE);
+    ASSERT_NE(udp, nullptr);
+    udp->csum_be = 0;
+    EXPECT_EQ(std::vector<std::uint8_t>(pkt.bytes().begin(), pkt.bytes().end()),
+              std::vector<std::uint8_t>(ref.bytes().begin(), ref.bytes().end()));
+}
+
+TEST(GeneveOptions, StampPastMaxHopsSetsTruncatedFlag)
+{
+    Packet pkt = geneve_with_int(/*max_hops=*/1);
+    ASSERT_TRUE(int_stamp(pkt, {1, kIntTierHost, kIntTierHost, 0, 16}));
+    EXPECT_FALSE(int_stamp(pkt, {2, kIntTierLeaf, kIntTierLeaf, 0, 32}));
+
+    const auto loc = int_find(pkt);
+    ASSERT_TRUE(loc.has_value());
+    EXPECT_EQ(loc->hop_count, 1u);
+    EXPECT_NE(loc->flags & kIntFlagTruncated, 0);
+
+    auto res = decapsulate(pkt, TunnelType::Geneve);
+    ASSERT_TRUE(res.has_value());
+    bool truncated = false;
+    const auto hops = int_parse_options(res->geneve_opts, &truncated);
+    ASSERT_EQ(hops.size(), 1u);
+    EXPECT_TRUE(truncated);
+}
+
+TEST(GeneveOptions, DecapSurfacesOptionsAndInnerFrameIsUntouched)
+{
+    Packet pkt = inner_packet();
+    const std::vector<std::uint8_t> original(pkt.bytes().begin(), pkt.bytes().end());
+    encapsulate(pkt, TunnelType::Geneve, tunnel_key(), encap_params());
+    ASSERT_TRUE(int_attach(pkt, 4));
+    ASSERT_TRUE(int_stamp(pkt, {42, kIntTierHost, kIntTierLeaf, 1, 64}));
+
+    auto res = decapsulate(pkt, TunnelType::Geneve);
+    ASSERT_TRUE(res.has_value());
+    EXPECT_EQ(res->key.tun_id, tunnel_key().tun_id);
+    const auto hops = int_parse_options(res->geneve_opts);
+    ASSERT_EQ(hops.size(), 1u);
+    EXPECT_EQ(hops[0].switch_id, 42u);
     EXPECT_EQ(std::vector<std::uint8_t>(pkt.bytes().begin(), pkt.bytes().end()), original);
 }
 

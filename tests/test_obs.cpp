@@ -351,14 +351,19 @@ TEST(ObsMetrics, DottedPathsAndSchema)
     ASSERT_TRUE(doc.has_value());
     ASSERT_NE(doc->find("schema"), nullptr);
     EXPECT_EQ(doc->find("schema")->as_string(), obs::kMetricsSchema);
-    EXPECT_EQ(doc->find("schema")->as_string(), "ovsx-obs-v2");
+    EXPECT_EQ(doc->find("schema")->as_string(), "ovsx-obs-v3");
     ASSERT_NE(doc->find("coverage"), nullptr);
     ASSERT_NE(doc->find("metrics"), nullptr);
-    // v2 adds the histograms and windows sections.
+    // v2 added the histograms and windows sections.
     ASSERT_NE(doc->find("histograms"), nullptr);
     EXPECT_TRUE(doc->find("histograms")->is_object());
     ASSERT_NE(doc->find("windows"), nullptr);
     EXPECT_TRUE(doc->find("windows")->is_object());
+    // v3 adds the INT section: observed fabric paths with per-hop stats.
+    ASSERT_NE(doc->find("int"), nullptr);
+    EXPECT_TRUE(doc->find("int")->is_object());
+    ASSERT_NE(doc->find("int")->find("paths"), nullptr);
+    EXPECT_TRUE(doc->find("int")->find("paths")->is_object());
     EXPECT_EQ(doc->find("metrics")->find("t")->find("a")->find("b")->as_uint(), 42u);
     obs::metrics_reset();
 }

@@ -1,20 +1,23 @@
-// CI sanity check for obs metrics JSON artifacts (schema ovsx-obs-v2):
+// CI sanity check for obs metrics JSON artifacts (schema ovsx-obs-v3):
 //
 //   obs_schema_check <metrics.json> [required.dotted.key ...]
 //                    [--require-histogram <provider.tier> ...]
 //                    [--require-counter <name> ...]
 //                    [--p99-not-above <provider.tier> <provider.tier>]
 //
-// Validates that the document parses, is schema-tagged ovsx-obs-v2,
+// Validates that the document parses, is schema-tagged ovsx-obs-v3,
 // carries a coverage object whose counters are all non-negative
 // integers, a histograms object of per-provider per-tier latency stats
-// with ordered quantiles, a windows object of windowed-rate series, and
-// a metrics object. Plain extra arguments name dotted paths (under
-// "metrics") that must exist. --require-histogram demands a non-empty
-// latency histogram for a provider.tier pair; --require-counter demands
-// the coverage object contain the named counter with a value > 0 (CI
-// uses it to prove the vector spine actually ran batched, via
-// batch.occupancy); --p99-not-above A B is
+// with ordered quantiles (the synthetic "path" provider keys fabric
+// src->dst pairs the same way), a windows object of windowed-rate
+// series, an int object of observed INT paths whose hop records carry
+// ordered percentiles and tier names, and a metrics object. Plain
+// extra arguments name dotted paths (under "metrics") that must exist.
+// --require-histogram demands a non-empty latency histogram for a
+// provider.tier pair; --require-counter demands the coverage object
+// contain the named counter with a value > 0 (CI uses it to prove the
+// vector spine actually ran batched via batch.occupancy, and that INT
+// export actually fired via int.exported); --p99-not-above A B is
 // the tier-latency regression guard: it fails when p99(A) > p99(B).
 // Exits non-zero with a diagnostic on any violation.
 #include <cstdio>
@@ -82,6 +85,45 @@ int check_histogram_stats(const std::string& where, const ovsx::obs::Value& stat
     return 0;
 }
 
+// One observed INT path as emitted by obs::int_paths_show(): summary
+// counts, a total-latency stats block, and the per-hop record array.
+int check_int_path(const std::string& where, const ovsx::obs::Value& path)
+{
+    if (!path.is_object()) return fail("int path '" + where + "' is not an object");
+    for (const char* f : {"count", "truncated"}) {
+        const auto* v = path.find(f);
+        if (!v || !is_number(*v)) {
+            return fail("int path '" + where + "' missing numeric field '" + f + "'");
+        }
+    }
+    const auto* total = path.find("total");
+    if (!total) return fail("int path '" + where + "' missing total stats");
+    if (const int rc = check_histogram_stats(where + ".total", *total)) return rc;
+    const auto* hops = path.find("hops");
+    if (!hops || !hops->is_array()) return fail("int path '" + where + "' missing hops array");
+    for (const auto& h : hops->items()) {
+        if (!h.is_object()) return fail("int path '" + where + "' hop is not an object");
+        for (const char* f : {"hop", "switch", "count", "p50_ns", "p99_ns", "occupancy_avg"}) {
+            const auto* v = h.find(f);
+            if (!v || !is_number(*v)) {
+                return fail("int path '" + where + "' hop missing numeric field '" +
+                            f + "'");
+            }
+        }
+        for (const char* f : {"ingress_tier", "egress_tier"}) {
+            const auto* v = h.find(f);
+            if (!v || v->kind() != ovsx::obs::Value::Kind::String) {
+                return fail("int path '" + where + "' hop missing tier name '" + f + "'");
+            }
+        }
+        if (h.find("count")->as_double() > 0 &&
+            h.find("p99_ns")->as_double() < h.find("p50_ns")->as_double()) {
+            return fail("int path '" + where + "' hop p99 below p50");
+        }
+    }
+    return 0;
+}
+
 // One windowed-rate series entry as emitted by obs::Window::to_value().
 int check_window_series(const std::string& where, const ovsx::obs::Value& series)
 {
@@ -138,10 +180,10 @@ int main(int argc, char** argv)
 
     const ovsx::obs::Value* schema = doc->find("schema");
     const std::string tag = schema ? schema->as_string() : "";
-    if (tag == "ovsx-obs-v1") {
-        return fail("artifact is schema ovsx-obs-v1; this checker requires ovsx-obs-v2 "
+    if (tag == "ovsx-obs-v1" || tag == "ovsx-obs-v2") {
+        return fail("artifact is schema " + tag + "; this checker requires ovsx-obs-v3 "
                     "(regenerate the artifact with a current binary — v1 lacks the "
-                    "histograms and windows sections)");
+                    "histograms and windows sections, v2 lacks the int section)");
     }
     if (tag != ovsx::obs::kMetricsSchema) {
         return fail(std::string("schema tag missing or not ") + ovsx::obs::kMetricsSchema);
@@ -191,6 +233,14 @@ int main(int argc, char** argv)
         }
     }
 
+    const ovsx::obs::Value* int_section = doc->find("int");
+    if (!int_section || !int_section->is_object()) return fail("int object missing");
+    const ovsx::obs::Value* int_paths = int_section->find("paths");
+    if (!int_paths || !int_paths->is_object()) return fail("int.paths object missing");
+    for (const auto& [key, path] : int_paths->members()) {
+        if (const int rc = check_int_path(key, path)) return rc;
+    }
+
     const ovsx::obs::Value* metrics = doc->find("metrics");
     if (!metrics || !metrics->is_object()) return fail("metrics object missing");
 
@@ -227,7 +277,8 @@ int main(int argc, char** argv)
     }
 
     std::printf("obs_schema_check: %s OK (%zu coverage counters, %zu histogram tiers, "
-                "%zu window series)\n",
-                argv[1], coverage->members().size(), hist_tiers, window_series);
+                "%zu window series, %zu int paths)\n",
+                argv[1], coverage->members().size(), hist_tiers, window_series,
+                int_paths->members().size());
     return 0;
 }
