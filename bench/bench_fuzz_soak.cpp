@@ -7,24 +7,97 @@
 //
 // CI runs this with a rotating seed; locally, re-running with a printed
 // seed reproduces a failure exactly.
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <memory>
 #include <string>
 
 #include "fabric/fabric.h"
 #include "gen/fuzz.h"
 #include "gen/obs_export.h"
+#include "gen/traffic.h"
+#include "kern/kernel.h"
+#include "kern/nic.h"
+#include "kern/odp.h"
 #include "obs/coverage.h"
 #include "obs/metrics.h"
+#include "obs/perf.h"
+#include "ovs/dpif_netdev.h"
+#include "ovs/netdev_afxdp.h"
 
 namespace {
+
+// The always-on profiler's documented overhead budget, as a percent of
+// the profiler-off wall-clock (docs/OBSERVABILITY.md). Exceeding it
+// fails the soak.
+constexpr double kPerfOverheadBudgetPct = 10.0;
 
 std::uint64_t coverage_count(const char* name)
 {
     const auto id = ovsx::obs::coverage_find(name);
     return id ? ovsx::obs::coverage_value(*id) : 0;
+}
+
+// One profiler-overhead leg: a fixed, deterministic netdev P2P workload
+// (AF_XDP ports, one PMD, a single wildcard flow, seeded traffic).
+// Returns wall-clock seconds. With `artifact` set, snapshots
+// pmd/perf-show + pmd/perf-log JSON while the PMD (and its profiler)
+// is still alive — the CI-uploaded flight-recorder artifact.
+double overhead_leg(bool profiler_on, const std::string& artifact)
+{
+    using namespace ovsx;
+    obs::perf_set_enabled(profiler_on);
+    const auto t0 = std::chrono::steady_clock::now();
+
+    kern::Kernel host("soak-overhead");
+    kern::NicConfig ncfg;
+    auto& nic0 = host.add_device<kern::PhysicalDevice>("eth0", net::MacAddr::from_id(1), ncfg);
+    auto& nic1 = host.add_device<kern::PhysicalDevice>("eth1", net::MacAddr::from_id(2), ncfg);
+    nic1.connect_wire([](net::Packet&&) {});
+
+    ovs::DpifNetdev dpif(host);
+    ovs::AfxdpOptions aopts;
+    aopts.umem_frames = 512;
+    const auto p0 = dpif.add_port(std::make_unique<ovs::NetdevAfxdp>(nic0, aopts));
+    const auto p1 = dpif.add_port(std::make_unique<ovs::NetdevAfxdp>(nic1, aopts));
+    net::FlowKey key;
+    key.in_port = p0;
+    net::FlowMask mask;
+    mask.bits.in_port = 0xffffffff;
+    mask.bits.recirc_id = 0xffffffff;
+    dpif.flow_put(key, mask, {kern::OdpAction::output(p1)});
+    const int pmd = dpif.add_pmd("soak-pmd");
+    dpif.pmd_assign(pmd, p0, 0);
+    dpif.pmd_assign(pmd, p1, 0);
+
+    gen::TrafficGen traffic({.n_flows = 64, .frame_size = 128});
+    constexpr std::uint64_t kLegPackets = 8192;
+    for (std::uint64_t i = 0; i < kLegPackets; ++i) {
+        nic0.rx_from_wire(traffic.next());
+        if ((i & 31) == 31) {
+            while (dpif.pmd_poll_once(pmd) > 0) {
+            }
+        }
+    }
+    while (dpif.pmd_poll_once(pmd) > 0) {
+    }
+
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+    if (!artifact.empty() && profiler_on) {
+        ovsx::obs::Value doc = ovsx::obs::Value::object();
+        doc.set("perf_show", ovsx::obs::perf_show());
+        doc.set("perf_log", ovsx::obs::perf_log_show());
+        std::ofstream out(artifact);
+        if (out) out << doc.to_json() << "\n";
+    }
+    obs::perf_set_enabled(true);
+    return secs;
 }
 
 } // namespace
@@ -112,6 +185,39 @@ int main(int argc, char** argv)
                 static_cast<unsigned long long>(occupancy),
                 static_cast<unsigned long long>(flushes),
                 flushes ? static_cast<double>(occupancy) / static_cast<double>(flushes) : 0.0);
+
+    // Profiler-overhead guard: interleaved profiler-off / profiler-on
+    // legs of a fixed deterministic workload. min-of-reps per side
+    // cancels scheduler noise; the on-side must stay within the
+    // documented budget of the off-side.
+    const char* artifact_env = std::getenv("OVSX_PERF_ARTIFACT");
+    const std::string artifact = artifact_env ? artifact_env : "";
+    constexpr int kOverheadReps = 4;
+    double min_off = 0.0;
+    double min_on = 0.0;
+    for (int rep = 0; rep < kOverheadReps; ++rep) {
+        const double off = overhead_leg(false, "");
+        const double on = overhead_leg(true, rep == kOverheadReps - 1 ? artifact : "");
+        min_off = rep == 0 ? off : std::min(min_off, off);
+        min_on = rep == 0 ? on : std::min(min_on, on);
+    }
+    const double overhead_pct =
+        min_off > 0 ? 100.0 * (min_on - min_off) / min_off : 0.0;
+    std::printf("profiler overhead: off=%.4fs on=%.4fs (%+.1f%%, budget %.0f%%)\n",
+                min_off, min_on, overhead_pct, kPerfOverheadBudgetPct);
+    if (!artifact.empty()) std::printf("perf artifact written to %s\n", artifact.c_str());
+    ovsx::obs::metrics_set("soak.perf_off_seconds", ovsx::obs::Value(min_off));
+    ovsx::obs::metrics_set("soak.perf_on_seconds", ovsx::obs::Value(min_on));
+    ovsx::obs::metrics_set("soak.perf_overhead_pct", ovsx::obs::Value(overhead_pct));
+    ovsx::obs::metrics_set("soak.perf_overhead_budget_pct",
+                           ovsx::obs::Value(kPerfOverheadBudgetPct));
+    if (overhead_pct > kPerfOverheadBudgetPct) {
+        std::printf("FAIL: profiler overhead %.1f%% exceeds the %.0f%% budget\n",
+                    overhead_pct, kPerfOverheadBudgetPct);
+        ovsx::obs::metrics_set("soak.result", ovsx::obs::Value("fail"));
+        ovsx::gen::metrics_flush_from_env();
+        return 1;
+    }
 
     ovsx::obs::metrics_set("soak.result", ovsx::obs::Value("ok"));
     ovsx::obs::metrics_set("soak.pkt_per_s", ovsx::obs::Value(pkt_per_s));

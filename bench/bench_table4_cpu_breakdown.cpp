@@ -2,15 +2,21 @@
 // hyperthread, split across the system / softirq / guest / user classes
 // — for the P2P, PVP and PCP scenarios of Fig. 9.
 //
-// Each scenario's CpuUsage is published into the obs metrics tree under
-// table4.<path>.<config>, and the printed rows are derived back from
-// that tree — the table and the $OVSX_OBS_JSON artifact share one
-// source of truth.
+// Each scenario's full RateReport is published into the obs metrics
+// tree under table4.<path>.<config> (CPU rows under .cpu, the PMD
+// cycle-profiler stage breakdown under .perf_stages), and the printed
+// rows are derived back from that tree — the table and the
+// $OVSX_OBS_JSON artifact share one source of truth. The CPU class
+// split itself comes from the profiler's per-class cycle stream
+// wherever a stage context carries one (gen/measure.h).
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "gen/harness.h"
 #include "gen/obs_export.h"
+#include "obs/metrics.h"
+#include "obs/perf.h"
 
 using namespace ovsx;
 using namespace ovsx::gen;
@@ -29,7 +35,7 @@ std::string metrics_key(const char* path, const char* config)
 
 void print_row_from_obs(const char* path, const char* config, bool has_guest)
 {
-    const sim::CpuUsage cpu = read_cpu_usage(metrics_key(path, config));
+    const sim::CpuUsage cpu = read_cpu_usage(metrics_key(path, config) + ".cpu");
     std::printf("%-5s %-16s %8.1f %8.1f ", path, config, cpu.system, cpu.softirq);
     if (has_guest) {
         std::printf("%8.1f ", cpu.guest);
@@ -37,6 +43,31 @@ void print_row_from_obs(const char* path, const char* config, bool has_guest)
         std::printf("%8s ", "-");
     }
     std::printf("%8.1f %8.1f\n", cpu.user, cpu.total());
+}
+
+void print_stage_row_from_obs(const char* path, const char* config)
+{
+    std::printf("%-5s %-16s", path, config);
+    for (std::size_t i = 0; i < obs::kPerfStages; ++i) {
+        const char* stage = obs::to_string(static_cast<obs::PerfStage>(i));
+        const auto pct = obs::metrics_get(metrics_key(path, config) + ".perf_stages." +
+                                          stage + ".pct");
+        if (pct) {
+            std::printf(" %15.1f", pct->as_double());
+        } else {
+            std::printf(" %15s", "-");
+        }
+    }
+    std::printf("\n");
+}
+
+// The scenarios, in table order, for the second (per-stage) table.
+std::vector<std::pair<std::string, std::string>> g_rows;
+
+void publish_scenario(const char* path, const char* config, const RateReport& rep)
+{
+    publish_rate_report(metrics_key(path, config), rep);
+    g_rows.emplace_back(path, config);
 }
 
 } // namespace
@@ -54,7 +85,7 @@ int main()
         cfg.datapath = dp;
         cfg.n_flows = 1000;
         cfg.packets = kPackets;
-        publish_cpu_usage(metrics_key("P2P", to_string(dp)), run_p2p(cfg).cpu);
+        publish_scenario("P2P", to_string(dp), run_p2p(cfg));
         print_row_from_obs("P2P", to_string(dp), false);
     }
 
@@ -72,7 +103,7 @@ int main()
         cfg.vdev = row.vdev;
         cfg.n_flows = 1000;
         cfg.packets = kPackets;
-        publish_cpu_usage(metrics_key("PVP", row.name), run_pvp(cfg).cpu);
+        publish_scenario("PVP", row.name, run_pvp(cfg));
         print_row_from_obs("PVP", row.name, true);
     }
 
@@ -88,8 +119,21 @@ int main()
         cfg.path = row.path;
         cfg.n_flows = 1000;
         cfg.packets = kPackets;
-        publish_cpu_usage(metrics_key("PCP", row.name), run_pcp(cfg).cpu);
+        publish_scenario("PCP", row.name, run_pcp(cfg));
         print_row_from_obs("PCP", row.name, false);
+    }
+
+    // Second table: where the cycles went, from the PMD cycle profiler
+    // (percent of profiled TSC per stage; '-' = stage never charged or
+    // no profiler-attached stage in the scenario).
+    std::printf("\nProfiler stage breakdown (%% of profiled cycles)\n\n");
+    std::printf("%-5s %-16s", "path", "configuration");
+    for (std::size_t i = 0; i < obs::kPerfStages; ++i) {
+        std::printf(" %15s", obs::to_string(static_cast<obs::PerfStage>(i)));
+    }
+    std::printf("\n");
+    for (const auto& [path, config] : g_rows) {
+        print_stage_row_from_obs(path.c_str(), config.c_str());
     }
 
     std::printf("\nPaper's reading: kernel work lands in softirq, DPDK in userspace,\n"

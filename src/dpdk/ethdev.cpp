@@ -2,6 +2,7 @@
 
 #include "kern/kernel.h"
 #include "obs/coverage.h"
+#include "obs/perf.h"
 
 namespace ovsx::dpdk {
 
@@ -42,6 +43,7 @@ std::uint32_t EthDev::rx_burst(std::uint32_t queue, std::vector<net::Packet>& ou
         // no individual packet's latency.
         pmd.charge(costs.nic_doorbell);
         OVSX_COVERAGE_CTX(pmd, "dpdk.rx_doorbell");
+        if (auto* perf = pmd.perf()) perf->note_doorbell();
     }
     OVSX_COVERAGE_CTX(pmd, "dpdk.rx_burst");
     return n;
@@ -60,8 +62,10 @@ void EthDev::tx_burst(std::uint32_t queue, std::vector<net::Packet>&& pkts,
     }
     // One TX doorbell per burst (the per-packet variant is what the
     // XDP_TX row of Table 5 pays).
+    obs::PerfStageScope tx_scope(pmd.perf(), obs::PerfStage::Tx);
     pmd.charge(costs.nic_doorbell);
     OVSX_COVERAGE_CTX(pmd, "dpdk.tx_doorbell");
+    if (auto* perf = pmd.perf()) perf->note_doorbell();
 }
 
 } // namespace ovsx::dpdk

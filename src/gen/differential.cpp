@@ -13,6 +13,7 @@
 #include "kern/nic.h"
 #include "kern/ovs_kmod.h"
 #include "net/int_hdr.h"
+#include "obs/perf.h"
 #include "obs/trace.h"
 #include "ovs/dpif_ebpf.h"
 #include "ovs/dpif_kernel.h"
@@ -654,6 +655,47 @@ DiffReport DifferentialHarness::run_once(const std::vector<DiffPacket>& seq, boo
             inst->dpif->san_check(OVSX_SITE);
             inst->kernel->conntrack().san_check(OVSX_SITE);
             if (inst->netdev) inst->netdev->ct().san_check(OVSX_SITE);
+        }
+    }
+
+    // pmd/perf-show and pmd-stats-show must agree on packet totals: the
+    // profiler counts an iteration's packets as classifier passes, so
+    // its per-provider sum equals hits + misses exactly (recirculation
+    // counts an extra pass on both sides). Checked on every harness run
+    // for all three providers; skipped when the profiler is globally
+    // disabled (the soak's overhead-off leg leaves contexts bare).
+    for (auto& inst : instances) {
+        std::uint64_t perf_packets = 0;
+        bool have_perf = false;
+        std::uint64_t stats_packets = 0;
+        if (inst->kind == DpKind::Netdev) {
+            for (int p = 0; p < inst->netdev->pmd_count(); ++p) {
+                if (const obs::PmdPerf* perf = inst->netdev->pmd_ctx(p).perf()) {
+                    have_perf = true;
+                    perf_packets += perf->packets();
+                }
+            }
+            stats_packets = inst->netdev->stats_hits() + inst->netdev->upcalls();
+        } else {
+            for (auto* nic : inst->nics) {
+                for (std::uint32_t q = 0; q < nic->config().num_queues; ++q) {
+                    if (const obs::PmdPerf* perf = nic->softirq_ctx(q).perf()) {
+                        have_perf = true;
+                        perf_packets += perf->packets();
+                    }
+                }
+            }
+            stats_packets = inst->kind == DpKind::Kernel
+                                ? inst->kdp->hits() + inst->kdp->misses()
+                                : inst->ebpf->hits() + inst->ebpf->misses();
+        }
+        if (have_perf && perf_packets != stats_packets) {
+            report.unexplained.push_back(
+                {seq.size(),
+                 std::string(to_string(inst->kind)) + ": pmd/perf-show packets (" +
+                     std::to_string(perf_packets) + ") != pmd-stats-show hits+misses (" +
+                     std::to_string(stats_packets) + ")",
+                 ""});
         }
     }
 

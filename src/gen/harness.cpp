@@ -61,6 +61,18 @@ sim::ExecContext aggregate(const std::string& name, sim::CpuClass cls,
     return agg;
 }
 
+// The parts' attached profilers, so an aggregate stage still reports
+// profiler-derived class and stage cycles (the aggregate context itself
+// carries no profiler — it is a throwaway sum).
+std::vector<const obs::PmdPerf*> perfs_of(const std::vector<const sim::ExecContext*>& parts)
+{
+    std::vector<const obs::PmdPerf*> v;
+    for (const auto* part : parts) {
+        if (const obs::PmdPerf* perf = part->perf()) v.push_back(perf);
+    }
+    return v;
+}
+
 // Forward-everything datapath flow: in_port (+recirc 0) -> output.
 void put_forward_flow(ovs::Dpif& dpif, std::uint32_t from, std::uint32_t to)
 {
@@ -100,6 +112,7 @@ RateReport p2p_afxdp(const P2pConfig& cfg)
     put_forward_flow(dpif, p0, p1);
 
     sim::ExecContext main_ctx("main", sim::CpuClass::User);
+    main_ctx.attach_perf("main");
     if (cfg.afxdp.pmd_mode) {
         for (std::uint32_t q = 0; q < cfg.n_queues; ++q) {
             const int pmd = dpif.add_pmd("pmd" + std::to_string(q));
@@ -136,7 +149,7 @@ RateReport p2p_afxdp(const P2pConfig& cfg)
 
     RateMeasure measure;
     measure.add_stage({"softirq", &softirq, StageKind::Demand,
-                       static_cast<double>(cfg.n_queues)});
+                       static_cast<double>(cfg.n_queues), perfs_of(softirqs)});
     std::vector<sim::ExecContext> pmd_copies; // keep alive for report()
     if (cfg.afxdp.pmd_mode) {
         for (int pmd = 0; pmd < dpif.pmd_count(); ++pmd) {
@@ -220,7 +233,8 @@ RateReport p2p_kernel(const P2pConfig& cfg)
     sim::ExecContext softirq = aggregate("softirq", sim::CpuClass::Softirq, softirqs);
 
     RateMeasure measure;
-    measure.add_stage({"softirq", &softirq, StageKind::Demand, static_cast<double>(queues)});
+    measure.add_stage({"softirq", &softirq, StageKind::Demand, static_cast<double>(queues),
+                       perfs_of(softirqs)});
     return measure.report(cfg.packets,
                           sim::line_rate_pps(cfg.line_gbps, static_cast<int>(cfg.frame_size)));
 }
@@ -254,7 +268,8 @@ RateReport p2p_ebpf(const P2pConfig& cfg)
     sim::ExecContext softirq =
         aggregate("softirq", sim::CpuClass::Softirq, {&nic0.softirq_ctx(0), &nic1.softirq_ctx(0)});
     RateMeasure measure;
-    measure.add_stage({"softirq", &softirq, StageKind::Demand, 1});
+    measure.add_stage({"softirq", &softirq, StageKind::Demand, 1,
+                       perfs_of({&nic0.softirq_ctx(0), &nic1.softirq_ctx(0)})});
     return measure.report(cfg.packets,
                           sim::line_rate_pps(cfg.line_gbps, static_cast<int>(cfg.frame_size)));
 }
@@ -354,7 +369,8 @@ RateReport pvp_userspace(const PvpConfig& cfg)
     sim::ExecContext softirq =
         aggregate("softirq", sim::CpuClass::Softirq, {&nic0.softirq_ctx(0), &nic1.softirq_ctx(0)});
     RateMeasure measure;
-    measure.add_stage({"softirq", &softirq, StageKind::Demand, 1});
+    measure.add_stage({"softirq", &softirq, StageKind::Demand, 1,
+                       perfs_of({&nic0.softirq_ctx(0), &nic1.softirq_ctx(0)})});
     measure.add_stage({"pmd0", &dpif.pmd_ctx(pmd), StageKind::Polling, 1});
     measure.add_stage({"vcpu", &vcpu, StageKind::Demand, 2}); // 2 vCPUs in the paper's VM
     measure.add_stage({"qemu", &qemu, StageKind::Demand, 1});
@@ -405,7 +421,8 @@ RateReport pvp_kernel(const PvpConfig& cfg)
     for (std::uint32_t q = 0; q < queues; ++q) softirqs.push_back(&nic0.softirq_ctx(q));
     sim::ExecContext softirq = aggregate("softirq", sim::CpuClass::Softirq, softirqs);
     RateMeasure measure;
-    measure.add_stage({"softirq", &softirq, StageKind::Demand, static_cast<double>(queues)});
+    measure.add_stage({"softirq", &softirq, StageKind::Demand, static_cast<double>(queues),
+                       perfs_of(softirqs)});
     measure.add_stage({"vcpu", &vcpu, StageKind::Demand, 2});
     measure.add_stage({"qemu", &qemu, StageKind::Demand, 1});
     return measure.report(cfg.packets,
@@ -480,7 +497,8 @@ RateReport run_pcp(const PcpConfig& cfg)
             "softirq", sim::CpuClass::Softirq,
             {&nic0.softirq_ctx(0), &nic1.softirq_ctx(0), &ret_softirq});
         RateMeasure m;
-        m.add_stage({"softirq", &softirq, StageKind::Demand, 2});
+        m.add_stage({"softirq", &softirq, StageKind::Demand, 2,
+                     perfs_of({&nic0.softirq_ctx(0), &nic1.softirq_ctx(0), &ret_softirq})});
         m.add_stage({"container-app", &app, StageKind::Demand, 1});
         return m.report(cfg.packets, line);
     }
@@ -502,7 +520,8 @@ RateReport run_pcp(const PcpConfig& cfg)
             "softirq", sim::CpuClass::Softirq,
             {&nic0.softirq_ctx(0), &nic1.softirq_ctx(0), &ret_softirq});
         RateMeasure m;
-        m.add_stage({"softirq", &softirq, StageKind::Demand, 1});
+        m.add_stage({"softirq", &softirq, StageKind::Demand, 1,
+                     perfs_of({&nic0.softirq_ctx(0), &nic1.softirq_ctx(0), &ret_softirq})});
         m.add_stage({"container-app", &app, StageKind::Demand, 1});
         return m.report(cfg.packets, line);
     }
@@ -535,7 +554,8 @@ RateReport run_pcp(const PcpConfig& cfg)
             "softirq", sim::CpuClass::Softirq,
             {&nic0.softirq_ctx(0), &nic1.softirq_ctx(0), &ret_softirq});
         RateMeasure m;
-        m.add_stage({"softirq", &softirq, StageKind::Demand, 1});
+        m.add_stage({"softirq", &softirq, StageKind::Demand, 1,
+                     perfs_of({&nic0.softirq_ctx(0), &nic1.softirq_ctx(0), &ret_softirq})});
         m.add_stage({"pmd0", &dpif.pmd_ctx(pmd), StageKind::Polling, 1});
         m.add_stage({"container-app", &app, StageKind::Demand, 1});
         return m.report(cfg.packets, line);

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/perf.h"
 #include "sim/context.h"
 #include "sim/costs.h"
 
@@ -27,6 +28,10 @@ struct Stage {
     // Number of identical parallel instances (e.g. RSS spreads softirq
     // work over this many CPUs; per-queue PMDs are separate stages).
     double parallelism = 1.0;
+    // Profilers backing this stage, for aggregate stages whose ctx is a
+    // busy-time sum of several profiler-attached contexts. When empty,
+    // report() falls back to ctx->perf() (one context, one profiler).
+    std::vector<const obs::PmdPerf*> perfs;
 };
 
 struct RateReport {
@@ -36,6 +41,11 @@ struct RateReport {
     sim::CpuUsage cpu;         // CPU at the achieved rate, in hyperthreads
     // Per-stage per-packet costs, for tables and debugging.
     std::vector<std::pair<std::string, double>> stage_ns;
+    // Aggregated profiler stage cycles across every profiler-attached
+    // stage (obs/perf.h taxonomy), and the TSC total they sum under —
+    // Table 4's CPU rows break down along these when present.
+    std::vector<std::pair<std::string, std::uint64_t>> perf_stage_cycles;
+    std::uint64_t perf_tsc = 0;
 };
 
 class RateMeasure {
@@ -64,12 +74,44 @@ public:
         // CPU at the achieved rate: useful work scales with the rate and
         // is split across classes in the stage's observed proportions;
         // polling stages additionally burn their leftover core time
-        // spinning in userspace.
+        // spinning in userspace. Profiler-attached stages take the
+        // split from the profiler's per-class cycle stream (the same
+        // charges, accumulated by obs::PmdPerf::on_charge) and feed the
+        // per-stage cycle breakdown.
+        std::uint64_t stage_cycles[obs::kPerfStages] = {};
         for (const auto& s : stages_) {
             const double total = static_cast<double>(s.ctx->total_busy());
             const double per_pkt = total / static_cast<double>(packets);
             const double work_cores = rep.pps * per_pkt / 1e9;
-            if (total > 0) {
+            std::vector<const obs::PmdPerf*> perfs = s.perfs;
+            if (perfs.empty() && s.ctx->perf()) perfs.push_back(s.ctx->perf());
+            if (!perfs.empty()) {
+                double cls[4] = {};
+                double perf_total = 0;
+                for (const obs::PmdPerf* p : perfs) {
+                    for (std::size_t c = 0; c < 4; ++c) {
+                        cls[c] += static_cast<double>(p->class_cycles(c));
+                    }
+                    for (std::size_t i = 0; i < obs::kPerfStages; ++i) {
+                        stage_cycles[i] +=
+                            static_cast<std::uint64_t>(p->stage_cycles(
+                                static_cast<obs::PerfStage>(i)));
+                    }
+                    perf_total += static_cast<double>(p->tsc());
+                    rep.perf_tsc += static_cast<std::uint64_t>(p->tsc());
+                }
+                if (perf_total > 0) {
+                    rep.cpu.user += work_cores * cls[static_cast<int>(sim::CpuClass::User)] /
+                                    perf_total;
+                    rep.cpu.system +=
+                        work_cores * cls[static_cast<int>(sim::CpuClass::System)] / perf_total;
+                    rep.cpu.softirq +=
+                        work_cores * cls[static_cast<int>(sim::CpuClass::Softirq)] /
+                        perf_total;
+                    rep.cpu.guest +=
+                        work_cores * cls[static_cast<int>(sim::CpuClass::Guest)] / perf_total;
+                }
+            } else if (total > 0) {
                 rep.cpu.user +=
                     work_cores * static_cast<double>(s.ctx->busy(sim::CpuClass::User)) / total;
                 rep.cpu.system +=
@@ -82,6 +124,12 @@ public:
             }
             if (s.kind == StageKind::Polling && work_cores < s.parallelism) {
                 rep.cpu.user += s.parallelism - work_cores; // idle spin
+            }
+        }
+        for (std::size_t i = 0; i < obs::kPerfStages; ++i) {
+            if (stage_cycles[i] > 0) {
+                rep.perf_stage_cycles.emplace_back(
+                    obs::to_string(static_cast<obs::PerfStage>(i)), stage_cycles[i]);
             }
         }
         return rep;

@@ -33,6 +33,17 @@ void publish_rate_report(const std::string& prefix, const RateReport& rep)
     for (const auto& [stage, ns] : rep.stage_ns) {
         obs::metrics_set(prefix + ".stage_ns." + stage, obs::Value(ns));
     }
+    // Profiler stage breakdown (obs/perf.h taxonomy), when any stage
+    // context carried a profiler: absolute cycles plus the share of the
+    // profilers' summed TSC.
+    for (const auto& [stage, cycles] : rep.perf_stage_cycles) {
+        obs::metrics_set(prefix + ".perf_stages." + stage + ".cycles", obs::Value(cycles));
+        obs::metrics_set(prefix + ".perf_stages." + stage + ".pct",
+                         obs::Value(rep.perf_tsc > 0
+                                        ? 100.0 * static_cast<double>(cycles) /
+                                              static_cast<double>(rep.perf_tsc)
+                                        : 0.0));
+    }
 }
 
 std::string metrics_flush_from_env()

@@ -27,6 +27,10 @@ void PhysicalDevice::set_config(const NicConfig& cfg)
     for (std::uint32_t q = 0; q < cfg_.num_queues; ++q) {
         softirq_.emplace_back(name() + "-q" + std::to_string(q) + "-softirq",
                               sim::CpuClass::Softirq);
+        // Always-on cycle profiler — the kernel datapath's receive path
+        // runs in these contexts, so its pmd/perf-show rows come from
+        // here (one row per NIC queue, the softirq analogue of a PMD).
+        softirq_.back().attach_perf(softirq_.back().name());
     }
 }
 

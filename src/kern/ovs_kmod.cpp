@@ -9,6 +9,7 @@
 #include "net/rewrite.h"
 #include "obs/coverage.h"
 #include "obs/int_export.h"
+#include "obs/perf.h"
 #include "obs/trace.h"
 #include "san/audit.h"
 #include "san/packet_ledger.h"
@@ -220,14 +221,39 @@ OvsKernelDatapath::LookupResult OvsKernelDatapath::lookup(const net::FlowKey& ke
 
 void OvsKernelDatapath::receive(std::uint32_t port_no, net::Packet&& pkt, sim::ExecContext& ctx)
 {
+    obs::PmdPerf* perf = ctx.perf();
+    // A solo receive (not under receive_batch) is its own profiler
+    // iteration of one packet; recirculation still counts extra
+    // classifier passes, matching pmd-stats-show hits+misses.
+    if (!perf || perf->in_iteration()) {
+        receive_one(port_no, std::move(pkt), ctx);
+        return;
+    }
+    const std::uint64_t classified_before = hits_ + misses_;
+    perf->begin_iteration();
+    receive_one(port_no, std::move(pkt), ctx);
+    perf->end_iteration(hits_ + misses_ - classified_before);
+}
+
+void OvsKernelDatapath::receive_one(std::uint32_t port_no, net::Packet&& pkt,
+                                    sim::ExecContext& ctx)
+{
     const auto& costs = kernel_.costs();
+    obs::PmdPerf* perf = ctx.perf();
     san::skb_transition(pkt.san_id(), san::SkbState::Datapath, OVSX_SITE);
-    ctx.charge(costs.kdp_base);
+    {
+        obs::PerfStageScope rx(perf, obs::PerfStage::RxPoll);
+        ctx.charge(costs.kdp_base);
+    }
     pkt.meta().latency_ns += costs.kdp_base;
     pkt.meta().in_port = port_no;
 
     const net::FlowKey key = net::parse_flow(pkt);
-    const LookupResult res = lookup(key, ctx);
+    LookupResult res;
+    {
+        obs::PerfStageScope mf(perf, obs::PerfStage::MegaflowLookup);
+        res = lookup(key, ctx);
+    }
     pkt.meta().latency_ns += static_cast<sim::Nanos>(res.probes) * costs.kdp_flow_probe;
     if (res.actions) {
         ++hits_;
@@ -243,6 +269,7 @@ void OvsKernelDatapath::receive(std::uint32_t port_no, net::Packet&& pkt, sim::E
     }
     ++misses_;
     OVSX_COVERAGE_CTX(ctx, "kdp.miss");
+    if (perf) perf->note_upcall();
     if (pkt.meta().trace_id) {
         obs::trace(pkt.meta().trace_id, obs::Hop::KernelFlow, pkt.meta().latency_ns, "miss",
                    res.probes);
@@ -257,6 +284,7 @@ void OvsKernelDatapath::receive(std::uint32_t port_no, net::Packet&& pkt, sim::E
     if (pkt.meta().trace_id) {
         obs::trace(pkt.meta().trace_id, obs::Hop::Upcall, pkt.meta().latency_ns, "");
     }
+    obs::PerfStageScope up(perf, obs::PerfStage::Upcall);
     ctx.charge(costs.upcall / 10); // kernel-side upcall enqueue share
     upcall_(port_no, std::move(pkt), key, ctx);
 }
@@ -265,14 +293,19 @@ void OvsKernelDatapath::receive_batch(std::uint32_t port_no, std::vector<net::Pa
                                       sim::ExecContext& ctx)
 {
     if (pkts.empty()) return;
+    obs::PmdPerf* perf = ctx.perf();
+    const bool iterate = perf && !perf->in_iteration();
+    const std::uint64_t classified_before = hits_ + misses_;
+    if (iterate) perf->begin_iteration();
     OVSX_COVERAGE_CTX(ctx, "batch.flush");
     OVSX_COVERAGE_CTX_N(ctx, "batch.occupancy", pkts.size());
     last_batch_occupancy_ =
         static_cast<std::uint16_t>(std::min<std::size_t>(pkts.size(), 0xffff));
     for (auto& pkt : pkts) {
-        receive(port_no, std::move(pkt), ctx);
+        receive_one(port_no, std::move(pkt), ctx);
     }
     pkts.clear();
+    if (iterate) perf->end_iteration(hits_ + misses_ - classified_before);
 }
 
 void OvsKernelDatapath::tunnel_rx(net::Packet&& pkt, const net::FlowKey& key,
@@ -324,6 +357,7 @@ void OvsKernelDatapath::do_output(net::Packet&& pkt, std::uint32_t port_no,
     }
     if (vport->dev) {
         if (int_cfg_.enabled) maybe_int_stamp(pkt, ctx);
+        obs::PerfStageScope tx(ctx.perf(), obs::PerfStage::Tx);
         vport->dev->transmit(std::move(pkt), ctx);
         return;
     }
@@ -354,6 +388,7 @@ void OvsKernelDatapath::do_output(net::Packet&& pkt, std::uint32_t port_no,
             net::int_attach(pkt, int_cfg_.max_hops);
         }
         if (int_cfg_.enabled) maybe_int_stamp(pkt, ctx);
+        obs::PerfStageScope tx(ctx.perf(), obs::PerfStage::Tx);
         out->transmit(std::move(pkt), ctx);
         return;
     }
@@ -382,6 +417,8 @@ void OvsKernelDatapath::execute(net::Packet&& pkt, const OdpActions& actions,
     if (recursion_ > 8) return; // mirror the kernel's recursion limit
     ++recursion_;
     const auto& costs = kernel_.costs();
+    obs::PmdPerf* perf = ctx.perf();
+    obs::PerfStageScope act_scope(perf, obs::PerfStage::Actions);
 
     for (std::size_t i = 0; i < actions.size(); ++i) {
         const OdpAction& act = actions[i];
@@ -412,6 +449,7 @@ void OvsKernelDatapath::execute(net::Packet&& pkt, const OdpActions& actions,
             pkt.meta().tunnel = act.tunnel;
             break;
         case OdpAction::Type::Ct: {
+            obs::PerfStageScope ct_scope(perf, obs::PerfStage::Ct);
             const net::FlowKey key = net::parse_flow(pkt);
             kernel_.conntrack().process(pkt, key, act.ct, ctx, now_);
             if (pkt.meta().trace_id) {
@@ -425,13 +463,19 @@ void OvsKernelDatapath::execute(net::Packet&& pkt, const OdpActions& actions,
             const net::FlowKey key = net::parse_flow(pkt);
             ctx.charge(costs.kdp_base / 2); // recirculation re-entry
             pkt.meta().latency_ns += costs.kdp_base / 2;
-            const LookupResult res = lookup(key, ctx);
+            LookupResult res;
+            {
+                obs::PerfStageScope mf(perf, obs::PerfStage::MegaflowLookup);
+                res = lookup(key, ctx);
+            }
             if (res.actions) {
                 ++hits_;
                 execute(std::move(pkt), *res.actions, ctx);
             } else {
                 ++misses_;
+                if (perf) perf->note_upcall();
                 if (upcall_) {
+                    obs::PerfStageScope up(perf, obs::PerfStage::Upcall);
                     upcall_(pkt.meta().in_port, std::move(pkt), key, ctx);
                 } else {
                     ++lost_;

@@ -153,6 +153,10 @@ private:
     };
 
     LookupResult lookup(const net::FlowKey& key, sim::ExecContext& ctx);
+    // receive() minus the profiler iteration bracket (receive_batch
+    // opens one iteration for the whole burst; a solo receive() opens
+    // its own around a single call).
+    void receive_one(std::uint32_t port_no, net::Packet&& pkt, sim::ExecContext& ctx);
     void do_output(net::Packet&& pkt, std::uint32_t port_no, sim::ExecContext& ctx);
     void tunnel_rx(net::Packet&& pkt, const net::FlowKey& key, sim::ExecContext& ctx);
     void maybe_int_stamp(net::Packet& pkt, sim::ExecContext& ctx);

@@ -5,6 +5,7 @@
 #include "obs/coverage.h"
 #include "obs/int_export.h"
 #include "obs/latency.h"
+#include "obs/perf.h"
 #include "obs/window.h"
 
 namespace ovsx::obs {
@@ -83,6 +84,7 @@ std::string metrics_json()
     doc.set("histograms", latency_show());
     doc.set("windows", windows_snapshot());
     doc.set("int", int_paths_show());
+    doc.set("perf", perf_show());
     doc.set("metrics", root());
     return doc.to_json();
 }

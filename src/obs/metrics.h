@@ -14,10 +14,12 @@
 
 namespace ovsx::obs {
 
-// v3 adds the "int" section (observed fabric paths with per-hop
-// latency percentiles, from obs/int_export.h) and admits the synthetic
-// "path" provider inside "histograms".
-inline constexpr const char* kMetricsSchema = "ovsx-obs-v3";
+// v3 added the "int" section (observed fabric paths with per-hop
+// latency percentiles, from obs/int_export.h) and admitted the
+// synthetic "path" provider inside "histograms". v4 adds the "perf"
+// section: cumulative PMD cycle-profiler totals plus per-PMD stage
+// breakdowns (obs/perf.h).
+inline constexpr const char* kMetricsSchema = "ovsx-obs-v4";
 
 // Sets the value at `dotted` ("a.b.c"), creating intermediate objects.
 // A non-object intermediate is replaced by an object.
@@ -31,11 +33,12 @@ Value metrics_snapshot();
 
 void metrics_reset();
 
-// {"schema":"ovsx-obs-v3","coverage":{...},"histograms":{...},
-//  "windows":{...},"int":{...},"metrics":{...}} — histograms is the
-// per-provider per-tier latency registry (plus the "path" provider fed
-// by INT export), windows the published window snapshots, int the
-// observed INT paths.
+// {"schema":"ovsx-obs-v4","coverage":{...},"histograms":{...},
+//  "windows":{...},"int":{...},"perf":{...},"metrics":{...}} —
+// histograms is the per-provider per-tier latency registry (plus the
+// "path" provider fed by INT export), windows the published window
+// snapshots, int the observed INT paths, perf the PMD cycle profiler
+// (obs::perf_show()).
 std::string metrics_json();
 
 // Writes metrics_json() to `path`; false on I/O failure.

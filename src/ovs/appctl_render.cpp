@@ -91,6 +91,32 @@ obs::Value render_xsk_rings(const std::vector<XskRingRow>& rows)
     return v;
 }
 
+obs::Value render_pmd_perf(const char* datapath,
+                           const std::vector<const obs::PmdPerf*>& pmds)
+{
+    obs::Value v = obs::Value::object();
+    v.set("datapath", datapath);
+    obs::Value rows = obs::Value::object();
+    for (const auto* perf : pmds) {
+        if (perf) rows.set(perf->name(), perf->to_value());
+    }
+    v.set("pmds", std::move(rows));
+    return v;
+}
+
+obs::Value render_pmd_perf_log(const char* datapath,
+                               const std::vector<const obs::PmdPerf*>& pmds)
+{
+    obs::Value v = obs::Value::object();
+    v.set("datapath", datapath);
+    obs::Value rows = obs::Value::object();
+    for (const auto* perf : pmds) {
+        if (perf) rows.set(perf->name(), perf->log_value());
+    }
+    v.set("pmds", std::move(rows));
+    return v;
+}
+
 obs::Value render_pmd_rxq(const char* datapath, const std::vector<PmdRxqRow>& rows)
 {
     obs::Value v = obs::Value::object();

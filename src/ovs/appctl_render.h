@@ -11,6 +11,7 @@
 
 #include "kern/conntrack.h"
 #include "kern/odp.h"
+#include "obs/perf.h"
 #include "obs/value.h"
 
 namespace ovsx::ovs {
@@ -64,6 +65,19 @@ struct PmdRxqRow {
 // providers without PMD threads return the same shape with an empty
 // pmds array.
 obs::Value render_pmd_rxq(const char* datapath, const std::vector<PmdRxqRow>& rows);
+
+// pmd/perf-show: {"datapath": type, "pmds": {name: PmdPerf row}} —
+// the row shape is obs::PmdPerf::to_value() (totals, per-stage
+// {cycles,pct}, pkts_per_iter/cycles_per_pkt histograms), identical on
+// every provider; providers pass the profilers of their own execution
+// contexts (PMD threads, softirq contexts, the TC hook).
+obs::Value render_pmd_perf(const char* datapath,
+                           const std::vector<const obs::PmdPerf*>& pmds);
+
+// pmd/perf-log: {"datapath": type, "pmds": {name: PmdPerf log row}} —
+// suspicion thresholds plus the last flight-recorder dump.
+obs::Value render_pmd_perf_log(const char* datapath,
+                               const std::vector<const obs::PmdPerf*>& pmds);
 
 // Dotted-quad rendering of a host-order IPv4 address.
 std::string ipv4_to_string(std::uint32_t ip);

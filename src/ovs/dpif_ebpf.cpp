@@ -9,7 +9,9 @@
 #include "net/headers.h"
 #include "net/int_hdr.h"
 #include "net/rewrite.h"
+#include "kern/nic.h"
 #include "obs/coverage.h"
+#include "obs/perf.h"
 #include "obs/trace.h"
 #include "ovs/appctl_render.h"
 #include "san/audit.h"
@@ -281,12 +283,62 @@ void DpifEbpf::register_appctl(obs::Appctl& appctl)
                                 v.set("detail", "no PMD threads");
                                 return v;
                             });
+    // The TC-hook program runs in the NIC softirq contexts of the
+    // device-backed ports — one pmd/perf-show row per physical queue,
+    // same shape as the PMD-threaded providers.
+    auto softirq_perfs = [this]() {
+        std::vector<const obs::PmdPerf*> rows;
+        for (const auto& [no, dev] : ports_) {
+            auto* nic = dynamic_cast<kern::PhysicalDevice*>(dev);
+            if (!nic) continue;
+            for (std::uint32_t q = 0; q < nic->config().num_queues; ++q) {
+                if (const obs::PmdPerf* perf = nic->softirq_ctx(q).perf()) {
+                    rows.push_back(perf);
+                }
+            }
+        }
+        return rows;
+    };
+    appctl.register_command(
+        "pmd/perf-show",
+        "per-PMD cycle profiler: stage cycles and iteration histograms",
+        [this, softirq_perfs](const obs::Appctl::Args&) {
+            return render_pmd_perf(type(), softirq_perfs());
+        });
+    appctl.register_command(
+        "pmd/perf-log", "suspicious-iteration thresholds and flight-recorder dumps",
+        [this, softirq_perfs](const obs::Appctl::Args&) {
+            return render_pmd_perf_log(type(), softirq_perfs());
+        });
 }
 
 void DpifEbpf::receive(std::uint32_t port_no, net::Packet&& pkt, sim::ExecContext& ctx)
 {
+    obs::PmdPerf* perf = ctx.perf();
+    if (!perf || perf->in_iteration()) {
+        receive_one(port_no, std::move(pkt), ctx);
+        return;
+    }
+    // The iteration's packets are classifier passes, counted on the
+    // per-context coverage counters (they need no lock, unlike the
+    // flow_mu_-guarded hits_/misses_).
+    static const obs::CounterId kHitId = obs::coverage_id("ebpf.hit");
+    static const obs::CounterId kMissId = obs::coverage_id("ebpf.miss");
+    const std::uint64_t classified_before = ctx.counter(kHitId) + ctx.counter(kMissId);
+    perf->begin_iteration();
+    receive_one(port_no, std::move(pkt), ctx);
+    perf->end_iteration(ctx.counter(kHitId) + ctx.counter(kMissId) - classified_before);
+}
+
+void DpifEbpf::receive_one(std::uint32_t port_no, net::Packet&& pkt, sim::ExecContext& ctx)
+{
+    obs::PmdPerf* perf = ctx.perf();
     san::skb_transition(pkt.san_id(), san::SkbState::Datapath, OVSX_SITE);
     pkt.meta().in_port = port_no;
+    // The sandboxed program parses, builds the key, and probes the hash
+    // map — there is no separate megaflow tier, so the whole VM run is
+    // the datapath's "emc-lookup" stage.
+    obs::PerfStageScope lookup_scope(perf, obs::PerfStage::EmcLookup);
     auto res = kernel_.vm().run_xdp(prog_, pkt, port_no, 0);
     ctx.charge(res.cost + kernel_.costs().xdp_setup);
     pkt.meta().latency_ns += res.cost + kernel_.costs().xdp_setup;
@@ -349,7 +401,9 @@ void DpifEbpf::receive(std::uint32_t port_no, net::Packet&& pkt, sim::ExecContex
                    0, res.insns);
         obs::trace(pkt.meta().trace_id, obs::Hop::Upcall, pkt.meta().latency_ns, "");
     }
+    if (perf) perf->note_upcall();
     if (upcall_) {
+        obs::PerfStageScope upcall_scope(perf, obs::PerfStage::Upcall);
         const net::FlowKey key = net::parse_flow(pkt);
         upcall_(port_no, std::move(pkt), key, ctx);
     }
@@ -373,12 +427,14 @@ void DpifEbpf::do_output(net::Packet&& pkt, std::uint32_t port_no, sim::ExecCont
     // strip). Count it so the fabric can prove the forward-intact
     // obligation from exported coverage alone.
     if (net::int_find(pkt)) OVSX_COVERAGE_CTX(ctx, "int.forwarded");
+    obs::PerfStageScope tx_scope(ctx.perf(), obs::PerfStage::Tx);
     it->second->transmit(std::move(pkt), ctx);
 }
 
 void DpifEbpf::execute(net::Packet&& pkt, const kern::OdpActions& actions,
                        sim::ExecContext& ctx)
 {
+    obs::PerfStageScope act_scope(ctx.perf(), obs::PerfStage::Actions);
     using Type = kern::OdpAction::Type;
     for (std::size_t i = 0; i < actions.size(); ++i) {
         const kern::OdpAction& act = actions[i];
@@ -404,6 +460,7 @@ void DpifEbpf::execute(net::Packet&& pkt, const kern::OdpActions& actions,
             break;
         case Type::Ct: {
             // eBPF conntrack via maps — functional but charged at eBPF cost.
+            obs::PerfStageScope ct_scope(ctx.perf(), obs::PerfStage::Ct);
             const net::FlowKey key = net::parse_flow(pkt);
             kernel_.conntrack().process(pkt, key, act.ct, ctx, now_);
             ctx.charge(static_cast<sim::Nanos>(120.0 * kernel_.costs().ebpf_insn));

@@ -110,6 +110,9 @@ private:
     static_assert(sizeof(EbpfKey) == 20);
 
     void do_output(net::Packet&& pkt, std::uint32_t port_no, sim::ExecContext& ctx);
+    // receive() minus the profiler iteration bracket (a veth-peer
+    // re-entry classifies inside the outer packet's iteration).
+    void receive_one(std::uint32_t port_no, net::Packet&& pkt, sim::ExecContext& ctx);
 
     kern::Kernel& kernel_;
     ebpf::MapPtr flow_map_;   // EbpfKey -> flow id

@@ -4,6 +4,7 @@
 #pragma once
 
 #include "kern/kernel.h"
+#include "kern/nic.h"
 #include "kern/ovs_kmod.h"
 #include "ovs/appctl_render.h"
 #include "ovs/dpif.h"
@@ -74,6 +75,17 @@ public:
                                     v.set("detail", "no PMD threads");
                                     return v;
                                 });
+        appctl.register_command(
+            "pmd/perf-show",
+            "per-PMD cycle profiler: stage cycles and iteration histograms",
+            [this](const obs::Appctl::Args&) {
+                return render_pmd_perf(type(), softirq_perfs());
+            });
+        appctl.register_command(
+            "pmd/perf-log", "suspicious-iteration thresholds and flight-recorder dumps",
+            [this](const obs::Appctl::Args&) {
+                return render_pmd_perf_log(type(), softirq_perfs());
+            });
     }
 
     void execute(net::Packet&& pkt, const kern::OdpActions& actions,
@@ -85,6 +97,24 @@ public:
     kern::OvsKernelDatapath& datapath() { return dp_; }
 
 private:
+    // The kernel datapath's execution contexts are the NIC softirq
+    // handlers of its device-backed ports: one pmd/perf-show row per
+    // physical queue, the softirq analogue of a PMD thread.
+    std::vector<const obs::PmdPerf*> softirq_perfs() const
+    {
+        std::vector<const obs::PmdPerf*> rows;
+        for (const kern::Vport* vport : dp_.ports()) {
+            auto* nic = dynamic_cast<kern::PhysicalDevice*>(vport->dev);
+            if (!nic) continue;
+            for (std::uint32_t q = 0; q < nic->config().num_queues; ++q) {
+                if (const obs::PmdPerf* perf = nic->softirq_ctx(q).perf()) {
+                    rows.push_back(perf);
+                }
+            }
+        }
+        return rows;
+    }
+
     kern::OvsKernelDatapath& dp_;
 };
 

@@ -14,6 +14,7 @@
 #include "net/rewrite.h"
 #include "obs/coverage.h"
 #include "obs/int_export.h"
+#include "obs/perf.h"
 #include "obs/trace.h"
 #include "ovs/appctl_render.h"
 #include "ovs/netdev_afxdp.h"
@@ -97,11 +98,12 @@ void DpifNetdev::register_appctl(obs::Appctl& appctl)
     appctl.register_command(
         "dpif-netdev/pmd-stats-show", "per-PMD datapath statistics",
         [this](const obs::Appctl::Args&) {
-            obs::Value v =
-                render_pmd_stats(type(),
-                                 obs::coverage_value(obs::coverage_id("emc.hit")) +
-                                     obs::coverage_value(obs::coverage_id("megaflow.hit")),
-                                 upcall_count_, dropped_);
+            // Instance-local totals: the global emc.hit/megaflow.hit
+            // coverage counters aggregate every datapath instance the
+            // process ever ran, so a fresh instance would report stale
+            // history (and drift from pmd/perf-show, which is strictly
+            // per-instance).
+            obs::Value v = render_pmd_stats(type(), stats_hits_, upcall_count_, dropped_);
             obs::Value pmds = obs::Value::array();
             for (const Pmd& pmd : pmds_) {
                 obs::Value row = obs::Value::object();
@@ -180,6 +182,20 @@ void DpifNetdev::register_appctl(obs::Appctl& appctl)
                 }
             }
             return render_pmd_rxq(type(), rows);
+        });
+    appctl.register_command(
+        "pmd/perf-show", "per-PMD cycle profiler: stage cycles and iteration histograms",
+        [this](const obs::Appctl::Args&) {
+            std::vector<const obs::PmdPerf*> rows;
+            for (const Pmd& pmd : pmds_) rows.push_back(pmd.ctx.perf());
+            return render_pmd_perf(type(), rows);
+        });
+    appctl.register_command(
+        "pmd/perf-log", "suspicious-iteration thresholds and flight-recorder dumps",
+        [this](const obs::Appctl::Args&) {
+            std::vector<const obs::PmdPerf*> rows;
+            for (const Pmd& pmd : pmds_) rows.push_back(pmd.ctx.perf());
+            return render_pmd_perf_log(type(), rows);
         });
     appctl.register_command(
         "dpif-netdev/pmd-rebalance", "rebalance rxqs across PMDs now",
@@ -314,6 +330,9 @@ int DpifNetdev::add_pmd(const std::string& name)
     Pmd pmd;
     pmd.name = name;
     pmd.ctx = sim::ExecContext(name, sim::CpuClass::User);
+    // Always-on profiler, attached from birth so its class-cycle split
+    // matches the context's busy() exactly.
+    pmd.ctx.attach_perf(name);
     pmds_.push_back(std::move(pmd));
     return static_cast<int>(pmds_.size()) - 1;
 }
@@ -326,14 +345,24 @@ void DpifNetdev::pmd_assign(int pmd, std::uint32_t port_no, std::uint32_t queue)
 std::uint32_t DpifNetdev::pmd_poll_once(int pmd_index)
 {
     Pmd& pmd = pmds_[static_cast<std::size_t>(pmd_index)];
+    obs::PmdPerf* perf = pmd.ctx.perf();
+    // One profiler iteration per poll cycle over the PMD's rxqs; the
+    // "packets" of an iteration are classifier passes (recirculation
+    // classifies again), which is what keeps pmd/perf-show packet
+    // totals equal to pmd-stats-show hits+misses.
+    const std::uint64_t classified_before = stats_hits_ + upcall_count_;
+    if (perf) perf->begin_iteration();
     std::uint32_t processed = 0;
     for (Rxq& rxq : pmd.rxqs) {
         auto it = ports_.find(rxq.port_no);
         if (it == ports_.end() || !it->second.netdev) continue;
         const sim::Nanos busy_before = pmd.ctx.total_busy();
         std::vector<net::Packet> batch;
-        const std::uint32_t n =
-            it->second.netdev->rx_burst(rxq.queue, batch, Netdev::kBatchSize, pmd.ctx);
+        std::uint32_t n;
+        {
+            obs::PerfStageScope rx(perf, obs::PerfStage::RxPoll);
+            n = it->second.netdev->rx_burst(rxq.queue, batch, Netdev::kBatchSize, pmd.ctx);
+        }
         if (n > 0) {
             process_batch(rxq.port_no, std::move(batch), pmd.ctx);
             processed += n;
@@ -342,22 +371,31 @@ std::uint32_t DpifNetdev::pmd_poll_once(int pmd_index)
         // is the §4.2 "processing cycles" signal the auto-LB consumes.
         rxq.busy_ns += static_cast<std::uint64_t>(pmd.ctx.total_busy() - busy_before);
     }
+    if (perf) perf->end_iteration(stats_hits_ + upcall_count_ - classified_before);
     return processed;
 }
 
 std::uint32_t DpifNetdev::main_thread_poll_once(sim::ExecContext& ctx)
 {
+    obs::PmdPerf* perf = ctx.perf();
+    const std::uint64_t classified_before = stats_hits_ + upcall_count_;
+    if (perf) perf->begin_iteration();
     std::uint32_t processed = 0;
     for (auto& [port_no, port] : ports_) {
         if (!port.netdev) continue;
         for (std::uint32_t q = 0; q < port.netdev->n_rxq(); ++q) {
             std::vector<net::Packet> batch;
-            const std::uint32_t n = port.netdev->rx_burst(q, batch, Netdev::kBatchSize, ctx);
+            std::uint32_t n;
+            {
+                obs::PerfStageScope rx(perf, obs::PerfStage::RxPoll);
+                n = port.netdev->rx_burst(q, batch, Netdev::kBatchSize, ctx);
+            }
             if (n == 0) continue;
             process_batch(port_no, std::move(batch), ctx);
             processed += n;
         }
     }
+    if (perf) perf->end_iteration(stats_hits_ + upcall_count_ - classified_before);
     return processed;
 }
 
@@ -462,11 +500,13 @@ void DpifNetdev::process_vector(std::uint32_t in_port, net::PacketBatch& vec,
 {
     constexpr std::size_t kCap = net::PacketBatch::kCapacity;
     const std::size_t n = vec.size();
+    obs::PmdPerf* perf = ctx.perf();
     OVSX_COVERAGE_CTX(ctx, "batch.flush");
     OVSX_COVERAGE_CTX_N(ctx, "batch.occupancy", n);
     last_batch_occupancy_ = static_cast<std::uint16_t>(n);
 
     // ---- Phase A: admit + extract + prefetch -------------------------
+    obs::PerfStageScope parse_scope(perf, obs::PerfStage::EmcLookup);
     for (std::size_t i = 0; i < n; ++i) {
         net::Packet& pkt = vec.pkt(i);
         san::skb_transition(pkt.san_id(), san::SkbState::Datapath, OVSX_SITE);
@@ -514,6 +554,7 @@ void DpifNetdev::process_vector(std::uint32_t in_port, net::PacketBatch& vec,
         }
         if (const CachedFlowPtr flow = emc_.lookup_ref(key, hash)) {
             OVSX_COVERAGE_CTX(ctx, "emc.hit");
+            ++stats_hits_;
             if (pkt.meta().trace_id) {
                 obs::trace(pkt.meta().trace_id, obs::Hop::Emc, pkt.meta().latency_ns, "hit");
             }
@@ -528,18 +569,23 @@ void DpifNetdev::process_vector(std::uint32_t in_port, net::PacketBatch& vec,
         }
 
         MegaflowCache::LookupResult res;
-        if (hint[i] >= 0 && megaflow_.epoch() == epoch) {
-            res = miss_res[static_cast<std::size_t>(hint[i])];
-            megaflow_.commit(res);
-        } else {
-            // The batch hint is stale (an earlier packet's upcall or a
-            // peek/lookup disagreement): redo the scalar lookup.
-            res = megaflow_.lookup(key);
+        {
+            obs::PerfStageScope mf(perf, obs::PerfStage::MegaflowLookup);
+            if (hint[i] >= 0 && megaflow_.epoch() == epoch) {
+                res = miss_res[static_cast<std::size_t>(hint[i])];
+                megaflow_.commit(res);
+            } else {
+                // The batch hint is stale (an earlier packet's upcall or a
+                // peek/lookup disagreement): redo the scalar lookup.
+                res = megaflow_.lookup(key);
+            }
+            ctx.charge(static_cast<sim::Nanos>(res.probes) * costs_.megaflow_probe);
+            pkt.meta().latency_ns +=
+                static_cast<sim::Nanos>(res.probes) * costs_.megaflow_probe;
         }
-        ctx.charge(static_cast<sim::Nanos>(res.probes) * costs_.megaflow_probe);
-        pkt.meta().latency_ns += static_cast<sim::Nanos>(res.probes) * costs_.megaflow_probe;
         if (res.flow) {
             OVSX_COVERAGE_CTX(ctx, "megaflow.hit");
+            ++stats_hits_;
             if (pkt.meta().trace_id) {
                 obs::trace(pkt.meta().trace_id, obs::Hop::Megaflow, pkt.meta().latency_ns,
                            "hit", res.probes);
@@ -547,6 +593,7 @@ void DpifNetdev::process_vector(std::uint32_t in_port, net::PacketBatch& vec,
             ++res.flow->hits;
             res.flow->bytes += pkt.size();
             if (++emc_insert_counter_ % emc_insert_inv_prob_ == 0) {
+                obs::PerfStageScope ins(perf, obs::PerfStage::MegaflowLookup);
                 emc_.insert(key, hash, res.flow);
                 ctx.charge(costs_.emc_hit);
             }
@@ -560,6 +607,7 @@ void DpifNetdev::process_vector(std::uint32_t in_port, net::PacketBatch& vec,
                        "miss", res.probes);
         }
         ++upcall_count_;
+        if (perf) perf->note_upcall();
         if (!upcall_) {
             ++dropped_;
             if (pkt.meta().trace_id) {
@@ -572,6 +620,7 @@ void DpifNetdev::process_vector(std::uint32_t in_port, net::PacketBatch& vec,
         if (pkt.meta().trace_id) {
             obs::trace(pkt.meta().trace_id, obs::Hop::Upcall, pkt.meta().latency_ns, "");
         }
+        obs::PerfStageScope up(perf, obs::PerfStage::Upcall);
         ctx.charge(costs_.upcall);
         pkt.meta().latency_ns += costs_.upcall;
         upcall_(pkt.meta().in_port, std::move(pkt), key, ctx);
@@ -584,8 +633,10 @@ void DpifNetdev::pipeline(net::Packet&& pkt, sim::ExecContext& ctx, int depth)
         ++dropped_;
         return;
     }
+    obs::PmdPerf* perf = ctx.perf();
 
     // Miniflow extraction.
+    obs::PerfStageScope emc_scope(perf, obs::PerfStage::EmcLookup);
     ctx.charge(costs_.parse_extract);
     pkt.meta().latency_ns += costs_.parse_extract;
     const net::FlowKey key = net::parse_flow(pkt);
@@ -602,6 +653,7 @@ void DpifNetdev::pipeline(net::Packet&& pkt, sim::ExecContext& ctx, int depth)
     }
     if (const CachedFlowPtr flow = emc_.lookup_ref(key, hash)) {
         OVSX_COVERAGE_CTX(ctx, "emc.hit");
+        ++stats_hits_;
         if (pkt.meta().trace_id) {
             obs::trace(pkt.meta().trace_id, obs::Hop::Emc, pkt.meta().latency_ns, "hit");
         }
@@ -618,11 +670,16 @@ void DpifNetdev::pipeline(net::Packet&& pkt, sim::ExecContext& ctx, int depth)
     }
 
     // Second level: megaflow (tuple space search).
-    auto res = megaflow_.lookup(key);
-    ctx.charge(static_cast<sim::Nanos>(res.probes) * costs_.megaflow_probe);
-    pkt.meta().latency_ns += static_cast<sim::Nanos>(res.probes) * costs_.megaflow_probe;
+    MegaflowCache::LookupResult res;
+    {
+        obs::PerfStageScope mf(perf, obs::PerfStage::MegaflowLookup);
+        res = megaflow_.lookup(key);
+        ctx.charge(static_cast<sim::Nanos>(res.probes) * costs_.megaflow_probe);
+        pkt.meta().latency_ns += static_cast<sim::Nanos>(res.probes) * costs_.megaflow_probe;
+    }
     if (res.flow) {
         OVSX_COVERAGE_CTX(ctx, "megaflow.hit");
+        ++stats_hits_;
         if (pkt.meta().trace_id) {
             obs::trace(pkt.meta().trace_id, obs::Hop::Megaflow, pkt.meta().latency_ns,
                        "hit", res.probes);
@@ -630,6 +687,7 @@ void DpifNetdev::pipeline(net::Packet&& pkt, sim::ExecContext& ctx, int depth)
         ++res.flow->hits;
         res.flow->bytes += pkt.size();
         if (++emc_insert_counter_ % emc_insert_inv_prob_ == 0) {
+            obs::PerfStageScope ins(perf, obs::PerfStage::MegaflowLookup);
             emc_.insert(key, hash, res.flow);
             ctx.charge(costs_.emc_hit);
         }
@@ -644,6 +702,7 @@ void DpifNetdev::pipeline(net::Packet&& pkt, sim::ExecContext& ctx, int depth)
                    res.probes);
     }
     ++upcall_count_;
+    if (perf) perf->note_upcall();
     if (!upcall_) {
         ++dropped_;
         if (pkt.meta().trace_id) {
@@ -656,6 +715,7 @@ void DpifNetdev::pipeline(net::Packet&& pkt, sim::ExecContext& ctx, int depth)
     if (pkt.meta().trace_id) {
         obs::trace(pkt.meta().trace_id, obs::Hop::Upcall, pkt.meta().latency_ns, "");
     }
+    obs::PerfStageScope up(perf, obs::PerfStage::Upcall);
     ctx.charge(costs_.upcall);
     pkt.meta().latency_ns += costs_.upcall;
     upcall_(pkt.meta().in_port, std::move(pkt), key, ctx);
@@ -689,6 +749,7 @@ void DpifNetdev::output(net::Packet&& pkt, std::uint32_t port_no, sim::ExecConte
         out_batches_[port_no].push_back(std::move(pkt));
         return;
     }
+    obs::PerfStageScope tx(ctx.perf(), obs::PerfStage::Tx);
     port.netdev->tx_one(0, std::move(pkt), ctx);
 }
 
@@ -696,6 +757,7 @@ void DpifNetdev::flush_output_batches(sim::ExecContext& ctx)
 {
     // One tx_burst per destination port: this is where syscall / kick
     // amortisation across a batch comes from.
+    obs::PerfStageScope tx(ctx.perf(), obs::PerfStage::Tx);
     auto batches = std::move(out_batches_);
     out_batches_.clear();
     for (auto& [port_no, pkts] : batches) {
@@ -776,6 +838,8 @@ void DpifNetdev::run_actions(net::Packet&& pkt, const kern::OdpActions& actions,
                              sim::ExecContext& ctx, int depth)
 {
     using Type = kern::OdpAction::Type;
+    obs::PmdPerf* perf = ctx.perf();
+    obs::PerfStageScope act_scope(perf, obs::PerfStage::Actions);
     for (std::size_t i = 0; i < actions.size(); ++i) {
         const kern::OdpAction& act = actions[i];
         switch (act.type) {
@@ -806,6 +870,7 @@ void DpifNetdev::run_actions(net::Packet&& pkt, const kern::OdpActions& actions,
             pkt.meta().tunnel = act.tunnel;
             break;
         case Type::Ct: {
+            obs::PerfStageScope ct_scope(perf, obs::PerfStage::Ct);
             const net::FlowKey key = net::parse_flow(pkt);
             ct_.process(pkt, key, act.ct, ctx, now_);
             break;

@@ -156,6 +156,8 @@ public:
 
     std::uint64_t upcalls() const { return upcall_count_; }
     std::uint64_t dropped() const { return dropped_; }
+    // pmd-stats-show "hits": EMC + megaflow hits of THIS instance.
+    std::uint64_t stats_hits() const { return stats_hits_; }
 
 private:
     struct Port {
@@ -213,6 +215,9 @@ private:
     sim::Nanos now_ = 0;
     std::uint64_t upcall_count_ = 0;
     std::uint64_t dropped_ = 0;
+    // Instance-local EMC+megaflow hit total (pmd-stats-show "hits");
+    // the global coverage counters aggregate across instances.
+    std::uint64_t stats_hits_ = 0;
     std::uint32_t emc_insert_inv_prob_ = 100;
     std::uint64_t emc_insert_counter_ = 0;
     IntConfig int_cfg_;

@@ -10,6 +10,7 @@
 #include "net/hash.h"
 #include "net/headers.h"
 #include "obs/coverage.h"
+#include "obs/perf.h"
 #include "san/audit.h"
 #include "san/frame_tracker.h"
 #include "san/packet_ledger.h"
@@ -239,8 +240,12 @@ void NetdevAfxdp::tx_burst(std::uint32_t queue, std::vector<net::Packet>&& pkts,
     // Kick the kernel (sendto) once per batch; the driver drains the TX
     // ring in softirq context and returns completions. This is the
     // AF_XDP doorbell — amortized over the burst, never per packet.
-    nic_.xsk_tx_kick(*q.xsk, queue, ctx);
+    {
+        obs::PerfStageScope tx_scope(ctx.perf(), obs::PerfStage::Tx);
+        nic_.xsk_tx_kick(*q.xsk, queue, ctx);
+    }
     OVSX_COVERAGE_CTX(ctx, "afxdp.tx_kick");
+    if (auto* perf = ctx.perf()) perf->note_doorbell();
 
     // Reclaim completed frames into the umempool.
     while (auto addr = q.umem->comp().consume()) {

@@ -10,10 +10,12 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "obs/coverage.h"
+#include "obs/perf.h"
 #include "sim/time.h"
 
 namespace ovsx::sim {
@@ -54,7 +56,19 @@ public:
     {
         busy_[static_cast<int>(c)] += ns;
         total_ += ns;
+        if (perf_raw_) perf_raw_->on_charge(static_cast<int>(c), ns);
     }
+
+    // Attaches a per-context cycle profiler (obs/perf.h). Copies of
+    // this context share the one profiler, so aggregate charge streams
+    // keep feeding the same stage buckets. No-op (profiler stays null)
+    // while obs::perf_set_enabled(false) — the soak's overhead leg.
+    void attach_perf(const std::string& perf_name)
+    {
+        perf_ = obs::perf_create(perf_name);
+        perf_raw_ = perf_.get();
+    }
+    obs::PmdPerf* perf() const { return perf_raw_; }
 
     Nanos busy(CpuClass c) const { return busy_[static_cast<int>(c)]; }
     Nanos total_busy() const { return total_; }
@@ -94,6 +108,7 @@ public:
         for (auto& b : busy_) b = 0;
         total_ = 0;
         counters_.clear();
+        if (perf_raw_) perf_raw_->reset();
     }
 
 private:
@@ -102,6 +117,10 @@ private:
     Nanos busy_[4] = {0, 0, 0, 0};
     Nanos total_ = 0;
     std::vector<std::uint64_t> counters_; // indexed by obs::CounterId
+    // Shared across copies (the aggregate-reporting path copies
+    // contexts); raw pointer cached for the hot charge() check.
+    std::shared_ptr<obs::PmdPerf> perf_;
+    obs::PmdPerf* perf_raw_ = nullptr;
 };
 
 // Aggregated busy time across a set of contexts, in units of one CPU

@@ -21,6 +21,7 @@
 #include "obs/histogram.h"
 #include "obs/latency.h"
 #include "obs/metrics.h"
+#include "obs/perf.h"
 #include "obs/trace.h"
 #include "obs/value.h"
 #include "obs/window.h"
@@ -153,6 +154,7 @@ const std::vector<std::string> kRequiredCommands = {
     "dpctl/dump-flows", "conntrack/show",
     "xsk/ring-stats",   "dpif-netdev/pmd-rxq-show",
     "dpif-netdev/pmd-rebalance",
+    "pmd/perf-show",    "pmd/perf-log",
 };
 
 void expect_command_surface(obs::Appctl& appctl, const char* provider)
@@ -189,6 +191,16 @@ void expect_command_surface(obs::Appctl& appctl, const char* provider)
     const obs::Value reb = appctl.run_value("dpif-netdev/pmd-rebalance");
     ASSERT_NE(reb.find("rebalanced"), nullptr) << provider;
     ASSERT_NE(reb.find("detail"), nullptr) << provider;
+    // The profiler commands share one shape on every provider:
+    // {datapath, pmds: {name -> row}}.
+    const obs::Value perf = appctl.run_value("pmd/perf-show");
+    ASSERT_NE(perf.find("datapath"), nullptr) << provider;
+    ASSERT_NE(perf.find("pmds"), nullptr) << provider;
+    EXPECT_TRUE(perf.find("pmds")->is_object()) << provider;
+    const obs::Value plog = appctl.run_value("pmd/perf-log");
+    ASSERT_NE(plog.find("datapath"), nullptr) << provider;
+    ASSERT_NE(plog.find("pmds"), nullptr) << provider;
+    EXPECT_TRUE(plog.find("pmds")->is_object()) << provider;
 }
 
 TEST(ObsAppctl, AllThreeProvidersAnswerTheSameCommands)
@@ -351,7 +363,7 @@ TEST(ObsMetrics, DottedPathsAndSchema)
     ASSERT_TRUE(doc.has_value());
     ASSERT_NE(doc->find("schema"), nullptr);
     EXPECT_EQ(doc->find("schema")->as_string(), obs::kMetricsSchema);
-    EXPECT_EQ(doc->find("schema")->as_string(), "ovsx-obs-v3");
+    EXPECT_EQ(doc->find("schema")->as_string(), "ovsx-obs-v4");
     ASSERT_NE(doc->find("coverage"), nullptr);
     ASSERT_NE(doc->find("metrics"), nullptr);
     // v2 added the histograms and windows sections.
@@ -364,6 +376,14 @@ TEST(ObsMetrics, DottedPathsAndSchema)
     EXPECT_TRUE(doc->find("int")->is_object());
     ASSERT_NE(doc->find("int")->find("paths"), nullptr);
     EXPECT_TRUE(doc->find("int")->find("paths")->is_object());
+    // v4 adds the perf section: profiler totals plus live PMD rows.
+    ASSERT_NE(doc->find("perf"), nullptr);
+    EXPECT_TRUE(doc->find("perf")->is_object());
+    ASSERT_NE(doc->find("perf")->find("iterations"), nullptr);
+    ASSERT_NE(doc->find("perf")->find("packets"), nullptr);
+    ASSERT_NE(doc->find("perf")->find("suspicious"), nullptr);
+    ASSERT_NE(doc->find("perf")->find("pmds"), nullptr);
+    EXPECT_TRUE(doc->find("perf")->find("pmds")->is_object());
     EXPECT_EQ(doc->find("metrics")->find("t")->find("a")->find("b")->as_uint(), 42u);
     obs::metrics_reset();
 }
@@ -430,6 +450,80 @@ TEST(ObsLatency, MergeMatchesCombinedRecording)
     for (double p : {50.0, 90.0, 99.0}) {
         EXPECT_EQ(a.percentile(p), combined.percentile(p)) << p;
     }
+}
+
+TEST(ObsLatency, MergeWithEmptyOperandIsIdentityBothWays)
+{
+    obs::LatencyHistogram a, empty;
+    for (std::int64_t v : {3, 70, 12'000}) a.record(v);
+    const std::int64_t p50_before = a.percentile(50);
+
+    // Merging an empty operand changes nothing — not even min/max.
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_EQ(a.min(), 3);
+    EXPECT_EQ(a.max(), 12'000);
+    EXPECT_EQ(a.percentile(50), p50_before);
+
+    // Merging INTO an empty histogram adopts the operand wholesale.
+    obs::LatencyHistogram fresh;
+    fresh.merge(a);
+    EXPECT_EQ(fresh.count(), 3u);
+    EXPECT_EQ(fresh.min(), 3);
+    EXPECT_EQ(fresh.max(), 12'000);
+    for (double p : {50.0, 90.0, 99.0}) {
+        EXPECT_EQ(fresh.percentile(p), a.percentile(p)) << p;
+    }
+
+    // Empty merged with empty stays empty.
+    obs::LatencyHistogram e2;
+    e2.merge(empty);
+    EXPECT_EQ(e2.count(), 0u);
+    EXPECT_EQ(e2.percentile(50), 0);
+}
+
+TEST(ObsLatency, SingleBucketPercentilesAllCollapse)
+{
+    obs::LatencyHistogram h;
+    for (int i = 0; i < 1000; ++i) h.record(37);
+    EXPECT_EQ(h.min(), 37);
+    EXPECT_EQ(h.max(), 37);
+    // Every percentile — including the p<=0 and p>=100 clamps — lands
+    // in the one occupied bucket, clamped to the exact value.
+    for (double p : {-5.0, 0.0, 1.0, 50.0, 99.0, 100.0, 400.0}) {
+        EXPECT_EQ(h.percentile(p), 37) << p;
+    }
+    EXPECT_DOUBLE_EQ(h.mean(), 37.0);
+}
+
+TEST(ObsLatency, SaturatingMaxBucketClampsNotOverflows)
+{
+    obs::LatencyHistogram h;
+    const std::int64_t huge = std::int64_t{1} << 62; // way past 2^48 ns
+    h.record(huge);
+    h.record(huge);
+    h.record(5);
+    // Both huge samples land in the last bucket — bucket_index must
+    // not run off the array — and percentiles report that bucket's
+    // upper edge (2^48 - 1, the documented saturation point), while
+    // min/max keep the exact values.
+    const std::int64_t saturated =
+        (std::int64_t{1} << obs::LatencyHistogram::kMaxBits) - 1;
+    EXPECT_EQ(obs::LatencyHistogram::bucket_index(static_cast<std::uint64_t>(huge)),
+              obs::LatencyHistogram::kBuckets - 1);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.max(), huge);
+    EXPECT_EQ(h.percentile(99), saturated);
+    EXPECT_EQ(h.percentile(100), saturated);
+    EXPECT_EQ(h.percentile(0), 5);
+
+    // Merging two saturated histograms stays saturated, not wrapped.
+    obs::LatencyHistogram other;
+    other.record(huge);
+    h.merge(other);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.max(), huge);
+    EXPECT_EQ(h.percentile(90), saturated);
 }
 
 TEST(ObsLatency, SpanFeedRecordsDeltasAndSkipsMisses)
@@ -587,6 +681,157 @@ TEST(ObsWindow, TrackedCoverageSampledAtCloses)
     obs::windows_publish("test_obs", w.to_value());
     const obs::Value snap = obs::windows_snapshot();
     ASSERT_NE(snap.find("test_obs"), nullptr);
+}
+
+TEST(ObsWindow, EwmaGlidesAcrossCounterReset)
+{
+    obs::WindowedRate r(0.4);
+    std::int64_t now = 0;
+    std::uint64_t cum = 0;
+    r.sample(now, cum);
+    for (int i = 0; i < 20; ++i) {
+        now += 1'000'000'000;
+        cum += 100;
+        r.sample(now, cum);
+    }
+    EXPECT_NEAR(r.ewma_per_sec(), 100.0, 1.0);
+    const double before = r.ewma_per_sec();
+
+    // Counter reset (process restart): cumulative restarts at 40. The
+    // delta is the new absolute value — not a wrapped negative — and
+    // the EWMA takes exactly one alpha step toward the new rate rather
+    // than spiking or going negative.
+    now += 1'000'000'000;
+    r.sample(now, 40);
+    EXPECT_EQ(r.last_delta(), 40u);
+    EXPECT_NEAR(r.ewma_per_sec(), before + 0.4 * (40.0 - before), 1e-9);
+    EXPECT_GT(r.ewma_per_sec(), 40.0);
+    EXPECT_LT(r.ewma_per_sec(), before);
+
+    // Steady at the post-reset rate: converges to 40 like any regime
+    // change, with no memory of the reset itself.
+    cum = 40;
+    for (int i = 0; i < 30; ++i) {
+        now += 1'000'000'000;
+        cum += 40;
+        r.sample(now, cum);
+    }
+    EXPECT_NEAR(r.ewma_per_sec(), 40.0, 1.0);
+    EXPECT_DOUBLE_EQ(r.rate_per_sec(), 40.0);
+}
+
+// ---- pmd cycle profiler -------------------------------------------------
+
+TEST(ObsPerf, VirtualTscAttributesCyclesToStagesAndClasses)
+{
+    sim::ExecContext ctx("pmd", sim::CpuClass::User);
+    ctx.attach_perf("test_obs.perf_tsc");
+    obs::PmdPerf* perf = ctx.perf();
+    ASSERT_NE(perf, nullptr);
+
+    perf->begin_iteration();
+    {
+        obs::PerfStageScope rx(perf, obs::PerfStage::RxPoll);
+        ctx.charge(sim::CpuClass::User, 100);
+        {
+            obs::PerfStageScope emc(perf, obs::PerfStage::EmcLookup);
+            ctx.charge(sim::CpuClass::User, 40);
+        }
+        // Scope restored: this lands back in rx-poll.
+        ctx.charge(sim::CpuClass::Softirq, 10);
+    }
+    ctx.charge(sim::CpuClass::User, 7); // outside any scope -> idle
+    perf->end_iteration(3);
+
+    EXPECT_EQ(perf->tsc(), 157);
+    EXPECT_EQ(perf->stage_cycles(obs::PerfStage::RxPoll), 110);
+    EXPECT_EQ(perf->stage_cycles(obs::PerfStage::EmcLookup), 40);
+    EXPECT_EQ(perf->stage_cycles(obs::PerfStage::Idle), 7);
+    EXPECT_EQ(perf->iterations(), 1u);
+    EXPECT_EQ(perf->packets(), 3u);
+    // The per-class cycle split mirrors the context's busy() exactly —
+    // it is the same charge stream, which is what lets Table 4 derive
+    // its CPU rows from the profiler.
+    EXPECT_EQ(perf->class_cycles(static_cast<std::size_t>(sim::CpuClass::User)),
+              ctx.busy(sim::CpuClass::User));
+    EXPECT_EQ(perf->class_cycles(static_cast<std::size_t>(sim::CpuClass::Softirq)),
+              ctx.busy(sim::CpuClass::Softirq));
+}
+
+TEST(ObsPerf, SeededSuspiciousIterationDumpsFlightRecorderDeterministically)
+{
+    const auto drive = [](sim::ExecContext& ctx) {
+        obs::PmdPerf* perf = ctx.perf();
+        ASSERT_NE(perf, nullptr);
+        // Steady baseline past the warmup: 100 cycles over 4 packets
+        // per iteration, EWMA cycles/packet settles at 25.
+        for (int i = 0; i < 12; ++i) {
+            perf->begin_iteration();
+            {
+                obs::PerfStageScope s(perf, obs::PerfStage::EmcLookup);
+                ctx.charge(sim::CpuClass::User, 100);
+            }
+            perf->end_iteration(4);
+        }
+        EXPECT_EQ(perf->suspicious(), 0u);
+        EXPECT_TRUE(perf->last_dump().empty());
+        // One seeded outlier: 1000 cycles for a single packet, 40x the
+        // EWMA — well past the 4x suspicion threshold.
+        perf->begin_iteration();
+        {
+            obs::PerfStageScope s(perf, obs::PerfStage::Upcall);
+            ctx.charge(sim::CpuClass::User, 1000);
+        }
+        perf->note_upcall();
+        perf->end_iteration(1);
+    };
+
+    sim::ExecContext a("pmd-a", sim::CpuClass::User);
+    a.attach_perf("test_obs.flight_a");
+    drive(a);
+    const obs::PmdPerf* pa = a.perf();
+    EXPECT_EQ(pa->suspicious(), 1u);
+    const auto& dump = pa->last_dump();
+    ASSERT_EQ(dump.size(), 13u); // all iterations fit in the 32-deep ring
+    EXPECT_TRUE(dump.back().suspicious);
+    EXPECT_EQ(dump.back().iter, 13u);
+    EXPECT_EQ(dump.back().packets, 1u);
+    EXPECT_EQ(dump.back().upcalls, 1u);
+    EXPECT_EQ(dump.back().cycles, 1000);
+    EXPECT_EQ(dump.back().stage_cycles[static_cast<std::size_t>(obs::PerfStage::Upcall)],
+              1000);
+    EXPECT_FALSE(dump.front().suspicious);
+
+    // pmd/perf-log renders the dump with the armed thresholds.
+    const obs::Value log = pa->log_value();
+    ASSERT_NE(log.find("last_dump"), nullptr);
+    EXPECT_EQ(log.find("last_dump")->items().size(), 13u);
+
+    // The virtual TSC makes the whole dump deterministic: an identical
+    // run produces record-for-record identical output.
+    sim::ExecContext b("pmd-b", sim::CpuClass::User);
+    b.attach_perf("test_obs.flight_b");
+    drive(b);
+    const auto& dump2 = b.perf()->last_dump();
+    ASSERT_EQ(dump2.size(), dump.size());
+    for (std::size_t i = 0; i < dump.size(); ++i) {
+        EXPECT_EQ(dump[i].iter, dump2[i].iter) << i;
+        EXPECT_EQ(dump[i].tsc_start, dump2[i].tsc_start) << i;
+        EXPECT_EQ(dump[i].cycles, dump2[i].cycles) << i;
+        EXPECT_EQ(dump[i].packets, dump2[i].packets) << i;
+        EXPECT_EQ(dump[i].upcalls, dump2[i].upcalls) << i;
+        EXPECT_EQ(dump[i].suspicious, dump2[i].suspicious) << i;
+    }
+}
+
+TEST(ObsPerf, DisabledRegistryAttachesNoProfiler)
+{
+    obs::perf_set_enabled(false);
+    sim::ExecContext ctx("pmd-off", sim::CpuClass::User);
+    ctx.attach_perf("test_obs.perf_off");
+    EXPECT_EQ(ctx.perf(), nullptr);
+    obs::perf_set_enabled(true);
+    EXPECT_TRUE(obs::perf_enabled());
 }
 
 // ---- determinism --------------------------------------------------------

@@ -1,17 +1,19 @@
-// CI sanity check for obs metrics JSON artifacts (schema ovsx-obs-v3):
+// CI sanity check for obs metrics JSON artifacts (schema ovsx-obs-v4):
 //
 //   obs_schema_check <metrics.json> [required.dotted.key ...]
 //                    [--require-histogram <provider.tier> ...]
 //                    [--require-counter <name> ...]
 //                    [--p99-not-above <provider.tier> <provider.tier>]
 //
-// Validates that the document parses, is schema-tagged ovsx-obs-v3,
+// Validates that the document parses, is schema-tagged ovsx-obs-v4,
 // carries a coverage object whose counters are all non-negative
 // integers, a histograms object of per-provider per-tier latency stats
 // with ordered quantiles (the synthetic "path" provider keys fabric
 // src->dst pairs the same way), a windows object of windowed-rate
 // series, an int object of observed INT paths whose hop records carry
-// ordered percentiles and tier names, and a metrics object. Plain
+// ordered percentiles and tier names, a perf object of PMD
+// cycle-profiler totals whose per-PMD stage percentages stay within
+// [0,100], and a metrics object. Plain
 // extra arguments name dotted paths (under "metrics") that must exist.
 // --require-histogram demands a non-empty latency histogram for a
 // provider.tier pair; --require-counter demands the coverage object
@@ -180,13 +182,17 @@ int main(int argc, char** argv)
 
     const ovsx::obs::Value* schema = doc->find("schema");
     const std::string tag = schema ? schema->as_string() : "";
-    if (tag == "ovsx-obs-v1" || tag == "ovsx-obs-v2") {
-        return fail("artifact is schema " + tag + "; this checker requires ovsx-obs-v3 "
-                    "(regenerate the artifact with a current binary — v1 lacks the "
-                    "histograms and windows sections, v2 lacks the int section)");
+    // Every rejection names both sides: the tag we found and the tag we
+    // require, so a CI log is diagnosable without opening the artifact.
+    if (tag == "ovsx-obs-v1" || tag == "ovsx-obs-v2" || tag == "ovsx-obs-v3") {
+        return fail("artifact is schema '" + tag + "' but this checker requires '" +
+                    ovsx::obs::kMetricsSchema + "' (regenerate the artifact with a "
+                    "current binary — v1 lacks the histograms and windows sections, "
+                    "v2 lacks the int section, v3 lacks the perf section)");
     }
     if (tag != ovsx::obs::kMetricsSchema) {
-        return fail(std::string("schema tag missing or not ") + ovsx::obs::kMetricsSchema);
+        return fail("schema tag found '" + (schema ? tag : std::string("<absent>")) +
+                    "' but expected '" + ovsx::obs::kMetricsSchema + "'");
     }
 
     const ovsx::obs::Value* coverage = doc->find("coverage");
@@ -241,6 +247,55 @@ int main(int argc, char** argv)
         if (const int rc = check_int_path(key, path)) return rc;
     }
 
+    // v4: the PMD cycle profiler. Cumulative totals plus one entry per
+    // live profiler instance; stage percentages are shares of the
+    // virtual TSC, so they must stay within [0,100].
+    const ovsx::obs::Value* perf = doc->find("perf");
+    if (!perf || !perf->is_object()) return fail("perf object missing");
+    for (const char* f : {"iterations", "packets", "suspicious"}) {
+        const auto* v = perf->find(f);
+        if (!v || !is_number(*v)) {
+            return fail(std::string("perf missing numeric field '") + f + "'");
+        }
+    }
+    const ovsx::obs::Value* perf_pmds = perf->find("pmds");
+    if (!perf_pmds || !perf_pmds->is_object()) return fail("perf.pmds object missing");
+    for (const auto& [pmd, p] : perf_pmds->members()) {
+        if (!p.is_object()) return fail("perf pmd '" + pmd + "' is not an object");
+        for (const char* f :
+             {"iterations", "packets", "upcalls", "doorbells", "suspicious", "tsc"}) {
+            const auto* v = p.find(f);
+            if (!v || !is_number(*v)) {
+                return fail("perf pmd '" + pmd + "' missing numeric field '" + f + "'");
+            }
+        }
+        const auto* stages = p.find("stages");
+        if (!stages || !stages->is_object()) {
+            return fail("perf pmd '" + pmd + "' missing stages object");
+        }
+        for (const auto& [stage, s] : stages->members()) {
+            if (!s.is_object()) {
+                return fail("perf stage '" + pmd + "." + stage + "' is not an object");
+            }
+            for (const char* f : {"cycles", "pct"}) {
+                const auto* v = s.find(f);
+                if (!v || !is_number(*v)) {
+                    return fail("perf stage '" + pmd + "." + stage +
+                                "' missing numeric field '" + f + "'");
+                }
+            }
+            const double pct = s.find("pct")->as_double();
+            if (pct < 0.0 || pct > 100.0) {
+                return fail("perf stage '" + pmd + "." + stage + "' pct out of [0,100]");
+            }
+        }
+        for (const char* h : {"pkts_per_iter", "cycles_per_pkt"}) {
+            const auto* stats = p.find(h);
+            if (!stats) return fail("perf pmd '" + pmd + "' missing histogram '" + h + "'");
+            if (const int rc = check_histogram_stats(pmd + "." + h, *stats)) return rc;
+        }
+    }
+
     const ovsx::obs::Value* metrics = doc->find("metrics");
     if (!metrics || !metrics->is_object()) return fail("metrics object missing");
 
@@ -277,8 +332,8 @@ int main(int argc, char** argv)
     }
 
     std::printf("obs_schema_check: %s OK (%zu coverage counters, %zu histogram tiers, "
-                "%zu window series, %zu int paths)\n",
+                "%zu window series, %zu int paths, %zu perf pmds)\n",
                 argv[1], coverage->members().size(), hist_tiers, window_series,
-                int_paths->members().size());
+                int_paths->members().size(), perf_pmds->members().size());
     return 0;
 }
