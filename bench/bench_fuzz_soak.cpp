@@ -135,6 +135,10 @@ int main(int argc, char** argv)
         // soaked at degenerate (1), partial (8) and full (32) occupancy.
         static constexpr std::size_t kBatchSizes[] = {1, 8, 32};
         cfg.batch_size = kBatchSizes[iterations % 3];
+        // Rotate shard counts so the soak continuously proves sharding
+        // is invisible to the cross-provider end-state digests.
+        static constexpr std::uint32_t kShardCounts[] = {1, 4, 16};
+        cfg.shards = kShardCounts[iterations % 3];
 
         // Every few iterations, soak the fabric too: a 3-host leaf–spine
         // run per provider with INT stamping on, at the same rotated

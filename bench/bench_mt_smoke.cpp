@@ -11,6 +11,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
@@ -45,13 +46,21 @@ net::Packet make_udp(std::uint16_t sport, std::uint16_t dport)
 
 } // namespace
 
-int main()
+int main(int argc, char** argv)
 {
     san::ScopedHardened hardened;
 
-    ovs::MegaflowCache megaflow;
+    // Shard count for the megaflow cache and the conntrack (default 4:
+    // contended but still cross-shard). The TSan CI leg passes >1 so the
+    // per-shard locks, epoch-pinned readers and cross-shard commit path
+    // all see real interleavings.
+    const std::uint32_t shards =
+        argc > 1 ? static_cast<std::uint32_t>(std::strtoul(argv[1], nullptr, 0)) : 4;
+
+    ovs::MegaflowCache megaflow(shards);
     ovs::Emc emc;
     ovs::UserspaceConntrack uct;
+    uct.reshard(shards);
 
     std::atomic<std::uint64_t> ops{0};
     const auto t0 = std::chrono::steady_clock::now();
@@ -106,7 +115,8 @@ int main()
     const double secs = std::chrono::duration<double>(t1 - t0).count();
     const double mops = static_cast<double>(ops.load()) / secs / 1e6;
 
-    std::printf("bench_mt_smoke: %d threads x %d iters\n", kThreads, kItersPerThread);
+    std::printf("bench_mt_smoke: %d threads x %d iters, %u shards\n", kThreads, kItersPerThread,
+                shards);
     std::printf("  table ops        %llu\n", static_cast<unsigned long long>(ops.load()));
     std::printf("  wall time        %.3f s\n", secs);
     std::printf("  throughput       %.2f Mops/s\n", mops);

@@ -431,6 +431,18 @@ DifferentialHarness::make_instance(DpKind kind) const
     }
     }
 
+    // Sharding is a cache-layout choice, never a semantic one: any
+    // shard count must yield the same verdicts and end-state digests.
+    // reshard() is a no-op at the default of 1. The netdev instance has
+    // exactly one PMD, so add_pmd's auto-reshard has already settled at
+    // 1 and won't fight the explicit counts below.
+    if (inst->netdev) {
+        inst->netdev->megaflow().reshard(opts_.mf_shards);
+        inst->netdev->ct().reshard(opts_.ct_shards);
+    } else {
+        inst->kernel->conntrack().reshard(opts_.ct_shards);
+    }
+
     // Wire output capture: frames leaving port i land in captured. With
     // INT on, the option is stripped from the captured bytes first —
     // stamped telemetry values differ per provider by design, while the

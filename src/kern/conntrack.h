@@ -10,7 +10,9 @@
 // semantics here must match ovs::UserspaceConntrack bit for bit.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <tuple>
@@ -118,6 +120,9 @@ struct CtEntry {
     std::optional<NatBinding> nat;
     std::uint64_t packets = 0;
     sim::Nanos last_seen = 0;
+    // Timer-wheel bucket this entry was last filed into (expiry
+    // liveness check; TimerWheel::kNoBucket before the first filing).
+    std::uint64_t wheel_bucket = ~std::uint64_t{0};
 };
 
 // Result of passing a packet through conntrack: the CS_* bits for the
@@ -127,13 +132,29 @@ struct CtResult {
     CtEntry* entry = nullptr;
 };
 
-// Concurrency: mirror of ovs::UserspaceConntrack — one capability-
-// annotated mutex over all four maps, locked internally by every public
-// method. CtResult.entry and find() return interior pointers stable only
-// until the next mutating call; snapshot() copies for longer-lived use.
+// Concurrency: sharded by a symmetric (direction-invariant) RSS-style
+// hash of the connection tuple. Each shard owns an index/conns pair and
+// a timer wheel under its own capability-annotated mutex (stable name
+// "kern.ct.shard.<i>"); a connection lives in the shard of its ORIG
+// tuple, and because the shard hash is symmetric, the un-NATed reply
+// direction lands in the same shard — so non-NAT traffic runs entirely
+// under one shard lock. Anything whose NAT-translated reply tuple
+// crosses shards (port/IP translation, cross-shard RST teardown,
+// port-range allocation probing the union of all indices) takes the
+// deterministic slow path: every shard lock in ascending index order
+// (construction order makes the ids ascend too, so the ABBA DAG stays
+// acyclic), then the exact single-map algorithm against the union.
+// Zone counts/limits stay global under "kern.ct.zones", nested inside
+// the shard locks. End state is bit-identical at any shard count.
+//
+// CtResult.entry and find() return interior pointers stable only until
+// the next mutating call; snapshot() copies for longer-lived use.
 class Conntrack {
 public:
-    explicit Conntrack(const sim::CostModel& costs = sim::CostModel::baseline());
+    static constexpr std::uint32_t kMaxShards = 64;
+
+    explicit Conntrack(const sim::CostModel& costs = sim::CostModel::baseline(),
+                       std::uint32_t shards = 1);
     ~Conntrack();
 
     // Classifies `key` in spec.zone, creating an unconfirmed entry for
@@ -143,7 +164,7 @@ public:
     // pkt.meta() ct fields, rewrites headers for NAT, and returns the
     // resulting state bits.
     OVSX_HOT CtResult process(net::Packet& pkt, const net::FlowKey& key, const CtSpec& spec,
-                              sim::ExecContext& ctx, sim::Nanos now = 0) OVSX_EXCLUDES(mu_);
+                              sim::ExecContext& ctx, sim::Nanos now = 0);
 
     // Zone/commit-only convenience form (no NAT, no mark).
     CtResult process(net::Packet& pkt, const net::FlowKey& key, std::uint16_t zone, bool commit,
@@ -157,46 +178,117 @@ public:
 
     // Per-zone connection limit (0 = unlimited). Connections beyond the
     // limit are classified INVALID instead of NEW.
-    void set_zone_limit(std::uint16_t zone, std::size_t limit) OVSX_EXCLUDES(mu_);
-    std::size_t zone_count(std::uint16_t zone) const OVSX_EXCLUDES(mu_);
+    void set_zone_limit(std::uint16_t zone, std::size_t limit) OVSX_EXCLUDES(zones_mu_);
+    std::size_t zone_count(std::uint16_t zone) const OVSX_EXCLUDES(zones_mu_);
 
     // Number of tracked connections (not tuple directions).
-    std::size_t size() const OVSX_EXCLUDES(mu_);
-    std::size_t nat_binding_count() const OVSX_EXCLUDES(mu_);
-    void flush() OVSX_EXCLUDES(mu_);
+    std::size_t size() const;
+    std::size_t nat_binding_count() const;
+    void flush();
 
-    // Cross-checks the san entry + NAT-binding audits against the table.
-    void san_check(san::Site site) const OVSX_EXCLUDES(mu_);
+    // Cross-checks the san entry + NAT-binding audits against the
+    // table, walking every shard so the totals are shard-count-
+    // invariant.
+    void san_check(san::Site site) const;
 
-    // Expires entries idle since before `cutoff`.
-    std::size_t expire_idle(sim::Nanos cutoff) OVSX_EXCLUDES(mu_);
+    // Expires entries idle since before `cutoff` off the per-shard
+    // timer wheels: visits only due wheel buckets, never the whole
+    // table. NAT reply-index entries (and therefore allocated ports)
+    // are released on this path.
+    std::size_t expire_idle(sim::Nanos cutoff);
 
     // Lookup without side effects (diagnostics). Finds by either
     // direction of the connection (NAT-translated for replies).
-    const CtEntry* find(const CtTuple& tuple) const OVSX_EXCLUDES(mu_);
+    const CtEntry* find(const CtTuple& tuple) const;
 
     // Deterministically ordered view of every tracked connection, for
-    // cross-datapath state diffing.
-    std::vector<CtSnapshotEntry> snapshot() const OVSX_EXCLUDES(mu_);
+    // cross-datapath state diffing. Snapshots shard by shard under each
+    // shard's own lock (no global freeze) and merges; the rendered
+    // shape is identical at any shard count.
+    std::vector<CtSnapshotEntry> snapshot() const;
+
+    // ---- sharding / expiry configuration --------------------------------
+    // Rebuilds the table over `n` shards (rounded up to a power of two,
+    // capped at kMaxShards). Existing entries are rehashed; intended
+    // for configuration time — concurrent process() calls during a
+    // reshard are not supported.
+    void reshard(std::uint32_t n);
+    std::uint32_t shard_count() const { return nshards_; }
+    // Connections owned by shard `s` (occupancy gauges).
+    std::size_t shard_size(std::uint32_t s) const;
+    // The shard a tuple routes to; symmetric in direction, exposed so
+    // tests can place entries deliberately.
+    static std::uint32_t shard_of_tuple(const CtTuple& tuple, std::uint32_t nshards);
+
+    // Idle timeout driven by tick(); 0 (default) disables expiry there.
+    void set_idle_timeout(sim::Nanos timeout) { idle_timeout_.store(timeout); }
+    sim::Nanos idle_timeout() const { return idle_timeout_.load(); }
+
+    // Datapath clock hook (set_now): at most once per wheel quantum,
+    // publishes the ct.shard.* occupancy counters and — when an idle
+    // timeout is configured — expires idle entries. Amortized: each
+    // call does per-shard O(due wheel nodes) work, never O(entries).
+    void tick(sim::Nanos now);
+
+    // Wheel nodes visited by the most recent expiry pass (the churn
+    // bench asserts this stays bounded per tick).
+    std::size_t last_expire_visited() const { return last_expire_visited_.load(); }
+
+    // Test seam (negative san tests only): drops the entry for `tuple`
+    // from its shard WITHOUT updating the audit ledgers — san_check
+    // must then report the leak no matter which shard held it.
+    bool test_seam_leak_entry(const CtTuple& tuple);
 
 private:
-    std::size_t nat_binding_count_locked() const OVSX_REQUIRES(mu_);
-    void erase_entry(std::uint64_t id) OVSX_REQUIRES(mu_);
-    void apply_nat(net::Packet& pkt, const CtEntry& entry, bool is_reply, sim::ExecContext& ctx)
-        OVSX_REQUIRES(mu_);
+    struct Shard;    // per-shard index/conns/wheel + mutex (conntrack.cpp)
+    struct Ref {     // index value: owning shard + connection id
+        std::uint32_t shard = 0;
+        std::uint64_t id = 0;
+    };
+    class AllShardsGuard; // ascending-order lock of every shard
+
+    std::uint32_t shard_of(const CtTuple& tuple) const
+    {
+        return shard_of_tuple(tuple, nshards_);
+    }
+
+    // The single-map algorithm, routed through shard(s). `global` means
+    // every shard lock is held; otherwise only shard `home` is locked
+    // and local_path_ok has proven every touched tuple routes there.
+    CtResult process_routed(net::Packet& pkt, const net::FlowKey& key, const CtSpec& spec,
+                            sim::ExecContext& ctx, sim::Nanos now, bool global,
+                            std::uint32_t home) OVSX_NO_THREAD_SAFETY_ANALYSIS;
+    // Decides, under shard `home`'s lock alone, whether this packet can
+    // complete without touching any other shard. `lookup` is the tuple
+    // the first index probe uses (the ICMP-cited inner tuple for ICMP
+    // errors, the packet tuple otherwise).
+    bool local_path_ok(const CtTuple& lookup, bool icmp_error, const net::FlowKey& key,
+                       const CtSpec& spec, std::uint32_t home) const
+        OVSX_NO_THREAD_SAFETY_ANALYSIS;
+    void erase_entry_routed(const Ref& ref) OVSX_NO_THREAD_SAFETY_ANALYSIS;
+    void apply_nat(net::Packet& pkt, const CtEntry& entry, bool is_reply,
+                   sim::ExecContext& ctx);
 
     const sim::CostModel& costs_;
-    mutable sync::Mutex mu_{"kern.ct"};
-    // Both tuple directions index into one connection entry; the reply
-    // direction carries the NAT translation, so it is NOT orig.reversed()
-    // for NATed connections.
-    std::unordered_map<CtTuple, std::uint64_t, CtTuple::Hash> index_ OVSX_GUARDED_BY(mu_);
-    std::unordered_map<std::uint64_t, CtEntry> conns_ OVSX_GUARDED_BY(mu_);
-    std::uint64_t next_id_ OVSX_GUARDED_BY(mu_) = 1;
-    std::unordered_map<std::uint16_t, std::size_t> zone_counts_ OVSX_GUARDED_BY(mu_);
-    std::unordered_map<std::uint16_t, std::size_t> zone_limits_ OVSX_GUARDED_BY(mu_);
+    // The shard array itself is immutable while the datapath runs: it
+    // is built at construction and replaced only by config-time
+    // reshard() (single-threaded by contract). Everything inside a
+    // Shard is guarded by that shard's own mutex.
+    using ShardArray = std::vector<std::unique_ptr<Shard>>;
+    std::uint32_t nshards_ = 1;
+    ShardArray shards_;
+    mutable sync::Mutex zones_mu_{"kern.ct.zones"};
+    std::unordered_map<std::uint16_t, std::size_t> zone_counts_ OVSX_GUARDED_BY(zones_mu_);
+    std::unordered_map<std::uint16_t, std::size_t> zone_limits_ OVSX_GUARDED_BY(zones_mu_);
+    // Global, never reused: allocation order (and therefore snapshots)
+    // stays identical across shard counts.
+    std::atomic<std::uint64_t> next_id_{1};
+    std::atomic<sim::Nanos> idle_timeout_{0};
+    std::atomic<std::uint64_t> last_tick_bucket_{~std::uint64_t{0}};
+    std::atomic<std::size_t> last_expire_visited_{0};
     std::uint64_t san_scope_ = san::new_scope();
     std::uint64_t obs_token_ = 0;
+    std::uint64_t shards_token_ = 0;
 };
 
 // The translated reply tuple for a connection whose original direction

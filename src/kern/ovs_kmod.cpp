@@ -32,6 +32,14 @@ OvsKernelDatapath::OvsKernelDatapath(Kernel& kernel)
 {
 }
 
+void OvsKernelDatapath::set_now(sim::Nanos now)
+{
+    now_ = now;
+    // Occupancy counters + amortized timer-wheel expiry on the host
+    // conntrack (bounded per tick; never an O(table) scan).
+    kernel_.conntrack().tick(now);
+}
+
 OvsKernelDatapath::~OvsKernelDatapath()
 {
     for (const auto& [no, vport] : ports_) {

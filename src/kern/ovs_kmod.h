@@ -90,8 +90,9 @@ public:
     const MeterTable& meters() const { return meters_; }
 
     // Virtual clock used for meter refill and conntrack timestamps, the
-    // same convention as DpifNetdev::set_now.
-    void set_now(sim::Nanos now) { now_ = now; }
+    // same convention as DpifNetdev::set_now. Also drives the host
+    // conntrack's timer-wheel tick (ovs_kmod.cpp).
+    void set_now(sim::Nanos now);
     sim::Nanos now() const { return now_; }
 
     // ---- datapath ---------------------------------------------------------------

@@ -28,6 +28,8 @@ Appctl::Appctl()
                      [](const Args&) { return fabric_show(); });
     register_command("memory/show", "registered allocator/cache occupancy",
                      [](const Args&) { return memory_show(); });
+    register_command("shards/show", "per-shard occupancy of sharded tables",
+                     [](const Args&) { return shards_show(); });
     register_command("appctl/list", "list registered commands", [this](const Args&) {
         Value v = Value::object();
         for (const auto& [name, help] : commands()) {
@@ -153,6 +155,69 @@ Value memory_show()
     }
     // Sort by name; disambiguate duplicates with "#2", "#3", ...
     std::map<std::string, std::vector<const MemoryReportFn*>> by_name;
+    for (const auto& [name, fn] : reporters) {
+        by_name[name].push_back(&fn);
+    }
+    Value v = Value::object();
+    for (const auto& [name, fns] : by_name) {
+        for (std::size_t i = 0; i < fns.size(); ++i) {
+            const std::string key = i == 0 ? name : name + "#" + std::to_string(i + 1);
+            v.set(key, (*fns[i])());
+        }
+    }
+    return v;
+}
+
+// --- shard-occupancy registry ------------------------------------------
+
+namespace {
+
+struct ShardsRegistry {
+    sync::Mutex mu{"obs.shards"};
+    std::uint64_t next_token OVSX_GUARDED_BY(mu) = 1;
+    std::vector<std::pair<std::uint64_t, std::pair<std::string, ShardReportFn>>> entries
+        OVSX_GUARDED_BY(mu);
+};
+
+ShardsRegistry& shards_registry()
+{
+    static ShardsRegistry r;
+    return r;
+}
+
+} // namespace
+
+std::uint64_t shards_register(std::string name, ShardReportFn fn)
+{
+    ShardsRegistry& r = shards_registry();
+    sync::LockGuard guard(r.mu);
+    const std::uint64_t token = r.next_token++;
+    r.entries.emplace_back(token, std::make_pair(std::move(name), std::move(fn)));
+    return token;
+}
+
+void shards_unregister(std::uint64_t token)
+{
+    ShardsRegistry& r = shards_registry();
+    sync::LockGuard guard(r.mu);
+    r.entries.erase(std::remove_if(r.entries.begin(), r.entries.end(),
+                                   [&](const auto& e) { return e.first == token; }),
+                    r.entries.end());
+}
+
+Value shards_show()
+{
+    // Same two-phase shape as memory_show(): copy reporters under the
+    // registry lock, run them unlocked (they take shard locks; the
+    // obs.shards lock must stay a leaf).
+    std::vector<std::pair<std::string, ShardReportFn>> reporters;
+    {
+        ShardsRegistry& r = shards_registry();
+        sync::LockGuard guard(r.mu);
+        reporters.reserve(r.entries.size());
+        for (const auto& [token, entry] : r.entries) reporters.push_back(entry);
+    }
+    std::map<std::string, std::vector<const ShardReportFn*>> by_name;
     for (const auto& [name, fn] : reporters) {
         by_name[name].push_back(&fn);
     }

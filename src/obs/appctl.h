@@ -76,4 +76,20 @@ void memory_unregister(std::uint64_t token);
 // Object keyed by reporter name, sorted; duplicate names get "#2", ...
 Value memory_show();
 
+// --- global shard-occupancy registry ------------------------------------
+//
+// Sharded tables (the megaflow cache and both conntracks) register a
+// closure returning {"shard_count": N, "occupancy": [n0, n1, ...]};
+// the `shards/show` appctl command and the metrics-v5 "shards" section
+// render every live reporter. Same leaf-lock contract as the memory
+// registry: reporters run with the registry lock released.
+
+using ShardReportFn = std::function<Value()>;
+
+std::uint64_t shards_register(std::string name, ShardReportFn fn);
+void shards_unregister(std::uint64_t token);
+
+// Object keyed by table name, sorted; duplicate names get "#2", ...
+Value shards_show();
+
 } // namespace ovsx::obs

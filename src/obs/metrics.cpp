@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "obs/appctl.h" // shards_show()
 #include "obs/coverage.h"
 #include "obs/int_export.h"
 #include "obs/latency.h"
@@ -85,6 +86,7 @@ std::string metrics_json()
     doc.set("windows", windows_snapshot());
     doc.set("int", int_paths_show());
     doc.set("perf", perf_show());
+    doc.set("shards", shards_show());
     doc.set("metrics", root());
     return doc.to_json();
 }

@@ -18,8 +18,10 @@ namespace ovsx::obs {
 // latency percentiles, from obs/int_export.h) and admitted the
 // synthetic "path" provider inside "histograms". v4 adds the "perf"
 // section: cumulative PMD cycle-profiler totals plus per-PMD stage
-// breakdowns (obs/perf.h).
-inline constexpr const char* kMetricsSchema = "ovsx-obs-v4";
+// breakdowns (obs/perf.h). v5 adds the "shards" section: per-table
+// shard counts and per-shard occupancy from the obs shard registry
+// (sharded megaflow cache and both conntracks).
+inline constexpr const char* kMetricsSchema = "ovsx-obs-v5";
 
 // Sets the value at `dotted` ("a.b.c"), creating intermediate objects.
 // A non-object intermediate is replaced by an object.
@@ -33,12 +35,13 @@ Value metrics_snapshot();
 
 void metrics_reset();
 
-// {"schema":"ovsx-obs-v4","coverage":{...},"histograms":{...},
-//  "windows":{...},"int":{...},"perf":{...},"metrics":{...}} —
-// histograms is the per-provider per-tier latency registry (plus the
-// "path" provider fed by INT export), windows the published window
-// snapshots, int the observed INT paths, perf the PMD cycle profiler
-// (obs::perf_show()).
+// {"schema":"ovsx-obs-v5","coverage":{...},"histograms":{...},
+//  "windows":{...},"int":{...},"perf":{...},"shards":{...},
+//  "metrics":{...}} — histograms is the per-provider per-tier latency
+// registry (plus the "path" provider fed by INT export), windows the
+// published window snapshots, int the observed INT paths, perf the
+// PMD cycle profiler (obs::perf_show()), shards the live sharded
+// tables ({"shard_count":N,"occupancy":[...]} per table).
 std::string metrics_json();
 
 // Writes metrics_json() to `path`; false on I/O failure.

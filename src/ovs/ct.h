@@ -7,7 +7,9 @@
 // idle expiry — the feature set dpif-netdev needs for the NSX firewall.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -40,17 +42,28 @@ struct UserCtEntry {
     std::optional<NatBinding> nat;
     std::uint64_t packets = 0;
     sim::Nanos last_seen = 0;
+    // Timer-wheel bucket this entry was last filed into (expiry
+    // liveness check; TimerWheel::kNoBucket before the first filing).
+    std::uint64_t wheel_bucket = ~std::uint64_t{0};
 };
 
-// Concurrency: one capability-annotated mutex guards all four maps (they
-// move together — index_ points into conns_, zone_counts_ mirrors it).
-// Public methods lock internally; the revalidator and PMD threads may
-// interleave calls freely. find() returns an interior pointer that is
-// only stable until the next mutating call — callers that outlive their
-// quiescent window must copy (snapshot() does).
+// Concurrency: the same sharded design as kern::Conntrack (see the
+// class comment there): a symmetric RSS-style hash of the tuple picks
+// the shard, each shard's index/conns/timer-wheel triplet moves under
+// one capability-annotated mutex ("ovs.uct.shard.<i>"), and anything
+// that crosses shards (NAT-translated replies, port-range allocation)
+// locks every shard in ascending order. Zone accounting is global
+// under "ovs.uct.zones", nested inside shard locks. The shard routing
+// and the slow-path algorithm are bit-for-bit the single-map semantics
+// — the differential harness diffs this table against the kernel one
+// at any shard-count combination. find() returns an interior pointer
+// stable only until the next mutating call; snapshot() copies.
 class UserspaceConntrack {
 public:
-    explicit UserspaceConntrack(const sim::CostModel& costs = sim::CostModel::baseline());
+    static constexpr std::uint32_t kMaxShards = kern::Conntrack::kMaxShards;
+
+    explicit UserspaceConntrack(const sim::CostModel& costs = sim::CostModel::baseline(),
+                                std::uint32_t shards = 1);
     ~UserspaceConntrack();
 
     // Runs a packet through conntrack per `spec`. When spec.nat is set
@@ -63,45 +76,92 @@ public:
     // tables entry by entry.
     OVSX_HOT std::uint8_t process(net::Packet& pkt, const net::FlowKey& key,
                                   const kern::CtSpec& spec, sim::ExecContext& ctx,
-                                  sim::Nanos now = 0) OVSX_EXCLUDES(mu_);
+                                  sim::Nanos now = 0);
 
-    void set_zone_limit(std::uint16_t zone, std::size_t limit) OVSX_EXCLUDES(mu_);
-    std::size_t zone_count(std::uint16_t zone) const OVSX_EXCLUDES(mu_);
-    std::size_t size() const OVSX_EXCLUDES(mu_);
-    std::size_t nat_binding_count() const OVSX_EXCLUDES(mu_);
-    std::size_t expire_idle(sim::Nanos cutoff) OVSX_EXCLUDES(mu_);
-    void flush() OVSX_EXCLUDES(mu_);
+    void set_zone_limit(std::uint16_t zone, std::size_t limit) OVSX_EXCLUDES(zones_mu_);
+    std::size_t zone_count(std::uint16_t zone) const OVSX_EXCLUDES(zones_mu_);
+    std::size_t size() const;
+    std::size_t nat_binding_count() const;
+    // Timer-wheel idle expiry: visits only due wheel buckets, never the
+    // whole table; NAT ports are released on this path.
+    std::size_t expire_idle(sim::Nanos cutoff);
+    void flush();
 
-    // Cross-checks the san entry audit against the real table.
-    void san_check(san::Site site) const OVSX_EXCLUDES(mu_);
+    // Cross-checks the san entry audit against the real table, walking
+    // every shard so the totals are shard-count-invariant.
+    void san_check(san::Site site) const;
 
-    const UserCtEntry* find(const CtTuple& tuple) const OVSX_EXCLUDES(mu_);
+    const UserCtEntry* find(const CtTuple& tuple) const;
 
     // Sets the mark on the connection matching `tuple` (ct_mark action).
-    bool set_mark(const CtTuple& tuple, std::uint32_t mark) OVSX_EXCLUDES(mu_);
+    bool set_mark(const CtTuple& tuple, std::uint32_t mark);
 
     // Deterministically ordered view of every tracked connection, shaped
     // identically to kern::Conntrack::snapshot() so the differential
-    // harness can diff the two tables directly.
-    std::vector<kern::CtSnapshotEntry> snapshot() const OVSX_EXCLUDES(mu_);
+    // harness can diff the two tables directly. Per-shard locks, merged
+    // — never one global freeze across the dump.
+    std::vector<kern::CtSnapshotEntry> snapshot() const;
+
+    // ---- sharding / expiry configuration --------------------------------
+    // Same contracts as kern::Conntrack: power-of-two shard count,
+    // config-time rebuild, symmetric shard routing shared with the
+    // kernel tracker so both land identical tuples in matching shards.
+    void reshard(std::uint32_t n);
+    std::uint32_t shard_count() const { return nshards_; }
+    std::size_t shard_size(std::uint32_t s) const;
+
+    void set_idle_timeout(sim::Nanos timeout) { idle_timeout_.store(timeout); }
+    sim::Nanos idle_timeout() const { return idle_timeout_.load(); }
+
+    // Datapath clock hook: occupancy counters once per wheel quantum
+    // plus (when an idle timeout is set) amortized wheel expiry.
+    void tick(sim::Nanos now);
+    std::size_t last_expire_visited() const { return last_expire_visited_.load(); }
+
+    // Test seam (negative san tests only): drops the entry for `tuple`
+    // without updating the audit ledgers.
+    bool test_seam_leak_entry(const CtTuple& tuple);
 
 private:
-    std::size_t nat_binding_count_locked() const OVSX_REQUIRES(mu_);
+    struct Shard;
+    struct Ref {
+        std::uint32_t shard = 0;
+        std::uint64_t id = 0;
+    };
+    class AllShardsGuard;
 
-    void erase_entry(std::uint64_t id) OVSX_REQUIRES(mu_);
+    std::uint32_t shard_of(const CtTuple& tuple) const
+    {
+        return kern::Conntrack::shard_of_tuple(tuple, nshards_);
+    }
 
+    std::uint8_t process_routed(net::Packet& pkt, const net::FlowKey& key,
+                                const kern::CtSpec& spec, sim::ExecContext& ctx, sim::Nanos now,
+                                bool global, std::uint32_t home) OVSX_NO_THREAD_SAFETY_ANALYSIS;
+    bool local_path_ok(const CtTuple& lookup, bool icmp_error, const net::FlowKey& key,
+                       const kern::CtSpec& spec, std::uint32_t home) const
+        OVSX_NO_THREAD_SAFETY_ANALYSIS;
+    void erase_entry_routed(const Ref& ref) OVSX_NO_THREAD_SAFETY_ANALYSIS;
     void apply_nat(net::Packet& pkt, const UserCtEntry& entry, bool is_reply,
-                   sim::ExecContext& ctx) OVSX_REQUIRES(mu_);
+                   sim::ExecContext& ctx);
 
     const sim::CostModel& costs_;
-    mutable sync::Mutex mu_{"ovs.uct"};
-    std::unordered_map<CtTuple, std::uint64_t, CtTuple::Hash> index_ OVSX_GUARDED_BY(mu_);
-    std::unordered_map<std::uint64_t, UserCtEntry> conns_ OVSX_GUARDED_BY(mu_);
-    std::uint64_t next_id_ OVSX_GUARDED_BY(mu_) = 1;
-    std::unordered_map<std::uint16_t, std::size_t> zone_counts_ OVSX_GUARDED_BY(mu_);
-    std::unordered_map<std::uint16_t, std::size_t> zone_limits_ OVSX_GUARDED_BY(mu_);
+    // Immutable while the datapath runs: built at construction,
+    // replaced only by config-time reshard() (single-threaded by
+    // contract). Per-shard state is guarded by each Shard's mutex.
+    using ShardArray = std::vector<std::unique_ptr<Shard>>;
+    std::uint32_t nshards_ = 1;
+    ShardArray shards_;
+    mutable sync::Mutex zones_mu_{"ovs.uct.zones"};
+    std::unordered_map<std::uint16_t, std::size_t> zone_counts_ OVSX_GUARDED_BY(zones_mu_);
+    std::unordered_map<std::uint16_t, std::size_t> zone_limits_ OVSX_GUARDED_BY(zones_mu_);
+    std::atomic<std::uint64_t> next_id_{1};
+    std::atomic<sim::Nanos> idle_timeout_{0};
+    std::atomic<std::uint64_t> last_tick_bucket_{~std::uint64_t{0}};
+    std::atomic<std::size_t> last_expire_visited_{0};
     std::uint64_t san_scope_ = san::new_scope();
     std::uint64_t obs_token_ = 0;
+    std::uint64_t shards_token_ = 0;
 };
 
 } // namespace ovsx::ovs

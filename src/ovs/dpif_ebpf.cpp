@@ -125,6 +125,14 @@ DpifEbpf::DpifEbpf(kern::Kernel& kernel) : kernel_(kernel), san_scope_(san::new_
     }
 }
 
+void DpifEbpf::set_now(sim::Nanos now)
+{
+    now_ = now;
+    // Same clock hook as the other providers: the host conntrack's
+    // timer wheel ticks on the datapath clock, never a full-table scan.
+    kernel_.conntrack().tick(now);
+}
+
 DpifEbpf::~DpifEbpf()
 {
     for (const auto& [no, dev] : ports_) {

@@ -72,8 +72,9 @@ public:
     }
 
     // Virtual clock forwarded to conntrack (same convention as
-    // DpifNetdev::set_now / OvsKernelDatapath::set_now).
-    void set_now(sim::Nanos now) { now_ = now; }
+    // DpifNetdev::set_now / OvsKernelDatapath::set_now); drives the
+    // host conntrack's timer-wheel tick (dpif_ebpf.cpp).
+    void set_now(sim::Nanos now);
     sim::Nanos now() const { return now_; }
 
     // Introspection for the differential harness: the in-map flow table

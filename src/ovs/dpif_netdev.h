@@ -111,6 +111,12 @@ public:
     void set_now(sim::Nanos now);
     sim::Nanos now() const { return now_; }
 
+    // ---- sharding --------------------------------------------------------
+    // Pins the shard count of the megaflow cache and the userspace
+    // conntrack (power of two, config-time only) and disables the
+    // default add_pmd() auto-sizing (next power of two >= PMD count).
+    void set_shard_count(std::uint32_t n);
+
     // ---- windowed telemetry + §4.2 auto-load-balancing -------------------
     // 0 disables windowed sampling (the default).
     void set_window_interval(sim::Nanos interval_ns);
@@ -223,6 +229,7 @@ private:
     IntConfig int_cfg_;
     std::uint16_t last_batch_occupancy_ = 1; // INT queue/batch occupancy field
     obs::Window window_;
+    bool shards_explicit_ = false;
     bool auto_lb_ = false;
     double auto_lb_min_improvement_ = 1.25;
     std::vector<RebalanceEvent> rebalance_events_;

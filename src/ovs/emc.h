@@ -12,6 +12,7 @@
 // valid through shared ownership (CachedFlowPtr), not through the lock.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -31,7 +32,9 @@ struct CachedFlow {
     std::uint64_t hits = 0;
     std::uint64_t bytes = 0;
     std::uint64_t hits_at_last_sweep = 0; // revalidator idle detection
-    bool dead = false;                    // revalidator tombstone
+    // Revalidator tombstone. Atomic: set under a megaflow shard lock
+    // but read by the cache's lock-free epoch-pinned lookups.
+    std::atomic<bool> dead{false};
 };
 
 using CachedFlowPtr = std::shared_ptr<CachedFlow>;

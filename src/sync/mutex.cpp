@@ -1,5 +1,9 @@
 #include "sync/mutex.h"
 
+#include <mutex> // NOLINT(ovsx) raw primitive allowed in src/sync/ only
+#include <set>
+#include <string>
+
 namespace ovsx::sync {
 
 namespace detail {
@@ -15,6 +19,19 @@ std::uint32_t next_lock_id()
 }
 
 } // namespace detail
+
+const char* shard_lock_name(const char* prefix, std::uint32_t index)
+{
+    // Interned into a process-lifetime set: Mutex stores only the
+    // const char*, and the lockset/ABBA reports must keep printing a
+    // stable name after the owning sharded table is destroyed or
+    // resharded. Names are few (tables x shard counts), so the set
+    // never grows past a few hundred entries.
+    static std::mutex mu; // NOLINT(ovsx) leaf, below every sync::Mutex
+    static std::set<std::string>* names = new std::set<std::string>();
+    std::lock_guard<std::mutex> guard(mu);
+    return names->insert(std::string(prefix) + "." + std::to_string(index)).first->c_str();
+}
 
 void set_lock_hooks(detail::AcquireHook acquire, detail::ReleaseHook release)
 {

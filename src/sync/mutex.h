@@ -57,6 +57,12 @@ inline void hook_release(std::uint32_t id)
 // before any other thread can invoke it.
 void set_lock_hooks(detail::AcquireHook acquire, detail::ReleaseHook release);
 
+// Stable interned lock name "<prefix>.<index>" for per-shard mutexes:
+// sharded tables construct their shard locks with distinct, stable
+// names ("ovs.uct.shard.3") so lockset/ABBA reports identify the exact
+// shard. The returned pointer lives for the whole process.
+const char* shard_lock_name(const char* prefix, std::uint32_t index);
+
 class OVSX_CAPABILITY("mutex") Mutex {
 public:
     explicit Mutex(const char* name = "mutex") : id_(detail::next_lock_id()), name_(name) {}

@@ -150,6 +150,7 @@ TEST(ObsTrace, DumpGroupsByDomain)
 
 const std::vector<std::string> kRequiredCommands = {
     "coverage/show",    "memory/show",
+    "shards/show",
     "latency/show",     "dpif-netdev/pmd-stats-show",
     "dpctl/dump-flows", "conntrack/show",
     "xsk/ring-stats",   "dpif-netdev/pmd-rxq-show",
@@ -363,7 +364,7 @@ TEST(ObsMetrics, DottedPathsAndSchema)
     ASSERT_TRUE(doc.has_value());
     ASSERT_NE(doc->find("schema"), nullptr);
     EXPECT_EQ(doc->find("schema")->as_string(), obs::kMetricsSchema);
-    EXPECT_EQ(doc->find("schema")->as_string(), "ovsx-obs-v4");
+    EXPECT_EQ(doc->find("schema")->as_string(), "ovsx-obs-v5");
     ASSERT_NE(doc->find("coverage"), nullptr);
     ASSERT_NE(doc->find("metrics"), nullptr);
     // v2 added the histograms and windows sections.

@@ -1,11 +1,11 @@
-// CI sanity check for obs metrics JSON artifacts (schema ovsx-obs-v4):
+// CI sanity check for obs metrics JSON artifacts (schema ovsx-obs-v5):
 //
 //   obs_schema_check <metrics.json> [required.dotted.key ...]
 //                    [--require-histogram <provider.tier> ...]
 //                    [--require-counter <name> ...]
 //                    [--p99-not-above <provider.tier> <provider.tier>]
 //
-// Validates that the document parses, is schema-tagged ovsx-obs-v4,
+// Validates that the document parses, is schema-tagged ovsx-obs-v5,
 // carries a coverage object whose counters are all non-negative
 // integers, a histograms object of per-provider per-tier latency stats
 // with ordered quantiles (the synthetic "path" provider keys fabric
@@ -13,7 +13,9 @@
 // series, an int object of observed INT paths whose hop records carry
 // ordered percentiles and tier names, a perf object of PMD
 // cycle-profiler totals whose per-PMD stage percentages stay within
-// [0,100], and a metrics object. Plain
+// [0,100], a shards object whose per-table entries carry a power-of-two
+// shard_count and an occupancy array of exactly shard_count
+// non-negative integers, and a metrics object. Plain
 // extra arguments name dotted paths (under "metrics") that must exist.
 // --require-histogram demands a non-empty latency histogram for a
 // provider.tier pair; --require-counter demands the coverage object
@@ -184,11 +186,13 @@ int main(int argc, char** argv)
     const std::string tag = schema ? schema->as_string() : "";
     // Every rejection names both sides: the tag we found and the tag we
     // require, so a CI log is diagnosable without opening the artifact.
-    if (tag == "ovsx-obs-v1" || tag == "ovsx-obs-v2" || tag == "ovsx-obs-v3") {
+    if (tag == "ovsx-obs-v1" || tag == "ovsx-obs-v2" || tag == "ovsx-obs-v3" ||
+        tag == "ovsx-obs-v4") {
         return fail("artifact is schema '" + tag + "' but this checker requires '" +
                     ovsx::obs::kMetricsSchema + "' (regenerate the artifact with a "
                     "current binary — v1 lacks the histograms and windows sections, "
-                    "v2 lacks the int section, v3 lacks the perf section)");
+                    "v2 lacks the int section, v3 lacks the perf section, v4 lacks "
+                    "the shards section)");
     }
     if (tag != ovsx::obs::kMetricsSchema) {
         return fail("schema tag found '" + (schema ? tag : std::string("<absent>")) +
@@ -296,6 +300,36 @@ int main(int argc, char** argv)
         }
     }
 
+    // v5: the sharded tables. Each entry is one live sharded structure
+    // ({"shard_count":N,"occupancy":[n0,...]}); shard_count must be a
+    // power of two and the occupancy array exactly that long.
+    const ovsx::obs::Value* shards = doc->find("shards");
+    if (!shards || !shards->is_object()) return fail("shards object missing");
+    for (const auto& [table, t] : shards->members()) {
+        if (!t.is_object()) return fail("shards table '" + table + "' is not an object");
+        const auto* count = t.find("shard_count");
+        if (!count || count->kind() != ovsx::obs::Value::Kind::Uint) {
+            return fail("shards table '" + table + "' missing shard_count");
+        }
+        const auto n = static_cast<std::uint64_t>(count->as_double());
+        if (n == 0 || (n & (n - 1)) != 0) {
+            return fail("shards table '" + table + "' shard_count is not a power of two");
+        }
+        const auto* occ = t.find("occupancy");
+        if (!occ || !occ->is_array()) {
+            return fail("shards table '" + table + "' missing occupancy array");
+        }
+        if (occ->items().size() != n) {
+            return fail("shards table '" + table + "' occupancy length != shard_count");
+        }
+        for (const auto& o : occ->items()) {
+            if (o.kind() != ovsx::obs::Value::Kind::Uint) {
+                return fail("shards table '" + table +
+                            "' occupancy entry is not a non-negative integer");
+            }
+        }
+    }
+
     const ovsx::obs::Value* metrics = doc->find("metrics");
     if (!metrics || !metrics->is_object()) return fail("metrics object missing");
 
@@ -332,8 +366,9 @@ int main(int argc, char** argv)
     }
 
     std::printf("obs_schema_check: %s OK (%zu coverage counters, %zu histogram tiers, "
-                "%zu window series, %zu int paths, %zu perf pmds)\n",
+                "%zu window series, %zu int paths, %zu perf pmds, %zu sharded tables)\n",
                 argv[1], coverage->members().size(), hist_tiers, window_series,
-                int_paths->members().size(), perf_pmds->members().size());
+                int_paths->members().size(), perf_pmds->members().size(),
+                shards->members().size());
     return 0;
 }
